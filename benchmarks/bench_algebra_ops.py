@@ -1,0 +1,126 @@
+"""Experiment E4 + operator ablation — algebra operator throughput.
+
+Times every §5 operator on the shared travel graph, plus the full
+Example 4 expression.  These are the micro-costs the optimizer's cost
+model orders plans by.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Condition,
+    SetAgg,
+    aggregate_links,
+    aggregate_nodes,
+    average,
+    compose,
+    count,
+    example4_search,
+    figure2_pattern,
+    find_paths,
+    intersection,
+    minus,
+    select_links,
+    select_nodes,
+    semi_join,
+    union,
+    JaccardOnNodeSets,
+)
+from repro.workloads import JOHN
+
+
+@pytest.fixture(scope="module")
+def graph(travel_site):
+    return travel_site.graph
+
+
+def test_select_nodes_structural(graph, benchmark):
+    benchmark(select_nodes, graph, {"type": "destination"})
+
+
+def test_select_nodes_keywords(graph, benchmark):
+    condition = Condition({"type": "destination"}, keywords="denver baseball")
+    benchmark(select_nodes, graph, condition)
+
+
+def test_select_links(graph, benchmark):
+    benchmark(select_links, graph, {"type": "visit"})
+
+
+def test_union(graph, benchmark):
+    visits = select_links(graph, {"type": "visit"})
+    friends = select_links(graph, {"type": "friend"})
+    benchmark(union, visits, friends)
+
+
+def test_intersection(graph, benchmark):
+    acts = select_links(graph, {"type": "act"})
+    visits = select_links(graph, {"type": "visit"})
+    benchmark(intersection, acts, visits)
+
+
+def test_minus(graph, benchmark):
+    acts = select_links(graph, {"type": "act"})
+    visits = select_links(graph, {"type": "visit"})
+    benchmark(minus, acts, visits)
+
+
+def test_semi_join(graph, benchmark):
+    john = select_nodes(graph, {"id": JOHN})
+    benchmark(semi_join, graph, john, ("src", "src"))
+
+
+def test_compose(graph, benchmark):
+    friends = select_links(graph, {"type": "friend"})
+    visits = select_links(graph, {"type": "visit"})
+    benchmark(compose, friends, visits, ("tgt", "src"),
+              lambda l1, l2: {"type": "friend_visit"})
+
+
+def test_node_aggregation(graph, benchmark):
+    benchmark(aggregate_nodes, graph, {"type": "visit"}, "src", "vst",
+              SetAgg("tgt"))
+
+
+def test_link_aggregation(graph, benchmark):
+    friends = select_links(graph, {"type": "friend"})
+    visits = select_links(graph, {"type": "visit"})
+    composed = compose(friends, visits, ("tgt", "src"),
+                       lambda l1, l2: {"type": "fv", "w": 1.0})
+    benchmark(aggregate_links, composed, {"type": "fv"}, "cnt", count())
+
+
+def test_pattern_matching(graph, benchmark):
+    # match links required: derive a small match network first
+    from repro.core import (
+        AttrMap, ConstAgg, First, aggregate_links as agg_links,
+        aggregate_nodes as agg_nodes, select_links as sel_links,
+        select_nodes as sel_nodes, semi_join as sjoin, union as un,
+    )
+
+    g1 = sel_links(sjoin(graph, sel_nodes(graph, {"id": JOHN}),
+                         ("src", "src")), {"type": "visit"})
+    g1p = agg_nodes(g1, {"type": "visit"}, "src", "vst", SetAgg("tgt"))
+    g2 = sel_links(sjoin(graph, sel_nodes(graph, {"id__ne": JOHN}),
+                         ("src", "src")), {"type": "visit"})
+    g2p = agg_nodes(g2, {"type": "visit"}, "src", "vst", SetAgg("tgt"))
+    g3 = compose(g1p, g2p, ("tgt", "tgt"), JaccardOnNodeSets("vst", "sim"))
+    g4 = sel_links(
+        agg_links(g3, {"sim__gt": 0.1}, "type",
+                  AttrMap(type=ConstAgg("match"), sim=First("sim"))),
+        {"type": "match"},
+    )
+    base = un(g4, sel_links(graph, {"type": "visit"}))
+    pattern = figure2_pattern(JOHN)
+    benchmark(find_paths, base, pattern)
+
+
+def test_example4_full_expression(graph, benchmark, report):
+    result = example4_search(graph, JOHN)
+    report(
+        f"[example4] result: {result.num_nodes} nodes, "
+        f"{result.num_links} links"
+    )
+    benchmark(example4_search, graph, JOHN)

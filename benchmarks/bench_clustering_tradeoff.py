@@ -1,0 +1,119 @@
+"""Experiment S62b — the clustering space/time trade-off (§6.2, after [5]).
+
+The paper (citing its VLDB'08 companion) reports the qualitative shape:
+
+* network-based clustering "consumes less space than the basic strategy
+  without incurring too much query processing overhead";
+* behavior-based clustering "achieves better processing time to the
+  expense of space when compared to network-based clustering".
+
+This bench sweeps θ for both strategies, prints index size (entries) and
+query-time work (exact-score computations per query — the machine-
+independent cost §6.2 identifies), and asserts the shape.  Wall-clock
+timings come from the pytest-benchmark rows.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.indexing import (
+    ClusteredIndex,
+    ExactUserIndex,
+    behavior_clustering,
+    network_clustering,
+)
+
+THETAS = (0.05, 0.1, 0.2)
+K = 10
+N_QUERIES = 60
+
+
+def _workload(data, seed=3):
+    rng = random.Random(seed)
+    return [
+        (rng.choice(data.users), rng.sample(data.tag_vocab, k=2))
+        for _ in range(N_QUERIES)
+    ]
+
+
+def _mean_query_work(index, queries) -> tuple[float, float]:
+    exact = accesses = 0
+    for user, keywords in queries:
+        _, stats = index.query(user, keywords, K)
+        exact += stats.exact_computations
+        accesses += stats.total_accesses()
+    return exact / len(queries), accesses / len(queries)
+
+
+def test_tradeoff_table(tagging_data, report, benchmark):
+    data = tagging_data
+    queries = _workload(data)
+    exact_index = benchmark.pedantic(ExactUserIndex, args=(data,),
+                                     rounds=1, iterations=1)
+    exact_entries = exact_index.report().entries
+    exact_work, exact_accesses = _mean_query_work(exact_index, queries)
+
+    lines = [
+        "",
+        "=== §6.2 clustering space/time trade-off ===",
+        (f"  {'strategy':<22}{'θ':>5}{'clusters':>9}{'entries':>9}"
+         f"{'space vs exact':>15}{'exact-score/q':>14}"),
+        (f"  {'exact (baseline)':<22}{'—':>5}{len(data.users):>9}"
+         f"{exact_entries:>9}{'1.00x':>15}{exact_work:>14.1f}"),
+    ]
+    shapes: dict[tuple[str, float], tuple[int, float]] = {}
+    for theta in THETAS:
+        for name, make in (("network", network_clustering),
+                           ("behavior", behavior_clustering)):
+            clustering = make(data, theta)
+            index = ClusteredIndex(data, clustering)
+            entries = index.report().entries
+            work, _ = _mean_query_work(index, queries)
+            shapes[(name, theta)] = (entries, work)
+            lines.append(
+                f"  {name:<22}{theta:>5.2f}{clustering.num_clusters:>9}"
+                f"{entries:>9}{exact_entries/max(entries,1):>14.2f}x"
+                f"{work:>14.1f}"
+            )
+    report(*lines)
+
+    for theta in THETAS:
+        net_entries, net_work = shapes[("network", theta)]
+        beh_entries, beh_work = shapes[("behavior", theta)]
+        # Both clustered indexes are smaller than the exact index...
+        assert net_entries <= exact_entries
+        assert beh_entries <= exact_entries
+        # ...and clustering costs extra exact-score work at query time.
+        assert net_work >= exact_work
+        assert beh_work >= exact_work
+
+    # The paper's [5] shape at the sweep level: network clusters harder
+    # (fewer clusters -> smaller index), behavior stays closer to exact
+    # (more clusters -> less query-time overhead).
+    total_net_entries = sum(shapes[("network", t)][0] for t in THETAS)
+    total_beh_entries = sum(shapes[("behavior", t)][0] for t in THETAS)
+    total_net_work = sum(shapes[("network", t)][1] for t in THETAS)
+    total_beh_work = sum(shapes[("behavior", t)][1] for t in THETAS)
+    assert total_net_entries <= total_beh_entries
+    assert total_beh_work <= total_net_work
+
+
+@pytest.mark.parametrize("strategy", ["exact", "network", "behavior"])
+def test_query_latency(tagging_data, benchmark, strategy):
+    data = tagging_data
+    queries = _workload(data)
+    if strategy == "exact":
+        index = ExactUserIndex(data)
+    elif strategy == "network":
+        index = ClusteredIndex(data, network_clustering(data, 0.1))
+    else:
+        index = ClusteredIndex(data, behavior_clustering(data, 0.1))
+
+    def run_queries():
+        for user, keywords in queries:
+            index.query(user, keywords, K)
+
+    benchmark(run_queries)

@@ -1,0 +1,66 @@
+"""Extension ablation — result diversification (paper reference [30]).
+
+Quantifies what MMR and coverage diversification do to John's result list:
+intra-list similarity (diversity metric) and mean relevance retained,
+plus latency per method.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import InformationDiscoverer
+from repro.presentation import (
+    coverage_diversify,
+    intra_list_similarity,
+    mmr_diversify,
+)
+from repro.workloads import JOHN
+
+K = 8
+
+
+@pytest.fixture(scope="module")
+def msg(travel_site):
+    # A narrow query: John's baseball results repeat cities, so there is
+    # real redundancy for the diversifiers to remove.
+    return InformationDiscoverer(travel_site.graph).discover(
+        JOHN, "baseball", k=20
+    )
+
+
+def test_diversification_table(msg, travel_site, report, benchmark):
+    graph = travel_site.graph
+    plain = [(s.item_id, s.combined) for s in msg.items[:K]]
+    mmr = benchmark.pedantic(mmr_diversify, args=(msg, K),
+                             kwargs={"lam": 0.5}, rounds=1, iterations=1)
+    coverage = coverage_diversify(msg, K, attribute="city")
+    score_of = {s.item_id: s.combined for s in msg.items}
+
+    def row(name, items):
+        ids = [i for i, _ in items]
+        ils = intra_list_similarity(ids, graph)
+        relevance = sum(score_of.get(i, 0.0) for i in ids) / max(len(ids), 1)
+        return f"  {name:<18}{ils:>18.3f}{relevance:>16.3f}"
+
+    report(
+        "",
+        f"=== diversification of John's top-{K} (extension, ref [30]) ===",
+        f"  {'method':<18}{'intra-list sim':>18}{'mean relevance':>16}",
+        row("relevance only", plain),
+        row("MMR λ=0.5", mmr),
+        row("coverage:city", coverage),
+    )
+    ids_plain = [i for i, _ in plain]
+    ids_mmr = [i for i, _ in mmr]
+    assert intra_list_similarity(ids_mmr, graph) <= (
+        intra_list_similarity(ids_plain, graph) + 1e-9
+    )
+
+
+def test_mmr_latency(msg, benchmark):
+    benchmark(mmr_diversify, msg, K, 0.5)
+
+
+def test_coverage_latency(msg, benchmark):
+    benchmark(coverage_diversify, msg, K)

@@ -1,0 +1,60 @@
+"""Experiment F1 — Figure 1: the three-layer architecture end to end.
+
+Times the full pipeline (query parsing -> semantic + social relevance ->
+MSG -> grouping/ranking/explanations) for the paper's three personas, and
+prints a compact trace showing each layer's contribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SocialScope
+from repro.workloads import ALEXIA, JOHN, SELMA
+
+
+@pytest.fixture(scope="module")
+def scope(travel_site):
+    return SocialScope.from_graph(travel_site.graph)
+
+
+PERSONA_QUERIES = {
+    "john": (JOHN, "Denver attractions"),
+    "selma": (SELMA, "Barcelona family trip with babies"),
+    "alexia": (ALEXIA, "history"),
+}
+
+
+def test_pipeline_trace(scope, travel_site, report, benchmark):
+    benchmark.pedantic(scope.search, args=(JOHN, "Denver attractions"),
+                       rounds=1, iterations=1)
+    lines = ["", "=== Figure 1 pipeline trace (three personas) ==="]
+    for name, (user, query) in PERSONA_QUERIES.items():
+        msg = scope.discover(user, query)
+        page = scope.organizer.organize(msg)
+        top = page.flat[0].name if page.flat else "(none)"
+        lines.append(
+            f"  {name:<7} q={query!r:<38} msg: {msg.graph.num_nodes}n/"
+            f"{msg.graph.num_links}l, {len(msg.items)} items -> "
+            f"dim={page.chosen_dimension}, {len(page.groups)} groups, "
+            f"top={top!r}"
+        )
+        assert page.flat, f"{name} must get results"
+    report(*lines)
+
+
+@pytest.mark.parametrize("persona", list(PERSONA_QUERIES), ids=list(PERSONA_QUERIES))
+def test_end_to_end_latency(scope, benchmark, persona):
+    user, query = PERSONA_QUERIES[persona]
+    benchmark(scope.search, user, query)
+
+
+def test_discovery_only_latency(scope, benchmark):
+    user, query = PERSONA_QUERIES["john"]
+    benchmark(scope.discover, user, query)
+
+
+def test_presentation_only_latency(scope, benchmark):
+    user, query = PERSONA_QUERIES["john"]
+    msg = scope.discover(user, query)
+    benchmark(scope.organizer.organize, msg)

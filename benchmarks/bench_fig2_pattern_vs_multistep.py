@@ -1,0 +1,59 @@
+"""Experiment F2 — Figure 2: graph-pattern CF vs multi-step algebra.
+
+The paper poses the comparison as an open research question ("study the
+difference between the two approaches and identify the conditions under
+which one ... will be more effective").  This bench answers it for our
+evaluator: both formulations are timed on growing travel sites and their
+outputs asserted equivalent (the correctness half of the Figure 2 claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    example5_collaborative_filtering,
+    figure2_collaborative_filtering,
+    recommendations_from,
+)
+from repro.workloads import JOHN, TravelSiteConfig, build_travel_site
+
+SIZES = {"small": 60, "medium": 120, "large": 240}
+
+
+@pytest.fixture(scope="module", params=list(SIZES), ids=list(SIZES))
+def sized_site(request):
+    users = SIZES[request.param]
+    return request.param, build_travel_site(
+        TravelSiteConfig(num_background_users=users, seed=42)
+    )
+
+
+def test_equivalence_and_report(sized_site, report, benchmark):
+    label, site = sized_site
+    multi = benchmark.pedantic(
+        example5_collaborative_filtering, args=(site.graph, JOHN),
+        kwargs={"sim_threshold": 0.1}, rounds=1, iterations=1,
+    )
+    pattern = figure2_collaborative_filtering(site.graph, JOHN,
+                                              sim_threshold=0.1)
+    m = dict(recommendations_from(multi, JOHN))
+    p = dict(recommendations_from(pattern, JOHN))
+    assert m == pytest.approx(p)
+    report(
+        f"[fig2/{label}] {site.graph.num_nodes} nodes / "
+        f"{site.graph.num_links} links: multi-step and pattern agree on "
+        f"{len(m)} recommendations"
+    )
+
+
+def test_multistep_cf(sized_site, benchmark):
+    _, site = sized_site
+    benchmark(example5_collaborative_filtering, site.graph, JOHN,
+              sim_threshold=0.1)
+
+
+def test_pattern_cf(sized_site, benchmark):
+    _, site = sized_site
+    benchmark(figure2_collaborative_filtering, site.graph, JOHN,
+              sim_threshold=0.1)

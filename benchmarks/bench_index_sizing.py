@@ -1,0 +1,89 @@
+"""Experiment S62a — the §6.2 index-size analysis (the "~1 TB" estimate).
+
+Prints (a) the analytic paper-scale model reproducing the 1 TB number,
+(b) measured entry counts of the concrete index structures at 1/500 scale,
+and (c) the compression each clustering strategy buys.  Timed rows build
+each index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.indexing import (
+    ClusteredIndex,
+    ExactUserIndex,
+    GlobalPopularityIndex,
+    SizingScenario,
+    behavior_clustering,
+    network_clustering,
+    paper_scale_estimate,
+)
+
+THETA = 0.3
+
+
+def test_paper_scale_estimate(report, benchmark):
+    estimate = benchmark(paper_scale_estimate)
+    scaled = paper_scale_estimate(SizingScenario(
+        num_users=200, num_items=500, num_tags=40,
+        tags_per_item=4.0, tagger_fraction=0.05,
+    ))
+    report(
+        "",
+        "=== §6.2 index sizing ===",
+        ("paper scale (100k users, 1M items, 1k tags, 20 tags/item from 5% "
+         "of users):"),
+        (f"  analytic entries = {estimate.entries:.3e}  ->  "
+         f"{estimate.terabytes:.2f} TB at 10 B/entry   (paper: ~1 TB)"),
+        (f"bench scale analytic entries = {scaled.entries:.3e} "
+         f"({scaled.gigabytes*1000:.1f} MB)"),
+    )
+    assert estimate.terabytes == pytest.approx(1.0)
+
+
+def test_measured_sizes(tagging_data, report, benchmark):
+    exact = benchmark.pedantic(
+        lambda: ExactUserIndex(tagging_data).report(), rounds=1, iterations=1
+    )
+    global_ = GlobalPopularityIndex(tagging_data).report()
+    rows = [
+        ("exact per-(tag,user)", exact.entries, exact.lists, 1.0),
+        ("global per-tag", global_.entries, global_.lists,
+         exact.entries / max(global_.entries, 1)),
+    ]
+    for name, make, theta in (
+        ("network θ=0.2", network_clustering, 0.2),
+        ("behavior θ=0.1", behavior_clustering, 0.1),
+    ):
+        clustering = make(tagging_data, theta)
+        rep = ClusteredIndex(tagging_data, clustering).report()
+        rows.append((f"clustered {name} ({clustering.num_clusters} clusters)",
+                     rep.entries, rep.lists,
+                     exact.entries / max(rep.entries, 1)))
+    lines = [
+        "",
+        "measured index sizes (200 users / 500 items / 40 tags):",
+        f"  {'structure':<44}{'entries':>9}{'lists':>7}{'x smaller':>10}",
+    ]
+    for name, entries, lists, ratio in rows:
+        lines.append(f"  {name:<44}{entries:>9}{lists:>7}{ratio:>10.2f}")
+    report(*lines)
+
+    exact_entries = rows[0][1]
+    for name, entries, _, _ in rows[1:]:
+        assert entries <= exact_entries  # every alternative is smaller
+
+
+def test_build_exact_index(tagging_data, benchmark):
+    benchmark(ExactUserIndex, tagging_data)
+
+
+def test_build_network_clustered_index(tagging_data, benchmark):
+    clustering = network_clustering(tagging_data, THETA)
+    benchmark(ClusteredIndex, tagging_data, clustering)
+
+
+def test_build_behavior_clustered_index(tagging_data, benchmark):
+    clustering = behavior_clustering(tagging_data, THETA)
+    benchmark(ClusteredIndex, tagging_data, clustering)

@@ -1,0 +1,83 @@
+"""Experiment T1 — regenerate Table 1 (query-class mix of Y!Travel queries).
+
+Paper numbers (10M real queries):
+
+                 general   categorical   specific
+  with locations  32.36%       22.52%      8.37%
+  w/o  locations  21.38%        5.34%         —
+  (~10% unclassified)
+
+We generate 200k synthetic queries from the documented substitution model
+and push them through the *classifier* (which never sees the generator's
+labels); the printed grid should match the paper's within sampling noise.
+The timed row is classifier throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import QueryClassifier
+from repro.workloads import QueryWorkloadGenerator, table1_counts
+
+N_QUERIES = 200_000
+
+
+@pytest.fixture(scope="module")
+def query_texts():
+    generator = QueryWorkloadGenerator(seed=20090104)  # CIDR'09 started Jan 4
+    return [q.text for q in generator.generate(N_QUERIES)]
+
+
+def test_table1_grid(query_texts, report, benchmark):
+    classifier = QueryClassifier()
+
+    def classify_all():
+        return [classifier.classify(t).label for t in query_texts]
+
+    labels = benchmark.pedantic(classify_all, rounds=1, iterations=1)
+    grid = table1_counts(labels)
+
+    paper = {
+        ("with", "general"): 32.36, ("with", "categorical"): 22.52,
+        ("with", "specific"): 8.37,
+        ("without", "general"): 21.38, ("without", "categorical"): 5.34,
+    }
+    report(
+        "",
+        f"=== Table 1: classification of {N_QUERIES:,} synthetic queries ===",
+        f"{'':<16}{'general':>12}{'categorical':>14}{'specific':>12}",
+        (f"{'with locations':<16}"
+         f"{grid['with']['general']*100:>11.2f}%"
+         f"{grid['with']['categorical']*100:>13.2f}%"
+         f"{grid['with']['specific']*100:>11.2f}%"),
+        (f"{'w/o locations':<16}"
+         f"{grid['without']['general']*100:>11.2f}%"
+         f"{grid['without']['categorical']*100:>13.2f}%"
+         f"{'—':>12}"),
+        f"unclassified: {grid['unclassified']*100:.2f}%  (paper: ~10%)",
+        (f"paper grid:     {paper[('with','general')]:>10.2f}%"
+         f"{paper[('with','categorical')]:>13.2f}%"
+         f"{paper[('with','specific')]:>11.2f}%"),
+        (f"                {paper[('without','general')]:>10.2f}%"
+         f"{paper[('without','categorical')]:>13.2f}%"),
+    )
+
+    # Shape assertions: the reproduced grid matches the paper's.
+    assert grid["with"]["general"] == pytest.approx(0.3236, abs=0.02)
+    assert grid["with"]["categorical"] == pytest.approx(0.2252, abs=0.02)
+    assert grid["with"]["specific"] == pytest.approx(0.0837, abs=0.015)
+    assert grid["without"]["general"] == pytest.approx(0.2138, abs=0.02)
+    assert grid["without"]["categorical"] == pytest.approx(0.0534, abs=0.015)
+    assert grid["unclassified"] == pytest.approx(0.10, abs=0.03)
+
+
+def test_classifier_throughput(query_texts, benchmark):
+    classifier = QueryClassifier()
+    sample = query_texts[:5000]
+
+    def classify_sample():
+        for text in sample:
+            classifier.classify(text)
+
+    benchmark(classify_sample)

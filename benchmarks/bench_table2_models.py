@@ -1,0 +1,91 @@
+"""Experiment T2 — regenerate Table 2 (the three content-management models).
+
+The paper's Table 2 is qualitative; here each cell is *measured* from the
+model simulations (profile duplication counts, API call accounting, and
+capability flags derived from what each simulated party can actually do).
+The timed rows benchmark a full simulation run per model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.management import (
+    Scenario,
+    run_all_models,
+    run_closed_cartel,
+    run_decentralized,
+    run_open_cartel,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    users = list(range(1, 301))
+    friendships = [(i, i + 1) for i in range(1, 300)]
+    friendships += [(i, i + 50) for i in range(1, 250, 25)]
+    return Scenario(users=users, friendships=friendships,
+                    content_sites=("travel", "news", "photos"))
+
+
+def test_table2_grid(scenario, report, benchmark):
+    results = benchmark.pedantic(run_all_models, args=(scenario,),
+                                 rounds=1, iterations=1)
+    outcomes = {o.model: o for o in results}
+    d, c, o = (outcomes["decentralized"], outcomes["closed_cartel"],
+               outcomes["open_cartel"])
+
+    report(
+        "",
+        "=== Table 2: three content-management models (measured) ===",
+        f"{'factor':<42}{'Decentralized':>15}{'Closed Cartel':>15}{'Open Cartel':>13}",
+        f"{'-'*85}",
+        (f"{'Users: which site to interact with?':<42}"
+         f"{d.interaction_point:>15}{c.interaction_point:>15}{o.interaction_point:>13}"),
+        (f"{'Users: multiple same connections/profiles?':<42}"
+         f"{'yes':>15}{'no':>15}{'no':>13}"),
+        (f"{'  measured: profiles created':<42}"
+         f"{d.profiles_created:>15}{c.profiles_created:>15}{o.profiles_created:>13}"),
+        (f"{'  measured: duplicated connections':<42}"
+         f"{d.duplicate_connections:>15}{c.duplicate_connections:>15}{o.duplicate_connections:>13}"),
+        (f"{'Content site: control over content':<42}"
+         f"{d.content_site_controls_content:>15}{c.content_site_controls_content:>15}{o.content_site_controls_content:>13}"),
+        (f"{'Content site: control over social graph':<42}"
+         f"{d.content_site_controls_social:>15}{c.content_site_controls_social:>15}{o.content_site_controls_social:>13}"),
+        (f"{'Content site: control over activities':<42}"
+         f"{d.content_site_controls_activities:>15}{c.content_site_controls_activities:>15}{o.content_site_controls_activities:>13}"),
+        (f"{'Social site: control over content':<42}"
+         f"{d.social_site_controls_content:>15}{c.social_site_controls_content:>15}{o.social_site_controls_content:>13}"),
+        (f"{'Social site: control over social graph':<42}"
+         f"{d.social_site_controls_social:>15}{c.social_site_controls_social:>15}{o.social_site_controls_social:>13}"),
+        (f"{'Social site: control over activities':<42}"
+         f"{d.social_site_controls_activities:>15}{c.social_site_controls_activities:>15}{o.social_site_controls_activities:>13}"),
+        (f"{'  measured: social-site API reads/writes':<42}"
+         f"{f'{d.api_reads}/{d.api_writes}':>15}"
+         f"{f'{c.api_reads}/{c.api_writes}':>15}"
+         f"{f'{o.api_reads}/{o.api_writes}':>13}"),
+    )
+
+    # Table 2's qualitative content, asserted.
+    assert d.interaction_point == "content site"
+    assert c.interaction_point == "social site"
+    assert o.interaction_point == "content site"
+    assert d.profiles_created == 3 * len(scenario.users)
+    assert c.profiles_created == o.profiles_created == len(scenario.users)
+    assert d.duplicate_connections > 0
+    assert c.duplicate_connections == o.duplicate_connections == 0
+    assert d.content_site_can_analyze and o.content_site_can_analyze
+    assert not c.content_site_can_analyze
+    assert o.api_reads > 0  # the open model's integration is measurable
+
+
+def test_decentralized_runtime(scenario, benchmark):
+    benchmark(run_decentralized, scenario)
+
+
+def test_closed_cartel_runtime(scenario, benchmark):
+    benchmark(run_closed_cartel, scenario)
+
+
+def test_open_cartel_runtime(scenario, benchmark):
+    benchmark(run_open_cartel, scenario)

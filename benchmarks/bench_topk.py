@@ -1,0 +1,103 @@
+"""Experiment S62c — top-k pruning with score upper bounds (Fagin [16]).
+
+Compares brute force, TA and NRA over the exact per-(tag,user) lists:
+result agreement (score sequences) plus the access counts that justify
+"storing scores ... enables top-k pruning".
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.indexing import (
+    ExactUserIndex,
+    brute_force,
+    g_sum,
+    no_random_access,
+    threshold_algorithm,
+)
+
+K_VALUES = (5, 10, 20)
+N_QUERIES = 50
+
+
+@pytest.fixture(scope="module")
+def setup(tagging_data):
+    index = ExactUserIndex(tagging_data)
+    rng = random.Random(7)
+    queries = []
+    for _ in range(N_QUERIES):
+        user = rng.choice(tagging_data.users)
+        keywords = rng.sample(tagging_data.tag_vocab, k=2)
+        lists = [index.lists.get((kw, user), []) for kw in keywords]
+        maps = [dict(entries) for entries in lists]
+        queries.append((lists, maps))
+    return index, queries
+
+
+def _ra_for(maps):
+    def random_access(item, list_index):
+        return maps[list_index].get(item, 0.0)
+
+    return random_access
+
+
+def test_agreement_and_access_counts(setup, report, benchmark):
+    _, queries = setup
+    benchmark.pedantic(
+        lambda: [threshold_algorithm(l, _ra_for(m), 10, g_sum)
+                 for l, m in queries],
+        rounds=1, iterations=1,
+    )
+    lines = ["", "=== top-k pruning: brute force vs TA vs NRA ==="]
+    for k in K_VALUES:
+        bf_acc = ta_acc = nra_acc = 0
+        for lists, maps in queries:
+            bf, bf_stats = brute_force(lists, k, g_sum)
+            ta, ta_stats = threshold_algorithm(lists, _ra_for(maps), k, g_sum)
+            nra, nra_stats = no_random_access(lists, k, g_sum)
+            assert [s for _, s in ta] == [s for _, s in bf]
+            bf_acc += bf_stats.total_accesses()
+            ta_acc += ta_stats.total_accesses()
+            nra_acc += nra_stats.total_accesses()
+        lines.append(
+            f"  k={k:<3} mean accesses/query: brute={bf_acc/len(queries):7.1f}"
+            f"  TA={ta_acc/len(queries):7.1f}"
+            f"  NRA={nra_acc/len(queries):7.1f}"
+        )
+    report(*lines)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_brute_force_latency(setup, benchmark, k):
+    _, queries = setup
+
+    def run():
+        for lists, _ in queries:
+            brute_force(lists, k, g_sum)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_ta_latency(setup, benchmark, k):
+    _, queries = setup
+
+    def run():
+        for lists, maps in queries:
+            threshold_algorithm(lists, _ra_for(maps), k, g_sum)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_nra_latency(setup, benchmark, k):
+    _, queries = setup
+
+    def run():
+        for lists, _ in queries:
+            no_random_access(lists, k, g_sum)
+
+    benchmark(run)

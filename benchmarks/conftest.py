@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench prints the paper-style table it regenerates (via the ``report``
+fixture, which bypasses pytest's output capture so the tables land in
+``bench_output.txt``) and uses pytest-benchmark for the timing rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.indexing import TaggingData
+from repro.workloads import (
+    TaggingSiteConfig,
+    TravelSiteConfig,
+    build_tagging_site,
+    build_travel_site,
+)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print lines straight to the terminal, bypassing capture."""
+
+    def _print(*lines: object) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _print
+
+
+@pytest.fixture(scope="session")
+def travel_site():
+    """The shared Y!Travel-like site (personas included)."""
+    return build_travel_site(TravelSiteConfig(seed=42))
+
+
+@pytest.fixture(scope="session")
+def tagging_data():
+    """The shared §6.2 tagging workload, pre-extracted."""
+    site = build_tagging_site(
+        TaggingSiteConfig(num_users=200, num_items=500, num_tags=40, seed=11)
+    )
+    return TaggingData.from_graph(site.graph)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: build a small social content graph, run the algebra, search.
+
+Walks the three things a new user of the library does first:
+
+1. build a :class:`SocialContentGraph` by hand;
+2. manipulate it with the paper's algebra operators;
+3. stand up the full three-layer stack and run a query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SocialScope
+from repro.core import (
+    Condition,
+    Link,
+    Node,
+    SocialContentGraph,
+    aggregate_nodes,
+    count,
+    select_links,
+    select_nodes,
+    semi_join,
+)
+
+# ---------------------------------------------------------------------------
+# 1. Build a graph: two travelers, three destinations, some activity.
+# ---------------------------------------------------------------------------
+graph = SocialContentGraph()
+graph.add_node(Node(1, type="user, traveler", name="John"))
+graph.add_node(Node(2, type="user", name="Ann"))
+graph.add_node(Node("coors", type="item, destination",
+                    name="Coors Field", keywords="denver baseball stadium"))
+graph.add_node(Node("museum", type="item, destination",
+                    name="Ballpark Museum", keywords="denver baseball museum"))
+graph.add_node(Node("aquarium", type="item, destination",
+                    name="Downtown Aquarium", keywords="denver family aquarium"))
+
+graph.add_link(Link("f1", 1, 2, type="connect, friend"))
+graph.add_link(Link("f2", 2, 1, type="connect, friend"))
+graph.add_link(Link("v1", 1, "coors", type="act, visit"))
+graph.add_link(Link("v2", 2, "coors", type="act, visit"))
+graph.add_link(Link("v3", 2, "museum", type="act, visit"))
+graph.add_link(Link("t1", 2, "museum", type="act, tag",
+                    tags="baseball history"))
+
+print(f"graph: {graph}")
+
+# ---------------------------------------------------------------------------
+# 2. The algebra (paper §5).
+# ---------------------------------------------------------------------------
+# Node Selection with keywords attaches relevance scores (Definition 1):
+baseball = select_nodes(
+    graph, Condition({"type": "destination"}, keywords="denver baseball")
+)
+print("\nσN(destinations, 'denver baseball'):")
+for node in sorted(baseball.nodes(), key=lambda n: -(n.score or 0)):
+    print(f"  {node.value('name')}: score={node.score:.3f}")
+
+# Semi-join against a null graph filters links by endpoint (Definition 6):
+anns_acts = select_links(
+    semi_join(graph, select_nodes(graph, {"id": 2}), ("src", "src")),
+    {"type": "act"},
+)
+print(f"\nAnn's activities: {[l.id for l in anns_acts.links()]}")
+
+# Node aggregation counts friends into an attribute (Definition 9):
+with_counts = aggregate_nodes(graph, {"type": "friend"}, "src",
+                              "fnd_cnt", count())
+print(f"John's friend count: {with_counts.node(1).value('fnd_cnt')}")
+
+# ---------------------------------------------------------------------------
+# 3. The full stack (Figure 1): query -> MSG -> organized result page.
+# ---------------------------------------------------------------------------
+scope = SocialScope.from_graph(graph)
+page = scope.search(user_id=1, query="denver baseball")
+
+print("\nsearch(John, 'denver baseball'):")
+print(f"  grouping dimension chosen: {page.chosen_dimension}")
+for group in page.groups:
+    print(f"  [{group.label}]")
+    for entry in group.entries:
+        print(f"    {entry.name}  score={entry.score:.3f}")
+        if entry.explanation.aggregate_text:
+            print(f"      ({entry.explanation.aggregate_text})")

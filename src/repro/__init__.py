@@ -1,0 +1,82 @@
+"""repro — a full reproduction of *SocialScope: Enabling Information
+Discovery on Social Content Sites* (Amer-Yahia, Lakshmanan, Yu; CIDR 2009).
+
+The library implements the paper's three-layer architecture end to end:
+
+* :mod:`repro.core` — the social content graph model and the paper's
+  algebra (selections, set operators, composition, semi-join, SAF/NAF
+  aggregation, graph-pattern aggregation, plans + optimizer);
+* :mod:`repro.analysis` — the Content Analyzer (LDA topics, association
+  rules, derived similarity links);
+* :mod:`repro.discovery` — the Information Discoverer (query model and
+  classifier, semantic + social relevance, Meaningful Social Graphs);
+* :mod:`repro.management` — the Content Management layer (storage,
+  OpenSocial-style integration, the three management models, activity-driven
+  sync);
+* :mod:`repro.indexing` — §6.2's network-aware inverted indexes, user
+  clustering strategies and top-k pruning;
+* :mod:`repro.presentation` — §7's grouping, ranking and explanations;
+* :mod:`repro.workloads` — synthetic social-content-site workloads
+  (Y!Travel-like, del.icio.us-like) and the Table 1 query generator;
+* :class:`repro.socialscope.SocialScope` — the facade wiring the layers
+  together (Figure 1).
+
+Quickstart::
+
+    from repro import SocialScope
+    from repro.workloads import TravelSiteConfig, build_travel_site
+
+    site = build_travel_site(TravelSiteConfig(seed=42))
+    scope = SocialScope.from_graph(site.graph)
+    page = scope.search(user_id=site.personas["john"], query="Denver attractions")
+    for group in page.groups:
+        print(group.label, [r.item_id for r in group.results])
+"""
+
+from repro.core import (
+    Condition,
+    Link,
+    Node,
+    SocialContentGraph,
+    aggregate_links,
+    aggregate_nodes,
+    compose,
+    intersection,
+    link_minus,
+    minus,
+    select_links,
+    select_nodes,
+    semi_join,
+    union,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Node",
+    "Link",
+    "SocialContentGraph",
+    "Condition",
+    "select_nodes",
+    "select_links",
+    "union",
+    "intersection",
+    "minus",
+    "link_minus",
+    "semi_join",
+    "compose",
+    "aggregate_nodes",
+    "aggregate_links",
+    "SocialScope",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy import: the facade pulls in every layer; keep `import repro`
+    # cheap for users who only need the algebra.
+    if name == "SocialScope":
+        from repro.socialscope import SocialScope
+
+        return SocialScope
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

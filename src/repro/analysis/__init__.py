@@ -1,0 +1,33 @@
+"""The Content Analyzer half of the Information Discovery layer (§3, §5).
+
+Offline analyses that enrich the social content graph with derived nodes
+and links: LDA topics, association rules, user/item similarity.
+"""
+
+from repro.analysis.analyzer import AnalysisRun, ContentAnalyzer
+from repro.analysis.association import (
+    Rule,
+    frequent_itemsets,
+    mine_rules,
+    transactions_from_graph,
+)
+from repro.analysis.lda import LdaModel, fit_lda
+from repro.analysis.similarity import (
+    cosine,
+    item_similarity_links,
+    items_of_users,
+    jaccard,
+    network_of_users,
+    taggers_of_items,
+    user_similarity_links,
+)
+from repro.analysis.topics import TopicDerivation, derive_topics, item_documents
+
+__all__ = [
+    "ContentAnalyzer", "AnalysisRun",
+    "fit_lda", "LdaModel",
+    "frequent_itemsets", "mine_rules", "Rule", "transactions_from_graph",
+    "jaccard", "cosine", "items_of_users", "network_of_users",
+    "taggers_of_items", "user_similarity_links", "item_similarity_links",
+    "derive_topics", "TopicDerivation", "item_documents",
+]

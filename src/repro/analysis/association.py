@@ -1,0 +1,145 @@
+"""Association rule mining (Apriori) over user activity transactions.
+
+The Content Analyzer's second cited technique is "association rule mining
+[3]" (Agrawal, Imielinski & Swami 1993).  We implement classic Apriori:
+level-wise frequent-itemset mining with the anti-monotone support prune,
+followed by confidence-filtered rule generation.  On a social content site
+a *transaction* is typically the set of items a user has acted on — rules
+like ``{coors_field} ⇒ {ballpark_museum}`` become derived ``match`` links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Iterable, Sequence
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An association rule antecedent ⇒ consequent with its statistics."""
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: float
+    confidence: float
+    lift: float
+
+    def __repr__(self) -> str:
+        lhs = ",".join(map(str, sorted(self.antecedent, key=repr)))
+        rhs = ",".join(map(str, sorted(self.consequent, key=repr)))
+        return (
+            f"{{{lhs}}} => {{{rhs}}} "
+            f"(sup={self.support:.3f}, conf={self.confidence:.3f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def frequent_itemsets(
+    transactions: Sequence[Iterable[Item]],
+    min_support: float = 0.1,
+    max_size: int = 3,
+) -> dict[frozenset, float]:
+    """Level-wise Apriori frequent-itemset mining.
+
+    Returns itemset -> support (fraction of transactions containing it).
+    ``max_size`` bounds the level loop; social-site rules rarely need more
+    than 3-item sets and the bound keeps worst cases polynomial.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    baskets = [frozenset(t) for t in transactions]
+    n = len(baskets)
+    if n == 0:
+        return {}
+
+    # L1
+    counts: dict[frozenset, int] = {}
+    for basket in baskets:
+        for item in basket:
+            key = frozenset((item,))
+            counts[key] = counts.get(key, 0) + 1
+    threshold = min_support * n
+    frequent: dict[frozenset, float] = {
+        k: c / n for k, c in counts.items() if c >= threshold
+    }
+    current = [k for k in frequent if len(k) == 1]
+
+    size = 2
+    while current and size <= max_size:
+        # Candidate generation: join step + anti-monotone prune.
+        singles = sorted({item for s in current for item in s}, key=repr)
+        prev = set(current)
+        candidates = []
+        for itemset in current:
+            for item in singles:
+                if item in itemset:
+                    continue
+                candidate = itemset | {item}
+                if len(candidate) != size:
+                    continue
+                # every (size-1)-subset must be frequent
+                if all(frozenset(sub) in prev
+                       for sub in combinations(candidate, size - 1)):
+                    candidates.append(candidate)
+        candidates = list(dict.fromkeys(candidates))
+        if not candidates:
+            break
+        level_counts = {c: 0 for c in candidates}
+        for basket in baskets:
+            for candidate in candidates:
+                if candidate <= basket:
+                    level_counts[candidate] += 1
+        current = []
+        for candidate, count in level_counts.items():
+            if count >= threshold:
+                frequent[candidate] = count / n
+                current.append(candidate)
+        size += 1
+    return frequent
+
+
+def mine_rules(
+    transactions: Sequence[Iterable[Item]],
+    min_support: float = 0.1,
+    min_confidence: float = 0.5,
+    max_size: int = 3,
+) -> list[Rule]:
+    """Apriori rule generation: frequent itemsets → confident rules.
+
+    Rules are sorted by (confidence, support) descending for deterministic
+    downstream consumption.
+    """
+    frequent = frequent_itemsets(transactions, min_support, max_size)
+    rules: list[Rule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for r in range(1, len(itemset)):
+            for antecedent in combinations(sorted(itemset, key=repr), r):
+                lhs = frozenset(antecedent)
+                rhs = itemset - lhs
+                lhs_support = frequent.get(lhs)
+                rhs_support = frequent.get(rhs)
+                if lhs_support is None or rhs_support is None:
+                    continue
+                confidence = support / lhs_support
+                if confidence < min_confidence:
+                    continue
+                lift = confidence / rhs_support if rhs_support else 0.0
+                rules.append(Rule(lhs, rhs, support, confidence, lift))
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support,
+                                 repr(sorted(rule.antecedent, key=repr))))
+    return rules
+
+
+def transactions_from_graph(graph, act_type: str = "act") -> list[frozenset]:
+    """Build per-user transactions (item sets) from activity links."""
+    per_user: dict = {}
+    for link in graph.links():
+        if link.has_type(act_type):
+            per_user.setdefault(link.src, set()).add(link.tgt)
+    return [frozenset(items) for _, items in
+            sorted(per_user.items(), key=lambda kv: repr(kv[0]))]

@@ -1,0 +1,144 @@
+"""The SocialScope social content algebra (paper §§4-5).
+
+This subpackage is the paper's primary contribution: a logical algebra whose
+operators take social content graphs in and produce social content graphs
+out, closing the loop for declarative analysis and discovery pipelines.
+
+Quick map (paper → code):
+
+=========================  ==========================================
+Definition 1 / 2           :func:`select_nodes` / :func:`select_links`
+Definition 3               :func:`union`, :func:`intersection`, :func:`minus`
+Definition 4 + Lemma 1     :func:`link_minus`, :func:`link_minus_via_semijoin`
+Definition 5 (class CF)    :func:`compose` (+ :mod:`repro.core.composition` helpers)
+Definition 6               :func:`semi_join`, :func:`anti_semi_join`
+Definitions 7-8 (SAF/NAF)  :mod:`repro.core.aggfuncs`
+Definitions 9-10           :func:`aggregate_nodes`, :func:`aggregate_links`
+Figure 2 patterns          :mod:`repro.core.patterns`
+Examples 4-5               :mod:`repro.core.recipes`
+Expression plans           :mod:`repro.core.expr`, :mod:`repro.core.optimizer`
+=========================  ==========================================
+"""
+
+from repro.core.aggfuncs import (
+    AttrMap,
+    ConstAgg,
+    First,
+    Max,
+    Min,
+    Naf,
+    NumericAgg,
+    One,
+    Prod,
+    SetAgg,
+    Sum,
+    Zero,
+    Attr,
+    average,
+    count,
+    total,
+)
+from repro.core.aggregation import aggregate_links, aggregate_nodes
+from repro.core.attrs import SCORE_ATTR, TYPE_ATTR
+from repro.core.catalog import DEFAULT_CATALOG, TypeCatalog
+from repro.core.composition import (
+    CarryScore,
+    CompositionContext,
+    CopyAttrs,
+    JaccardOnNodeSets,
+    compose,
+)
+from repro.core.conditions import (
+    And,
+    AttrCompare,
+    AttrEquals,
+    Condition,
+    HasAttr,
+    HasType,
+    Lambda,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    as_condition,
+)
+from repro.core.expr import input_graph, literal
+from repro.core.graph import Id, Link, Node, SocialContentGraph, graph_from_edges
+from repro.core.optimizer import decompose_pattern_aggregation, optimize
+from repro.core.patterns import (
+    PathLinkAvg,
+    PathLinkSum,
+    PathCount,
+    PathMatch,
+    PathPattern,
+    Step,
+    aggregate_pattern,
+    figure2_pattern,
+    find_paths,
+)
+from repro.core.recipes import (
+    example4_search,
+    example5_collaborative_filtering,
+    figure2_collaborative_filtering,
+    recommendations_from,
+)
+from repro.core.scoring import (
+    AttributeScorer,
+    CombinedScorer,
+    ConstantScorer,
+    DefaultKeywordScorer,
+    TfIdfScorer,
+)
+from repro.core.selection import select_links, select_nodes
+from repro.core.serialize import (
+    dump_json,
+    dump_jsonl,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    load_jsonl,
+)
+from repro.core.semijoin import anti_semi_join, semi_join
+from repro.core.setops import (
+    intersection,
+    link_minus,
+    link_minus_via_semijoin,
+    minus,
+    symmetric_difference,
+    union,
+)
+from repro.core.stats import GraphStats
+
+__all__ = [
+    # graph model
+    "Node", "Link", "SocialContentGraph", "Id", "graph_from_edges",
+    "TYPE_ATTR", "SCORE_ATTR", "TypeCatalog", "DEFAULT_CATALOG",
+    # conditions & scoring
+    "Condition", "Predicate", "TruePredicate", "AttrEquals", "AttrCompare",
+    "HasAttr", "HasType", "Lambda", "And", "Or", "Not", "as_condition",
+    "DefaultKeywordScorer", "TfIdfScorer", "ConstantScorer",
+    "AttributeScorer", "CombinedScorer",
+    # operators
+    "select_nodes", "select_links",
+    "union", "intersection", "minus", "link_minus",
+    "link_minus_via_semijoin", "symmetric_difference",
+    "semi_join", "anti_semi_join", "compose",
+    "aggregate_nodes", "aggregate_links",
+    # composition functions
+    "CompositionContext", "CopyAttrs", "JaccardOnNodeSets", "CarryScore",
+    # aggregation functions
+    "SetAgg", "Naf", "Zero", "One", "Attr", "Sum", "Prod", "NumericAgg",
+    "count", "total", "average", "Min", "Max", "First", "ConstAgg", "AttrMap",
+    # patterns
+    "PathPattern", "Step", "PathMatch", "find_paths", "aggregate_pattern",
+    "PathLinkAvg", "PathLinkSum", "PathCount", "figure2_pattern",
+    # recipes
+    "example4_search", "example5_collaborative_filtering",
+    "figure2_collaborative_filtering", "recommendations_from",
+    # plans
+    "input_graph", "literal", "optimize", "decompose_pattern_aggregation",
+    "GraphStats",
+    # serialization
+    "graph_to_dict", "graph_from_dict",
+    "dump_json", "load_json", "dump_jsonl", "load_jsonl",
+]

@@ -1,0 +1,418 @@
+"""Aggregate-function classes SAF and NAF (paper §5.4, Definitions 7-8).
+
+Definition 7 (Set Aggregate Functions, SAF)::
+
+    A is in SAF iff it is of the form {$x | ℓ ∈ L & ℓ.att = $x}
+
+i.e. it extracts the values of an attribute from every link in the input set
+and forms the output set of scalars.  :class:`SetAgg` realises this.
+
+Definition 8 (Numerical Aggregate Functions, NAF) builds an inductive class:
+
+* the arithmetic operations +, −, ×, ÷;
+* the constant functions **0** and **1**;
+* summation Σ_{x∈X} f(x) and product Π_{x∈X} f(x) for f ∈ NAF;
+* closure under composition.
+
+:class:`Naf` and its combinators mirror that construction literally, so
+``COUNT(X) ::= Σ_{x∈X} 1(x)`` is written ``Sum(One())`` — exactly the
+paper's definition.  SUM/AVG are likewise built compositionally; MIN/MAX
+(whose NAF construction the paper says is "omitted for clarity") are
+provided as direct members of the union class AF.
+
+Aggregation operators accept anything in **AF = SAF ∪ NAF** plus two
+pragmatic extensions used by the paper's own Example 5:
+
+* :class:`First` — "retains the value of sim from any of the input links";
+* :class:`AttrMap` — an A that returns a *mapping* of several destination
+  attributes at once ("assigns the constant string value 'match' to the
+  destination attribute type and retains the value of sim").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Mapping, Sequence, Union
+
+from repro.core.graph import Link
+from repro.errors import AggregationError
+
+#: What an aggregation function may return: a scalar, a set of scalars
+#: (stored as a multi-valued attribute), or a mapping of attributes.
+AggResult = Union[float, int, str, bool, tuple, Mapping[str, Any]]
+
+
+class AggregateFunction:
+    """Base class for everything in AF: callable on a sequence of links."""
+
+    def __call__(self, links: Sequence[Link]) -> AggResult:
+        raise NotImplementedError
+
+
+def link_values(link: Link, att: str) -> tuple:
+    """Values of *att* on a link, treating ``src``/``tgt``/``id`` as
+    pseudo-attributes.
+
+    Example 5 step 2 "collects the set of destinations that John has
+    visited" — i.e. the *targets* of his visit links — so aggregate
+    functions must be able to reach a link's endpoints, not just its
+    stored attributes.
+    """
+    if att == "src":
+        return (link.src,)
+    if att == "tgt":
+        return (link.tgt,)
+    if att == "id":
+        return (link.id,)
+    return link.values(att)
+
+
+# ---------------------------------------------------------------------------
+# SAF — Definition 7
+# ---------------------------------------------------------------------------
+
+
+class SetAgg(AggregateFunction):
+    """``{$x | ℓ ∈ L & ℓ.att = $x}`` — collect distinct attribute values.
+
+    Multi-valued attributes bind ``$x`` to one value at a time, per the
+    paper's variable-binding convention.  The output is a deterministic
+    (sorted) tuple so that repeated aggregation runs agree bit-for-bit.
+
+    >>> # the set of all distinct tags assigned by a user
+    >>> tags_used = SetAgg('tags')
+    """
+
+    def __init__(self, att: str):
+        self.att = att
+
+    def __call__(self, links: Sequence[Link]) -> tuple:
+        values = {value for link in links for value in link_values(link, self.att)}
+        return tuple(sorted(values, key=repr))
+
+    def __repr__(self) -> str:
+        return f"SetAgg({self.att!r})"
+
+
+# ---------------------------------------------------------------------------
+# NAF — Definition 8 (inductive combinators)
+# ---------------------------------------------------------------------------
+
+
+class Naf:
+    """A numerical aggregate expression; maps an input to a float.
+
+    Inputs are either a single link (inside Σ/Π) or a collection of links
+    (at the top level).  Combinators overload ``+ - * /`` so NAF expressions
+    read like the paper's formulas::
+
+        COUNT = Sum(One())
+        AVG   = Sum(Attr('sim_sc')) / Sum(One())
+    """
+
+    def eval(self, x: Any) -> float:
+        raise NotImplementedError
+
+    def __call__(self, x: Any) -> float:
+        return self.eval(x)
+
+    # arithmetic closure -----------------------------------------------------
+
+    def __add__(self, other: "Naf | float") -> "Naf":
+        return BinOp("+", self, _as_naf(other))
+
+    def __sub__(self, other: "Naf | float") -> "Naf":
+        return BinOp("-", self, _as_naf(other))
+
+    def __mul__(self, other: "Naf | float") -> "Naf":
+        return BinOp("*", self, _as_naf(other))
+
+    def __truediv__(self, other: "Naf | float") -> "Naf":
+        return BinOp("/", self, _as_naf(other))
+
+    def __radd__(self, other: float) -> "Naf":
+        return BinOp("+", _as_naf(other), self)
+
+    def __rsub__(self, other: float) -> "Naf":
+        return BinOp("-", _as_naf(other), self)
+
+    def __rmul__(self, other: float) -> "Naf":
+        return BinOp("*", _as_naf(other), self)
+
+    def __rtruediv__(self, other: float) -> "Naf":
+        return BinOp("/", _as_naf(other), self)
+
+    def compose(self, inner: "Naf") -> "Naf":
+        """NAF is closed under composition: ``self ∘ inner``."""
+        return Composed(self, inner)
+
+
+def _as_naf(value: "Naf | float | int") -> Naf:
+    if isinstance(value, Naf):
+        return value
+    return Const(float(value))
+
+
+class Const(Naf):
+    """A constant function.  The paper's base cases are 0 and 1
+    (:class:`Zero`, :class:`One`); arbitrary constants arise anyway from
+    arithmetic closure (e.g. 1+1), so we allow them directly."""
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def eval(self, x: Any) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"{self.value:g}"
+
+
+class Zero(Const):
+    """The constant function 0 (Definition 8)."""
+
+    def __init__(self) -> None:
+        super().__init__(0.0)
+
+
+class One(Const):
+    """The constant function 1 (Definition 8)."""
+
+    def __init__(self) -> None:
+        super().__init__(1.0)
+
+
+class Attr(Naf):
+    """Reads a numeric attribute off a link (the scalar injection).
+
+    Definition 8 quantifies over collections whose elements are fed to
+    NAF functions; for link collections the natural scalarisation is an
+    attribute read.  Missing attributes evaluate to *default*.
+    """
+
+    def __init__(self, att: str, default: float = 0.0):
+        self.att = att
+        self.default = float(default)
+
+    def eval(self, x: Any) -> float:
+        if isinstance(x, Link):
+            values = link_values(x, self.att)
+            if not values:
+                return self.default
+            try:
+                return float(values[0])
+            except (TypeError, ValueError):
+                return self.default
+        if isinstance(x, (int, float)):
+            return float(x)
+        raise AggregationError(f"Attr({self.att!r}) applied to {type(x).__name__}")
+
+    def __repr__(self) -> str:
+        return f"ℓ.{self.att}"
+
+
+class Sum(Naf):
+    """Σ_{x∈X} f(x) — summation over a collection (Definition 8)."""
+
+    def __init__(self, f: Naf):
+        self.f = f
+
+    def eval(self, x: Any) -> float:
+        if not isinstance(x, Iterable):
+            raise AggregationError("Sum expects a collection")
+        return float(sum(self.f.eval(item) for item in x))
+
+    def __repr__(self) -> str:
+        return f"Σ[{self.f!r}]"
+
+
+class Prod(Naf):
+    """Π_{x∈X} f(x) — product over a collection (Definition 8)."""
+
+    def __init__(self, f: Naf):
+        self.f = f
+
+    def eval(self, x: Any) -> float:
+        if not isinstance(x, Iterable):
+            raise AggregationError("Prod expects a collection")
+        result = 1.0
+        for item in x:
+            result *= self.f.eval(item)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Π[{self.f!r}]"
+
+
+class BinOp(Naf):
+    """Pointwise arithmetic on two NAF expressions (closure under + − × ÷).
+
+    Division by zero yields 0.0 — aggregations over empty groups must not
+    blow up (AVG of nothing is conventionally 0 here, and the operators only
+    apply A to non-empty groups anyway).
+    """
+
+    _OPS: dict[str, Callable[[float, float], float]] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b if b != 0 else 0.0,
+    }
+
+    def __init__(self, op: str, left: Naf, right: Naf):
+        if op not in self._OPS:
+            raise AggregationError(f"unknown NAF operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, x: Any) -> float:
+        return self._OPS[self.op](self.left.eval(x), self.right.eval(x))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Composed(Naf):
+    """``outer ∘ inner`` — NAF closure under composition."""
+
+    def __init__(self, outer: Naf, inner: Naf):
+        self.outer = outer
+        self.inner = inner
+
+    def eval(self, x: Any) -> float:
+        return self.outer.eval(self.inner.eval(x))
+
+    def __repr__(self) -> str:
+        return f"({self.outer!r} ∘ {self.inner!r})"
+
+
+class NumericAgg(AggregateFunction):
+    """Adapter lifting a NAF expression into the operator-facing AF class."""
+
+    def __init__(self, expr: Naf):
+        self.expr = expr
+
+    def __call__(self, links: Sequence[Link]) -> float:
+        return self.expr.eval(links)
+
+    def __repr__(self) -> str:
+        return f"NumericAgg({self.expr!r})"
+
+
+# ---------------------------------------------------------------------------
+# Derived aggregates (the paper's COUNT construction and friends)
+# ---------------------------------------------------------------------------
+
+
+def count() -> NumericAgg:
+    """``COUNT(X) ::= Σ_{x∈X} 1(x)`` — the paper's literal construction."""
+    return NumericAgg(Sum(One()))
+
+
+def total(att: str) -> NumericAgg:
+    """SUM over a numeric link attribute: Σ ℓ.att."""
+    return NumericAgg(Sum(Attr(att)))
+
+
+def average(att: str) -> NumericAgg:
+    """AVERAGE over a numeric link attribute: Σ ℓ.att ÷ Σ 1.
+
+    This is the AVERAGE of Example 5 step 9.
+    """
+    return NumericAgg(Sum(Attr(att)) / Sum(One()))
+
+
+class Min(AggregateFunction):
+    """Minimum of a numeric attribute.  The paper notes MIN/MAX "can also
+    be expressed [in NAF], although the details of the construction is
+    omitted"; we provide them directly as members of AF."""
+
+    def __init__(self, att: str, default: float = 0.0):
+        self.att = att
+        self.default = float(default)
+
+    def __call__(self, links: Sequence[Link]) -> float:
+        values = [
+            float(v)
+            for link in links
+            for v in link.values(self.att)
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+        return min(values) if values else self.default
+
+
+class Max(AggregateFunction):
+    """Maximum of a numeric attribute (see :class:`Min`)."""
+
+    def __init__(self, att: str, default: float = 0.0):
+        self.att = att
+        self.default = float(default)
+
+    def __call__(self, links: Sequence[Link]) -> float:
+        values = [
+            float(v)
+            for link in links
+            for v in link.values(self.att)
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+        return max(values) if values else self.default
+
+
+class First(AggregateFunction):
+    """"Retains the value ... from any of the input links" (Example 5 step 6).
+
+    Deterministic: returns the attribute of the link with the smallest
+    ``repr``-ordered id.  The paper remarks this is well defined because all
+    links in the group carry the same value; we do not verify that, matching
+    the paper's semantics.
+    """
+
+    def __init__(self, att: str, default: Any = None):
+        self.att = att
+        self.default = default
+
+    def __call__(self, links: Sequence[Link]) -> Any:
+        if not links:
+            return self.default
+        chosen = min(links, key=lambda l: repr(l.id))
+        values = link_values(chosen, self.att)
+        return values[0] if values else self.default
+
+
+class ConstAgg(AggregateFunction):
+    """Assigns a constant, e.g. the string 'match' of Example 5 step 6."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __call__(self, links: Sequence[Link]) -> Any:
+        return self.value
+
+
+class AttrMap(AggregateFunction):
+    """Aggregate several destination attributes in one pass.
+
+    ``AttrMap(type=ConstAgg('match'), sim=First('sim'))`` is exactly the
+    paper's A′ from Example 5 step 6: it yields a mapping, and the link
+    aggregation operator merges every entry into the new link.
+    """
+
+    def __init__(self, **parts: AggregateFunction):
+        if not parts:
+            raise AggregationError("AttrMap needs at least one attribute")
+        self.parts = parts
+
+    def __call__(self, links: Sequence[Link]) -> Mapping[str, Any]:
+        return {att: fn(links) for att, fn in self.parts.items()}
+
+
+def as_aggregate(
+    fn: AggregateFunction | Naf | Callable[[Sequence[Link]], AggResult],
+) -> Callable[[Sequence[Link]], AggResult]:
+    """Coerce any AF-like object into a links->result callable."""
+    if isinstance(fn, Naf):
+        return NumericAgg(fn)
+    if callable(fn):
+        return fn
+    raise AggregationError(f"not an aggregation function: {fn!r}")

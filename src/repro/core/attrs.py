@@ -1,0 +1,154 @@
+"""Attribute handling for nodes and links.
+
+SocialScope adopts a *flexible, schema-less* typing system (paper §4): every
+node and link carries a bag of structural attributes, each of which may hold
+**multiple values** (the paper's example is ``type='user, traveler'``).
+
+This module centralises the normalisation rules:
+
+* Every attribute value is stored internally as a ``tuple`` of scalar values
+  (strings, numbers, booleans).  A scalar supplied by the caller becomes a
+  1-tuple; a list/set/tuple is flattened into a tuple preserving order (sets
+  are sorted for determinism).
+* The paper writes multi-valued attributes as comma-separated strings
+  (``type='item, city'``).  :func:`parse_values` accepts that form too.
+* ``type`` is mandatory on nodes and links; helpers here keep that invariant
+  out of the :class:`~repro.core.graph.Node` / ``Link`` classes themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConditionError
+
+#: Name of the mandatory type attribute (paper §4).
+TYPE_ATTR = "type"
+
+#: Name of the conventional score attribute written by scored selections
+#: (paper Defs 1-2 attach ``v.score = S(v)``).
+SCORE_ATTR = "score"
+
+Scalar = str | int | float | bool
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def is_scalar(value: Any) -> bool:
+    """Return True if *value* is an acceptable scalar attribute value."""
+    return isinstance(value, _SCALAR_TYPES)
+
+
+def parse_values(value: Any) -> tuple[Scalar, ...]:
+    """Normalise *value* into the canonical tuple-of-scalars form.
+
+    Accepted inputs:
+
+    * a scalar (``'user'``, ``3``, ``0.5``, ``True``) -> 1-tuple;
+    * a comma-separated string (``'user, traveler'``) -> one value per
+      comma-separated segment, whitespace-stripped (only applied when the
+      string actually contains a comma);
+    * any iterable of scalars -> tuple in iteration order (sets sorted for
+      determinism).
+
+    >>> parse_values('user, traveler')
+    ('user', 'traveler')
+    >>> parse_values(3.5)
+    (3.5,)
+    >>> parse_values(['a', 'b'])
+    ('a', 'b')
+    """
+    if isinstance(value, str):
+        if "," in value:
+            parts = tuple(p.strip() for p in value.split(","))
+            return tuple(p for p in parts if p)
+        return (value,)
+    if is_scalar(value):
+        return (value,)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(value, key=repr))
+    if isinstance(value, Iterable):
+        out: list[Scalar] = []
+        for item in value:
+            if not is_scalar(item):
+                raise ConditionError(
+                    f"attribute values must be scalars, got nested {item!r}"
+                )
+            out.append(item)
+        return tuple(out)
+    raise ConditionError(f"unsupported attribute value: {value!r}")
+
+
+def normalize_attrs(attrs: Mapping[str, Any] | None) -> dict[str, tuple[Scalar, ...]]:
+    """Normalise a caller-supplied attribute mapping.
+
+    Returns a fresh dict whose values are all canonical tuples.  ``None``
+    values are dropped (absent attribute).
+    """
+    if attrs is None:
+        return {}
+    out: dict[str, tuple[Scalar, ...]] = {}
+    for key, value in attrs.items():
+        if value is None:
+            continue
+        if not isinstance(key, str):
+            raise ConditionError(f"attribute names must be strings, got {key!r}")
+        out[key] = parse_values(value)
+    return out
+
+
+def merge_attrs(
+    first: Mapping[str, tuple[Scalar, ...]],
+    second: Mapping[str, tuple[Scalar, ...]],
+) -> dict[str, tuple[Scalar, ...]]:
+    """Consolidate two normalised attribute dicts (paper Def 3).
+
+    Set-theoretic operators consolidate nodes/links *with the same id*; we
+    take the union of attribute names, and for attributes present on both
+    sides we take the union of values, preserving first-side order and
+    appending unseen second-side values.  This keeps consolidation
+    commutative at the set level (same value *sets*) while staying
+    deterministic.
+    """
+    merged = dict(first)
+    for key, values in second.items():
+        if key not in merged:
+            merged[key] = values
+            continue
+        existing = merged[key]
+        seen = set(existing)
+        extra = tuple(v for v in values if v not in seen)
+        if extra:
+            merged[key] = existing + extra
+    return merged
+
+
+def first_value(
+    attrs: Mapping[str, tuple[Scalar, ...]], name: str, default: Any = None
+) -> Any:
+    """Return the first value of attribute *name*, or *default* if absent."""
+    values = attrs.get(name)
+    if not values:
+        return default
+    return values[0]
+
+
+def has_type(attrs: Mapping[str, tuple[Scalar, ...]], type_name: str) -> bool:
+    """Return True if the ``type`` attribute contains *type_name*."""
+    return type_name in attrs.get(TYPE_ATTR, ())
+
+
+def text_of(attrs: Mapping[str, tuple[Scalar, ...]]) -> str:
+    """Concatenate all string-valued attribute values into one text blob.
+
+    Used by default keyword scoring (paper Defs 1-2: "how well its content
+    matches the keywords in C").  Attribute *names* are excluded; only
+    values participate so that e.g. a node with ``name='Denver'`` matches
+    the keyword ``denver``.
+    """
+    parts: list[str] = []
+    for values in attrs.values():
+        for value in values:
+            if isinstance(value, str):
+                parts.append(value)
+    return " ".join(parts)

@@ -1,0 +1,124 @@
+"""The evolving catalog of basic node and link types (paper §4).
+
+    "We also maintain an evolving catalog of basic types, including ``user``,
+    ``item``, ``topic``, ``group`` for nodes and ``connect`` (e.g., friend),
+    ``act`` (e.g., tag, review, click, etc.), ``match``, ``belong`` for
+    links."
+
+The catalog is *advisory*: the typing system is schema-less and new types can
+be created freely (e.g. by content analysis).  The catalog records, for each
+basic type, its kind (node/link) and known refinements, and offers helpers to
+classify arbitrary type tuples into the paper's three overlay sub-graphs
+(activity graph, network graph, topical graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+# ---------------------------------------------------------------------------
+# Basic node types
+# ---------------------------------------------------------------------------
+
+USER = "user"
+ITEM = "item"
+TOPIC = "topic"
+GROUP = "group"
+
+BASIC_NODE_TYPES: frozenset[str] = frozenset({USER, ITEM, TOPIC, GROUP})
+
+# ---------------------------------------------------------------------------
+# Basic link types and their common refinements
+# ---------------------------------------------------------------------------
+
+CONNECT = "connect"  # social connections: friend, contact, classmate...
+ACT = "act"          # activities: tag, review, click, visit, rate, share...
+MATCH = "match"      # derived similarity / matching links
+BELONG = "belong"    # membership links into topics / groups
+
+BASIC_LINK_TYPES: frozenset[str] = frozenset({CONNECT, ACT, MATCH, BELONG})
+
+#: Common refinements seen in the paper's examples.
+DEFAULT_REFINEMENTS: dict[str, frozenset[str]] = {
+    CONNECT: frozenset({"friend", "contact", "classmate", "colleague", "follows"}),
+    ACT: frozenset({"tag", "review", "click", "visit", "rate", "share", "browse"}),
+    MATCH: frozenset({"similar", "sim_user", "sim_item"}),
+    BELONG: frozenset({"member", "topic_of", "category_of", "contains"}),
+}
+
+
+@dataclass
+class TypeCatalog:
+    """Mutable, evolving registry of node/link types.
+
+    The Content Analyzer registers new derived types here (e.g. a freshly
+    mined ``topic`` refinement); the Data Manager consults it to route links
+    into the activity/network/topical overlay views.
+    """
+
+    node_types: set[str] = field(default_factory=lambda: set(BASIC_NODE_TYPES))
+    link_types: set[str] = field(default_factory=lambda: set(BASIC_LINK_TYPES))
+    refinements: dict[str, set[str]] = field(
+        default_factory=lambda: {k: set(v) for k, v in DEFAULT_REFINEMENTS.items()}
+    )
+
+    # -- registration -------------------------------------------------------
+
+    def register_node_type(self, type_name: str) -> None:
+        """Add a new basic node type (idempotent)."""
+        self.node_types.add(type_name)
+
+    def register_link_type(self, type_name: str, base: str | None = None) -> None:
+        """Add a new link type, optionally as a refinement of *base*.
+
+        Registering ``register_link_type('endorse', base='act')`` makes
+        ``endorse`` links participate in the activity overlay graph.
+        """
+        if base is not None:
+            if base not in self.link_types:
+                self.link_types.add(base)
+            self.refinements.setdefault(base, set()).add(type_name)
+        else:
+            self.link_types.add(type_name)
+
+    # -- classification -----------------------------------------------------
+
+    def base_of(self, type_values: Iterable[str]) -> str | None:
+        """Return the basic link type implied by a link's type tuple.
+
+        A link typed ``('act', 'tag')`` is based on ``act``; a link typed
+        just ``('friend',)`` resolves through the refinement table to
+        ``connect``.  Returns ``None`` when nothing matches.
+        """
+        values = set(type_values)
+        for base in values & self.link_types & BASIC_LINK_TYPES:
+            return base
+        for base, refs in self.refinements.items():
+            if values & refs:
+                return base
+        # Custom bases registered without refinement info.
+        for base in values & self.link_types:
+            return base
+        return None
+
+    def is_activity(self, type_values: Iterable[str]) -> bool:
+        """True when the type tuple denotes a user-on-item activity link."""
+        return self.base_of(type_values) == ACT
+
+    def is_connection(self, type_values: Iterable[str]) -> bool:
+        """True when the type tuple denotes a social connection link."""
+        return self.base_of(type_values) == CONNECT
+
+    def is_topical(self, type_values: Iterable[str]) -> bool:
+        """True when the type tuple denotes a belong/topic membership link."""
+        return self.base_of(type_values) == BELONG
+
+    def is_match(self, type_values: Iterable[str]) -> bool:
+        """True when the type tuple denotes a derived match/similarity link."""
+        return self.base_of(type_values) == MATCH
+
+
+#: A process-wide default catalog; graphs hold their own reference but
+#: share this one unless told otherwise.
+DEFAULT_CATALOG = TypeCatalog()

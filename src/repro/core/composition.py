@@ -1,0 +1,239 @@
+"""Composition operator (paper §5.3, Definition 5) and the class CF.
+
+    "Operator Composition G1 ∘⟨δ,F⟩ G2 takes a directional condition δ and a
+    composition function F as parameters and produces a graph induced by new
+    links that are composed from links in G1 and G2.  [...]  δ=(src, tgt)
+    means two links are composed if and only if the source node of the G1
+    link matches the target node of the G2 link."
+
+For every pair (ℓ1, ℓ2) with ``ℓ1.δd1 = ℓ2.δd2`` a **new** link is created
+from ``u = ℓ1.δd̄1`` (the opposite endpoint of ℓ1) to ``v = ℓ2.δd̄2``, with
+attributes produced by F.  Note composition produces *one link per matching
+pair* — Example 5 relies on this ("this step produces one link from John to
+another user for every common place visited by both").
+
+The class CF (composition functions) is any callable that receives the two
+input links — and, since "these attributes may be link attributes or node
+attributes", a :class:`CompositionContext` giving access to the endpoint
+node records — and returns a mapping of uniquely named attributes for the
+output link.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Union
+
+from repro.core.graph import Id, Link, Node, SocialContentGraph
+from repro.core.semijoin import Delta, _check_delta
+from repro.errors import CompositionError
+
+
+@dataclass(frozen=True)
+class CompositionContext:
+    """Everything a composition function may need beyond the two links.
+
+    Attributes
+    ----------
+    u, v:
+        The endpoint node records of the new link (``u`` from G1's side,
+        ``v`` from G2's side).
+    via:
+        The id of the shared node on which the two links matched.
+    g1, g2:
+        The input graphs, for functions that need further lookups.
+    """
+
+    u: Node
+    v: Node
+    via: Id
+    g1: SocialContentGraph
+    g2: SocialContentGraph
+
+
+#: A composition function: ``F(l1, l2)`` or ``F(l1, l2, ctx)`` returning a
+#: mapping of attributes for the new link.
+CompositionFunction = Union[
+    Callable[[Link, Link], Mapping[str, Any]],
+    Callable[[Link, Link, CompositionContext], Mapping[str, Any]],
+]
+
+
+def _arity(fn: Callable) -> int:
+    """Number of positional parameters F declares (2 or 3)."""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):  # builtins / C callables: assume 3
+        return 3
+    params = [
+        p
+        for p in sig.parameters.values()
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if any(p.kind == p.VAR_POSITIONAL for p in sig.parameters.values()):
+        return 3
+    return len(params)
+
+
+def compose(
+    g1: SocialContentGraph,
+    g2: SocialContentGraph,
+    delta: Delta,
+    f: CompositionFunction,
+    link_type: str = "composed",
+    link_id_prefix: str = "comp",
+) -> SocialContentGraph:
+    """G1 ∘⟨δ,F⟩ G2 — Definition 5.
+
+    Parameters
+    ----------
+    delta:
+        The directional condition (d1, d2); ``ℓ1.δd1`` must equal ``ℓ2.δd2``.
+    f:
+        A composition function in class CF.  If its result omits ``type``,
+        *link_type* is used so the output link stays well-formed.
+    link_type:
+        Default type for composed links.
+    link_id_prefix:
+        New links get deterministic ids ``f"{prefix}:{l1.id}:{l2.id}"`` so
+        re-running a composition yields an identical graph.
+
+    Returns
+    -------
+    The graph induced by the new links: each new link plus its two endpoint
+    nodes (taken from G1's side for ``u`` and G2's side for ``v``).
+    """
+    d1, d2 = _check_delta(delta)
+    if g1.is_null_graph() or g2.is_null_graph():
+        # No links to compose: the induced graph is empty.
+        return SocialContentGraph(catalog=g1.catalog)
+    arity = _arity(f)
+    if arity not in (2, 3):
+        raise CompositionError(
+            f"composition function must accept 2 or 3 arguments, got {arity}"
+        )
+
+    # Hash-join on the shared endpoint.
+    by_join_value: dict[Id, list[Link]] = {}
+    for l2 in g2.links():
+        by_join_value.setdefault(l2.endpoint(d2), []).append(l2)
+
+    out = SocialContentGraph(catalog=g1.catalog)
+    for l1 in g1.links():
+        partners = by_join_value.get(l1.endpoint(d1))
+        if not partners:
+            continue
+        u_id = l1.other_endpoint(d1)
+        u = g1.node(u_id)
+        for l2 in partners:
+            v_id = l2.other_endpoint(d2)
+            v = g2.node(v_id)
+            if arity == 2:
+                attrs = f(l1, l2)
+            else:
+                ctx = CompositionContext(
+                    u=u, v=v, via=l1.endpoint(d1), g1=g1, g2=g2
+                )
+                attrs = f(l1, l2, ctx)
+            if attrs is None:
+                continue  # F may veto a pair by returning None
+            if not isinstance(attrs, Mapping):
+                raise CompositionError(
+                    "composition function must return a mapping of attributes "
+                    f"(or None to skip), got {type(attrs).__name__}"
+                )
+            new_attrs = dict(attrs)
+            new_attrs.setdefault("type", link_type)
+            if not out.has_node(u_id):
+                out.add_node(u)
+            if not out.has_node(v_id):
+                out.add_node(v)
+            out.add_link(
+                Link(f"{link_id_prefix}:{l1.id}:{l2.id}", u_id, v_id, new_attrs)
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Ready-made composition functions (members of class CF)
+# ---------------------------------------------------------------------------
+
+
+class CopyAttrs:
+    """F that copies selected attributes from the input links.
+
+    ``CopyAttrs(from_l1=('date',), from_l2=('tags',), type='path')`` builds
+    output attributes by copying ``date`` from ℓ1 and ``tags`` from ℓ2 and
+    setting the given constants.
+    """
+
+    def __init__(
+        self,
+        from_l1: tuple[str, ...] = (),
+        from_l2: tuple[str, ...] = (),
+        **constants: Any,
+    ):
+        self.from_l1 = from_l1
+        self.from_l2 = from_l2
+        self.constants = constants
+
+    def __call__(self, l1: Link, l2: Link) -> Mapping[str, Any]:
+        attrs: dict[str, Any] = dict(self.constants)
+        for att in self.from_l1:
+            values = l1.values(att)
+            if values:
+                attrs[att] = values
+        for att in self.from_l2:
+            values = l2.values(att)
+            if values:
+                attrs[att] = values
+        return attrs
+
+
+class JaccardOnNodeSets:
+    """F computing the Jaccard similarity of a set-valued node attribute.
+
+    This is the F of Example 5 step 5: after node aggregation has stored the
+    visited-destination set in attribute ``vst`` of each user node, the
+    composition of John's visits with other users' visits (δ = (tgt, tgt))
+    computes ``sim = |vst(u) ∩ vst(v)| / |vst(u) ∪ vst(v)|`` and assigns it
+    to the new John→user link.
+    """
+
+    def __init__(self, att: str = "vst", out_att: str = "sim", **constants: Any):
+        self.att = att
+        self.out_att = out_att
+        self.constants = constants
+
+    def __call__(
+        self, l1: Link, l2: Link, ctx: CompositionContext
+    ) -> Mapping[str, Any]:
+        set_u = set(ctx.u.values(self.att))
+        set_v = set(ctx.v.values(self.att))
+        union_size = len(set_u | set_v)
+        sim = len(set_u & set_v) / union_size if union_size else 0.0
+        attrs: dict[str, Any] = dict(self.constants)
+        attrs[self.out_att] = sim
+        return attrs
+
+
+class CarryScore:
+    """F that forwards a numeric attribute of ℓ1 onto the new link.
+
+    This is F′ of Example 5 step 8: "simply copies the value of attribute
+    ``sim`` of the link from John to the user, on to the new link from John
+    to the destination node and assigns this value to the attribute
+    ``sim_sc``."
+    """
+
+    def __init__(self, src_att: str = "sim", out_att: str = "sim_sc", **constants: Any):
+        self.src_att = src_att
+        self.out_att = out_att
+        self.constants = constants
+
+    def __call__(self, l1: Link, l2: Link) -> Mapping[str, Any]:
+        attrs: dict[str, Any] = dict(self.constants)
+        value = l1.value(self.src_att)
+        attrs[self.out_att] = 0.0 if value is None else float(value)
+        return attrs

@@ -1,0 +1,361 @@
+"""The condition language of the algebra (paper §5.1).
+
+    "The condition C consists of a list of structural conditions (e.g.,
+    {type='city', rating >= '0.5'}) and a set of keywords (e.g., 'Denver
+    attraction').  Satisfaction of the structural conditions by a node is
+    defined in the obvious manner: a node v is said to satisfy a structural
+    condition of the form att=val1, ..., valk, if the set of v's values for
+    att is a superset of the values {val1, ..., valk}."
+
+Structural predicates are Boolean; keywords *scope* the selection (an element
+with no keyword match is not selected) and additionally drive the scoring
+function S.  This matches §4: "Structural predicates are interpreted in the
+usual Boolean sense, while content conditions are used to compute semantic
+relevance".
+
+The public entry point is :class:`Condition`; predicates compose with
+``&``, ``|`` and ``~``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Union
+
+from repro.core.attrs import parse_values
+from repro.core.graph import Link, Node
+from repro.core.text import keyword_terms, term_variants, tokenize
+from repro.errors import ConditionError
+
+Element = Union[Node, Link]
+
+
+class Predicate:
+    """Base class for structural predicates over nodes or links."""
+
+    def matches(self, element: Element) -> bool:
+        """True when *element* satisfies this predicate."""
+        raise NotImplementedError
+
+    def __call__(self, element: Element) -> bool:
+        return self.matches(element)
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class TruePredicate(Predicate):
+    """Matches everything (the empty structural condition)."""
+
+    def matches(self, element: Element) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class AttrEquals(Predicate):
+    """``att = val1, ..., valk`` with the paper's superset semantics.
+
+    The element's value *set* for ``att`` must be a superset of the required
+    values.  The pseudo-attribute ``id`` compares against the element id.
+    """
+
+    def __init__(self, att: str, value: Any):
+        self.att = att
+        self.required = parse_values(value)
+
+    def matches(self, element: Element) -> bool:
+        if self.att == "id":
+            return len(self.required) == 1 and element.id == self.required[0]
+        have = set(element.values(self.att))
+        return have.issuperset(self.required)
+
+    def __repr__(self) -> str:
+        vals = ",".join(repr(v) for v in self.required)
+        return f"{self.att}={vals}"
+
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class AttrCompare(Predicate):
+    """``att <op> value`` for a scalar comparison operator.
+
+    Semantics over multi-valued attributes: the predicate holds when *some*
+    value satisfies the comparison, except ``!=`` which holds when *no*
+    value equals the operand (this matches the paper's use of ``id != 101``
+    to mean "everyone but John").  Absent attributes fail every comparison
+    except ``!=``, which they satisfy vacuously.
+    """
+
+    def __init__(self, att: str, op: str, value: Any):
+        if op not in _OPS:
+            raise ConditionError(f"unknown comparison operator {op!r}")
+        self.att = att
+        self.op = op
+        self.value = value
+
+    def matches(self, element: Element) -> bool:
+        if self.att == "id":
+            have: tuple[Any, ...] = (element.id,)
+        else:
+            have = element.values(self.att)
+        if self.op == "!=":
+            return all(not _safe_cmp("==", v, self.value) for v in have)
+        return any(_safe_cmp(self.op, v, self.value) for v in have)
+
+    def __repr__(self) -> str:
+        return f"{self.att}{self.op}{self.value!r}"
+
+
+def _safe_cmp(op: str, a: Any, b: Any) -> bool:
+    """Comparison that coerces numeric strings and never raises TypeError.
+
+    The paper writes ``rating >= '0.5'`` — string literals compared against
+    numeric attributes — so we coerce both sides to float when either side
+    is numeric-like, and fall back to string comparison otherwise.
+    """
+    fa, fb = _as_number(a), _as_number(b)
+    if fa is not None and fb is not None:
+        return _OPS[op](fa, fb)
+    try:
+        return _OPS[op](a, b)
+    except TypeError:
+        return _OPS[op](str(a), str(b))
+
+
+def _as_number(value: Any) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+class HasAttr(Predicate):
+    """The element carries attribute *att* (with at least one value)."""
+
+    def __init__(self, att: str):
+        self.att = att
+
+    def matches(self, element: Element) -> bool:
+        if self.att == "id":
+            return True
+        return bool(element.values(self.att))
+
+    def __repr__(self) -> str:
+        return f"has({self.att})"
+
+
+class HasType(Predicate):
+    """Shorthand for ``type=<name>`` membership (not superset of a list)."""
+
+    def __init__(self, type_name: str):
+        self.type_name = type_name
+
+    def matches(self, element: Element) -> bool:
+        return element.has_type(self.type_name)
+
+    def __repr__(self) -> str:
+        return f"type~{self.type_name}"
+
+
+class Lambda(Predicate):
+    """Escape hatch wrapping an arbitrary callable predicate."""
+
+    def __init__(self, fn: Callable[[Element], bool], label: str = "λ"):
+        self.fn = fn
+        self.label = label
+
+    def matches(self, element: Element) -> bool:
+        return bool(self.fn(element))
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    def __init__(self, *parts: Predicate):
+        self.parts = tuple(parts)
+
+    def matches(self, element: Element) -> bool:
+        return all(p.matches(element) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    def __init__(self, *parts: Predicate):
+        self.parts = tuple(parts)
+
+    def matches(self, element: Element) -> bool:
+        return any(p.matches(element) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def matches(self, element: Element) -> bool:
+        return not self.inner.matches(element)
+
+    def __repr__(self) -> str:
+        return f"~{self.inner!r}"
+
+
+# ---------------------------------------------------------------------------
+# Condition = structural predicates + keywords
+# ---------------------------------------------------------------------------
+
+_SUFFIX_OPS = {
+    "__eq": "==",
+    "__ne": "!=",
+    "__lt": "<",
+    "__le": "<=",
+    "__gt": ">",
+    "__ge": ">=",
+}
+
+
+class Condition:
+    """A full selection condition: structural predicates plus keywords.
+
+    Construction mirrors the paper's notation::
+
+        Condition({'type': 'city', 'rating__ge': 0.5}, keywords='Denver attraction')
+
+    Plain keys use superset-equality semantics (:class:`AttrEquals`); a
+    ``__ge``/``__le``/``__gt``/``__lt``/``__ne``/``__eq`` suffix selects a
+    comparison (:class:`AttrCompare`).  Prebuilt :class:`Predicate` objects
+    can be passed via *predicates*.
+
+    An element **satisfies** the condition when every structural predicate
+    holds and, if keywords are present, at least one keyword term occurs in
+    the element's text.
+    """
+
+    def __init__(
+        self,
+        structural: Mapping[str, Any] | None = None,
+        keywords: str | Iterable[str] | None = None,
+        predicates: Iterable[Predicate] = (),
+    ):
+        parts: list[Predicate] = list(predicates)
+        for key, value in (structural or {}).items():
+            parts.append(self._predicate_for(key, value))
+        self.predicates: tuple[Predicate, ...] = tuple(parts)
+        if keywords is None:
+            self.keywords: tuple[str, ...] = ()
+        elif isinstance(keywords, str):
+            self.keywords = tuple(tokenize(keywords))
+        else:
+            self.keywords = tuple(keyword_terms(keywords))
+
+    @staticmethod
+    def _predicate_for(key: str, value: Any) -> Predicate:
+        for suffix, op in _SUFFIX_OPS.items():
+            if key.endswith(suffix):
+                return AttrCompare(key[: -len(suffix)], op, value)
+        return AttrEquals(key, value)
+
+    # -- satisfaction --------------------------------------------------------
+
+    def structural_ok(self, element: Element) -> bool:
+        """True when every structural predicate holds."""
+        return all(p.matches(element) for p in self.predicates)
+
+    def keyword_ok(self, element: Element) -> bool:
+        """True when no keywords are present, or at least one term matches.
+
+        Matching is up to the naive singular/plural variants of each term
+        ("attractions" scopes to elements mentioning "attraction").
+        """
+        if not self.keywords:
+            return True
+        text_terms = set(tokenize(element.text()))
+        return any(
+            variant in text_terms
+            for term in self.keywords
+            for variant in term_variants(term)
+        )
+
+    def satisfied_by(self, element: Element) -> bool:
+        """Full satisfaction test (structural AND keyword scope)."""
+        return self.structural_ok(element) and self.keyword_ok(element)
+
+    def __call__(self, element: Element) -> bool:
+        return self.satisfied_by(element)
+
+    @property
+    def has_keywords(self) -> bool:
+        """True when the condition carries content keywords."""
+        return bool(self.keywords)
+
+    def conjoin(self, other: "Condition") -> "Condition":
+        """Conjunction of two conditions (used by selection fusion).
+
+        Structural predicates are concatenated; keyword sets are unioned.
+        Note keyword union keeps the OR-of-terms scope semantics, so fusion
+        of two *keyword* selections is only equivalence-preserving when at
+        most one side has keywords — the optimizer checks this.
+        """
+        merged = Condition()
+        merged.predicates = self.predicates + other.predicates
+        merged.keywords = tuple(dict.fromkeys(self.keywords + other.keywords))
+        return merged
+
+    def __repr__(self) -> str:
+        preds = " & ".join(map(repr, self.predicates)) or "TRUE"
+        if self.keywords:
+            return f"C[{preds}; kw={' '.join(self.keywords)}]"
+        return f"C[{preds}]"
+
+
+def as_condition(
+    condition: Condition | Mapping[str, Any] | Predicate | None,
+    keywords: str | Iterable[str] | None = None,
+) -> Condition:
+    """Coerce user input into a :class:`Condition`.
+
+    Accepts an existing condition, a structural mapping, a bare predicate,
+    or ``None`` (meaning "everything", possibly with keywords).
+    """
+    if isinstance(condition, Condition):
+        if keywords is not None:
+            raise ConditionError(
+                "pass keywords inside the Condition, not alongside one"
+            )
+        return condition
+    if isinstance(condition, Predicate):
+        return Condition(predicates=(condition,), keywords=keywords)
+    if condition is None or isinstance(condition, Mapping):
+        return Condition(condition, keywords=keywords)
+    raise ConditionError(f"cannot interpret condition {condition!r}")

@@ -1,0 +1,268 @@
+"""Rule-based logical optimizer over algebra expression trees.
+
+The paper positions the algebra as "the foundation for the optimization of
+those tasks"; this module supplies the first concrete rules:
+
+* **Selection fusion** — σC1(σC2(G)) ⇒ σ⟨C1∧C2⟩(G) when the inner selection
+  neither scores nor scopes by keywords (otherwise fusing would change the
+  attached scores).
+* **Selection pushdown through semi-join** — σL_C(G1 ⋉δ G2) ⇒
+  σL_C(G1) ⋉δ G2.  Sound because a semi-join returns a subgraph of G1
+  induced by surviving links, so filtering before or after keeps exactly
+  the links that both match and satisfy C.
+* **Lemma 1** — G1 \\· G2 ⇒ id-matching anti-semi-join (see
+  :mod:`repro.core.setops` for the reading of the lemma).
+* **Set-operation idempotence** — G ∪ G ⇒ G, G ∩ G ⇒ G (structural
+  sharing detected via :func:`repro.core.expr.same_expr`).
+* **Pattern decomposition** (explicit transform, not auto-applied) —
+  rewrites γL⟨GP,att,A⟩ into the compose + γL multi-step form so the
+  Figure 2 ablation can compare both plans under one evaluator.
+
+``optimize`` applies the rewrite set bottom-up to a fixpoint; each rule is
+a pure function Expr -> Expr | None.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.expr import (
+    ComposeE,
+    Expr,
+    IntersectE,
+    LinkAggE,
+    LinkMinusE,
+    AntiSemiJoinE,
+    PatternAggE,
+    SelectLinksE,
+    SelectNodesE,
+    SemiJoinE,
+    UnionE,
+    same_expr,
+)
+from repro.core.patterns import PathLinkAvg
+from repro.errors import ExpressionError
+
+Rule = Callable[[Expr], Optional[Expr]]
+
+
+def fuse_selections(expr: Expr) -> Expr | None:
+    """σC1(σC2(G)) ⇒ σ⟨C1 ∧ C2⟩(G) when the inner selection is pure.
+
+    "Pure" = no scorer and no keywords: then the inner pass only filters,
+    and conjoining conditions is observationally identical while halving
+    the passes over the data.
+    """
+    for cls in (SelectNodesE, SelectLinksE):
+        if isinstance(expr, cls) and isinstance(expr.child, cls):
+            inner = expr.child
+            if inner.scorer is None and not inner.condition.has_keywords:
+                fused = expr.condition.conjoin(inner.condition)
+                return cls(inner.child, fused, expr.scorer)
+    return None
+
+
+def push_selection_into_semijoin(expr: Expr) -> Expr | None:
+    """σL_C(G1 ⋉δ G2) ⇒ σL_C(G1) ⋉δ G2.
+
+    Both sides keep exactly the G1 links that match δ *and* satisfy C; the
+    induced node sets then coincide.  Filtering first shrinks the probe
+    side, which is why Example 4's expressions are written that way.
+    """
+    if isinstance(expr, SelectLinksE) and isinstance(expr.child, SemiJoinE):
+        join = expr.child
+        pushed = SelectLinksE(join.left, expr.condition, expr.scorer)
+        return SemiJoinE(pushed, join.right, join.delta)
+    return None
+
+
+def link_minus_to_antijoin(expr: Expr) -> Expr | None:
+    """Lemma 1: G1 \\· G2 ⇒ G1 ⋉̄_id G2."""
+    if isinstance(expr, LinkMinusE):
+        return AntiSemiJoinE(expr.left, expr.right, ("src", "src"), on="id")
+    return None
+
+
+def setop_idempotence(expr: Expr) -> Expr | None:
+    """G ∪ G ⇒ G and G ∩ G ⇒ G for structurally identical operands.
+
+    Sound because union/intersection consolidate by id and consolidation
+    with an identical record is the identity.
+    """
+    if isinstance(expr, (UnionE, IntersectE)) and same_expr(expr.left, expr.right):
+        return expr.left
+    return None
+
+
+def _is_empty_literal(expr: Expr) -> bool:
+    from repro.core.expr import LiteralE
+
+    return isinstance(expr, LiteralE) and expr.graph.is_empty()
+
+
+def propagate_empty(expr: Expr) -> Expr | None:
+    """Constant-fold operators applied to the empty graph literal.
+
+    * ``G ∪ ∅ ⇒ G`` and ``∅ ∪ G ⇒ G``;
+    * ``G ∩ ∅ ⇒ ∅`` and ``∅ ∩ G ⇒ ∅``;
+    * ``G \\ ∅ ⇒ G``; ``∅ \\ G ⇒ ∅``; same for ``\\·``;
+    * ``G ⋉δ ∅ ⇒ ∅`` (nothing to match), ``∅ ⋉δ G ⇒ ∅``;
+    * ``G ∘ ∅ ⇒ ∅`` and ``∅ ∘ G ⇒ ∅`` (no link pairs).
+
+    These arise when earlier rules or user code splice constant subgraphs
+    into plans; folding them lets whole branches disappear.
+    """
+    from repro.core.expr import (
+        ComposeE as Comp,
+        IntersectE as Inter,
+        LinkMinusE as LMinus,
+        LiteralE,
+        MinusE as NMinus,
+        SemiJoinE as SJoin,
+        UnionE as Un,
+    )
+    from repro.core.graph import SocialContentGraph
+
+    empty = lambda: LiteralE(SocialContentGraph())
+    if isinstance(expr, Un):
+        if _is_empty_literal(expr.left):
+            return expr.right
+        if _is_empty_literal(expr.right):
+            return expr.left
+    elif isinstance(expr, Inter):
+        if _is_empty_literal(expr.left) or _is_empty_literal(expr.right):
+            return empty()
+    elif isinstance(expr, NMinus):
+        if _is_empty_literal(expr.right):
+            return expr.left
+        if _is_empty_literal(expr.left):
+            return empty()
+    elif isinstance(expr, LMinus):
+        # G \· ∅ is NOT G in general: Definition 4 keeps only link-induced
+        # nodes, so isolated nodes of G would be dropped.  Only the
+        # empty-left case folds safely.
+        if _is_empty_literal(expr.left):
+            return empty()
+    elif isinstance(expr, SJoin):
+        if _is_empty_literal(expr.left) or _is_empty_literal(expr.right):
+            return empty()
+    elif isinstance(expr, Comp):
+        if _is_empty_literal(expr.left) or _is_empty_literal(expr.right):
+            return empty()
+    return None
+
+
+#: Rules applied automatically by :func:`optimize`, in priority order.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    fuse_selections,
+    push_selection_into_semijoin,
+    link_minus_to_antijoin,
+    setop_idempotence,
+    propagate_empty,
+)
+
+
+@dataclass
+class OptimizeReport:
+    """What the optimizer did, for EXPLAIN output and tests."""
+
+    applied: list[str] = field(default_factory=list)
+    passes: int = 0
+
+    def __str__(self) -> str:
+        if not self.applied:
+            return "no rewrites applied"
+        return f"{len(self.applied)} rewrites in {self.passes} passes: " + ", ".join(
+            self.applied
+        )
+
+
+def optimize(
+    expr: Expr,
+    rules: tuple[Rule, ...] = DEFAULT_RULES,
+    max_passes: int = 10,
+) -> tuple[Expr, OptimizeReport]:
+    """Apply *rules* bottom-up until fixpoint (or *max_passes*).
+
+    Returns the rewritten plan and a report of the rule applications.  The
+    input plan object is never mutated.
+    """
+    report = OptimizeReport()
+
+    def rewrite(node: Expr) -> Expr:
+        children = node.children()
+        if children:
+            new_children = tuple(rewrite(c) for c in children)
+            if any(nc is not oc for nc, oc in zip(new_children, children)):
+                node = node.with_children(*new_children)
+        for rule in rules:
+            replacement = rule(node)
+            if replacement is not None:
+                report.applied.append(rule.__name__)
+                return replacement
+        return node
+
+    current = expr
+    for _ in range(max_passes):
+        report.passes += 1
+        before = len(report.applied)
+        current = rewrite(current)
+        if len(report.applied) == before:
+            break
+    return current, report
+
+
+def decompose_pattern_aggregation(expr: PatternAggE) -> Expr:
+    """Rewrite a 2-hop γL⟨GP,att,A⟩ into the multi-step form of Example 5.
+
+    This is the ablation transform the paper poses as an open question
+    ("study the difference between the two approaches"): the pattern form
+    scans paths once; the decomposed form runs a composition producing one
+    link per path, followed by a link aggregation.
+
+    Supported shape: 2-hop pattern whose A is :class:`PathLinkAvg` on hop 0
+    (exactly Figure 2).  Other shapes raise ExpressionError — decomposition
+    of arbitrary patterns is the open research question, not claimed here.
+    """
+    if not isinstance(expr, PatternAggE):
+        raise ExpressionError("decompose_pattern_aggregation expects PatternAggE")
+    pattern = expr.pattern
+    if len(pattern.steps) != 2 or not isinstance(expr.agg, PathLinkAvg):
+        raise ExpressionError(
+            "only 2-hop patterns aggregated with PathLinkAvg(hop 0) decompose "
+            "into the Example 5 multi-step form"
+        )
+    if expr.agg.link_index != 0:
+        raise ExpressionError("decomposition requires aggregation on hop-0 links")
+    hop1, hop2 = pattern.steps
+    if hop1.direction != "out" or hop2.direction != "out":
+        raise ExpressionError("decomposition supports forward (out) hops only")
+
+    child = expr.child
+    from repro.core.aggfuncs import average
+    from repro.core.composition import CarryScore
+    from repro.core.conditions import as_condition
+
+    att = expr.agg.att
+    # Stage 1: select hop-1 links out of the pattern's start nodes.
+    start_nodes = child.select_nodes(pattern.start)
+    first_links = child.select_links(as_condition(hop1.link)).semi_join(
+        start_nodes, ("src", "src")
+    )
+    # Stage 2: select hop-2 links into the pattern's end nodes.
+    end_nodes = child.select_nodes(as_condition(hop2.node))
+    second_links = child.select_links(as_condition(hop2.link)).semi_join(
+        end_nodes, ("tgt", "src")
+    )
+    # Stage 3: compose pairs (one link per path), carrying the hop-0 value.
+    composed = first_links.compose_with(
+        second_links,
+        ("tgt", "src"),
+        CarryScore(src_att=att, out_att="__hop0"),
+        link_type="composed",
+    )
+    # Stage 4: aggregate per (start, end) pair with AVERAGE.
+    return composed.aggregate_links(
+        {"type": "composed"}, expr.att, average("__hop0"), link_type=expr.link_type
+    )

@@ -1,0 +1,166 @@
+"""Scoring functions S for scored selections (paper Defs 1-2).
+
+    "When an optional scoring function S is specified as an input parameter,
+    a score is generated using S for each node based on how well its content
+    matches the keywords in C.  If no scoring function is specified, but C
+    includes keywords, a default scoring function is used."
+
+A scoring function is any callable ``(element, keywords) -> float`` where
+*element* is a :class:`~repro.core.graph.Node` or ``Link`` and *keywords* is
+the tokenised keyword tuple from the condition.  This module provides:
+
+* :class:`DefaultKeywordScorer` — coverage x log-tf, corpus-free; this is
+  the library's default S;
+* :class:`TfIdfScorer` — classic tf-idf [Baeza-Yates & Ribeiro-Neto 1999,
+  the paper's reference 6] built over a graph's nodes;
+* :class:`ConstantScorer` and :class:`AttributeScorer` — degenerate scorers
+  useful in tests and recipes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable, Iterable, Protocol, Sequence, Union
+
+from repro.core.graph import Link, Node, SocialContentGraph
+from repro.core.text import term_frequencies, term_variants, tokenize
+
+Element = Union[Node, Link]
+
+
+class ScoringFunction(Protocol):
+    """Protocol for the algebra's S parameter."""
+
+    def __call__(self, element: Element, keywords: Sequence[str]) -> float:
+        """Return a non-negative relevance score."""
+        ...
+
+
+class DefaultKeywordScorer:
+    """Corpus-free keyword relevance: coverage weighted by term frequency.
+
+    ``score = (matched / |keywords|) * (1 + log(1 + total_tf)) / (1 + log 2)``
+
+    * *coverage* rewards matching more of the query's terms;
+    * the log-tf factor mildly rewards repeated mentions without letting a
+      tag spammed 100 times dominate.
+
+    With no keywords the score is 1.0 for every element (pure structural
+    selections still produce well-defined scores).
+    """
+
+    def __call__(self, element: Element, keywords: Sequence[str]) -> float:
+        if not keywords:
+            return 1.0
+        tf = term_frequencies(element.text())
+        matched: dict[str, int] = {}
+        for keyword in keywords:
+            count = sum(tf.get(v, 0) for v in term_variants(keyword))
+            if count:
+                matched[keyword] = matched.get(keyword, 0) + count
+        if not matched:
+            return 0.0
+        coverage = len(matched) / len(set(keywords))
+        total_tf = sum(matched.values())
+        return coverage * (1.0 + math.log1p(total_tf)) / (1.0 + math.log(2.0))
+
+
+class TfIdfScorer:
+    """tf-idf relevance over a fixed corpus of graph elements.
+
+    The corpus is the node set (or any element collection) handed to the
+    constructor; document frequency counts how many elements mention each
+    term.  Scores are the sum over query terms of ``tf * idf`` normalised
+    by the element's Euclidean length, i.e. standard cosine-style lnc.ltc
+    lite.  Deterministic given the corpus.
+    """
+
+    def __init__(self, corpus: Iterable[Element] | SocialContentGraph):
+        if isinstance(corpus, SocialContentGraph):
+            elements: list[Element] = list(corpus.nodes())
+        else:
+            elements = list(corpus)
+        self.num_docs = max(len(elements), 1)
+        df: Counter = Counter()
+        for element in elements:
+            df.update(set(tokenize(element.text())))
+        self._df = df
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency of *term*."""
+        return math.log((1 + self.num_docs) / (1 + self._df.get(term, 0))) + 1.0
+
+    def __call__(self, element: Element, keywords: Sequence[str]) -> float:
+        if not keywords:
+            return 1.0
+        tf = term_frequencies(element.text())
+        if not tf:
+            return 0.0
+        norm = math.sqrt(sum((1 + math.log(c)) ** 2 for c in tf.values()))
+        score = 0.0
+        for term in keywords:
+            # Match up to singular/plural variants; use the variant actually
+            # present in the element for both tf and idf.
+            best = max(term_variants(term), key=lambda v: tf.get(v, 0))
+            count = tf.get(best, 0)
+            if count:
+                score += (1 + math.log(count)) * self.idf(best)
+        return score / norm if norm else 0.0
+
+
+class ConstantScorer:
+    """Always returns the same score (useful as a neutral S)."""
+
+    def __init__(self, value: float = 1.0):
+        self.value = float(value)
+
+    def __call__(self, element: Element, keywords: Sequence[str]) -> float:
+        return self.value
+
+
+class AttributeScorer:
+    """Scores by reading a numeric attribute off the element.
+
+    E.g. ``AttributeScorer('rating')`` ranks items by their stored rating;
+    used by recipes that re-rank previously scored graphs.
+    """
+
+    def __init__(self, att: str, default: float = 0.0):
+        self.att = att
+        self.default = float(default)
+
+    def __call__(self, element: Element, keywords: Sequence[str]) -> float:
+        value = element.value(self.att)
+        if value is None:
+            return self.default
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return self.default
+
+
+class CombinedScorer:
+    """Weighted combination of scorers: ``sum_i w_i * s_i(element)``.
+
+    The Information Discoverer uses this to blend semantic and social
+    relevance into "a single relevance score" (paper §4).
+    """
+
+    def __init__(self, parts: Sequence[tuple[float, ScoringFunction]]):
+        self.parts = list(parts)
+
+    def __call__(self, element: Element, keywords: Sequence[str]) -> float:
+        return sum(w * fn(element, keywords) for w, fn in self.parts)
+
+
+#: The module-level default S used when a condition has keywords but the
+#: operator call supplies no scoring function (paper Defs 1-2).
+DEFAULT_SCORER: ScoringFunction = DefaultKeywordScorer()
+
+
+def resolve_scorer(
+    scorer: ScoringFunction | Callable[[Element, Sequence[str]], float] | None,
+) -> ScoringFunction:
+    """Return *scorer* or the library default when ``None``."""
+    return scorer if scorer is not None else DEFAULT_SCORER

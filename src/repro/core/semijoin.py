@@ -1,0 +1,98 @@
+"""Semi-Join (paper §5.3, Definition 6) and its anti-join dual.
+
+    "Operator Semi-Join G1 ⋉δ G2 produces a subgraph of G1 induced by the
+    G1 links that match the links in G2.  [...] links to be joined are
+    selected if they satisfy the directional condition δ.  [...]  As a
+    special case, when G1 (G2) is a null graph (i.e., no links), we set
+    d1 (resp., d2) to src."
+
+The directional condition δ = (d1, d2) with d1, d2 ∈ {src, tgt} compares the
+d1-endpoint of a G1 link against the d2-endpoint of G2 links; endpoints
+match when the node ids are equal (§5.2: "nodes and links are matched on the
+basis of their id").
+
+Null-graph convention: a node selection produces a graph with nodes and no
+links.  Following the paper's special case, a null graph participates in a
+semi-join through its *nodes*, each treated as a degenerate link whose
+``src`` (and only endpoint) is the node itself.  That is exactly what makes
+Example 4's ``G ⋉(src,src) σN_id=101(G)`` mean "links of G whose source is
+John".
+
+:{func}:`anti_semi_join` keeps the non-matching links instead; with
+``on='id'`` it matches links by id rather than by endpoint, which is the
+reading of Lemma 1 we implement (see :mod:`repro.core.setops`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+from repro.core.graph import Id, Link, SocialContentGraph
+from repro.errors import AlgebraError
+
+Direction = Literal["src", "tgt"]
+Delta = tuple[Direction, Direction]
+
+
+def _check_delta(delta: Delta) -> Delta:
+    d1, d2 = delta
+    for d in (d1, d2):
+        if d not in ("src", "tgt"):
+            raise AlgebraError(f"direction must be 'src' or 'tgt', got {d!r}")
+    return delta
+
+
+def _match_values(graph: SocialContentGraph, direction: Direction) -> set[Id]:
+    """Endpoint ids G2 exposes for matching under the special-case rule."""
+    if graph.is_null_graph():
+        # Nodes behave as degenerate links with src = the node itself.
+        return graph.node_ids()
+    return {link.endpoint(direction) for link in graph.links()}
+
+
+def semi_join(
+    g1: SocialContentGraph,
+    g2: SocialContentGraph,
+    delta: Delta = ("src", "src"),
+) -> SocialContentGraph:
+    """G1 ⋉δ G2 — Definition 6.
+
+    Returns the subgraph of G1 induced by the G1 links ℓ for which some G2
+    link ℓ2 satisfies ``ℓ.δd1 = ℓ2.δd2``.  When G2 is a null graph its
+    nodes match directly; when G1 is a null graph, its *nodes* are filtered
+    against G2's match values and a null graph is returned.
+    """
+    d1, d2 = _check_delta(delta)
+    targets = _match_values(g2, d2)
+    if g1.is_null_graph():
+        return g1.null_graph(n for n in g1.nodes() if n.id in targets)
+    keep = [link for link in g1.links() if link.endpoint(d1) in targets]
+    return g1.subgraph_from_links(keep)
+
+
+def anti_semi_join(
+    g1: SocialContentGraph,
+    g2: SocialContentGraph,
+    delta: Delta = ("src", "src"),
+    on: Literal["endpoint", "id"] = "endpoint",
+) -> SocialContentGraph:
+    """G1 ⋉̄δ G2 — keep the G1 links that do **not** match G2.
+
+    ``on='endpoint'`` negates Definition 6's matching.  ``on='id'`` matches
+    links by their id instead — the variant needed to express the
+    Link-Driven Minus (Lemma 1): a G1 link survives iff no G2 link shares
+    its id.
+    """
+    if on == "id":
+        # Id-matching mode realises Definition 4's output shape: the result
+        # is induced by the surviving links, so a null-graph G1 yields the
+        # empty graph (no links ⇒ no induced nodes).
+        g2_ids = g2.link_ids()
+        keep = [link for link in g1.links() if link.id not in g2_ids]
+        return g1.subgraph_from_links(keep)
+    d1, d2 = _check_delta(delta)
+    targets = _match_values(g2, d2)
+    if g1.is_null_graph():
+        return g1.null_graph(n for n in g1.nodes() if n.id not in targets)
+    keep = [link for link in g1.links() if link.endpoint(d1) not in targets]
+    return g1.subgraph_from_links(keep)

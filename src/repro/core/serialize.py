@@ -1,0 +1,159 @@
+"""Serialization of social content graphs (JSON and JSON-lines).
+
+The logical model (§4) is deliberately storage-agnostic; this module gives
+the Data Manager — and library users — a portable on-disk format:
+
+* :func:`graph_to_dict` / :func:`graph_from_dict` — plain-dict codec
+  (stable, versioned envelope);
+* :func:`dump_json` / :func:`load_json` — single-document JSON;
+* :func:`dump_jsonl` / :func:`load_jsonl` — one record per line
+  (``{"kind": "node"|"link", ...}``), the format that streams and diffs
+  well for large graphs.
+
+Round-tripping preserves ids, endpoints and attribute *value sets*
+(multi-valued attributes keep their stored order).  Non-JSON scalar types
+are rejected loudly rather than silently coerced.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, IO, Iterator
+
+from repro.core.graph import Link, Node, SocialContentGraph
+from repro.errors import GraphError
+
+#: Format version written into every envelope.
+FORMAT_VERSION = 1
+
+_JSON_SCALARS = (str, int, float, bool)
+
+
+def _check_values(owner: str, attrs: dict) -> None:
+    for att, values in attrs.items():
+        for value in values:
+            if not isinstance(value, _JSON_SCALARS):
+                raise GraphError(
+                    f"{owner}: attribute {att!r} holds non-JSON value "
+                    f"{value!r} ({type(value).__name__})"
+                )
+
+
+def node_to_dict(node: Node) -> dict[str, Any]:
+    """Codec for one node."""
+    _check_values(f"node {node.id!r}", dict(node.attrs))
+    return {"id": node.id, "attrs": {k: list(v) for k, v in node.attrs.items()}}
+
+
+def node_from_dict(payload: dict[str, Any]) -> Node:
+    """Inverse of :func:`node_to_dict`."""
+    return Node(payload["id"], payload.get("attrs", {}))
+
+
+def link_to_dict(link: Link) -> dict[str, Any]:
+    """Codec for one link."""
+    _check_values(f"link {link.id!r}", dict(link.attrs))
+    return {
+        "id": link.id,
+        "src": link.src,
+        "tgt": link.tgt,
+        "attrs": {k: list(v) for k, v in link.attrs.items()},
+    }
+
+
+def link_from_dict(payload: dict[str, Any]) -> Link:
+    """Inverse of :func:`link_to_dict`."""
+    return Link(
+        payload["id"], payload["src"], payload["tgt"], payload.get("attrs", {})
+    )
+
+
+def graph_to_dict(graph: SocialContentGraph) -> dict[str, Any]:
+    """The whole graph as one JSON-ready dict (deterministic order)."""
+    return {
+        "format": "socialscope-graph",
+        "version": FORMAT_VERSION,
+        "nodes": [node_to_dict(n)
+                  for n in sorted(graph.nodes(), key=lambda n: repr(n.id))],
+        "links": [link_to_dict(l)
+                  for l in sorted(graph.links(), key=lambda l: repr(l.id))],
+    }
+
+
+def graph_from_dict(payload: dict[str, Any]) -> SocialContentGraph:
+    """Inverse of :func:`graph_to_dict` (validates the envelope)."""
+    if payload.get("format") != "socialscope-graph":
+        raise GraphError("not a socialscope-graph document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported format version {payload.get('version')!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    graph = SocialContentGraph()
+    for node_payload in payload.get("nodes", ()):
+        graph.add_node(node_from_dict(node_payload))
+    for link_payload in payload.get("links", ()):
+        graph.add_link(link_from_dict(link_payload))
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# File-level helpers
+# ---------------------------------------------------------------------------
+
+
+def dump_json(graph: SocialContentGraph, path: str | Path) -> None:
+    """Write the graph as one JSON document."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=1))
+
+
+def load_json(path: str | Path) -> SocialContentGraph:
+    """Read a graph written by :func:`dump_json`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def _jsonl_records(graph: SocialContentGraph) -> Iterator[dict[str, Any]]:
+    yield {"kind": "header", "format": "socialscope-graph",
+           "version": FORMAT_VERSION}
+    for node in sorted(graph.nodes(), key=lambda n: repr(n.id)):
+        yield {"kind": "node", **node_to_dict(node)}
+    for link in sorted(graph.links(), key=lambda l: repr(l.id)):
+        yield {"kind": "link", **link_to_dict(link)}
+
+
+def dump_jsonl(graph: SocialContentGraph, path: str | Path) -> None:
+    """Write the graph as JSON-lines (header + one record per element)."""
+    with open(path, "w") as handle:
+        for record in _jsonl_records(graph):
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_jsonl(path: str | Path) -> SocialContentGraph:
+    """Read a graph written by :func:`dump_jsonl`.
+
+    Nodes must precede the links that reference them (the writer
+    guarantees this; foreign writers get a clear DanglingLinkError
+    otherwise).
+    """
+    graph = SocialContentGraph()
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "header":
+                if record.get("version") != FORMAT_VERSION:
+                    raise GraphError(
+                        f"line {line_no}: unsupported version "
+                        f"{record.get('version')!r}"
+                    )
+            elif kind == "node":
+                graph.add_node(node_from_dict(record))
+            elif kind == "link":
+                graph.add_link(link_from_dict(record))
+            else:
+                raise GraphError(f"line {line_no}: unknown record kind {kind!r}")
+    return graph

@@ -1,0 +1,109 @@
+"""Set-theoretic binary operators (paper §5.2, Definitions 3 and 4).
+
+    "Let G1 and G2 be two social content graphs originated from the same
+    social content site.  nodes(G1 ⊕ G2) = nodes(G1) ⊕ nodes(G2) and
+    links(G1 ⊕ G2) = links(G1) ⊕ links(G2), where ⊕ is one of ∪, ∩, \\,
+    and nodes and links with the same id are consolidated in the output
+    graph."
+
+Nodes and links are matched **by id**, so graph isomorphism never arises.
+The *Node-Driven Minus* keeps only links whose two endpoints survive the
+node subtraction — the paper's example (G1={(a,b),(a,c),(b,c)}, G2={(a,b)}
+⇒ G1\\G2 = the null graph {c}) pins down this reading.  The *Link-Driven
+Minus* ``\\·`` subtracts links by id and keeps exactly the nodes induced by
+the surviving links (Definition 4).
+
+Lemma 1 states ``\\·`` is expressible via ``\\`` and ⋉; since the paper's
+proof is omitted and pure endpoint-matching semi-joins cannot tell apart two
+links with equal endpoints but different ids, we realise the lemma with the
+id-matching anti-semi-join (see :func:`repro.core.semijoin.anti_semi_join`
+with ``on='id'``); :func:`link_minus_via_semijoin` is that rewrite, and the
+test-suite property-checks its equivalence with the direct definition.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import Link, Node, SocialContentGraph
+
+
+def union(g1: SocialContentGraph, g2: SocialContentGraph) -> SocialContentGraph:
+    """G1 ∪ G2 with id-based consolidation of shared nodes/links."""
+    out = SocialContentGraph(catalog=g1.catalog)
+    for node in g1.nodes():
+        out.add_node(node)
+    for node in g2.nodes():
+        out.add_node(node)  # add_node consolidates on shared ids
+    for link in g1.links():
+        out.add_link(link)
+    for link in g2.links():
+        out.add_link(link)  # add_link consolidates on shared ids
+    return out
+
+
+def intersection(g1: SocialContentGraph, g2: SocialContentGraph) -> SocialContentGraph:
+    """G1 ∩ G2: nodes/links present (by id) in both, consolidated.
+
+    Every surviving link's endpoints necessarily survive too (each input is
+    well-formed), so the result is always a valid graph.
+    """
+    out = SocialContentGraph(catalog=g1.catalog)
+    shared_nodes = g1.node_ids() & g2.node_ids()
+    for node_id in shared_nodes:
+        out.add_node(g1.node(node_id).merged_with(g2.node(node_id)))
+    for link_id in g1.link_ids() & g2.link_ids():
+        link = g1.link(link_id).merged_with(g2.link(link_id))
+        if link.src in shared_nodes and link.tgt in shared_nodes:
+            out.add_link(link)
+    return out
+
+
+def minus(g1: SocialContentGraph, g2: SocialContentGraph) -> SocialContentGraph:
+    """Node-Driven Minus G1 \\ G2 (Definition 3 + the paper's remark).
+
+    ``nodes = nodes(G1) \\ nodes(G2)``; a link survives when it is a G1 link
+    absent from G2 **and** both its endpoints survive.  In the paper's
+    example this yields the null graph containing only node ``c``.
+    """
+    out = SocialContentGraph(catalog=g1.catalog)
+    keep_nodes = g1.node_ids() - g2.node_ids()
+    for node_id in keep_nodes:
+        out.add_node(g1.node(node_id))
+    g2_links = g2.link_ids()
+    for link in g1.links():
+        if link.id in g2_links:
+            continue
+        if link.src in keep_nodes and link.tgt in keep_nodes:
+            out.add_link(link)
+    return out
+
+
+def link_minus(g1: SocialContentGraph, g2: SocialContentGraph) -> SocialContentGraph:
+    """Link-Driven Minus G1 \\· G2 (Definition 4).
+
+    ``links = links(G1) \\ links(G2)`` (by id); nodes are precisely those
+    induced by the surviving links.  On the paper's example this keeps all
+    of a, b, c plus links (a,c) and (b,c).
+    """
+    g2_links = g2.link_ids()
+    survivors = [link for link in g1.links() if link.id not in g2_links]
+    return g1.subgraph_from_links(survivors)
+
+
+def link_minus_via_semijoin(
+    g1: SocialContentGraph, g2: SocialContentGraph
+) -> SocialContentGraph:
+    """Lemma 1 rewrite: ``G1 \\· G2 = G1 ⋉̄_id G2`` (id-matching anti-semi-join).
+
+    Kept as a separate function so the optimizer can cite it and the tests
+    can check equivalence with :func:`link_minus` on arbitrary graphs.
+    """
+    from repro.core.semijoin import anti_semi_join
+
+    return anti_semi_join(g1, g2, on="id")
+
+
+def symmetric_difference(
+    g1: SocialContentGraph, g2: SocialContentGraph
+) -> SocialContentGraph:
+    """(G1 \\ G2) ∪ (G2 \\ G1) — a convenience derived operator."""
+    return union(minus(g1, g2), minus(g2, g1))

@@ -1,0 +1,101 @@
+"""Graph statistics and cardinality estimation for the logical optimizer.
+
+The paper's stated motivation for an algebra is that ad-hoc graph code
+"leaves the system with few opportunities for reuse, customization and
+optimization".  A cost-based optimizer needs cardinality estimates; this
+module provides the simple statistics the Data Manager maintains (node/link
+counts and per-type histograms) and heuristic selectivity estimation for
+the operators.
+
+Estimates are deliberately coarse — the goal is plan *ordering*, not exact
+prediction — and every constant is documented so the ablation bench can
+show where the model is wrong.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.conditions import AttrCompare, AttrEquals, Condition, HasType
+from repro.core.graph import SocialContentGraph
+
+#: Selectivity assumed for a structural predicate we know nothing about.
+DEFAULT_PREDICATE_SELECTIVITY = 0.5
+#: Selectivity of a keyword scope (matching at least one term).
+KEYWORD_SELECTIVITY = 0.3
+#: Fraction of probe-side links expected to survive a semi-join.
+SEMIJOIN_SELECTIVITY = 0.5
+
+
+@dataclass
+class GraphStats:
+    """Summary statistics over one social content graph."""
+
+    num_nodes: int = 0
+    num_links: int = 0
+    node_types: Counter = field(default_factory=Counter)
+    link_types: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def of(cls, graph: SocialContentGraph) -> "GraphStats":
+        """Collect statistics from a graph in one pass."""
+        stats = cls(num_nodes=graph.num_nodes, num_links=graph.num_links)
+        for node in graph.nodes():
+            for t in node.types:
+                stats.node_types[t] += 1
+        for link in graph.links():
+            for t in link.types:
+                stats.link_types[t] += 1
+        return stats
+
+    # -- selectivity ---------------------------------------------------------
+
+    def _type_fraction(self, type_name: str, of_links: bool) -> float:
+        histogram = self.link_types if of_links else self.node_types
+        total = self.num_links if of_links else self.num_nodes
+        if total == 0:
+            return 0.0
+        return min(1.0, histogram.get(type_name, 0) / total)
+
+    def condition_selectivity(self, condition: Condition, of_links: bool) -> float:
+        """Estimated fraction of elements satisfying *condition*.
+
+        Type-equality predicates use the type histogram; other predicates
+        fall back to :data:`DEFAULT_PREDICATE_SELECTIVITY`; keyword scopes
+        multiply in :data:`KEYWORD_SELECTIVITY`.  Predicates are assumed
+        independent (the usual System-R simplification).
+        """
+        selectivity = 1.0
+        for predicate in condition.predicates:
+            if isinstance(predicate, HasType):
+                selectivity *= self._type_fraction(predicate.type_name, of_links)
+            elif isinstance(predicate, AttrEquals) and predicate.att == "type":
+                for required in predicate.required:
+                    selectivity *= self._type_fraction(str(required), of_links)
+            elif isinstance(predicate, AttrEquals) and predicate.att == "id":
+                total = self.num_links if of_links else self.num_nodes
+                selectivity *= 1.0 / max(total, 1)
+            elif isinstance(predicate, AttrCompare) and predicate.att == "id":
+                # id != x keeps nearly everything; other id ranges ~half.
+                selectivity *= 1.0 if predicate.op == "!=" else 0.5
+            else:
+                selectivity *= DEFAULT_PREDICATE_SELECTIVITY
+        if condition.has_keywords:
+            selectivity *= KEYWORD_SELECTIVITY
+        return max(0.0, min(1.0, selectivity))
+
+
+@dataclass(frozen=True)
+class Card:
+    """Estimated cardinality of an operator's output."""
+
+    nodes: float
+    links: float
+
+    def cost(self) -> float:
+        """Scalar cost proxy: elements materialised."""
+        return self.nodes + self.links
+
+    def __repr__(self) -> str:
+        return f"~{self.nodes:.0f}n/{self.links:.0f}l"

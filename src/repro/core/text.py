@@ -1,0 +1,77 @@
+"""Tiny text utilities shared by keyword conditions and scoring functions.
+
+The paper's conditions carry "a set of keywords (e.g., 'Denver attraction')".
+Keyword matching throughout the library uses the same tokenisation so that
+selection satisfaction, semantic-relevance scores and the query classifier
+agree on what a term is.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Minimal English stopword list; enough to keep scoring sane on the
+#: synthetic workloads without dragging in a full NLP dependency.
+STOPWORDS: frozenset[str] = frozenset(
+    {
+        "a", "an", "and", "are", "as", "at", "be", "by", "for", "from",
+        "in", "into", "is", "it", "of", "on", "or", "the", "to", "with",
+    }
+)
+
+
+def tokenize(text: str, *, drop_stopwords: bool = False) -> list[str]:
+    """Lowercase and split *text* into alphanumeric tokens.
+
+    >>> tokenize("Denver attractions!")
+    ['denver', 'attractions']
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    if drop_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    return tokens
+
+
+def term_frequencies(text: str) -> Counter:
+    """Token -> count mapping for *text*."""
+    return Counter(tokenize(text))
+
+
+def keyword_terms(keywords: Iterable[str]) -> list[str]:
+    """Flatten a keyword collection into tokens.
+
+    Keywords may arrive as phrases (``'near Denver'``); each phrase is
+    tokenised and the tokens concatenated, preserving order and duplicates
+    (duplicates express emphasis in tf-style scorers).
+    """
+    terms: list[str] = []
+    for keyword in keywords:
+        terms.extend(tokenize(str(keyword)))
+    return terms
+
+
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
+    """All n-grams of the token list (used by the query classifier)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def term_variants(term: str) -> tuple[str, ...]:
+    """The term plus its naive singular/plural forms.
+
+    Keyword matching treats "attraction" and "attractions" as the same
+    need — the light normalisation real search stacks apply.  Deliberately
+    naive (just ±'s'): anything smarter belongs to a stemmer the paper
+    does not call for.
+    """
+    variants = [term]
+    if term.endswith("s") and len(term) > 3:
+        variants.append(term[:-1])
+    else:
+        variants.append(term + "s")
+    return tuple(variants)

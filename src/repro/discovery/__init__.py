@@ -1,0 +1,43 @@
+"""The Information Discoverer half of the Information Discovery layer.
+
+Query model and classification (Table 1), semantic + social relevance,
+connection selection with expert fallback, and Meaningful Social Graph
+construction.
+"""
+
+from repro.discovery.classify import (
+    CATEGORICAL,
+    ClassifiedQuery,
+    GENERAL,
+    QueryClassifier,
+    SPECIFIC,
+    UNCLASSIFIED,
+)
+from repro.discovery.connections import (
+    ConnectionSelection,
+    ConnectionSelector,
+    find_experts,
+)
+from repro.discovery.discoverer import DiscoveryConfig, InformationDiscoverer
+from repro.discovery.msg import MeaningfulSocialGraph, ScoredItem, assemble_msg
+from repro.discovery.query import Query, parse_query
+from repro.discovery.relevance import SemanticRelevance, SemanticResult
+from repro.discovery.strategies import (
+    DEFAULT_STRATEGIES,
+    FriendBasedStrategy,
+    ItemBasedStrategy,
+    SimilarUserStrategy,
+    SocialScores,
+)
+
+__all__ = [
+    "Query", "parse_query",
+    "QueryClassifier", "ClassifiedQuery",
+    "GENERAL", "CATEGORICAL", "SPECIFIC", "UNCLASSIFIED",
+    "SemanticRelevance", "SemanticResult",
+    "ConnectionSelector", "ConnectionSelection", "find_experts",
+    "FriendBasedStrategy", "SimilarUserStrategy", "ItemBasedStrategy",
+    "SocialScores", "DEFAULT_STRATEGIES",
+    "MeaningfulSocialGraph", "ScoredItem", "assemble_msg",
+    "InformationDiscoverer", "DiscoveryConfig",
+]

@@ -1,0 +1,74 @@
+"""Query classification into general / categorical / specific (Table 1).
+
+    "By leveraging the domain knowledge we have about geographical
+    locations and travel destinations, we detect location terms in queries
+    and classify each query into three classes: general, categorical, and
+    specific.  General queries are those containing terms like 'things to
+    do', 'attraction', or just a location by itself.  ...  Categorical
+    queries refer to those containing terms like 'hotel', 'family',
+    'historic', etc.  ...  there are also about 8% of the queries looking
+    for specific destinations like 'Disneyland' and 'Yosemite Park'."
+
+:class:`QueryClassifier` realises that rule set over the shared lexicon.
+Precedence: a specific destination mention wins (it *is* the information
+need), then categorical terms, then general terms or a bare location; text
+matching nothing is unclassified (the paper's residual ~10%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.text import tokenize
+from repro.workloads.lexicon import DEFAULT_LEXICON, TravelLexicon
+
+GENERAL = "general"
+CATEGORICAL = "categorical"
+SPECIFIC = "specific"
+UNCLASSIFIED = "unclassified"
+
+
+@dataclass(frozen=True)
+class ClassifiedQuery:
+    """Classifier output for one query string."""
+
+    text: str
+    query_class: str
+    has_location: bool
+
+    @property
+    def label(self) -> tuple[str, bool]:
+        """(class, has_location) pair as used by Table 1 tabulation."""
+        return (self.query_class, self.has_location)
+
+
+class QueryClassifier:
+    """Rule-based classifier over the travel lexicon."""
+
+    def __init__(self, lexicon: TravelLexicon | None = None):
+        self.lexicon = lexicon or DEFAULT_LEXICON
+
+    def classify(self, text: str) -> ClassifiedQuery:
+        """Classify one query string."""
+        tokens = tokenize(text)
+        if not tokens:
+            return ClassifiedQuery(text, UNCLASSIFIED, False)
+        is_specific = self.lexicon.contains_phrase(tokens, "specific")
+        has_location = (
+            is_specific  # a specific destination implies a location
+            or self.lexicon.contains_phrase(tokens, "locations")
+        )
+        if is_specific:
+            return ClassifiedQuery(text, SPECIFIC, True)
+        if self.lexicon.contains_phrase(tokens, "categorical"):
+            return ClassifiedQuery(text, CATEGORICAL, has_location)
+        if self.lexicon.contains_phrase(tokens, "general"):
+            return ClassifiedQuery(text, GENERAL, has_location)
+        if has_location:
+            # "just a location by itself" (possibly with filler) is general.
+            return ClassifiedQuery(text, GENERAL, True)
+        return ClassifiedQuery(text, UNCLASSIFIED, False)
+
+    def classify_many(self, texts) -> list[ClassifiedQuery]:
+        """Classify an iterable of query strings."""
+        return [self.classify(t) for t in texts]

@@ -1,0 +1,143 @@
+"""The Information Discoverer (paper §3): query → Meaningful Social Graph.
+
+    "The Information Discoverer parses the user query, constructs its
+    internal representations (based on various semantic and social
+    relevance computations), and evaluates them on the social content
+    graph."
+
+Pipeline per query:
+
+1. parse (:mod:`repro.discovery.query`) and classify
+   (:mod:`repro.discovery.classify`) the text;
+2. semantic relevance: scope + score candidates (σN with tf-idf);
+3. connection selection: pick the friend subset fit for the query, falling
+   back to topic experts (Example 2);
+4. social relevance: run the configured strategy (friend endorsements by
+   default; Example 5 CF and item-based CF available);
+5. combine into one relevance score — ``α·semantic + (1-α)·social`` over
+   max-normalised components; empty queries use social only (§4);
+6. assemble the MSG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Id, SocialContentGraph
+from repro.discovery.classify import QueryClassifier
+from repro.discovery.connections import ConnectionSelector
+from repro.discovery.msg import MeaningfulSocialGraph, ScoredItem, assemble_msg
+from repro.discovery.query import Query, parse_query
+from repro.discovery.relevance import SemanticRelevance
+from repro.discovery.strategies import (
+    DEFAULT_STRATEGIES,
+    FriendBasedStrategy,
+    SocialStrategy,
+)
+from repro.errors import DiscoveryError
+
+
+@dataclass
+class DiscoveryConfig:
+    """Tunables for the discovery pipeline."""
+
+    #: semantic weight α in the combined score (1-α is social)
+    alpha: float = 0.5
+    #: how many results an MSG carries
+    max_results: int = 20
+    #: social strategy name from the registry
+    strategy: str = "friends"
+    #: drop items with a combined score of zero
+    drop_zero: bool = True
+
+
+class InformationDiscoverer:
+    """Evaluates queries into Meaningful Social Graphs."""
+
+    def __init__(
+        self,
+        graph: SocialContentGraph,
+        config: DiscoveryConfig | None = None,
+        strategies: dict[str, SocialStrategy] | None = None,
+        item_type: str = "item",
+    ):
+        self.graph = graph
+        self.config = config or DiscoveryConfig()
+        self.strategies = dict(strategies or DEFAULT_STRATEGIES)
+        self.classifier = QueryClassifier()
+        self.semantic = SemanticRelevance(graph, item_type=item_type)
+        self.connections = ConnectionSelector(graph)
+
+    def strategy(self, name: str | None = None) -> SocialStrategy:
+        """Resolve a strategy by name (configured default when None)."""
+        key = name or self.config.strategy
+        strategy = self.strategies.get(key)
+        if strategy is None:
+            raise DiscoveryError(
+                f"unknown social strategy {key!r}; have {sorted(self.strategies)}"
+            )
+        return strategy
+
+    # ------------------------------------------------------------------ main
+    def discover(
+        self,
+        user_id: Id,
+        text: str = "",
+        structural=None,
+        strategy: str | None = None,
+        k: int | None = None,
+    ) -> MeaningfulSocialGraph:
+        """Run the full pipeline for one query."""
+        query = parse_query(user_id, text, structural)
+        return self.discover_query(query, strategy=strategy, k=k)
+
+    def discover_query(
+        self,
+        query: Query,
+        strategy: str | None = None,
+        k: int | None = None,
+    ) -> MeaningfulSocialGraph:
+        """Evaluate an already-parsed query."""
+        limit = k if k is not None else self.config.max_results
+        semantic = self.semantic.candidates(query)
+        candidates = set(semantic.scores)
+
+        selection = self.connections.select(query.user_id, query.keywords)
+        chosen = self.strategy(strategy)
+        social = chosen.score(self.graph, query.user_id, candidates, selection)
+        # Selma fallback: if the friend basis produced nothing (or experts
+        # were already chosen), friend strategies rerun over experts.
+        if (
+            not social.scores
+            and isinstance(chosen, FriendBasedStrategy)
+            and not selection.used_expert_fallback
+        ):
+            from repro.discovery.connections import find_experts
+
+            selection.used_expert_fallback = True
+            selection.experts = find_experts(
+                self.graph, set(query.keywords), exclude={query.user_id}
+            )
+            social = chosen.score(
+                self.graph, query.user_id, candidates, selection
+            )
+
+        semantic_norm = semantic.normalized()
+        social_norm = social.normalized()
+        alpha = 0.0 if query.is_empty else self.config.alpha
+
+        combined: list[ScoredItem] = []
+        for item in candidates:
+            sem = semantic_norm.get(item, 0.0)
+            soc = social_norm.get(item, 0.0)
+            score = alpha * sem + (1 - alpha) * soc
+            if self.config.drop_zero and score <= 0.0:
+                continue
+            combined.append(
+                ScoredItem(item_id=item, semantic=sem, social=soc, combined=score)
+            )
+        combined.sort(key=lambda s: (-s.combined, repr(s.item_id)))
+        combined = combined[:limit]
+        return assemble_msg(
+            self.graph, query, combined, social, selection.used_expert_fallback
+        )

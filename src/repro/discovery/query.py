@@ -1,0 +1,78 @@
+"""The SocialScope query model (paper §4, "Queries").
+
+    "Users interact with SocialScope by specifying a (possibly empty)
+    query on content and structure.  Structural predicates are interpreted
+    in the usual Boolean sense, while content conditions are used to
+    compute semantic relevance which, combined with social relevance,
+    results in a single relevance score.  ...  When the structural
+    predicates are absent in the query, only semantic relevance and social
+    relevance are taken into account.  And when a query is empty, only
+    social relevance is accounted for."
+
+:class:`Query` carries the three ingredients: the requesting user, content
+keywords, and optional structural predicates (a
+:class:`repro.core.conditions.Condition` scoping the candidate items).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core import Condition, Id, as_condition
+from repro.core.text import tokenize
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed user query."""
+
+    user_id: Id
+    keywords: tuple[str, ...] = ()
+    structural: Condition | None = None
+    raw_text: str = ""
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the pure-recommendation case (no content, no structure)."""
+        return not self.keywords and self.structural is None
+
+    @property
+    def has_structure(self) -> bool:
+        """True when structural predicates scope the query."""
+        return self.structural is not None
+
+    def scope_condition(self, default_type: str = "item") -> Condition:
+        """The full candidate-scoping condition for this query.
+
+        Structural predicates apply Boolean-ly; keywords scope via content
+        match (Definition 1's satisfaction); when neither is present, the
+        scope is all nodes of *default_type*.
+        """
+        base: Mapping[str, Any] = {"type": default_type}
+        structural = self.structural if self.structural is not None else Condition(base)
+        if self.keywords:
+            return structural.conjoin(Condition(keywords=self.keywords))
+        return structural
+
+
+def parse_query(
+    user_id: Id,
+    text: str = "",
+    structural: Condition | Mapping[str, Any] | None = None,
+) -> Query:
+    """Build a :class:`Query` from free text plus optional structure.
+
+    Free text becomes content keywords via the shared tokenizer; an empty
+    text and no structure yields the empty query (recommendation mode).
+    """
+    if user_id is None:
+        raise QueryError("a query needs a requesting user")
+    condition = as_condition(structural) if structural is not None else None
+    return Query(
+        user_id=user_id,
+        keywords=tuple(tokenize(text)),
+        structural=condition,
+        raw_text=text,
+    )

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the SocialScope reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`SocialScopeError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate between graph-model misuse, algebra misuse,
+and layer-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class SocialScopeError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(SocialScopeError):
+    """Structural misuse of a social content graph (dangling links, dup ids)."""
+
+
+class UnknownNodeError(GraphError):
+    """A node id was referenced that is not present in the graph."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"unknown node id: {node_id!r}")
+        self.node_id = node_id
+
+
+class UnknownLinkError(GraphError):
+    """A link id was referenced that is not present in the graph."""
+
+    def __init__(self, link_id: object) -> None:
+        super().__init__(f"unknown link id: {link_id!r}")
+        self.link_id = link_id
+
+
+class DuplicateIdError(GraphError):
+    """An id was added twice with conflicting payloads."""
+
+
+class DanglingLinkError(GraphError):
+    """A link references an endpoint node that the graph does not contain."""
+
+    def __init__(self, link_id: object, node_id: object) -> None:
+        super().__init__(
+            f"link {link_id!r} references missing endpoint node {node_id!r}"
+        )
+        self.link_id = link_id
+        self.node_id = node_id
+
+
+class ConditionError(SocialScopeError):
+    """A selection/aggregation condition is malformed."""
+
+
+class AlgebraError(SocialScopeError):
+    """An algebra operator was applied with invalid parameters."""
+
+
+class CompositionError(AlgebraError):
+    """Composition function or directional condition misuse."""
+
+
+class AggregationError(AlgebraError):
+    """Aggregation function or parameter misuse."""
+
+
+class PatternError(AlgebraError):
+    """A graph pattern is malformed or cannot be evaluated."""
+
+
+class ExpressionError(AlgebraError):
+    """An algebra expression tree is malformed."""
+
+
+class QueryError(SocialScopeError):
+    """A user query is malformed or cannot be interpreted."""
+
+
+class DiscoveryError(SocialScopeError):
+    """The Information Discovery layer could not produce an MSG."""
+
+
+class ManagementError(SocialScopeError):
+    """Content Management layer failure (storage, integration, sync)."""
+
+
+class PermissionDeniedError(ManagementError):
+    """A remote site rejected an access for lack of user permission."""
+
+    def __init__(self, site: str, user_id: object, scope: str) -> None:
+        super().__init__(
+            f"site {site!r} denied access to {scope!r} data of user {user_id!r}"
+        )
+        self.site = site
+        self.user_id = user_id
+        self.scope = scope
+
+
+class IndexError_(SocialScopeError):
+    """Indexing layer failure (the trailing underscore avoids shadowing
+    the builtin :class:`IndexError`)."""
+
+
+class PresentationError(SocialScopeError):
+    """Information Presentation layer failure."""

@@ -1,0 +1,135 @@
+"""Network-aware scoring for keyword search (paper §6.2).
+
+    "We first define the score of an item i for user u and a keyword kj,
+    score_kj(i, u) = f(network(u) ∩ taggers(i, kj)), where f is a monotone
+    function.  We further define the overall score of an item i for a user
+    query Qu as score(i, u) = g(score_k1(i, u), ..., score_kn(i, u)) ...
+    we will use f = count and g = sum, for ease of exposition."
+
+:class:`TaggingData` extracts the ``network(u)``, ``items(u)`` and
+``taggers(i, k)`` accessors from a social content graph once, so scoring and
+index construction run off plain dictionaries rather than repeated graph
+scans.  Arbitrary monotone f and g are supported; count/sum are the
+defaults as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core import Id, SocialContentGraph
+
+#: f: a monotone function of the endorsing-neighbour set.
+ScoreF = Callable[[set], float]
+#: g: a monotone aggregate of per-keyword scores.
+ScoreG = Callable[[Sequence[float]], float]
+
+
+def f_count(endorsers: set) -> float:
+    """The paper's default f = count."""
+    return float(len(endorsers))
+
+
+def g_sum(scores: Sequence[float]) -> float:
+    """The paper's default g = sum."""
+    return float(sum(scores))
+
+
+@dataclass
+class TaggingData:
+    """Materialised accessors over a tagging site graph.
+
+    Attributes mirror the paper's notation:
+
+    * ``network[u]`` — users connected to u (either direction);
+    * ``items[u]`` — items tagged by u;
+    * ``taggers[(i, k)]`` — users who tagged item i with tag k;
+    * ``tag_vocab`` — all tags observed.
+    """
+
+    users: list[Id] = field(default_factory=list)
+    item_ids: list[Id] = field(default_factory=list)
+    tag_vocab: list[str] = field(default_factory=list)
+    network: dict[Id, set] = field(default_factory=dict)
+    items: dict[Id, set] = field(default_factory=dict)
+    taggers: dict[tuple[Id, str], set] = field(default_factory=dict)
+    #: items that carry tag k at all (candidate lists per keyword)
+    items_with_tag: dict[str, set] = field(default_factory=dict)
+
+    @classmethod
+    def from_graph(cls, graph: SocialContentGraph) -> "TaggingData":
+        """One-pass extraction from a social content graph."""
+        data = cls()
+        users: set[Id] = set()
+        items: set[Id] = set()
+        tags: set[str] = set()
+        for node in graph.nodes():
+            if node.has_type("user"):
+                users.add(node.id)
+                data.network.setdefault(node.id, set())
+                data.items.setdefault(node.id, set())
+            elif node.has_type("item"):
+                items.add(node.id)
+        for link in graph.links():
+            if link.has_type("connect"):
+                data.network.setdefault(link.src, set()).add(link.tgt)
+                data.network.setdefault(link.tgt, set()).add(link.src)
+            elif link.has_type("tag"):
+                data.items.setdefault(link.src, set()).add(link.tgt)
+                for value in link.values("tags"):
+                    tag = str(value)
+                    tags.add(tag)
+                    data.taggers.setdefault((link.tgt, tag), set()).add(link.src)
+                    data.items_with_tag.setdefault(tag, set()).add(link.tgt)
+        data.users = sorted(users, key=repr)
+        data.item_ids = sorted(items, key=repr)
+        data.tag_vocab = sorted(tags)
+        return data
+
+    # -- scoring ------------------------------------------------------------
+
+    def score_tag(
+        self, item: Id, user: Id, tag: str, f: ScoreF = f_count
+    ) -> float:
+        """score_k(i, u) = f(network(u) ∩ taggers(i, k))."""
+        taggers = self.taggers.get((item, tag))
+        if not taggers:
+            return 0.0
+        return f(self.network.get(user, set()) & taggers)
+
+    def score(
+        self,
+        item: Id,
+        user: Id,
+        keywords: Iterable[str],
+        f: ScoreF = f_count,
+        g: ScoreG = g_sum,
+    ) -> float:
+        """score(i, u) = g over the per-keyword scores."""
+        return g([self.score_tag(item, user, k, f) for k in keywords])
+
+    def brute_force_topk(
+        self,
+        user: Id,
+        keywords: Sequence[str],
+        k: int,
+        f: ScoreF = f_count,
+        g: ScoreG = g_sum,
+    ) -> list[tuple[Id, float]]:
+        """Exact top-k by scoring every candidate item (the reference).
+
+        Candidates are items carrying at least one query keyword; ties are
+        broken by item id for determinism.  Zero-score items are excluded
+        (an item none of your network tagged is not a result).
+        """
+        candidates: set[Id] = set()
+        for keyword in keywords:
+            candidates |= self.items_with_tag.get(keyword, set())
+        scored = []
+        for item in candidates:
+            s = self.score(item, user, keywords, f, g)
+            if s > 0:
+                scored.append((item, s))
+        scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        return scored[:k]

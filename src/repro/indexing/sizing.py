@@ -1,0 +1,111 @@
+"""Index size analysis — the paper's "~1 terabyte" estimate (§6.2).
+
+    "Consider a moderately sized social content site with 100,000 users,
+    1 million items, and 1000 distinct tags.  If on average each item
+    receives 20 tags which are given by 5% of the users, the size of the
+    index would be approximately 1 terabyte, assuming 10 bytes per index
+    entry."
+
+The arithmetic behind that sentence: every tagging of item *i* with tag *k*
+by some user contributes (via that tagger's network) an entry in the
+per-(tag, user) lists; the paper approximates the entry count as
+
+    items x tags_per_item x taggers_per_(item,tag)
+    = 1e6 x 20 x (5% x 1e5) = 1e11 entries = 1 TB at 10 B/entry.
+
+:func:`paper_scale_estimate` reproduces that model at any scale;
+:func:`measured_report` sizes our actual index structures on a generated
+workload so the sizing bench can print *analytic paper scale* alongside
+*measured scaled-down* numbers and the compression each clustering
+strategy buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.indexing.clustered import ClusteredIndex
+from repro.indexing.inverted import ENTRY_BYTES, ExactUserIndex, GlobalPopularityIndex
+from repro.indexing.scores import TaggingData
+
+
+@dataclass(frozen=True)
+class SizingScenario:
+    """Site-size parameters of the analytic model."""
+
+    num_users: int = 100_000
+    num_items: int = 1_000_000
+    num_tags: int = 1_000
+    tags_per_item: float = 20.0
+    tagger_fraction: float = 0.05  # fraction of users tagging each (item, tag)
+    entry_bytes: int = ENTRY_BYTES
+
+
+@dataclass(frozen=True)
+class SizingEstimate:
+    """Analytic output of the paper's model."""
+
+    entries: float
+    bytes: float
+
+    @property
+    def terabytes(self) -> float:
+        """Size in TB (10^12 bytes, the paper's loose unit)."""
+        return self.bytes / 1e12
+
+    @property
+    def gigabytes(self) -> float:
+        """Size in GB (10^9 bytes)."""
+        return self.bytes / 1e9
+
+
+def paper_scale_estimate(scenario: SizingScenario | None = None) -> SizingEstimate:
+    """The paper's back-of-envelope entry count for the per-(tag,user) index.
+
+    >>> est = paper_scale_estimate()
+    >>> round(est.terabytes, 2)
+    1.0
+    """
+    s = scenario or SizingScenario()
+    entries = s.num_items * s.tags_per_item * (s.tagger_fraction * s.num_users)
+    return SizingEstimate(entries=entries, bytes=entries * s.entry_bytes)
+
+
+@dataclass
+class MeasuredSizes:
+    """Measured entry counts of the concrete index structures."""
+
+    exact_entries: int
+    exact_lists: int
+    global_entries: int
+    clustered: dict[str, tuple[int, int]]  # strategy -> (entries, lists)
+
+    def compression(self, strategy: str) -> float:
+        """Exact-index entries divided by a clustered index's entries."""
+        entries, _ = self.clustered[strategy]
+        if entries == 0:
+            return float("inf")
+        return self.exact_entries / entries
+
+
+def measured_report(
+    data: TaggingData,
+    clusterings: dict[str, "object"],
+) -> MeasuredSizes:
+    """Build every index once and report measured sizes.
+
+    *clusterings* maps strategy name to a
+    :class:`~repro.indexing.clustering.Clustering`.
+    """
+    exact = ExactUserIndex(data).report()
+    global_ = GlobalPopularityIndex(data).report()
+    clustered: dict[str, tuple[int, int]] = {}
+    for name, clustering in clusterings.items():
+        report = ClusteredIndex(data, clustering).report()
+        clustered[name] = (report.entries, report.lists)
+    return MeasuredSizes(
+        exact_entries=exact.entries,
+        exact_lists=exact.lists,
+        global_entries=global_.entries,
+        clustered=clustered,
+    )

@@ -1,0 +1,204 @@
+"""Top-k pruning algorithms over sorted inverted lists.
+
+Paper §6.2: "Storing scores allows to sort entries in the inverted list
+thereby enabling top-k pruning [16]" — reference 16 is Fagin, Lotem &
+Naor's *Optimal aggregation algorithms for middleware* (TA / NRA).  Both
+algorithms are implemented from scratch over generic score-sorted lists:
+
+* :func:`threshold_algorithm` (TA) — round-robin sorted access plus random
+  access to complete each seen item's score; stops when the k-th best score
+  reaches the threshold of unseen items.
+* :func:`no_random_access` (NRA) — sorted access only, maintaining
+  lower/upper bounds per item; stops when the k-th lower bound dominates
+  every other item's upper bound.
+
+Monotone g is assumed (the paper requires it); both functions work for any
+g applied to per-list scores with "missing = 0" semantics, which holds for
+the default g = sum.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core import Id
+
+Entry = tuple[Id, float]
+RandomAccess = Callable[[Id, int], float]
+Aggregate = Callable[[Sequence[float]], float]
+
+
+@dataclass
+class QueryStats:
+    """Machine-independent work counters for one top-k query."""
+
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+    exact_computations: int = 0
+    candidates: int = 0
+
+    def total_accesses(self) -> int:
+        """Sorted + random accesses (the classic middleware cost)."""
+        return self.sorted_accesses + self.random_accesses
+
+
+def _top_k_sorted(scores: dict[Id, float], k: int) -> list[Entry]:
+    ordered = sorted(scores.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    return ordered[:k]
+
+
+def brute_force(
+    lists: Sequence[Sequence[Entry]],
+    k: int,
+    g: Aggregate,
+) -> tuple[list[Entry], QueryStats]:
+    """Score every item appearing in any list (the no-pruning baseline)."""
+    stats = QueryStats()
+    per_item: dict[Id, list[float]] = {}
+    for entries in lists:
+        for item, score in entries:
+            stats.sorted_accesses += 1
+            per_item.setdefault(item, [0.0] * len(lists))
+    for li, entries in enumerate(lists):
+        for item, score in entries:
+            per_item[item][li] = score
+    totals = {item: g(scores) for item, scores in per_item.items()}
+    stats.candidates = len(totals)
+    stats.exact_computations = len(totals)
+    return _top_k_sorted({i: s for i, s in totals.items() if s > 0}, k), stats
+
+
+def threshold_algorithm(
+    lists: Sequence[Sequence[Entry]],
+    random_access: RandomAccess,
+    k: int,
+    g: Aggregate,
+) -> tuple[list[Entry], QueryStats]:
+    """Fagin's TA.
+
+    Performs sorted access in parallel (round-robin, one entry per list per
+    round); each newly seen item's full score is completed by random access
+    to the other lists.  The stopping threshold is g over the last scores
+    seen under sorted access in each list.
+    """
+    stats = QueryStats()
+    n_lists = len(lists)
+    if n_lists == 0:
+        return [], stats
+    positions = [0] * n_lists
+    last_seen = [0.0] * n_lists
+    exhausted = [len(entries) == 0 for entries in lists]
+    seen: dict[Id, float] = {}
+    heap: list[tuple[float, str]] = []  # min-heap of top-k scores
+
+    while not all(exhausted):
+        for li in range(n_lists):
+            if exhausted[li]:
+                last_seen[li] = 0.0  # an exhausted list contributes nothing
+                continue
+            item, score = lists[li][positions[li]]
+            stats.sorted_accesses += 1
+            positions[li] += 1
+            if positions[li] >= len(lists[li]):
+                exhausted[li] = True
+            last_seen[li] = score
+            if item in seen:
+                continue
+            parts = []
+            for other in range(n_lists):
+                if other == li:
+                    parts.append(score)
+                else:
+                    parts.append(random_access(item, other))
+                    stats.random_accesses += 1
+            total = g(parts)
+            stats.exact_computations += 1
+            seen[item] = total
+            if total > 0:
+                heapq.heappush(heap, (total, repr(item)))
+                if len(heap) > k:
+                    heapq.heappop(heap)
+        threshold = g(last_seen)
+        if len(heap) == k and heap and heap[0][0] >= threshold:
+            break
+        if threshold <= 0 and all(exhausted):
+            break
+    stats.candidates = len(seen)
+    return _top_k_sorted({i: s for i, s in seen.items() if s > 0}, k), stats
+
+
+@dataclass
+class _Bounds:
+    """NRA per-item bookkeeping."""
+
+    lower: float = 0.0
+    known: dict = field(default_factory=dict)  # list index -> score
+
+
+def no_random_access(
+    lists: Sequence[Sequence[Entry]],
+    k: int,
+    g: Aggregate,
+) -> tuple[list[Entry], QueryStats]:
+    """Fagin's NRA: sorted access only, lower/upper bound maintenance.
+
+    Upper bounds substitute each unknown list score with that list's last
+    seen value; the algorithm stops when k items' lower bounds dominate all
+    other items' upper bounds (and the unseen-item threshold).
+    """
+    stats = QueryStats()
+    n_lists = len(lists)
+    if n_lists == 0:
+        return [], stats
+    positions = [0] * n_lists
+    last_seen = [float("inf")] * n_lists
+    exhausted = [len(entries) == 0 for entries in lists]
+    for li, is_done in enumerate(exhausted):
+        if is_done:
+            last_seen[li] = 0.0
+    bounds: dict[Id, _Bounds] = {}
+
+    def upper(b: _Bounds) -> float:
+        parts = [
+            b.known.get(li, last_seen[li] if not exhausted[li] else 0.0)
+            for li in range(n_lists)
+        ]
+        return g(parts)
+
+    def lower(b: _Bounds) -> float:
+        parts = [b.known.get(li, 0.0) for li in range(n_lists)]
+        return g(parts)
+
+    while not all(exhausted):
+        for li in range(n_lists):
+            if exhausted[li]:
+                continue
+            item, score = lists[li][positions[li]]
+            stats.sorted_accesses += 1
+            positions[li] += 1
+            if positions[li] >= len(lists[li]):
+                exhausted[li] = True
+            last_seen[li] = score
+            bounds.setdefault(item, _Bounds()).known[li] = score
+
+        if len(bounds) >= k:
+            lowers = {item: lower(b) for item, b in bounds.items()}
+            ranked = sorted(lowers.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+            kth_lower = ranked[k - 1][1] if len(ranked) >= k else 0.0
+            top_ids = {item for item, _ in ranked[:k]}
+            threshold = g([
+                0.0 if exhausted[li] else last_seen[li] for li in range(n_lists)
+            ])
+            contender = max(
+                (upper(b) for item, b in bounds.items() if item not in top_ids),
+                default=0.0,
+            )
+            if kth_lower >= max(contender, threshold) and kth_lower > 0:
+                break
+
+    stats.candidates = len(bounds)
+    stats.exact_computations = len(bounds)
+    finals = {item: lower(b) for item, b in bounds.items()}
+    return _top_k_sorted({i: s for i, s in finals.items() if s > 0}, k), stats

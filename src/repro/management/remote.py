@@ -1,0 +1,178 @@
+"""Simulated remote sites behind an OpenSocial-style API.
+
+The paper's architecture integrates "externally integrated (e.g.,
+friendship connection obtained from Facebook)" data through open standards
+(OpenID/OpenSocial).  Real remote sites are out of reach offline, so this
+module simulates them (DESIGN.md substitution #3): each
+:class:`RemoteSocialSite` owns profiles, connections and activity streams,
+exposes them through a permissioned API, and *accounts every call* so that
+the Table 2 bench can measure — not assert — the behavioural differences
+between the three content-management models.
+
+The API surface mirrors OpenSocial's people/activities services:
+``get_profile``, ``get_connections``, ``get_activities``,
+``post_activity``, ``push_connection``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core import Id
+from repro.errors import ManagementError, PermissionDeniedError
+
+#: Permission scopes a user may grant a client site (OAuth-style).
+SCOPE_PROFILE = "profile"
+SCOPE_CONNECTIONS = "connections"
+SCOPE_ACTIVITIES = "activities"
+SCOPE_WRITE = "write"
+ALL_SCOPES = frozenset({SCOPE_PROFILE, SCOPE_CONNECTIONS, SCOPE_ACTIVITIES,
+                        SCOPE_WRITE})
+
+
+@dataclass
+class Profile:
+    """A user's social profile on one site."""
+
+    user_id: Id
+    name: str
+    interests: tuple[str, ...] = ()
+    attributes: dict = field(default_factory=dict)
+
+
+@dataclass
+class Activity:
+    """One activity-stream entry (e.g. 'tagged item X')."""
+
+    user_id: Id
+    verb: str
+    item_id: Id
+    payload: dict = field(default_factory=dict)
+    sequence: int = 0
+
+
+@dataclass
+class CallLog:
+    """Per-site API accounting (reads/writes/denials)."""
+
+    reads: int = 0
+    writes: int = 0
+    denials: int = 0
+
+    @property
+    def total(self) -> int:
+        """All API calls, including denied ones."""
+        return self.reads + self.writes + self.denials
+
+
+class RemoteSocialSite:
+    """A simulated social site (Facebook / Y!IM / Flickr stand-in)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._profiles: dict[Id, Profile] = {}
+        self._connections: dict[Id, set[Id]] = {}
+        self._activities: list[Activity] = []
+        self._grants: dict[tuple[Id, str], set[str]] = {}
+        self.calls = CallLog()
+        self._sequence = 0
+
+    # -------------------------------------------------------------- site data
+    def register_user(self, user_id: Id, name: str,
+                      interests: tuple[str, ...] = ()) -> Profile:
+        """Create a profile (the user signing up on this site)."""
+        profile = Profile(user_id=user_id, name=name, interests=interests)
+        self._profiles[user_id] = profile
+        self._connections.setdefault(user_id, set())
+        return profile
+
+    def connect(self, a: Id, b: Id) -> None:
+        """Create a mutual connection between two registered users."""
+        for user in (a, b):
+            if user not in self._profiles:
+                raise ManagementError(
+                    f"{self.name}: user {user!r} has no profile here"
+                )
+        self._connections[a].add(b)
+        self._connections[b].add(a)
+
+    def record_activity(self, user_id: Id, verb: str, item_id: Id,
+                        **payload) -> Activity:
+        """Append to the user's activity stream (site-internal write)."""
+        self._sequence += 1
+        activity = Activity(user_id=user_id, verb=verb, item_id=item_id,
+                            payload=payload, sequence=self._sequence)
+        self._activities.append(activity)
+        return activity
+
+    @property
+    def num_users(self) -> int:
+        """Registered profile count."""
+        return len(self._profiles)
+
+    def has_profile(self, user_id: Id) -> bool:
+        """True when the user holds a profile on this site."""
+        return user_id in self._profiles
+
+    # ------------------------------------------------------------ permissions
+    def grant(self, user_id: Id, client: str, scopes: set[str]) -> None:
+        """User grants *client* access to the given scopes (OAuth consent)."""
+        unknown = scopes - ALL_SCOPES
+        if unknown:
+            raise ManagementError(f"unknown scopes: {unknown}")
+        self._grants.setdefault((user_id, client), set()).update(scopes)
+
+    def revoke(self, user_id: Id, client: str) -> None:
+        """Drop all grants of a user to a client."""
+        self._grants.pop((user_id, client), None)
+
+    def _check(self, user_id: Id, client: str, scope: str) -> None:
+        if scope not in self._grants.get((user_id, client), set()):
+            self.calls.denials += 1
+            raise PermissionDeniedError(self.name, user_id, scope)
+
+    # ------------------------------------------------------------------- API
+    def get_profile(self, user_id: Id, client: str) -> Profile:
+        """OpenSocial people.get for one user."""
+        self._check(user_id, client, SCOPE_PROFILE)
+        self.calls.reads += 1
+        profile = self._profiles.get(user_id)
+        if profile is None:
+            raise ManagementError(f"{self.name}: no profile for {user_id!r}")
+        return profile
+
+    def get_connections(self, user_id: Id, client: str) -> set[Id]:
+        """OpenSocial people.get with the @friends group."""
+        self._check(user_id, client, SCOPE_CONNECTIONS)
+        self.calls.reads += 1
+        return set(self._connections.get(user_id, set()))
+
+    def get_activities(self, user_id: Id, client: str,
+                       since: int = 0) -> list[Activity]:
+        """OpenSocial activities.get, optionally incremental (since seq)."""
+        self._check(user_id, client, SCOPE_ACTIVITIES)
+        self.calls.reads += 1
+        return [a for a in self._activities
+                if a.user_id == user_id and a.sequence > since]
+
+    def post_activity(self, user_id: Id, client: str, verb: str,
+                      item_id: Id, **payload) -> Activity:
+        """OpenSocial activities.create on behalf of the user."""
+        self._check(user_id, client, SCOPE_WRITE)
+        self.calls.writes += 1
+        return self.record_activity(user_id, verb, item_id, **payload)
+
+    def push_connection(self, user_id: Id, other: Id, client: str) -> None:
+        """Propagate a connection established on the content site back here
+        (the Open Cartel model's write-back path)."""
+        self._check(user_id, client, SCOPE_WRITE)
+        self.calls.writes += 1
+        if other not in self._profiles:
+            self.register_user(other, f"user{other}")
+        self.connect(user_id, other)
+
+    # ----------------------------------------------------------------- admin
+    def iter_users(self) -> Iterator[Id]:
+        """All registered user ids (site-internal, not via the API)."""
+        return iter(sorted(self._profiles, key=repr))

@@ -1,0 +1,105 @@
+"""Group meaningfulness and grouping choice (paper §7.1).
+
+    "Group meaningfulness can be defined using a combination of the
+    following criteria.  First, total number of groups.  Due to real
+    estate on a page, the number of groups to display at a time needs to
+    be restricted.  Second, group quality, which is defined using the
+    relevance of items in the group.  Finally, group size, which is simply
+    the number of items in the group."
+
+:func:`meaningfulness` scores a candidate grouping on exactly those three
+criteria; :func:`choose_grouping` lets the Information Organizer pick the
+best dimension for the current result set ("when multiple presentation
+groups are available, Information Organizer also makes decisions on which
+group is more relevant").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.discovery.msg import MeaningfulSocialGraph
+from repro.presentation.grouping import GroupingResult
+
+
+@dataclass(frozen=True)
+class MeaningfulnessWeights:
+    """Relative weights of the three §7.1 criteria."""
+
+    count_weight: float = 1.0
+    quality_weight: float = 1.0
+    balance_weight: float = 1.0
+    #: screen real estate: the ideal displayed group count
+    ideal_groups: int = 4
+    max_groups: int = 8
+
+
+def count_score(n_groups: int, weights: MeaningfulnessWeights) -> float:
+    """1.0 at the ideal group count, decaying toward 0 at 1 or many groups.
+
+    A single group conveys nothing; more groups than fit the page hurt.
+    """
+    if n_groups <= 1:
+        return 0.0
+    if n_groups > weights.max_groups:
+        return max(0.0, 1.0 - 0.15 * (n_groups - weights.max_groups))
+    distance = abs(n_groups - weights.ideal_groups)
+    return max(0.0, 1.0 - distance / weights.max_groups)
+
+
+def quality_score(grouping: GroupingResult, msg: MeaningfulSocialGraph) -> float:
+    """Mean over groups of the mean item relevance inside the group."""
+    if not grouping.groups:
+        return 0.0
+    means = []
+    for group in grouping.groups:
+        if not group.items:
+            continue
+        means.append(
+            sum(msg.score_of(i) for i in group.items) / len(group.items)
+        )
+    return sum(means) / len(means) if means else 0.0
+
+
+def balance_score(grouping: GroupingResult) -> float:
+    """Normalised size entropy: 1.0 for evenly sized groups, → 0 for one
+    dominant group."""
+    sizes = [g.size for g in grouping.groups if g.size > 0]
+    if len(sizes) <= 1:
+        return 0.0
+    total = sum(sizes)
+    entropy = -sum((s / total) * math.log(s / total) for s in sizes)
+    return entropy / math.log(len(sizes))
+
+
+def meaningfulness(
+    grouping: GroupingResult,
+    msg: MeaningfulSocialGraph,
+    weights: MeaningfulnessWeights | None = None,
+) -> float:
+    """Combined §7.1 meaningfulness of a candidate grouping."""
+    w = weights or MeaningfulnessWeights()
+    total_weight = w.count_weight + w.quality_weight + w.balance_weight
+    score = (
+        w.count_weight * count_score(grouping.num_groups, w)
+        + w.quality_weight * quality_score(grouping, msg)
+        + w.balance_weight * balance_score(grouping)
+    )
+    return score / total_weight if total_weight else 0.0
+
+
+def choose_grouping(
+    candidates: list[GroupingResult],
+    msg: MeaningfulSocialGraph,
+    weights: MeaningfulnessWeights | None = None,
+) -> tuple[GroupingResult, dict[str, float]]:
+    """Pick the most meaningful grouping; returns (winner, per-dimension
+    scores) so callers can explain the choice."""
+    if not candidates:
+        raise ValueError("no candidate groupings supplied")
+    scored = {
+        c.dimension: meaningfulness(c, msg, weights) for c in candidates
+    }
+    winner = max(candidates, key=lambda c: (scored[c.dimension], c.dimension))
+    return winner, scored

@@ -1,0 +1,191 @@
+"""The Information Organizer: MSG → result page (paper §3, §7).
+
+    "It admits as input the MSG from the Information Discovery layer and
+    dynamically organizes the results for effective exploration by the
+    user.  There are two key primitives: grouping and ranking, managed by
+    Information Organizer and Result Selector, respectively."
+
+:class:`InformationOrganizer` builds the candidate groupings (social,
+topical, structural facets, endorser-group), picks the most meaningful one
+(§7.1), ranks groups and members (Result Selector), and attaches §7.2
+explanations — yielding a :class:`ResultPage`, the library's end-user-facing
+answer object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import Id, SocialContentGraph
+from repro.discovery.msg import MeaningfulSocialGraph
+from repro.presentation.explanations import (
+    COLLABORATIVE,
+    Explanation,
+    GroupExplanation,
+    explain_collaborative,
+    explain_content_based,
+    explain_group,
+)
+from repro.presentation.grouping import (
+    GroupingResult,
+    endorser_group_grouping,
+    social_grouping,
+    structural_grouping,
+    topical_grouping,
+)
+from repro.presentation.hierarchy import GroupingFactory, HierarchicalPresenter
+from repro.presentation.meaningful import MeaningfulnessWeights, choose_grouping
+from repro.presentation.ranking import RankedGroup, ResultSelector
+
+
+@dataclass
+class ResultEntry:
+    """One displayed result."""
+
+    item_id: Id
+    name: str
+    score: float
+    explanation: Explanation
+
+
+@dataclass
+class ResultGroup:
+    """One displayed group with ranked entries and a group explanation."""
+
+    label: str
+    dimension: str
+    entries: list[ResultEntry] = field(default_factory=list)
+    group_score: float = 0.0
+    explanation: GroupExplanation | None = None
+
+
+@dataclass
+class ResultPage:
+    """The organized answer to one query."""
+
+    query_text: str
+    user_id: Id
+    groups: list[ResultGroup] = field(default_factory=list)
+    chosen_dimension: str = ""
+    dimension_scores: dict[str, float] = field(default_factory=dict)
+    flat: list[ResultEntry] = field(default_factory=list)
+    used_expert_fallback: bool = False
+
+    @property
+    def all_items(self) -> list[Id]:
+        """Every displayed item id, across groups."""
+        return [e.item_id for g in self.groups for e in g.entries]
+
+
+@dataclass
+class OrganizerConfig:
+    """Knobs for page assembly."""
+
+    structural_facets: tuple[str, ...] = ("city", "category")
+    social_theta: float = 0.3
+    weights: MeaningfulnessWeights = field(default_factory=MeaningfulnessWeights)
+    explanation_kind: str = COLLABORATIVE
+    flat_k: int = 10
+
+
+class InformationOrganizer:
+    """Builds result pages (and zoomable hierarchies) from MSGs."""
+
+    def __init__(
+        self,
+        base_graph: SocialContentGraph,
+        config: OrganizerConfig | None = None,
+    ):
+        self.base_graph = base_graph
+        self.config = config or OrganizerConfig()
+        self.selector = ResultSelector()
+
+    # ---------------------------------------------------------------- groups
+    def grouping_factories(self) -> dict[str, GroupingFactory]:
+        """All grouping dimensions available on this site."""
+        factories: dict[str, GroupingFactory] = {
+            "social": lambda msg: social_grouping(msg, self.config.social_theta),
+            "topical": topical_grouping,
+            "endorser": lambda msg: endorser_group_grouping(msg, self.base_graph),
+        }
+        for facet in self.config.structural_facets:
+            factories[f"structural:{facet}"] = (
+                lambda msg, f=facet: structural_grouping(msg, f)
+            )
+        return factories
+
+    def candidate_groupings(
+        self, msg: MeaningfulSocialGraph
+    ) -> list[GroupingResult]:
+        """Evaluate every dimension on the MSG."""
+        return [f(msg) for _, f in sorted(self.grouping_factories().items())]
+
+    # ------------------------------------------------------------------ page
+    def organize(self, msg: MeaningfulSocialGraph) -> ResultPage:
+        """Assemble the full result page for an MSG."""
+        page = ResultPage(
+            query_text=msg.query.raw_text,
+            user_id=msg.query.user_id,
+            used_expert_fallback=msg.used_expert_fallback,
+        )
+        if not msg.items:
+            return page
+        candidates = self.candidate_groupings(msg)
+        winner, scores = choose_grouping(candidates, msg, self.config.weights)
+        page.chosen_dimension = winner.dimension
+        page.dimension_scores = scores
+
+        ranked_groups = self.selector.rank_groups(winner, msg)
+        for ranked in ranked_groups:
+            page.groups.append(self._render_group(ranked, msg))
+        # The flat list is the classic single ranked list (global combined
+        # score order); interleaved across-group selection remains available
+        # via ResultSelector.interleave for diversity-first surfaces.
+        all_entries = [e for g in page.groups for e in g.entries]
+        all_entries.sort(key=lambda e: (-e.score, repr(e.item_id)))
+        page.flat = all_entries[: self.config.flat_k]
+        return page
+
+    def _render_group(
+        self, ranked: RankedGroup, msg: MeaningfulSocialGraph
+    ) -> ResultGroup:
+        entries = []
+        for item, score in ranked.items:
+            entries.append(
+                ResultEntry(
+                    item_id=item,
+                    name=str(self.base_graph.node(item).value("name", item))
+                    if self.base_graph.has_node(item)
+                    else str(item),
+                    score=score,
+                    explanation=self._explain(msg, item),
+                )
+            )
+        group_explanation = explain_group(
+            self.base_graph,
+            msg.query.user_id,
+            ranked.label,
+            [i for i, _ in ranked.items],
+            kind=self.config.explanation_kind,
+        )
+        return ResultGroup(
+            label=ranked.label,
+            dimension=ranked.dimension,
+            entries=entries,
+            group_score=ranked.group_score,
+            explanation=group_explanation,
+        )
+
+    def _explain(self, msg: MeaningfulSocialGraph, item: Id) -> Explanation:
+        if self.config.explanation_kind == COLLABORATIVE:
+            return explain_collaborative(
+                self.base_graph, msg.query.user_id, item, friends_only=True
+            )
+        return explain_content_based(self.base_graph, msg.query.user_id, item)
+
+    # ------------------------------------------------------------- hierarchy
+    def hierarchy(self, msg: MeaningfulSocialGraph) -> HierarchicalPresenter:
+        """A zoomable presenter over the MSG (§7.1's hierarchical option)."""
+        return HierarchicalPresenter(
+            msg, self.grouping_factories(), self.config.weights
+        )

@@ -1,0 +1,78 @@
+"""The Result Selector: ranking within and across groups (paper §3/§7).
+
+    "the latter [Result Selector] identifies appropriate mechanisms for
+    ranking and selecting results within or across groups."
+
+Within a group, items rank by their MSG combined score.  Across groups,
+groups rank by mean member relevance (ties: size, label).  For flat
+consumption, :func:`interleave` merges the per-group rankings round-robin
+in group rank order — a simple fairness-preserving selection across
+groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import Id
+from repro.discovery.msg import MeaningfulSocialGraph
+from repro.presentation.grouping import Group, GroupingResult
+
+
+@dataclass
+class RankedGroup:
+    """A group with its members ordered by relevance."""
+
+    label: str
+    dimension: str
+    items: list[tuple[Id, float]] = field(default_factory=list)
+    group_score: float = 0.0
+
+
+class ResultSelector:
+    """Ranks groups and their members from MSG scores."""
+
+    def rank_within(self, group: Group, msg: MeaningfulSocialGraph) -> RankedGroup:
+        """Order one group's items by combined score (desc, id tiebreak)."""
+        scored = sorted(
+            ((item, msg.score_of(item)) for item in group.items),
+            key=lambda kv: (-kv[1], repr(kv[0])),
+        )
+        mean = sum(s for _, s in scored) / len(scored) if scored else 0.0
+        return RankedGroup(
+            label=group.label,
+            dimension=group.dimension,
+            items=scored,
+            group_score=mean,
+        )
+
+    def rank_groups(
+        self, grouping: GroupingResult, msg: MeaningfulSocialGraph
+    ) -> list[RankedGroup]:
+        """Rank all groups: by mean relevance, then size, then label."""
+        ranked = [self.rank_within(group, msg) for group in grouping.groups]
+        ranked.sort(key=lambda g: (-g.group_score, -len(g.items), g.label))
+        return ranked
+
+    def interleave(
+        self, ranked_groups: list[RankedGroup], k: int
+    ) -> list[tuple[Id, float]]:
+        """Round-robin the ranked groups into one flat top-k list."""
+        out: list[tuple[Id, float]] = []
+        seen: set[Id] = set()
+        position = 0
+        while len(out) < k:
+            advanced = False
+            for group in ranked_groups:
+                if position < len(group.items):
+                    item, score = group.items[position]
+                    if item not in seen:
+                        out.append((item, score))
+                        seen.add(item)
+                        advanced = True
+                        if len(out) >= k:
+                            break
+            if not advanced:
+                break
+            position += 1
+        return out

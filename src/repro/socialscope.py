@@ -1,0 +1,137 @@
+"""The SocialScope facade: the three-layer architecture of Figure 1.
+
+    Content Management  —  integrating, maintaining and physically
+                           accessing the content and social data;
+    Information Discovery — analyzing content to derive interesting new
+                           information, and interpreting and processing
+                           the user's information need;
+    Information Presentation — exploring the discovered information and
+                           helping users better understand it.
+
+:class:`SocialScope` wires a :class:`~repro.management.DataManager`
+(bottom), a :class:`~repro.analysis.ContentAnalyzer` +
+:class:`~repro.discovery.InformationDiscoverer` (middle), and an
+:class:`~repro.presentation.InformationOrganizer` (top) into the
+two calls an application actually makes::
+
+    scope = SocialScope.from_graph(graph)
+    page = scope.search(user_id, "Denver attractions")     # query
+    page = scope.recommend(user_id)                        # empty query
+
+Remote sites attach through the management layer (`attach_remote`), and
+offline analyses run through `analyze`, after which discovery sees the
+enriched graph automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import ContentAnalyzer
+from repro.core import Id, SocialContentGraph
+from repro.discovery import (
+    DiscoveryConfig,
+    InformationDiscoverer,
+    MeaningfulSocialGraph,
+)
+from repro.management import DataManager, RemoteSocialSite
+from repro.presentation import (
+    HierarchicalPresenter,
+    InformationOrganizer,
+    OrganizerConfig,
+    ResultPage,
+)
+
+
+@dataclass
+class SocialScopeConfig:
+    """End-to-end configuration of the stack."""
+
+    discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
+    organizer: OrganizerConfig = field(default_factory=OrganizerConfig)
+    #: analyses to run automatically on construction (names from the
+    #: ContentAnalyzer registry); empty = none.
+    auto_analyses: tuple[str, ...] = ()
+
+
+class SocialScope:
+    """The assembled system."""
+
+    def __init__(self, data_manager: DataManager,
+                 config: SocialScopeConfig | None = None):
+        self.config = config or SocialScopeConfig()
+        self.data_manager = data_manager
+        self.analyzer = ContentAnalyzer(self.data_manager.graph())
+        for name in self.config.auto_analyses:
+            self.analyze(name)
+        self._rebuild_upper_layers()
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_graph(
+        cls,
+        graph: SocialContentGraph,
+        config: SocialScopeConfig | None = None,
+    ) -> "SocialScope":
+        """Build the stack around an existing logical graph."""
+        dm = DataManager()
+        dm.load_graph(graph)
+        return cls(dm, config)
+
+    def _rebuild_upper_layers(self) -> None:
+        graph = self.analyzer.graph
+        self.discoverer = InformationDiscoverer(
+            graph, config=self.config.discovery
+        )
+        self.organizer = InformationOrganizer(
+            graph, config=self.config.organizer
+        )
+
+    # ---------------------------------------------------------------- content
+    @property
+    def graph(self) -> SocialContentGraph:
+        """The current (possibly analysis-enriched) social content graph."""
+        return self.analyzer.graph
+
+    def attach_remote(self, site: RemoteSocialSite,
+                      with_activities: bool = False) -> None:
+        """Pull a remote site's social data in (Open Cartel integration)."""
+        self.data_manager.attach_remote(site, with_activities=with_activities)
+        self.analyzer.graph = self.data_manager.graph()
+        self._rebuild_upper_layers()
+
+    def analyze(self, name: str) -> None:
+        """Run one Content Analyzer analysis and refresh discovery.
+
+        The enriched graph lives in the analyzer; the Data Manager keeps
+        the raw records (re-deriving is cheap and derivations are marked
+        with ``derived_by``, so nothing is lost by not persisting them).
+        """
+        self.analyzer.run(name)
+        self._rebuild_upper_layers()
+
+    # -------------------------------------------------------------- discovery
+    def discover(self, user_id: Id, text: str = "", structural=None,
+                 strategy: str | None = None, k: int | None = None
+                 ) -> MeaningfulSocialGraph:
+        """Query → MSG (stop before presentation)."""
+        return self.discoverer.discover(
+            user_id, text, structural=structural, strategy=strategy, k=k
+        )
+
+    # ------------------------------------------------------------ presentation
+    def search(self, user_id: Id, query: str, structural=None,
+               strategy: str | None = None, k: int | None = None) -> ResultPage:
+        """The full pipeline: query → MSG → organized result page."""
+        msg = self.discover(user_id, query, structural=structural,
+                            strategy=strategy, k=k)
+        return self.organizer.organize(msg)
+
+    def recommend(self, user_id: Id, k: int | None = None) -> ResultPage:
+        """Empty-query mode: social relevance only (§4)."""
+        return self.search(user_id, "", k=k)
+
+    def explore(self, user_id: Id, query: str) -> HierarchicalPresenter:
+        """Zoomable hierarchical presentation of a query's results."""
+        msg = self.discover(user_id, query)
+        return self.organizer.hierarchy(msg)

@@ -1,0 +1,48 @@
+"""Synthetic workloads standing in for the paper's proprietary data.
+
+Substitutions (documented in DESIGN.md §1.5):
+
+* :mod:`repro.workloads.generator` — generic social content site
+  (small-world network, Zipfian activity);
+* :mod:`repro.workloads.travel` — Y!Travel-like site with the paper's
+  three personas (John / Selma / Alexia);
+* :mod:`repro.workloads.tagging` — del.icio.us-like tagging site with
+  community structure (for §6.2's index/clustering study);
+* :mod:`repro.workloads.queries` — the Table 1 query workload;
+* :mod:`repro.workloads.lexicon` — the shared travel gazetteer/lexicons.
+"""
+
+from repro.workloads.generator import (
+    DEFAULT_CATEGORIES,
+    GeneratedSite,
+    WorkloadConfig,
+    build_site,
+)
+from repro.workloads.lexicon import DEFAULT_LEXICON, TravelLexicon
+from repro.workloads.queries import (
+    NOISE_SHARE,
+    QueryWorkloadGenerator,
+    TABLE1_TARGETS,
+    TravelQuery,
+    table1_counts,
+)
+from repro.workloads.tagging import TaggingSite, TaggingSiteConfig, build_tagging_site
+from repro.workloads.travel import (
+    ALEXIA,
+    CITIES,
+    JOHN,
+    SELMA,
+    TravelSite,
+    TravelSiteConfig,
+    build_travel_site,
+)
+
+__all__ = [
+    "WorkloadConfig", "GeneratedSite", "build_site", "DEFAULT_CATEGORIES",
+    "TravelSiteConfig", "TravelSite", "build_travel_site",
+    "JOHN", "SELMA", "ALEXIA", "CITIES",
+    "TaggingSiteConfig", "TaggingSite", "build_tagging_site",
+    "QueryWorkloadGenerator", "TravelQuery", "table1_counts",
+    "TABLE1_TARGETS", "NOISE_SHARE",
+    "TravelLexicon", "DEFAULT_LEXICON",
+]

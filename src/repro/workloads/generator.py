@@ -1,0 +1,198 @@
+"""Generic social-content-site workload generator.
+
+The paper evaluates its ideas against proprietary Yahoo! Travel /
+del.icio.us-style data we cannot access, so (per the reproduction's
+substitution rule) we synthesise graphs with the structural properties the
+paper leans on:
+
+* **small-world social networks** — the paper cites Watts-Strogatz [29] and
+  Newman [27] as the models of the underlying social graphs; we generate
+  friendships with :func:`networkx.watts_strogatz_graph` (optionally
+  Barabási-Albert for heavy-tailed degree);
+* **Zipfian item popularity** — activity concentrates on few popular items,
+  the regime that makes §6.2's index-size math bite;
+* **interest-aligned activity** — users carry interest vectors over
+  categories and favour items of matching categories, which gives the
+  Content Analyzer real structure (topics, similar users) to discover.
+
+All generation is deterministic given the config's ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core import Link, Node, SocialContentGraph
+
+#: Default category vocabulary; travel-flavoured but generic enough for any
+#: content site.
+DEFAULT_CATEGORIES = (
+    "baseball", "museum", "family", "music", "history",
+    "food", "outdoors", "nightlife", "shopping", "art",
+)
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for the generic generator.
+
+    ``activity_rate`` is the mean number of activities per user; activities
+    are split between ``visit``, ``tag`` and ``rate`` in the given mix.
+    """
+
+    num_users: int = 200
+    num_items: int = 400
+    categories: tuple[str, ...] = DEFAULT_CATEGORIES
+    interests_per_user: int = 3
+    # social network shape
+    network_model: str = "watts_strogatz"  # or "barabasi_albert"
+    mean_degree: int = 8
+    rewire_prob: float = 0.1
+    # activity shape
+    activity_rate: float = 12.0
+    zipf_exponent: float = 1.1
+    interest_affinity: float = 0.75  # prob. an activity targets an interest
+    activity_mix: tuple[tuple[str, float], ...] = (
+        ("visit", 0.5), ("tag", 0.3), ("rate", 0.2),
+    )
+    tags_per_action: int = 2
+    seed: int = 7
+
+
+@dataclass
+class GeneratedSite:
+    """The generator's output: the graph plus handy id registries."""
+
+    graph: SocialContentGraph
+    user_ids: list[int] = field(default_factory=list)
+    item_ids: list[str] = field(default_factory=list)
+    categories: tuple[str, ...] = ()
+
+    @property
+    def num_activities(self) -> int:
+        """Number of ``act`` links in the generated graph."""
+        return sum(1 for l in self.graph.links() if l.has_type("act"))
+
+
+def _zipf_weights(n: int, exponent: float) -> list[float]:
+    """Unnormalised Zipf weights for ranks 1..n."""
+    return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+
+
+def _social_network(config: WorkloadConfig) -> nx.Graph:
+    """Undirected friendship topology per the configured model."""
+    k = max(2, min(config.mean_degree, config.num_users - 1))
+    if k % 2:
+        k -= 1  # watts_strogatz requires even k
+    if config.network_model == "watts_strogatz":
+        return nx.watts_strogatz_graph(
+            config.num_users, max(2, k), config.rewire_prob, seed=config.seed
+        )
+    if config.network_model == "barabasi_albert":
+        m = max(1, k // 2)
+        return nx.barabasi_albert_graph(config.num_users, m, seed=config.seed)
+    raise ValueError(f"unknown network model {config.network_model!r}")
+
+
+def build_site(config: WorkloadConfig | None = None) -> GeneratedSite:
+    """Generate a full social content graph.
+
+    Node conventions (consistent across all workloads in this package):
+
+    * users: integer ids, ``type='user'``, attributes ``name``,
+      ``interests`` (multi-valued categories);
+    * items: string ids ``i<k>``, ``type='item'``, attributes ``name``,
+      ``category`` (1-2 values), ``keywords``;
+    * friendships: two directed ``connect, friend`` links per undirected
+      edge (the paper's links are directed; friendship is symmetric);
+    * activities: ``act, visit`` / ``act, tag`` (with ``tags``) /
+      ``act, rate`` (with ``rating``) links user → item.
+    """
+    config = config or WorkloadConfig()
+    rng = random.Random(config.seed)
+    graph = SocialContentGraph()
+
+    # -- users ----------------------------------------------------------------
+    user_ids = list(range(1, config.num_users + 1))
+    user_interests: dict[int, list[str]] = {}
+    for uid in user_ids:
+        interests = rng.sample(
+            config.categories,
+            k=min(config.interests_per_user, len(config.categories)),
+        )
+        user_interests[uid] = interests
+        graph.add_node(
+            Node(uid, type="user", name=f"user{uid}", interests=interests)
+        )
+
+    # -- social network ---------------------------------------------------------
+    topology = _social_network(config)
+    for edge_index, (a, b) in enumerate(sorted(topology.edges())):
+        u, v = user_ids[a], user_ids[b]
+        graph.add_link(Link(f"fr:{u}->{v}", u, v, type="connect, friend"))
+        graph.add_link(Link(f"fr:{v}->{u}", v, u, type="connect, friend"))
+
+    # -- items -------------------------------------------------------------------
+    item_ids = [f"i{k}" for k in range(1, config.num_items + 1)]
+    items_by_category: dict[str, list[str]] = {c: [] for c in config.categories}
+    for item_id in item_ids:
+        n_cats = 1 if rng.random() < 0.7 else 2
+        cats = rng.sample(config.categories, k=n_cats)
+        keywords = " ".join(cats + [f"place{item_id}"])
+        graph.add_node(
+            Node(item_id, type="item", name=f"item-{item_id}",
+                 category=cats, keywords=keywords)
+        )
+        for c in cats:
+            items_by_category[c].append(item_id)
+
+    # -- activities ----------------------------------------------------------------
+    popularity = _zipf_weights(len(item_ids), config.zipf_exponent)
+    act_types = [t for t, _ in config.activity_mix]
+    act_weights = [w for _, w in config.activity_mix]
+    link_seq = 0
+    for uid in user_ids:
+        n_acts = max(0, round(rng.expovariate(1.0 / config.activity_rate)))
+        seen: set[tuple[str, str]] = set()
+        for _ in range(n_acts):
+            if rng.random() < config.interest_affinity:
+                category = rng.choice(user_interests[uid])
+                pool = items_by_category[category]
+                if not pool:
+                    continue
+                ranks = _zipf_weights(len(pool), config.zipf_exponent)
+                item = rng.choices(pool, weights=ranks, k=1)[0]
+            else:
+                item = rng.choices(item_ids, weights=popularity, k=1)[0]
+            act = rng.choices(act_types, weights=act_weights, k=1)[0]
+            if (act, item) in seen:
+                continue
+            seen.add((act, item))
+            link_seq += 1
+            link_id = f"act:{link_seq}"
+            if act == "tag":
+                item_node = graph.node(item)
+                cats = [str(c) for c in item_node.values("category")]
+                tags = rng.sample(
+                    cats + user_interests[uid],
+                    k=min(config.tags_per_action, len(cats) + len(user_interests[uid])),
+                )
+                graph.add_link(Link(link_id, uid, item, type="act, tag",
+                                    tags=tags))
+            elif act == "rate":
+                rating = round(min(5.0, max(1.0, rng.gauss(3.5, 1.0))), 1)
+                graph.add_link(Link(link_id, uid, item, type="act, rate",
+                                    rating=rating))
+            else:
+                graph.add_link(Link(link_id, uid, item, type="act, visit"))
+
+    return GeneratedSite(
+        graph=graph,
+        user_ids=user_ids,
+        item_ids=item_ids,
+        categories=config.categories,
+    )

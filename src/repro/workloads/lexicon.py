@@ -1,0 +1,115 @@
+"""Shared travel-query lexicons: the domain knowledge behind Table 1.
+
+The paper: "By leveraging the domain knowledge we have about geographical
+locations and travel destinations, we detect location terms in queries and
+classify each query into three classes: general, categorical, and
+specific."  This module is that domain knowledge for the reproduction —
+a location gazetteer, the general/categorical term lists, and a catalog of
+specific destinations.  Both the query *generator*
+(:mod:`repro.workloads.queries`) and the *classifier*
+(:mod:`repro.discovery.classify`) consume it, mirroring how Yahoo!'s
+analysts and their classifier shared one gazetteer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.text import tokenize
+
+#: Location gazetteer (cities/regions users mention in travel queries).
+LOCATIONS: tuple[str, ...] = (
+    "denver", "barcelona", "paris", "london", "boston", "chicago",
+    "seattle", "austin", "philadelphia", "washington", "orlando",
+    "san francisco", "new york", "miami", "portland", "nashville",
+    "colorado", "california", "florida", "texas", "spain", "france",
+    "rome", "tokyo", "sydney", "vancouver", "amsterdam", "berlin",
+    "vegas", "las vegas", "hawaii", "alaska", "arizona", "utah",
+)
+
+#: Terms marking *general* queries ("things to do", "attraction", ...).
+GENERAL_TERMS: tuple[str, ...] = (
+    "things to do", "attractions", "attraction", "what to see",
+    "places to visit", "sightseeing", "tourist spots", "travel guide",
+    "vacation ideas", "points of interest", "best places",
+)
+
+#: Terms marking *categorical* queries ("hotel", "family", "historic", ...).
+CATEGORICAL_TERMS: tuple[str, ...] = (
+    "hotel", "hotels", "family", "historic", "restaurants", "restaurant",
+    "museum", "museums", "beach", "beaches", "nightlife", "shopping",
+    "kids", "romantic", "budget", "luxury", "camping", "hiking",
+    "baseball", "golf", "ski", "skiing", "spa", "zoo", "casino",
+)
+
+#: Specific destinations (name, implied location) — "Disneyland",
+#: "Yosemite Park" per the paper's examples.
+SPECIFIC_DESTINATIONS: tuple[tuple[str, str], ...] = (
+    ("disneyland", "california"), ("yosemite park", "california"),
+    ("coors field", "denver"), ("sagrada familia", "barcelona"),
+    ("eiffel tower", "paris"), ("louvre", "paris"),
+    ("fisherman's wharf", "san francisco"), ("alcatraz", "san francisco"),
+    ("fenway park", "boston"), ("wrigley field", "chicago"),
+    ("space needle", "seattle"), ("alamo", "texas"),
+    ("liberty bell", "philadelphia"), ("statue of liberty", "new york"),
+    ("central park", "new york"), ("grand canyon", "arizona"),
+    ("yellowstone", "wyoming"), ("niagara falls", "new york"),
+    ("golden gate bridge", "san francisco"), ("times square", "new york"),
+)
+
+#: Filler noise vocabulary for unclassifiable queries (~10% in Table 1).
+NOISE_TERMS: tuple[str, ...] = (
+    "cheap flights", "jfk blue", "qzx", "wifi password", "horoscope",
+    "car parts", "phone number", "lyrics", "download", "login",
+    "map quest", "driving test", "tax forms", "weather radar",
+)
+
+
+@dataclass(frozen=True)
+class TravelLexicon:
+    """Bundled lexicons with tokenised phrase indexes for fast matching."""
+
+    locations: tuple[str, ...] = LOCATIONS
+    general_terms: tuple[str, ...] = GENERAL_TERMS
+    categorical_terms: tuple[str, ...] = CATEGORICAL_TERMS
+    specific_destinations: tuple[tuple[str, str], ...] = SPECIFIC_DESTINATIONS
+    _phrase_index: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def _phrases(self, kind: str) -> list[tuple[str, ...]]:
+        """Tokenised phrases of a lexicon, cached and length-sorted."""
+        cached = self._phrase_index.get(kind)
+        if cached is not None:
+            return cached
+        source: tuple[str, ...]
+        if kind == "locations":
+            source = self.locations
+        elif kind == "general":
+            source = self.general_terms
+        elif kind == "categorical":
+            source = self.categorical_terms
+        elif kind == "specific":
+            source = tuple(name for name, _ in self.specific_destinations)
+        else:
+            raise KeyError(kind)
+        phrases = sorted(
+            (tuple(tokenize(p)) for p in source), key=len, reverse=True
+        )
+        self._phrase_index[kind] = phrases
+        return phrases
+
+    def contains_phrase(self, tokens: list[str], kind: str) -> bool:
+        """True when any *kind* phrase occurs as a contiguous token run."""
+        token_tuple = tuple(tokens)
+        n = len(token_tuple)
+        for phrase in self._phrases(kind):
+            width = len(phrase)
+            if width == 0 or width > n:
+                continue
+            for start in range(n - width + 1):
+                if token_tuple[start : start + width] == phrase:
+                    return True
+        return False
+
+
+#: Module-level default lexicon instance.
+DEFAULT_LEXICON = TravelLexicon()

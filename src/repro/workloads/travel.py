@@ -1,0 +1,237 @@
+"""A Yahoo!-Travel-like workload with the paper's three personas.
+
+Section 2 of the paper motivates SocialScope with three hypothetical users:
+
+* **John** (Example 1) — in Denver for a conference, past visits to baseball
+  fields, many baseball-fan friends; "Denver attractions" should surface
+  baseball venues via social relevance.
+* **Selma** (Example 2) — young musician with two babies planning a family
+  trip to Barcelona; her musician friends are useless for this query, but a
+  small set of parent friends made family trips before.
+* **Alexia** (Example 3) — high-school student researching "American
+  history"; results span the country and are endorsed by two distinct
+  groups (history classmates vs. soccer teammates), motivating grouping.
+
+This module builds a deterministic travel graph embedding those personas in
+a realistic population: cities with contained attractions, categories,
+friendships, group memberships and visit/tag/rate activities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core import Link, Node, SocialContentGraph
+
+#: Gazetteer of cities (doubles as the location lexicon for the Table 1
+#: query classifier).
+CITIES = (
+    "Denver", "Barcelona", "Paris", "London", "Boston", "Chicago",
+    "Seattle", "Austin", "Philadelphia", "Washington", "Orlando",
+    "San Francisco", "New York", "Miami", "Portland", "Nashville",
+)
+
+#: Attraction categories with the noun used in generated names.
+CATEGORIES: dict[str, str] = {
+    "baseball": "Ballpark",
+    "museum": "Museum",
+    "family": "Family Park",
+    "music": "Concert Hall",
+    "history": "Historic Site",
+    "food": "Food Market",
+    "outdoors": "Nature Trail",
+    "art": "Art Gallery",
+}
+
+JOHN = 9001
+SELMA = 9002
+ALEXIA = 9003
+
+
+@dataclass
+class TravelSiteConfig:
+    """Size and shape of the synthetic Y!Travel site."""
+
+    num_cities: int = 12
+    attractions_per_city: int = 8
+    num_background_users: int = 120
+    friends_per_user: int = 6
+    visits_per_user: int = 8
+    tag_prob: float = 0.5
+    seed: int = 42
+
+
+@dataclass
+class TravelSite:
+    """The built site: graph + registries the examples and benches need."""
+
+    graph: SocialContentGraph
+    personas: dict[str, int] = field(default_factory=dict)
+    cities: list[str] = field(default_factory=list)
+    attraction_ids: list[str] = field(default_factory=list)
+    attractions_by_city: dict[str, list[str]] = field(default_factory=dict)
+    attractions_by_category: dict[str, list[str]] = field(default_factory=dict)
+
+
+def _add_city(graph: SocialContentGraph, city: str) -> str:
+    city_id = f"city:{city.lower().replace(' ', '-')}"
+    graph.add_node(
+        Node(city_id, type="item, city", name=city,
+             keywords=f"{city} city travel destination")
+    )
+    return city_id
+
+
+def _add_attraction(
+    graph: SocialContentGraph, city: str, city_id: str, category: str, index: int
+) -> str:
+    noun = CATEGORIES[category]
+    att_id = f"attr:{city.lower().replace(' ', '-')}:{category}:{index}"
+    name = f"{city} {noun} {index}"
+    graph.add_node(
+        Node(
+            att_id,
+            type="item, destination, attraction",
+            name=name,
+            category=category,
+            city=city,
+            keywords=f"{name} {category} attraction near {city} things to do",
+        )
+    )
+    # Geographic containment, e.g. Fisherman's Wharf —belong→ San Francisco.
+    graph.add_link(
+        Link(f"in:{att_id}", att_id, city_id, type="belong, contains")
+    )
+    return att_id
+
+
+def build_travel_site(config: TravelSiteConfig | None = None) -> TravelSite:
+    """Construct the travel site deterministically from the config seed."""
+    config = config or TravelSiteConfig()
+    rng = random.Random(config.seed)
+    graph = SocialContentGraph()
+    site = TravelSite(graph=graph)
+    site.personas = {"john": JOHN, "selma": SELMA, "alexia": ALEXIA}
+
+    categories = list(CATEGORIES)
+
+    # ---------------------------------------------------------------- content
+    site.cities = list(CITIES[: config.num_cities])
+    for city in site.cities:
+        city_id = _add_city(graph, city)
+        site.attractions_by_city[city] = []
+        for i in range(config.attractions_per_city):
+            category = categories[(i + len(site.attraction_ids)) % len(categories)]
+            att_id = _add_attraction(graph, city, city_id, category, i)
+            site.attraction_ids.append(att_id)
+            site.attractions_by_city[city].append(att_id)
+            site.attractions_by_category.setdefault(category, []).append(att_id)
+
+    # ---------------------------------------------------------------- background users
+    background = list(range(1, config.num_background_users + 1))
+    interests: dict[int, list[str]] = {}
+    for uid in background:
+        picks = rng.sample(categories, k=2)
+        interests[uid] = picks
+        graph.add_node(Node(uid, type="user", name=f"user{uid}", interests=picks))
+
+    link_seq = 0
+
+    def visit(user: int, att_id: str, *, tag: bool) -> None:
+        nonlocal link_seq
+        link_seq += 1
+        graph.add_link(Link(f"v:{link_seq}", user, att_id, type="act, visit"))
+        if tag:
+            link_seq += 1
+            att = graph.node(att_id)
+            tags = [str(att.value("category")), str(att.value("city")).lower()]
+            graph.add_link(
+                Link(f"t:{link_seq}", user, att_id, type="act, tag", tags=tags)
+            )
+
+    def befriend(a: int, b: int) -> None:
+        if a == b or graph.has_link(f"fr:{a}->{b}"):
+            return
+        graph.add_link(Link(f"fr:{a}->{b}", a, b, type="connect, friend"))
+        graph.add_link(Link(f"fr:{b}->{a}", b, a, type="connect, friend"))
+
+    for uid in background:
+        for friend in rng.sample(background, k=min(config.friends_per_user,
+                                                   len(background))):
+            befriend(uid, friend)
+        for _ in range(config.visits_per_user):
+            category = (
+                rng.choice(interests[uid])
+                if rng.random() < 0.75
+                else rng.choice(categories)
+            )
+            pool = site.attractions_by_category.get(category, [])
+            if not pool:
+                continue
+            visit(uid, rng.choice(pool), tag=rng.random() < config.tag_prob)
+
+    # ---------------------------------------------------------------- John (Example 1)
+    graph.add_node(Node(JOHN, type="user, traveler", name="John",
+                        interests=("baseball",)))
+    baseball = site.attractions_by_category.get("baseball", [])
+    for att_id in baseball[: max(3, len(baseball) // 2)]:
+        if "denver" not in att_id:  # John has NOT yet seen Denver's venues
+            visit(JOHN, att_id, tag=True)
+    # Baseball-fan friends: background users whose interests include baseball.
+    fans = [u for u in background if "baseball" in interests[u]]
+    for fan in fans[:8]:
+        befriend(JOHN, fan)
+        for att_id in baseball:
+            if rng.random() < 0.4:
+                visit(fan, att_id, tag=False)
+
+    # ---------------------------------------------------------------- Selma (Example 2)
+    graph.add_node(Node(SELMA, type="user, traveler", name="Selma",
+                        interests=("music", "family")))
+    musicians = [u for u in background if "music" in interests[u]][:10]
+    for m in musicians:
+        befriend(SELMA, m)
+    # A handful of parent friends with family trips (incl. Barcelona).
+    parents = [u for u in background if "family" in interests[u]][:4]
+    family_pool = site.attractions_by_category.get("family", [])
+    barcelona_family = [a for a in family_pool if "barcelona" in a]
+    for p in parents:
+        befriend(SELMA, p)
+        for att_id in barcelona_family:
+            visit(p, att_id, tag=True)
+        if family_pool:
+            visit(p, rng.choice(family_pool), tag=False)
+
+    # ---------------------------------------------------------------- Alexia (Example 3)
+    graph.add_node(Node(ALEXIA, type="user, student", name="Alexia",
+                        interests=("history",)))
+    graph.add_node(Node("grp:history-class", type="group",
+                        name="history class"))
+    graph.add_node(Node("grp:soccer-team", type="group", name="soccer team"))
+    classmates = background[:10]
+    soccer = background[10:20]
+    history_pool = site.attractions_by_category.get("history", [])
+    outdoors_pool = site.attractions_by_category.get("outdoors", [])
+    link_seq += 1
+    graph.add_link(Link(f"b:{link_seq}", ALEXIA, "grp:history-class",
+                        type="belong, member"))
+    link_seq += 1
+    graph.add_link(Link(f"b:{link_seq}", ALEXIA, "grp:soccer-team",
+                        type="belong, member"))
+    for c in classmates:
+        befriend(ALEXIA, c)
+        link_seq += 1
+        graph.add_link(Link(f"b:{link_seq}", c, "grp:history-class",
+                            type="belong, member"))
+        for att_id in rng.sample(history_pool, k=min(3, len(history_pool))):
+            visit(c, att_id, tag=True)
+    for s in soccer:
+        befriend(ALEXIA, s)
+        link_seq += 1
+        graph.add_link(Link(f"b:{link_seq}", s, "grp:soccer-team",
+                            type="belong, member"))
+        for att_id in rng.sample(outdoors_pool, k=min(2, len(outdoors_pool))):
+            visit(s, att_id, tag=True)
+
+    return site

@@ -1,0 +1,105 @@
+"""Tests for Apriori frequent-itemset and rule mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import frequent_itemsets, mine_rules, transactions_from_graph
+
+
+@pytest.fixture
+def market_baskets():
+    """The classic toy: bread+butter co-occur, milk everywhere."""
+    return [
+        {"bread", "butter", "milk"},
+        {"bread", "butter"},
+        {"bread", "milk"},
+        {"butter", "milk"},
+        {"bread", "butter", "jam"},
+        {"milk"},
+    ]
+
+
+class TestFrequentItemsets:
+    def test_supports_are_fractions(self, market_baskets):
+        frequent = frequent_itemsets(market_baskets, min_support=0.5)
+        assert frequent[frozenset({"bread"})] == pytest.approx(4 / 6)
+        assert frequent[frozenset({"bread", "butter"})] == pytest.approx(3 / 6)
+
+    def test_anti_monotonicity(self, market_baskets):
+        # Every subset of a frequent itemset is frequent with >= support.
+        frequent = frequent_itemsets(market_baskets, min_support=0.3)
+        for itemset, support in frequent.items():
+            for item in itemset:
+                subset = itemset - {item}
+                if subset:
+                    assert frequent[subset] >= support
+
+    def test_min_support_prunes(self, market_baskets):
+        loose = frequent_itemsets(market_baskets, min_support=0.15)
+        strict = frequent_itemsets(market_baskets, min_support=0.6)
+        assert set(strict) <= set(loose)
+        assert frozenset({"jam"}) not in strict
+
+    def test_max_size_bound(self, market_baskets):
+        frequent = frequent_itemsets(market_baskets, min_support=0.15, max_size=2)
+        assert all(len(s) <= 2 for s in frequent)
+
+    def test_empty_transactions(self):
+        assert frequent_itemsets([], min_support=0.5) == {}
+
+    def test_invalid_support(self, market_baskets):
+        with pytest.raises(ValueError):
+            frequent_itemsets(market_baskets, min_support=0.0)
+
+
+class TestRules:
+    def test_confidence_computation(self, market_baskets):
+        rules = mine_rules(market_baskets, min_support=0.3, min_confidence=0.7)
+        by_pair = {
+            (tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))): r
+            for r in rules
+        }
+        rule = by_pair[(("butter",), ("bread",))]
+        # butter appears 4x, bread+butter 3x -> confidence 0.75
+        assert rule.confidence == pytest.approx(0.75)
+
+    def test_min_confidence_filters(self, market_baskets):
+        strict = mine_rules(market_baskets, min_support=0.3, min_confidence=0.9)
+        loose = mine_rules(market_baskets, min_support=0.3, min_confidence=0.1)
+        assert len(strict) <= len(loose)
+
+    def test_lift_definition(self, market_baskets):
+        rules = mine_rules(market_baskets, min_support=0.3, min_confidence=0.5)
+        for rule in rules:
+            frequent = frequent_itemsets(market_baskets, min_support=0.3)
+            assert rule.lift == pytest.approx(
+                rule.confidence / frequent[rule.consequent]
+            )
+
+    def test_sorted_by_confidence(self, market_baskets):
+        rules = mine_rules(market_baskets, min_support=0.2, min_confidence=0.2)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_repr(self, market_baskets):
+        rules = mine_rules(market_baskets, min_support=0.3, min_confidence=0.7)
+        assert "=>" in repr(rules[0])
+
+
+class TestGraphTransactions:
+    def test_extraction(self, tiny_travel_graph):
+        transactions = transactions_from_graph(tiny_travel_graph)
+        # One basket per user with activities: John {d1,d3}, Ann {d1,d2,d3},
+        # Bob {d1,d2,d4}, Cat {d1,d3}.
+        assert len(transactions) == 4
+        assert frozenset({"d1", "d3"}) in transactions
+
+    def test_rules_from_graph(self, tiny_travel_graph):
+        transactions = transactions_from_graph(tiny_travel_graph)
+        rules = mine_rules(transactions, min_support=0.5, min_confidence=0.9)
+        # d3 => d1 holds in every basket containing d3 (3/3).
+        assert any(
+            r.antecedent == frozenset({"d3"}) and r.consequent == frozenset({"d1"})
+            for r in rules
+        )

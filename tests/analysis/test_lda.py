@@ -1,0 +1,77 @@
+"""Tests for the collapsed-Gibbs LDA implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_lda
+
+
+@pytest.fixture(scope="module")
+def two_theme_corpus():
+    """Two cleanly separated vocabularies (sports vs art)."""
+    sports = ["ball", "bat", "base", "pitch", "glove"]
+    art = ["paint", "brush", "canvas", "gallery", "sketch"]
+    docs = []
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        docs.append(list(rng.choice(sports, size=12)))
+    for _ in range(30):
+        docs.append(list(rng.choice(art, size=12)))
+    return docs, sports, art
+
+
+class TestLda:
+    def test_shapes_and_normalisation(self, two_theme_corpus):
+        docs, _, _ = two_theme_corpus
+        model = fit_lda(docs, n_topics=2, n_iterations=60, seed=1)
+        assert model.doc_topic.shape == (60, 2)
+        assert model.topic_word.shape[0] == 2
+        assert np.allclose(model.doc_topic.sum(axis=1), 1.0)
+        assert np.allclose(model.topic_word.sum(axis=1), 1.0)
+
+    def test_separates_themes(self, two_theme_corpus):
+        docs, sports, art = two_theme_corpus
+        model = fit_lda(docs, n_topics=2, alpha=0.1, n_iterations=120, seed=1)
+        sports_topics = {model.dominant_topic(d) for d in range(30)}
+        art_topics = {model.dominant_topic(d) for d in range(30, 60)}
+        # Each theme collapses to one topic, and they differ.
+        assert len(sports_topics) == 1 and len(art_topics) == 1
+        assert sports_topics != art_topics
+
+    def test_top_words_match_theme(self, two_theme_corpus):
+        docs, sports, art = two_theme_corpus
+        model = fit_lda(docs, n_topics=2, alpha=0.1, n_iterations=120, seed=1)
+        sports_topic = model.dominant_topic(0)
+        top = set(model.top_words(sports_topic, k=5))
+        assert top == set(sports)
+
+    def test_deterministic_given_seed(self, two_theme_corpus):
+        docs, _, _ = two_theme_corpus
+        a = fit_lda(docs, n_topics=2, n_iterations=30, seed=9)
+        b = fit_lda(docs, n_topics=2, n_iterations=30, seed=9)
+        assert np.array_equal(a.doc_topic, b.doc_topic)
+        assert np.array_equal(a.topic_word, b.topic_word)
+
+    def test_likelihood_improves(self, two_theme_corpus):
+        docs, _, _ = two_theme_corpus
+        model = fit_lda(docs, n_topics=2, alpha=0.1, n_iterations=60, seed=2,
+                        track_likelihood=True)
+        assert len(model.log_likelihoods) >= 2
+        assert model.log_likelihoods[-1] > model.log_likelihoods[0]
+
+    def test_empty_documents_allowed(self):
+        model = fit_lda([["a", "b"], [], ["b", "c"]], n_topics=2,
+                        n_iterations=10, seed=0)
+        assert np.allclose(model.doc_topic[1], 0.5)
+
+    def test_doc_topics_above(self, two_theme_corpus):
+        docs, _, _ = two_theme_corpus
+        model = fit_lda(docs, n_topics=2, alpha=0.1, n_iterations=60, seed=1)
+        strong = model.doc_topics_above(0, 0.5)
+        assert len(strong) == 1
+
+    def test_invalid_topics(self):
+        with pytest.raises(ValueError):
+            fit_lda([["a"]], n_topics=0)

@@ -1,0 +1,147 @@
+"""Tests for derived similarity links, topic derivation, and the analyzer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ContentAnalyzer,
+    derive_topics,
+    item_documents,
+    item_similarity_links,
+    jaccard,
+    cosine,
+    user_similarity_links,
+)
+from repro.errors import DiscoveryError
+from repro.workloads import TravelSiteConfig, build_travel_site
+
+
+class TestMeasures:
+    def test_jaccard(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard(set(), set()) == 0.0
+        assert jaccard({1}, {1}) == 1.0
+
+    def test_cosine(self):
+        assert cosine({"a": 1.0}, {"a": 1.0}) == pytest.approx(1.0)
+        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+        assert cosine({}, {"a": 1.0}) == 0.0
+
+
+class TestUserSimilarity:
+    def test_items_basis(self, tiny_travel_graph):
+        derived = user_similarity_links(tiny_travel_graph, threshold=0.6,
+                                        basis="items")
+        # John{d1,d3} vs Cat{d1,d3}: Jaccard 1.0; Ann 2/3; Bob 1/4.
+        assert derived.has_link("sim:user_similarity:items:101->104")
+        assert derived.has_link("sim:user_similarity:items:101->102")
+        assert not derived.has_link("sim:user_similarity:items:101->103")
+
+    def test_links_are_symmetric(self, tiny_travel_graph):
+        derived = user_similarity_links(tiny_travel_graph, threshold=0.6)
+        for link in list(derived.links()):
+            reverse = f"sim:user_similarity:items:{link.tgt}->{link.src}"
+            assert derived.has_link(reverse)
+
+    def test_sim_value_stored(self, tiny_travel_graph):
+        derived = user_similarity_links(tiny_travel_graph, threshold=0.6)
+        link = derived.link("sim:user_similarity:items:101->104")
+        assert link.value("sim") == pytest.approx(1.0)
+        assert link.has_type("match")
+
+    def test_network_basis(self, tiny_travel_graph):
+        derived = user_similarity_links(tiny_travel_graph, threshold=0.3,
+                                        basis="network")
+        # network(John)={102,103}; network(Ann)={101,104}; network(Bob)={101};
+        # network(Cat)={102}.  No pair reaches 0.3 except none — check shape.
+        for link in derived.links():
+            assert link.has_type("sim_user")
+
+    def test_unknown_basis(self, tiny_travel_graph):
+        with pytest.raises(ValueError):
+            user_similarity_links(tiny_travel_graph, basis="astrology")
+
+
+class TestItemSimilarity:
+    def test_taggers_basis(self, tiny_travel_graph):
+        derived = item_similarity_links(tiny_travel_graph, threshold=0.9)
+        # d1 taggers {101,102,103,104}; d3 taggers {101,102,104}: 3/4 < 0.9.
+        assert not derived.has_link("sim:item_similarity:d1->d3")
+        lower = item_similarity_links(tiny_travel_graph, threshold=0.7)
+        assert lower.has_link("sim:item_similarity:d1->d3")
+
+
+class TestTopicDerivation:
+    @pytest.fixture(scope="class")
+    def travel(self):
+        return build_travel_site(TravelSiteConfig(
+            num_cities=4, attractions_per_city=6, num_background_users=30,
+            seed=3,
+        ))
+
+    def test_item_documents(self, travel):
+        items, documents = item_documents(travel.graph)
+        assert len(items) == len(documents)
+        assert all(isinstance(d, list) for d in documents)
+
+    def test_topics_materialised(self, travel):
+        derivation = derive_topics(travel.graph, n_topics=4, n_iterations=30,
+                                   seed=1)
+        topics = [n for n in derivation.graph.nodes() if n.has_type("topic")]
+        assert len(topics) == 4
+        belongs = [l for l in derivation.graph.links() if l.has_type("belong")]
+        assert belongs
+        for link in belongs:
+            assert 0.0 <= float(link.value("prob")) <= 1.0
+
+    def test_provenance_marked(self, travel):
+        derivation = derive_topics(travel.graph, n_topics=3, n_iterations=20,
+                                   seed=1)
+        for node in derivation.graph.nodes():
+            if node.has_type("topic"):
+                assert node.value("derived_by") == "lda"
+
+
+class TestContentAnalyzer:
+    def test_run_unions_derivations(self, tiny_travel_graph):
+        analyzer = ContentAnalyzer(tiny_travel_graph)
+        before_links = analyzer.graph.num_links
+        run = analyzer.run("user_similarity")
+        assert run.derived_links > 0
+        assert analyzer.graph.num_links == before_links + run.derived_links
+
+    def test_unknown_analysis(self, tiny_travel_graph):
+        analyzer = ContentAnalyzer(tiny_travel_graph)
+        with pytest.raises(DiscoveryError):
+            analyzer.run("phrenology")
+
+    def test_custom_registration(self, tiny_travel_graph):
+        from repro.core import SocialContentGraph, Node
+
+        analyzer = ContentAnalyzer(tiny_travel_graph)
+
+        def custom(graph):
+            out = SocialContentGraph()
+            out.add_node(Node("custom:flag", type="topic", derived_by="custom"))
+            return out
+
+        analyzer.register("custom", custom)
+        analyzer.run("custom")
+        assert analyzer.graph.has_node("custom:flag")
+
+    def test_run_log(self, tiny_travel_graph):
+        analyzer = ContentAnalyzer(tiny_travel_graph)
+        analyzer.run("user_similarity")
+        analyzer.run("item_similarity")
+        assert [r.name for r in analyzer.run_log] == [
+            "user_similarity", "item_similarity"
+        ]
+
+    def test_association_rules_create_match_links(self, tiny_travel_graph):
+        analyzer = ContentAnalyzer(tiny_travel_graph)
+        analyzer.run("association_rules")
+        assoc = [l for l in analyzer.graph.links() if l.has_type("assoc")]
+        assert assoc  # d3 => d1 style rules exist in the tiny graph
+        for link in assoc:
+            assert link.value("confidence") is not None

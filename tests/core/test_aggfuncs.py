@@ -1,0 +1,141 @@
+"""Unit tests for the SAF/NAF aggregate-function classes (Definitions 7-8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Attr,
+    AttrMap,
+    ConstAgg,
+    First,
+    Link,
+    Max,
+    Min,
+    NumericAgg,
+    One,
+    Prod,
+    SetAgg,
+    Sum,
+    Zero,
+    average,
+    count,
+    total,
+)
+from repro.core.aggfuncs import as_aggregate, link_values
+from repro.errors import AggregationError
+
+
+@pytest.fixture
+def tag_links():
+    return [
+        Link("l1", "u1", "i1", type="tag", tags=("rock", "jazz"), w=2.0),
+        Link("l2", "u1", "i2", type="tag", tags=("rock",), w=3.0),
+        Link("l3", "u1", "i3", type="tag", tags=("folk",), w=5.0),
+    ]
+
+
+class TestSAF:
+    def test_collects_distinct_values(self, tag_links):
+        # "forms the set of all distinct tags assigned by the user"
+        assert SetAgg("tags")(tag_links) == ("folk", "jazz", "rock")
+
+    def test_multi_valued_binding(self, tag_links):
+        # $x binds one value at a time on multi-valued attributes.
+        assert "jazz" in SetAgg("tags")(tag_links)
+
+    def test_pseudo_attribute_tgt(self, tag_links):
+        assert SetAgg("tgt")(tag_links) == ("i1", "i2", "i3")
+
+    def test_empty_input(self):
+        assert SetAgg("tags")([]) == ()
+
+
+class TestNAFConstruction:
+    """The inductive class of Definition 8, checked piece by piece."""
+
+    def test_constants(self, tag_links):
+        assert Zero().eval(tag_links[0]) == 0.0
+        assert One().eval("anything") == 1.0
+
+    def test_count_is_sum_of_one(self, tag_links):
+        # COUNT(X) ::= Σ_{x∈X} 1(x) — the paper's literal construction.
+        assert NumericAgg(Sum(One()))(tag_links) == 3
+        assert count()(tag_links) == 3
+
+    def test_sum_over_attribute(self, tag_links):
+        assert total("w")(tag_links) == 10.0
+
+    def test_product(self, tag_links):
+        assert NumericAgg(Prod(Attr("w")))(tag_links) == 30.0
+
+    def test_arithmetic_closure(self, tag_links):
+        avg = Sum(Attr("w")) / Sum(One())
+        assert NumericAgg(avg)(tag_links) == pytest.approx(10 / 3)
+        scaled = Sum(Attr("w")) * 2 + 1
+        assert NumericAgg(scaled)(tag_links) == 21.0
+        flipped = 1 - Sum(One())
+        assert NumericAgg(flipped)(tag_links) == -2.0
+
+    def test_composition_closure(self, tag_links):
+        # (2x) ∘ Σw: double the sum via composition.
+        doubler = Attr("__x") * 2  # works on scalars through Attr's passthrough
+        composed = doubler.compose(Sum(Attr("w")))
+        assert NumericAgg(composed)(tag_links) == 20.0
+
+    def test_division_by_zero_is_zero(self):
+        expr = Sum(One()) / Sum(Zero())
+        assert NumericAgg(expr)([]) == 0.0
+
+    def test_average_helper(self, tag_links):
+        assert average("w")(tag_links) == pytest.approx(10 / 3)
+
+    def test_sum_requires_collection(self):
+        with pytest.raises(AggregationError):
+            Sum(One()).eval(42)
+
+    def test_attr_on_missing_uses_default(self, tag_links):
+        assert NumericAgg(Sum(Attr("missing", default=1.0)))(tag_links) == 3.0
+
+
+class TestDirectAF:
+    def test_min_max(self, tag_links):
+        assert Min("w")(tag_links) == 2.0
+        assert Max("w")(tag_links) == 5.0
+
+    def test_min_max_empty_default(self):
+        assert Min("w", default=-1)([]) == -1
+        assert Max("w", default=-1)([]) == -1
+
+    def test_first_is_deterministic(self, tag_links):
+        assert First("w")(tag_links) == 2.0  # smallest repr-ordered id: l1
+        assert First("w")(list(reversed(tag_links))) == 2.0
+
+    def test_first_empty_default(self):
+        assert First("w", default="none")([]) == "none"
+
+    def test_const_agg(self, tag_links):
+        assert ConstAgg("match")(tag_links) == "match"
+
+    def test_attr_map(self, tag_links):
+        # Example 5 step 6's A′: type := 'match', sim := retained.
+        result = AttrMap(type=ConstAgg("match"), w=First("w"))(tag_links)
+        assert result == {"type": "match", "w": 2.0}
+
+    def test_attr_map_requires_parts(self):
+        with pytest.raises(AggregationError):
+            AttrMap()
+
+    def test_as_aggregate_coercions(self, tag_links):
+        assert as_aggregate(Sum(One()))(tag_links) == 3
+        assert as_aggregate(count())(tag_links) == 3
+        assert as_aggregate(lambda links: len(links))(tag_links) == 3
+        with pytest.raises(AggregationError):
+            as_aggregate(42)
+
+    def test_link_values_pseudo_attrs(self, tag_links):
+        link = tag_links[0]
+        assert link_values(link, "src") == ("u1",)
+        assert link_values(link, "tgt") == ("i1",)
+        assert link_values(link, "id") == ("l1",)
+        assert link_values(link, "tags") == ("rock", "jazz")

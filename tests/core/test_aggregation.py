@@ -1,0 +1,144 @@
+"""Unit tests for γN and γL (paper Definitions 9-10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AttrMap,
+    ConstAgg,
+    First,
+    Link,
+    Node,
+    SetAgg,
+    SocialContentGraph,
+    aggregate_links,
+    aggregate_nodes,
+    average,
+    count,
+)
+from repro.errors import AggregationError
+
+
+class TestNodeAggregation:
+    def test_friend_count_example(self, tiny_travel_graph):
+        # The paper's fnd_cnt example: count outgoing 'friend' links.
+        result = aggregate_nodes(
+            tiny_travel_graph, {"type": "friend"}, "src", "fnd_cnt", count()
+        )
+        assert result.node(101).value("fnd_cnt") == 2
+        assert result.node(102).value("fnd_cnt") == 1
+        # Nodes with no outgoing friend links get no attribute at all.
+        assert result.node(103).value("fnd_cnt") is None
+        assert result.node(104).value("fnd_cnt") is None
+
+    def test_output_isomorphic(self, tiny_travel_graph):
+        result = aggregate_nodes(
+            tiny_travel_graph, {"type": "friend"}, "src", "fnd_cnt", count()
+        )
+        assert result.node_ids() == tiny_travel_graph.node_ids()
+        assert result.link_ids() == tiny_travel_graph.link_ids()
+
+    def test_direction_is_group_by(self, tiny_travel_graph):
+        # Group by tgt: how many users visited each destination.
+        result = aggregate_nodes(
+            tiny_travel_graph, {"type": "visit"}, "tgt", "visitors", count()
+        )
+        assert result.node("d1").value("visitors") == 4
+        assert result.node("d2").value("visitors") == 2
+        assert result.node("d4").value("visitors") == 1
+
+    def test_set_aggregation_vst(self, tiny_travel_graph):
+        # Example 5 step 2: collect visited destinations as attribute vst.
+        result = aggregate_nodes(
+            tiny_travel_graph, {"type": "visit"}, "src", "vst", SetAgg("tgt")
+        )
+        assert set(result.node(101).values("vst")) == {"d1", "d3"}
+        assert set(result.node(103).values("vst")) == {"d1", "d2", "d4"}
+
+    def test_input_unchanged(self, tiny_travel_graph):
+        before = tiny_travel_graph.copy()
+        aggregate_nodes(tiny_travel_graph, {"type": "visit"}, "src", "x", count())
+        assert tiny_travel_graph.same_as(before)
+
+    def test_bad_direction_rejected(self, tiny_travel_graph):
+        with pytest.raises(AggregationError):
+            aggregate_nodes(tiny_travel_graph, None, "middle", "x", count())
+
+
+@pytest.fixture
+def multi_link_graph():
+    """u1 -> i1 with three 'rec' links (w=1,2,3) and one 'other' link;
+    u2 -> i1 with one 'rec' link (w=10)."""
+    g = SocialContentGraph()
+    for n, t in [("u1", "user"), ("u2", "user"), ("i1", "item")]:
+        g.add_node(Node(n, type=t))
+    g.add_link(Link("r1", "u1", "i1", type="rec", w=1.0))
+    g.add_link(Link("r2", "u1", "i1", type="rec", w=2.0))
+    g.add_link(Link("r3", "u1", "i1", type="rec", w=3.0))
+    g.add_link(Link("o1", "u1", "i1", type="other", w=9.0))
+    g.add_link(Link("r4", "u2", "i1", type="rec", w=10.0))
+    return g
+
+
+class TestLinkAggregation:
+    def test_bundles_replaced_per_src_tgt(self, multi_link_graph):
+        result = aggregate_links(multi_link_graph, {"type": "rec"}, "score",
+                                 average("w"))
+        # u1->i1 bundle of 3 replaced by 1; u2->i1 bundle of 1 replaced by 1.
+        agg_links = [l for l in result.links() if l.has_type("agg")]
+        assert len(agg_links) == 2
+        by_src = {l.src: l for l in agg_links}
+        assert by_src["u1"].value("score") == 2.0
+        assert by_src["u2"].value("score") == 10.0
+
+    def test_non_matching_links_retained(self, multi_link_graph):
+        result = aggregate_links(multi_link_graph, {"type": "rec"}, "score",
+                                 average("w"))
+        assert result.has_link("o1")
+        assert not result.has_link("r1")
+
+    def test_all_nodes_preserved(self, multi_link_graph):
+        result = aggregate_links(multi_link_graph, {"type": "rec"}, "score",
+                                 average("w"))
+        assert result.node_ids() == multi_link_graph.node_ids()
+
+    def test_agg_size_recorded(self, multi_link_graph):
+        result = aggregate_links(multi_link_graph, {"type": "rec"}, "n", count())
+        sizes = {l.src: l.value("agg_size") for l in result.links()
+                 if l.has_type("agg")}
+        assert sizes == {"u1": 3, "u2": 1}
+
+    def test_mapping_result_sets_multiple_attrs(self, multi_link_graph):
+        # Example 5 step 6: A′ assigns type='match' and retains w.
+        result = aggregate_links(
+            multi_link_graph,
+            {"type": "rec"},
+            "type",
+            AttrMap(type=ConstAgg("match"), w=First("w")),
+        )
+        match_links = [l for l in result.links() if l.has_type("match")]
+        assert len(match_links) == 2
+        u1_link = next(l for l in match_links if l.src == "u1")
+        assert u1_link.value("w") == 1.0  # retained from r1
+
+    def test_threshold_condition(self, multi_link_graph):
+        # Only w > 1.5 links aggregate; r1 is retained untouched.
+        result = aggregate_links(multi_link_graph, {"type": "rec", "w__gt": 1.5},
+                                 "score", average("w"))
+        assert result.has_link("r1")
+        agg = [l for l in result.links() if l.has_type("agg")]
+        by_src = {l.src: l for l in agg}
+        assert by_src["u1"].value("score") == 2.5  # avg(2, 3)
+
+    def test_deterministic_ids(self, multi_link_graph):
+        a = aggregate_links(multi_link_graph, {"type": "rec"}, "s", count())
+        b = aggregate_links(multi_link_graph, {"type": "rec"}, "s", count())
+        assert a.same_as(b)
+
+    def test_custom_link_type_and_prefix(self, multi_link_graph):
+        result = aggregate_links(multi_link_graph, {"type": "rec"}, "s", count(),
+                                 link_type="recommend", link_id_prefix="R")
+        rec = [l for l in result.links() if l.has_type("recommend")]
+        assert len(rec) == 2
+        assert all(str(l.id).startswith("R:") for l in rec)

@@ -1,0 +1,173 @@
+"""Unit tests for the low-level support modules: attrs, text, catalog, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attrs import (
+    first_value,
+    has_type,
+    merge_attrs,
+    normalize_attrs,
+    parse_values,
+    text_of,
+)
+from repro.core.catalog import (
+    ACT,
+    BELONG,
+    CONNECT,
+    MATCH,
+    TypeCatalog,
+)
+from repro.core.stats import Card, GraphStats
+from repro.core.text import (
+    STOPWORDS,
+    keyword_terms,
+    ngrams,
+    term_frequencies,
+    term_variants,
+    tokenize,
+)
+from repro.errors import ConditionError
+
+
+class TestParseValues:
+    def test_scalar(self):
+        assert parse_values("user") == ("user",)
+        assert parse_values(3) == (3,)
+        assert parse_values(0.5) == (0.5,)
+        assert parse_values(True) == (True,)
+
+    def test_comma_string(self):
+        assert parse_values("user, traveler") == ("user", "traveler")
+        assert parse_values("a,b , c") == ("a", "b", "c")
+
+    def test_plain_string_with_spaces_not_split(self):
+        assert parse_values("near Denver") == ("near Denver",)
+
+    def test_iterables(self):
+        assert parse_values(["a", "b"]) == ("a", "b")
+        assert parse_values(("x",)) == ("x",)
+        assert parse_values({"b", "a"}) == ("a", "b")  # sets sorted
+
+    def test_nested_rejected(self):
+        with pytest.raises(ConditionError):
+            parse_values([["nested"]])
+
+    def test_unsupported_rejected(self):
+        with pytest.raises(ConditionError):
+            parse_values(object())
+
+
+class TestNormalizeMerge:
+    def test_normalize_drops_none(self):
+        assert normalize_attrs({"a": 1, "b": None}) == {"a": (1,)}
+
+    def test_normalize_rejects_non_string_keys(self):
+        with pytest.raises(ConditionError):
+            normalize_attrs({1: "x"})
+
+    def test_merge_unions_preserving_order(self):
+        merged = merge_attrs({"t": ("a", "b")}, {"t": ("b", "c"), "n": ("x",)})
+        assert merged == {"t": ("a", "b", "c"), "n": ("x",)}
+
+    def test_first_value_and_has_type(self):
+        attrs = normalize_attrs({"type": "user, vip", "age": 30})
+        assert first_value(attrs, "age") == 30
+        assert first_value(attrs, "missing", "dflt") == "dflt"
+        assert has_type(attrs, "vip") and not has_type(attrs, "item")
+
+    def test_text_of_strings_only(self):
+        attrs = normalize_attrs({"name": "John", "age": 30, "tags": ("a", "b")})
+        text = text_of(attrs)
+        assert "John" in text and "a" in text and "30" not in text
+
+
+class TestText:
+    def test_tokenize(self):
+        assert tokenize("Denver, CO: things-to-do!") == [
+            "denver", "co", "things", "to", "do"
+        ]
+
+    def test_tokenize_stopwords(self):
+        assert tokenize("things to do in denver", drop_stopwords=True) == [
+            "things", "do", "denver"
+        ]
+        assert "the" in STOPWORDS
+
+    def test_term_frequencies(self):
+        tf = term_frequencies("go go denver")
+        assert tf["go"] == 2 and tf["denver"] == 1
+
+    def test_keyword_terms_flattens_phrases(self):
+        assert keyword_terms(["near Denver", "baseball"]) == [
+            "near", "denver", "baseball"
+        ]
+
+    def test_ngrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_term_variants(self):
+        assert "attraction" in term_variants("attractions")
+        assert "attractions" in term_variants("attraction")
+        # short words are not de-pluralised into nonsense
+        assert term_variants("gas") == ("gas", "gases") or "ga" not in term_variants("gas")
+
+
+class TestCatalog:
+    def test_base_resolution(self):
+        catalog = TypeCatalog()
+        assert catalog.base_of(("act", "tag")) == ACT
+        assert catalog.base_of(("friend",)) == CONNECT
+        assert catalog.base_of(("member",)) == BELONG
+        assert catalog.base_of(("sim_item",)) == MATCH
+        assert catalog.base_of(("mystery",)) is None
+
+    def test_register_refinement(self):
+        catalog = TypeCatalog()
+        catalog.register_link_type("endorse", base="act")
+        assert catalog.is_activity(("endorse",))
+
+    def test_register_node_type(self):
+        catalog = TypeCatalog()
+        catalog.register_node_type("event")
+        assert "event" in catalog.node_types
+
+    def test_classifiers(self):
+        catalog = TypeCatalog()
+        assert catalog.is_connection(("connect", "friend"))
+        assert catalog.is_topical(("belong",))
+        assert catalog.is_match(("match",))
+        assert not catalog.is_activity(("friend",))
+
+
+class TestStats:
+    def test_of_graph(self, tiny_travel_graph):
+        stats = GraphStats.of(tiny_travel_graph)
+        assert stats.num_nodes == 8
+        assert stats.node_types["user"] == 4
+        assert stats.link_types["visit"] == 10
+
+    def test_type_selectivity(self, tiny_travel_graph):
+        from repro.core import Condition
+
+        stats = GraphStats.of(tiny_travel_graph)
+        users = stats.condition_selectivity(Condition({"type": "user"}),
+                                            of_links=False)
+        assert users == pytest.approx(0.5)
+
+    def test_keyword_selectivity_discounts(self, tiny_travel_graph):
+        from repro.core import Condition
+
+        stats = GraphStats.of(tiny_travel_graph)
+        plain = stats.condition_selectivity(Condition({"type": "user"}), False)
+        with_kw = stats.condition_selectivity(
+            Condition({"type": "user"}, keywords="x"), False
+        )
+        assert with_kw < plain
+
+    def test_card_cost(self):
+        assert Card(10, 20).cost() == 30
+        assert "n/" in repr(Card(1, 2))

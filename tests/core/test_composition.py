@@ -1,0 +1,133 @@
+"""Unit tests for ∘⟨δ,F⟩ and class CF (paper Definition 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CarryScore,
+    CopyAttrs,
+    JaccardOnNodeSets,
+    Link,
+    Node,
+    SocialContentGraph,
+    compose,
+)
+from repro.errors import CompositionError
+
+
+@pytest.fixture
+def friend_visit_graphs():
+    """G1: u1-friend->u2; G2: u2-visit->d1,d2 — the paper's link-agg example
+    setup ('users and their friends' composed with 'users and cities')."""
+    g1 = SocialContentGraph()
+    for n, t in [("u1", "user"), ("u2", "user")]:
+        g1.add_node(Node(n, type=t))
+    g1.add_link(Link("f", "u1", "u2", type="friend", since=2008))
+
+    g2 = SocialContentGraph()
+    g2.add_node(Node("u2", type="user"))
+    for d in ("d1", "d2"):
+        g2.add_node(Node(d, type="city"))
+        g2.add_link(Link(f"v-{d}", "u2", d, type="visit"))
+    return g1, g2
+
+
+class TestCompose:
+    def test_friend_visit_composition(self, friend_visit_graphs):
+        g1, g2 = friend_visit_graphs
+        # δ=(tgt, src): friend link's target must equal visit link's source.
+        result = compose(
+            g1, g2, ("tgt", "src"),
+            CopyAttrs(from_l1=("since",), type="user_friend_item"),
+        )
+        assert result.num_links == 2
+        for link in result.links():
+            assert link.src == "u1" and link.tgt in ("d1", "d2")
+            assert link.has_type("user_friend_item")
+            assert link.value("since") == 2008
+
+    def test_one_link_per_matching_pair(self):
+        # Two links sharing endpoints on each side: 2x2 = 4 composed links.
+        g1 = SocialContentGraph()
+        g2 = SocialContentGraph()
+        for g in (g1, g2):
+            for n in ("a", "b", "c"):
+                g.add_node(Node(n, type="x"))
+        g1.add_link(Link("l1", "a", "b", type="t"))
+        g1.add_link(Link("l2", "a", "b", type="t"))
+        g2.add_link(Link("r1", "b", "c", type="t"))
+        g2.add_link(Link("r2", "b", "c", type="t"))
+        result = compose(g1, g2, ("tgt", "src"), lambda l1, l2: {})
+        assert result.num_links == 4
+
+    def test_deterministic_link_ids(self, friend_visit_graphs):
+        g1, g2 = friend_visit_graphs
+        a = compose(g1, g2, ("tgt", "src"), lambda l1, l2: {})
+        b = compose(g1, g2, ("tgt", "src"), lambda l1, l2: {})
+        assert a.same_as(b)
+
+    def test_delta_src_tgt(self, friend_visit_graphs):
+        # δ=(src, tgt): match friend.src against visit.tgt — no matches here.
+        g1, g2 = friend_visit_graphs
+        result = compose(g1, g2, ("src", "tgt"), lambda l1, l2: {})
+        assert result.is_empty()
+
+    def test_f_can_veto_with_none(self, friend_visit_graphs):
+        g1, g2 = friend_visit_graphs
+        result = compose(
+            g1, g2, ("tgt", "src"),
+            lambda l1, l2: {} if l2.tgt == "d1" else None,
+        )
+        assert result.num_links == 1
+
+    def test_f_must_return_mapping(self, friend_visit_graphs):
+        g1, g2 = friend_visit_graphs
+        with pytest.raises(CompositionError):
+            compose(g1, g2, ("tgt", "src"), lambda l1, l2: 42)
+
+    def test_null_graph_input_gives_empty(self, friend_visit_graphs):
+        g1, _ = friend_visit_graphs
+        null = SocialContentGraph()
+        null.add_node(Node("u2", type="user"))
+        assert compose(g1, null, ("tgt", "src"), lambda a, b: {}).is_empty()
+
+    def test_endpoint_nodes_come_from_respective_sides(self, friend_visit_graphs):
+        g1, g2 = friend_visit_graphs
+        result = compose(g1, g2, ("tgt", "src"), lambda l1, l2: {})
+        assert result.node("u1") == g1.node("u1")
+        assert result.node("d1") == g2.node("d1")
+
+
+class TestCompositionFunctions:
+    def test_jaccard_on_node_sets(self):
+        g1 = SocialContentGraph()
+        g1.add_node(Node("john", type="user", vst=("d1", "d3")))
+        g1.add_node(Node("p", type="place"))
+        g1.add_link(Link("jv", "john", "p", type="visit"))
+        g2 = SocialContentGraph()
+        g2.add_node(Node("ann", type="user", vst=("d1", "d2", "d3")))
+        g2.add_node(Node("p", type="place"))
+        g2.add_link(Link("av", "ann", "p", type="visit"))
+        result = compose(g1, g2, ("tgt", "tgt"), JaccardOnNodeSets("vst", "sim"))
+        (link,) = result.links()
+        assert link.value("sim") == pytest.approx(2 / 3)
+        assert link.src == "john" and link.tgt == "ann"
+
+    def test_carry_score(self):
+        g1 = SocialContentGraph()
+        for n in ("a", "b"):
+            g1.add_node(Node(n, type="x"))
+        g1.add_link(Link("m", "a", "b", type="match", sim=0.8))
+        g2 = SocialContentGraph()
+        for n in ("b", "c"):
+            g2.add_node(Node(n, type="x"))
+        g2.add_link(Link("v", "b", "c", type="visit"))
+        result = compose(g1, g2, ("tgt", "src"), CarryScore("sim", "sim_sc"))
+        (link,) = result.links()
+        assert link.value("sim_sc") == 0.8
+
+    def test_copy_attrs_constants(self):
+        fn = CopyAttrs(type="abc", weight=2)
+        out = fn(Link("x", 1, 2, type="t"), Link("y", 2, 3, type="t"))
+        assert out["type"] == "abc" and out["weight"] == 2

@@ -1,0 +1,155 @@
+"""Unit tests for the condition language (paper §5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    And,
+    AttrCompare,
+    AttrEquals,
+    Condition,
+    HasAttr,
+    HasType,
+    Lambda,
+    Link,
+    Node,
+    Not,
+    Or,
+    TruePredicate,
+    as_condition,
+)
+from repro.errors import ConditionError
+
+
+@pytest.fixture
+def denver():
+    return Node(2, type="item, city", name="Denver", keywords="skiing",
+                rating=0.7, tags=("rockies", "baseball"))
+
+
+class TestAttrEquals:
+    def test_superset_semantics(self, denver):
+        # att=val1,...,valk satisfied when values(att) ⊇ {val1..valk}
+        assert AttrEquals("tags", "rockies").matches(denver)
+        assert AttrEquals("tags", ("rockies", "baseball")).matches(denver)
+        assert not AttrEquals("tags", ("rockies", "skiing")).matches(denver)
+
+    def test_type_membership(self, denver):
+        assert AttrEquals("type", "city").matches(denver)
+        assert AttrEquals("type", "item, city").matches(denver)
+        assert not AttrEquals("type", "user").matches(denver)
+
+    def test_id_pseudo_attribute(self, denver):
+        assert AttrEquals("id", 2).matches(denver)
+        assert not AttrEquals("id", 3).matches(denver)
+
+    def test_absent_attribute(self, denver):
+        assert not AttrEquals("missing", "x").matches(denver)
+
+
+class TestAttrCompare:
+    def test_numeric_comparisons(self, denver):
+        assert AttrCompare("rating", ">=", 0.5).matches(denver)
+        assert AttrCompare("rating", "<", 0.8).matches(denver)
+        assert not AttrCompare("rating", ">", 0.7).matches(denver)
+
+    def test_string_number_coercion(self, denver):
+        # The paper writes rating >= '0.5' with a string literal.
+        assert AttrCompare("rating", ">=", "0.5").matches(denver)
+
+    def test_ne_means_no_value_equals(self, denver):
+        assert AttrCompare("id", "!=", 101).matches(denver)
+        assert not AttrCompare("id", "!=", 2).matches(denver)
+        # multi-valued: tags != 'rockies' fails because one value equals it
+        assert not AttrCompare("tags", "!=", "rockies").matches(denver)
+        assert AttrCompare("tags", "!=", "paris").matches(denver)
+
+    def test_ne_vacuous_on_absent(self, denver):
+        assert AttrCompare("missing", "!=", "x").matches(denver)
+
+    def test_absent_fails_ordering(self, denver):
+        assert not AttrCompare("missing", ">", 0).matches(denver)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConditionError):
+            AttrCompare("x", "~=", 1)
+
+
+class TestCombinators:
+    def test_and_or_not(self, denver):
+        city = HasType("city")
+        user = HasType("user")
+        assert (city & ~user).matches(denver)
+        assert (user | city).matches(denver)
+        assert not And(city, user).matches(denver)
+        assert Or(user, city).matches(denver)
+        assert Not(user).matches(denver)
+
+    def test_lambda(self, denver):
+        assert Lambda(lambda e: e.value("name") == "Denver").matches(denver)
+
+    def test_has_attr(self, denver):
+        assert HasAttr("rating").matches(denver)
+        assert not HasAttr("population").matches(denver)
+        assert HasAttr("id").matches(denver)
+
+    def test_true_predicate(self, denver):
+        assert TruePredicate().matches(denver)
+
+
+class TestCondition:
+    def test_structural_mapping(self, denver):
+        cond = Condition({"type": "city", "rating__ge": 0.5})
+        assert cond.satisfied_by(denver)
+        assert not Condition({"type": "city", "rating__ge": 0.9}).satisfied_by(denver)
+
+    def test_suffix_operators(self, denver):
+        assert Condition({"rating__lt": 1}).satisfied_by(denver)
+        assert Condition({"rating__le": 0.7}).satisfied_by(denver)
+        assert Condition({"rating__gt": 0.1}).satisfied_by(denver)
+        assert Condition({"id__ne": 101}).satisfied_by(denver)
+        assert Condition({"rating__eq": 0.7}).satisfied_by(denver)
+
+    def test_keywords_scope_selection(self, denver):
+        assert Condition(keywords="Denver attraction").satisfied_by(denver)
+        assert not Condition(keywords="Paris museum").satisfied_by(denver)
+
+    def test_keywords_tokenized(self):
+        cond = Condition(keywords="Denver Attractions!")
+        assert cond.keywords == ("denver", "attractions")
+
+    def test_keywords_from_list_of_phrases(self):
+        cond = Condition(keywords=["near Denver", "baseball"])
+        assert cond.keywords == ("near", "denver", "baseball")
+
+    def test_empty_condition_matches_all(self, denver):
+        assert Condition().satisfied_by(denver)
+
+    def test_condition_on_links(self):
+        link = Link(12, 1, 2, type="act, tag", tags="rockies baseball")
+        assert Condition({"type": "tag"}).satisfied_by(link)
+        assert Condition(keywords="rockies").satisfied_by(link)
+
+    def test_conjoin(self, denver):
+        a = Condition({"type": "city"})
+        b = Condition({"rating__ge": 0.5}, keywords="skiing")
+        both = a.conjoin(b)
+        assert both.satisfied_by(denver)
+        assert both.keywords == ("skiing",)
+        assert len(both.predicates) == 2
+
+    def test_as_condition_coercions(self, denver):
+        assert as_condition(None).satisfied_by(denver)
+        assert as_condition({"type": "city"}).satisfied_by(denver)
+        assert as_condition(HasType("city")).satisfied_by(denver)
+        cond = Condition({"type": "city"})
+        assert as_condition(cond) is cond
+
+    def test_as_condition_rejects_keywords_with_condition(self):
+        with pytest.raises(ConditionError):
+            as_condition(Condition(), keywords="x")
+
+    def test_repr_is_informative(self):
+        cond = Condition({"type": "city"}, keywords="denver")
+        assert "type" in repr(cond) and "denver" in repr(cond)

@@ -1,0 +1,248 @@
+"""Unit tests for expression plans and the logical optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    GraphStats,
+    PathLinkAvg,
+    decompose_pattern_aggregation,
+    figure2_pattern,
+    input_graph,
+    optimize,
+    select_links,
+    select_nodes,
+    semi_join,
+    union,
+)
+from repro.core.expr import (
+    PatternAggE,
+    SelectLinksE,
+    SemiJoinE,
+    UnionE,
+    same_expr,
+)
+from repro.core.optimizer import (
+    fuse_selections,
+    link_minus_to_antijoin,
+    push_selection_into_semijoin,
+    setop_idempotence,
+)
+from repro.errors import ExpressionError
+
+
+class TestEvaluation:
+    def test_example4_style_plan(self, tiny_travel_graph):
+        G = input_graph("G")
+        john = G.select_nodes({"id": 101})
+        friends = G.semi_join(john, ("src", "src")).select_links({"type": "friend"})
+        result = friends.evaluate({"G": tiny_travel_graph})
+        assert result.link_ids() == {"f1", "f2"}
+
+    def test_plan_equals_eager(self, tiny_travel_graph):
+        g = tiny_travel_graph
+        G = input_graph("G")
+        plan = G.select_links({"type": "visit"}).union(
+            G.select_links({"type": "friend"})
+        )
+        lazy = plan.evaluate({"G": g})
+        eager = union(
+            select_links(g, {"type": "visit"}), select_links(g, {"type": "friend"})
+        )
+        assert lazy.same_as(eager)
+
+    def test_shared_subexpression_evaluated_once(self, tiny_travel_graph):
+        calls = {"n": 0}
+        G = input_graph("G")
+        shared = G.select_links({"type": "visit"})
+        original = shared._compute
+
+        def counting(inputs):
+            calls["n"] += 1
+            return original(inputs)
+
+        shared._compute = counting  # type: ignore[method-assign]
+        plan = shared.union(shared)
+        plan.evaluate({"G": tiny_travel_graph})
+        assert calls["n"] == 1
+
+    def test_missing_input_raises(self):
+        with pytest.raises(ExpressionError):
+            input_graph("G").evaluate({})
+
+    def test_set_and_join_ops(self, tiny_travel_graph):
+        G = input_graph("G")
+        visits = G.select_links({"type": "visit"})
+        friends = G.select_links({"type": "friend"})
+        plan = visits.minus(friends)
+        result = plan.evaluate({"G": tiny_travel_graph})
+        assert all(l.has_type("visit") for l in result.links())
+
+    def test_aggregation_plan(self, tiny_travel_graph):
+        from repro.core import count
+
+        G = input_graph("G")
+        plan = G.aggregate_nodes({"type": "friend"}, "src", "fc", count())
+        result = plan.evaluate({"G": tiny_travel_graph})
+        assert result.node(101).value("fc") == 2
+
+    def test_render_mentions_operators(self, tiny_travel_graph):
+        G = input_graph("G")
+        plan = G.select_links({"type": "visit"}).union(G)
+        text = plan.render(GraphStats.of(tiny_travel_graph))
+        assert "∪" in text and "σL" in text and "input(G)" in text
+
+
+class TestRules:
+    def test_fuse_selections(self):
+        G = input_graph("G")
+        plan = G.select_links({"type": "visit"}).select_links({"w__ge": 1})
+        fused = fuse_selections(plan)
+        assert isinstance(fused, SelectLinksE)
+        assert isinstance(fused.child, type(G))
+        assert len(fused.condition.predicates) == 2
+
+    def test_fuse_preserves_semantics(self, tiny_travel_graph):
+        G = input_graph("G")
+        plan = G.select_links({"type": "visit"}).select_links({"type": "act"})
+        fused, report = optimize(plan)
+        assert "fuse_selections" in report.applied
+        assert fused.evaluate({"G": tiny_travel_graph}).same_as(
+            plan.evaluate({"G": tiny_travel_graph})
+        )
+
+    def test_no_fuse_when_inner_scores(self):
+        G = input_graph("G")
+        plan = G.select_links(None, keywords="denver").select_links({"type": "x"})
+        assert fuse_selections(plan) is None
+
+    def test_push_selection_into_semijoin(self, tiny_travel_graph):
+        G = input_graph("G")
+        john = G.select_nodes({"id": 101})
+        plan = G.semi_join(john, ("src", "src")).select_links({"type": "friend"})
+        pushed = push_selection_into_semijoin(plan)
+        assert isinstance(pushed, SemiJoinE)
+        assert isinstance(pushed.left, SelectLinksE)
+        # semantics preserved
+        assert pushed.evaluate({"G": tiny_travel_graph}).same_as(
+            plan.evaluate({"G": tiny_travel_graph})
+        )
+
+    def test_link_minus_rewrite(self, paper_minus_graphs):
+        g1, g2 = paper_minus_graphs
+        G1, G2 = input_graph("G1"), input_graph("G2")
+        plan = G1.link_minus(G2)
+        rewritten = link_minus_to_antijoin(plan)
+        assert rewritten is not None
+        assert rewritten.evaluate({"G1": g1, "G2": g2}).same_as(
+            plan.evaluate({"G1": g1, "G2": g2})
+        )
+
+    def test_setop_idempotence(self, tiny_travel_graph):
+        G = input_graph("G")
+        sub = G.select_links({"type": "visit"})
+        plan = sub.union(sub)
+        simplified = setop_idempotence(plan)
+        assert simplified is sub
+
+    def test_same_expr_distinguishes_params(self):
+        G = input_graph("G")
+        a = G.select_links({"type": "visit"})
+        b = G.select_links({"type": "friend"})
+        assert same_expr(a, a)
+        assert not same_expr(a, b)
+
+    def test_optimize_reaches_fixpoint(self, tiny_travel_graph):
+        G = input_graph("G")
+        sub = G.select_links({"type": "visit"}).select_links({"type": "act"})
+        plan = sub.union(sub)
+        optimized, report = optimize(plan)
+        assert report.passes >= 1
+        assert optimized.evaluate({"G": tiny_travel_graph}).same_as(
+            plan.evaluate({"G": tiny_travel_graph})
+        )
+
+
+class TestEstimates:
+    def test_selection_estimate_uses_type_histogram(self, tiny_travel_graph):
+        stats = GraphStats.of(tiny_travel_graph)
+        G = input_graph("G")
+        visits = G.select_links({"type": "visit"})
+        friends = G.select_links({"type": "friend"})
+        assert visits.estimate(stats).links > friends.estimate(stats).links
+
+    def test_union_estimate_adds(self, tiny_travel_graph):
+        stats = GraphStats.of(tiny_travel_graph)
+        G = input_graph("G")
+        plan = G.union(G)
+        est = plan.estimate(stats)
+        assert est.links == 2 * tiny_travel_graph.num_links
+
+    def test_id_selection_is_selective(self, tiny_travel_graph):
+        stats = GraphStats.of(tiny_travel_graph)
+        G = input_graph("G")
+        assert G.select_nodes({"id": 101}).estimate(stats).nodes <= 1.01
+
+
+class TestPatternDecomposition:
+    def test_decomposed_plan_equivalent(self, tiny_travel_graph):
+        # Build match+visit graph via the recipe, then compare pattern vs
+        # decomposed multi-step plans on it.
+        from repro.core import (
+            figure2_collaborative_filtering,
+            recommendations_from,
+        )
+        from repro.core.recipes import example5_collaborative_filtering
+
+        G = input_graph("G")
+        pattern_plan = G.aggregate_pattern(
+            figure2_pattern(101), "score", PathLinkAvg(0, "sim"),
+            link_type="recommend",
+        )
+        assert isinstance(pattern_plan, PatternAggE)
+        multistep_plan = decompose_pattern_aggregation(pattern_plan)
+
+        # Input: G4 ∪ G5 from Example 5 (match links + visit links).
+        from repro.core import (
+            AttrMap, ConstAgg, First, JaccardOnNodeSets, SetAgg,
+            aggregate_links, aggregate_nodes, compose, select_links,
+            select_nodes, semi_join, union,
+        )
+
+        g = tiny_travel_graph
+        g1 = select_links(
+            semi_join(g, select_nodes(g, {"id": 101}), ("src", "src")),
+            {"type": "visit"},
+        )
+        g1p = aggregate_nodes(g1, {"type": "visit"}, "src", "vst", SetAgg("tgt"))
+        g2 = select_links(
+            semi_join(g, select_nodes(g, {"id__ne": 101}), ("src", "src")),
+            {"type": "visit"},
+        )
+        g2p = aggregate_nodes(g2, {"type": "visit"}, "src", "vst", SetAgg("tgt"))
+        g3 = compose(g1p, g2p, ("tgt", "tgt"), JaccardOnNodeSets("vst", "sim"))
+        g4 = select_links(
+            aggregate_links(g3, {"sim__gt": 0.5}, "type",
+                            AttrMap(type=ConstAgg("match"), sim=First("sim"))),
+            {"type": "match"},
+        )
+        g5 = select_links(
+            semi_join(g, select_nodes(g, {"type": "destination"}), ("tgt", "src")),
+            {"type": "visit"},
+        )
+        base = union(g4, g5)
+
+        pat = pattern_plan.evaluate({"G": base})
+        multi = multistep_plan.evaluate({"G": base})
+        p = {l.tgt: l.value("score") for l in pat.links()}
+        m = {l.tgt: l.value("score") for l in multi.links()}
+        assert p == pytest.approx(m)
+
+    def test_decomposition_rejects_unsupported_shapes(self):
+        G = input_graph("G")
+        from repro.core import PathCount
+
+        plan = G.aggregate_pattern(figure2_pattern(1), "s", PathCount())
+        with pytest.raises(ExpressionError):
+            decompose_pattern_aggregation(plan)

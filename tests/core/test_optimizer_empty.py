@@ -1,0 +1,73 @@
+"""Tests for the empty-propagation optimizer rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SocialContentGraph, input_graph, literal, optimize
+from repro.core.expr import LiteralE
+from repro.core.optimizer import propagate_empty
+
+
+@pytest.fixture
+def empty():
+    return literal(SocialContentGraph())
+
+
+class TestPropagateEmpty:
+    def test_union_with_empty(self, empty, tiny_travel_graph):
+        G = input_graph("G")
+        assert propagate_empty(G.union(empty)) is G
+        assert propagate_empty(empty.union(G)) is G
+
+    def test_intersection_with_empty_folds(self, empty):
+        G = input_graph("G")
+        folded = propagate_empty(G.intersect(empty))
+        assert isinstance(folded, LiteralE) and folded.graph.is_empty()
+
+    def test_minus_rules(self, empty):
+        G = input_graph("G")
+        assert propagate_empty(G.minus(empty)) is G
+        folded = propagate_empty(empty.minus(G))
+        assert isinstance(folded, LiteralE)
+
+    def test_link_minus_right_empty_not_folded(self, empty):
+        # G \· ∅ keeps only link-induced nodes; folding to G would be wrong.
+        G = input_graph("G")
+        assert propagate_empty(G.link_minus(empty)) is None
+        folded = propagate_empty(empty.link_minus(G))
+        assert isinstance(folded, LiteralE)
+
+    def test_semijoin_and_compose_fold(self, empty):
+        G = input_graph("G")
+        for plan in (
+            G.semi_join(empty, ("src", "src")),
+            empty.semi_join(G, ("src", "src")),
+            G.compose_with(empty, ("tgt", "src"), lambda a, b: {}),
+            empty.compose_with(G, ("tgt", "src"), lambda a, b: {}),
+        ):
+            folded = propagate_empty(plan)
+            assert isinstance(folded, LiteralE) and folded.graph.is_empty()
+
+    def test_non_empty_literal_untouched(self, tiny_travel_graph):
+        G = input_graph("G")
+        lit = literal(tiny_travel_graph)
+        assert propagate_empty(G.union(lit)) is None
+
+    def test_semantics_preserved_through_optimize(self, tiny_travel_graph, empty):
+        G = input_graph("G")
+        plan = G.select_links({"type": "visit"}).union(empty).intersect(
+            G.select_links({"type": "visit"}).union(empty)
+        )
+        optimized, report = optimize(plan)
+        assert "propagate_empty" in report.applied
+        env = {"G": tiny_travel_graph}
+        assert optimized.evaluate(env).same_as(plan.evaluate(env))
+
+    def test_whole_branch_collapses(self, empty):
+        G = input_graph("G")
+        plan = G.union(empty.semi_join(G, ("src", "src")))
+        optimized, report = optimize(plan)
+        # ∅ ⋉ G folds to ∅, then G ∪ ∅ folds to G.
+        assert optimized is G
+        assert report.applied.count("propagate_empty") >= 2

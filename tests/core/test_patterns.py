@@ -1,0 +1,149 @@
+"""Unit tests for graph patterns and γL⟨GP,att,A⟩ (paper §5.4, Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Link,
+    Node,
+    PathCount,
+    PathLinkAvg,
+    PathLinkSum,
+    PathPattern,
+    SocialContentGraph,
+    Step,
+    aggregate_pattern,
+    figure2_pattern,
+    find_paths,
+)
+from repro.errors import PatternError
+
+
+@pytest.fixture
+def match_visit_graph():
+    """John --match(sim)--> {ann, cat} --visit--> destinations.
+
+    ann(sim=.6) visits d1, d2; cat(sim=1.0) visits d1.
+    """
+    g = SocialContentGraph()
+    g.add_node(Node(101, type="user", name="john"))
+    for u in ("ann", "cat"):
+        g.add_node(Node(u, type="user"))
+    for d in ("d1", "d2"):
+        g.add_node(Node(d, type="item, destination"))
+    g.add_link(Link("m-ann", 101, "ann", type="match", sim=0.6))
+    g.add_link(Link("m-cat", 101, "cat", type="match", sim=1.0))
+    g.add_link(Link("v1", "ann", "d1", type="visit"))
+    g.add_link(Link("v2", "ann", "d2", type="visit"))
+    g.add_link(Link("v3", "cat", "d1", type="visit"))
+    return g
+
+
+class TestPatternConstruction:
+    def test_needs_steps(self):
+        with pytest.raises(PatternError):
+            PathPattern(start={"id": 1}, steps=[])
+
+    def test_bad_direction(self):
+        with pytest.raises(PatternError):
+            Step(direction="sideways")
+
+    def test_figure2_shape(self):
+        pattern = figure2_pattern(101)
+        assert len(pattern) == 2
+
+
+class TestFindPaths:
+    def test_figure2_bindings(self, match_visit_graph):
+        paths = find_paths(match_visit_graph, figure2_pattern(101))
+        ends = sorted((p.start.id, p.end.id) for p in paths)
+        assert ends == [(101, "d1"), (101, "d1"), (101, "d2")]
+
+    def test_path_records_links(self, match_visit_graph):
+        paths = find_paths(match_visit_graph, figure2_pattern(101))
+        for p in paths:
+            assert p.links[0].has_type("match")
+            assert p.links[1].has_type("visit")
+            assert len(p.nodes) == 3
+
+    def test_node_condition_filters(self, match_visit_graph):
+        pattern = PathPattern(
+            start={"id": 101},
+            steps=[
+                Step(link={"type": "match"}),
+                Step(link={"type": "visit"}, node={"id": "d2"}),
+            ],
+        )
+        paths = find_paths(match_visit_graph, pattern)
+        assert [(p.start.id, p.end.id) for p in paths] == [(101, "d2")]
+
+    def test_inverse_direction(self, match_visit_graph):
+        # Who visited d1?  d1 <-visit- user.
+        pattern = PathPattern(
+            start={"id": "d1"},
+            steps=[Step(link={"type": "visit"}, direction="in")],
+        )
+        paths = find_paths(match_visit_graph, pattern)
+        assert sorted(p.end.id for p in paths) == ["ann", "cat"]
+
+    def test_no_match(self, match_visit_graph):
+        paths = find_paths(match_visit_graph, figure2_pattern(999))
+        assert paths == []
+
+    def test_deterministic_order(self, match_visit_graph):
+        a = find_paths(match_visit_graph, figure2_pattern(101))
+        b = find_paths(match_visit_graph, figure2_pattern(101))
+        assert [(p.start.id, p.end.id) for p in a] == [
+            (p.start.id, p.end.id) for p in b
+        ]
+
+    def test_link_value_helper(self, match_visit_graph):
+        paths = find_paths(match_visit_graph, figure2_pattern(101))
+        sims = {p.link_value(0, "sim") for p in paths}
+        assert sims == {0.6, 1.0}
+
+
+class TestAggregatePattern:
+    def test_figure2_aggregation(self, match_visit_graph):
+        # One link per (john, dest); score = avg sim on the match link.
+        result = aggregate_pattern(
+            match_visit_graph, figure2_pattern(101), "score",
+            PathLinkAvg(0, "sim"),
+        )
+        scores = {l.tgt: l.value("score") for l in result.links()}
+        assert scores["d1"] == pytest.approx(0.8)  # avg(.6, 1.0)
+        assert scores["d2"] == pytest.approx(0.6)
+
+    def test_one_link_per_pair(self, match_visit_graph):
+        result = aggregate_pattern(
+            match_visit_graph, figure2_pattern(101), "score", PathCount()
+        )
+        assert result.num_links == 2
+        counts = {l.tgt: l.value("score") for l in result.links()}
+        assert counts == {"d1": 2, "d2": 1}
+
+    def test_sum_aggregation(self, match_visit_graph):
+        result = aggregate_pattern(
+            match_visit_graph, figure2_pattern(101), "s", PathLinkSum(0, "sim")
+        )
+        sums = {l.tgt: l.value("s") for l in result.links()}
+        assert sums["d1"] == pytest.approx(1.6)
+
+    def test_output_contains_only_endpoints(self, match_visit_graph):
+        result = aggregate_pattern(
+            match_visit_graph, figure2_pattern(101), "score", PathCount()
+        )
+        assert result.node_ids() == {101, "d1", "d2"}
+
+    def test_agg_size_on_links(self, match_visit_graph):
+        result = aggregate_pattern(
+            match_visit_graph, figure2_pattern(101), "score", PathCount()
+        )
+        sizes = {l.tgt: l.value("agg_size") for l in result.links()}
+        assert sizes == {"d1": 2, "d2": 1}
+
+    def test_empty_graph(self):
+        g = SocialContentGraph()
+        result = aggregate_pattern(g, figure2_pattern(1), "s", PathCount())
+        assert result.is_empty()

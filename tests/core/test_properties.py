@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) for the algebra laws.
+
+The operators' definitions imply a family of identities (commutativity,
+associativity, idempotence, absorption, Lemma 1 ...).  We check them on
+randomly drawn graph pairs that share an id space — the "same social
+content site" precondition of Definition 3 — so that shared ids always
+denote identical records.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core import (
+    count,
+    intersection,
+    link_minus,
+    link_minus_via_semijoin,
+    minus,
+    select_links,
+    select_nodes,
+    semi_join,
+    union,
+    aggregate_nodes,
+)
+from tests.conftest import overlapping_graph_pairs, social_graphs
+
+FAST = settings(max_examples=60, deadline=None)
+
+
+class TestUnionLaws:
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_commutative(self, pair):
+        g1, g2 = pair
+        assert union(g1, g2).same_as(union(g2, g1))
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_idempotent(self, pair):
+        g1, _ = pair
+        assert union(g1, g1).same_as(g1)
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_associative_with_self(self, pair):
+        g1, g2 = pair
+        assert union(union(g1, g2), g1).same_as(union(g1, union(g2, g1)))
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_contains_both_inputs(self, pair):
+        g1, g2 = pair
+        u = union(g1, g2)
+        assert g1.node_ids() | g2.node_ids() == u.node_ids()
+        assert g1.link_ids() | g2.link_ids() == u.link_ids()
+
+
+class TestIntersectionLaws:
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_commutative(self, pair):
+        g1, g2 = pair
+        assert intersection(g1, g2).same_as(intersection(g2, g1))
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_idempotent(self, pair):
+        g1, _ = pair
+        assert intersection(g1, g1).same_as(g1)
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_subset_of_union(self, pair):
+        g1, g2 = pair
+        inter, u = intersection(g1, g2), union(g1, g2)
+        assert inter.node_ids() <= u.node_ids()
+        assert inter.link_ids() <= u.link_ids()
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_absorption(self, pair):
+        g1, g2 = pair
+        assert intersection(g1, union(g1, g2)).same_as(g1)
+
+
+class TestMinusLaws:
+    @given(g=social_graphs())
+    @FAST
+    def test_self_minus_empty(self, g):
+        assert minus(g, g).is_empty()
+        assert link_minus(g, g).num_links == 0
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_minus_disjoint_from_subtrahend_nodes(self, pair):
+        g1, g2 = pair
+        result = minus(g1, g2)
+        assert result.node_ids().isdisjoint(g2.node_ids())
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_node_partition(self, pair):
+        # nodes(G1) = nodes(G1∩G2) ⊎ nodes(G1\G2)
+        g1, g2 = pair
+        left = intersection(g1, g2).node_ids()
+        right = minus(g1, g2).node_ids()
+        assert left | right == g1.node_ids()
+        assert left & right == set()
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_lemma1_equivalence(self, pair):
+        # G1 \· G2 == the Lemma 1 rewrite, on arbitrary overlapping pairs.
+        g1, g2 = pair
+        assert link_minus(g1, g2).same_as(link_minus_via_semijoin(g1, g2))
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_link_minus_link_partition(self, pair):
+        g1, g2 = pair
+        kept = link_minus(g1, g2).link_ids()
+        assert kept == g1.link_ids() - g2.link_ids()
+
+
+class TestSelectionLaws:
+    @given(g=social_graphs())
+    @FAST
+    def test_node_selection_idempotent(self, g):
+        cond = {"type": "user"}
+        once = select_nodes(g, cond)
+        twice = select_nodes(once, cond)
+        assert once.same_as(twice)
+
+    @given(g=social_graphs())
+    @FAST
+    def test_node_selection_sound_and_complete(self, g):
+        result = select_nodes(g, {"rating__ge": 3})
+        for node in result.nodes():
+            assert node.value("rating") >= 3
+        expected = {n.id for n in g.nodes() if n.value("rating") >= 3}
+        assert result.node_ids() == expected
+
+    @given(g=social_graphs())
+    @FAST
+    def test_link_selection_outputs_subgraph(self, g):
+        result = select_links(g, {"type": "friend"})
+        for link in result.links():
+            assert g.has_link(link.id)
+            assert result.has_node(link.src) and result.has_node(link.tgt)
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_selection_distributes_over_intersection(self, pair):
+        g1, g2 = pair
+        cond = {"type": "user"}
+        lhs = select_nodes(intersection(g1, g2), cond)
+        rhs = intersection(select_nodes(g1, cond), select_nodes(g2, cond))
+        assert lhs.same_as(rhs)
+
+
+class TestSemiJoinLaws:
+    @given(g=social_graphs())
+    @FAST
+    def test_self_semijoin_keeps_all_links(self, g):
+        result = semi_join(g, g, ("src", "src"))
+        assert result.link_ids() == g.link_ids()
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_output_subgraph_of_left(self, pair):
+        g1, g2 = pair
+        result = semi_join(g1, g2, ("tgt", "src"))
+        assert result.link_ids() <= g1.link_ids()
+        assert result.node_ids() <= g1.node_ids()
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_monotone_in_right_argument(self, pair):
+        g1, g2 = pair
+        small = semi_join(g1, g2, ("src", "src"))
+        big = semi_join(g1, union(g2, g1), ("src", "src"))
+        assert small.link_ids() <= big.link_ids()
+
+
+class TestAggregationLaws:
+    @given(g=social_graphs())
+    @FAST
+    def test_node_aggregation_preserves_structure(self, g):
+        result = aggregate_nodes(g, {"type": "friend"}, "src", "fc", count())
+        assert result.node_ids() == g.node_ids()
+        assert result.link_ids() == g.link_ids()
+
+    @given(g=social_graphs())
+    @FAST
+    def test_count_matches_manual(self, g):
+        result = aggregate_nodes(g, {"type": "friend"}, "src", "fc", count())
+        for node in result.nodes():
+            expected = sum(
+                1 for l in g.out_links(node.id) if l.has_type("friend")
+            )
+            stored = node.value("fc")
+            if expected == 0:
+                assert stored is None
+            else:
+                assert stored == expected

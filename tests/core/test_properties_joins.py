@@ -1,0 +1,138 @@
+"""Property-based tests for semi-join / composition / selection identities.
+
+Complements ``test_properties.py`` with the laws that involve the §5.3
+binary operators — the identities the optimizer's soundness ultimately
+rests on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    anti_semi_join,
+    compose,
+    select_links,
+    select_nodes,
+    semi_join,
+    union,
+)
+from tests.conftest import overlapping_graph_pairs, social_graphs
+
+FAST = settings(max_examples=50, deadline=None)
+
+DELTAS = [("src", "src"), ("src", "tgt"), ("tgt", "src"), ("tgt", "tgt")]
+delta_strategy = st.sampled_from(DELTAS)
+
+
+class TestSemiJoinIdentities:
+    @given(pair=overlapping_graph_pairs(), delta=delta_strategy)
+    @FAST
+    def test_idempotent(self, pair, delta):
+        # (G1 ⋉δ G2) ⋉δ G2 = G1 ⋉δ G2 — filtering twice changes nothing.
+        g1, g2 = pair
+        once = semi_join(g1, g2, delta)
+        twice = semi_join(once, g2, delta)
+        assert twice.same_as(once)
+
+    @given(pair=overlapping_graph_pairs(), delta=delta_strategy)
+    @FAST
+    def test_partition_with_antijoin(self, pair, delta):
+        # semi-join and anti-semi-join partition G1's links.
+        g1, g2 = pair
+        kept = semi_join(g1, g2, delta)
+        dropped = anti_semi_join(g1, g2, delta)
+        assert kept.link_ids() | dropped.link_ids() == g1.link_ids()
+        assert kept.link_ids() & dropped.link_ids() == set()
+
+    @given(pair=overlapping_graph_pairs(), delta=delta_strategy)
+    @FAST
+    def test_selection_pushdown_rule_soundness(self, pair, delta):
+        # σL_C(G1 ⋉δ G2) = σL_C(G1) ⋉δ G2 — the optimizer's pushdown rule.
+        g1, g2 = pair
+        condition = {"type": "friend"}
+        lhs = select_links(semi_join(g1, g2, delta), condition)
+        rhs = semi_join(select_links(g1, condition), g2, delta)
+        assert lhs.same_as(rhs)
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_semijoin_distributes_over_right_union(self, pair):
+        # G1 ⋉ (G2 ∪ G3) = (G1 ⋉ G2) ∪ (G1 ⋉ G3) on the link level.
+        g1, g2 = pair
+        g3 = select_links(g1, {"type": "visit"})
+        lhs = semi_join(g1, union(g2, g3), ("src", "src"))
+        rhs = union(
+            semi_join(g1, g2, ("src", "src")),
+            semi_join(g1, g3, ("src", "src")),
+        )
+        assert lhs.link_ids() == rhs.link_ids()
+
+
+class TestCompositionProperties:
+    @given(pair=overlapping_graph_pairs(), delta=delta_strategy)
+    @FAST
+    def test_output_size_is_matching_pairs(self, pair, delta):
+        # One link per (ℓ1, ℓ2) pair with ℓ1.δd1 = ℓ2.δd2 (Definition 5).
+        g1, g2 = pair
+        d1, d2 = delta
+        expected = sum(
+            1
+            for l1 in g1.links()
+            for l2 in g2.links()
+            if l1.endpoint(d1) == l2.endpoint(d2)
+        )
+        result = compose(g1, g2, delta, lambda a, b: {})
+        assert result.num_links == expected
+
+    @given(pair=overlapping_graph_pairs(), delta=delta_strategy)
+    @FAST
+    def test_endpoints_are_opposite_ends(self, pair, delta):
+        g1, g2 = pair
+        d1, d2 = delta
+        result = compose(g1, g2, delta, lambda a, b: {})
+        g1_opposites = {l.other_endpoint(d1) for l in g1.links()}
+        g2_opposites = {l.other_endpoint(d2) for l in g2.links()}
+        for link in result.links():
+            assert link.src in g1_opposites
+            assert link.tgt in g2_opposites
+
+    @given(pair=overlapping_graph_pairs())
+    @FAST
+    def test_veto_is_subset_of_full(self, pair):
+        # An F returning None for some pairs yields a subgraph of the
+        # unconditional composition.
+        g1, g2 = pair
+        full = compose(g1, g2, ("tgt", "src"), lambda a, b: {})
+        vetoed = compose(
+            g1, g2, ("tgt", "src"),
+            lambda a, b: {} if repr(a.id) < repr(b.id) else None,
+        )
+        assert vetoed.link_ids() <= full.link_ids()
+
+    @given(g=social_graphs())
+    @FAST
+    def test_composition_is_deterministic(self, g):
+        a = compose(g, g, ("tgt", "src"), lambda x, y: {"w": 1})
+        b = compose(g, g, ("tgt", "src"), lambda x, y: {"w": 1})
+        assert a.same_as(b)
+
+
+class TestSelectionScoringLaws:
+    @given(g=social_graphs())
+    @FAST
+    def test_scores_bounded_for_default_scorer(self, g):
+        from repro.core import Condition
+
+        result = select_nodes(g, Condition(keywords="user item"))
+        for node in result.nodes():
+            assert node.score is not None
+            assert node.score >= 0.0
+
+    @given(g=social_graphs())
+    @FAST
+    def test_structural_selection_monotone(self, g):
+        # Adding predicates can only shrink the selection.
+        broad = select_nodes(g, {"type": "user"})
+        narrow = select_nodes(g, {"type": "user", "rating__ge": 3})
+        assert narrow.node_ids() <= broad.node_ids()

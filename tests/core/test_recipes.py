@@ -1,0 +1,153 @@
+"""Integration tests: the paper's worked Examples 4 and 5 + Figure 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Condition,
+    Link,
+    Node,
+    SocialContentGraph,
+    example4_search,
+    example5_collaborative_filtering,
+    figure2_collaborative_filtering,
+    recommendations_from,
+)
+
+
+@pytest.fixture
+def denver_graph():
+    """A graph tailored to Example 4: John, friends, destinations near
+    Denver (and one far away), visits, and extra activities."""
+    g = SocialContentGraph()
+    g.add_node(Node(101, type="user", name="John"))
+    for uid, name in [(1, "Amy"), (2, "Ben"), (3, "Cleo"), (4, "Stranger")]:
+        g.add_node(Node(uid, type="user", name=name))
+    g.add_node(Node("coors", type="item, destination",
+                    name="Coors Field", keywords="near denver baseball"))
+    g.add_node(Node("museum", type="item, destination",
+                    name="Ballpark Museum", keywords="near denver baseball"))
+    g.add_node(Node("paris", type="item, destination",
+                    name="Louvre", keywords="paris museum"))
+    # friendships (John -> friend)
+    g.add_link(Link("f-amy", 101, 1, type="connect, friend"))
+    g.add_link(Link("f-ben", 101, 2, type="connect, friend"))
+    g.add_link(Link("f-cleo", 101, 3, type="connect, friend"))
+    # visits
+    g.add_link(Link("v1", 1, "coors", type="act, visit"))     # Amy: near Denver
+    g.add_link(Link("v2", 2, "paris", type="act, visit"))     # Ben: not near
+    g.add_link(Link("v3", 4, "museum", type="act, visit"))    # Stranger
+    # other activities by Amy and Ben
+    g.add_link(Link("t1", 1, "coors", type="act, tag", tags="baseball"))
+    g.add_link(Link("t2", 2, "paris", type="act, review", rating=4))
+    return g
+
+
+class TestExample4:
+    def test_friends_who_visited_near_denver(self, denver_graph):
+        result = example4_search(denver_graph, 101)
+        # Amy is the only friend with a near-Denver visit.
+        assert result.has_link("f-amy")      # John -> Amy friend link (G3)
+        assert result.has_link("v1")          # Amy's qualifying visit (G4)
+        assert not result.has_link("f-ben")   # Ben visited Paris only
+        assert not result.has_link("v3")      # Stranger is not a friend
+
+    def test_includes_all_friend_activities(self, denver_graph):
+        result = example4_search(denver_graph, 101)
+        # G6: *all* activities of qualifying friends — Amy's tag included.
+        assert result.has_link("t1")
+        assert not result.has_link("t2")  # Ben doesn't qualify
+
+    def test_contains_john_and_places(self, denver_graph):
+        result = example4_search(denver_graph, 101)
+        assert result.has_node(101)
+        assert result.has_node("coors")
+        assert not result.has_node("paris")
+
+    def test_custom_place_condition(self, denver_graph):
+        result = example4_search(
+            denver_graph, 101,
+            place_condition=Condition({"type": "destination"}, keywords="paris"),
+        )
+        assert result.has_link("f-ben")
+        assert not result.has_link("f-amy")
+
+    def test_no_friends_empty(self, denver_graph):
+        result = example4_search(denver_graph, 4)  # Stranger has no friends
+        assert result.num_links == 0
+
+
+class TestExample5:
+    def test_recommendations(self, tiny_travel_graph):
+        result = example5_collaborative_filtering(tiny_travel_graph, 101)
+        recs = dict(recommendations_from(result, 101))
+        # Similar users (>0.5): Ann (2/3), Cat (1.0).  Bob (0.25) excluded.
+        # d1: avg(2/3, 1) = 5/6; d3: same; d2: Ann only = 2/3.
+        assert recs["d1"] == pytest.approx(5 / 6)
+        assert recs["d3"] == pytest.approx(5 / 6)
+        assert recs["d2"] == pytest.approx(2 / 3)
+        assert "d4" not in recs  # only Bob visited d4
+
+    def test_matches_direct_computation(self, tiny_travel_graph):
+        """The algebra pipeline must equal a from-scratch CF computation."""
+        g = tiny_travel_graph
+        visits: dict[int, set] = {}
+        for link in g.links():
+            if link.has_type("visit"):
+                visits.setdefault(link.src, set()).add(link.tgt)
+        john = visits[101]
+        sims = {}
+        for user, seen in visits.items():
+            if user == 101:
+                continue
+            jac = len(john & seen) / len(john | seen)
+            if jac > 0.5:
+                sims[user] = jac
+        expected: dict[str, list[float]] = {}
+        for user, sim in sims.items():
+            for dest in visits[user]:
+                expected.setdefault(dest, []).append(sim)
+        expected_scores = {d: sum(v) / len(v) for d, v in expected.items()}
+
+        result = example5_collaborative_filtering(g, 101)
+        recs = dict(recommendations_from(result, 101))
+        assert recs == pytest.approx(expected_scores)
+
+    def test_threshold_parameter(self, tiny_travel_graph):
+        result = example5_collaborative_filtering(
+            tiny_travel_graph, 101, sim_threshold=0.2
+        )
+        recs = dict(recommendations_from(result, 101))
+        assert "d4" in recs  # Bob (0.25) now included
+
+    def test_exclude_visited(self, tiny_travel_graph):
+        result = example5_collaborative_filtering(tiny_travel_graph, 101)
+        recs = recommendations_from(result, 101, exclude={"d1", "d3"})
+        assert [d for d, _ in recs] == ["d2"]
+
+    def test_user_with_no_visits(self, tiny_travel_graph):
+        g = tiny_travel_graph.copy()
+        g.add_node(Node(999, type="user", name="Newbie"))
+        result = example5_collaborative_filtering(g, 999)
+        assert recommendations_from(result, 999) == []
+
+
+class TestFigure2Equivalence:
+    def test_pattern_equals_multistep(self, tiny_travel_graph):
+        multi = example5_collaborative_filtering(tiny_travel_graph, 101)
+        pattern = figure2_collaborative_filtering(tiny_travel_graph, 101)
+        m = dict(recommendations_from(multi, 101))
+        p = dict(recommendations_from(pattern, 101))
+        assert m == pytest.approx(p)
+
+    def test_equivalence_with_lower_threshold(self, tiny_travel_graph):
+        multi = example5_collaborative_filtering(
+            tiny_travel_graph, 101, sim_threshold=0.2
+        )
+        pattern = figure2_collaborative_filtering(
+            tiny_travel_graph, 101, sim_threshold=0.2
+        )
+        m = dict(recommendations_from(multi, 101))
+        p = dict(recommendations_from(pattern, 101))
+        assert m == pytest.approx(p)

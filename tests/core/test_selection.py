@@ -1,0 +1,122 @@
+"""Unit tests for σN and σL (paper Definitions 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Condition,
+    ConstantScorer,
+    DefaultKeywordScorer,
+    TfIdfScorer,
+    select_links,
+    select_nodes,
+)
+
+
+class TestNodeSelection:
+    def test_outputs_null_graph(self, tiny_travel_graph):
+        result = select_nodes(tiny_travel_graph, {"type": "user"})
+        assert result.is_null_graph()
+        assert result.node_ids() == {101, 102, 103, 104}
+
+    def test_structural_filtering(self, tiny_travel_graph):
+        result = select_nodes(tiny_travel_graph, {"type": "destination"})
+        assert result.node_ids() == {"d1", "d2", "d3", "d4"}
+
+    def test_id_selection(self, tiny_travel_graph):
+        result = select_nodes(tiny_travel_graph, {"id": 101})
+        assert result.node_ids() == {101}
+
+    def test_keywords_scope_and_score(self, tiny_travel_graph):
+        result = select_nodes(
+            tiny_travel_graph, Condition({"type": "destination"}, keywords="baseball")
+        )
+        assert result.node_ids() == {"d1", "d2"}
+        for node in result.nodes():
+            assert node.score is not None and node.score > 0
+
+    def test_no_keywords_no_score_attached(self, tiny_travel_graph):
+        result = select_nodes(tiny_travel_graph, {"type": "user"})
+        assert all(node.score is None for node in result.nodes())
+
+    def test_explicit_scorer_without_keywords_scores(self, tiny_travel_graph):
+        result = select_nodes(
+            tiny_travel_graph, {"type": "user"}, scorer=ConstantScorer(0.25)
+        )
+        assert all(node.score == 0.25 for node in result.nodes())
+
+    def test_input_graph_unchanged(self, tiny_travel_graph):
+        before = tiny_travel_graph.copy()
+        select_nodes(tiny_travel_graph, {"type": "user"},
+                     scorer=ConstantScorer(9.0))
+        assert tiny_travel_graph.same_as(before)
+
+    def test_empty_result(self, tiny_travel_graph):
+        result = select_nodes(tiny_travel_graph, {"type": "spaceship"})
+        assert result.is_empty()
+
+
+class TestLinkSelection:
+    def test_outputs_link_induced_subgraph(self, tiny_travel_graph):
+        result = select_links(tiny_travel_graph, {"type": "friend"})
+        assert result.num_links == 3
+        assert result.node_ids() == {101, 102, 103, 104}
+
+    def test_structural_filtering(self, tiny_travel_graph):
+        result = select_links(tiny_travel_graph, {"type": "visit"})
+        assert result.num_links == 10
+        assert all(l.has_type("visit") for l in result.links())
+
+    def test_keyword_scope_on_links(self, tiny_travel_graph):
+        g = tiny_travel_graph.copy()
+        g.add_link(id="t1", src=101, tgt="d1", type="act, tag",
+                   tags="rockies baseball")
+        result = select_links(g, Condition({"type": "tag"}, keywords="rockies"))
+        assert result.link_ids() == {"t1"}
+        assert result.link("t1").score > 0
+
+    def test_scores_only_on_links(self, tiny_travel_graph):
+        g = tiny_travel_graph.copy()
+        g.add_link(id="t1", src=101, tgt="d1", type="act, tag", tags="rockies")
+        result = select_links(g, Condition({"type": "tag"}, keywords="rockies"))
+        # endpoint nodes are carried but not scored
+        assert all(node.score is None for node in result.nodes())
+
+
+class TestScorers:
+    def test_default_scorer_coverage_ordering(self):
+        from repro.core import Node
+
+        full = Node(1, type="item", text="denver baseball stadium")
+        partial = Node(2, type="item", text="denver zoo")
+        scorer = DefaultKeywordScorer()
+        kw = ("denver", "baseball")
+        assert scorer(full, kw) > scorer(partial, kw) > 0
+
+    def test_default_scorer_zero_when_no_match(self):
+        from repro.core import Node
+
+        scorer = DefaultKeywordScorer()
+        assert scorer(Node(1, type="item", text="paris"), ("denver",)) == 0.0
+
+    def test_default_scorer_without_keywords_is_one(self):
+        from repro.core import Node
+
+        assert DefaultKeywordScorer()(Node(1, type="item"), ()) == 1.0
+
+    def test_tfidf_rare_term_scores_higher(self, tiny_travel_graph):
+        scorer = TfIdfScorer(tiny_travel_graph)
+        d2 = tiny_travel_graph.node("d2")  # 'museum' appears once
+        d3 = tiny_travel_graph.node("d3")  # 'family' appears twice
+        assert scorer(d2, ("museum",)) > scorer(d3, ("family",)) > 0
+
+    def test_tfidf_on_selection(self, tiny_travel_graph):
+        scorer = TfIdfScorer(tiny_travel_graph)
+        result = select_nodes(
+            tiny_travel_graph,
+            Condition({"type": "destination"}, keywords="baseball museum"),
+            scorer=scorer,
+        )
+        # d2 mentions both terms, d1 only baseball.
+        assert result.node("d2").score > result.node("d1").score

@@ -1,0 +1,100 @@
+"""Unit tests for ⋉δ and the anti-semi-join (paper Definition 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Link,
+    Node,
+    SocialContentGraph,
+    anti_semi_join,
+    select_links,
+    select_nodes,
+    semi_join,
+)
+from repro.errors import AlgebraError
+
+
+class TestSemiJoin:
+    def test_null_graph_right_side(self, tiny_travel_graph):
+        # Example 4's idiom: G ⋉(src,src) σN_id=101(G) = John's outgoing links.
+        g = tiny_travel_graph
+        john = select_nodes(g, {"id": 101})
+        result = semi_join(g, john, ("src", "src"))
+        assert all(l.src == 101 for l in result.links())
+        assert result.num_links == 4
+
+    def test_direction_tgt_src(self, tiny_travel_graph):
+        # Links into destinations: G ⋉(tgt,src) σN_type=destination(G).
+        g = tiny_travel_graph
+        dests = select_nodes(g, {"type": "destination"})
+        result = semi_join(g, dests, ("tgt", "src"))
+        assert result.num_links == 10  # the visit links
+        assert all(str(l.tgt).startswith("d") for l in result.links())
+
+    def test_link_to_link_matching(self, tiny_travel_graph):
+        g = tiny_travel_graph
+        friends = select_links(g, {"type": "friend"})
+        visits = select_links(g, {"type": "visit"})
+        # friend links whose tgt is someone who visited something
+        result = semi_join(friends, visits, ("tgt", "src"))
+        assert result.link_ids() == {"f1", "f2", "f3"}
+
+    def test_no_match_returns_empty(self, tiny_travel_graph):
+        g = tiny_travel_graph
+        nobody = select_nodes(g, {"id": 999999})
+        result = semi_join(g, nobody, ("src", "src"))
+        assert result.is_empty()
+
+    def test_null_graph_left_side(self, tiny_travel_graph):
+        # Filtering a node set by who has visits: null ⋉ visits.
+        g = tiny_travel_graph
+        users = select_nodes(g, {"type": "user"})
+        visits = select_links(g, {"type": "visit"})
+        result = semi_join(users, visits, ("src", "src"))
+        assert result.is_null_graph()
+        assert result.node_ids() == {101, 102, 103, 104}
+
+    def test_output_is_subgraph_of_left(self, tiny_travel_graph):
+        g = tiny_travel_graph
+        john = select_nodes(g, {"id": 101})
+        result = semi_join(g, john, ("src", "src"))
+        for link in result.links():
+            assert g.has_link(link.id)
+        for node in result.nodes():
+            assert g.has_node(node.id)
+
+    def test_invalid_direction_rejected(self, tiny_travel_graph):
+        with pytest.raises(AlgebraError):
+            semi_join(tiny_travel_graph, tiny_travel_graph, ("middle", "src"))
+
+
+class TestAntiSemiJoin:
+    def test_complements_semi_join(self, tiny_travel_graph):
+        g = tiny_travel_graph
+        john = select_nodes(g, {"id": 101})
+        kept = semi_join(g, john, ("src", "src"))
+        dropped = anti_semi_join(g, john, ("src", "src"))
+        assert kept.link_ids() | dropped.link_ids() == g.link_ids()
+        assert kept.link_ids() & dropped.link_ids() == set()
+
+    def test_id_matching_mode(self):
+        g1 = SocialContentGraph()
+        for n in ("a", "b"):
+            g1.add_node(Node(n, type="item"))
+        g1.add_link(Link("l1", "a", "b", type="x"))
+        g1.add_link(Link("l2", "a", "b", type="y"))
+        g2 = SocialContentGraph()
+        for n in ("a", "b"):
+            g2.add_node(Node(n, type="item"))
+        g2.add_link(Link("l1", "a", "b", type="x"))
+        result = anti_semi_join(g1, g2, on="id")
+        assert result.link_ids() == {"l2"}
+
+    def test_null_graph_left(self, tiny_travel_graph):
+        g = tiny_travel_graph
+        users = select_nodes(g, {"type": "user"})
+        visits = select_links(g, {"type": "visit"})
+        result = anti_semi_join(users, visits, ("src", "src"))
+        assert result.is_null_graph() and result.node_ids() == set()

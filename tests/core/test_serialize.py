@@ -1,0 +1,106 @@
+"""Tests for graph serialization (JSON / JSON-lines round-trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    Node,
+    SocialContentGraph,
+    dump_json,
+    dump_jsonl,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    load_jsonl,
+)
+from repro.errors import GraphError
+from tests.conftest import social_graphs
+
+
+class TestDictCodec:
+    def test_round_trip(self, tiny_travel_graph):
+        payload = graph_to_dict(tiny_travel_graph)
+        restored = graph_from_dict(payload)
+        assert restored.same_as(tiny_travel_graph)
+
+    def test_envelope(self, tiny_travel_graph):
+        payload = graph_to_dict(tiny_travel_graph)
+        assert payload["format"] == "socialscope-graph"
+        assert payload["version"] == 1
+
+    def test_deterministic(self, tiny_travel_graph):
+        a = json.dumps(graph_to_dict(tiny_travel_graph))
+        b = json.dumps(graph_to_dict(tiny_travel_graph))
+        assert a == b
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": "not-a-graph", "version": 1})
+
+    def test_rejects_wrong_version(self, tiny_travel_graph):
+        payload = graph_to_dict(tiny_travel_graph)
+        payload["version"] = 99
+        with pytest.raises(GraphError):
+            graph_from_dict(payload)
+
+    def test_rejects_non_json_values(self):
+        graph = SocialContentGraph()
+        graph.add_node(Node(1, type="user"))
+        # smuggle a non-JSON value past normalisation
+        bad = graph.node(1).with_attrs(payload="x")
+        object.__setattr__(bad, "attrs", {**bad.attrs, "payload": (object(),)})
+        graph.replace_node(bad)
+        with pytest.raises(GraphError):
+            graph_to_dict(graph)
+
+    @given(g=social_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, g):
+        assert graph_from_dict(graph_to_dict(g)).same_as(g)
+
+
+class TestFiles:
+    def test_json_file_round_trip(self, tiny_travel_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        dump_json(tiny_travel_graph, path)
+        assert load_json(path).same_as(tiny_travel_graph)
+
+    def test_jsonl_file_round_trip(self, tiny_travel_graph, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        dump_jsonl(tiny_travel_graph, path)
+        assert load_jsonl(path).same_as(tiny_travel_graph)
+
+    def test_jsonl_has_one_record_per_element(self, tiny_travel_graph, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        dump_jsonl(tiny_travel_graph, path)
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        expected = 1 + tiny_travel_graph.num_nodes + tiny_travel_graph.num_links
+        assert len(lines) == expected
+
+    def test_jsonl_blank_lines_skipped(self, tiny_travel_graph, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        dump_jsonl(tiny_travel_graph, path)
+        padded = tmp_path / "padded.jsonl"
+        padded.write_text("\n" + path.read_text() + "\n\n")
+        assert load_jsonl(padded).same_as(tiny_travel_graph)
+
+    def test_jsonl_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(GraphError):
+            load_jsonl(path)
+
+    def test_workload_round_trip(self, tmp_path):
+        from repro.workloads import TravelSiteConfig, build_travel_site
+
+        site = build_travel_site(TravelSiteConfig(
+            num_cities=3, attractions_per_city=4, num_background_users=20,
+            seed=5,
+        ))
+        path = tmp_path / "travel.jsonl"
+        dump_jsonl(site.graph, path)
+        assert load_jsonl(path).same_as(site.graph)

@@ -1,0 +1,132 @@
+"""Unit tests for ∪, ∩, \\ and \\· (paper Definitions 3-4, Lemma 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Link,
+    Node,
+    SocialContentGraph,
+    graph_from_edges,
+    intersection,
+    link_minus,
+    link_minus_via_semijoin,
+    minus,
+    symmetric_difference,
+    union,
+)
+
+
+def g_of(*edges):
+    return graph_from_edges(list(edges))
+
+
+class TestUnion:
+    def test_basic(self):
+        u = union(g_of(("a", "b")), g_of(("b", "c")))
+        assert u.node_ids() == {"a", "b", "c"}
+        assert u.link_ids() == {"a->b", "b->c"}
+
+    def test_consolidates_shared_ids(self):
+        g1 = SocialContentGraph()
+        g1.add_node(Node(1, type="user", tags="x"))
+        g2 = SocialContentGraph()
+        g2.add_node(Node(1, type="traveler", tags="y"))
+        u = union(g1, g2)
+        assert set(u.node(1).types) == {"user", "traveler"}
+        assert set(u.node(1).values("tags")) == {"x", "y"}
+
+    def test_with_empty(self):
+        g = g_of(("a", "b"))
+        assert union(g, SocialContentGraph()).same_as(g)
+        assert union(SocialContentGraph(), g).same_as(g)
+
+
+class TestIntersection:
+    def test_basic(self):
+        i = intersection(g_of(("a", "b"), ("b", "c")), g_of(("a", "b"), ("c", "d")))
+        assert i.node_ids() == {"a", "b", "c"}
+        assert i.link_ids() == {"a->b"}
+
+    def test_disjoint(self):
+        i = intersection(g_of(("a", "b")), g_of(("x", "y")))
+        assert i.is_empty()
+
+    def test_self_intersection_is_identity(self):
+        g = g_of(("a", "b"), ("b", "c"))
+        assert intersection(g, g).same_as(g)
+
+
+class TestNodeDrivenMinus:
+    def test_paper_example(self, paper_minus_graphs):
+        # G1 = {(a,b),(a,c),(b,c)}, G2 = {(a,b)}:
+        # "G1 \ G2 is a null graph containing only node c and no links."
+        g1, g2 = paper_minus_graphs
+        result = minus(g1, g2)
+        assert result.node_ids() == {"c"}
+        assert result.num_links == 0
+        assert result.is_null_graph()
+
+    def test_minus_empty_is_identity(self):
+        g = g_of(("a", "b"))
+        assert minus(g, SocialContentGraph()).same_as(g)
+
+    def test_self_minus_is_empty(self):
+        g = g_of(("a", "b"))
+        assert minus(g, g).is_empty()
+
+    def test_link_only_overlap(self):
+        # shared link id, but G2 also shares its endpoint nodes, so the link
+        # and its endpoints disappear.
+        g1 = g_of(("a", "b"), ("c", "d"))
+        g2 = g_of(("a", "b"))
+        result = minus(g1, g2)
+        assert result.node_ids() == {"c", "d"}
+        assert result.link_ids() == {"c->d"}
+
+
+class TestLinkDrivenMinus:
+    def test_paper_example(self, paper_minus_graphs):
+        # "G1 \· G2 contains all the three nodes a, b, c and the links
+        #  (a, c) and (b, c)."
+        g1, g2 = paper_minus_graphs
+        result = link_minus(g1, g2)
+        assert result.node_ids() == {"a", "b", "c"}
+        assert result.link_ids() == {"a->c", "b->c"}
+
+    def test_nodes_are_exactly_those_induced(self):
+        g1 = g_of(("a", "b"), ("c", "d"))
+        g2 = g_of(("c", "d"))
+        result = link_minus(g1, g2)
+        assert result.node_ids() == {"a", "b"}
+
+    def test_lemma1_on_paper_example(self, paper_minus_graphs):
+        g1, g2 = paper_minus_graphs
+        assert link_minus_via_semijoin(g1, g2).same_as(link_minus(g1, g2))
+
+    def test_lemma1_with_shared_endpoint_multilinks(self):
+        # Two distinct link ids over the same endpoints: only id matching
+        # keeps them apart — this is why the lemma needs the id-aware join.
+        g1 = SocialContentGraph()
+        for n in ("a", "b"):
+            g1.add_node(Node(n, type="item"))
+        g1.add_link(Link("l1", "a", "b", type="x"))
+        g1.add_link(Link("l2", "a", "b", type="y"))
+        g2 = SocialContentGraph()
+        for n in ("a", "b"):
+            g2.add_node(Node(n, type="item"))
+        g2.add_link(Link("l1", "a", "b", type="x"))
+        direct = link_minus(g1, g2)
+        rewritten = link_minus_via_semijoin(g1, g2)
+        assert direct.link_ids() == {"l2"}
+        assert rewritten.same_as(direct)
+
+
+class TestSymmetricDifference:
+    def test_basic(self):
+        g1 = g_of(("a", "b"), ("c", "d"))
+        g2 = g_of(("c", "d"), ("e", "f"))
+        result = symmetric_difference(g1, g2)
+        assert result.node_ids() == {"a", "b", "e", "f"}
+        assert result.link_ids() == {"a->b", "e->f"}

@@ -1,0 +1,205 @@
+"""Tests for relevance, connection selection, strategies, and the MSG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import (
+    ConnectionSelector,
+    DiscoveryConfig,
+    FriendBasedStrategy,
+    InformationDiscoverer,
+    ItemBasedStrategy,
+    SemanticRelevance,
+    SimilarUserStrategy,
+    find_experts,
+    parse_query,
+)
+from repro.errors import DiscoveryError
+from repro.workloads import (
+    ALEXIA,
+    JOHN,
+    SELMA,
+    TravelSiteConfig,
+    build_travel_site,
+)
+
+
+@pytest.fixture(scope="module")
+def travel():
+    return build_travel_site(TravelSiteConfig(seed=42))
+
+
+@pytest.fixture(scope="module")
+def discoverer(travel):
+    return InformationDiscoverer(travel.graph)
+
+
+class TestSemanticRelevance:
+    def test_scoping_by_keywords(self, travel):
+        semantic = SemanticRelevance(travel.graph)
+        result = semantic.candidates(parse_query(JOHN, "Denver baseball"))
+        assert result.scores
+        for item in result.scores:
+            text = travel.graph.node(item).text().lower()
+            assert "denver" in text or "baseball" in text
+
+    def test_normalisation(self, travel):
+        semantic = SemanticRelevance(travel.graph)
+        result = semantic.candidates(parse_query(JOHN, "Denver"))
+        normalized = result.normalized()
+        assert max(normalized.values()) == pytest.approx(1.0)
+        assert all(0 <= v <= 1 for v in normalized.values())
+
+    def test_empty_query_returns_all_items_unscored(self, travel):
+        semantic = SemanticRelevance(travel.graph)
+        result = semantic.candidates(parse_query(JOHN, ""))
+        assert set(result.scores) == {
+            n.id for n in travel.graph.nodes_of_type("item")
+        }
+        assert result.max_score == 0.0
+
+
+class TestConnectionSelector:
+    def test_john_baseball_friends_qualify(self, travel):
+        selector = ConnectionSelector(travel.graph)
+        selection = selector.select(JOHN, ("baseball",))
+        assert not selection.used_expert_fallback
+        assert selection.friends
+
+    def test_selma_family_query_triggers_fallback(self, travel):
+        # Most of Selma's friends are musicians; with a strict fit cut the
+        # parent friends remain or experts kick in — either way the family
+        # signal must come from family-active users.
+        selector = ConnectionSelector(travel.graph, min_fit=0.6,
+                                      min_qualified=8)
+        selection = selector.select(SELMA, ("family", "babies"))
+        assert selection.used_expert_fallback
+        assert selection.experts
+
+    def test_experts_act_on_matching_items(self, travel):
+        experts = find_experts(travel.graph, {"family"}, limit=5)
+        assert experts
+        for expert in experts:
+            acted = [
+                travel.graph.node(l.tgt).value("category")
+                for l in travel.graph.out_links(expert)
+                if l.has_type("act")
+            ]
+            assert "family" in acted
+
+    def test_no_keywords_keeps_all_friends(self, travel):
+        selector = ConnectionSelector(travel.graph)
+        selection = selector.select(JOHN, ())
+        assert selection.friends == selector.friends_of(JOHN)
+
+
+class TestStrategies:
+    def test_friend_strategy_scores_endorsed_items(self, travel):
+        selector = ConnectionSelector(travel.graph)
+        selection = selector.select(JOHN, ("baseball",))
+        strategy = FriendBasedStrategy()
+        candidates = {n.id for n in travel.graph.nodes_of_type("item")}
+        scores = strategy.score(travel.graph, JOHN, candidates, selection)
+        assert scores.scores
+        # provenance is recorded for every scored item
+        for item in scores.scores:
+            assert scores.endorsers.get(item)
+
+    def test_similar_user_strategy_matches_recipe(self, travel):
+        from repro.core import (
+            example5_collaborative_filtering,
+            recommendations_from,
+        )
+
+        strategy = SimilarUserStrategy(sim_threshold=0.1)
+        candidates = {n.id for n in travel.graph.nodes_of_type("item")}
+        scores = strategy.score(travel.graph, JOHN, candidates, None)
+        recipe = dict(
+            recommendations_from(
+                example5_collaborative_filtering(
+                    travel.graph, JOHN, dest_type="item", sim_threshold=0.1
+                ),
+                JOHN,
+            )
+        )
+        assert scores.scores == pytest.approx(recipe)
+
+    def test_item_based_needs_derived_links(self, travel):
+        from repro.analysis import item_similarity_links
+        from repro.core import union
+
+        strategy = ItemBasedStrategy()
+        candidates = {n.id for n in travel.graph.nodes_of_type("item")}
+        bare = strategy.score(travel.graph, JOHN, candidates, None)
+        assert bare.scores == {}
+        enriched = union(
+            travel.graph, item_similarity_links(travel.graph, threshold=0.15)
+        )
+        derived = strategy.score(enriched, JOHN, candidates, None)
+        assert derived.scores
+        for item in derived.scores:
+            assert derived.supporting_items.get(item)
+
+
+class TestDiscoverer:
+    def test_msg_contains_user_items_endorsers(self, discoverer, travel):
+        msg = discoverer.discover(JOHN, "Denver attractions")
+        assert msg.graph.has_node(JOHN)
+        assert msg.items
+        top = msg.items[0]
+        assert msg.graph.node(top.item_id).value("score") is not None
+        endorsers = msg.endorsers_of(top.item_id)
+        assert endorsers  # social provenance present
+
+    def test_john_gets_baseball_first(self, discoverer, travel):
+        # Example 1: semantic relevance alone can't rank Denver attractions;
+        # John's baseball history must put ballparks on top.
+        msg = discoverer.discover(JOHN, "Denver attractions")
+        top_categories = [
+            travel.graph.node(s.item_id).value("category")
+            for s in msg.items[:3]
+        ]
+        assert "baseball" in top_categories
+
+    def test_empty_query_is_social_only(self, discoverer):
+        msg = discoverer.discover(JOHN, "")
+        assert msg.items
+        for scored in msg.items:
+            assert scored.combined == pytest.approx(scored.social)
+
+    def test_k_limits_results(self, discoverer):
+        msg = discoverer.discover(JOHN, "attractions", k=3)
+        assert len(msg.items) <= 3
+
+    def test_scores_sorted_descending(self, discoverer):
+        msg = discoverer.discover(JOHN, "Denver attractions")
+        combined = [s.combined for s in msg.items]
+        assert combined == sorted(combined, reverse=True)
+
+    def test_unknown_strategy_raises(self, discoverer):
+        with pytest.raises(DiscoveryError):
+            discoverer.discover(JOHN, "x", strategy="tarot")
+
+    def test_selma_family_results_via_experts_or_parents(self, discoverer,
+                                                         travel):
+        msg = discoverer.discover(SELMA, "Barcelona family trip with babies")
+        assert msg.items
+        top_ids = [s.item_id for s in msg.items[:5]]
+        barcelona_family = [
+            i for i in top_ids
+            if "barcelona" in str(i) and
+            travel.graph.node(i).value("category") == "family"
+        ]
+        assert barcelona_family, f"expected Barcelona family items in {top_ids}"
+
+    def test_alexia_has_two_endorser_communities(self, discoverer, travel):
+        msg = discoverer.discover(ALEXIA, "history")
+        endorsers = set()
+        for scored in msg.items:
+            endorsers |= set(msg.endorsers_of(scored.item_id))
+        classmates = {
+            l.src for l in travel.graph.in_links("grp:history-class")
+            if l.has_type("member")
+        } - {ALEXIA}
+        assert endorsers & classmates

@@ -1,0 +1,123 @@
+"""Tests for the query model and the Table 1 classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import (
+    CATEGORICAL,
+    GENERAL,
+    QueryClassifier,
+    SPECIFIC,
+    UNCLASSIFIED,
+    parse_query,
+)
+from repro.errors import QueryError
+
+
+class TestQueryModel:
+    def test_parse_tokenizes(self):
+        q = parse_query(101, "Denver Attractions!")
+        assert q.keywords == ("denver", "attractions")
+        assert q.raw_text == "Denver Attractions!"
+
+    def test_empty_query(self):
+        q = parse_query(101, "")
+        assert q.is_empty and not q.has_structure
+
+    def test_structural_only_query_not_empty(self):
+        q = parse_query(101, "", structural={"type": "destination"})
+        assert not q.is_empty and q.has_structure
+
+    def test_scope_condition_defaults_to_items(self):
+        from repro.core import Node
+
+        q = parse_query(101, "baseball")
+        cond = q.scope_condition()
+        item = Node("x", type="item", keywords="baseball game")
+        user = Node("u", type="user", keywords="baseball fan")
+        assert cond.satisfied_by(item)
+        assert not cond.satisfied_by(user)
+
+    def test_scope_condition_keeps_structure(self):
+        from repro.core import Node
+
+        q = parse_query(101, "baseball", structural={"type": "destination"})
+        cond = q.scope_condition()
+        dest = Node("x", type="item, destination", keywords="baseball")
+        plain = Node("y", type="item", keywords="baseball")
+        assert cond.satisfied_by(dest)
+        assert not cond.satisfied_by(plain)
+
+    def test_requires_user(self):
+        with pytest.raises(QueryError):
+            parse_query(None, "x")
+
+
+class TestClassifier:
+    @pytest.fixture(scope="class")
+    def classifier(self):
+        return QueryClassifier()
+
+    @pytest.mark.parametrize("text,expected_class,expected_loc", [
+        # the paper's own examples
+        ("things to do", GENERAL, False),
+        ("denver attractions", GENERAL, True),
+        ("denver", GENERAL, True),          # "just a location by itself"
+        ("hotel", CATEGORICAL, False),
+        ("barcelona family trip", CATEGORICAL, True),
+        ("historic philadelphia", CATEGORICAL, True),
+        ("disneyland", SPECIFIC, True),
+        ("yosemite park", SPECIFIC, True),
+        ("horoscope lyrics", UNCLASSIFIED, False),
+        ("", UNCLASSIFIED, False),
+    ])
+    def test_paper_examples(self, classifier, text, expected_class,
+                            expected_loc):
+        result = classifier.classify(text)
+        assert result.query_class == expected_class
+        assert result.has_location == expected_loc
+
+    def test_specific_beats_categorical(self, classifier):
+        # "coors field baseball" mentions a categorical term too.
+        result = classifier.classify("coors field baseball")
+        assert result.query_class == SPECIFIC
+
+    def test_categorical_beats_general(self, classifier):
+        result = classifier.classify("things to do hotels denver")
+        assert result.query_class == CATEGORICAL
+
+    def test_multiword_location(self, classifier):
+        result = classifier.classify("san francisco sightseeing")
+        assert result.query_class == GENERAL and result.has_location
+
+    def test_classify_many(self, classifier):
+        results = classifier.classify_many(["denver", "hotel"])
+        assert [r.query_class for r in results] == [GENERAL, CATEGORICAL]
+
+    def test_label_pairs(self, classifier):
+        assert classifier.classify("denver hotel").label == (CATEGORICAL, True)
+
+
+class TestClassifierOnGeneratedWorkload:
+    """The classifier must recover Table 1's grid from generated queries."""
+
+    def test_recovers_table1_shape(self):
+        from repro.workloads import QueryWorkloadGenerator, table1_counts
+
+        generator = QueryWorkloadGenerator(seed=99)
+        classifier = QueryClassifier()
+        labels = [
+            classifier.classify(q.text).label for q in generator.generate(8000)
+        ]
+        grid = table1_counts(labels)
+        # Shape: general > categorical > specific; majority of general and
+        # categorical queries mention a location; ~10% unclassified.
+        general = grid["with"]["general"] + grid["without"]["general"]
+        categorical = grid["with"]["categorical"] + grid["without"]["categorical"]
+        specific = grid["with"]["specific"]
+        assert general > categorical > specific
+        assert general == pytest.approx(0.537, abs=0.06)
+        assert categorical == pytest.approx(0.279, abs=0.06)
+        assert specific == pytest.approx(0.084, abs=0.04)
+        assert grid["unclassified"] == pytest.approx(0.10, abs=0.05)

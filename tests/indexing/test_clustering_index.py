@@ -1,0 +1,183 @@
+"""Tests for clustering strategies (Defs 11-13) and the clustered index."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import jaccard
+from repro.indexing import (
+    ClusteredIndex,
+    ExactUserIndex,
+    GlobalPopularityIndex,
+    TaggingData,
+    behavior_clustering,
+    exact_clustering,
+    hybrid_clustering,
+    network_clustering,
+    paper_scale_estimate,
+    measured_report,
+    SizingScenario,
+)
+from repro.workloads import TaggingSiteConfig, build_tagging_site
+
+
+@pytest.fixture(scope="module")
+def data():
+    site = build_tagging_site(
+        TaggingSiteConfig(num_users=80, num_items=160, num_tags=16, seed=5)
+    )
+    return TaggingData.from_graph(site.graph)
+
+
+class TestClusterings:
+    def test_network_clusters_partition(self, data):
+        clustering = network_clustering(data, 0.3)
+        assert clustering.is_partition_of(data.users)
+
+    def test_behavior_clusters_partition(self, data):
+        clustering = behavior_clustering(data, 0.3)
+        assert clustering.is_partition_of(data.users)
+
+    def test_hybrid_clusters_partition(self, data):
+        clustering = hybrid_clustering(data, 0.2)
+        assert clustering.is_partition_of(data.users)
+
+    def test_theta_one_plus_degenerates_to_exact(self, data):
+        clustering = network_clustering(data, 1.01)
+        assert clustering.num_clusters == len(data.users)
+
+    def test_theta_zero_merges_everyone(self, data):
+        clustering = network_clustering(data, 0.0)
+        assert clustering.num_clusters == 1
+
+    def test_members_satisfy_predicate_with_leader(self, data):
+        theta = 0.3
+        clustering = network_clustering(data, theta)
+        for cluster in clustering.clusters:
+            leader = cluster[0]
+            for member in cluster[1:]:
+                assert jaccard(
+                    data.network.get(member, set()),
+                    data.network.get(leader, set()),
+                ) >= theta
+
+    def test_higher_theta_means_more_clusters(self, data):
+        low = network_clustering(data, 0.1).num_clusters
+        high = network_clustering(data, 0.6).num_clusters
+        assert high >= low
+
+    def test_exact_clustering(self, data):
+        clustering = exact_clustering(data)
+        assert clustering.num_clusters == len(data.users)
+        assert clustering.is_partition_of(data.users)
+
+    def test_hybrid_is_most_conservative(self, data):
+        theta = 0.3
+        hybrid = hybrid_clustering(data, theta).num_clusters
+        behavior = behavior_clustering(data, theta).num_clusters
+        assert hybrid >= behavior
+
+
+class TestClusteredIndex:
+    def test_smaller_than_exact(self, data):
+        exact = ExactUserIndex(data).report()
+        clustered = ClusteredIndex(data, network_clustering(data, 0.3)).report()
+        assert clustered.entries < exact.entries
+        assert clustered.lists < exact.lists
+
+    def test_eq1_upper_bound_soundness(self, data):
+        """Eq 1: stored bound >= exact score for every cluster member."""
+        index = ClusteredIndex(data, network_clustering(data, 0.3))
+        for (tag, cluster), entries in list(index.lists.items())[:40]:
+            members = index.clustering.members(cluster)
+            for item, bound in entries[:5]:
+                for user in members:
+                    assert bound >= data.score_tag(item, user, tag)
+
+    def test_eq1_bound_is_tight(self, data):
+        """The bound equals the max over members (not just any upper bound)."""
+        index = ClusteredIndex(data, network_clustering(data, 0.3))
+        checked = 0
+        for (tag, cluster), entries in index.lists.items():
+            members = index.clustering.members(cluster)
+            for item, bound in entries[:2]:
+                best = max(data.score_tag(item, u, tag) for u in members)
+                assert bound == best
+                checked += 1
+            if checked > 30:
+                break
+        assert checked > 0
+
+    def test_query_matches_brute_force_scores(self, data):
+        index = ClusteredIndex(data, network_clustering(data, 0.3))
+        rng = random.Random(4)
+        for _ in range(25):
+            user = rng.choice(data.users)
+            kws = rng.sample(data.tag_vocab, k=2)
+            bf = data.brute_force_topk(user, kws, 5)
+            cl, stats = index.query(user, kws, 5)
+            assert [s for _, s in cl] == [s for _, s in bf]
+            for item, score in cl:
+                assert data.score(item, user, kws) == score
+            assert stats.exact_computations > 0 or not cl
+
+    def test_exact_clustering_equals_exact_index_results(self, data):
+        clustered = ClusteredIndex(data, exact_clustering(data))
+        exact = ExactUserIndex(data)
+        user = data.users[7]
+        kws = data.tag_vocab[:2]
+        a, _ = clustered.query(user, kws, 5)
+        b, _ = exact.query(user, kws, 5)
+        assert [s for _, s in a] == [s for _, s in b]
+
+    def test_query_for_unknown_user(self, data):
+        index = ClusteredIndex(data, network_clustering(data, 0.3))
+        result, _ = index.query("nobody", data.tag_vocab[:2], 5)
+        assert result == []
+
+    def test_clustered_does_more_exact_work_than_exact_index(self, data):
+        """The paper's stated trade-off: bounds save space but cost
+        exact-score computations at query time."""
+        exact = ExactUserIndex(data)
+        clustered = ClusteredIndex(data, network_clustering(data, 0.2))
+        rng = random.Random(6)
+        exact_work = clustered_work = 0
+        for _ in range(20):
+            user = rng.choice(data.users)
+            kws = rng.sample(data.tag_vocab, k=2)
+            _, s1 = exact.query(user, kws, 5)
+            _, s2 = clustered.query(user, kws, 5)
+            exact_work += s1.exact_computations
+            clustered_work += s2.exact_computations
+        assert clustered_work >= exact_work
+
+
+class TestSizing:
+    def test_paper_estimate_is_one_terabyte(self):
+        estimate = paper_scale_estimate()
+        assert estimate.terabytes == pytest.approx(1.0)
+        assert estimate.entries == pytest.approx(1e11)
+
+    def test_scaled_scenario(self):
+        small = paper_scale_estimate(SizingScenario(
+            num_users=1000, num_items=10_000, tags_per_item=20,
+            tagger_fraction=0.05,
+        ))
+        assert small.entries == pytest.approx(10_000 * 20 * 50)
+
+    def test_measured_report_orders_strategies(self, data):
+        clusterings = {
+            "network": network_clustering(data, 0.3),
+            "behavior": behavior_clustering(data, 0.3),
+        }
+        sizes = measured_report(data, clusterings)
+        assert sizes.exact_entries >= sizes.clustered["network"][0]
+        assert sizes.exact_entries >= sizes.clustered["behavior"][0]
+        assert sizes.compression("network") >= 1.0
+
+    def test_global_index_is_smallest(self, data):
+        sizes = measured_report(data, {})
+        assert sizes.global_entries <= sizes.exact_entries

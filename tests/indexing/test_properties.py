@@ -1,0 +1,140 @@
+"""Property-based tests for the §6.2 indexing invariants (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Link, Node, SocialContentGraph
+from repro.indexing import (
+    ClusteredIndex,
+    ExactUserIndex,
+    TaggingData,
+    behavior_clustering,
+    network_clustering,
+)
+
+FAST = settings(max_examples=25, deadline=None)
+
+
+@st.composite
+def tagging_graphs(draw):
+    """Small random tagging sites: users, items, friendships, tag actions."""
+    n_users = draw(st.integers(min_value=2, max_value=10))
+    n_items = draw(st.integers(min_value=1, max_value=8))
+    tags = ["t0", "t1", "t2"]
+    g = SocialContentGraph()
+    users = list(range(1, n_users + 1))
+    items = [f"i{k}" for k in range(n_items)]
+    for u in users:
+        g.add_node(Node(u, type="user"))
+    for i in items:
+        g.add_node(Node(i, type="item"))
+    n_edges = draw(st.integers(min_value=0, max_value=2 * n_users))
+    for _ in range(n_edges):
+        a = draw(st.sampled_from(users))
+        b = draw(st.sampled_from(users))
+        if a == b or g.has_link(f"fr:{a}->{b}"):
+            continue
+        g.add_link(Link(f"fr:{a}->{b}", a, b, type="connect, friend"))
+        g.add_link(Link(f"fr:{b}->{a}", b, a, type="connect, friend"))
+    n_actions = draw(st.integers(min_value=0, max_value=3 * n_users))
+    seq = 0
+    for _ in range(n_actions):
+        u = draw(st.sampled_from(users))
+        i = draw(st.sampled_from(items))
+        chosen = draw(st.lists(st.sampled_from(tags), min_size=1, max_size=2,
+                               unique=True))
+        seq += 1
+        if g.has_link(f"tg:{seq}"):
+            continue
+        g.add_link(Link(f"tg:{seq}", u, i, type="act, tag", tags=chosen))
+    return g
+
+
+class TestScoreInvariants:
+    @given(g=tagging_graphs())
+    @FAST
+    def test_scores_non_negative_and_bounded(self, g):
+        data = TaggingData.from_graph(g)
+        for user in data.users:
+            for (item, tag), taggers in data.taggers.items():
+                score = data.score_tag(item, user, tag)
+                assert 0.0 <= score <= len(taggers)
+
+    @given(g=tagging_graphs())
+    @FAST
+    def test_score_monotone_in_network(self, g):
+        # Adding a friend can only increase any score (f = count is monotone).
+        data = TaggingData.from_graph(g)
+        if len(data.users) < 2 or not data.taggers:
+            return
+        u, v = data.users[0], data.users[-1]
+        (item, tag), _ = next(iter(sorted(data.taggers.items(), key=repr)))
+        before = data.score_tag(item, u, tag)
+        data.network.setdefault(u, set()).add(v)
+        after = data.score_tag(item, u, tag)
+        assert after >= before
+
+
+class TestIndexInvariants:
+    @given(g=tagging_graphs())
+    @FAST
+    def test_exact_index_entries_match_scores(self, g):
+        data = TaggingData.from_graph(g)
+        index = ExactUserIndex(data)
+        for (tag, user), entries in index.lists.items():
+            for item, stored in entries:
+                assert stored == data.score_tag(item, user, tag)
+                assert stored > 0  # zero-score items never stored
+
+    @given(g=tagging_graphs())
+    @FAST
+    def test_exact_lists_sorted_descending(self, g):
+        data = TaggingData.from_graph(g)
+        index = ExactUserIndex(data)
+        for entries in index.lists.values():
+            scores = [s for _, s in entries]
+            assert scores == sorted(scores, reverse=True)
+
+    @given(g=tagging_graphs(), theta=st.floats(min_value=0.0, max_value=1.0))
+    @FAST
+    def test_eq1_upper_bound_property(self, g, theta):
+        """Eq 1: the cluster bound dominates every member's exact score."""
+        data = TaggingData.from_graph(g)
+        clustering = network_clustering(data, theta)
+        index = ClusteredIndex(data, clustering)
+        for (tag, cluster), entries in index.lists.items():
+            members = clustering.members(cluster)
+            for item, bound in entries:
+                assert bound == max(
+                    data.score_tag(item, u, tag) for u in members
+                )
+
+    @given(g=tagging_graphs(), theta=st.floats(min_value=0.0, max_value=1.0))
+    @FAST
+    def test_clustered_query_equals_brute_force_scores(self, g, theta):
+        data = TaggingData.from_graph(g)
+        if not data.users or len(data.tag_vocab) < 2:
+            return
+        index = ClusteredIndex(data, behavior_clustering(data, theta))
+        user = data.users[0]
+        keywords = data.tag_vocab[:2]
+        got, _ = index.query(user, keywords, 5)
+        expected = data.brute_force_topk(user, keywords, 5)
+        assert [s for _, s in got] == [s for _, s in expected]
+
+    @given(g=tagging_graphs(), theta=st.floats(min_value=0.0, max_value=1.0))
+    @FAST
+    def test_clustering_always_partitions(self, g, theta):
+        data = TaggingData.from_graph(g)
+        for strategy in (network_clustering, behavior_clustering):
+            clustering = strategy(data, theta)
+            assert clustering.is_partition_of(data.users)
+
+    @given(g=tagging_graphs())
+    @FAST
+    def test_clustered_index_never_larger_than_exact(self, g):
+        data = TaggingData.from_graph(g)
+        exact_entries = ExactUserIndex(data).report().entries
+        clustered = ClusteredIndex(data, network_clustering(data, 0.3))
+        assert clustered.report().entries <= exact_entries

@@ -1,0 +1,147 @@
+"""Tests for network-aware scores and the top-k algorithms (§6.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.indexing import (
+    TaggingData,
+    brute_force,
+    f_count,
+    g_sum,
+    no_random_access,
+    threshold_algorithm,
+)
+from repro.workloads import TaggingSiteConfig, build_tagging_site
+
+
+@pytest.fixture(scope="module")
+def data():
+    site = build_tagging_site(
+        TaggingSiteConfig(num_users=80, num_items=160, num_tags=16, seed=5)
+    )
+    return TaggingData.from_graph(site.graph)
+
+
+class TestTaggingData:
+    def test_accessors_populated(self, data):
+        assert data.users and data.item_ids and data.tag_vocab
+        assert any(data.network.values())
+        assert any(data.items.values())
+        assert data.taggers
+
+    def test_network_is_symmetric(self, data):
+        for user, friends in data.network.items():
+            for friend in friends:
+                assert user in data.network.get(friend, set())
+
+    def test_score_definition(self, data):
+        # score_k(i,u) = |network(u) ∩ taggers(i,k)| with f=count
+        user = data.users[0]
+        (item, tag), taggers = next(iter(data.taggers.items()))
+        expected = len(data.network[user] & taggers)
+        assert data.score_tag(item, user, tag) == expected
+
+    def test_score_sum_over_keywords(self, data):
+        user = data.users[0]
+        item = data.item_ids[0]
+        kws = data.tag_vocab[:3]
+        assert data.score(item, user, kws) == sum(
+            data.score_tag(item, user, k) for k in kws
+        )
+
+    def test_zero_score_outside_network(self, data):
+        # A user with no connections scores 0 everywhere.
+        lonely = "lonely-user"
+        assert data.score_tag(data.item_ids[0], lonely, data.tag_vocab[0]) == 0.0
+
+    def test_brute_force_sorted_and_positive(self, data):
+        user = data.users[3]
+        result = data.brute_force_topk(user, data.tag_vocab[:2], 10)
+        scores = [s for _, s in result]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s > 0 for s in scores)
+
+
+def _toy_lists():
+    """Hand-built lists where TA can stop early."""
+    l1 = [("a", 10.0), ("b", 8.0), ("c", 5.0), ("d", 1.0)]
+    l2 = [("b", 9.0), ("a", 7.0), ("d", 2.0), ("c", 1.0)]
+    maps = [dict(l1), dict(l2)]
+
+    def ra(item, li):
+        return maps[li].get(item, 0.0)
+
+    return [l1, l2], ra
+
+
+class TestThresholdAlgorithm:
+    def test_matches_brute_force_on_toy(self):
+        lists, ra = _toy_lists()
+        ta, _ = threshold_algorithm(lists, ra, 2, g_sum)
+        bf, _ = brute_force(lists, 2, g_sum)
+        assert ta == bf == [("a", 17.0), ("b", 17.0)]
+
+    def test_early_termination_saves_accesses(self):
+        lists, ra = _toy_lists()
+        _, ta_stats = threshold_algorithm(lists, ra, 1, g_sum)
+        _, bf_stats = brute_force(lists, 1, g_sum)
+        assert ta_stats.sorted_accesses < bf_stats.sorted_accesses
+
+    def test_empty_lists(self):
+        result, stats = threshold_algorithm([[], []], lambda i, l: 0.0, 3, g_sum)
+        assert result == []
+
+    def test_matches_brute_force_on_workload(self, data):
+        rng = random.Random(1)
+        from repro.indexing import ExactUserIndex
+
+        index = ExactUserIndex(data)
+        for _ in range(30):
+            user = rng.choice(data.users)
+            kws = rng.sample(data.tag_vocab, k=2)
+            bf = data.brute_force_topk(user, kws, 5)
+            ta, _ = index.query(user, kws, 5)
+            # Tie-breaks at the boundary may differ; score sequences must not.
+            assert [s for _, s in ta] == [s for _, s in bf]
+            for item, score in ta:
+                assert data.score(item, user, kws) == score
+
+
+class TestNRA:
+    def test_returns_correct_topk_set_on_toy(self):
+        lists, _ = _toy_lists()
+        nra, stats = no_random_access(lists, 2, g_sum)
+        assert {i for i, _ in nra} == {"a", "b"}
+        assert stats.random_accesses == 0
+
+    def test_no_random_access_performed(self, data):
+        from repro.indexing import ExactUserIndex
+
+        index = ExactUserIndex(data)
+        user = data.users[5]
+        kws = data.tag_vocab[:2]
+        lists = [index.lists.get((k, user), []) for k in kws]
+        _, stats = no_random_access(lists, 5, g_sum)
+        assert stats.random_accesses == 0
+
+    def test_exact_scores_of_returned_items_match_brute_force(self, data):
+        from repro.indexing import ExactUserIndex
+
+        index = ExactUserIndex(data)
+        rng = random.Random(2)
+        for _ in range(20):
+            user = rng.choice(data.users)
+            kws = rng.sample(data.tag_vocab, k=2)
+            lists = [index.lists.get((k, user), []) for k in kws]
+            nra, _ = no_random_access(lists, 5, g_sum)
+            bf, _ = brute_force(lists, 5, g_sum)
+            # NRA guarantees the top-k *set* up to boundary ties: the exact
+            # scores of its returned items must equal the brute-force score
+            # sequence (reported NRA scores are lower bounds).
+            nra_exact = sorted(
+                (data.score(i, user, kws) for i, _ in nra), reverse=True
+            )
+            assert nra_exact == [s for _, s in bf]

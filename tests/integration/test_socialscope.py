@@ -1,0 +1,145 @@
+"""End-to-end integration tests: the three personas through the facade.
+
+These reproduce the paper's motivating Examples 1-3 (§2.1) against the
+synthetic Y!Travel site, exercising all three layers together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SocialScope
+from repro.socialscope import SocialScopeConfig
+from repro.workloads import (
+    ALEXIA,
+    JOHN,
+    SELMA,
+    TravelSiteConfig,
+    build_travel_site,
+)
+
+
+@pytest.fixture(scope="module")
+def travel():
+    return build_travel_site(TravelSiteConfig(seed=42))
+
+
+@pytest.fixture(scope="module")
+def scope(travel):
+    return SocialScope.from_graph(travel.graph)
+
+
+class TestExample1John:
+    """'Denver attractions' must surface baseball venues for John."""
+
+    def test_baseball_surfaces_on_top(self, scope, travel):
+        page = scope.search(JOHN, "Denver attractions")
+        assert page.flat
+        top_categories = [
+            travel.graph.node(e.item_id).value("category")
+            for e in page.flat[:3]
+            if travel.graph.has_node(e.item_id)
+        ]
+        assert "baseball" in top_categories
+
+    def test_results_are_denver_scoped(self, scope, travel):
+        page = scope.search(JOHN, "Denver attractions")
+        for entry in page.flat:
+            text = travel.graph.node(entry.item_id).text().lower()
+            assert "denver" in text or "attraction" in text
+
+    def test_explanations_cite_endorsers(self, scope):
+        page = scope.search(JOHN, "Denver attractions")
+        explained = [
+            e for g in page.groups for e in g.entries
+            if not e.explanation.is_empty
+        ]
+        assert explained
+
+
+class TestExample2Selma:
+    """Family Barcelona trip: parent friends / experts, not musicians."""
+
+    def test_barcelona_family_results(self, scope, travel):
+        page = scope.search(SELMA, "Barcelona family trip with babies")
+        assert page.flat
+        names = [e.name for e in page.flat[:5]]
+        assert any("Family" in n and "Barcelona" in n for n in names)
+
+
+class TestExample3Alexia:
+    """'history' results grouped by endorsing community."""
+
+    def test_grouped_by_endorser_communities(self, scope):
+        page = scope.search(ALEXIA, "history")
+        assert page.chosen_dimension == "endorser"
+        labels = {g.label for g in page.groups}
+        assert any("history class" in label for label in labels)
+        assert any("soccer team" in label for label in labels)
+
+    def test_zoomable_exploration(self, scope):
+        presenter = scope.explore(ALEXIA, "history")
+        target = max(presenter.groups, key=lambda g: g.size)
+        frame = presenter.zoom_in(target.label)
+        assert frame.grouping.groups
+
+
+class TestRecommendationMode:
+    def test_empty_query_recommends_socially(self, scope, travel):
+        page = scope.recommend(JOHN, k=5)
+        assert page.flat
+        categories = {
+            travel.graph.node(e.item_id).value("category")
+            for e in page.flat
+            if travel.graph.has_node(e.item_id)
+        }
+        assert "baseball" in categories  # John's social circle is baseball
+
+
+class TestAnalysisIntegration:
+    def test_analyze_enriches_discovery(self, travel):
+        scope = SocialScope.from_graph(travel.graph)
+        before = scope.graph.num_links
+        scope.analyze("user_similarity")
+        assert scope.graph.num_links > before
+        # discovery still works over the enriched graph
+        page = scope.search(JOHN, "Denver attractions")
+        assert page.flat
+
+    def test_auto_analyses_config(self, travel):
+        scope = SocialScope.from_graph(
+            travel.graph,
+            SocialScopeConfig(auto_analyses=("item_similarity",)),
+        )
+        assert any(l.has_type("sim_item") for l in scope.graph.links())
+
+
+class TestRemoteIntegration:
+    def test_attach_remote_expands_graph(self, travel):
+        from repro.management import ALL_SCOPES, RemoteSocialSite
+
+        scope = SocialScope.from_graph(travel.graph)
+        remote = RemoteSocialSite("facebook-sim")
+        remote.register_user("fb:1", "Remote Rita")
+        remote.register_user(JOHN, "John")
+        remote.connect("fb:1", JOHN)
+        for user in ("fb:1", JOHN):
+            remote.grant(user, "socialscope", set(ALL_SCOPES))
+        before = scope.graph.num_nodes
+        scope.attach_remote(remote)
+        assert scope.graph.num_nodes > before
+        assert scope.graph.has_node("fb:1")
+
+
+class TestStrategySwitch:
+    def test_similar_users_strategy_end_to_end(self, scope):
+        page = scope.search(JOHN, "attractions", strategy="similar_users")
+        assert page.flat
+
+    def test_item_based_after_analysis(self, travel):
+        scope = SocialScope.from_graph(
+            travel.graph,
+            SocialScopeConfig(auto_analyses=("item_similarity",)),
+        )
+        page = scope.search(JOHN, "attractions", strategy="item_based")
+        assert page is not None  # may be empty but must not crash

@@ -1,0 +1,229 @@
+"""Tests for remote-site simulation, integration, models, and sync."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Node
+from repro.errors import ManagementError, PermissionDeniedError
+from repro.management import (
+    ALL_SCOPES,
+    ActivityCategory,
+    ActivityManager,
+    ContentIntegrator,
+    DataManager,
+    GraphStore,
+    RemoteSocialSite,
+    Scenario,
+    SCOPE_CONNECTIONS,
+    SCOPE_PROFILE,
+    run_all_models,
+    run_closed_cartel,
+    run_decentralized,
+    run_open_cartel,
+    uniform_profiles,
+    SyncScheduler,
+)
+
+
+@pytest.fixture
+def site():
+    s = RemoteSocialSite("facebook-sim")
+    for uid in range(1, 6):
+        s.register_user(uid, f"user{uid}", interests=("travel",))
+    s.connect(1, 2)
+    s.connect(1, 3)
+    s.connect(4, 5)
+    return s
+
+
+class TestRemoteSite:
+    def test_permission_enforced(self, site):
+        with pytest.raises(PermissionDeniedError):
+            site.get_profile(1, "travel-app")
+        assert site.calls.denials == 1
+
+    def test_grant_and_read(self, site):
+        site.grant(1, "travel-app", {SCOPE_PROFILE, SCOPE_CONNECTIONS})
+        profile = site.get_profile(1, "travel-app")
+        assert profile.name == "user1"
+        assert site.get_connections(1, "travel-app") == {2, 3}
+        assert site.calls.reads == 2
+
+    def test_scoped_grants(self, site):
+        site.grant(1, "app", {SCOPE_PROFILE})
+        with pytest.raises(PermissionDeniedError):
+            site.get_connections(1, "app")
+
+    def test_revoke(self, site):
+        site.grant(1, "app", {SCOPE_PROFILE})
+        site.revoke(1, "app")
+        with pytest.raises(PermissionDeniedError):
+            site.get_profile(1, "app")
+
+    def test_unknown_scope_rejected(self, site):
+        with pytest.raises(ManagementError):
+            site.grant(1, "app", {"mind-reading"})
+
+    def test_activity_stream_incremental(self, site):
+        site.grant(1, "app", set(ALL_SCOPES))
+        site.record_activity(1, "tag", "item:a")
+        site.record_activity(1, "visit", "item:b")
+        first = site.get_activities(1, "app")
+        assert [a.verb for a in first] == ["tag", "visit"]
+        newer = site.get_activities(1, "app", since=first[-1].sequence)
+        assert newer == []
+
+
+class TestIntegrator:
+    def test_import_user_with_provenance(self, site):
+        store = GraphStore()
+        integrator = ContentIntegrator(store, client_name="app")
+        site.grant(1, "app", set(ALL_SCOPES))
+        report = integrator.import_user(site, 1)
+        assert report.users == 1 and report.connections == 2
+        assert store.origin_of("node", 1) == "facebook-sim"
+        assert store.node(1).value("source") == "facebook-sim"
+        assert store.has_link("ext:facebook-sim:1->2")
+
+    def test_denied_import_counts(self, site):
+        store = GraphStore()
+        integrator = ContentIntegrator(store, client_name="app")
+        report = integrator.import_user(site, 1)
+        assert report.denied == 1 and report.users == 0
+
+    def test_activity_sync_high_water_mark(self, site):
+        store = GraphStore()
+        integrator = ContentIntegrator(store, client_name="app")
+        site.grant(1, "app", set(ALL_SCOPES))
+        site.record_activity(1, "tag", "item:x")
+        r1 = integrator.import_user(site, 1, with_activities=True)
+        assert r1.activities == 1
+        r2 = integrator.import_user(site, 1, with_activities=True)
+        assert r2.activities == 0  # nothing new
+        site.record_activity(1, "tag", "item:y")
+        assert integrator.staleness(site, 1) == 1
+
+    def test_push_connection_writeback(self, site):
+        store = GraphStore()
+        integrator = ContentIntegrator(store, client_name="app")
+        site.grant(1, "app", set(ALL_SCOPES))
+        assert integrator.push_connection(site, 1, 4)
+        assert 4 in site.get_connections(1, "app")
+
+    def test_push_without_write_scope(self, site):
+        store = GraphStore()
+        integrator = ContentIntegrator(store, client_name="app")
+        site.grant(1, "app", {SCOPE_PROFILE})
+        assert not integrator.push_connection(site, 1, 4)
+
+
+@pytest.fixture
+def scenario():
+    return Scenario(
+        users=list(range(1, 21)),
+        friendships=[(i, i + 1) for i in range(1, 20)],
+        content_sites=("travel", "news", "photos"),
+    )
+
+
+class TestManagementModels:
+    def test_decentralized_duplicates(self, scenario):
+        out = run_decentralized(scenario)
+        # profiles re-created on every one of the 3 sites
+        assert out.profiles_created == 3 * 20
+        assert out.duplicate_connections == 2 * 19
+        assert out.content_site_can_analyze
+
+    def test_closed_cartel_single_profile_no_analysis(self, scenario):
+        out = run_closed_cartel(scenario)
+        assert out.profiles_created == 20
+        assert out.duplicate_connections == 0
+        assert not out.content_site_can_analyze
+        assert out.interaction_point == "social site"
+
+    def test_open_cartel_best_of_both(self, scenario):
+        out = run_open_cartel(scenario)
+        assert out.profiles_created == 20
+        assert out.duplicate_connections == 0
+        assert out.content_site_can_analyze
+        assert out.interaction_point == "content site"
+        assert out.api_reads > 0  # the integration is real, not asserted
+
+    def test_table2_capability_rows(self, scenario):
+        rows = {o.model: o for o in run_all_models(scenario)}
+        # Table 2, content-site row: control over social graph
+        assert rows["decentralized"].content_site_controls_social == "yes"
+        assert rows["closed_cartel"].content_site_controls_social == "no"
+        assert rows["open_cartel"].content_site_controls_social == "limited"
+        # Table 2, social-site row: control over activities
+        assert rows["closed_cartel"].social_site_controls_activities == "yes"
+        assert rows["open_cartel"].social_site_controls_activities == "limited"
+
+
+class TestActivityManagerAndSync:
+    def test_categorization_thresholds(self):
+        manager = ActivityManager(heavy_threshold=10, medium_threshold=4,
+                                  light_threshold=1)
+        assert manager.categorize(15) == ActivityCategory.HEAVY
+        assert manager.categorize(5) == ActivityCategory.MEDIUM
+        assert manager.categorize(2) == ActivityCategory.LIGHT
+        assert manager.categorize(0) == ActivityCategory.DORMANT
+
+    def test_analyze_counts_activities(self, tiny_travel_graph):
+        manager = ActivityManager()
+        profiles = manager.analyze(tiny_travel_graph)
+        assert profiles[102].activities == 3  # Ann's visits
+        assert profiles[101].connections >= 2
+
+    def test_heavier_users_refresh_more_often(self, tiny_travel_graph):
+        manager = ActivityManager(heavy_threshold=3, medium_threshold=2,
+                                  light_threshold=1)
+        profiles = manager.analyze(tiny_travel_graph)
+        heavy = profiles[102]  # 3 visits
+        assert profiles[101].refresh_interval >= heavy.refresh_interval
+
+    def test_activity_driven_beats_uniform_under_budget(self):
+        """The paper's claim: activity-aware sync keeps data fresher for
+        the same API budget.  Heavy users generate most new activity; the
+        activity-driven policy refreshes them more often."""
+
+        def build_world():
+            site = RemoteSocialSite("fb")
+            dm = DataManager()
+            for u in range(1, 21):
+                site.register_user(u, f"u{u}")
+                site.grant(u, "socialscope", set(ALL_SCOPES))
+            dm.attach_remote(site)
+            return site, dm
+
+        def run(policy_profiles, site, dm, ticks=12, budget=4):
+            integ = dm.integrator
+            sched = SyncScheduler(site, integ, policy_profiles)
+            for tick in range(ticks):
+                # heavy users (1-5) create 2 activities per tick; others
+                # almost none.
+                for u in range(1, 6):
+                    site.record_activity(u, "tag", f"i:{u}:{tick}:a")
+                    site.record_activity(u, "tag", f"i:{u}:{tick}:b")
+                if tick % 6 == 0:
+                    for u in range(6, 21):
+                        site.record_activity(u, "visit", f"i:{u}:{tick}")
+                sched.run_tick(tick, budget=budget)
+            return sched.metrics
+
+        from repro.management import UserActivityProfile
+
+        site_a, dm_a = build_world()
+        aware = {
+            u: UserActivityProfile(user_id=u,
+                                   refresh_interval=1 if u <= 5 else 6)
+            for u in range(1, 21)
+        }
+        m_aware = run(aware, site_a, dm_a)
+
+        site_b, dm_b = build_world()
+        uniform = uniform_profiles(list(range(1, 21)), interval=3)
+        m_uniform = run(uniform, site_b, dm_b)
+
+        assert m_aware.mean_staleness < m_uniform.mean_staleness

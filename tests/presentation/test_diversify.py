@@ -1,0 +1,88 @@
+"""Tests for result diversification (the paper's reference-[30] extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import InformationDiscoverer
+from repro.presentation import (
+    coverage_diversify,
+    intra_list_similarity,
+    mmr_diversify,
+)
+from repro.workloads import JOHN, TravelSiteConfig, build_travel_site
+
+
+@pytest.fixture(scope="module")
+def travel():
+    return build_travel_site(TravelSiteConfig(seed=42))
+
+
+@pytest.fixture(scope="module")
+def msg(travel):
+    return InformationDiscoverer(travel.graph).discover(
+        JOHN, "attractions", k=15
+    )
+
+
+class TestMMR:
+    def test_lambda_one_is_pure_relevance(self, msg):
+        ranked = [s.item_id for s in msg.items]
+        diversified = [i for i, _ in mmr_diversify(msg, k=5, lam=1.0)]
+        assert diversified == ranked[:5]
+
+    def test_k_bounds_output(self, msg):
+        assert len(mmr_diversify(msg, k=3)) == 3
+        assert len(mmr_diversify(msg, k=999)) == len(msg.items)
+
+    def test_no_duplicates(self, msg):
+        items = [i for i, _ in mmr_diversify(msg, k=10)]
+        assert len(items) == len(set(items))
+
+    def test_reduces_intra_list_similarity(self, msg, travel):
+        plain = [s.item_id for s in msg.items[:8]]
+        diverse = [i for i, _ in mmr_diversify(msg, k=8, lam=0.5)]
+        assert intra_list_similarity(diverse, travel.graph) <= (
+            intra_list_similarity(plain, travel.graph) + 1e-9
+        )
+
+    def test_invalid_lambda(self, msg):
+        with pytest.raises(ValueError):
+            mmr_diversify(msg, k=3, lam=1.5)
+
+    def test_deterministic(self, msg):
+        a = mmr_diversify(msg, k=6, lam=0.6)
+        b = mmr_diversify(msg, k=6, lam=0.6)
+        assert a == b
+
+
+class TestCoverage:
+    def test_covers_attribute_values_first(self, msg, travel):
+        picked = [i for i, _ in coverage_diversify(msg, k=6,
+                                                   attribute="category")]
+        values = [travel.graph.node(i).value("category", "(none)")
+                  for i in picked]
+        distinct_available = {
+            travel.graph.node(s.item_id).value("category", "(none)")
+            for s in msg.items
+        }
+        expected_distinct = min(len(distinct_available), 6)
+        assert len(set(values)) >= expected_distinct - 1
+
+    def test_refills_by_relevance(self, msg):
+        k = len(msg.items)
+        picked = coverage_diversify(msg, k=k)
+        assert len(picked) == k
+        assert {i for i, _ in picked} == set(msg.item_ids)
+
+    def test_k_respected(self, msg):
+        assert len(coverage_diversify(msg, k=4)) == 4
+
+
+class TestIntraListSimilarity:
+    def test_singleton_is_zero(self, msg, travel):
+        assert intra_list_similarity([msg.item_ids[0]], travel.graph) == 0.0
+
+    def test_bounds(self, msg, travel):
+        value = intra_list_similarity(msg.item_ids[:6], travel.graph)
+        assert 0.0 <= value <= 1.0

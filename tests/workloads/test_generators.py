@@ -1,0 +1,151 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    ALEXIA,
+    JOHN,
+    SELMA,
+    TaggingSiteConfig,
+    TravelSiteConfig,
+    WorkloadConfig,
+    build_site,
+    build_tagging_site,
+    build_travel_site,
+)
+
+
+class TestGenericGenerator:
+    def test_deterministic(self):
+        a = build_site(WorkloadConfig(num_users=40, num_items=60, seed=5))
+        b = build_site(WorkloadConfig(num_users=40, num_items=60, seed=5))
+        assert a.graph.same_as(b.graph)
+
+    def test_seed_changes_output(self):
+        a = build_site(WorkloadConfig(num_users=40, num_items=60, seed=5))
+        b = build_site(WorkloadConfig(num_users=40, num_items=60, seed=6))
+        assert not a.graph.same_as(b.graph)
+
+    def test_counts(self):
+        site = build_site(WorkloadConfig(num_users=50, num_items=80, seed=1))
+        assert len(site.user_ids) == 50
+        assert len(site.item_ids) == 80
+        users = list(site.graph.nodes_of_type("user"))
+        items = list(site.graph.nodes_of_type("item"))
+        assert len(users) == 50 and len(items) == 80
+
+    def test_friendships_are_symmetric(self):
+        site = build_site(WorkloadConfig(num_users=30, num_items=30, seed=2))
+        g = site.graph
+        for link in g.links_of_type("friend"):
+            assert g.has_link(f"fr:{link.tgt}->{link.src}")
+
+    def test_activities_reference_real_items(self):
+        site = build_site(WorkloadConfig(num_users=30, num_items=30, seed=2))
+        for link in site.graph.links_of_type("act"):
+            assert site.graph.node(link.tgt).has_type("item")
+
+    def test_barabasi_albert_model(self):
+        site = build_site(
+            WorkloadConfig(num_users=30, num_items=20,
+                           network_model="barabasi_albert", seed=3)
+        )
+        assert any(site.graph.links_of_type("friend"))
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_site(WorkloadConfig(network_model="smallworldz"))
+
+    def test_zipf_popularity_skew(self):
+        site = build_site(WorkloadConfig(num_users=150, num_items=100, seed=4))
+        counts: dict[str, int] = {}
+        for link in site.graph.links_of_type("act"):
+            counts[link.tgt] = counts.get(link.tgt, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        # Top decile of items should absorb well above uniform share.
+        top = sum(ordered[: max(1, len(ordered) // 10)])
+        assert top / sum(ordered) > 0.2
+
+
+class TestTravelSite:
+    def test_personas_present(self):
+        site = build_travel_site(TravelSiteConfig(seed=9))
+        for persona in (JOHN, SELMA, ALEXIA):
+            assert site.graph.has_node(persona)
+
+    def test_john_is_a_baseball_fan(self):
+        site = build_travel_site(TravelSiteConfig(seed=9))
+        g = site.graph
+        visited = {l.tgt for l in g.out_links(JOHN) if l.has_type("visit")}
+        assert visited, "John must have past visits"
+        assert all(g.node(v).value("category") == "baseball" for v in visited)
+
+    def test_selma_friend_structure(self):
+        site = build_travel_site(TravelSiteConfig(seed=9))
+        g = site.graph
+        friends = {l.tgt for l in g.out_links(SELMA) if l.has_type("friend")}
+        assert len(friends) >= 10
+        # At least one friend visited a Barcelona family attraction.
+        barcelona_family = [
+            a for a in site.attractions_by_category.get("family", [])
+            if "barcelona" in a
+        ]
+        assert barcelona_family
+        visited_by_friends = {
+            l.tgt for f in friends for l in g.out_links(f) if l.has_type("visit")
+        }
+        assert visited_by_friends & set(barcelona_family)
+
+    def test_alexia_groups(self):
+        site = build_travel_site(TravelSiteConfig(seed=9))
+        g = site.graph
+        groups = {l.tgt for l in g.out_links(ALEXIA) if l.has_type("belong")}
+        assert groups == {"grp:history-class", "grp:soccer-team"}
+
+    def test_containment_links(self):
+        site = build_travel_site(TravelSiteConfig(seed=9))
+        g = site.graph
+        for att_id in site.attraction_ids[:10]:
+            belongs = [l for l in g.out_links(att_id) if l.has_type("belong")]
+            assert len(belongs) == 1
+            assert g.node(belongs[0].tgt).has_type("city")
+
+    def test_deterministic(self):
+        a = build_travel_site(TravelSiteConfig(seed=9))
+        b = build_travel_site(TravelSiteConfig(seed=9))
+        assert a.graph.same_as(b.graph)
+
+
+class TestTaggingSite:
+    def test_counts_and_determinism(self):
+        cfg = TaggingSiteConfig(num_users=60, num_items=100, num_tags=12, seed=2)
+        a = build_tagging_site(cfg)
+        b = build_tagging_site(cfg)
+        assert a.graph.same_as(b.graph)
+        assert len(a.user_ids) == 60
+        assert len(a.tag_vocab) == 12
+
+    def test_communities_cover_all_users(self):
+        site = build_tagging_site(TaggingSiteConfig(num_users=60, seed=2))
+        assert set(site.community_of) == set(site.user_ids)
+
+    def test_network_community_cohesion(self):
+        site = build_tagging_site(
+            TaggingSiteConfig(num_users=100, community_cohesion=0.9, seed=2)
+        )
+        g = site.graph
+        within = total = 0
+        for link in g.links_of_type("friend"):
+            total += 1
+            if site.community_of[link.src] == site.community_of[link.tgt]:
+                within += 1
+        assert total > 0
+        assert within / total > 0.6  # cohesion shows up in the topology
+
+    def test_tag_links_carry_tags(self):
+        site = build_tagging_site(TaggingSiteConfig(num_users=30, seed=2))
+        tag_links = list(site.graph.links_of_type("tag"))
+        assert tag_links
+        assert all(l.values("tags") for l in tag_links)

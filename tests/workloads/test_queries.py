@@ -1,0 +1,94 @@
+"""Tests for the Table 1 query workload generator and lexicon."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.text import tokenize
+from repro.workloads import (
+    NOISE_SHARE,
+    QueryWorkloadGenerator,
+    TABLE1_TARGETS,
+    table1_counts,
+)
+from repro.workloads.lexicon import DEFAULT_LEXICON
+
+
+class TestLexicon:
+    def test_phrase_matching_single_token(self):
+        assert DEFAULT_LEXICON.contains_phrase(["denver", "hotels"], "locations")
+
+    def test_phrase_matching_multi_token(self):
+        tokens = tokenize("best things to do in paris")
+        assert DEFAULT_LEXICON.contains_phrase(tokens, "general")
+
+    def test_specific_destination_phrases(self):
+        tokens = tokenize("yosemite park camping")
+        assert DEFAULT_LEXICON.contains_phrase(tokens, "specific")
+
+    def test_no_false_positive(self):
+        assert not DEFAULT_LEXICON.contains_phrase(["horoscope"], "locations")
+        assert not DEFAULT_LEXICON.contains_phrase(
+            ["things"], "general"
+        )  # partial phrase must not match
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            DEFAULT_LEXICON.contains_phrase(["x"], "bogus")
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = [q.text for q in QueryWorkloadGenerator(seed=1).generate(50)]
+        b = [q.text for q in QueryWorkloadGenerator(seed=1).generate(50)]
+        assert a == b
+
+    def test_targets_sum_to_one(self):
+        assert sum(TABLE1_TARGETS.values()) + NOISE_SHARE == pytest.approx(1.0)
+
+    def test_intent_marginals_close_to_table1(self):
+        gen = QueryWorkloadGenerator(seed=7)
+        queries = list(gen.generate(20000))
+        grid = table1_counts([(q.intent, q.has_location) for q in queries])
+        assert grid["with"]["general"] == pytest.approx(0.3236, abs=0.02)
+        assert grid["without"]["general"] == pytest.approx(0.2138, abs=0.02)
+        assert grid["with"]["categorical"] == pytest.approx(0.2252, abs=0.02)
+        assert grid["without"]["categorical"] == pytest.approx(0.0534, abs=0.02)
+        assert grid["with"]["specific"] == pytest.approx(0.0837, abs=0.02)
+        assert grid["unclassified"] == pytest.approx(NOISE_SHARE, abs=0.02)
+
+    def test_specific_queries_always_have_location(self):
+        gen = QueryWorkloadGenerator(seed=3)
+        for q in gen.generate(2000):
+            if q.intent == "specific":
+                assert q.has_location
+
+    def test_general_with_location_mentions_location(self):
+        gen = QueryWorkloadGenerator(seed=3)
+        for q in gen.generate(500):
+            if q.intent == "general" and q.has_location:
+                tokens = tokenize(q.text)
+                assert DEFAULT_LEXICON.contains_phrase(tokens, "locations")
+
+    def test_noise_avoids_travel_vocabulary(self):
+        gen = QueryWorkloadGenerator(seed=3)
+        for q in gen.generate(500):
+            if q.intent == "noise":
+                tokens = tokenize(q.text)
+                assert not DEFAULT_LEXICON.contains_phrase(tokens, "general")
+                assert not DEFAULT_LEXICON.contains_phrase(tokens, "specific")
+
+
+class TestTable1Counts:
+    def test_empty(self):
+        grid = table1_counts([])
+        assert grid["unclassified"] == 0.0
+
+    def test_tabulation(self):
+        labels = [("general", True)] * 3 + [("categorical", False)] * 2 + [
+            ("noise", False)
+        ] * 5
+        grid = table1_counts(labels)
+        assert grid["with"]["general"] == 0.3
+        assert grid["without"]["categorical"] == 0.2
+        assert grid["unclassified"] == 0.5
