@@ -1,0 +1,162 @@
+"""Experiment S1 — the session API: warm vs. cold serving, index vs. scan.
+
+Two questions the api_redesign answers quantitatively:
+
+1. what does a warm :class:`~repro.api.Session` save over tearing the
+   facade down per query (the old `SocialScope(...)` -per-call pattern)?
+2. what does index-backed candidate generation save over the full-scan
+   semantic stage, at identical results?
+
+Tables print via the ``report`` fixture, timings via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import SearchRequest, Session
+from repro.socialscope import SocialScope
+from repro.workloads import ALEXIA, JOHN, SELMA
+
+QUERY_MIX = [
+    SearchRequest(user_id=JOHN, text="Denver attractions"),
+    SearchRequest(user_id=SELMA, text="Barcelona family trip with babies"),
+    SearchRequest(user_id=ALEXIA, text="history"),
+    SearchRequest(user_id=JOHN, text="museum"),
+    SearchRequest(user_id=JOHN),  # recommendation
+]
+
+
+@pytest.fixture(scope="module")
+def session(travel_site):
+    return Session.from_graph(travel_site.graph)
+
+
+def _run_mix_cold(travel_site):
+    """The pre-session pattern: a fresh stack for every query."""
+    for request in QUERY_MIX:
+        scope = SocialScope.from_graph(travel_site.graph)
+        scope.search(request.user_id, request.text)
+
+
+def _run_mix_warm(session):
+    for request in QUERY_MIX:
+        session.run(request)
+
+
+def test_cold_facade_vs_warm_session(travel_site, session, report, benchmark):
+    _run_mix_warm(session)  # prime the lazy state out of the timing
+
+    start = time.perf_counter()
+    _run_mix_cold(travel_site)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _run_mix_warm(session)
+    warm = time.perf_counter() - start
+
+    benchmark(_run_mix_warm, session)
+    speedup = cold / warm if warm > 0 else float("inf")
+    report(
+        "",
+        "=== Session API: cold facade vs warm session "
+        f"({len(QUERY_MIX)}-query mix) ===",
+        f"  cold (new stack per query):  {cold * 1e3:8.1f} ms",
+        f"  warm (one session):          {warm * 1e3:8.1f} ms",
+        f"  speedup:                     {speedup:8.1f}x   "
+        f"(tf-idf builds: {session.stats.tfidf_builds}, "
+        f"index builds: {session.stats.index_builds})",
+    )
+    assert warm < cold
+
+
+def test_index_vs_scan_discovery(session, report, benchmark):
+    keyword_queries = [r for r in QUERY_MIX if r.text]
+    indexed = [session.run(r) for r in keyword_queries]
+    scanned = [session.run(r.replace(use_index=False))
+               for r in keyword_queries]
+    # identical top-k item sets: the parity guarantee
+    assert [r.items for r in indexed] == [r.items for r in scanned]
+
+    def run_indexed():
+        for request in keyword_queries:
+            session.run(request)
+
+    def run_scanned():
+        for request in keyword_queries:
+            session.run(request.replace(use_index=False))
+
+    start = time.perf_counter()
+    run_scanned()
+    scan_time = time.perf_counter() - start
+    start = time.perf_counter()
+    run_indexed()
+    index_time = time.perf_counter() - start
+
+    # Isolate the candidate stage itself (the part the index replaces).
+    from repro.discovery import parse_query
+
+    queries = [parse_query(r.user_id, r.text) for r in keyword_queries]
+    semantic = session.discoverer.semantic
+    index = session.semantic_index
+    rounds = 20
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            semantic.candidates(query)
+    stage_scan = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            index.candidates(query.keywords)
+    stage_index = time.perf_counter() - start
+
+    benchmark(run_indexed)
+    index_report = index.report()
+    report(
+        "",
+        "=== Candidate generation: semantic index vs full scan ===",
+        f"  end-to-end scan  ({len(keyword_queries)} queries): "
+        f"{scan_time * 1e3:8.1f} ms",
+        f"  end-to-end index ({len(keyword_queries)} queries): "
+        f"{index_time * 1e3:8.1f} ms",
+        f"  candidate stage only, scan:  {stage_scan / rounds * 1e3:8.2f} ms"
+        f"  ({rounds} rounds)",
+        f"  candidate stage only, index: {stage_index / rounds * 1e3:8.2f} ms"
+        f"  (speedup {stage_scan / stage_index:5.1f}x)",
+        f"  index size: {index_report.lists} lists, "
+        f"{index_report.entries} entries (~{index_report.bytes} B)",
+        "  (identical result pages on both paths — asserted)",
+    )
+    assert stage_index < stage_scan
+
+
+def test_batch_throughput(session, report, benchmark):
+    batch = QUERY_MIX * 4
+
+    def run_batch():
+        session.run_many(batch)
+
+    benchmark(run_batch)
+    report(
+        "",
+        f"=== Batch execution: run_many over {len(batch)} requests "
+        "(shared warm state) ===",
+        f"  session totals: {session.stats.queries} queries, "
+        f"{session.stats.batches} batches, "
+        f"{session.stats.index_queries} index-backed, "
+        f"{session.stats.scan_queries} scan",
+    )
+
+
+@pytest.mark.parametrize("page_size", [5, 10])
+def test_pagination_latency(session, benchmark, page_size):
+    """Later pages re-rank but reuse all warm per-session state."""
+
+    def walk_pages():
+        list(session.query(ALEXIA).text("history")
+             .page_size(page_size).pages(max_pages=3))
+
+    benchmark(walk_pages)

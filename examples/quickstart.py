@@ -1,16 +1,18 @@
 #!/usr/bin/env python
-"""Quickstart: build a small social content graph, run the algebra, search.
+"""Quickstart: build a graph, run the algebra, serve queries via a session.
 
-Walks the three things a new user of the library does first:
+Walks the things a new user of the library does first:
 
 1. build a :class:`SocialContentGraph` by hand;
 2. manipulate it with the paper's algebra operators;
-3. stand up the full three-layer stack and run a query.
+3. stand up a warm :class:`~repro.api.Session` and run structured queries
+   (fluent builder, per-request overrides, pagination);
+4. (migration note) the old one-shot facade calls still work.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import SocialScope
+from repro import Session
 from repro.core import (
     Condition,
     Link,
@@ -70,16 +72,71 @@ with_counts = aggregate_nodes(graph, {"type": "friend"}, "src",
 print(f"John's friend count: {with_counts.node(1).value('fnd_cnt')}")
 
 # ---------------------------------------------------------------------------
-# 3. The full stack (Figure 1): query -> MSG -> organized result page.
+# 3. The session API (Figure 1 as a serving loop).
 # ---------------------------------------------------------------------------
-scope = SocialScope.from_graph(graph)
-page = scope.search(user_id=1, query="denver baseball")
+# One Session owns the wired layers and stays warm across queries: the
+# tf-idf corpus and the semantic inverted index build once, lazily, and
+# survive until the graph changes.
+session = Session.from_graph(graph)
 
-print("\nsearch(John, 'denver baseball'):")
-print(f"  grouping dimension chosen: {page.chosen_dimension}")
-for group in page.groups:
+response = (session.query(1)                 # the requesting user
+            .text("denver baseball")         # content keywords
+            .limit(10)                       # ranked-result budget
+            .run())
+
+print("\nsession.query(John).text('denver baseball').run():")
+print(f"  grouping dimension chosen: {response.page.chosen_dimension}")
+print(f"  candidates from index: {response.index_used}")
+for group in response.groups:
     print(f"  [{group.label}]")
     for entry in group.entries:
         print(f"    {entry.name}  score={entry.score:.3f}")
         if entry.explanation.aggregate_text:
             print(f"      ({entry.explanation.aggregate_text})")
+
+# Per-request overrides leave the session untouched: semantic-only scoring
+# for this one query, and a forced grouping dimension.
+semantic_only = (session.query(1).text("denver baseball")
+                 .alpha(1.0).group_by("topical").run())
+print(f"\nα=1.0, group_by topical: {[i for i in semantic_only.items]}")
+
+# Deterministic pagination: windows of the same total ranking.
+page1 = session.query(1).text("denver").page_size(2).run()
+print(f"\npage 1 of 'denver': {list(page1.items)}"
+      f" (total {page1.page_info.total_items},"
+      f" has_next={page1.page_info.has_next})")
+if page1.page_info.next_cursor:
+    page2 = (session.query(1).text("denver")
+             .cursor(page1.page_info.next_cursor).run())
+    print(f"page 2 of 'denver': {list(page2.items)}")
+
+# Batch execution reuses the warm state across many requests at once
+# (pass executor=ThreadPoolExecutor(...) to fan out).
+from repro.api import SearchRequest
+
+batch = session.run_many([
+    SearchRequest(user_id=1, text="denver baseball"),
+    SearchRequest(user_id=1),                  # empty query: recommendation
+    SearchRequest(user_id=2, text="museum", strategy="friends"),
+])
+print(f"\nbatch of 3 requests -> {[len(r.items) for r in batch]} results;"
+      f" tf-idf built {session.stats.tfidf_builds}x")
+
+# ---------------------------------------------------------------------------
+# 4. Migration note: the classic facade still works, now session-backed.
+#
+#    scope = SocialScope.from_graph(graph)
+#    scope.search(1, "denver baseball", k=10)  == session.query(1)
+#        .text("denver baseball").limit(10).run().page
+#    scope.recommend(1, k=5)                   == session.query(1)
+#        .limit(5).run().page
+#    scope.explore(1, "denver")                == session.explore(
+#        SearchRequest(user_id=1, text="denver"))
+# ---------------------------------------------------------------------------
+from repro import SocialScope
+
+scope = SocialScope.from_graph(graph)
+page = scope.search(user_id=1, query="denver baseball")
+assert [e.item_id for e in page.flat] == \
+    [e.item_id for e in response.page.flat]
+print("\nfacade parity holds: scope.search == session.query(...).run().page")

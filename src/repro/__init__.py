@@ -14,23 +14,46 @@ The library implements the paper's three-layer architecture end to end:
   OpenSocial-style integration, the three management models, activity-driven
   sync);
 * :mod:`repro.indexing` — §6.2's network-aware inverted indexes, user
-  clustering strategies and top-k pruning;
+  clustering strategies, top-k pruning, and the semantic item index;
 * :mod:`repro.presentation` — §7's grouping, ranking and explanations;
 * :mod:`repro.workloads` — synthetic social-content-site workloads
   (Y!Travel-like, del.icio.us-like) and the Table 1 query generator;
-* :class:`repro.socialscope.SocialScope` — the facade wiring the layers
-  together (Figure 1).
+* :mod:`repro.api` — the session-based query API: structured
+  :class:`~repro.api.SearchRequest`/:class:`~repro.api.SearchResponse`
+  values, the fluent :class:`~repro.api.QueryBuilder`, and the warm
+  :class:`~repro.api.Session` engine (pagination, batching, index-backed
+  discovery);
+* :class:`repro.socialscope.SocialScope` — the stable facade over one
+  session (Figure 1).
 
 Quickstart::
 
-    from repro import SocialScope
+    from repro import Session
     from repro.workloads import TravelSiteConfig, build_travel_site
 
     site = build_travel_site(TravelSiteConfig(seed=42))
-    scope = SocialScope.from_graph(site.graph)
-    page = scope.search(user_id=site.personas["john"], query="Denver attractions")
-    for group in page.groups:
-        print(group.label, [r.item_id for r in group.results])
+    session = Session.from_graph(site.graph)
+
+    response = (session.query(site.personas["john"])
+                .text("Denver attractions")
+                .limit(10)
+                .run())
+    for group in response.groups:
+        print(group.label, [e.item_id for e in group.entries])
+
+    # Deterministic pagination over the same ranking:
+    page2 = (session.query(site.personas["john"])
+             .text("Denver attractions")
+             .page_size(5).page(2)
+             .run())
+
+Migration from the pre-session facade (still supported, now a thin shim)::
+
+    scope.search(u, "denver", k=10)   ->  session.query(u).text("denver").limit(10).run().page
+    scope.recommend(u, k=5)           ->  session.query(u).limit(5).run().page
+    scope.discover(u, "denver")       ->  session.discover(SearchRequest(user_id=u, text="denver"))
+    scope.explore(u, "denver")        ->  session.explore(SearchRequest(user_id=u, text="denver"))
+    SocialScopeConfig(...)            ->  SessionConfig(...)  (same fields)
 """
 
 from repro.core import (
@@ -50,7 +73,7 @@ from repro.core import (
     union,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Node",
@@ -68,15 +91,31 @@ __all__ = [
     "aggregate_nodes",
     "aggregate_links",
     "SocialScope",
+    "Session",
+    "SessionConfig",
+    "SearchRequest",
+    "SearchResponse",
+    "QueryBuilder",
     "__version__",
 ]
 
+#: Lazy attribute -> providing module.  The facade and session pull in
+#: every layer; keep `import repro` cheap for users who only need the
+#: algebra.
+_LAZY = {
+    "SocialScope": "repro.socialscope",
+    "Session": "repro.api",
+    "SessionConfig": "repro.api",
+    "SearchRequest": "repro.api",
+    "SearchResponse": "repro.api",
+    "QueryBuilder": "repro.api",
+}
+
 
 def __getattr__(name: str):
-    # Lazy import: the facade pulls in every layer; keep `import repro`
-    # cheap for users who only need the algebra.
-    if name == "SocialScope":
-        from repro.socialscope import SocialScope
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        from importlib import import_module
 
-        return SocialScope
+        return getattr(import_module(module_name), name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,117 @@
+"""Fluent query construction over a session.
+
+The builder reads like the browsing interaction it models::
+
+    response = (session.query(john)
+                .text("Denver attractions")
+                .strategy("cf")
+                .limit(10)
+                .page(2)
+                .run())
+
+Each method sets one :class:`~repro.api.request.SearchRequest` field and
+returns the builder; :meth:`build` freezes the request, :meth:`run`
+executes it, and :meth:`pages` walks the cursor chain for paginated
+browsing sessions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+from repro.core import Condition, Id
+
+from repro.api.request import SearchRequest, SearchResponse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
+
+
+class QueryBuilder:
+    """Accumulates one request's fields, then builds/runs it."""
+
+    def __init__(self, session: "Session", user_id: Id):
+        self._session = session
+        self._fields: dict[str, Any] = {"user_id": user_id}
+
+    # -- content ---------------------------------------------------------------
+    def text(self, text: str) -> "QueryBuilder":
+        """Free-text content keywords ('' keeps recommendation mode)."""
+        self._fields["text"] = text
+        return self
+
+    def structural(
+        self, condition: Condition | Mapping[str, Any]
+    ) -> "QueryBuilder":
+        """Structural predicates (Boolean scope, §4)."""
+        self._fields["structural"] = condition
+        return self
+
+    # -- discovery overrides ---------------------------------------------------
+    def strategy(self, name: str) -> "QueryBuilder":
+        """Social relevance strategy for this request only."""
+        self._fields["strategy"] = name
+        return self
+
+    def alpha(self, alpha: float) -> "QueryBuilder":
+        """Semantic weight α ∈ [0, 1] for this request only."""
+        self._fields["alpha"] = alpha
+        return self
+
+    def limit(self, k: int) -> "QueryBuilder":
+        """Ranked-result budget of the window (the classic top-k)."""
+        self._fields["k"] = k
+        return self
+
+    def use_index(self, enabled: bool = True) -> "QueryBuilder":
+        """Force (or refuse) index-backed candidate generation."""
+        self._fields["use_index"] = enabled
+        return self
+
+    # -- presentation ----------------------------------------------------------
+    def group_by(self, dimension: str) -> "QueryBuilder":
+        """Force one grouping dimension instead of the §7.1 choice."""
+        self._fields["grouping"] = dimension
+        return self
+
+    # -- pagination ------------------------------------------------------------
+    def page(self, page: int) -> "QueryBuilder":
+        """Select the 1-based page of the ranking."""
+        self._fields["page"] = page
+        return self
+
+    def page_size(self, size: int) -> "QueryBuilder":
+        """Window size per page."""
+        self._fields["page_size"] = size
+        return self
+
+    def cursor(self, cursor: str) -> "QueryBuilder":
+        """Continue from an earlier response's ``next_cursor``."""
+        self._fields["cursor"] = cursor
+        return self
+
+    # -- terminal --------------------------------------------------------------
+    def build(self) -> SearchRequest:
+        """Freeze the accumulated fields into a request."""
+        return SearchRequest(**self._fields)
+
+    def run(self) -> SearchResponse:
+        """Build and execute against the owning session."""
+        return self._session.run(self.build())
+
+    def pages(self, max_pages: int | None = None) -> Iterator[SearchResponse]:
+        """Walk the cursor chain from this request's window onward.
+
+        Yields at most *max_pages* responses (all remaining when None);
+        stops at the first window with no continuation.
+        """
+        response = self.run()
+        yielded = 0
+        while True:
+            yield response
+            yielded += 1
+            cursor = response.page_info.next_cursor
+            if cursor is None or (max_pages is not None and yielded >= max_pages):
+                return
+            request = response.request.replace(cursor=cursor)
+            response = self._session.run(request)

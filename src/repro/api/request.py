@@ -1,0 +1,181 @@
+"""Structured query requests and responses for the session API.
+
+The paper's Figure 1 is a serving loop — query in, organized result page
+out — so the request is a first-class value: a frozen
+:class:`SearchRequest` carrying everything one evaluation needs (the user,
+the content/structural query, per-request overrides of the discovery
+tunables, and a pagination window).  Being frozen and value-like, requests
+hash, dedupe, replay and batch cleanly.
+
+Responses pair the organized :class:`~repro.presentation.ResultPage` with
+:class:`PageInfo` (deterministic pagination bookkeeping plus an opaque
+continuation cursor) and per-query evaluation notes.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Mapping
+
+from repro.core import Condition, Id, as_condition
+from repro.errors import QueryError
+from repro.presentation import ResultPage
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One structured query against a session.
+
+    Fields beyond ``user_id`` are optional; ``None`` means "use the
+    session's configured default".  ``page``/``page_size`` select a window
+    of the full deterministic ranking; a ``cursor`` (from a previous
+    response's :attr:`PageInfo.next_cursor`) overrides ``page``.
+    """
+
+    user_id: Id
+    text: str = ""
+    structural: Condition | None = None
+    #: social strategy name (session default when None)
+    strategy: str | None = None
+    #: semantic weight α ∈ [0, 1] (session default when None)
+    alpha: float | None = None
+    #: hard budget on the ranked list: at most k items exist across all
+    #: pages; also the default window size (max_results when None)
+    k: int | None = None
+    #: force a grouping dimension ("social", "topical", "endorser",
+    #: "structural:<facet>"); None lets §7.1 meaningfulness choose
+    grouping: str | None = None
+    #: 1-based page number over windows of ``page_size``
+    page: int = 1
+    #: window size (defaults to ``k`` or the discovery max_results)
+    page_size: int | None = None
+    #: opaque continuation token; takes precedence over ``page``
+    cursor: str | None = None
+    #: route keyword scoping through the semantic index (None = auto:
+    #: indexed when the query is keyword-only, scan otherwise)
+    use_index: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.user_id is None:
+            raise QueryError("a search request needs a requesting user")
+        if isinstance(self.structural, Mapping):
+            object.__setattr__(self, "structural", as_condition(self.structural))
+        if self.alpha is not None and not 0.0 <= self.alpha <= 1.0:
+            raise QueryError(f"alpha must be in [0, 1], got {self.alpha!r}")
+        if self.k is not None and self.k <= 0:
+            raise QueryError(f"k must be positive, got {self.k!r}")
+        if self.page < 1:
+            raise QueryError(f"page is 1-based, got {self.page!r}")
+        if self.page_size is not None and self.page_size <= 0:
+            raise QueryError(
+                f"page_size must be positive, got {self.page_size!r}"
+            )
+
+    # -- derivation ----------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "SearchRequest":
+        """A copy with the given fields changed (validation re-runs)."""
+        return replace(self, **changes)
+
+    def next_page(self) -> "SearchRequest":
+        """The request for the following page (cursor cleared)."""
+        return self.replace(page=self.page + 1, cursor=None)
+
+    @property
+    def is_recommendation(self) -> bool:
+        """True for the empty query (§4's pure-social mode)."""
+        return not self.text and self.structural is None
+
+
+@dataclass(frozen=True)
+class PageInfo:
+    """Deterministic pagination bookkeeping for one response."""
+
+    page: int
+    page_size: int
+    offset: int
+    returned: int
+    total_items: int
+    next_cursor: str | None = None
+
+    @property
+    def total_pages(self) -> int:
+        """Number of non-empty pages in the full ranking."""
+        if self.total_items == 0:
+            return 0
+        return -(-self.total_items // self.page_size)
+
+    @property
+    def has_next(self) -> bool:
+        """True when a later window still holds items."""
+        return self.offset + self.returned < self.total_items
+
+    @property
+    def has_prev(self) -> bool:
+        return self.offset > 0
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """The organized answer to one :class:`SearchRequest`."""
+
+    request: SearchRequest
+    page: ResultPage
+    page_info: PageInfo
+    #: ranked item ids of this window (the pre-grouping order)
+    items: tuple[Id, ...] = ()
+    #: True when candidates came from the semantic index, not a scan
+    index_used: bool = False
+    #: resolved evaluation parameters (strategy, alpha, window)
+    resolved: Mapping[str, Any] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator:
+        """Iterate the window's ranked flat entries."""
+        return iter(self.page.flat)
+
+    @property
+    def groups(self):
+        """The page's ranked result groups."""
+        return self.page.groups
+
+
+# ---------------------------------------------------------------------------
+# Cursors: opaque, stateless continuation tokens
+# ---------------------------------------------------------------------------
+
+
+def encode_cursor(offset: int, page_size: int, epoch: int) -> str:
+    """Pack a continuation point into an opaque url-safe token.
+
+    The *epoch* records the session's refresh generation at response time;
+    the engine rejects cursors minted under an earlier generation (the
+    ranking they point into no longer exists).
+    """
+    payload = json.dumps({"o": offset, "s": page_size, "e": epoch},
+                         separators=(",", ":"))
+    return base64.urlsafe_b64encode(payload.encode()).decode().rstrip("=")
+
+
+def decode_cursor(cursor: str) -> tuple[int, int, int]:
+    """Unpack (offset, page_size, epoch); raises QueryError on junk."""
+    try:
+        padded = cursor + "=" * (-len(cursor) % 4)
+        payload = json.loads(base64.urlsafe_b64decode(padded.encode()))
+        offset, size, epoch = payload["o"], payload["s"], payload["e"]
+    except Exception as exc:
+        raise QueryError(f"malformed cursor {cursor!r}") from exc
+    if not (isinstance(offset, int) and isinstance(size, int)
+            and isinstance(epoch, int)) or offset < 0 or size <= 0:
+        raise QueryError(f"malformed cursor {cursor!r}")
+    return offset, size, epoch
+
+
+__all__ = [
+    "SearchRequest",
+    "SearchResponse",
+    "PageInfo",
+    "encode_cursor",
+    "decode_cursor",
+]

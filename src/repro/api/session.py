@@ -1,0 +1,450 @@
+"""The session engine: a warm, incrementally-refreshed serving stack.
+
+One :class:`Session` owns the wired Figure 1 layers — Data Manager at the
+bottom, Content Analyzer + Information Discoverer in the middle,
+Information Organizer on top — and serves :class:`SearchRequest` after
+:class:`SearchRequest` without tearing anything down between queries:
+
+* **incremental refresh** — graph changes (analyses, remote attachment,
+  direct Data Manager writes) set a dirty flag; the next query retargets
+  the existing components and invalidates only the per-graph caches
+  (tf-idf corpus, search indexes) instead of reconstructing the layers;
+* **index-backed candidates** — keyword-only queries route semantic
+  scoping through a lazily built
+  :class:`~repro.indexing.semantic.SemanticItemIndex` (posting lists
+  instead of a full item scan), with a guaranteed-identical score map;
+* **deterministic pagination** — the full combined ranking is a total
+  order, so ``page``/``cursor`` windows never duplicate or drop items;
+* **batch execution** — :meth:`Session.run_many` evaluates many requests
+  against the shared warm state, sequentially or through a caller-supplied
+  executor (e.g. ``concurrent.futures.ThreadPoolExecutor``).
+
+§6.2's network-aware structures plug in through :meth:`network_topk`,
+which lazily builds (and on graph change, discards) the per-session
+:class:`~repro.indexing.inverted.ExactUserIndex` or a cluster-compressed
+variant.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis import ContentAnalyzer
+from repro.api.builder import QueryBuilder
+from repro.api.request import (
+    PageInfo,
+    SearchRequest,
+    SearchResponse,
+    decode_cursor,
+    encode_cursor,
+)
+from repro.core import Id, SocialContentGraph
+from repro.discovery import (
+    DiscoveryConfig,
+    InformationDiscoverer,
+    MeaningfulSocialGraph,
+    SemanticResult,
+    assemble_msg,
+    parse_query,
+)
+from repro.discovery.query import Query
+from repro.errors import QueryError
+from repro.indexing import (
+    ClusteredIndex,
+    ExactUserIndex,
+    STRATEGIES as CLUSTERING_STRATEGIES,
+    SemanticItemIndex,
+    TaggingData,
+)
+from repro.indexing.topk import QueryStats
+from repro.management import DataManager, RemoteSocialSite
+from repro.presentation import (
+    HierarchicalPresenter,
+    InformationOrganizer,
+    OrganizerConfig,
+)
+
+
+@dataclass
+class SessionConfig:
+    """End-to-end configuration of the stack (formerly SocialScopeConfig)."""
+
+    discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
+    organizer: OrganizerConfig = field(default_factory=OrganizerConfig)
+    #: analyses to run automatically on construction (names from the
+    #: ContentAnalyzer registry); empty = none.
+    auto_analyses: tuple[str, ...] = ()
+
+
+@dataclass
+class SessionStats:
+    """Work counters a warm session accumulates (thread-safe increments)."""
+
+    queries: int = 0
+    batches: int = 0
+    refreshes: int = 0
+    #: corpus passes for tf-idf (mirrors SemanticRelevance.builds)
+    tfidf_builds: int = 0
+    #: semantic index constructions
+    index_builds: int = 0
+    #: network-aware (§6.2) index constructions
+    network_index_builds: int = 0
+    #: queries whose candidates came from the semantic index
+    index_queries: int = 0
+    #: queries that fell back to the scan path
+    scan_queries: int = 0
+
+
+class Session:
+    """A long-lived query session over one social content site."""
+
+    def __init__(
+        self,
+        data_manager: DataManager,
+        config: SessionConfig | None = None,
+    ):
+        self.config = config or SessionConfig()
+        self.data_manager = data_manager
+        self.analyzer = ContentAnalyzer(data_manager.graph())
+        self.stats = SessionStats()
+        self._lock = threading.Lock()
+        #: refresh generation — bumped whenever cached per-graph state is
+        #: invalidated; embedded in cursors to detect cross-refresh paging
+        self.epoch = 0
+        self._dm_version = data_manager.version
+        self._dirty = False
+        self._semantic_index: SemanticItemIndex | None = None
+        self._tagging_data: TaggingData | None = None
+        self._network_indexes: dict[str, object] = {}
+        self.discoverer = InformationDiscoverer(
+            self.analyzer.graph, config=self.config.discovery
+        )
+        self.organizer = InformationOrganizer(
+            self.analyzer.graph, config=self.config.organizer
+        )
+        for name in self.config.auto_analyses:
+            self.analyze(name)
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_graph(
+        cls,
+        graph: SocialContentGraph,
+        config: SessionConfig | None = None,
+    ) -> "Session":
+        """Build a session around an existing logical graph."""
+        dm = DataManager()
+        dm.load_graph(graph)
+        return cls(dm, config)
+
+    # ---------------------------------------------------------------- content
+    @property
+    def graph(self) -> SocialContentGraph:
+        """The current (possibly analysis-enriched) social content graph."""
+        return self.analyzer.graph
+
+    def analyze(self, name: str) -> None:
+        """Run one Content Analyzer analysis and mark discovery stale."""
+        self.analyzer.run(name)
+        self.invalidate()
+
+    def attach_remote(self, site: RemoteSocialSite,
+                      with_activities: bool = False) -> None:
+        """Pull a remote site's social data in (Open Cartel integration).
+
+        Previously-run analyses are re-derived over the expanded graph —
+        same policy as the direct-write resync in :meth:`_ensure_fresh`.
+        """
+        self.data_manager.attach_remote(site, with_activities=with_activities)
+        self._resync_from_store()
+        self.invalidate()
+
+    def _resync_from_store(self) -> None:
+        """Reset the working graph from the store, re-deriving analyses.
+
+        Derivations are re-derivable and marked ``derived_by``; dropping
+        them silently would degrade every strategy/grouping relying on
+        derived nodes/links (similarity links, topics).
+        """
+        rerun = list(dict.fromkeys(
+            entry.name for entry in self.analyzer.run_log
+        ))
+        self.analyzer.graph = self.data_manager.graph()
+        for name in rerun:
+            self.analyzer.run(name)
+        self._dm_version = self.data_manager.version
+
+    def invalidate(self) -> None:
+        """Flag the upper layers stale; the next query refreshes them.
+
+        Dirty-flag invalidation is the whole point of the session: nothing
+        is rebuilt here, and back-to-back invalidations cost nothing.
+        """
+        self._dirty = True
+
+    def _ensure_fresh(self) -> None:
+        """Incremental refresh: retarget components, drop per-graph caches."""
+        if self.data_manager.version != self._dm_version:
+            # Direct Data Manager writes happened behind the analyzer's
+            # back: resync the working graph, re-deriving analyses.
+            self._resync_from_store()
+            self._dirty = True
+        if not self._dirty:
+            return
+        graph = self.analyzer.graph
+        self.discoverer.refresh(graph)
+        self.organizer.base_graph = graph
+        self._semantic_index = None
+        self._tagging_data = None
+        self._network_indexes.clear()
+        self.epoch += 1
+        self.stats.refreshes += 1
+        self._dirty = False
+
+    # ---------------------------------------------------------------- indexes
+    @property
+    def semantic_index(self) -> SemanticItemIndex:
+        """The session's semantic inverted index (built lazily, cached)."""
+        if self._semantic_index is None:
+            semantic = self.discoverer.semantic
+            self._semantic_index = SemanticItemIndex(
+                self.graph,
+                item_type=semantic.item_type,
+                scorer=semantic.scorer,  # share idf with the scan path
+            )
+            with self._lock:
+                self.stats.index_builds += 1
+        return self._semantic_index
+
+    @property
+    def tagging_data(self) -> TaggingData:
+        """Materialised §6.2 tagging accessors for the current graph."""
+        if self._tagging_data is None:
+            self._tagging_data = TaggingData.from_graph(self.graph)
+        return self._tagging_data
+
+    def network_topk(
+        self,
+        user_id: Id,
+        keywords: Sequence[str],
+        k: int = 10,
+        clustering: str | None = None,
+        theta: float = 0.3,
+    ) -> tuple[list[tuple[Id, float]], QueryStats]:
+        """Network-aware tag search through the §6.2 index structures.
+
+        ``clustering=None`` uses the exact per-(tag, user) index; a name
+        from :data:`repro.indexing.STRATEGIES` uses the corresponding
+        cluster-compressed index.  Indexes build lazily per session and
+        are discarded on graph change.
+        """
+        self._ensure_fresh()
+        key = clustering or "exact"
+        index = self._network_indexes.get(key)
+        if index is None:
+            data = self.tagging_data
+            if clustering is None:
+                index = ExactUserIndex(data)
+            else:
+                strategy = CLUSTERING_STRATEGIES.get(clustering)
+                if strategy is None:
+                    raise QueryError(
+                        f"unknown clustering {clustering!r}; have "
+                        f"{sorted(CLUSTERING_STRATEGIES)}"
+                    )
+                index = ClusteredIndex(data, strategy(data, theta))
+            self._network_indexes[key] = index
+            with self._lock:
+                self.stats.network_index_builds += 1
+        return index.query(user_id, list(keywords), k)
+
+    # ---------------------------------------------------------------- serving
+    def query(self, user_id: Id) -> QueryBuilder:
+        """Start a fluent query for *user_id* (see :class:`QueryBuilder`)."""
+        return QueryBuilder(self, user_id)
+
+    def run(self, request: SearchRequest) -> SearchResponse:
+        """Evaluate one structured request into an organized response."""
+        self._ensure_fresh()
+        return self._run_prepared(request)
+
+    def run_many(
+        self,
+        requests: Iterable[SearchRequest],
+        executor=None,
+    ) -> list[SearchResponse]:
+        """Evaluate a batch against the shared warm session state.
+
+        The per-session tf-idf corpus, connection state and (when any
+        request routes through it) the semantic index are primed *once*
+        before execution, so a thread-pool *executor* — anything with an
+        ``executor.map(fn, iterable)`` — sees only read-only shared state.
+        Responses come back in request order.
+        """
+        batch = list(requests)
+        self._ensure_fresh()
+        if batch:
+            # Prime lazy shared state while still single-threaded.  The
+            # index check is a cheap over-approximation of _wants_index
+            # (no tokenization): a spurious build is harmless priming.
+            _ = self.discoverer.semantic.scorer
+            if any(
+                r.use_index is not False and r.text and r.structural is None
+                for r in batch
+            ):
+                _ = self.semantic_index
+        with self._lock:
+            self.stats.batches += 1
+        if executor is None:
+            responses = [self._run_prepared(r) for r in batch]
+        else:
+            responses = list(executor.map(self._run_prepared, batch))
+        return responses
+
+    # ---------------------------------------------------------------- internals
+    @staticmethod
+    def _parse(request: SearchRequest) -> Query:
+        return parse_query(request.user_id, request.text, request.structural)
+
+    def _wants_index(self, request: SearchRequest, query: Query) -> bool:
+        """Index routing: keyword-only queries, unless explicitly refused.
+
+        Structural predicates scope beyond the indexed item population, so
+        they always take the scan path — even under ``use_index=True`` —
+        keeping index and scan results identical by construction.
+        """
+        if request.use_index is False:
+            return False
+        return bool(query.keywords) and query.structural is None
+
+    def _window(self, request: SearchRequest) -> tuple[int, int]:
+        """Resolve (offset, size) from page/page_size/k or a cursor.
+
+        A cursor minted before the last refresh is rejected: the ranking
+        it pointed into no longer exists, and serving it would break the
+        no-duplicates/no-drops pagination guarantee.
+        """
+        size = (
+            request.page_size
+            if request.page_size is not None
+            else (request.k if request.k is not None
+                  else self.config.discovery.max_results)
+        )
+        if request.cursor is not None:
+            offset, cursor_size, epoch = decode_cursor(request.cursor)
+            if epoch != self.epoch:
+                raise QueryError(
+                    f"stale cursor: issued at refresh epoch {epoch}, "
+                    f"session is now at {self.epoch}; restart pagination"
+                )
+            return offset, cursor_size
+        return (request.page - 1) * size, size
+
+    def _budgeted(self, ranking, request: SearchRequest):
+        """Apply the request's k as a hard budget on the ranked list.
+
+        ``k`` caps the ranking even when ``page_size`` drives the window,
+        so ``.limit(4).page_size(2)`` means two pages, then exhaustion.
+        """
+        items = ranking.items
+        if request.k is not None:
+            items = items[: request.k]
+        return items
+
+    def _evaluate(self, request: SearchRequest):
+        """The shared evaluation pipeline: parse → window → rank → cut.
+
+        Both :meth:`run` and :meth:`discover` go through here, so index
+        routing, budgeting and windowing cannot drift between them.
+        Returns (query, ranking, window, offset, size, total, index_used).
+        """
+        query = self._parse(request)
+        offset, size = self._window(request)
+        semantic = None
+        index_used = False
+        if self._wants_index(request, query):
+            semantic = SemanticResult(
+                scores=self.semantic_index.candidates(query.keywords)
+            )
+            index_used = True
+        ranking = self.discoverer.rank(
+            query,
+            strategy=request.strategy,
+            alpha=request.alpha,
+            semantic=semantic,
+        )
+        ranked = self._budgeted(ranking, request)
+        window = ranked[offset : offset + size]
+        return query, ranking, window, offset, size, len(ranked), index_used
+
+    def _run_prepared(self, request: SearchRequest) -> SearchResponse:
+        query, ranking, window, offset, size, total, index_used = (
+            self._evaluate(request)
+        )
+        msg = assemble_msg(
+            self.graph, query, window, ranking.social,
+            ranking.used_expert_fallback,
+        )
+        # When the caller named a window size (k or page_size), the flat
+        # list covers the whole window; otherwise the configured flat_k
+        # cap applies (the historical facade behavior).
+        explicit = request.k is not None or request.page_size is not None
+        page = self.organizer.organize(
+            msg,
+            dimension=request.grouping,
+            flat_k=size if explicit else None,
+        )
+        end = offset + len(window)
+        next_cursor = (
+            encode_cursor(end, size, self.epoch)
+            if end < total else None
+        )
+        info = PageInfo(
+            page=offset // size + 1,
+            page_size=size,
+            offset=offset,
+            returned=len(window),
+            total_items=total,
+            next_cursor=next_cursor,
+        )
+        with self._lock:
+            self.stats.queries += 1
+            if index_used:
+                self.stats.index_queries += 1
+            else:
+                self.stats.scan_queries += 1
+            self.stats.tfidf_builds = self.discoverer.semantic.builds
+        return SearchResponse(
+            request=request,
+            page=page,
+            page_info=info,
+            items=tuple(s.item_id for s in window),
+            index_used=index_used,
+            resolved={
+                "strategy": request.strategy or self.config.discovery.strategy,
+                "alpha": (request.alpha if request.alpha is not None
+                          else self.config.discovery.alpha),
+                "offset": offset,
+                "size": size,
+                "epoch": self.epoch,
+            },
+        )
+
+    # ---------------------------------------------------- discovery passthrough
+    def discover(self, request: SearchRequest) -> MeaningfulSocialGraph:
+        """Evaluate a request only as far as the MSG (no presentation)."""
+        self._ensure_fresh()
+        query, ranking, window, _offset, _size, _total, _index_used = (
+            self._evaluate(request)
+        )
+        return assemble_msg(
+            self.graph, query, window, ranking.social,
+            ranking.used_expert_fallback,
+        )
+
+    def explore(self, request: SearchRequest) -> HierarchicalPresenter:
+        """Zoomable hierarchical presentation of a request's results."""
+        msg = self.discover(request)
+        return self.organizer.hierarchy(msg)

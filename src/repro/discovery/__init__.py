@@ -18,7 +18,11 @@ from repro.discovery.connections import (
     ConnectionSelector,
     find_experts,
 )
-from repro.discovery.discoverer import DiscoveryConfig, InformationDiscoverer
+from repro.discovery.discoverer import (
+    DiscoveryConfig,
+    InformationDiscoverer,
+    RankedDiscovery,
+)
 from repro.discovery.msg import MeaningfulSocialGraph, ScoredItem, assemble_msg
 from repro.discovery.query import Query, parse_query
 from repro.discovery.relevance import SemanticRelevance, SemanticResult
@@ -39,5 +43,5 @@ __all__ = [
     "FriendBasedStrategy", "SimilarUserStrategy", "ItemBasedStrategy",
     "SocialScores", "DEFAULT_STRATEGIES",
     "MeaningfulSocialGraph", "ScoredItem", "assemble_msg",
-    "InformationDiscoverer", "DiscoveryConfig",
+    "InformationDiscoverer", "DiscoveryConfig", "RankedDiscovery",
 ]

@@ -28,10 +28,11 @@ from repro.discovery.classify import QueryClassifier
 from repro.discovery.connections import ConnectionSelector
 from repro.discovery.msg import MeaningfulSocialGraph, ScoredItem, assemble_msg
 from repro.discovery.query import Query, parse_query
-from repro.discovery.relevance import SemanticRelevance
+from repro.discovery.relevance import SemanticRelevance, SemanticResult
 from repro.discovery.strategies import (
     DEFAULT_STRATEGIES,
     FriendBasedStrategy,
+    SocialScores,
     SocialStrategy,
 )
 from repro.errors import DiscoveryError
@@ -51,6 +52,26 @@ class DiscoveryConfig:
     drop_zero: bool = True
 
 
+@dataclass
+class RankedDiscovery:
+    """One query's *full* combined ranking, before any window is cut.
+
+    The items list is totally ordered (score desc, item-id repr asc), so
+    any ``[offset : offset+limit]`` window is deterministic — the property
+    the session API's pagination rests on.
+    """
+
+    query: Query
+    items: list[ScoredItem]
+    social: SocialScores
+    used_expert_fallback: bool
+
+    @property
+    def total(self) -> int:
+        """Number of ranked (non-dropped) items."""
+        return len(self.items)
+
+
 class InformationDiscoverer:
     """Evaluates queries into Meaningful Social Graphs."""
 
@@ -67,6 +88,17 @@ class InformationDiscoverer:
         self.classifier = QueryClassifier()
         self.semantic = SemanticRelevance(graph, item_type=item_type)
         self.connections = ConnectionSelector(graph)
+
+    def refresh(self, graph: SocialContentGraph) -> None:
+        """Point the pipeline at a (possibly new) graph in place.
+
+        The incremental alternative to reconstructing the discoverer:
+        stateless helpers are retargeted, and the semantic layer's cached
+        corpus state is invalidated rather than eagerly rebuilt.
+        """
+        self.graph = graph
+        self.semantic.invalidate(graph)
+        self.connections.graph = graph
 
     def strategy(self, name: str | None = None) -> SocialStrategy:
         """Resolve a strategy by name (configured default when None)."""
@@ -96,11 +128,44 @@ class InformationDiscoverer:
         query: Query,
         strategy: str | None = None,
         k: int | None = None,
+        alpha: float | None = None,
+        semantic: SemanticResult | None = None,
+        offset: int = 0,
     ) -> MeaningfulSocialGraph:
-        """Evaluate an already-parsed query."""
+        """Evaluate an already-parsed query into a (windowed) MSG.
+
+        Request-aware entry point: *strategy*/*alpha* override the config
+        per call, *semantic* injects a precomputed candidate score map
+        (e.g. from an index-backed stage), and *offset* cuts a later
+        pagination window out of the full ranking.
+        """
         limit = k if k is not None else self.config.max_results
-        semantic = self.semantic.candidates(query)
-        candidates = set(semantic.scores)
+        ranking = self.rank(
+            query, strategy=strategy, alpha=alpha, semantic=semantic
+        )
+        window = ranking.items[offset : offset + limit]
+        return assemble_msg(
+            self.graph, query, window, ranking.social,
+            ranking.used_expert_fallback,
+        )
+
+    def rank(
+        self,
+        query: Query,
+        strategy: str | None = None,
+        alpha: float | None = None,
+        semantic: SemanticResult | None = None,
+    ) -> RankedDiscovery:
+        """Compute the full combined ranking for an already-parsed query.
+
+        Per-item combined scores are independent of any result limit
+        (normalisation runs over the full candidate set), so callers may
+        window the returned list freely without reordering artifacts.
+        """
+        semantic_result = (
+            semantic if semantic is not None else self.semantic.candidates(query)
+        )
+        candidates = set(semantic_result.scores)
 
         selection = self.connections.select(query.user_id, query.keywords)
         chosen = self.strategy(strategy)
@@ -122,22 +187,27 @@ class InformationDiscoverer:
                 self.graph, query.user_id, candidates, selection
             )
 
-        semantic_norm = semantic.normalized()
+        semantic_norm = semantic_result.normalized()
         social_norm = social.normalized()
-        alpha = 0.0 if query.is_empty else self.config.alpha
+        if query.is_empty:
+            weight = 0.0
+        else:
+            weight = self.config.alpha if alpha is None else alpha
 
         combined: list[ScoredItem] = []
         for item in candidates:
             sem = semantic_norm.get(item, 0.0)
             soc = social_norm.get(item, 0.0)
-            score = alpha * sem + (1 - alpha) * soc
+            score = weight * sem + (1 - weight) * soc
             if self.config.drop_zero and score <= 0.0:
                 continue
             combined.append(
                 ScoredItem(item_id=item, semantic=sem, social=soc, combined=score)
             )
         combined.sort(key=lambda s: (-s.combined, repr(s.item_id)))
-        combined = combined[:limit]
-        return assemble_msg(
-            self.graph, query, combined, social, selection.used_expert_fallback
+        return RankedDiscovery(
+            query=query,
+            items=combined,
+            social=social,
+            used_expert_fallback=selection.used_expert_fallback,
         )

@@ -49,10 +49,36 @@ class SemanticRelevance:
     ):
         self.graph = graph
         self.item_type = item_type
-        #: default scorer is corpus-aware tf-idf over the item population
-        self.scorer = scorer if scorer is not None else TfIdfScorer(
-            list(graph.nodes_of_type(item_type))
-        )
+        self._custom_scorer = scorer
+        self._scorer: ScoringFunction | None = scorer
+        #: corpus passes performed so far — the session engine asserts warm
+        #: queries keep this at one.
+        self.builds = 0
+
+    @property
+    def scorer(self) -> ScoringFunction:
+        """The scoring function S — corpus-aware tf-idf built lazily.
+
+        Built on first use and cached until :meth:`invalidate`, so a warm
+        session pays the corpus pass once across queries.
+        """
+        if self._scorer is None:
+            self._scorer = TfIdfScorer(
+                list(self.graph.nodes_of_type(self.item_type))
+            )
+            self.builds += 1
+        return self._scorer
+
+    def invalidate(self, graph: SocialContentGraph | None = None) -> None:
+        """Point at a (possibly new) graph and drop the cached corpus state.
+
+        A caller-supplied scorer is kept — its corpus is the caller's
+        responsibility; only the default tf-idf is corpus-derived.
+        """
+        if graph is not None:
+            self.graph = graph
+        if self._custom_scorer is None:
+            self._scorer = None
 
     def candidates(self, query: Query) -> SemanticResult:
         """Scope + score: σN⟨C,S⟩ over the items.

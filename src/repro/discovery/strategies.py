@@ -183,9 +183,11 @@ class ItemBasedStrategy:
         return result
 
 
-#: Registry used by the Information Discoverer.
+#: Registry used by the Information Discoverer.  "cf" is the query-API
+#: alias for Example 5's collaborative filtering.
 DEFAULT_STRATEGIES: dict[str, SocialStrategy] = {
     "friends": FriendBasedStrategy(),
     "similar_users": SimilarUserStrategy(),
     "item_based": ItemBasedStrategy(),
 }
+DEFAULT_STRATEGIES["cf"] = DEFAULT_STRATEGIES["similar_users"]

@@ -22,6 +22,7 @@ from repro.indexing.inverted import (
     IndexReport,
 )
 from repro.indexing.scores import TaggingData, f_count, g_sum
+from repro.indexing.semantic import SemanticItemIndex
 from repro.indexing.sizing import (
     MeasuredSizes,
     SizingEstimate,
@@ -42,6 +43,7 @@ __all__ = [
     "Clustering", "network_clustering", "behavior_clustering",
     "hybrid_clustering", "exact_clustering", "STRATEGIES",
     "ClusteredIndex",
+    "SemanticItemIndex",
     "threshold_algorithm", "no_random_access", "brute_force", "QueryStats",
     "SizingScenario", "SizingEstimate", "paper_scale_estimate",
     "MeasuredSizes", "measured_report",

@@ -34,6 +34,21 @@ class DataManager:
         self.integrator = ContentIntegrator(self.store, client_name=site_name)
         self.activity_manager = ActivityManager()
         self._snapshot_cache: SocialContentGraph | None = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone write counter — bumps whenever stored data changes.
+
+        Upper layers (the session engine in particular) compare versions
+        instead of graphs to decide whether cached per-graph state (tf-idf
+        corpus, search indexes) is still valid.
+        """
+        return self._version
+
+    def _mark_changed(self) -> None:
+        self._snapshot_cache = None
+        self._version += 1
 
     # ------------------------------------------------------------------ load
     def load_graph(self, graph: SocialContentGraph, origin: str = LOCAL) -> None:
@@ -42,16 +57,16 @@ class DataManager:
             self.store.upsert_node(node, origin=origin)
         for link in graph.links():
             self.store.upsert_link(link, origin=origin)
-        self._snapshot_cache = None
+        self._mark_changed()
 
     def add_node(self, node: Node, origin: str = LOCAL) -> Node:
         """Insert/update one node."""
-        self._snapshot_cache = None
+        self._mark_changed()
         return self.store.upsert_node(node, origin=origin)
 
     def add_link(self, link: Link, origin: str = LOCAL) -> Link:
         """Insert/update one link."""
-        self._snapshot_cache = None
+        self._mark_changed()
         return self.store.upsert_link(link, origin=origin)
 
     def merge_derived(self, derived: SocialContentGraph) -> None:
@@ -86,7 +101,7 @@ class DataManager:
     ) -> IntegrationReport:
         """Import a remote site's users/connections (Open Cartel pull)."""
         report = self.integrator.import_all(site, with_activities=with_activities)
-        self._snapshot_cache = None
+        self._mark_changed()
         return report
 
     def build_scheduler(self, site: RemoteSocialSite) -> SyncScheduler:

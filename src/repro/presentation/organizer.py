@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.core import Id, SocialContentGraph
 from repro.discovery.msg import MeaningfulSocialGraph
+from repro.errors import PresentationError
 from repro.presentation.explanations import (
     COLLABORATIVE,
     Explanation,
@@ -121,8 +122,28 @@ class InformationOrganizer:
         return [f(msg) for _, f in sorted(self.grouping_factories().items())]
 
     # ------------------------------------------------------------------ page
-    def organize(self, msg: MeaningfulSocialGraph) -> ResultPage:
-        """Assemble the full result page for an MSG."""
+    def organize(
+        self,
+        msg: MeaningfulSocialGraph,
+        dimension: str | None = None,
+        flat_k: int | None = None,
+    ) -> ResultPage:
+        """Assemble the full result page for an MSG.
+
+        Request-aware entry point: *dimension* forces one grouping
+        dimension instead of the §7.1 meaningfulness choice, and *flat_k*
+        overrides the configured flat-list length for this page only.
+        """
+        factory = None
+        if dimension is not None:
+            # Validate before the empty-result early return: a typo'd
+            # dimension must fail loudly even when no items matched.
+            factory = self.grouping_factories().get(dimension)
+            if factory is None:
+                raise PresentationError(
+                    f"unknown grouping dimension {dimension!r}; have "
+                    f"{sorted(self.grouping_factories())}"
+                )
         page = ResultPage(
             query_text=msg.query.raw_text,
             user_id=msg.query.user_id,
@@ -130,8 +151,14 @@ class InformationOrganizer:
         )
         if not msg.items:
             return page
-        candidates = self.candidate_groupings(msg)
-        winner, scores = choose_grouping(candidates, msg, self.config.weights)
+        if factory is not None:
+            winner = factory(msg)
+            scores = {dimension: 1.0}
+        else:
+            candidates = self.candidate_groupings(msg)
+            winner, scores = choose_grouping(
+                candidates, msg, self.config.weights
+            )
         page.chosen_dimension = winner.dimension
         page.dimension_scores = scores
 
@@ -143,7 +170,8 @@ class InformationOrganizer:
         # via ResultSelector.interleave for diversity-first surfaces.
         all_entries = [e for g in page.groups for e in g.entries]
         all_entries.sort(key=lambda e: (-e.score, repr(e.item_id)))
-        page.flat = all_entries[: self.config.flat_k]
+        limit = self.config.flat_k if flat_k is None else flat_k
+        page.flat = all_entries[:limit]
         return page
 
     def _render_group(

@@ -1,4 +1,4 @@
-"""The SocialScope facade: the three-layer architecture of Figure 1.
+"""The SocialScope facade: back-compat shims over the session API.
 
     Content Management  —  integrating, maintaining and physically
                            accessing the content and social data;
@@ -8,15 +8,19 @@
     Information Presentation — exploring the discovered information and
                            helping users better understand it.
 
-:class:`SocialScope` wires a :class:`~repro.management.DataManager`
-(bottom), a :class:`~repro.analysis.ContentAnalyzer` +
-:class:`~repro.discovery.InformationDiscoverer` (middle), and an
-:class:`~repro.presentation.InformationOrganizer` (top) into the
-two calls an application actually makes::
+Since the session-API redesign, the engine behind Figure 1 lives in
+:class:`repro.api.Session`; :class:`SocialScope` remains the stable entry
+point and keeps the historical one-shot call signatures::
 
     scope = SocialScope.from_graph(graph)
     page = scope.search(user_id, "Denver attractions")     # query
     page = scope.recommend(user_id)                        # empty query
+
+Each old call delegates to a structured :class:`~repro.api.SearchRequest`
+on the owned session (so repeated calls stay warm — no per-call layer
+rebuilds), and the fluent form is one hop away::
+
+    response = scope.query(user_id).text("Denver attractions").limit(10).run()
 
 Remote sites attach through the management layer (`attach_remote`), and
 offline analyses run through `analyze`, after which discovery sees the
@@ -25,46 +29,28 @@ enriched graph automatically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.analysis import ContentAnalyzer
+from repro.api import (
+    QueryBuilder,
+    SearchRequest,
+    SearchResponse,
+    Session,
+    SessionConfig,
+)
 from repro.core import Id, SocialContentGraph
-from repro.discovery import (
-    DiscoveryConfig,
-    InformationDiscoverer,
-    MeaningfulSocialGraph,
-)
+from repro.discovery import MeaningfulSocialGraph
 from repro.management import DataManager, RemoteSocialSite
-from repro.presentation import (
-    HierarchicalPresenter,
-    InformationOrganizer,
-    OrganizerConfig,
-    ResultPage,
-)
+from repro.presentation import HierarchicalPresenter, ResultPage
 
-
-@dataclass
-class SocialScopeConfig:
-    """End-to-end configuration of the stack."""
-
-    discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
-    organizer: OrganizerConfig = field(default_factory=OrganizerConfig)
-    #: analyses to run automatically on construction (names from the
-    #: ContentAnalyzer registry); empty = none.
-    auto_analyses: tuple[str, ...] = ()
+#: Historical name for the stack configuration (same object).
+SocialScopeConfig = SessionConfig
 
 
 class SocialScope:
-    """The assembled system."""
+    """The assembled system — a thin facade over one warm session."""
 
     def __init__(self, data_manager: DataManager,
                  config: SocialScopeConfig | None = None):
-        self.config = config or SocialScopeConfig()
-        self.data_manager = data_manager
-        self.analyzer = ContentAnalyzer(self.data_manager.graph())
-        for name in self.config.auto_analyses:
-            self.analyze(name)
-        self._rebuild_upper_layers()
+        self.session = Session(data_manager, config)
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -78,27 +64,44 @@ class SocialScope:
         dm.load_graph(graph)
         return cls(dm, config)
 
-    def _rebuild_upper_layers(self) -> None:
-        graph = self.analyzer.graph
-        self.discoverer = InformationDiscoverer(
-            graph, config=self.config.discovery
-        )
-        self.organizer = InformationOrganizer(
-            graph, config=self.config.organizer
-        )
+    # -------------------------------------------------------------- delegation
+    @property
+    def config(self) -> SessionConfig:
+        """The stack configuration."""
+        return self.session.config
+
+    @property
+    def data_manager(self) -> DataManager:
+        """The Content Management layer."""
+        return self.session.data_manager
+
+    @property
+    def analyzer(self):
+        """The Content Analyzer."""
+        return self.session.analyzer
+
+    @property
+    def discoverer(self):
+        """The Information Discoverer (kept warm by the session)."""
+        self.session._ensure_fresh()
+        return self.session.discoverer
+
+    @property
+    def organizer(self):
+        """The Information Organizer (kept warm by the session)."""
+        self.session._ensure_fresh()
+        return self.session.organizer
 
     # ---------------------------------------------------------------- content
     @property
     def graph(self) -> SocialContentGraph:
         """The current (possibly analysis-enriched) social content graph."""
-        return self.analyzer.graph
+        return self.session.graph
 
     def attach_remote(self, site: RemoteSocialSite,
                       with_activities: bool = False) -> None:
         """Pull a remote site's social data in (Open Cartel integration)."""
-        self.data_manager.attach_remote(site, with_activities=with_activities)
-        self.analyzer.graph = self.data_manager.graph()
-        self._rebuild_upper_layers()
+        self.session.attach_remote(site, with_activities=with_activities)
 
     def analyze(self, name: str) -> None:
         """Run one Content Analyzer analysis and refresh discovery.
@@ -107,25 +110,35 @@ class SocialScope:
         the raw records (re-deriving is cheap and derivations are marked
         with ``derived_by``, so nothing is lost by not persisting them).
         """
-        self.analyzer.run(name)
-        self._rebuild_upper_layers()
+        self.session.analyze(name)
 
     # -------------------------------------------------------------- discovery
     def discover(self, user_id: Id, text: str = "", structural=None,
                  strategy: str | None = None, k: int | None = None
                  ) -> MeaningfulSocialGraph:
         """Query → MSG (stop before presentation)."""
-        return self.discoverer.discover(
-            user_id, text, structural=structural, strategy=strategy, k=k
-        )
+        return self.session.discover(SearchRequest(
+            user_id=user_id, text=text, structural=structural,
+            strategy=strategy, k=k,
+        ))
 
     # ------------------------------------------------------------ presentation
+    def query(self, user_id: Id) -> QueryBuilder:
+        """Start a fluent structured query (the session-API entry point)."""
+        return self.session.query(user_id)
+
+    def run(self, request: SearchRequest) -> SearchResponse:
+        """Evaluate a structured request (see :mod:`repro.api`)."""
+        return self.session.run(request)
+
     def search(self, user_id: Id, query: str, structural=None,
                strategy: str | None = None, k: int | None = None) -> ResultPage:
         """The full pipeline: query → MSG → organized result page."""
-        msg = self.discover(user_id, query, structural=structural,
-                            strategy=strategy, k=k)
-        return self.organizer.organize(msg)
+        response = self.session.run(SearchRequest(
+            user_id=user_id, text=query, structural=structural,
+            strategy=strategy, k=k,
+        ))
+        return response.page
 
     def recommend(self, user_id: Id, k: int | None = None) -> ResultPage:
         """Empty-query mode: social relevance only (§4)."""
@@ -133,5 +146,4 @@ class SocialScope:
 
     def explore(self, user_id: Id, query: str) -> HierarchicalPresenter:
         """Zoomable hierarchical presentation of a query's results."""
-        msg = self.discover(user_id, query)
-        return self.organizer.hierarchy(msg)
+        return self.session.explore(SearchRequest(user_id=user_id, text=query))

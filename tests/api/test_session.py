@@ -1,0 +1,250 @@
+"""Session engine: warm reuse, incremental refresh, overrides, batching,
+and index-backed vs. scan-based candidate parity."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import SearchRequest, Session, SessionConfig
+from repro.core import Link, Node
+from repro.discovery import DiscoveryConfig
+from repro.errors import PresentationError
+from repro.workloads import ALEXIA, JOHN, TravelSiteConfig, build_travel_site
+
+
+@pytest.fixture(scope="module")
+def travel():
+    return build_travel_site(TravelSiteConfig(seed=42))
+
+
+@pytest.fixture()
+def session(travel):
+    return Session.from_graph(travel.graph)
+
+
+def pages_equal(a, b) -> bool:
+    """Structural equality of two result pages."""
+    return (
+        a.chosen_dimension == b.chosen_dimension
+        and [(g.label, [(e.item_id, e.score) for e in g.entries])
+             for g in a.groups]
+        == [(g.label, [(e.item_id, e.score) for e in g.entries])
+            for g in b.groups]
+        and [e.item_id for e in a.flat] == [e.item_id for e in b.flat]
+    )
+
+
+class TestWarmReuse:
+    def test_repeated_queries_build_tfidf_once(self, session):
+        for text in ("Denver attractions", "museum", "history", "baseball"):
+            session.run(SearchRequest(user_id=JOHN, text=text))
+        assert session.stats.queries == 4
+        assert session.stats.tfidf_builds == 1
+        assert session.stats.index_builds == 1
+        assert session.stats.refreshes == 0
+
+    def test_semantic_index_cached_across_queries(self, session):
+        session.run(SearchRequest(user_id=JOHN, text="Denver attractions"))
+        first = session.semantic_index
+        session.run(SearchRequest(user_id=JOHN, text="museum"))
+        assert session.semantic_index is first
+
+
+class TestIncrementalRefresh:
+    def test_analyze_invalidates_lazily(self, session):
+        session.run(SearchRequest(user_id=JOHN, text="Denver attractions"))
+        epoch_before = session.epoch
+        session.analyze("user_similarity")
+        session.analyze("item_similarity")  # back-to-back: still one refresh
+        assert session.epoch == epoch_before  # nothing rebuilt yet
+        session.run(SearchRequest(user_id=JOHN, text="Denver attractions"))
+        assert session.epoch == epoch_before + 1
+        assert session.stats.refreshes == 1
+        assert session.stats.tfidf_builds == 2  # rebuilt once, post-refresh
+
+    def test_direct_datamanager_writes_detected(self, session):
+        session.run(SearchRequest(user_id=JOHN, text="special"))
+        session.data_manager.add_node(Node(
+            "x:new", type="item, destination", name="Special Denver Spot",
+            keywords="special denver attraction",
+        ))
+        response = session.run(SearchRequest(user_id=JOHN, text="special"))
+        assert session.graph.has_node("x:new")
+        assert response.page_info.total_items >= 1
+        assert session.stats.refreshes == 1
+
+    def test_analyses_rederived_after_direct_write(self, travel):
+        session = Session.from_graph(
+            travel.graph, SessionConfig(auto_analyses=("item_similarity",))
+        )
+        session.run(SearchRequest(user_id=JOHN, text="denver"))
+        assert any(l.has_type("sim_item") for l in session.graph.links())
+        session.data_manager.add_node(Node(
+            "x:extra", type="item, destination", name="Extra Spot",
+        ))
+        session.run(SearchRequest(user_id=JOHN, text="denver"))
+        # the resync re-derived the enrichment instead of dropping it
+        assert session.graph.has_node("x:extra")
+        assert any(l.has_type("sim_item") for l in session.graph.links())
+
+    def test_discoverer_and_organizer_survive_refresh(self, session):
+        discoverer = session.discoverer
+        organizer = session.organizer
+        session.analyze("user_similarity")
+        session.run(SearchRequest(user_id=JOHN, text="Denver"))
+        # incremental refresh retargets the same components
+        assert session.discoverer is discoverer
+        assert session.organizer is organizer
+        assert organizer.base_graph is session.graph
+
+
+class TestRequestOverrides:
+    def test_alpha_override_changes_blend(self, session):
+        semantic_only = session.run(
+            SearchRequest(user_id=JOHN, text="Denver attractions", alpha=1.0)
+        )
+        social_only = session.run(
+            SearchRequest(user_id=JOHN, text="Denver attractions", alpha=0.0)
+        )
+        assert semantic_only.items != () and social_only.items != ()
+        assert semantic_only.resolved["alpha"] == 1.0
+        assert social_only.resolved["alpha"] == 0.0
+        assert semantic_only.items != social_only.items
+
+    def test_strategy_override_reaches_response(self, session):
+        response = session.query(JOHN).text("attractions").strategy("cf").run()
+        assert response.resolved["strategy"] == "cf"
+        assert response.page.flat
+
+    def test_k_override_bounds_window(self, session):
+        response = session.run(
+            SearchRequest(user_id=JOHN, text="Denver attractions", k=3)
+        )
+        assert len(response.items) <= 3
+        assert response.page_info.page_size == 3
+
+    def test_grouping_override_forces_dimension(self, session):
+        response = session.run(SearchRequest(
+            user_id=ALEXIA, text="history", grouping="structural:city",
+        ))
+        assert response.page.chosen_dimension == "structural:city"
+        free = session.run(SearchRequest(user_id=ALEXIA, text="history"))
+        assert free.page.chosen_dimension == "endorser"
+
+    def test_unknown_grouping_dimension_raises(self, session):
+        with pytest.raises(PresentationError):
+            session.run(SearchRequest(
+                user_id=JOHN, text="denver", grouping="nope",
+            ))
+
+    def test_unknown_grouping_raises_even_on_empty_results(self, session):
+        with pytest.raises(PresentationError):
+            session.run(SearchRequest(
+                user_id=JOHN, text="zzz-no-such-term", grouping="nope",
+            ))
+
+    def test_flat_list_covers_explicit_window(self, session):
+        response = session.query(JOHN).text("Denver attractions").limit(15).run()
+        assert len(response.items) == 15
+        assert [e.item_id for e in response.page.flat] == list(response.items)
+        # unsized requests keep the configured flat cap (facade behavior)
+        default = session.run(SearchRequest(user_id=JOHN, text="Denver attractions"))
+        assert len(default.page.flat) == session.config.organizer.flat_k
+
+    def test_config_defaults_apply_when_unset(self, travel):
+        config = SessionConfig(
+            discovery=DiscoveryConfig(alpha=0.9, max_results=7)
+        )
+        session = Session.from_graph(travel.graph, config)
+        response = session.run(SearchRequest(user_id=JOHN, text="denver"))
+        assert response.resolved["alpha"] == 0.9
+        assert response.page_info.page_size == 7
+
+
+class TestIndexVsScanParity:
+    QUERIES = ("Denver attractions", "museum history", "baseball",
+               "family trip", "art galleries")
+
+    def test_identical_pages_both_paths(self, session):
+        for text in self.QUERIES:
+            indexed = session.run(SearchRequest(user_id=JOHN, text=text))
+            scanned = session.run(
+                SearchRequest(user_id=JOHN, text=text, use_index=False)
+            )
+            assert indexed.index_used and not scanned.index_used
+            assert indexed.items == scanned.items
+            assert pages_equal(indexed.page, scanned.page)
+
+    def test_structural_queries_take_scan_path(self, session):
+        response = session.run(SearchRequest(
+            user_id=JOHN, text="denver",
+            structural={"type": "destination"},
+        ))
+        assert not response.index_used
+
+    def test_recommendations_take_scan_path(self, session):
+        response = session.run(SearchRequest(user_id=JOHN))
+        assert not response.index_used
+        assert response.page.flat
+
+
+class TestBatchExecution:
+    def requests(self):
+        return [
+            SearchRequest(user_id=JOHN, text="Denver attractions", k=5),
+            SearchRequest(user_id=ALEXIA, text="history"),
+            SearchRequest(user_id=JOHN),  # recommendation
+            SearchRequest(user_id=JOHN, text="museum", alpha=1.0),
+        ]
+
+    def test_run_many_matches_sequential_run(self, session):
+        sequential = [session.run(r) for r in self.requests()]
+        batched = session.run_many(self.requests())
+        assert [r.items for r in batched] == [r.items for r in sequential]
+        for b, s in zip(batched, sequential):
+            assert pages_equal(b.page, s.page)
+
+    def test_run_many_with_thread_executor(self, session):
+        sequential = [session.run(r) for r in self.requests()]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            threaded = session.run_many(self.requests(), executor=pool)
+        assert [r.items for r in threaded] == [r.items for r in sequential]
+
+    def test_batch_keeps_state_warm(self, session):
+        session.run_many(self.requests())
+        session.run_many(self.requests())
+        assert session.stats.batches == 2
+        assert session.stats.tfidf_builds == 1
+        assert session.stats.index_builds == 1
+
+    def test_empty_batch(self, session):
+        assert session.run_many([]) == []
+
+
+class TestNetworkTopk:
+    def test_exact_index_matches_brute_force(self, travel):
+        from repro.workloads import TaggingSiteConfig, build_tagging_site
+        from repro.indexing import TaggingData
+
+        site = build_tagging_site(TaggingSiteConfig(
+            num_users=60, num_items=120, num_tags=15, seed=7,
+        ))
+        session = Session.from_graph(site.graph)
+        data = TaggingData.from_graph(session.graph)
+        user = data.users[0]
+        keywords = data.tag_vocab[:2]
+        expected = data.brute_force_topk(user, keywords, k=5)
+        results, stats = session.network_topk(user, keywords, k=5)
+        assert results == expected
+        assert stats.sorted_accesses >= 0
+        # warm second query reuses the built index
+        session.network_topk(user, keywords, k=5)
+        assert session.stats.network_index_builds == 1
+
+    def test_unknown_clustering_rejected(self, session):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            session.network_topk(JOHN, ["denver"], clustering="nope")

@@ -7,7 +7,7 @@ rests on.
 
 from __future__ import annotations
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core import (
     anti_semi_join,
@@ -59,8 +59,16 @@ class TestSemiJoinIdentities:
     @FAST
     def test_semijoin_distributes_over_right_union(self, pair):
         # G1 ⋉ (G2 ∪ G3) = (G1 ⋉ G2) ∪ (G1 ⋉ G3) on the link level.
+        #
+        # The law is sound only when G2 and G3 are in the same null-graph
+        # regime: Definition 6's special case matches a null graph through
+        # its *nodes* (degenerate links), so a null ∪ non-null union flips
+        # the null side into link-matching and legitimately drops its node
+        # matches — e.g. G2 = {node a} (null), G3 carrying a visit link:
+        # the union is non-null, and `a` no longer matches anything.
         g1, g2 = pair
         g3 = select_links(g1, {"type": "visit"})
+        assume(g2.is_null_graph() == g3.is_null_graph())
         lhs = semi_join(g1, union(g2, g3), ("src", "src"))
         rhs = union(
             semi_join(g1, g2, ("src", "src")),
