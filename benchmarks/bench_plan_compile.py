@@ -1,0 +1,223 @@
+"""Experiment P1 — the plan compiler: compile cost, cache, access paths.
+
+Three questions the plan-compilation redesign answers quantitatively:
+
+1. what does compiling a query cost, and what does the plan cache save
+   (cold compile vs. cache hit)?
+2. what does the compiled serving path cost next to PR 1's hand-written
+   eager pipeline (``SemanticRelevance.candidates``), at identical
+   results?
+3. where does the cost model's scan-vs-index crossover sit as keyword
+   selectivity varies — and does the chosen path actually win?
+
+Tables print via the ``report`` fixture; a machine-readable summary lands
+in ``BENCH_plan.json`` at the repo root.  Under ``--quick`` everything
+still runs (and the JSON is still written) but timing assertions are
+skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import Condition, Node, SocialContentGraph, input_graph
+from repro.discovery import parse_query
+from repro.discovery.relevance import SemanticRelevance
+from repro.indexing import SemanticItemIndex
+from repro.plan import QueryPlanner
+from repro.workloads import JOHN, TravelSiteConfig, build_travel_site
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_plan.json"
+
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def site(quick):
+    config = TravelSiteConfig(seed=42)
+    return build_travel_site(config)
+
+
+@pytest.fixture(scope="module")
+def planner(site):
+    planner = QueryPlanner(site.graph)
+    index = SemanticItemIndex(site.graph)
+    planner.attach_index(
+        "item", provider=lambda: index, scorer_provider=lambda: index.scorer
+    )
+    planner._bench_index = index  # share the scorer with the exprs below
+    return planner
+
+
+def deep_expr(scorer, width: int = 6):
+    """A deliberately deep plan: enough nodes that compilation has a cost."""
+    G = input_graph("G")
+    branches = []
+    for i in range(width):
+        branch = G.select_links({"type": "visit"}).select_links(
+            {"weight__ge": i / 10}
+        ).semi_join(G.select_nodes({"type": "user"}), ("src", "src"))
+        branches.append(branch)
+    plan = branches[0]
+    for branch in branches[1:]:
+        plan = plan.union(branch)
+    return plan.select_nodes(Condition({"type": "item"}, keywords="denver"),
+                             scorer)
+
+
+def test_cold_compile_vs_cache_hit(planner, report, benchmark, quick):
+    expr = deep_expr(planner._bench_index.scorer)
+    _ = planner.stats  # statistics priming out of the timing
+    rounds = 5 if quick else 200
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        planner.cache.clear()
+        planner.compile(expr)
+    cold = (time.perf_counter() - start) / rounds
+
+    planner.compile(expr)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        plan, hit = planner.compile(expr)
+        assert hit
+    warm = (time.perf_counter() - start) / rounds
+
+    benchmark(planner.compile, expr)
+    speedup = cold / warm if warm > 0 else float("inf")
+    RESULTS["compile"] = {
+        "cold_compile_ms": cold * 1e3,
+        "cache_hit_ms": warm * 1e3,
+        "speedup": speedup,
+    }
+    report(
+        "",
+        "=== Plan compilation: cold vs plan-cache hit ===",
+        f"  cold compile (optimize+lower): {cold * 1e6:8.1f} µs",
+        f"  plan-cache hit:                {warm * 1e6:8.1f} µs",
+        f"  speedup:                       {speedup:8.1f}x",
+    )
+    if not quick:
+        assert warm < cold
+
+
+def test_compiled_path_vs_handwritten(site, planner, report, quick):
+    """PR 1's eager semantic stage vs. the compiled plan path, same scores."""
+    semantic = SemanticRelevance(site.graph,
+                                 scorer=planner._bench_index.scorer)
+    queries = [parse_query(JOHN, t) for t in
+               ("Denver attractions", "museum history", "baseball",
+                "family trip", "art galleries")]
+    # parity first: identical score maps on every query
+    for query in queries:
+        compiled = planner.semantic_candidates(
+            query, scorer=planner._bench_index.scorer
+        )
+        assert compiled.scores() == semantic.candidates(query).scores
+
+    rounds = 2 if quick else 30
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            semantic.candidates(query)
+    handwritten = (time.perf_counter() - start) / rounds
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            planner.semantic_candidates(
+                query, scorer=planner._bench_index.scorer
+            )
+    compiled_time = (time.perf_counter() - start) / rounds
+
+    ratio = handwritten / compiled_time if compiled_time > 0 else float("inf")
+    RESULTS["serving"] = {
+        "handwritten_ms": handwritten * 1e3,
+        "compiled_ms": compiled_time * 1e3,
+        "handwritten_over_compiled": ratio,
+    }
+    report(
+        "",
+        "=== Semantic stage: hand-written eager vs compiled plan (5-query mix) ===",
+        f"  hand-written scan pipeline:  {handwritten * 1e3:8.2f} ms",
+        f"  compiled (cost-chosen path): {compiled_time * 1e3:8.2f} ms",
+        f"  hand-written / compiled:     {ratio:8.2f}x",
+    )
+
+
+def selectivity_site(num_items: int, match_fraction: float) -> SocialContentGraph:
+    """Items where ``needle`` appears in a controlled fraction of texts."""
+    g = SocialContentGraph()
+    matching = int(num_items * match_fraction)
+    for i in range(num_items):
+        text = "filler words everywhere" + (" needle" if i < matching else "")
+        g.add_node(Node(i, type="item", name=f"spot {i}", keywords=text))
+    return g
+
+
+def test_scan_vs_index_crossover(report, quick):
+    """Sweep selectivity; record what the model picks and what actually wins."""
+    num_items = 200 if quick else 3000
+    rounds = 3 if quick else 30
+    sweep = []
+    for fraction in (0.01, 0.05, 0.2, 0.4, 0.6, 0.9):
+        graph = selectivity_site(num_items, fraction)
+        index = SemanticItemIndex(graph)
+        planner = QueryPlanner(graph)
+        planner.attach_index(
+            "item", provider=lambda index=index: index,
+            scorer_provider=lambda index=index: index.scorer,
+        )
+        expr = input_graph("G").select_nodes(
+            Condition({"type": "item"}, keywords="needle"), index.scorer
+        )
+        auto_plan, _ = planner.compile(expr, access="auto")
+        chosen = auto_plan.access_path
+
+        timings = {}
+        for access in ("scan", "index"):
+            planner.execute(expr, access=access)  # prime (index build etc.)
+            start = time.perf_counter()
+            for _ in range(rounds):
+                planner.execute(expr, access=access)
+            timings[access] = (time.perf_counter() - start) / rounds
+        sweep.append({
+            "match_fraction": fraction,
+            "chosen": chosen,
+            "scan_ms": timings["scan"] * 1e3,
+            "index_ms": timings["index"] * 1e3,
+        })
+
+    RESULTS["selectivity_sweep"] = {"num_items": num_items, "points": sweep}
+    lines = [
+        "",
+        f"=== Access path vs selectivity ({num_items} items) ===",
+        "  match%   chosen    scan ms   index ms",
+    ]
+    for point in sweep:
+        lines.append(
+            f"  {point['match_fraction'] * 100:5.0f}   {point['chosen']:>6}"
+            f"   {point['scan_ms']:8.2f}  {point['index_ms']:8.2f}"
+        )
+    report(*lines)
+
+    # the model must actually switch across the sweep
+    assert {p["chosen"] for p in sweep} == {"scan", "index"}
+    if not quick:
+        # where the model picked the index, the index must genuinely win
+        for point in sweep:
+            if point["chosen"] == "index" and point["match_fraction"] <= 0.05:
+                assert point["index_ms"] < point["scan_ms"]
+
+
+def test_emit_bench_json(report):
+    """Write the machine-readable summary (runs last in file order)."""
+    OUTPUT.write_text(json.dumps(RESULTS, indent=2) + "\n")
+    report("", f"BENCH_plan.json written: {OUTPUT}")
+    assert OUTPUT.exists()
+    assert {"compile", "serving", "selectivity_sweep"} <= RESULTS.keys()

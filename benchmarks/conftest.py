@@ -18,6 +18,26 @@ from repro.workloads import (
 )
 
 
+def pytest_addoption(parser):
+    """``--quick``: smoke mode for CI — tiny workloads, no timing asserts.
+
+    Benches honoring it (via the ``quick`` fixture) still exercise every
+    code path and still emit their JSON artifacts; they just stop claiming
+    anything about wall-clock on shared runners.
+    """
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="benchmark smoke mode: assert benches run, not timings",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture
 def report(capsys):
     """Print lines straight to the terminal, bypassing capture."""

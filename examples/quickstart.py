@@ -7,7 +7,9 @@ Walks the things a new user of the library does first:
 2. manipulate it with the paper's algebra operators;
 3. stand up a warm :class:`~repro.api.Session` and run structured queries
    (fluent builder, per-request overrides, pagination);
-4. (migration note) the old one-shot facade calls still work.
+4. EXPLAIN a request: see the compiled physical plan, the access path the
+   cost model chose, and estimated vs. actual cardinalities per operator;
+5. (migration note) the old one-shot facade calls still work.
 
 Run:  python examples/quickstart.py
 """
@@ -123,7 +125,45 @@ print(f"\nbatch of 3 requests -> {[len(r.items) for r in batch]} results;"
       f" tf-idf built {session.stats.tfidf_builds}x")
 
 # ---------------------------------------------------------------------------
-# 4. Migration note: the classic facade still works, now session-backed.
+# 4. EXPLAIN: every query is compiled into an optimizable physical plan.
+# ---------------------------------------------------------------------------
+# The session never hand-executes a query: the semantic stage is built as
+# a σN⟨C,S⟩ algebra plan, rule-optimized, and lowered to physical
+# operators, with the scan-vs-index choice made by a cost model over
+# GraphStats.  `.explain()` attaches the executed plan to the response.
+explained = (session.query(1)
+             .text("denver baseball")
+             .explain()
+             .run())
+plan = explained.plan
+print("\nEXPLAIN session.query(John).text('denver baseball'):")
+print("  " + plan.text.replace("\n", "\n  "))
+
+# Per-operator estimated vs. actual cardinalities — the feedback a
+# learning cost model would consume:
+for op in plan.operators:
+    actual = f"{op.actual.nodes:.0f} nodes" if op.actual else "-"
+    print(f"  {'  ' * op.depth}{op.op}: estimated ~{op.estimated.nodes:.0f}"
+          f" nodes, actual {actual}")
+
+# The access decision is cost-based, and forcing the scan path yields the
+# *identical* page (the index's parity contract):
+print(f"  access path: {plan.access_path}"
+      f" ({plan.decisions[0].reason if plan.decisions else 'no choice'})")
+forced_scan = (session.query(1).text("denver baseball")
+               .use_index(False).explain().run())
+assert list(forced_scan.items) == list(explained.items)
+print(f"  forced scan returns the same page: {list(forced_scan.items)}")
+
+# Compiled plans cache per shape: re-running the request skips the
+# optimizer (see session.stats.plan_cache_hits), and any graph change
+# invalidates every cached plan at once.
+session.query(1).text("denver baseball").run()
+print(f"  plan compiles: {session.stats.plan_compiles},"
+      f" plan-cache hits: {session.stats.plan_cache_hits}")
+
+# ---------------------------------------------------------------------------
+# 5. Migration note: the classic facade still works, now session-backed.
 #
 #    scope = SocialScope.from_graph(graph)
 #    scope.search(1, "denver baseball", k=10)  == session.query(1)

@@ -68,6 +68,11 @@ class QueryBuilder:
         self._fields["use_index"] = enabled
         return self
 
+    def explain(self, enabled: bool = True) -> "QueryBuilder":
+        """Attach the executed physical plan (EXPLAIN) to the response."""
+        self._fields["explain"] = enabled
+        return self
+
     # -- presentation ----------------------------------------------------------
     def group_by(self, dimension: str) -> "QueryBuilder":
         """Force one grouping dimension instead of the §7.1 choice."""

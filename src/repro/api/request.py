@@ -21,6 +21,7 @@ from typing import Any, Iterator, Mapping
 
 from repro.core import Condition, Id, as_condition
 from repro.errors import QueryError
+from repro.plan import PlanExplain
 from repro.presentation import ResultPage
 
 
@@ -53,9 +54,13 @@ class SearchRequest:
     page_size: int | None = None
     #: opaque continuation token; takes precedence over ``page``
     cursor: str | None = None
-    #: route keyword scoping through the semantic index (None = auto:
-    #: indexed when the query is keyword-only, scan otherwise)
+    #: route keyword scoping through the semantic index (None = auto: the
+    #: compiler's cost model chooses; True forces the index where eligible;
+    #: False refuses it)
     use_index: bool | None = None
+    #: attach the executed physical plan (per-operator estimated vs. actual
+    #: cardinalities, rewrites, access path) to the response
+    explain: bool = False
 
     def __post_init__(self) -> None:
         if self.user_id is None:
@@ -130,6 +135,8 @@ class SearchResponse:
     index_used: bool = False
     #: resolved evaluation parameters (strategy, alpha, window)
     resolved: Mapping[str, Any] = field(default_factory=dict)
+    #: the executed physical plan (only under ``request.explain=True``)
+    plan: PlanExplain | None = None
 
     def __iter__(self) -> Iterator:
         """Iterate the window's ranked flat entries."""

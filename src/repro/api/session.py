@@ -9,10 +9,14 @@ Information Organizer on top — and serves :class:`SearchRequest` after
   direct Data Manager writes) set a dirty flag; the next query retargets
   the existing components and invalidates only the per-graph caches
   (tf-idf corpus, search indexes) instead of reconstructing the layers;
-* **index-backed candidates** — keyword-only queries route semantic
-  scoping through a lazily built
-  :class:`~repro.indexing.semantic.SemanticItemIndex` (posting lists
-  instead of a full item scan), with a guaranteed-identical score map;
+* **compiled serving** — every request's semantic scoping stage is built
+  as a σN⟨C,S⟩ algebra plan and executed through the physical compiler
+  (:mod:`repro.plan`): rule-optimized, lowered with a cost-based
+  scan-vs-index access-path choice over the lazily built
+  :class:`~repro.indexing.semantic.SemanticItemIndex` (guaranteed-identical
+  score map), compiled once per plan shape into a generation-stamped plan
+  cache, and profiled per operator for first-class EXPLAIN
+  (``SearchRequest.explain=True`` → ``SearchResponse.plan``);
 * **deterministic pagination** — the full combined ranking is a total
   order, so ``page``/``cursor`` windows never duplicate or drop items;
 * **batch execution** — :meth:`Session.run_many` evaluates many requests
@@ -29,7 +33,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, NamedTuple, Sequence
 
 from repro.analysis import ContentAnalyzer
 from repro.api.builder import QueryBuilder
@@ -60,6 +64,13 @@ from repro.indexing import (
 )
 from repro.indexing.topk import QueryStats
 from repro.management import DataManager, RemoteSocialSite
+from repro.plan import (
+    INDEX,
+    PlanExecution,
+    QueryPlanner,
+    SCAN,
+    explain_execution,
+)
 from repro.presentation import (
     HierarchicalPresenter,
     InformationOrganizer,
@@ -95,6 +106,22 @@ class SessionStats:
     index_queries: int = 0
     #: queries that fell back to the scan path
     scan_queries: int = 0
+    #: physical plans compiled (plan-cache misses)
+    plan_compiles: int = 0
+    #: queries served by an already-compiled plan
+    plan_cache_hits: int = 0
+
+
+class _Evaluation(NamedTuple):
+    """One request's evaluated state, shared by run/discover/explain."""
+
+    query: Query
+    ranking: object
+    window: list
+    offset: int
+    size: int
+    total: int
+    execution: PlanExecution
 
 
 class Session:
@@ -120,6 +147,14 @@ class Session:
         self._network_indexes: dict[str, object] = {}
         self.discoverer = InformationDiscoverer(
             self.analyzer.graph, config=self.config.discovery
+        )
+        # Declare the session's semantic index to the compiler: provider
+        # and scorer stay lazy (nothing builds until a plan takes the
+        # index path), but the cost model now has the choice.
+        self.discoverer.planner.attach_index(
+            self.discoverer.semantic.item_type,
+            provider=lambda: self.semantic_index,
+            scorer_provider=lambda: self.discoverer.semantic.scorer,
         )
         self.organizer = InformationOrganizer(
             self.analyzer.graph, config=self.config.organizer
@@ -202,6 +237,12 @@ class Session:
         self.epoch += 1
         self.stats.refreshes += 1
         self._dirty = False
+
+    # ---------------------------------------------------------------- planning
+    @property
+    def planner(self) -> QueryPlanner:
+        """The session's query planner (owned by the discoverer)."""
+        return self.discoverer.planner
 
     # ---------------------------------------------------------------- indexes
     @property
@@ -286,10 +327,12 @@ class Session:
         batch = list(requests)
         self._ensure_fresh()
         if batch:
-            # Prime lazy shared state while still single-threaded.  The
-            # index check is a cheap over-approximation of _wants_index
-            # (no tokenization): a spurious build is harmless priming.
+            # Prime lazy shared state while still single-threaded: the
+            # tf-idf corpus, the planner's statistics, and — when any
+            # request may take the index path (a cheap over-approximation
+            # of the compiler's eligibility check) — the semantic index.
             _ = self.discoverer.semantic.scorer
+            _ = self.planner.stats
             if any(
                 r.use_index is not False and r.text and r.structural is None
                 for r in batch
@@ -308,16 +351,18 @@ class Session:
     def _parse(request: SearchRequest) -> Query:
         return parse_query(request.user_id, request.text, request.structural)
 
-    def _wants_index(self, request: SearchRequest, query: Query) -> bool:
-        """Index routing: keyword-only queries, unless explicitly refused.
+    @staticmethod
+    def _access_mode(request: SearchRequest) -> str:
+        """Map the request's ``use_index`` onto a compiler access mode.
 
-        Structural predicates scope beyond the indexed item population, so
-        they always take the scan path — even under ``use_index=True`` —
-        keeping index and scan results identical by construction.
+        ``None`` lets the cost model choose; ``True`` forces the index
+        wherever *eligible* — structural predicates scope beyond the
+        indexed item population, so the compiler still scans them, keeping
+        index and scan results identical by construction.
         """
-        if request.use_index is False:
-            return False
-        return bool(query.keywords) and query.structural is None
+        if request.use_index is None:
+            return "auto"
+        return INDEX if request.use_index else SCAN
 
     def _window(self, request: SearchRequest) -> tuple[int, int]:
         """Resolve (offset, size) from page/page_size/k or a cursor.
@@ -353,36 +398,43 @@ class Session:
             items = items[: request.k]
         return items
 
-    def _evaluate(self, request: SearchRequest):
-        """The shared evaluation pipeline: parse → window → rank → cut.
+    def _evaluate(self, request: SearchRequest) -> "_Evaluation":
+        """The shared evaluation pipeline: parse → compile → rank → cut.
 
-        Both :meth:`run` and :meth:`discover` go through here, so index
-        routing, budgeting and windowing cannot drift between them.
-        Returns (query, ranking, window, offset, size, total, index_used).
+        Both :meth:`run` and :meth:`discover` go through here, so plan
+        compilation, budgeting and windowing cannot drift between them.
+        The semantic stage is a compiled physical plan — access-path
+        routing lives in the compiler's cost model, not here.
         """
         query = self._parse(request)
         offset, size = self._window(request)
-        semantic = None
-        index_used = False
-        if self._wants_index(request, query):
-            semantic = SemanticResult(
-                scores=self.semantic_index.candidates(query.keywords)
-            )
-            index_used = True
+        execution = self.discoverer.semantic_candidates(
+            query, access=self._access_mode(request)
+        )
         ranking = self.discoverer.rank(
             query,
             strategy=request.strategy,
             alpha=request.alpha,
-            semantic=semantic,
+            semantic=SemanticResult(scores=execution.scores()),
         )
         ranked = self._budgeted(ranking, request)
         window = ranked[offset : offset + size]
-        return query, ranking, window, offset, size, len(ranked), index_used
+        return _Evaluation(
+            query=query,
+            ranking=ranking,
+            window=window,
+            offset=offset,
+            size=size,
+            total=len(ranked),
+            execution=execution,
+        )
 
     def _run_prepared(self, request: SearchRequest) -> SearchResponse:
-        query, ranking, window, offset, size, total, index_used = (
-            self._evaluate(request)
+        ev = self._evaluate(request)
+        query, window, offset, size, total = (
+            ev.query, ev.window, ev.offset, ev.size, ev.total,
         )
+        ranking, index_used = ev.ranking, ev.execution.used_index
         msg = assemble_msg(
             self.graph, query, window, ranking.social,
             ranking.used_expert_fallback,
@@ -415,6 +467,10 @@ class Session:
                 self.stats.index_queries += 1
             else:
                 self.stats.scan_queries += 1
+            if ev.execution.cache_hit:
+                self.stats.plan_cache_hits += 1
+            else:
+                self.stats.plan_compiles += 1
             self.stats.tfidf_builds = self.discoverer.semantic.builds
         return SearchResponse(
             request=request,
@@ -430,18 +486,17 @@ class Session:
                 "size": size,
                 "epoch": self.epoch,
             },
+            plan=explain_execution(ev.execution) if request.explain else None,
         )
 
     # ---------------------------------------------------- discovery passthrough
     def discover(self, request: SearchRequest) -> MeaningfulSocialGraph:
         """Evaluate a request only as far as the MSG (no presentation)."""
         self._ensure_fresh()
-        query, ranking, window, _offset, _size, _total, _index_used = (
-            self._evaluate(request)
-        )
+        ev = self._evaluate(request)
         return assemble_msg(
-            self.graph, query, window, ranking.social,
-            ranking.used_expert_fallback,
+            self.graph, ev.query, ev.window, ev.ranking.social,
+            ev.ranking.used_expert_fallback,
         )
 
     def explore(self, request: SearchRequest) -> HierarchicalPresenter:

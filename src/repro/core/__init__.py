@@ -62,7 +62,7 @@ from repro.core.conditions import (
     TruePredicate,
     as_condition,
 )
-from repro.core.expr import input_graph, literal
+from repro.core.expr import input_graph, iter_plan_nodes, literal, plan_key, same_expr
 from repro.core.graph import Id, Link, Node, SocialContentGraph, graph_from_edges
 from repro.core.optimizer import decompose_pattern_aggregation, optimize
 from repro.core.patterns import (
@@ -137,6 +137,7 @@ __all__ = [
     "figure2_collaborative_filtering", "recommendations_from",
     # plans
     "input_graph", "literal", "optimize", "decompose_pattern_aggregation",
+    "plan_key", "same_expr", "iter_plan_nodes",
     "GraphStats",
     # serialization
     "graph_to_dict", "graph_from_dict",

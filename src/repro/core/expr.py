@@ -65,13 +65,34 @@ class Expr:
     ) -> SocialContentGraph:
         """Evaluate the plan against named input graphs.
 
-        Shared sub-expressions (same object) are computed once.
+        Shared sub-expressions (same object) are computed once.  Without
+        an explicit *_cache*, the returned graph never aliases an input or
+        literal graph — identity plans (``input(G)``, or rewrites like
+        ``G ∪ G ⇒ G``) hand back a copy — so callers may mutate the result
+        without poisoning the environment or any cached plan state.
+        Supplying *_cache* opts into raw shared results: entries (and the
+        return value) may alias environment graphs and must be treated as
+        read-only.
         """
-        cache = _cache if _cache is not None else {}
+        if _cache is not None:
+            return self._eval(env, _cache)
+        result = self._eval(env, {})
+        if any(result is graph for graph in env.values()) or any(
+            isinstance(node, LiteralE) and result is node.graph
+            for node in iter_plan_nodes(self)
+        ):
+            result = result.copy()
+        return result
+
+    def _eval(
+        self,
+        env: Mapping[str, SocialContentGraph],
+        cache: dict[int, SocialContentGraph],
+    ) -> SocialContentGraph:
         key = id(self)
         if key in cache:
             return cache[key]
-        inputs = [child.evaluate(env, cache) for child in self.children()]
+        inputs = [child._eval(env, cache) for child in self.children()]
         result = self._compute(inputs)
         cache[key] = result
         return result
@@ -169,7 +190,7 @@ class InputE(Expr):
             raise ExpressionError("input takes no children")
         return self
 
-    def evaluate(self, env, _cache=None):
+    def _eval(self, env, cache):
         if self.name not in env:
             raise ExpressionError(f"no input graph named {self.name!r} supplied")
         return env[self.name]
@@ -192,7 +213,7 @@ class LiteralE(Expr):
     def with_children(self, *children: Expr) -> "LiteralE":
         return self
 
-    def evaluate(self, env, _cache=None):
+    def _eval(self, env, cache):
         return self.graph
 
     def estimate(self, stats: GraphStats) -> Card:
@@ -563,3 +584,80 @@ def same_expr(a: Expr, b: Expr) -> bool:
             return False
     ca, cb = a.children(), b.children()
     return len(ca) == len(cb) and all(same_expr(x, y) for x, y in zip(ca, cb))
+
+
+def iter_plan_nodes(expr: Expr):
+    """Yield every node of the plan DAG once (pre-order, dedup by id)."""
+    seen: set[int] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def _callable_ids(predicate: Any) -> tuple:
+    """Identity tokens for opaque callables nested in a predicate tree.
+
+    Predicate ``repr`` is structural for the declarative predicate classes,
+    but a :class:`~repro.core.conditions.Lambda` renders only its label —
+    two different functions under the same label must not collide in a
+    cache key, so their identities are folded in explicitly.
+    """
+    from repro.core.conditions import And, Lambda, Not, Or
+
+    if isinstance(predicate, Lambda):
+        return (id(predicate.fn),)
+    if isinstance(predicate, (And, Or)):
+        return tuple(t for p in predicate.parts for t in _callable_ids(p))
+    if isinstance(predicate, Not):
+        return _callable_ids(predicate.inner)
+    return ()
+
+
+def _param_key(value: Any) -> Any:
+    """A hashable token for one plan-node parameter.
+
+    Plain data keys by value; conditions key by their structural ``repr``
+    (plus identities of any embedded callables); everything else — scorers,
+    aggregate functions, path patterns, graphs — keys by object identity,
+    mirroring :func:`same_expr`'s conservative parameter comparison.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, tuple):
+        return tuple(_param_key(v) for v in value)
+    if isinstance(value, Condition):
+        lambdas = tuple(t for p in value.predicates for t in _callable_ids(p))
+        return ("cond", repr(value), lambdas)
+    return ("obj", id(value))
+
+
+def plan_key(expr: Expr) -> tuple:
+    """Hashable structural key of a plan (the cacheable form of `same_expr`).
+
+    Two plans with equal keys are observationally equivalent: they apply
+    the same operators with the same parameters to the same inputs.  Unlike
+    :func:`same_expr`, independently-built but identical conditions compare
+    equal (their structural ``repr`` is the key), which is what lets a plan
+    cache recognise a repeated request; opaque parameters (scoring
+    functions, aggregate functions, literal graphs) still key by identity,
+    so a key can never falsely match across different semantics.
+    """
+    if isinstance(expr, InputE):
+        return ("input", expr.name)
+    if isinstance(expr, LiteralE):
+        return ("literal", id(expr.graph))
+    params = tuple(
+        (name, _param_key(value))
+        for name, value in sorted(vars(expr).items())
+        if name not in ("child", "left", "right")
+    )
+    return (
+        type(expr).__name__,
+        params,
+        tuple(plan_key(child) for child in expr.children()),
+    )

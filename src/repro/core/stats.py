@@ -17,8 +17,11 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from typing import Sequence
+
 from repro.core.conditions import AttrCompare, AttrEquals, Condition, HasType
 from repro.core.graph import SocialContentGraph
+from repro.core.text import term_variants, tokenize
 
 #: Selectivity assumed for a structural predicate we know nothing about.
 DEFAULT_PREDICATE_SELECTIVITY = 0.5
@@ -36,14 +39,26 @@ class GraphStats:
     num_links: int = 0
     node_types: Counter = field(default_factory=Counter)
     link_types: Counter = field(default_factory=Counter)
+    #: per-term document frequency over node texts (distinct tokens per
+    #: node), collected only under ``with_terms=True`` — it costs a
+    #: tokenisation pass, and only keyword-selectivity consumers (the
+    #: physical compiler's scan-vs-index cost model) need it.
+    term_doc_freq: Counter = field(default_factory=Counter)
+    #: number of node documents the term histogram was collected over
+    term_population: int = 0
 
     @classmethod
-    def of(cls, graph: SocialContentGraph) -> "GraphStats":
+    def of(cls, graph: SocialContentGraph, with_terms: bool = False) -> "GraphStats":
         """Collect statistics from a graph in one pass."""
         stats = cls(num_nodes=graph.num_nodes, num_links=graph.num_links)
         for node in graph.nodes():
             for t in node.types:
                 stats.node_types[t] += 1
+            if with_terms:
+                for token in set(tokenize(node.text())):
+                    stats.term_doc_freq[token] += 1
+        if with_terms:
+            stats.term_population = graph.num_nodes
         for link in graph.links():
             for t in link.types:
                 stats.link_types[t] += 1
@@ -58,13 +73,37 @@ class GraphStats:
             return 0.0
         return min(1.0, histogram.get(type_name, 0) / total)
 
+    def keyword_match_fraction(self, keywords: Sequence[str]) -> float:
+        """Estimated fraction of nodes matching ≥ 1 keyword (variant-aware).
+
+        Uses the term histogram when collected (``of(..., with_terms=True)``):
+        each term's document frequency is summed over its singular/plural
+        variants, and terms combine under the independence assumption —
+        ``1 - Π(1 - dfᵢ/N)``.  Without term statistics, falls back to the
+        flat :data:`KEYWORD_SELECTIVITY` constant.
+        """
+        if not keywords:
+            return 1.0
+        if not self.term_doc_freq or self.term_population <= 0:
+            return KEYWORD_SELECTIVITY
+        population = self.term_population
+        miss = 1.0
+        for term in keywords:
+            df = sum(
+                self.term_doc_freq.get(variant, 0)
+                for variant in dict.fromkeys(term_variants(term))
+            )
+            miss *= 1.0 - min(df, population) / population
+        return max(0.0, min(1.0, 1.0 - miss))
+
     def condition_selectivity(self, condition: Condition, of_links: bool) -> float:
         """Estimated fraction of elements satisfying *condition*.
 
         Type-equality predicates use the type histogram; other predicates
         fall back to :data:`DEFAULT_PREDICATE_SELECTIVITY`; keyword scopes
-        multiply in :data:`KEYWORD_SELECTIVITY`.  Predicates are assumed
-        independent (the usual System-R simplification).
+        multiply in the keyword match fraction (term-histogram-driven when
+        collected, :data:`KEYWORD_SELECTIVITY` otherwise).  Predicates are
+        assumed independent (the usual System-R simplification).
         """
         selectivity = 1.0
         for predicate in condition.predicates:
@@ -82,7 +121,7 @@ class GraphStats:
             else:
                 selectivity *= DEFAULT_PREDICATE_SELECTIVITY
         if condition.has_keywords:
-            selectivity *= KEYWORD_SELECTIVITY
+            selectivity *= self.keyword_match_fraction(condition.keywords)
         return max(0.0, min(1.0, selectivity))
 
 

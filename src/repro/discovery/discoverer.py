@@ -9,7 +9,10 @@ Pipeline per query:
 
 1. parse (:mod:`repro.discovery.query`) and classify
    (:mod:`repro.discovery.classify`) the text;
-2. semantic relevance: scope + score candidates (σN with tf-idf);
+2. semantic relevance: scope + score candidates — built as a σN⟨C,S⟩
+   algebra plan and executed through the physical compiler
+   (:mod:`repro.plan`), which picks the access path (index vs. scan)
+   cost-wise and caches the compiled plan;
 3. connection selection: pick the friend subset fit for the query, falling
    back to topic experts (Example 2);
 4. social relevance: run the configured strategy (friend endorsements by
@@ -36,6 +39,7 @@ from repro.discovery.strategies import (
     SocialStrategy,
 )
 from repro.errors import DiscoveryError
+from repro.plan import PlanExecution, QueryPlanner
 
 
 @dataclass
@@ -88,17 +92,22 @@ class InformationDiscoverer:
         self.classifier = QueryClassifier()
         self.semantic = SemanticRelevance(graph, item_type=item_type)
         self.connections = ConnectionSelector(graph)
+        #: compiles every query's scoping plan; sessions attach their
+        #: semantic index here so the cost model can choose it
+        self.planner = QueryPlanner(graph)
 
     def refresh(self, graph: SocialContentGraph) -> None:
         """Point the pipeline at a (possibly new) graph in place.
 
         The incremental alternative to reconstructing the discoverer:
-        stateless helpers are retargeted, and the semantic layer's cached
-        corpus state is invalidated rather than eagerly rebuilt.
+        stateless helpers are retargeted, the semantic layer's cached
+        corpus state is invalidated rather than eagerly rebuilt, and the
+        planner bumps its generation (stale compiled plans die on lookup).
         """
         self.graph = graph
         self.semantic.invalidate(graph)
         self.connections.graph = graph
+        self.planner.refresh(graph)
 
     def strategy(self, name: str | None = None) -> SocialStrategy:
         """Resolve a strategy by name (configured default when None)."""
@@ -149,6 +158,24 @@ class InformationDiscoverer:
             ranking.used_expert_fallback,
         )
 
+    def semantic_candidates(
+        self, query: Query, access: str = "auto"
+    ) -> PlanExecution:
+        """Execute the query's σN scoping plan through the compiler.
+
+        *access* constrains the physical choice (``"auto"``/``"index"``/
+        ``"scan"``); eligibility — keyword-only scope over the indexed
+        population, shared scorer — is enforced by the compiler, so a
+        forced ``"index"`` on an ineligible query still scans.
+        """
+        scorer = self.semantic.scorer if query.keywords else None
+        return self.planner.semantic_candidates(
+            query,
+            item_type=self.semantic.item_type,
+            scorer=scorer,
+            access=access,
+        )
+
     def rank(
         self,
         query: Query,
@@ -158,12 +185,17 @@ class InformationDiscoverer:
     ) -> RankedDiscovery:
         """Compute the full combined ranking for an already-parsed query.
 
-        Per-item combined scores are independent of any result limit
-        (normalisation runs over the full candidate set), so callers may
-        window the returned list freely without reordering artifacts.
+        The semantic stage runs as a compiled physical plan unless the
+        caller injects a precomputed *semantic* score map (the session
+        does, to thread one execution's EXPLAIN profile through).  Per-item
+        combined scores are independent of any result limit (normalisation
+        runs over the full candidate set), so callers may window the
+        returned list freely without reordering artifacts.
         """
         semantic_result = (
-            semantic if semantic is not None else self.semantic.candidates(query)
+            semantic
+            if semantic is not None
+            else SemanticResult(scores=self.semantic_candidates(query).scores())
         )
         candidates = set(semantic_result.scores)
 

@@ -1,0 +1,73 @@
+"""Physical planning: logical → physical compilation, cost, cache, EXPLAIN.
+
+The paper positions the social content algebra as "the foundation for the
+optimization of" analysis and discovery; this package is where that
+foundation carries weight.  Every serving query — ``Session.run``,
+``InformationDiscoverer.discover_query`` — builds a logical
+:class:`~repro.core.expr.Expr` plan and executes it through here:
+
+* :mod:`repro.plan.compiler` — rule-optimize, then lower each logical
+  operator to a physical one, choosing access paths (semantic-index
+  keyword selection vs. full scan) from a :class:`CostModel` fed by
+  :class:`~repro.core.stats.GraphStats`;
+* :mod:`repro.plan.physical` — the executable operators, self-profiling
+  with per-operator actual cardinalities;
+* :mod:`repro.plan.cache` — a generation-stamped LRU of compiled plans,
+  invalidated wholesale by any graph change;
+* :mod:`repro.plan.planner` — the per-session service tying the three
+  together;
+* :mod:`repro.plan.explain` — the frozen EXPLAIN view responses carry.
+
+New physical strategies (more indexes, parallel operators, sharded scans)
+slot in as new :class:`PhysicalOp` subclasses plus a lowering rule — no
+serving-path rewrite required.
+"""
+
+from repro.plan.cache import CacheStats, PlanCache
+from repro.plan.compiler import (
+    ACCESS_MODES,
+    AccessDecision,
+    CostModel,
+    IndexBinding,
+    compile_plan,
+)
+from repro.plan.explain import PlanExplain, explain_execution
+from repro.plan.physical import (
+    INDEX,
+    SCAN,
+    ExecContext,
+    IndexKeywordScanOp,
+    InputOp,
+    LiteralOp,
+    OperatorProfile,
+    PhysicalOp,
+    PhysicalPlan,
+    PlanExecution,
+    ScanOp,
+)
+from repro.plan.planner import BASE_GRAPH, QueryPlanner
+
+__all__ = [
+    "ACCESS_MODES",
+    "AccessDecision",
+    "BASE_GRAPH",
+    "CacheStats",
+    "CostModel",
+    "ExecContext",
+    "INDEX",
+    "IndexBinding",
+    "IndexKeywordScanOp",
+    "InputOp",
+    "LiteralOp",
+    "OperatorProfile",
+    "PhysicalOp",
+    "PhysicalPlan",
+    "PlanCache",
+    "PlanExecution",
+    "PlanExplain",
+    "QueryPlanner",
+    "SCAN",
+    "ScanOp",
+    "compile_plan",
+    "explain_execution",
+]

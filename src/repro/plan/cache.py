@@ -1,0 +1,95 @@
+"""A version-keyed LRU cache of compiled physical plans.
+
+Keys are structural (:func:`repro.core.expr.plan_key` plus the access
+preference), so a repeated request — same condition, same scorer, same
+shape — skips the optimizer and lowering entirely.  Every entry is stamped
+with the generation of the graph it was compiled against; a lookup under
+any other generation misses, which is how Data-Manager writes and session
+refreshes invalidate stale plans without eagerly walking the cache.
+
+Entries hold *plans*, never results: a cached plan re-executes against the
+live graph, and :meth:`PhysicalPlan.execute` guarantees its result aliases
+no shared state, so cache hits cannot observe a caller's mutations.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.plan.physical import PhysicalPlan
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting for one plan cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Thread-safe LRU of ``key → (generation, PhysicalPlan)``."""
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize!r}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, tuple[Any, PhysicalPlan]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, generation: Any) -> PhysicalPlan | None:
+        """The cached plan for *key* compiled under *generation*, or None.
+
+        A generation mismatch counts as a miss and drops the stale entry.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == generation:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry[1]
+            if entry is not None:
+                del self._entries[key]  # stale: compiled against an old graph
+            self._misses += 1
+            return None
+
+    def put(self, key: Hashable, generation: Any, plan: PhysicalPlan) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail past maxsize."""
+        with self._lock:
+            self._entries[key] = (generation, plan)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+            )

@@ -1,0 +1,225 @@
+"""Logical → physical compilation with cost-based access-path selection.
+
+``compile_plan`` is the single door between the algebra and execution:
+
+1. the logical plan is rewritten by the rule optimizer
+   (:func:`repro.core.optimizer.optimize` — fusion, pushdown, Lemma 1,
+   idempotence, empty-folding);
+2. each logical node is lowered to a physical operator, preserving DAG
+   sharing;
+3. where an alternative access path exists — keyword selection over the
+   indexed item population — the cost model picks scan or index from
+   :class:`~repro.core.stats.GraphStats` estimates (§6's access-path
+   trade-off made a query-time, cost-driven choice).
+
+The cost model is work-based, not output-based: both paths produce the
+same cardinality, but a scan *tests* every node of the input (predicate
+evaluation + tokenisation), while the index touches only the posting
+entries of matching items — at a higher per-element price (hash probes,
+score recomputation).  The crossover is therefore a selectivity threshold:
+rare terms go to the index, terms matching most of the population stay on
+the sequential scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.conditions import AttrEquals, Condition, HasType
+from repro.core.expr import Expr, InputE, LiteralE, SelectNodesE, plan_key
+from repro.core.optimizer import DEFAULT_RULES, optimize
+from repro.core.stats import GraphStats
+from repro.errors import QueryError
+from repro.plan.physical import (
+    INDEX,
+    SCAN,
+    IndexKeywordScanOp,
+    InputOp,
+    LiteralOp,
+    PhysicalOp,
+    PhysicalPlan,
+    ScanOp,
+)
+
+#: Valid access-path preferences for compilation.
+ACCESS_MODES = ("auto", INDEX, SCAN)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-element work constants for the scan-vs-index choice.
+
+    ``scan_cost_per_node`` prices one sequential predicate test (attribute
+    lookups plus text tokenisation); ``index_cost_per_posting`` prices one
+    posting-list touch (variant probes, idf lookups, score assembly).
+    Postings are costlier per element, so the index wins exactly when the
+    expected match fraction is below ``scan/posting`` (½ by default) — the
+    classic crossover where random access loses to a sequential pass.
+    """
+
+    scan_cost_per_node: float = 1.0
+    index_cost_per_posting: float = 2.0
+
+    def scan_cost(self, input_nodes: float) -> float:
+        return input_nodes * self.scan_cost_per_node
+
+    def index_cost(self, expected_matches: float) -> float:
+        return expected_matches * self.index_cost_per_posting
+
+
+@dataclass(frozen=True)
+class IndexBinding:
+    """An attachable semantic index: what the compiler needs to know.
+
+    ``provider`` materialises (lazily) the
+    :class:`~repro.indexing.semantic.SemanticItemIndex`;
+    ``scorer_provider`` exposes the scorer the index shares with the scan
+    path, so compile-time eligibility can verify score parity without
+    forcing the index build.
+    """
+
+    item_type: str
+    provider: Callable[[], Any]
+    scorer_provider: Callable[[], Any] | None = None
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """One recorded scan-vs-index choice, for EXPLAIN and tests."""
+
+    op: str
+    chosen: str
+    scan_cost: float
+    index_cost: float | None
+    reason: str
+
+
+def _scopes_item_population(condition: Condition, item_type: str) -> bool:
+    """True when the structural part is exactly ``type = item_type``.
+
+    That is the population the semantic index covers; any further
+    structural predicate (or a different type scope) must take the scan
+    path to keep index and scan results identical by construction.
+    """
+    if len(condition.predicates) != 1:
+        return False
+    predicate = condition.predicates[0]
+    if isinstance(predicate, HasType):
+        return predicate.type_name == item_type
+    if isinstance(predicate, AttrEquals):
+        return predicate.att == "type" and tuple(predicate.required) == (item_type,)
+    return False
+
+
+def _index_eligible(node: Expr, index: IndexBinding | None) -> bool:
+    """Can this logical node be served from the semantic index at all?"""
+    if index is None or not isinstance(node, SelectNodesE):
+        return False
+    if not isinstance(node.child, InputE):
+        return False  # the index covers the base graph, not derived ones
+    if not node.condition.has_keywords:
+        return False
+    if not _scopes_item_population(node.condition, index.item_type):
+        return False
+    # Score parity: the index computes the shared tf-idf, so the scan form
+    # must use exactly that scorer.  A None scorer would fall back to the
+    # library default S (coverage × log-tf), and any custom S is opaque —
+    # both disqualify, or the access path would change the scores.
+    shared = index.scorer_provider() if index.scorer_provider is not None else None
+    return node.scorer is not None and node.scorer is shared
+
+
+def compile_plan(
+    expr: Expr,
+    stats: GraphStats,
+    index: IndexBinding | None = None,
+    access: str = "auto",
+    cost_model: CostModel | None = None,
+    rules=DEFAULT_RULES,
+    key=None,
+) -> PhysicalPlan:
+    """Compile a logical plan into an executable :class:`PhysicalPlan`.
+
+    *access* constrains the access-path choice: ``"auto"`` lets the cost
+    model decide, ``"index"`` forces the index wherever eligible, and
+    ``"scan"`` refuses it everywhere.  Forcing the index on an ineligible
+    selection silently degrades to scan — eligibility is a correctness
+    boundary, not a preference.
+
+    *key* lets a caller that already computed ``plan_key(expr)`` (the plan
+    cache's lookup) pass it in instead of paying a second tree walk.
+    """
+    if access not in ACCESS_MODES:
+        raise QueryError(f"unknown access mode {access!r}; have {ACCESS_MODES}")
+    model = cost_model if cost_model is not None else CostModel()
+    optimized, report = optimize(expr, rules)
+    decisions: list[AccessDecision] = []
+    memo: dict[int, PhysicalOp] = {}
+
+    def lower(node: Expr) -> PhysicalOp:
+        key = id(node)
+        if key in memo:
+            return memo[key]
+        children = tuple(lower(child) for child in node.children())
+        if isinstance(node, InputE):
+            physical: PhysicalOp = InputOp(node, ())
+        elif isinstance(node, LiteralE):
+            physical = LiteralOp(node, ())
+        elif _index_eligible(node, index) and access != SCAN:
+            physical = _choose_select_path(
+                node, children, stats, index, access, model, decisions
+            )
+        else:
+            physical = ScanOp(node, children)
+        memo[key] = physical
+        return physical
+
+    root = lower(optimized)
+    return PhysicalPlan(
+        root=root,
+        logical=optimized,
+        source=expr,
+        rewrites=report,
+        stats=stats,
+        key=(key if key is not None else plan_key(expr), access),
+        decisions=tuple(decisions),
+    )
+
+
+def _choose_select_path(
+    node: SelectNodesE,
+    children: tuple[PhysicalOp, ...],
+    stats: GraphStats,
+    index: IndexBinding,
+    access: str,
+    model: CostModel,
+    decisions: list[AccessDecision],
+) -> PhysicalOp:
+    """Cost the two physical forms of an eligible keyword selection."""
+    input_nodes = node.child.estimate(stats).nodes
+    scan_cost = model.scan_cost(input_nodes)
+    matches = stats.keyword_match_fraction(node.condition.keywords) * input_nodes
+    index_cost = model.index_cost(matches)
+    if access == INDEX:
+        chosen, reason = INDEX, "forced by request"
+    elif index_cost < scan_cost:
+        chosen, reason = INDEX, (
+            f"expected {matches:.0f} postings cheaper than {input_nodes:.0f}-node scan"
+        )
+    else:
+        chosen, reason = SCAN, (
+            f"match fraction too high ({matches:.0f} of {input_nodes:.0f} nodes)"
+        )
+    decisions.append(
+        AccessDecision(
+            op=node.describe(),
+            chosen=chosen,
+            scan_cost=scan_cost,
+            index_cost=index_cost,
+            reason=reason,
+        )
+    )
+    if chosen == INDEX:
+        return IndexKeywordScanOp(node, children, index.item_type)
+    return ScanOp(node, children)

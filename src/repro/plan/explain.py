@@ -1,0 +1,62 @@
+"""First-class EXPLAIN: the user-facing view of one plan execution.
+
+:class:`PlanExplain` is the frozen value carried on
+:class:`~repro.api.request.SearchResponse` under ``explain=True``: the
+rendered optimized plan, per-operator estimated vs. actual cardinalities,
+the rewrites the optimizer applied, the access-path decisions the cost
+model made, and whether the compiled plan came from the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plan.compiler import AccessDecision
+from repro.plan.physical import OperatorProfile, PlanExecution
+
+
+@dataclass(frozen=True)
+class PlanExplain:
+    """Everything a caller needs to see how their query actually ran."""
+
+    #: rendered optimized plan, one operator per line, est vs. actual
+    text: str
+    #: per-operator rows in plan (pre-order) position
+    operators: tuple[OperatorProfile, ...]
+    #: logical rewrite rules applied, in application order
+    rewrites: tuple[str, ...]
+    #: scan-vs-index choices the compiler costed
+    decisions: tuple[AccessDecision, ...]
+    #: dominant access path ("index" or "scan")
+    access_path: str
+    #: True when the compiled plan came from the plan cache
+    cache_hit: bool
+
+    def estimation_error(self) -> float:
+        """Largest |estimated − actual| / max(actual, 1) over node counts.
+
+        A quick scalar for "how wrong was the cost model on this query" —
+        the feedback loop a learning optimizer would consume.
+        """
+        worst = 0.0
+        for profile in self.operators:
+            if profile.actual is None:
+                continue
+            actual = max(profile.actual.nodes, 1.0)
+            worst = max(worst, abs(profile.estimated.nodes - actual) / actual)
+        return worst
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def explain_execution(execution: PlanExecution) -> PlanExplain:
+    """Freeze one :class:`PlanExecution` into its EXPLAIN view."""
+    return PlanExplain(
+        text=execution.render(),
+        operators=execution.profiles,
+        rewrites=tuple(execution.plan.rewrites.applied),
+        decisions=execution.plan.decisions,
+        access_path=execution.plan.access_path,
+        cache_hit=execution.cache_hit,
+    )

@@ -1,0 +1,310 @@
+"""Physical operators: the executable layer below the logical algebra.
+
+The logical plan (:mod:`repro.core.expr`) says *what* to compute; a
+physical plan says *how*.  Most operators have exactly one sensible
+implementation and lower to :class:`ScanOp`, which delegates to the
+logical node's eager compute.  Where a real access-path choice exists —
+keyword selection over the indexed item population — the compiler may
+lower to :class:`IndexKeywordScanOp`, which reads
+:class:`~repro.indexing.semantic.SemanticItemIndex` posting lists instead
+of scanning every node (§6.2's "inverted lists are a natural index
+structure"), with bit-for-bit identical scores by the index's parity
+contract.
+
+Execution profiles itself: every operator records its actual output
+cardinality and wall time into the :class:`ExecContext`, so an executed
+plan can be rendered EXPLAIN-style with estimated vs. actual cardinalities
+per operator (:meth:`PhysicalPlan.render`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.expr import Expr, LiteralE, iter_plan_nodes
+from repro.core.graph import SocialContentGraph
+from repro.core.stats import Card, GraphStats
+from repro.errors import ExpressionError
+
+#: Access-path tags used in plan rendering and response metadata.
+SCAN = "scan"
+INDEX = "index"
+
+
+class ExecContext:
+    """Mutable per-execution state: inputs, memo, and operator profiles."""
+
+    def __init__(
+        self,
+        env: Mapping[str, SocialContentGraph],
+        index_provider: Callable[[], Any] | None = None,
+    ):
+        self.env = env
+        self.index_provider = index_provider
+        #: per-operator results, keyed by physical node identity (the DAG
+        #: dedup — shared sub-plans execute once, as in Expr.evaluate)
+        self.memo: dict[int, SocialContentGraph] = {}
+        #: per-operator (actual cardinality, elapsed seconds)
+        self.actuals: dict[int, tuple[Card, float]] = {}
+        #: id()s of result graphs aliased straight from env/literal inputs
+        self.borrowed: set[int] = set()
+
+
+class PhysicalOp:
+    """Base class of executable operators; children execute first."""
+
+    #: access-path tag shown in EXPLAIN output (None = not an access choice)
+    access_path: str | None = None
+
+    def __init__(self, logical: Expr, children: Sequence["PhysicalOp"] = ()):
+        self.logical = logical
+        self.children = tuple(children)
+
+    def estimate(self, stats: GraphStats) -> Card:
+        """Estimated *output* cardinality (access-path independent)."""
+        return self.logical.estimate(stats)
+
+    def describe(self) -> str:
+        """One-line operator description for plan rendering."""
+        return self.logical.describe()
+
+    def execute(self, ctx: ExecContext) -> SocialContentGraph:
+        """Run this operator (memoised per execution) and profile it."""
+        key = id(self)
+        if key in ctx.memo:
+            return ctx.memo[key]
+        inputs = [child.execute(ctx) for child in self.children]
+        start = time.perf_counter()
+        result = self._run(ctx, inputs)
+        elapsed = time.perf_counter() - start
+        ctx.memo[key] = result
+        ctx.actuals[key] = (Card(result.num_nodes, result.num_links), elapsed)
+        return result
+
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
+        raise NotImplementedError
+
+
+class InputOp(PhysicalOp):
+    """Fetch a named base graph from the execution environment."""
+
+    def _run(self, ctx, inputs):
+        name = self.logical.name  # type: ignore[attr-defined]
+        if name not in ctx.env:
+            raise ExpressionError(f"no input graph named {name!r} supplied")
+        graph = ctx.env[name]
+        ctx.borrowed.add(id(graph))
+        return graph
+
+
+class LiteralOp(PhysicalOp):
+    """An inline constant graph."""
+
+    def _run(self, ctx, inputs):
+        graph = self.logical.graph  # type: ignore[attr-defined]
+        ctx.borrowed.add(id(graph))
+        return graph
+
+
+class ScanOp(PhysicalOp):
+    """The default physical form: the logical operator's eager compute."""
+
+    def _run(self, ctx, inputs):
+        return self.logical._compute(inputs)
+
+
+class IndexKeywordScanOp(PhysicalOp):
+    """σN over the item population served from inverted posting lists.
+
+    Lowered only for keyword selections whose scope is exactly the indexed
+    item type and whose scorer is the index's shared tf-idf (checked at
+    compile time), so the produced null graph — matching items with their
+    scores attached — is record-for-record what :class:`ScanOp` would
+    build.  If the index provider disappears between compile and execute,
+    the operator degrades to the scan compute rather than failing.
+    """
+
+    access_path = INDEX
+
+    def __init__(
+        self, logical: Expr, children: Sequence[PhysicalOp], item_type: str
+    ):
+        super().__init__(logical, children)
+        self.item_type = item_type
+        self.keywords = logical.condition.keywords  # type: ignore[attr-defined]
+
+    def describe(self) -> str:
+        return f"{self.logical.describe()} [index:{self.item_type}]"
+
+    def _run(self, ctx, inputs):
+        index = ctx.index_provider() if ctx.index_provider is not None else None
+        if index is None:
+            return self.logical._compute(inputs)
+        graph = inputs[0]
+        scores = index.candidates(self.keywords)
+        return graph.null_graph(
+            graph.node(item).with_score(score)
+            for item, score in scores.items()
+            if graph.has_node(item)
+        )
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """One EXPLAIN row: an operator with estimated vs. actual cardinality."""
+
+    op: str
+    depth: int
+    estimated: Card
+    actual: Card | None
+    elapsed_s: float
+    access_path: str | None = None
+
+    def line(self) -> str:
+        actual = (
+            f"act {self.actual.nodes:.0f}n/{self.actual.links:.0f}l"
+            if self.actual is not None
+            else "act -"
+        )
+        return (
+            f"{'  ' * self.depth}{self.op}  "
+            f"[est {self.estimated!r}  {actual}  {self.elapsed_s * 1e3:.2f}ms]"
+        )
+
+
+@dataclass
+class PlanExecution:
+    """One execution of a physical plan: result graph + operator profiles."""
+
+    plan: "PhysicalPlan"
+    result: SocialContentGraph
+    profiles: tuple[OperatorProfile, ...]
+    cache_hit: bool = False
+
+    def scores(self) -> dict:
+        """The result as a score map (Def 1 null-graph reading).
+
+        Unscored nodes map to 0.0 — exactly how the discovery pipeline
+        reads a scoped-but-unscored candidate set.
+        """
+        return {node.id: (node.score or 0.0) for node in self.result.nodes()}
+
+    @property
+    def used_index(self) -> bool:
+        return self.plan.uses_index
+
+    def render(self) -> str:
+        """EXPLAIN ANALYZE-style tree: every operator, est vs. actual."""
+        header = [
+            f"access={self.plan.access_path}  cache={'hit' if self.cache_hit else 'miss'}"
+        ]
+        if self.plan.rewrites.applied:
+            header.append(f"rewrites: {', '.join(self.plan.rewrites.applied)}")
+        return "\n".join(header + [p.line() for p in self.profiles])
+
+
+class PhysicalPlan:
+    """A compiled, executable plan with cardinality bookkeeping.
+
+    Produced by :func:`repro.plan.compiler.compile_plan`; immutable once
+    built, so one compiled plan can serve any number of executions (the
+    plan cache relies on this).
+    """
+
+    def __init__(
+        self,
+        root: PhysicalOp,
+        logical: Expr,
+        source: Expr,
+        rewrites,
+        stats: GraphStats,
+        key,
+        decisions: tuple = (),
+    ):
+        self.root = root
+        self.logical = logical
+        self.source = source
+        self.rewrites = rewrites
+        self.stats = stats
+        self.key = key
+        #: access-path decisions the compiler made (one per select lowered)
+        self.decisions = decisions
+
+    @property
+    def uses_index(self) -> bool:
+        """True when any operator reads the semantic inverted index."""
+        return any(
+            op.access_path == INDEX for op in self._walk(self.root, set())
+        )
+
+    @property
+    def access_path(self) -> str:
+        """Dominant access path tag for response metadata."""
+        return INDEX if self.uses_index else SCAN
+
+    @staticmethod
+    def _walk(op: PhysicalOp, seen: set):
+        if id(op) in seen:
+            return
+        seen.add(id(op))
+        yield op
+        for child in op.children:
+            yield from PhysicalPlan._walk(child, seen)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(
+        self,
+        env: Mapping[str, SocialContentGraph],
+        index_provider: Callable[[], Any] | None = None,
+    ) -> PlanExecution:
+        """Run the plan; the result never aliases an input/literal graph."""
+        ctx = ExecContext(env, index_provider)
+        result = self.root.execute(ctx)
+        if id(result) in ctx.borrowed:
+            result = result.copy()
+        return PlanExecution(
+            plan=self, result=result, profiles=tuple(self._profiles(ctx))
+        )
+
+    def _profiles(self, ctx: ExecContext, op: PhysicalOp | None = None,
+                  depth: int = 0):
+        op = op if op is not None else self.root
+        actual, elapsed = ctx.actuals.get(id(op), (None, 0.0))
+        yield OperatorProfile(
+            op=op.describe(),
+            depth=depth,
+            estimated=op.estimate(self.stats),
+            actual=actual,
+            elapsed_s=elapsed,
+            access_path=op.access_path,
+        )
+        for child in op.children:
+            yield from self._profiles(ctx, child, depth + 1)
+
+    # -- rendering --------------------------------------------------------------
+
+    def render(self) -> str:
+        """Pre-execution plan tree with estimates only."""
+        lines = []
+
+        def walk(op: PhysicalOp, depth: int) -> None:
+            lines.append(
+                f"{'  ' * depth}{op.describe()}  [est {op.estimate(self.stats)!r}]"
+            )
+            for child in op.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        ops = sum(1 for _ in self._walk(self.root, set()))
+        return (
+            f"PhysicalPlan(ops={ops}, access={self.access_path}, "
+            f"rewrites={len(self.rewrites.applied)})"
+        )

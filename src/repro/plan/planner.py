@@ -1,0 +1,161 @@
+"""The query planner: compile-and-execute service over one live graph.
+
+One :class:`QueryPlanner` is owned by each
+:class:`~repro.discovery.discoverer.InformationDiscoverer` (and therefore
+by each :class:`~repro.api.session.Session`).  It holds the three pieces
+compilation needs and serving must keep coherent:
+
+* **statistics** — :class:`~repro.core.stats.GraphStats` with the term
+  histogram, collected lazily once per graph generation;
+* **the plan cache** — compiled plans keyed structurally and stamped with
+  the generation, so any graph change (Data-Manager write, analysis,
+  remote attach) invalidates every cached plan at once;
+* **the index binding** — where the semantic inverted index lives and
+  which population it covers, attached by the session.
+
+``semantic_candidates`` is the serving entry point: it builds the σN plan
+for a parsed query's scope condition and runs it through the compiler,
+which is how both ``Session.run`` and
+``InformationDiscoverer.discover_query`` execute every query.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Mapping
+
+from repro.core.expr import Expr, input_graph, plan_key
+from repro.core.graph import SocialContentGraph
+from repro.core.stats import GraphStats
+from repro.plan.cache import PlanCache
+from repro.plan.compiler import CostModel, IndexBinding, compile_plan
+from repro.plan.physical import PhysicalPlan, PlanExecution
+
+#: Name under which the planner binds its live graph in plan environments.
+BASE_GRAPH = "G"
+
+
+class QueryPlanner:
+    """Compiles logical plans against a live graph, with a plan cache."""
+
+    def __init__(
+        self,
+        graph: SocialContentGraph,
+        cost_model: CostModel | None = None,
+        cache_size: int = 256,
+    ):
+        self.graph = graph
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.cache = PlanCache(cache_size)
+        #: bumped on every refresh/attach — the cache's generation stamp
+        self.generation = 0
+        self._stats: GraphStats | None = None
+        self._index: IndexBinding | None = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def refresh(self, graph: SocialContentGraph) -> None:
+        """Point at a (possibly new) graph; drops stats and stales all plans.
+
+        Nothing is recomputed here — statistics rebuild lazily on the next
+        compile, and stale cache entries die on lookup, so back-to-back
+        refreshes cost nothing (the session's dirty-flag discipline).
+        """
+        with self._lock:
+            self.graph = graph
+            self._stats = None
+            self.generation += 1
+
+    def attach_index(
+        self,
+        item_type: str,
+        provider: Callable[[], Any],
+        scorer_provider: Callable[[], Any] | None = None,
+    ) -> None:
+        """Declare a semantic index over *item_type* nodes of the graph.
+
+        *provider* materialises the index lazily (called only when a plan
+        actually takes the index path); *scorer_provider* exposes the
+        scorer shared with the scan path for the parity check.  Attaching
+        changes what plans compile to, so it bumps the generation.
+        """
+        with self._lock:
+            self._index = IndexBinding(
+                item_type=item_type,
+                provider=provider,
+                scorer_provider=scorer_provider,
+            )
+            self.generation += 1
+
+    @property
+    def index_binding(self) -> IndexBinding | None:
+        return self._index
+
+    @property
+    def stats(self) -> GraphStats:
+        """Term-aware statistics of the current graph (lazy, per generation)."""
+        if self._stats is None:
+            with self._lock:
+                if self._stats is None:
+                    self._stats = GraphStats.of(self.graph, with_terms=True)
+        return self._stats
+
+    # -- compilation ----------------------------------------------------------
+
+    def compile(self, expr: Expr, access: str = "auto") -> tuple[PhysicalPlan, bool]:
+        """The compiled plan for *expr*, and whether the cache served it."""
+        structural_key = plan_key(expr)
+        key = (structural_key, access)
+        generation = self.generation
+        cached = self.cache.get(key, generation)
+        if cached is not None:
+            return cached, True
+        plan = compile_plan(
+            expr,
+            self.stats,
+            index=self._index,
+            access=access,
+            cost_model=self.cost_model,
+            key=structural_key,
+        )
+        self.cache.put(key, generation, plan)
+        return plan, False
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(
+        self,
+        expr: Expr,
+        env: Mapping[str, SocialContentGraph] | None = None,
+        access: str = "auto",
+    ) -> PlanExecution:
+        """Compile (or fetch) and run a plan against the live graph."""
+        plan, cache_hit = self.compile(expr, access)
+        provider = self._index.provider if self._index is not None else None
+        execution = plan.execute(
+            env if env is not None else {BASE_GRAPH: self.graph},
+            index_provider=provider,
+        )
+        execution.cache_hit = cache_hit
+        return execution
+
+    def semantic_candidates(
+        self,
+        query,
+        item_type: str = "item",
+        scorer: Any = None,
+        access: str = "auto",
+    ) -> PlanExecution:
+        """Execute the σN⟨C,S⟩ scoping plan of a parsed query.
+
+        This is the compiled replacement for the hand-written
+        ``SemanticRelevance.candidates`` pipeline: the same condition, the
+        same scorer, but routed through optimize → lower → (cost-chosen)
+        scan or index → profiled execution.
+        """
+        condition = query.scope_condition(default_type=item_type)
+        expr = input_graph(BASE_GRAPH).select_nodes(
+            condition, scorer if condition.has_keywords else None
+        )
+        return self.execute(expr, access=access)

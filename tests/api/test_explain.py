@@ -1,0 +1,144 @@
+"""Session behavior under ``explain=True`` and the serving plan cache.
+
+Covers the satellite contract: responses carry a plan, pagination and
+cursors behave exactly as without EXPLAIN, and compiled plans invalidate
+on ``invalidate()`` and on Data-Manager resync.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SearchRequest, Session
+from repro.core import Node
+from repro.plan import PlanExplain
+from repro.workloads import JOHN, TravelSiteConfig, build_travel_site
+
+
+@pytest.fixture(scope="module")
+def travel():
+    return build_travel_site(TravelSiteConfig(seed=42))
+
+
+@pytest.fixture()
+def session(travel):
+    return Session.from_graph(travel.graph)
+
+
+class TestExplainResponses:
+    def test_plan_absent_by_default(self, session):
+        response = session.run(SearchRequest(user_id=JOHN, text="denver"))
+        assert response.plan is None
+
+    def test_explain_carries_estimated_vs_actual_per_operator(self, session):
+        response = session.run(
+            SearchRequest(user_id=JOHN, text="denver", explain=True)
+        )
+        plan = response.plan
+        assert isinstance(plan, PlanExplain)
+        assert plan.access_path in ("index", "scan")
+        assert len(plan.operators) >= 2  # σN over input(G)
+        for profile in plan.operators:
+            assert profile.estimated.nodes >= 0
+            assert profile.actual is not None and profile.actual.nodes >= 0
+        base = plan.operators[-1]
+        assert base.op == "input(G)"
+        assert base.actual.nodes == session.graph.num_nodes
+        assert "input(G)" in plan.text and "est" in plan.text
+
+    def test_explain_reports_the_access_decision(self, session):
+        indexed = session.run(
+            SearchRequest(user_id=JOHN, text="denver", explain=True)
+        )
+        scanned = session.run(
+            SearchRequest(user_id=JOHN, text="denver", use_index=False,
+                          explain=True)
+        )
+        assert indexed.plan.access_path == "index"
+        assert indexed.index_used
+        assert scanned.plan.access_path == "scan"
+        assert not scanned.index_used
+        assert indexed.plan.decisions and indexed.plan.decisions[0].chosen == "index"
+
+    def test_recommendation_explains_as_scan(self, session):
+        response = session.run(SearchRequest(user_id=JOHN, explain=True))
+        assert response.plan.access_path == "scan"
+        assert response.plan.decisions == ()  # nothing to cost: no keywords
+
+    def test_results_identical_with_and_without_explain(self, session):
+        plain = session.run(SearchRequest(user_id=JOHN, text="museum history"))
+        explained = session.run(
+            SearchRequest(user_id=JOHN, text="museum history", explain=True)
+        )
+        assert explained.items == plain.items
+        assert explained.page_info == plain.page_info
+
+    def test_pagination_and_cursors_unchanged_under_explain(self, session):
+        first = session.run(SearchRequest(
+            user_id=JOHN, text="denver", page_size=3, explain=True,
+        ))
+        assert first.page_info.next_cursor is not None
+        # continue from an explain response without explain, and vice versa
+        second = session.run(SearchRequest(
+            user_id=JOHN, text="denver", cursor=first.page_info.next_cursor,
+        ))
+        second_explained = session.run(SearchRequest(
+            user_id=JOHN, text="denver", cursor=first.page_info.next_cursor,
+            explain=True,
+        ))
+        assert second.items == second_explained.items
+        assert set(first.items).isdisjoint(second.items)
+        assert second.page_info.offset == 3
+
+    def test_builder_explain_toggle(self, session):
+        response = session.query(JOHN).text("denver").explain().run()
+        assert response.plan is not None
+        assert session.query(JOHN).text("denver").build().explain is False
+
+
+class TestServingPlanCache:
+    def test_repeated_requests_hit_the_plan_cache(self, session):
+        request = SearchRequest(user_id=JOHN, text="Denver attractions")
+        session.run(request)
+        compiles = session.stats.plan_compiles
+        session.run(request)
+        session.run(request)
+        assert session.stats.plan_cache_hits >= 2
+        assert session.stats.plan_compiles == compiles  # no recompilation
+
+    def test_distinct_queries_compile_distinct_plans(self, session):
+        session.run(SearchRequest(user_id=JOHN, text="museum"))
+        before = session.stats.plan_compiles
+        session.run(SearchRequest(user_id=JOHN, text="baseball"))
+        assert session.stats.plan_compiles == before + 1
+
+    def test_invalidate_forces_recompilation(self, session):
+        request = SearchRequest(user_id=JOHN, text="denver")
+        session.run(request)
+        session.run(request)
+        hits_before = session.stats.plan_cache_hits
+        compiles_before = session.stats.plan_compiles
+        session.invalidate()
+        session.run(request)
+        assert session.stats.plan_compiles == compiles_before + 1
+        assert session.stats.plan_cache_hits == hits_before
+
+    def test_datamanager_resync_invalidates_plans(self, session):
+        request = SearchRequest(user_id=JOHN, text="special")
+        session.run(request)
+        compiles_before = session.stats.plan_compiles
+        session.data_manager.add_node(Node(
+            "x:new", type="item, destination", name="Special Spot",
+            keywords="special denver",
+        ))
+        response = session.run(request)
+        assert session.stats.plan_compiles == compiles_before + 1
+        # and the recompiled plan sees the new item
+        assert "x:new" in response.items
+
+    def test_explain_reports_cache_state(self, session):
+        request = SearchRequest(user_id=JOHN, text="art galleries", explain=True)
+        first = session.run(request)
+        second = session.run(request)
+        assert first.plan.cache_hit is False
+        assert second.plan.cache_hit is True

@@ -1,0 +1,92 @@
+"""Property: the optimizer never changes what a plan computes.
+
+For randomized graphs and randomly composed ``Expr`` trees,
+``optimize(e)`` must evaluate graph-equal to ``e`` — the guard every
+rewrite rule the compiler adds has to clear.  The tree strategy
+deliberately draws the shapes the rules fire on: stacked selections
+(fusion), selections over semi-joins (pushdown), link-minus (Lemma 1),
+set operations over a *shared* subtree object (idempotence), and empty
+literals spliced into branches (empty propagation).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Condition, SocialContentGraph, input_graph, literal, optimize
+from repro.core.expr import Expr
+from tests.conftest import social_graphs
+
+FAST = settings(max_examples=60, deadline=None)
+
+#: Condition pool: structural, comparison, keyword-scoped, and empty.
+CONDITIONS = st.sampled_from([
+    None,
+    {"type": "user"},
+    {"type": "item"},
+    {"rating__ge": 2},
+    {"rating__le": 4},
+    {"weight__gt": 0.5},
+    Condition({"type": "item"}, keywords="alpha beta"),
+    Condition(keywords="gamma"),
+])
+
+DELTAS = st.sampled_from([("src", "src"), ("src", "tgt"),
+                          ("tgt", "src"), ("tgt", "tgt")])
+
+
+@st.composite
+def expr_trees(draw, depth: int = 3) -> Expr:
+    """A random plan over input graph ``G`` (plus occasional literals)."""
+    if depth <= 0 or draw(st.integers(0, 4)) == 0:
+        leaf = draw(st.integers(0, 5))
+        if leaf == 0:
+            return literal(SocialContentGraph())  # exercises propagate_empty
+        return input_graph("G")
+    shape = draw(st.integers(0, 9))
+    if shape <= 1:
+        return draw(expr_trees(depth=depth - 1)).select_nodes(draw(CONDITIONS))
+    if shape <= 3:
+        return draw(expr_trees(depth=depth - 1)).select_links(draw(CONDITIONS))
+    left = draw(expr_trees(depth=depth - 1))
+    #: sharing the same subtree object is how real plans trigger the
+    #: idempotence rewrites (same_expr detects object-identical params)
+    right = left if draw(st.booleans()) else draw(expr_trees(depth=depth - 1))
+    if shape == 4:
+        return left.union(right)
+    if shape == 5:
+        return left.intersect(right)
+    if shape == 6:
+        return left.minus(right)
+    if shape == 7:
+        return left.link_minus(right)  # Lemma 1 rewrite target
+    if shape == 8:
+        return left.semi_join(right, draw(DELTAS))
+    return left.anti_semi_join(right, draw(DELTAS),
+                               on=draw(st.sampled_from(["endpoint", "id"])))
+
+
+class TestOptimizeEquivalence:
+    @given(g=social_graphs(), e=expr_trees())
+    @FAST
+    def test_optimized_plan_is_graph_equal(self, g, e):
+        env = {"G": g}
+        optimized, _report = optimize(e)
+        assert optimized.evaluate(env).same_as(e.evaluate(env))
+
+    @given(g=social_graphs(), e=expr_trees())
+    @FAST
+    def test_optimize_is_idempotent_on_results(self, g, e):
+        env = {"G": g}
+        once, _ = optimize(e)
+        twice, _ = optimize(once)
+        assert twice.evaluate(env).same_as(once.evaluate(env))
+
+    @given(g=social_graphs(), e=expr_trees())
+    @FAST
+    def test_optimizer_never_mutates_the_input_plan(self, g, e):
+        env = {"G": g}
+        before = e.evaluate(env)
+        optimize(e)
+        assert e.evaluate(env).same_as(before)

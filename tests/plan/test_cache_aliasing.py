@@ -1,0 +1,129 @@
+"""Plan cache behavior + the result-aliasing regression (defensive results).
+
+The dangerous corner of caching evaluation machinery: a returned graph
+that aliases shared state (the environment graph, a literal, anything a
+cached plan would hand out again) lets one caller's mutation poison every
+later evaluation.  Both ``Expr.evaluate`` and ``PhysicalPlan.execute``
+must return graphs the caller owns outright.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Node, SocialContentGraph, input_graph, literal
+from repro.plan import PlanCache, QueryPlanner
+from repro.plan.physical import PhysicalPlan
+
+
+def item_graph(n: int = 6) -> SocialContentGraph:
+    g = SocialContentGraph()
+    for i in range(n):
+        g.add_node(Node(i, type="item", name=f"spot {i}"))
+    return g
+
+
+class TestPlanCache:
+    def test_hit_requires_matching_generation(self):
+        cache = PlanCache()
+        cache.put("k", 1, "plan")  # type: ignore[arg-type]
+        assert cache.get("k", 1) == "plan"
+        assert cache.get("k", 2) is None  # stale entry dropped on lookup
+        assert cache.get("k", 1) is None
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 2
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        cache.put("a", 0, 1)  # type: ignore[arg-type]
+        cache.put("b", 0, 2)  # type: ignore[arg-type]
+        cache.get("a", 0)     # refresh a; b becomes LRU
+        cache.put("c", 0, 3)  # type: ignore[arg-type]
+        assert cache.get("b", 0) is None
+        assert cache.get("a", 0) == 1
+        assert cache.stats.evictions == 1
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+    def test_planner_refresh_invalidates_compiled_plans(self):
+        planner = QueryPlanner(item_graph())
+        expr = input_graph("G").select_nodes({"type": "item"})
+        _, hit0 = planner.compile(expr)
+        _, hit1 = planner.compile(expr)
+        assert (hit0, hit1) == (False, True)
+        planner.refresh(item_graph())
+        _, hit2 = planner.compile(expr)
+        assert hit2 is False  # generation bumped: recompiled
+
+    def test_cached_plan_object_is_reused(self):
+        planner = QueryPlanner(item_graph())
+        expr = input_graph("G").select_nodes({"type": "item"})
+        plan_a, _ = planner.compile(expr)
+        plan_b, _ = planner.compile(expr)
+        assert plan_a is plan_b
+        assert isinstance(plan_a, PhysicalPlan)
+
+
+class TestEvaluateAliasing:
+    def test_identity_plan_result_is_a_defensive_copy(self):
+        g = item_graph()
+        result = input_graph("G").evaluate({"G": g})
+        assert result.same_as(g) and result is not g
+        result.add_node(Node("intruder", type="item"))
+        assert not g.has_node("intruder")
+
+    def test_literal_root_result_is_defensive(self):
+        g = item_graph()
+        result = literal(g).evaluate({})
+        result.remove_node(0)
+        assert g.has_node(0)
+
+    def test_idempotence_rewrite_cannot_leak_the_env_graph(self):
+        from repro.core import optimize
+
+        g = item_graph()
+        G = input_graph("G")
+        optimized, _ = optimize(G.union(G))  # ⇒ G by idempotence
+        result = optimized.evaluate({"G": g})
+        result.add_node(Node("intruder", type="item"))
+        assert not g.has_node("intruder")
+
+    def test_derived_results_unaffected(self):
+        # Normal operator outputs are fresh graphs already; the defensive
+        # copy must not trigger (no gratuitous O(n) copies on the hot path).
+        g = item_graph()
+        expr = input_graph("G").select_nodes({"type": "item"})
+        cache: dict = {}
+        inner = expr._eval({"G": g}, cache)
+        assert expr.evaluate({"G": g}).same_as(inner)
+        assert inner is not g
+
+
+class TestPlanCacheAliasing:
+    def test_mutating_one_execution_cannot_poison_a_cache_hit(self):
+        planner = QueryPlanner(item_graph())
+        expr = input_graph("G").select_nodes({"type": "item"})
+        first = planner.execute(expr)
+        baseline = first.result.copy()
+        # a hostile caller mutates everything it was handed
+        first.result.add_node(Node("intruder", type="item, evil"))
+        for node_id in list(first.result.node_ids()):
+            if node_id != "intruder":
+                first.result.remove_node(node_id)
+        second = planner.execute(expr)
+        assert second.cache_hit is True
+        assert second.result.same_as(baseline)
+        assert not planner.graph.has_node("intruder")
+
+    def test_identity_physical_plan_returns_a_copy(self):
+        from repro.core import optimize
+
+        planner = QueryPlanner(item_graph())
+        G = input_graph("G")
+        execution = planner.execute(G.union(G))  # optimizer folds to input
+        execution.result.add_node(Node("intruder", type="item"))
+        assert not planner.graph.has_node("intruder")
+        repeat = planner.execute(G.union(G))
+        assert not repeat.result.has_node("intruder")

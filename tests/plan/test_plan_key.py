@@ -1,0 +1,57 @@
+"""Structural plan keys: the cacheable extension of ``same_expr``."""
+
+from __future__ import annotations
+
+from repro.core import Condition, SocialContentGraph, input_graph, literal, plan_key
+from repro.core.conditions import Lambda
+
+
+def keyword_plan(text: str, scorer=None):
+    return input_graph("G").select_nodes(
+        Condition({"type": "item"}, keywords=text), scorer
+    )
+
+
+class TestPlanKey:
+    def test_independently_built_identical_plans_share_a_key(self):
+        # The property same_expr cannot give (it compares parameters by
+        # identity) and the plan cache needs: rebuilt-per-request plans hit.
+        assert plan_key(keyword_plan("denver baseball")) == plan_key(
+            keyword_plan("denver baseball")
+        )
+
+    def test_keys_are_hashable(self):
+        assert {plan_key(keyword_plan("a")), plan_key(keyword_plan("a"))}
+
+    def test_different_keywords_differ(self):
+        assert plan_key(keyword_plan("denver")) != plan_key(keyword_plan("boulder"))
+
+    def test_different_operators_differ(self):
+        G = input_graph("G")
+        assert plan_key(G.select_nodes({"type": "item"})) != plan_key(
+            G.select_links({"type": "item"})
+        )
+
+    def test_structure_reaches_the_key(self):
+        G = input_graph("G")
+        a = G.select_links({"type": "friend"}).union(G)
+        b = G.union(G.select_links({"type": "friend"}))
+        assert plan_key(a) != plan_key(b)
+
+    def test_scorer_identity_distinguishes(self):
+        scorer = lambda element, keywords: 1.0
+        assert plan_key(keyword_plan("x", scorer)) != plan_key(keyword_plan("x"))
+
+    def test_lambda_predicates_never_collide_by_label(self):
+        # Two different functions under Lambda's default "λ" repr must not
+        # share a key — a false hit would serve the wrong plan.
+        p1 = Lambda(lambda e: True)
+        p2 = Lambda(lambda e: False)
+        a = input_graph("G").select_nodes(Condition(predicates=(p1,)))
+        b = input_graph("G").select_nodes(Condition(predicates=(p2,)))
+        assert plan_key(a) != plan_key(b)
+
+    def test_literal_graphs_key_by_identity(self):
+        g1, g2 = SocialContentGraph(), SocialContentGraph()
+        assert plan_key(literal(g1)) != plan_key(literal(g2))
+        assert plan_key(literal(g1)) == plan_key(literal(g1))
