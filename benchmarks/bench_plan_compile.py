@@ -215,9 +215,130 @@ def test_scan_vs_index_crossover(report, quick):
                 assert point["index_ms"] < point["scan_ms"]
 
 
+def test_social_stage_compiled_vs_legacy(site, report, quick):
+    """The compiled social stage vs. the hand-executed strategies.
+
+    Parity first (the differential harness's contract, asserted here on
+    the realistic site too), then wall-clock for the three strategies over
+    a keyword query and a recommendation query.
+    """
+    from repro.discovery import InformationDiscoverer, parse_query
+
+    discoverer = InformationDiscoverer(site.graph)
+    queries = [parse_query(JOHN, text)
+               for text in ("Denver attractions", "")]
+    strategies = ("friends", "similar_users", "item_based")
+    rounds = 2 if quick else 15
+    rows = []
+    for strategy in strategies:
+        for query in queries:
+            compiled = discoverer.rank(query, strategy=strategy)
+            legacy = discoverer._rank_legacy(query, strategy, None, None)
+            assert [s.item_id for s in compiled.items] == \
+                [s.item_id for s in legacy.items]
+
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for query in queries:
+                discoverer._rank_legacy(query, strategy, None, None)
+        legacy_time = (time.perf_counter() - start) / rounds
+
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for query in queries:
+                discoverer.rank(query, strategy=strategy)
+        compiled_time = (time.perf_counter() - start) / rounds
+        rows.append({
+            "strategy": strategy,
+            "legacy_ms": legacy_time * 1e3,
+            "compiled_ms": compiled_time * 1e3,
+        })
+
+    RESULTS["social_stage"] = {"strategies": rows}
+    lines = [
+        "",
+        "=== Social stage: compiled pipeline vs legacy strategies ===",
+        "  strategy          legacy ms   compiled ms",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['strategy']:<15} {row['legacy_ms']:10.2f}"
+            f"  {row['compiled_ms']:12.2f}"
+        )
+    lines.append("  (identical rankings on both paths — asserted)")
+    report(*lines)
+
+
+def test_social_index_vs_scan_crossover(report, quick):
+    """Sweep endorsement density; record the social access-path choice.
+
+    Dense overlap (many friends acting on a small shared pool) should
+    route to the §6.2 endorsement index — few postings stand in for many
+    probes; sparse graphs stay on the adjacency probe.
+    """
+    from factories import social_site_graph
+    from repro.discovery import parse_query
+
+    rounds = 3 if quick else 20
+    shapes = [
+        # (users, follows, items, acts each) — the shared ring-site
+        # factory the parity suite randomises over, density dialed up
+        (30, 2, 200, 2),     # sparse: the probe is a handful of links
+        (30, 6, 120, 4),
+        (30, 15, 20, 15),    # dense: 225 probes collapse onto ≤20 postings
+        (40, 25, 12, 20),
+    ]
+    sweep = []
+    for users, follows, items, acts in shapes:
+        graph = social_site_graph(
+            num_users=users, num_items=items, friends_per_user=follows,
+            acts_per_user=acts, with_sim_links=False,
+        )
+        planner = QueryPlanner(graph)
+        query = parse_query("u0", "")
+        auto = planner.discovery_pipeline(query, alpha=0.0, access="auto")
+        chosen = next(
+            (d.chosen for d in auto.plan.decisions
+             if d.op.startswith("social")), "scan",
+        )
+        timings = {}
+        for access in ("scan", "index"):
+            planner.discovery_pipeline(query, alpha=0.0, access=access)
+            start = time.perf_counter()
+            for _ in range(rounds):
+                planner.discovery_pipeline(query, alpha=0.0, access=access)
+            timings[access] = (time.perf_counter() - start) / rounds
+        sweep.append({
+            "users": users, "follows": follows, "items": items,
+            "acts_per_user": acts, "chosen": chosen,
+            "probe_ms": timings["scan"] * 1e3,
+            "index_ms": timings["index"] * 1e3,
+        })
+
+    RESULTS["social_access_sweep"] = {"points": sweep}
+    lines = [
+        "",
+        "=== Social access path vs endorsement density ===",
+        "  users  follows  items  acts   chosen            probe ms  index ms",
+    ]
+    for point in sweep:
+        lines.append(
+            f"  {point['users']:5d}  {point['follows']:7d}"
+            f"  {point['items']:5d}  {point['acts_per_user']:4d}"
+            f"   {point['chosen']:<16}"
+            f"  {point['probe_ms']:8.2f}  {point['index_ms']:8.2f}"
+        )
+    report(*lines)
+
+    chosen_set = {p["chosen"] for p in sweep}
+    assert "scan" in chosen_set           # sparse shapes stay on the probe
+    assert chosen_set - {"scan"}          # dense shapes take a network index
+
+
 def test_emit_bench_json(report):
     """Write the machine-readable summary (runs last in file order)."""
     OUTPUT.write_text(json.dumps(RESULTS, indent=2) + "\n")
     report("", f"BENCH_plan.json written: {OUTPUT}")
     assert OUTPUT.exists()
-    assert {"compile", "serving", "selectivity_sweep"} <= RESULTS.keys()
+    assert {"compile", "serving", "selectivity_sweep", "social_stage",
+            "social_access_sweep"} <= RESULTS.keys()

@@ -127,10 +127,14 @@ print(f"\nbatch of 3 requests -> {[len(r.items) for r in batch]} results;"
 # ---------------------------------------------------------------------------
 # 4. EXPLAIN: every query is compiled into an optimizable physical plan.
 # ---------------------------------------------------------------------------
-# The session never hand-executes a query: the semantic stage is built as
-# a σN⟨C,S⟩ algebra plan, rule-optimized, and lowered to physical
-# operators, with the scan-vs-index choice made by a cost model over
-# GraphStats.  `.explain()` attaches the executed plan to the response.
+# The session never hand-executes a query: the *whole* pipeline — the
+# semantic σN⟨C,S⟩ candidate stage, connection selection, the social
+# scoring strategy (a semi-join probe / grouped aggregation), and the
+# α-combination — is built as one algebra plan, rule-optimized, and
+# lowered to physical operators.  The cost model over GraphStats picks
+# every access path: scan vs. the semantic inverted index for keyword
+# scoping, and adjacency probe vs. the §6.2 network-aware endorsement
+# indexes for friend scoring.  `.explain()` attaches the executed plan.
 explained = (session.query(1)
              .text("denver baseball")
              .explain()
@@ -138,6 +142,11 @@ explained = (session.query(1)
 plan = explained.plan
 print("\nEXPLAIN session.query(John).text('denver baseball'):")
 print("  " + plan.text.replace("\n", "\n  "))
+# The combine⟨α⟩ root merges the two stages; social⟨friends⟩ and
+# basis⟨…⟩ are the compiled social stage (Example 4/5's semi-joins +
+# aggregations), sharing the σN candidate sub-plan — it executes once.
+assert "combine" in plan.text and "social" in plan.text
+print(f"  social strategy in the plan: {plan.resolved_strategy}")
 
 # Per-operator estimated vs. actual cardinalities — the feedback a
 # learning cost model would consume:
@@ -155,12 +164,21 @@ forced_scan = (session.query(1).text("denver baseball")
 assert list(forced_scan.items) == list(explained.items)
 print(f"  forced scan returns the same page: {list(forced_scan.items)}")
 
-# Compiled plans cache per shape: re-running the request skips the
+# Compiled plans cache per shape — the cache now covers the *full*
+# query, social stage included: re-running the request skips the
 # optimizer (see session.stats.plan_cache_hits), and any graph change
 # invalidates every cached plan at once.
 session.query(1).text("denver baseball").run()
 print(f"  plan compiles: {session.stats.plan_compiles},"
       f" plan-cache hits: {session.stats.plan_cache_hits}")
+
+# Strategy selection itself is cost-based when left open: strategy="auto"
+# lets the compiler pick from the connection-degree statistics, and the
+# decision (with its reason) rides on the plan.
+auto = session.run(SearchRequest(user_id=1, strategy="auto", explain=True))
+pick = auto.plan.strategy_decision
+print(f"  auto strategy pick: {pick.chosen} ({pick.reason})")
+assert auto.resolved["social_strategy"] == pick.chosen
 
 # ---------------------------------------------------------------------------
 # 5. Migration note: the classic facade still works, now session-backed.

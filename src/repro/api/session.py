@@ -9,14 +9,18 @@ Information Organizer on top — and serves :class:`SearchRequest` after
   direct Data Manager writes) set a dirty flag; the next query retargets
   the existing components and invalidates only the per-graph caches
   (tf-idf corpus, search indexes) instead of reconstructing the layers;
-* **compiled serving** — every request's semantic scoping stage is built
-  as a σN⟨C,S⟩ algebra plan and executed through the physical compiler
-  (:mod:`repro.plan`): rule-optimized, lowered with a cost-based
-  scan-vs-index access-path choice over the lazily built
-  :class:`~repro.indexing.semantic.SemanticItemIndex` (guaranteed-identical
-  score map), compiled once per plan shape into a generation-stamped plan
-  cache, and profiled per operator for first-class EXPLAIN
-  (``SearchRequest.explain=True`` → ``SearchResponse.plan``);
+* **compiled serving** — every request's *whole* pipeline (semantic
+  σN⟨C,S⟩ scoping, connection selection, social strategy scoring,
+  α-combination) is built as one algebra plan and executed through the
+  physical compiler (:mod:`repro.plan`): rule-optimized, lowered with
+  cost-based access-path choices — scan vs. the lazily built
+  :class:`~repro.indexing.semantic.SemanticItemIndex` for keyword
+  scoping, adjacency probe vs. the §6.2 endorsement indexes for friend
+  scoring (identical results by eligibility), and a cost-based strategy
+  pick under ``strategy="auto"`` — compiled once per plan shape into a
+  generation-stamped plan cache, and profiled per operator for
+  first-class EXPLAIN (``SearchRequest.explain=True`` →
+  ``SearchResponse.plan``);
 * **deterministic pagination** — the full combined ranking is a total
   order, so ``page``/``cursor`` windows never duplicate or drop items;
 * **batch execution** — :meth:`Session.run_many` evaluates many requests
@@ -49,7 +53,6 @@ from repro.discovery import (
     DiscoveryConfig,
     InformationDiscoverer,
     MeaningfulSocialGraph,
-    SemanticResult,
     assemble_msg,
     parse_query,
 )
@@ -106,6 +109,8 @@ class SessionStats:
     index_queries: int = 0
     #: queries that fell back to the scan path
     scan_queries: int = 0
+    #: queries whose social stage read a §6.2 endorsement index
+    social_index_queries: int = 0
     #: physical plans compiled (plan-cache misses)
     plan_compiles: int = 0
     #: queries served by an already-compiled plan
@@ -121,7 +126,7 @@ class _Evaluation(NamedTuple):
     offset: int
     size: int
     total: int
-    execution: PlanExecution
+    execution: PlanExecution | None
 
 
 class Session:
@@ -403,19 +408,18 @@ class Session:
 
         Both :meth:`run` and :meth:`discover` go through here, so plan
         compilation, budgeting and windowing cannot drift between them.
-        The semantic stage is a compiled physical plan — access-path
-        routing lives in the compiler's cost model, not here.
+        The *whole* pipeline — semantic candidates, connection basis,
+        social scoring, α-combination — is one compiled physical plan;
+        access-path and strategy routing live in the compiler's cost
+        model, not here.
         """
         query = self._parse(request)
         offset, size = self._window(request)
-        execution = self.discoverer.semantic_candidates(
-            query, access=self._access_mode(request)
-        )
         ranking = self.discoverer.rank(
             query,
             strategy=request.strategy,
             alpha=request.alpha,
-            semantic=SemanticResult(scores=execution.scores()),
+            access=self._access_mode(request),
         )
         ranked = self._budgeted(ranking, request)
         window = ranked[offset : offset + size]
@@ -426,7 +430,7 @@ class Session:
             offset=offset,
             size=size,
             total=len(ranked),
-            execution=execution,
+            execution=ranking.execution,
         )
 
     def _run_prepared(self, request: SearchRequest) -> SearchResponse:
@@ -434,7 +438,8 @@ class Session:
         query, window, offset, size, total = (
             ev.query, ev.window, ev.offset, ev.size, ev.total,
         )
-        ranking, index_used = ev.ranking, ev.execution.used_index
+        ranking = ev.ranking
+        index_used = ev.execution.used_index if ev.execution else False
         msg = assemble_msg(
             self.graph, query, window, ranking.social,
             ranking.used_expert_fallback,
@@ -467,10 +472,13 @@ class Session:
                 self.stats.index_queries += 1
             else:
                 self.stats.scan_queries += 1
-            if ev.execution.cache_hit:
-                self.stats.plan_cache_hits += 1
-            else:
-                self.stats.plan_compiles += 1
+            if ev.execution is not None:
+                if ev.execution.cache_hit:
+                    self.stats.plan_cache_hits += 1
+                else:
+                    self.stats.plan_compiles += 1
+                if ev.execution.used_network_index:
+                    self.stats.social_index_queries += 1
             self.stats.tfidf_builds = self.discoverer.semantic.builds
         return SearchResponse(
             request=request,
@@ -480,13 +488,15 @@ class Session:
             index_used=index_used,
             resolved={
                 "strategy": request.strategy or self.config.discovery.strategy,
+                "social_strategy": ranking.social.strategy,
                 "alpha": (request.alpha if request.alpha is not None
                           else self.config.discovery.alpha),
                 "offset": offset,
                 "size": size,
                 "epoch": self.epoch,
             },
-            plan=explain_execution(ev.execution) if request.explain else None,
+            plan=(explain_execution(ev.execution)
+                  if request.explain and ev.execution is not None else None),
         )
 
     # ---------------------------------------------------- discovery passthrough

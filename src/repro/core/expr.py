@@ -240,6 +240,14 @@ class _Binary(Expr):
         return (self.left, self.right)
 
 
+class _Ternary(Expr):
+    def __init__(self, first: Expr, second: Expr, third: Expr):
+        self._children = (first, second, third)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self._children
+
+
 class SelectNodesE(_Unary):
     """σN⟨C,S⟩ plan node."""
 
@@ -545,6 +553,138 @@ class PatternAggE(_Unary):
         return f"γL⟨GP:{len(self.pattern)} hops,{self.att}⟩"
 
 
+class ConnectionBasisE(_Unary):
+    """Connection selection (Selma's problem) as a plan node.
+
+    σN(id=u) ⋉ connect links, with a per-friend topical-fit aggregation
+    and the expert fallback — produces the basis null graph the social
+    scoring stage consumes (see :mod:`repro.core.social`).
+    """
+
+    op = "connection_basis"
+
+    def __init__(self, child: Expr, user_id: Any, keywords: tuple = (),
+                 min_fit: float = 0.15, min_qualified: int = 2,
+                 max_experts: int = 10):
+        super().__init__(child)
+        self.user_id = user_id
+        self.keywords = tuple(keywords)
+        self.min_fit = min_fit
+        self.min_qualified = min_qualified
+        self.max_experts = max_experts
+
+    def with_children(self, *children: Expr) -> "ConnectionBasisE":
+        (child,) = children
+        return ConnectionBasisE(child, self.user_id, self.keywords,
+                                self.min_fit, self.min_qualified,
+                                self.max_experts)
+
+    def _compute(self, inputs):
+        from repro.core.social import connection_basis
+
+        return connection_basis(
+            inputs[0], self.user_id, self.keywords,
+            min_fit=self.min_fit, min_qualified=self.min_qualified,
+            max_experts=self.max_experts,
+        )
+
+    def estimate(self, stats: GraphStats) -> Card:
+        return Card(stats.expected_basis_size() + 1, 0.0)
+
+    def describe(self) -> str:
+        return f"basis⟨u={self.user_id},terms={len(self.keywords)}⟩"
+
+
+class SocialScoreE(_Ternary):
+    """The social scoring stage: strategy-parameterised semi-join probe
+    plus grouped aggregation over (graph, candidates, basis).
+
+    *strategy* is one of :data:`repro.core.social.COMPILED_STRATEGIES` or
+    ``"auto"`` — the compiler resolves ``"auto"`` from statistics before
+    lowering; direct evaluation resolves it from the live graph.
+    """
+
+    op = "social_score"
+
+    def __init__(self, graph: Expr, candidates: Expr, basis: Expr,
+                 strategy: str, user_id: Any, keywords: tuple = (),
+                 sim_threshold: float = 0.1, act_type: str = "visit"):
+        super().__init__(graph, candidates, basis)
+        self.strategy = strategy
+        self.user_id = user_id
+        self.keywords = tuple(keywords)
+        self.sim_threshold = sim_threshold
+        self.act_type = act_type
+
+    def with_children(self, *children: Expr) -> "SocialScoreE":
+        graph, candidates, basis = children
+        return SocialScoreE(graph, candidates, basis, self.strategy,
+                            self.user_id, self.keywords,
+                            self.sim_threshold, self.act_type)
+
+    def compute_resolved(self, inputs, strategy: str) -> SocialContentGraph:
+        """Run the stage under an already-resolved strategy name.
+
+        The physical layer resolves ``"auto"`` at compile time and pins
+        the choice here, so EXPLAIN reports what actually ran.
+        """
+        from repro.core.social import social_scores_graph
+
+        return social_scores_graph(
+            inputs[0], inputs[1], inputs[2], strategy, self.user_id,
+            keywords=self.keywords, sim_threshold=self.sim_threshold,
+            act_type=self.act_type,
+        )
+
+    def _compute(self, inputs):
+        return self.compute_resolved(inputs, self.strategy)
+
+    def estimate(self, stats: GraphStats) -> Card:
+        candidates = self._children[1].estimate(stats)
+        reach = stats.expected_endorsements()
+        items = min(candidates.nodes, reach)
+        endorsers = min(stats.expected_basis_size(), reach)
+        return Card(items + endorsers + 1, reach)
+
+    def describe(self) -> str:
+        return f"social⟨{self.strategy}⟩"
+
+
+class CombineScoresE(_Binary):
+    """α·semantic + (1−α)·social over (candidates, social scores).
+
+    The endorsement-merge stage: max-normalises both components, merges
+    them into one relevance score per item (§4's combination), and
+    threads the social provenance through.
+    """
+
+    op = "combine"
+
+    def __init__(self, candidates: Expr, social: Expr, alpha: float,
+                 drop_zero: bool = True):
+        super().__init__(candidates, social)
+        self.alpha = alpha
+        self.drop_zero = drop_zero
+
+    def with_children(self, *children: Expr) -> "CombineScoresE":
+        return CombineScoresE(children[0], children[1], self.alpha,
+                              self.drop_zero)
+
+    def _compute(self, inputs):
+        from repro.core.social import combine_scores_graph
+
+        return combine_scores_graph(inputs[0], inputs[1], self.alpha,
+                                    self.drop_zero)
+
+    def estimate(self, stats: GraphStats) -> Card:
+        candidates = self.left.estimate(stats)
+        social = self.right.estimate(stats)
+        return Card(candidates.nodes + 1, social.links)
+
+    def describe(self) -> str:
+        return f"combine⟨α={self.alpha:g}⟩"
+
+
 def input_graph(name: str = "G") -> InputE:
     """Entry point for fluent plan building."""
     return InputE(name)
@@ -553,6 +693,10 @@ def input_graph(name: str = "G") -> InputE:
 def literal(graph: SocialContentGraph) -> LiteralE:
     """Wrap a constant graph as a plan node."""
     return LiteralE(graph)
+
+
+#: Attribute names holding child expressions (not plan-node parameters).
+_CHILD_FIELDS = ("child", "left", "right", "_children")
 
 
 def same_expr(a: Expr, b: Expr) -> bool:
@@ -571,10 +715,10 @@ def same_expr(a: Expr, b: Expr) -> bool:
     if isinstance(a, LiteralE):
         return a.graph is b.graph  # type: ignore[attr-defined]
     params_a = {
-        k: v for k, v in vars(a).items() if k not in ("child", "left", "right")
+        k: v for k, v in vars(a).items() if k not in _CHILD_FIELDS
     }
     params_b = {
-        k: v for k, v in vars(b).items() if k not in ("child", "left", "right")
+        k: v for k, v in vars(b).items() if k not in _CHILD_FIELDS
     }
     if params_a.keys() != params_b.keys():
         return False
@@ -654,7 +798,7 @@ def plan_key(expr: Expr) -> tuple:
     params = tuple(
         (name, _param_key(value))
         for name, value in sorted(vars(expr).items())
-        if name not in ("child", "left", "right")
+        if name not in _CHILD_FIELDS
     )
     return (
         type(expr).__name__,

@@ -1,0 +1,491 @@
+"""Graph-encoded social-stage computations for the compiled pipeline.
+
+The paper frames the social scoring stage — connection selection, friend /
+expert endorsement, the Example 5 collaborative filter, content-based
+support — as semi-joins and aggregations over the candidate null graph
+σN⟨C,S⟩.  This module is the *compute kernel* behind the logical plan
+nodes of :mod:`repro.core.expr` (``ConnectionBasisE``, ``SocialScoreE``,
+``CombineScoresE``): every function takes graphs in and hands a graph
+back, so the whole discovery pipeline can run as one physical plan with
+per-operator profiling.
+
+The functions deliberately mirror the reference implementations in
+:mod:`repro.discovery.connections` and :mod:`repro.discovery.strategies`
+step for step — the differential parity suite
+(``tests/plan/test_social_parity.py``) holds the two sides equal within
+1e-9 on randomized workloads, which is the correctness net that lets the
+compiler rearrange the physical form underneath.
+
+Encoding conventions (shared with the physical operators):
+
+* a **basis graph** is a null graph of the selected connection members,
+  each carrying its topical ``fit``, plus a ``social_meta`` marker node
+  recording the basis kind and whether the expert fallback fired;
+* a **social-score graph** holds the scored candidate items (attribute
+  ``social_raw``), the endorsing users with ``endorse`` links (weight =
+  endorsement weight), supporting items with ``support`` links, and the
+  marker node (resolved strategy + fallback flag);
+* a **combined graph** holds the surviving items with ``semantic_norm`` /
+  ``social_norm`` / ``combined`` attributes plus the provenance carried
+  through from the social stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import Id, Link, Node, SocialContentGraph
+from repro.core.text import tokenize
+
+#: Node id / type of the marker node threading stage metadata through the
+#: plan (resolved strategy, expert-fallback flag, basis kind).
+META_ID = "__social_meta__"
+META_TYPE = "social_meta"
+
+#: Link types of the provenance edges in social-stage result graphs.
+ENDORSE_TYPE = "endorse"
+SUPPORT_TYPE = "support"
+
+#: Strategy names the compiled social stage understands ("auto" resolves
+#: at compile time from statistics, or at evaluation time from the graph).
+COMPILED_STRATEGIES = ("friends", "similar_users", "item_based")
+
+#: Expert-list size used by the score-time fallback rerun (mirrors the
+#: default limit of :func:`repro.discovery.connections.find_experts`).
+FALLBACK_EXPERT_LIMIT = 10
+
+
+# ---------------------------------------------------------------------------
+# Connection selection (Selma's problem) over graphs
+# ---------------------------------------------------------------------------
+
+
+def activity_vocabulary(graph: SocialContentGraph, user: Id) -> set[str]:
+    """Terms describing what a user acts on (item keywords + own tags)."""
+    vocabulary: set[str] = set()
+    for link in graph.out_links(user):
+        if not link.has_type("act"):
+            continue
+        for value in link.values("tags"):
+            vocabulary.update(tokenize(str(value)))
+        item = graph.node(link.tgt)
+        for att in ("category", "keywords", "city"):
+            for value in item.values(att):
+                if isinstance(value, str):
+                    vocabulary.update(tokenize(value))
+    return vocabulary
+
+
+def topical_fit(graph: SocialContentGraph, user: Id, query_terms: set[str]) -> float:
+    """Fraction of query terms present in the user's activity vocabulary."""
+    if not query_terms:
+        return 1.0
+    return len(query_terms & activity_vocabulary(graph, user)) / len(query_terms)
+
+
+def expert_candidates(
+    graph: SocialContentGraph,
+    query_terms: set[str],
+    exclude: set[Id] = frozenset(),
+    limit: int = FALLBACK_EXPERT_LIMIT,
+) -> list[Id]:
+    """Users with the most activity on items matching the query terms."""
+    counts: dict[Id, int] = {}
+    for link in graph.links():
+        if not link.has_type("act") or link.src in exclude:
+            continue
+        item = graph.node(link.tgt)
+        item_terms = set(tokenize(item.text()))
+        for value in link.values("tags"):
+            item_terms.update(tokenize(str(value)))
+        if query_terms & item_terms:
+            counts[link.src] = counts.get(link.src, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    return [user for user, _ in ranked[:limit]]
+
+
+def connection_basis(
+    graph: SocialContentGraph,
+    user_id: Id,
+    keywords: tuple[str, ...],
+    min_fit: float = 0.15,
+    min_qualified: int = 2,
+    max_experts: int = 10,
+) -> SocialContentGraph:
+    """The chosen social basis of a query, as a null graph.
+
+    Semi-join reading: σN(id=u) ⋉ connect links picks the friends, a
+    per-friend aggregation attaches the topical fit, and the expert
+    fallback replaces the membership when too few friends qualify.
+    """
+    query_terms = set(keywords)
+    friends = sorted(
+        {l.tgt for l in graph.out_links(user_id) if l.has_type("connect")},
+        key=repr,
+    )
+    fit = {f: topical_fit(graph, f, query_terms) for f in friends}
+    qualified = [f for f in friends if fit[f] >= min_fit]
+    out = SocialContentGraph(catalog=graph.catalog)
+    if len(qualified) >= min_qualified or not query_terms:
+        for member in qualified or friends:
+            out.add_node(graph.node(member).with_attrs(fit=fit[member]))
+        out.add_node(Node(META_ID, type=META_TYPE, basis_kind="friends",
+                          expert_fallback=0))
+        return out
+    experts = expert_candidates(graph, query_terms, exclude={user_id},
+                                limit=max_experts)
+    for expert in experts:
+        out.add_node(graph.node(expert).with_attrs(fit=1.0))
+    out.add_node(Node(META_ID, type=META_TYPE, basis_kind="experts",
+                      expert_fallback=1))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Strategy scoring over graphs
+# ---------------------------------------------------------------------------
+
+
+def resolve_auto_strategy(graph: SocialContentGraph) -> str:
+    """The graph-side twin of the compiler's statistics-driven choice.
+
+    The rule must match ``repro.plan.compiler``'s resolution (which reads
+    the same signals off :class:`~repro.core.stats.GraphStats`) so a plan
+    evaluated without the compiler agrees with its lowered form.
+    """
+    has_connect = has_act = has_sim = False
+    for link in graph.links():
+        if "connect" in link.types:
+            has_connect = True
+        if "act" in link.types:
+            has_act = True
+        if "sim_item" in link.types:
+            has_sim = True
+        if has_connect and has_act and has_sim:
+            break
+    return choose_strategy(has_connect, has_act, has_sim)
+
+
+def choose_strategy(has_connect: bool, has_act: bool, has_sim: bool) -> str:
+    """Shared auto-strategy rule over the three signal feeds."""
+    if has_connect and has_act:
+        return "friends"
+    if has_sim:
+        return "item_based"
+    if has_act:
+        return "similar_users"
+    return "friends"
+
+
+def friend_probe(
+    graph: SocialContentGraph,
+    members: list[tuple[Id, float]],
+    candidates: set[Id],
+) -> tuple[dict[Id, float], dict[Id, dict[Id, float]]]:
+    """Semi-join probe: each basis member's activities into the candidates.
+
+    score(i) = Σ weight(u′) over members u′ with an ``act`` link onto i —
+    the grouped aggregation of the paper's Example 4 reading.
+    """
+    scores: dict[Id, float] = {}
+    endorsers: dict[Id, dict[Id, float]] = {}
+    for member, weight in members:
+        weight = max(weight, 0.1)
+        for link in graph.out_links(member):
+            if not link.has_type("act") or link.tgt not in candidates:
+                continue
+            scores[link.tgt] = scores.get(link.tgt, 0.0) + weight
+            endorsers.setdefault(link.tgt, {})[member] = weight
+    return scores, endorsers
+
+
+def _friends_scores(
+    graph: SocialContentGraph,
+    candidates: set[Id],
+    basis: SocialContentGraph,
+    user_id: Id,
+    keywords: tuple[str, ...],
+) -> tuple[dict, dict, bool]:
+    """Friend/expert endorsement with the score-time Selma fallback."""
+    meta = basis.node(META_ID) if basis.has_node(META_ID) else None
+    expert_basis = bool(meta.value("expert_fallback", 0)) if meta else False
+    members = [
+        (node.id, 1.0 if expert_basis else float(node.value("fit", 1.0)))
+        for node in basis.nodes()
+        if node.id != META_ID
+    ]
+    scores, endorsers = friend_probe(graph, members, candidates)
+    fallback = expert_basis
+    if not scores and not expert_basis:
+        # The friend basis produced nothing: rerun over topic experts
+        # (the discoverer-level half of the Selma fallback).
+        fallback = True
+        experts = expert_candidates(
+            graph, set(keywords), exclude={user_id},
+            limit=FALLBACK_EXPERT_LIMIT,
+        )
+        scores, endorsers = friend_probe(
+            graph, [(expert, 1.0) for expert in experts], candidates
+        )
+    return scores, endorsers, fallback
+
+
+def _similar_user_scores(
+    graph: SocialContentGraph,
+    candidates: set[Id],
+    user_id: Id,
+    sim_threshold: float,
+    act_type: str,
+) -> tuple[dict, dict]:
+    """Example 5 CF through the algebra recipe, plus endorser provenance."""
+    from repro.core.recipes import (
+        example5_collaborative_filtering,
+        recommendations_from,
+    )
+
+    cf = example5_collaborative_filtering(
+        graph,
+        user_id,
+        visit_type=act_type,
+        dest_type="item",
+        sim_threshold=sim_threshold,
+    )
+    scores: dict[Id, float] = {}
+    for item, score in recommendations_from(cf, user_id):
+        if item in candidates:
+            scores[item] = score
+    endorsers: dict[Id, dict[Id, float]] = {}
+    my_items = {
+        l.tgt for l in graph.out_links(user_id) if l.has_type(act_type)
+    }
+    user_items: dict[Id, set] = {}
+    for link in graph.links():
+        if link.has_type(act_type):
+            user_items.setdefault(link.src, set()).add(link.tgt)
+    for other, items in user_items.items():
+        if other == user_id or not my_items:
+            continue
+        union_size = len(my_items | items)
+        sim = len(my_items & items) / union_size if union_size else 0.0
+        if sim <= sim_threshold:
+            continue
+        for item in items & set(scores):
+            endorsers.setdefault(item, {})[other] = sim
+    return scores, endorsers
+
+
+def _item_based_scores(
+    graph: SocialContentGraph,
+    candidates: set[Id],
+    user_id: Id,
+) -> tuple[dict, dict]:
+    """Content-based support over derived ``sim_item`` links."""
+    scores: dict[Id, float] = {}
+    supporting: dict[Id, dict[Id, float]] = {}
+    mine = {l.tgt for l in graph.out_links(user_id) if l.has_type("act")}
+    for past_item in mine:
+        for link in graph.out_links(past_item):
+            if not link.has_type("sim_item"):
+                continue
+            other = link.tgt
+            if other not in candidates or other in mine:
+                continue
+            sim = float(link.value("sim", 0.0))
+            scores[other] = scores.get(other, 0.0) + sim
+            supporting.setdefault(other, {})[past_item] = sim
+    return scores, supporting
+
+
+def social_scores_graph(
+    graph: SocialContentGraph,
+    candidates: SocialContentGraph,
+    basis: SocialContentGraph,
+    strategy: str,
+    user_id: Id,
+    keywords: tuple[str, ...] = (),
+    sim_threshold: float = 0.1,
+    act_type: str = "visit",
+) -> SocialContentGraph:
+    """One strategy's social relevance, graph-encoded.
+
+    *strategy* must be a member of :data:`COMPILED_STRATEGIES` or
+    ``"auto"`` (resolved from the live graph — the compiler resolves it
+    from statistics before lowering instead).
+    """
+    from repro.errors import ExpressionError
+
+    if strategy == "auto":
+        strategy = resolve_auto_strategy(graph)
+    if strategy not in COMPILED_STRATEGIES:
+        raise ExpressionError(
+            f"unknown compiled social strategy {strategy!r}; "
+            f"have {COMPILED_STRATEGIES}"
+        )
+    candidate_ids = {n.id for n in candidates.nodes()}
+    supporting: dict[Id, dict[Id, float]] = {}
+    endorsers: dict[Id, dict[Id, float]] = {}
+    fallback = False
+    if strategy == "friends":
+        scores, endorsers, fallback = _friends_scores(
+            graph, candidate_ids, basis, user_id, keywords
+        )
+    elif strategy == "similar_users":
+        meta = basis.node(META_ID) if basis.has_node(META_ID) else None
+        fallback = bool(meta.value("expert_fallback", 0)) if meta else False
+        scores, endorsers = _similar_user_scores(
+            graph, candidate_ids, user_id, sim_threshold, act_type
+        )
+    else:
+        meta = basis.node(META_ID) if basis.has_node(META_ID) else None
+        fallback = bool(meta.value("expert_fallback", 0)) if meta else False
+        scores, supporting = _item_based_scores(graph, candidate_ids, user_id)
+    return encode_social_result(
+        graph, candidates, scores, endorsers, supporting, strategy, fallback
+    )
+
+
+def encode_social_result(
+    graph: SocialContentGraph,
+    candidates: SocialContentGraph,
+    scores: dict[Id, float],
+    endorsers: dict[Id, dict[Id, float]],
+    supporting: dict[Id, dict[Id, float]],
+    strategy: str,
+    fallback: bool,
+) -> SocialContentGraph:
+    """Shared encoder for the social-score graph (scan and index paths).
+
+    Both physical forms route through here, so the produced graph is
+    record-for-record identical whichever access path the compiler picked.
+    """
+    out = SocialContentGraph(catalog=graph.catalog)
+    for node in candidates.nodes():
+        if node.id in scores:
+            out.add_node(node.with_attrs(social_raw=scores[node.id]))
+    for item, per_user in endorsers.items():
+        for user, weight in per_user.items():
+            if not out.has_node(user):
+                out.add_node(graph.node(user) if graph.has_node(user)
+                             else Node(user, type="user"))
+            out.add_link(Link(f"endorse:{user}->{item}", user, item,
+                              type=ENDORSE_TYPE, weight=weight))
+    for item, per_item in supporting.items():
+        for supporter, weight in per_item.items():
+            if not out.has_node(supporter):
+                out.add_node(graph.node(supporter) if graph.has_node(supporter)
+                             else Node(supporter, type="item"))
+            out.add_link(Link(f"support:{supporter}->{item}", supporter, item,
+                              type=SUPPORT_TYPE, weight=weight))
+    out.add_node(Node(META_ID, type=META_TYPE, strategy=strategy,
+                      expert_fallback=int(fallback)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Score combination (endorsement merge into the final ranking)
+# ---------------------------------------------------------------------------
+
+
+def _max_normalized(scores: dict[Id, float]) -> dict[Id, float]:
+    top = max(scores.values(), default=0.0)
+    if top <= 0:
+        return {i: 0.0 for i in scores}
+    return {i: s / top for i, s in scores.items()}
+
+
+def combine_scores_graph(
+    candidates: SocialContentGraph,
+    social: SocialContentGraph,
+    alpha: float,
+    drop_zero: bool = True,
+) -> SocialContentGraph:
+    """α·semantic + (1−α)·social over max-normalized components.
+
+    Carries the social stage's provenance (endorse/support links and the
+    marker node) through for items that survive, so downstream MSG
+    assembly reads one graph.
+    """
+    semantic = {n.id: (n.score or 0.0) for n in candidates.nodes()}
+    raw: dict[Id, float] = {}
+    for node in social.nodes():
+        value = node.value("social_raw")
+        if value is not None:
+            raw[node.id] = float(value)
+    semantic_norm = _max_normalized(semantic)
+    social_norm = _max_normalized(raw)
+    out = SocialContentGraph(catalog=candidates.catalog)
+    for node in candidates.nodes():
+        sem = semantic_norm.get(node.id, 0.0)
+        soc = social_norm.get(node.id, 0.0)
+        combined = alpha * sem + (1 - alpha) * soc
+        if drop_zero and combined <= 0.0:
+            continue
+        out.add_node(node.with_attrs(
+            semantic_norm=sem,
+            social_norm=soc,
+            social_raw=raw.get(node.id),
+            combined=combined,
+        ))
+    for link in social.links():
+        if not out.has_node(link.tgt):
+            continue  # provenance of a dropped item
+        if not out.has_node(link.src):
+            out.add_node(social.node(link.src))
+        out.add_link(link)
+    if social.has_node(META_ID):
+        out.add_node(social.node(META_ID))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Decoding a pipeline result back into discovery-layer values
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DecodedSocialResult:
+    """A combined-pipeline result graph, read back into plain values."""
+
+    #: (item, semantic_norm, social_norm, combined), best first
+    items: list[tuple[Id, float, float, float]] = field(default_factory=list)
+    #: raw social scores of the surviving items
+    scores: dict[Id, float] = field(default_factory=dict)
+    endorsers: dict[Id, dict[Id, float]] = field(default_factory=dict)
+    supporting_items: dict[Id, dict[Id, float]] = field(default_factory=dict)
+    strategy: str = "friends"
+    used_expert_fallback: bool = False
+
+
+def decode_social_result(result: SocialContentGraph) -> DecodedSocialResult:
+    """Read a combined-pipeline result graph (deterministic item order)."""
+    decoded = DecodedSocialResult()
+    for node in result.nodes():
+        if node.has_type(META_TYPE):
+            decoded.strategy = str(node.value("strategy", decoded.strategy))
+            decoded.used_expert_fallback = bool(
+                node.value("expert_fallback", 0)
+            )
+            continue
+        raw = node.value("social_raw")
+        if raw is not None:
+            decoded.scores[node.id] = float(raw)
+        combined = node.value("combined")
+        if combined is None:
+            continue  # social-stage-only node, endorser, or supporter
+        decoded.items.append((
+            node.id,
+            float(node.value("semantic_norm", 0.0)),
+            float(node.value("social_norm", 0.0)),
+            float(combined),
+        ))
+    for link in result.links():
+        if link.has_type(ENDORSE_TYPE):
+            decoded.endorsers.setdefault(link.tgt, {})[link.src] = float(
+                link.value("weight", 0.0)
+            )
+        elif link.has_type(SUPPORT_TYPE):
+            decoded.supporting_items.setdefault(link.tgt, {})[link.src] = float(
+                link.value("weight", 0.0)
+            )
+    decoded.items.sort(key=lambda t: (-t[3], repr(t[0])))
+    return decoded

@@ -46,6 +46,13 @@ class GraphStats:
     term_doc_freq: Counter = field(default_factory=Counter)
     #: number of node documents the term histogram was collected over
     term_population: int = 0
+    #: out-degree histograms of the §4 overlays: degree -> number of nodes
+    #: with that many outgoing ``connect`` / ``act`` links.  Zero-degree
+    #: nodes are not stored (derive them from the type histogram); the
+    #: social-stage cost model reads expected basis sizes and endorsement
+    #: reach off these.
+    connect_degree_hist: Counter = field(default_factory=Counter)
+    act_degree_hist: Counter = field(default_factory=Counter)
 
     @classmethod
     def of(cls, graph: SocialContentGraph, with_terms: bool = False) -> "GraphStats":
@@ -59,10 +66,64 @@ class GraphStats:
                     stats.term_doc_freq[token] += 1
         if with_terms:
             stats.term_population = graph.num_nodes
+        connect_out: Counter = Counter()
+        act_out: Counter = Counter()
         for link in graph.links():
             for t in link.types:
                 stats.link_types[t] += 1
+            if "connect" in link.types:
+                connect_out[link.src] += 1
+            if "act" in link.types:
+                act_out[link.src] += 1
+        for degree in connect_out.values():
+            stats.connect_degree_hist[degree] += 1
+        for degree in act_out.values():
+            stats.act_degree_hist[degree] += 1
         return stats
+
+    # -- social-stage expectations -------------------------------------------
+
+    def users_with_connections(self) -> int:
+        """Number of nodes with at least one outgoing ``connect`` link."""
+        return sum(self.connect_degree_hist.values())
+
+    def active_users(self) -> int:
+        """Number of nodes with at least one outgoing ``act`` link."""
+        return sum(self.act_degree_hist.values())
+
+    def expected_basis_size(self) -> float:
+        """Expected friend-basis size of a random user.
+
+        Total outgoing ``connect`` links over the user population (falling
+        back to the connected population when the graph types no users) —
+        the mean of the connection-degree histogram including its implicit
+        zero bucket.
+        """
+        total = sum(d * c for d, c in self.connect_degree_hist.items())
+        population = max(
+            self.node_types.get("user", 0), self.users_with_connections(), 1
+        )
+        return total / population
+
+    def avg_act_degree(self) -> float:
+        """Mean activity out-degree of an *active* user.
+
+        Conditional on acting at all: a basis member was selected because
+        they are connected, and connected users who never act contribute
+        nothing to either physical path, so the per-member probe work is
+        priced off the active population.
+        """
+        total = sum(d * c for d, c in self.act_degree_hist.items())
+        return total / max(self.active_users(), 1)
+
+    def expected_endorsements(self) -> float:
+        """Expected endorsement-probe reach: basis size × activity degree.
+
+        An upper bound on the distinct items a friend basis endorses (the
+        posting count of a network-index list); callers cap it by the
+        candidate population.
+        """
+        return self.expected_basis_size() * self.avg_act_degree()
 
     # -- selectivity ---------------------------------------------------------
 

@@ -9,24 +9,30 @@ Pipeline per query:
 
 1. parse (:mod:`repro.discovery.query`) and classify
    (:mod:`repro.discovery.classify`) the text;
-2. semantic relevance: scope + score candidates — built as a σN⟨C,S⟩
-   algebra plan and executed through the physical compiler
-   (:mod:`repro.plan`), which picks the access path (index vs. scan)
-   cost-wise and caches the compiled plan;
-3. connection selection: pick the friend subset fit for the query, falling
-   back to topic experts (Example 2);
-4. social relevance: run the configured strategy (friend endorsements by
-   default; Example 5 CF and item-based CF available);
-5. combine into one relevance score — ``α·semantic + (1-α)·social`` over
-   max-normalised components; empty queries use social only (§4);
-6. assemble the MSG.
+2. build the *whole* remaining pipeline as one algebra plan and execute
+   it through the physical compiler (:mod:`repro.plan`): semantic
+   σN⟨C,S⟩ scoping (index vs. scan chosen cost-wise), connection
+   selection (friend subset fit for the query, falling back to topic
+   experts — Example 2), social relevance (friend endorsements by
+   default; Example 5 CF and item-based available; probe vs. §6.2
+   endorsement index chosen cost-wise, and the strategy itself under
+   ``"auto"``), and the ``α·semantic + (1-α)·social`` combination over
+   max-normalised components (empty queries use social only, §4) —
+   compiled once per shape into the generation-stamped plan cache;
+3. assemble the MSG.
+
+Custom strategy objects (anything outside the three built-in classes)
+and injected semantic score maps still run the hand-executed reference
+path (:meth:`InformationDiscoverer._rank_legacy`), which the parity
+suite holds equal to the compiled one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core import Id, SocialContentGraph
+from repro.core.social import decode_social_result
 from repro.discovery.classify import QueryClassifier
 from repro.discovery.connections import ConnectionSelector
 from repro.discovery.msg import MeaningfulSocialGraph, ScoredItem, assemble_msg
@@ -35,11 +41,22 @@ from repro.discovery.relevance import SemanticRelevance, SemanticResult
 from repro.discovery.strategies import (
     DEFAULT_STRATEGIES,
     FriendBasedStrategy,
+    ItemBasedStrategy,
+    SimilarUserStrategy,
     SocialScores,
     SocialStrategy,
 )
 from repro.errors import DiscoveryError
 from repro.plan import PlanExecution, QueryPlanner
+
+#: Strategy classes the physical compiler knows how to lower, mapped to
+#: their canonical plan names.  Custom strategy objects fall back to the
+#: hand-executed scoring path.
+_COMPILED_STRATEGY_TYPES = {
+    FriendBasedStrategy: "friends",
+    SimilarUserStrategy: "similar_users",
+    ItemBasedStrategy: "item_based",
+}
 
 
 @dataclass
@@ -69,6 +86,10 @@ class RankedDiscovery:
     items: list[ScoredItem]
     social: SocialScores
     used_expert_fallback: bool
+    #: the end-to-end physical-plan execution that produced this ranking
+    #: (None only when a custom strategy forced the hand-executed path
+    #: *and* the caller injected precomputed semantic scores)
+    execution: PlanExecution | None = field(default=None, compare=False)
 
     @property
     def total(self) -> int:
@@ -140,6 +161,7 @@ class InformationDiscoverer:
         alpha: float | None = None,
         semantic: SemanticResult | None = None,
         offset: int = 0,
+        access: str = "auto",
     ) -> MeaningfulSocialGraph:
         """Evaluate an already-parsed query into a (windowed) MSG.
 
@@ -150,7 +172,8 @@ class InformationDiscoverer:
         """
         limit = k if k is not None else self.config.max_results
         ranking = self.rank(
-            query, strategy=strategy, alpha=alpha, semantic=semantic
+            query, strategy=strategy, alpha=alpha, semantic=semantic,
+            access=access,
         )
         window = ranking.items[offset : offset + limit]
         return assemble_msg(
@@ -176,31 +199,114 @@ class InformationDiscoverer:
             access=access,
         )
 
+    def _compiled_form(self, name: str) -> tuple[str, float, str] | None:
+        """(canonical strategy, sim_threshold, act_type) or None.
+
+        ``None`` means the resolved strategy is a custom object the
+        compiler cannot lower — the hand-executed scoring path serves it.
+        Unknown names raise, exactly as the registry lookup always has.
+        """
+        if name == "auto":
+            # Auto may resolve to similar_users at compile time: carry the
+            # registered instance's parameters so the auto-resolved scoring
+            # matches an explicit request exactly.
+            configured = self.strategies.get("similar_users")
+            if isinstance(configured, SimilarUserStrategy):
+                return ("auto", configured.sim_threshold, configured.act_type)
+            return ("auto", 0.1, "visit")
+        instance = self.strategy(name)
+        canonical = _COMPILED_STRATEGY_TYPES.get(type(instance))
+        if canonical is None:
+            return None
+        if isinstance(instance, SimilarUserStrategy):
+            return (canonical, instance.sim_threshold, instance.act_type)
+        return (canonical, 0.1, "visit")
+
     def rank(
         self,
         query: Query,
         strategy: str | None = None,
         alpha: float | None = None,
         semantic: SemanticResult | None = None,
+        access: str = "auto",
     ) -> RankedDiscovery:
         """Compute the full combined ranking for an already-parsed query.
 
-        The semantic stage runs as a compiled physical plan unless the
-        caller injects a precomputed *semantic* score map (the session
-        does, to thread one execution's EXPLAIN profile through).  Per-item
+        The *whole* pipeline — semantic σN⟨C,S⟩ candidates, connection
+        basis, strategy scoring, α-combination — runs as one compiled
+        physical plan (Example 4/5's semi-join + aggregation reading), so
+        EXPLAIN covers every stage and the plan cache covers the full
+        query.  Two callers opt out of compilation: an injected *semantic*
+        score map (precomputed candidates cannot enter a compiled plan)
+        and a custom strategy object the compiler cannot lower.  Per-item
         combined scores are independent of any result limit (normalisation
         runs over the full candidate set), so callers may window the
         returned list freely without reordering artifacts.
         """
-        semantic_result = (
-            semantic
-            if semantic is not None
-            else SemanticResult(scores=self.semantic_candidates(query).scores())
+        name = strategy or self.config.strategy
+        form = None if semantic is not None else self._compiled_form(name)
+        if form is None:
+            return self._rank_legacy(query, name, alpha, semantic, access)
+        weight = 0.0 if query.is_empty else (
+            self.config.alpha if alpha is None else alpha
         )
+        execution = self.planner.discovery_pipeline(
+            query,
+            item_type=self.semantic.item_type,
+            scorer=self.semantic.scorer if query.keywords else None,
+            strategy=form[0],
+            sim_threshold=form[1],
+            act_type=form[2],
+            alpha=weight,
+            drop_zero=self.config.drop_zero,
+            min_fit=self.connections.min_fit,
+            min_qualified=self.connections.min_qualified,
+            max_experts=self.connections.max_experts,
+            access=access,
+        )
+        decoded = decode_social_result(execution.result)
+        social = SocialScores(
+            strategy=decoded.strategy,
+            scores=decoded.scores,
+            endorsers=decoded.endorsers,
+            supporting_items=decoded.supporting_items,
+        )
+        items = [
+            ScoredItem(item_id=item, semantic=sem, social=soc, combined=combined)
+            for item, sem, soc, combined in decoded.items
+        ]
+        return RankedDiscovery(
+            query=query,
+            items=items,
+            social=social,
+            used_expert_fallback=decoded.used_expert_fallback,
+            execution=execution,
+        )
+
+    def _rank_legacy(
+        self,
+        query: Query,
+        name: str,
+        alpha: float | None,
+        semantic: SemanticResult | None,
+        access: str = "auto",
+    ) -> RankedDiscovery:
+        """The hand-executed scoring pipeline (reference implementation).
+
+        Kept for custom strategy objects and injected semantic scores;
+        the differential parity suite holds the compiled path equal to
+        this one on the built-in strategies.
+        """
+        execution = None
+        if semantic is None:
+            execution = self.semantic_candidates(query, access=access)
+            semantic_result = SemanticResult(scores=execution.scores())
+        else:
+            semantic_result = semantic
         candidates = set(semantic_result.scores)
 
         selection = self.connections.select(query.user_id, query.keywords)
-        chosen = self.strategy(strategy)
+        chosen = self.strategy(name)
         social = chosen.score(self.graph, query.user_id, candidates, selection)
         # Selma fallback: if the friend basis produced nothing (or experts
         # were already chosen), friend strategies rerun over experts.
@@ -242,4 +348,5 @@ class InformationDiscoverer:
             items=combined,
             social=social,
             used_expert_fallback=selection.used_expert_fallback,
+            execution=execution,
         )

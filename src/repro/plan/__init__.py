@@ -8,8 +8,10 @@ foundation carries weight.  Every serving query — ``Session.run``,
 
 * :mod:`repro.plan.compiler` — rule-optimize, then lower each logical
   operator to a physical one, choosing access paths (semantic-index
-  keyword selection vs. full scan) from a :class:`CostModel` fed by
-  :class:`~repro.core.stats.GraphStats`;
+  keyword selection vs. full scan; adjacency probe vs. the §6.2
+  network-aware endorsement indexes for the social stage) and — when the
+  request leaves it open — the social strategy itself, from a
+  :class:`CostModel` fed by :class:`~repro.core.stats.GraphStats`;
 * :mod:`repro.plan.physical` — the executable operators, self-profiling
   with per-operator actual cardinalities;
 * :mod:`repro.plan.cache` — a generation-stamped LRU of compiled plans,
@@ -29,13 +31,18 @@ from repro.plan.compiler import (
     AccessDecision,
     CostModel,
     IndexBinding,
+    StrategyDecision,
     compile_plan,
 )
 from repro.plan.explain import PlanExplain, explain_execution
 from repro.plan.physical import (
     INDEX,
+    NETWORK_CLUSTERED,
+    NETWORK_EXACT,
     SCAN,
+    EndorsementMergeOp,
     ExecContext,
+    GroupedAggregationOp,
     IndexKeywordScanOp,
     InputOp,
     LiteralOp,
@@ -44,6 +51,7 @@ from repro.plan.physical import (
     PhysicalPlan,
     PlanExecution,
     ScanOp,
+    SemiJoinProbeOp,
 )
 from repro.plan.planner import BASE_GRAPH, QueryPlanner
 
@@ -53,12 +61,16 @@ __all__ = [
     "BASE_GRAPH",
     "CacheStats",
     "CostModel",
+    "EndorsementMergeOp",
     "ExecContext",
+    "GroupedAggregationOp",
     "INDEX",
     "IndexBinding",
     "IndexKeywordScanOp",
     "InputOp",
     "LiteralOp",
+    "NETWORK_CLUSTERED",
+    "NETWORK_EXACT",
     "OperatorProfile",
     "PhysicalOp",
     "PhysicalPlan",
@@ -68,6 +80,8 @@ __all__ = [
     "QueryPlanner",
     "SCAN",
     "ScanOp",
+    "SemiJoinProbeOp",
+    "StrategyDecision",
     "compile_plan",
     "explain_execution",
 ]

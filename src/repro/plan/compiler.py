@@ -27,19 +27,32 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.conditions import AttrEquals, Condition, HasType
-from repro.core.expr import Expr, InputE, LiteralE, SelectNodesE, plan_key
+from repro.core.expr import (
+    Expr,
+    InputE,
+    LiteralE,
+    SelectNodesE,
+    SocialScoreE,
+    plan_key,
+)
 from repro.core.optimizer import DEFAULT_RULES, optimize
+from repro.core.social import COMPILED_STRATEGIES, choose_strategy
 from repro.core.stats import GraphStats
 from repro.errors import QueryError
 from repro.plan.physical import (
     INDEX,
+    NETWORK_CLUSTERED,
+    NETWORK_EXACT,
     SCAN,
+    EndorsementMergeOp,
+    GroupedAggregationOp,
     IndexKeywordScanOp,
     InputOp,
     LiteralOp,
     PhysicalOp,
     PhysicalPlan,
     ScanOp,
+    SemiJoinProbeOp,
 )
 
 #: Valid access-path preferences for compilation.
@@ -60,12 +73,34 @@ class CostModel:
 
     scan_cost_per_node: float = 1.0
     index_cost_per_posting: float = 2.0
+    #: price of testing one adjacency link during the social-stage
+    #: semi-join probe (the scan form of friend endorsement)
+    probe_cost_per_link: float = 1.0
+    #: price of one §6.2 endorsement-posting touch (exact lists)
+    endorsement_posting_cost: float = 1.5
+    #: surcharge per posting for the clustered variant's exact rescoring
+    #: (Eq 1's "having to compute exact scores at query time")
+    clustered_recompute_cost: float = 2.0
+    #: exact-index entry budget: past this estimated size the compiler
+    #: prefers the cluster-compressed lists (the paper's 1 TB concern)
+    network_entry_budget: float = 100_000.0
 
     def scan_cost(self, input_nodes: float) -> float:
         return input_nodes * self.scan_cost_per_node
 
     def index_cost(self, expected_matches: float) -> float:
         return expected_matches * self.index_cost_per_posting
+
+    def social_probe_cost(self, basis_size: float, act_degree: float) -> float:
+        """Work of the adjacency probe: every act link of every member."""
+        return self.probe_cost_per_link * basis_size * max(act_degree, 1.0)
+
+    def endorsement_index_cost(self, postings: float, clustered: bool) -> float:
+        """Work of merging one user's endorsement posting list."""
+        per_posting = self.endorsement_posting_cost
+        if clustered:
+            per_posting += self.clustered_recompute_cost
+        return postings * per_posting
 
 
 @dataclass(frozen=True)
@@ -93,6 +128,16 @@ class AccessDecision:
     scan_cost: float
     index_cost: float | None
     reason: str
+
+
+@dataclass(frozen=True)
+class StrategyDecision:
+    """The cost-based social-strategy pick when the request left it open."""
+
+    op: str
+    chosen: str
+    reason: str
+    considered: tuple[str, ...] = COMPILED_STRATEGIES
 
 
 def _scopes_item_population(condition: Condition, item_type: str) -> bool:
@@ -155,6 +200,7 @@ def compile_plan(
     model = cost_model if cost_model is not None else CostModel()
     optimized, report = optimize(expr, rules)
     decisions: list[AccessDecision] = []
+    strategy_state: dict[str, Any] = {"decision": None, "resolved": None}
     memo: dict[int, PhysicalOp] = {}
 
     def lower(node: Expr) -> PhysicalOp:
@@ -166,6 +212,11 @@ def compile_plan(
             physical: PhysicalOp = InputOp(node, ())
         elif isinstance(node, LiteralE):
             physical = LiteralOp(node, ())
+        elif isinstance(node, SocialScoreE):
+            physical = _choose_social_path(
+                node, children, stats, access, model, decisions,
+                strategy_state,
+            )
         elif _index_eligible(node, index) and access != SCAN:
             physical = _choose_select_path(
                 node, children, stats, index, access, model, decisions
@@ -184,6 +235,8 @@ def compile_plan(
         stats=stats,
         key=(key if key is not None else plan_key(expr), access),
         decisions=tuple(decisions),
+        strategy_decision=strategy_state["decision"],
+        resolved_strategy=strategy_state["resolved"],
     )
 
 
@@ -223,3 +276,110 @@ def _choose_select_path(
     if chosen == INDEX:
         return IndexKeywordScanOp(node, children, index.item_type)
     return ScanOp(node, children)
+
+
+def _resolve_strategy(stats: GraphStats) -> tuple[str, str]:
+    """Cost-based strategy pick from the connection-degree histograms.
+
+    Shares its rule with :func:`repro.core.social.choose_strategy` (the
+    evaluation-time twin): friend endorsement needs a connected *and*
+    active population; without one, content support (derived ``sim_item``
+    links) beats a similarity pass, which in turn beats an inert friends
+    probe.
+    """
+    basis = stats.expected_basis_size()
+    act_links = stats.link_types.get("act", 0)
+    sim_links = stats.link_types.get("sim_item", 0)
+    chosen = choose_strategy(
+        stats.users_with_connections() > 0, act_links > 0, sim_links > 0
+    )
+    if chosen == "friends" and stats.users_with_connections() > 0:
+        reason = (
+            f"avg connection degree {basis:.1f} over "
+            f"{stats.users_with_connections()} connected users with "
+            f"{act_links} activities"
+        )
+    elif chosen == "item_based":
+        reason = f"no connections; {sim_links} derived sim_item links"
+    elif chosen == "similar_users":
+        reason = f"no connections or sim_item links; {act_links} activities"
+    else:
+        reason = "no social signal in statistics; defaulting to friends"
+    return chosen, reason
+
+
+def _choose_social_path(
+    node: SocialScoreE,
+    children: tuple[PhysicalOp, ...],
+    stats: GraphStats,
+    access: str,
+    model: CostModel,
+    decisions: list[AccessDecision],
+    strategy_state: dict,
+) -> PhysicalOp:
+    """Lower the social stage: resolve the strategy, then pick its form.
+
+    Friend endorsement has three physical forms — the adjacency probe
+    (scan), the exact §6.2 endorsement index, and the cluster-compressed
+    variant; the similarity strategies have one (grouped aggregation).
+    The network-index forms are eligible only for empty-keyword queries,
+    where every basis weight is 1.0 and the stored ``count`` scores match
+    the probe exactly (the correctness boundary, mirrored at runtime).
+    """
+    resolved = node.strategy
+    if resolved == "auto":
+        resolved, reason = _resolve_strategy(stats)
+        strategy_state["decision"] = StrategyDecision(
+            op=node.describe(), chosen=resolved, reason=reason
+        )
+    strategy_state["resolved"] = resolved
+    if resolved != "friends":
+        return GroupedAggregationOp(node, children, resolved)
+
+    eligible = node.keywords == () and access != SCAN
+    if not eligible:
+        if node.keywords == () and access == SCAN:
+            decisions.append(AccessDecision(
+                op=node.describe(), chosen=SCAN,
+                scan_cost=model.social_probe_cost(
+                    stats.expected_basis_size(), stats.avg_act_degree()
+                ),
+                index_cost=None, reason="forced by request",
+            ))
+        return SemiJoinProbeOp(node, children, resolved)
+
+    basis = stats.expected_basis_size()
+    act_degree = stats.avg_act_degree()
+    scan_cost = model.social_probe_cost(basis, act_degree)
+    items = max(stats.node_types.get("item", stats.num_nodes), 1)
+    postings = min(stats.expected_endorsements(), items)
+    # Exact lists are per-user: size the whole structure before choosing.
+    total_entries = stats.users_with_connections() * postings
+    clustered = total_entries > model.network_entry_budget
+    variant = "clustered" if clustered else "exact"
+    index_cost = model.endorsement_index_cost(postings, clustered)
+    if access == INDEX:
+        chosen, reason = variant, "forced by request"
+    elif index_cost < scan_cost:
+        chosen, reason = variant, (
+            f"~{postings:.0f} endorsement postings cheaper than probing "
+            f"~{basis:.1f} members x {act_degree:.1f} activities"
+            + (f"; ~{total_entries:.0f} entries over budget, clustered lists"
+               if clustered else "")
+        )
+    else:
+        chosen, reason = SCAN, (
+            f"probe (~{scan_cost:.0f}) beats posting merge "
+            f"(~{index_cost:.0f})"
+        )
+    decisions.append(AccessDecision(
+        op=node.describe(),
+        chosen=(NETWORK_CLUSTERED if chosen == "clustered"
+                else NETWORK_EXACT if chosen == "exact" else SCAN),
+        scan_cost=scan_cost,
+        index_cost=index_cost,
+        reason=reason,
+    ))
+    if chosen == SCAN:
+        return SemiJoinProbeOp(node, children, resolved)
+    return EndorsementMergeOp(node, children, resolved, chosen)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.plan.compiler import AccessDecision
+from repro.plan.compiler import AccessDecision, StrategyDecision
 from repro.plan.physical import OperatorProfile, PlanExecution
 
 
@@ -25,12 +25,16 @@ class PlanExplain:
     operators: tuple[OperatorProfile, ...]
     #: logical rewrite rules applied, in application order
     rewrites: tuple[str, ...]
-    #: scan-vs-index choices the compiler costed
+    #: scan-vs-index choices the compiler costed (semantic and social)
     decisions: tuple[AccessDecision, ...]
     #: dominant access path ("index" or "scan")
     access_path: str
     #: True when the compiled plan came from the plan cache
     cache_hit: bool
+    #: the cost-based social-strategy pick, when the query left it open
+    strategy_decision: StrategyDecision | None = None
+    #: concrete social strategy the plan ran (None: no social stage)
+    resolved_strategy: str | None = None
 
     def estimation_error(self) -> float:
         """Largest |estimated − actual| / max(actual, 1) over node counts.
@@ -59,4 +63,6 @@ def explain_execution(execution: PlanExecution) -> PlanExplain:
         decisions=execution.plan.decisions,
         access_path=execution.plan.access_path,
         cache_hit=execution.cache_hit,
+        strategy_decision=execution.plan.strategy_decision,
+        resolved_strategy=execution.plan.resolved_strategy,
     )

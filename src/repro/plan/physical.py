@@ -31,6 +31,9 @@ from repro.errors import ExpressionError
 #: Access-path tags used in plan rendering and response metadata.
 SCAN = "scan"
 INDEX = "index"
+#: Network-aware (§6.2) access paths of the compiled social stage.
+NETWORK_EXACT = "network-exact"
+NETWORK_CLUSTERED = "network-clustered"
 
 
 class ExecContext:
@@ -40,9 +43,12 @@ class ExecContext:
         self,
         env: Mapping[str, SocialContentGraph],
         index_provider: Callable[[], Any] | None = None,
+        network_provider: Callable[[str], Any] | None = None,
     ):
         self.env = env
         self.index_provider = index_provider
+        #: variant name ("exact"/"clustered") → §6.2 endorsement index
+        self.network_provider = network_provider
         #: per-operator results, keyed by physical node identity (the DAG
         #: dedup — shared sub-plans execute once, as in Expr.evaluate)
         self.memo: dict[int, SocialContentGraph] = {}
@@ -50,6 +56,9 @@ class ExecContext:
         self.actuals: dict[int, tuple[Card, float]] = {}
         #: id()s of result graphs aliased straight from env/literal inputs
         self.borrowed: set[int] = set()
+        #: id()s of operators that degraded from their planned access path
+        #: at runtime (e.g. endorsement merge falling back to the probe)
+        self.degraded: set[int] = set()
 
 
 class PhysicalOp:
@@ -153,6 +162,112 @@ class IndexKeywordScanOp(PhysicalOp):
         )
 
 
+class _SocialStageOp(PhysicalOp):
+    """Base of the social-stage physical forms.
+
+    The logical node may still say ``"auto"``; the compiler resolves the
+    strategy from statistics at lowering time and pins it here, so
+    execution and EXPLAIN agree on what actually ran.
+    """
+
+    #: short physical-form tag shown in plan rendering
+    form = "social"
+
+    def __init__(self, logical: Expr, children: Sequence[PhysicalOp],
+                 strategy: str):
+        super().__init__(logical, children)
+        self.strategy = strategy
+
+    def describe(self) -> str:
+        return f"social⟨{self.strategy}⟩ [{self.form}]"
+
+    def _run(self, ctx, inputs):
+        return self.logical.compute_resolved(inputs, self.strategy)  # type: ignore[attr-defined]
+
+
+class SemiJoinProbeOp(_SocialStageOp):
+    """Friend/expert endorsement by probing each basis member's adjacency.
+
+    The scan form of the social stage: a semi-join of basis activities
+    into the candidate set, aggregated per item — one adjacency probe per
+    basis member, Example 4's reading executed directly.
+    """
+
+    form = "probe"
+
+
+class GroupedAggregationOp(_SocialStageOp):
+    """Similarity-driven strategies as one grouped aggregation pass.
+
+    Serves ``similar_users`` (Example 5's collaborative filter: group
+    activities per user, Jaccard against the querying user, merge
+    weighted endorsements) and ``item_based`` (group ``sim_item`` support
+    per candidate).
+    """
+
+    form = "group-agg"
+
+
+class EndorsementMergeOp(_SocialStageOp):
+    """Friend endorsement served from §6.2 network-aware posting lists.
+
+    Lowered only in the uniform-weight regime (empty-keyword queries,
+    every fit 1.0), where the probe's score is exactly
+    ``count(friends(u) ∩ actors(i))`` — the stored ``IL^u_k`` score with
+    one pseudo-tag.  The exact variant reads the user's list; the
+    clustered variant reads the cluster's upper-bound list and rescores
+    exactly (the paper's Eq 1 overhead).  If the provider is missing or
+    the data regime diverges (multi-activity pairs), the operator degrades
+    to the probe compute rather than risking drift.
+    """
+
+    def __init__(self, logical: Expr, children: Sequence[PhysicalOp],
+                 strategy: str, variant: str):
+        super().__init__(logical, children, strategy)
+        self.variant = variant
+        self.access_path = (
+            NETWORK_CLUSTERED if variant == "clustered" else NETWORK_EXACT
+        )
+
+    @property
+    def form(self) -> str:  # type: ignore[override]
+        return f"endorse-merge:{self.variant}"
+
+    def _run(self, ctx, inputs):
+        from repro.core.social import encode_social_result
+        from repro.indexing.endorsement import ACT_TAG, endorsement_entries
+
+        provider = ctx.network_provider
+        index = provider(self.variant) if provider is not None else None
+        if index is None:
+            ctx.degraded.add(id(self))
+            return super()._run(ctx, inputs)
+        user = self.logical.user_id  # type: ignore[attr-defined]
+        entries = endorsement_entries(index, user)
+        if entries is None:  # regime the index cannot serve exactly
+            ctx.degraded.add(id(self))
+            return super()._run(ctx, inputs)
+        graph, candidates, _basis = inputs
+        candidate_ids = {n.id for n in candidates.nodes()}
+        basis_members = index.data.basis.get(user, set())
+        scores: dict = {}
+        endorsers: dict = {}
+        for item, score in entries:
+            if item not in candidate_ids:
+                continue
+            scores[item] = score
+            members = index.data.taggers.get((item, ACT_TAG), set())
+            endorsers[item] = {m: 1.0 for m in sorted(members & basis_members,
+                                                      key=repr)}
+        # Uniform-weight Selma fallback: an empty endorsement set under an
+        # empty query marks the expert fallback (whose expert search over
+        # zero query terms yields nothing), exactly as the probe path does.
+        return encode_social_result(
+            graph, candidates, scores, endorsers, {}, self.strategy,
+            fallback=not scores,
+        )
+
+
 @dataclass(frozen=True)
 class OperatorProfile:
     """One EXPLAIN row: an operator with estimated vs. actual cardinality."""
@@ -184,6 +299,18 @@ class PlanExecution:
     result: SocialContentGraph
     profiles: tuple[OperatorProfile, ...]
     cache_hit: bool = False
+    #: operators that abandoned their planned access path at runtime
+    degraded_ops: int = 0
+
+    @property
+    def used_network_index(self) -> bool:
+        """True when a §6.2 endorsement index actually served this run.
+
+        Plan-level ``uses_network_index`` says what was *lowered*; an
+        operator may still degrade at execution time (missing provider,
+        data regime the index cannot serve exactly) — then this is False.
+        """
+        return self.plan.uses_network_index and self.degraded_ops == 0
 
     def scores(self) -> dict:
         """The result as a score map (Def 1 null-graph reading).
@@ -224,6 +351,8 @@ class PhysicalPlan:
         stats: GraphStats,
         key,
         decisions: tuple = (),
+        strategy_decision=None,
+        resolved_strategy: str | None = None,
     ):
         self.root = root
         self.logical = logical
@@ -231,14 +360,27 @@ class PhysicalPlan:
         self.rewrites = rewrites
         self.stats = stats
         self.key = key
-        #: access-path decisions the compiler made (one per select lowered)
+        #: access-path decisions the compiler made (one per choice costed)
         self.decisions = decisions
+        #: the cost-based strategy pick when the query left it open
+        self.strategy_decision = strategy_decision
+        #: concrete social strategy the lowered plan runs (None when the
+        #: plan has no social stage)
+        self.resolved_strategy = resolved_strategy
 
     @property
     def uses_index(self) -> bool:
         """True when any operator reads the semantic inverted index."""
         return any(
             op.access_path == INDEX for op in self._walk(self.root, set())
+        )
+
+    @property
+    def uses_network_index(self) -> bool:
+        """True when the social stage reads a §6.2 endorsement index."""
+        return any(
+            op.access_path in (NETWORK_EXACT, NETWORK_CLUSTERED)
+            for op in self._walk(self.root, set())
         )
 
     @property
@@ -261,22 +403,27 @@ class PhysicalPlan:
         self,
         env: Mapping[str, SocialContentGraph],
         index_provider: Callable[[], Any] | None = None,
+        network_provider: Callable[[str], Any] | None = None,
     ) -> PlanExecution:
         """Run the plan; the result never aliases an input/literal graph."""
-        ctx = ExecContext(env, index_provider)
+        ctx = ExecContext(env, index_provider, network_provider)
         result = self.root.execute(ctx)
         if id(result) in ctx.borrowed:
             result = result.copy()
         return PlanExecution(
-            plan=self, result=result, profiles=tuple(self._profiles(ctx))
+            plan=self, result=result, profiles=tuple(self._profiles(ctx)),
+            degraded_ops=len(ctx.degraded),
         )
 
     def _profiles(self, ctx: ExecContext, op: PhysicalOp | None = None,
                   depth: int = 0):
         op = op if op is not None else self.root
         actual, elapsed = ctx.actuals.get(id(op), (None, 0.0))
+        description = op.describe()
+        if id(op) in ctx.degraded:
+            description += " (degraded→probe)"
         yield OperatorProfile(
-            op=op.describe(),
+            op=description,
             depth=depth,
             estimated=op.estimate(self.stats),
             actual=actual,

@@ -24,7 +24,14 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Mapping
 
-from repro.core.expr import Expr, input_graph, plan_key
+from repro.core.expr import (
+    CombineScoresE,
+    ConnectionBasisE,
+    Expr,
+    SocialScoreE,
+    input_graph,
+    plan_key,
+)
 from repro.core.graph import SocialContentGraph
 from repro.core.stats import GraphStats
 from repro.plan.cache import PlanCache
@@ -51,6 +58,10 @@ class QueryPlanner:
         self.generation = 0
         self._stats: GraphStats | None = None
         self._index: IndexBinding | None = None
+        #: lazily built §6.2 endorsement indexes, keyed by variant and
+        #: stamped with the generation they were built under
+        self._network_indexes: dict[str, Any] = {}
+        self._network_generation = -1
         self._lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
@@ -91,6 +102,32 @@ class QueryPlanner:
     @property
     def index_binding(self) -> IndexBinding | None:
         return self._index
+
+    def network_index(self, variant: str) -> Any:
+        """The §6.2 endorsement index of the live graph (lazy, cached).
+
+        ``variant`` is ``"exact"`` (per-user lists) or ``"clustered"``
+        (per-cluster upper-bound lists).  Indexes rebuild lazily after any
+        generation bump, so a cached physical plan re-executing after a
+        refresh can never read stale postings.
+        """
+        with self._lock:
+            if self._network_generation != self.generation:
+                self._network_indexes.clear()
+                self._network_generation = self.generation
+            index = self._network_indexes.get(variant)
+            if index is None:
+                from repro.indexing.endorsement import (
+                    clustered_endorsement_index,
+                    exact_endorsement_index,
+                )
+
+                if variant == "clustered":
+                    index = clustered_endorsement_index(self.graph)
+                else:
+                    index = exact_endorsement_index(self.graph)
+                self._network_indexes[variant] = index
+        return index
 
     @property
     def stats(self) -> GraphStats:
@@ -136,6 +173,7 @@ class QueryPlanner:
         execution = plan.execute(
             env if env is not None else {BASE_GRAPH: self.graph},
             index_provider=provider,
+            network_provider=self.network_index,
         )
         execution.cache_hit = cache_hit
         return execution
@@ -159,3 +197,54 @@ class QueryPlanner:
             condition, scorer if condition.has_keywords else None
         )
         return self.execute(expr, access=access)
+
+    def discovery_pipeline(
+        self,
+        query,
+        item_type: str = "item",
+        scorer: Any = None,
+        strategy: str = "friends",
+        sim_threshold: float = 0.1,
+        act_type: str = "visit",
+        alpha: float = 0.5,
+        drop_zero: bool = True,
+        min_fit: float = 0.15,
+        min_qualified: int = 2,
+        max_experts: int = 10,
+        access: str = "auto",
+    ) -> PlanExecution:
+        """Compile and run the *whole* discovery pipeline as one plan.
+
+        semantic σN⟨C,S⟩ candidates → connection basis → social scoring
+        (strategy-parameterised; ``"auto"`` lets the compiler pick from
+        statistics) → α-combination.  The candidate sub-plan is shared
+        between the scoring and combination stages (a DAG, as in Example
+        4), so it executes once; EXPLAIN covers every operator of the
+        pipeline and the plan cache covers the full query shape.
+        """
+        condition = query.scope_condition(default_type=item_type)
+        G = input_graph(BASE_GRAPH)
+        candidates = G.select_nodes(
+            condition, scorer if condition.has_keywords else None
+        )
+        basis = ConnectionBasisE(
+            G,
+            user_id=query.user_id,
+            keywords=tuple(query.keywords),
+            min_fit=min_fit,
+            min_qualified=min_qualified,
+            max_experts=max_experts,
+        )
+        social = SocialScoreE(
+            G,
+            candidates,
+            basis,
+            strategy=strategy,
+            user_id=query.user_id,
+            keywords=tuple(query.keywords),
+            sim_threshold=sim_threshold,
+            act_type=act_type,
+        )
+        root = CombineScoresE(candidates, social, alpha=alpha,
+                              drop_zero=drop_zero)
+        return self.execute(root, access=access)

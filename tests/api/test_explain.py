@@ -1,14 +1,17 @@
 """Session behavior under ``explain=True`` and the serving plan cache.
 
-Covers the satellite contract: responses carry a plan, pagination and
-cursors behave exactly as without EXPLAIN, and compiled plans invalidate
-on ``invalidate()`` and on Data-Manager resync.
+Covers the satellite contract: responses carry a plan spanning the whole
+pipeline (semantic candidates → social scoring → combination), golden
+plan *shapes* pin the lowering rules structurally, pagination and cursors
+behave exactly as without EXPLAIN, and compiled plans invalidate on
+``invalidate()`` and on Data-Manager resync.
 """
 
 from __future__ import annotations
 
 import pytest
 
+import factories
 from repro.api import SearchRequest, Session
 from repro.core import Node
 from repro.plan import PlanExplain
@@ -23,6 +26,19 @@ def travel():
 @pytest.fixture()
 def session(travel):
     return Session.from_graph(travel.graph)
+
+
+def op_kinds(plan: PlanExplain) -> list[str]:
+    """Structural fingerprint: each operator's leading token, pre-order."""
+    kinds = []
+    for profile in plan.operators:
+        op = profile.op
+        for sep in ("⟨", " ", "("):
+            cut = op.find(sep)
+            if cut != -1:
+                op = op[:cut]
+        kinds.append(op)
+    return kinds
 
 
 class TestExplainResponses:
@@ -63,7 +79,21 @@ class TestExplainResponses:
     def test_recommendation_explains_as_scan(self, session):
         response = session.run(SearchRequest(user_id=JOHN, explain=True))
         assert response.plan.access_path == "scan"
-        assert response.plan.decisions == ()  # nothing to cost: no keywords
+        # No keyword selection to cost — the only decision on record is
+        # the social stage's probe-vs-endorsement-index choice.
+        assert [d.op for d in response.plan.decisions] == ["social⟨friends⟩"]
+
+    def test_plan_covers_semantic_and_social_stages(self, session):
+        response = session.run(
+            SearchRequest(user_id=JOHN, text="denver", explain=True)
+        )
+        kinds = op_kinds(response.plan)
+        assert "combine" in kinds and "social" in kinds and "basis" in kinds
+        assert "σN" in kinds and "input" in kinds
+        assert response.plan.resolved_strategy == "friends"
+        # every stage carries est vs. actual
+        for profile in response.plan.operators:
+            assert profile.actual is not None
 
     def test_results_identical_with_and_without_explain(self, session):
         plain = session.run(SearchRequest(user_id=JOHN, text="museum history"))
@@ -94,6 +124,138 @@ class TestExplainResponses:
         response = session.query(JOHN).text("denver").explain().run()
         assert response.plan is not None
         assert session.query(JOHN).text("denver").build().explain is False
+
+
+class TestGoldenPlanShapes:
+    """Snapshot-style assertions on full-pipeline plan structure.
+
+    A fixed seed graph pins the operator kinds *and* their pre-order
+    positions, so a lowering-rule regression (missing stage, wrong child
+    order, dropped DAG sharing) fails structurally — not just by score.
+    """
+
+    @pytest.fixture()
+    def fixed_session(self):
+        return Session.from_graph(factories.social_site_graph())
+
+    def test_keyword_friend_pipeline_shape(self, fixed_session):
+        response = fixed_session.run(
+            SearchRequest(user_id="u0", text="topic0", explain=True)
+        )
+        assert op_kinds(response.plan) == [
+            "combine",
+            "σN", "input",                      # shared candidate stage
+            "social", "input", "σN", "input",   # probe over the shared σN
+            "basis", "input",                   # connection selection
+        ]
+        assert "[probe]" in response.plan.operators[3].op
+        assert response.plan.resolved_strategy == "friends"
+
+    def test_recommendation_pipeline_shape(self, fixed_session):
+        response = fixed_session.run(
+            SearchRequest(user_id="u0", explain=True)
+        )
+        assert op_kinds(response.plan) == [
+            "combine",
+            "σN", "input",
+            "social", "input", "σN", "input",
+            "basis", "input",
+        ]
+        (decision,) = response.plan.decisions
+        assert decision.op == "social⟨friends⟩"
+        assert decision.chosen in ("scan", "network-exact",
+                                   "network-clustered")
+
+    def test_similarity_strategies_lower_to_grouped_aggregation(
+        self, fixed_session
+    ):
+        for strategy in ("similar_users", "cf", "item_based"):
+            response = fixed_session.run(SearchRequest(
+                user_id="u0", text="topic0", strategy=strategy, explain=True,
+            ))
+            social_ops = [p.op for p in response.plan.operators
+                          if p.op.startswith("social")]
+            assert social_ops and all("[group-agg]" in op for op in social_ops)
+
+    def test_forced_network_index_shape_and_parity(self, fixed_session):
+        plain = fixed_session.run(SearchRequest(user_id="u0"))
+        forced = fixed_session.run(
+            SearchRequest(user_id="u0", use_index=True, explain=True)
+        )
+        assert forced.items == plain.items
+        social_ops = [p.op for p in forced.plan.operators
+                      if p.op.startswith("social")]
+        assert social_ops and all("endorse-merge" in op for op in social_ops)
+        assert fixed_session.stats.social_index_queries >= 1
+
+    def test_strategy_auto_records_a_cost_based_decision(self, fixed_session):
+        response = fixed_session.run(
+            SearchRequest(user_id="u0", strategy="auto", explain=True)
+        )
+        decision = response.plan.strategy_decision
+        assert decision is not None
+        assert decision.chosen == "friends"  # connected + active population
+        assert decision.considered == ("friends", "similar_users",
+                                       "item_based")
+        assert response.resolved["social_strategy"] == "friends"
+
+    def test_forced_scan_keeps_whole_pipeline_on_scan_forms(
+        self, fixed_session
+    ):
+        response = fixed_session.run(SearchRequest(
+            user_id="u0", text="topic0", use_index=False, explain=True,
+        ))
+        text = response.plan.text
+        assert "endorse-merge" not in text and "[index:" not in text
+        assert response.plan.access_path == "scan"
+
+    def test_runtime_degrade_is_visible_in_explain_and_stats(self):
+        # Duplicate (user, item) act pairs put the graph outside the
+        # regime the endorsement index can serve exactly: the lowered
+        # merge op must fall back to the probe, say so in EXPLAIN, and
+        # not count as an index-served query.
+        from repro.core import Link
+
+        graph = factories.social_site_graph(num_users=4, num_items=4)
+        graph.add_link(Link("dup", "u1", "i1", type="act, tag",
+                            tags="again"))
+        session = Session.from_graph(graph)
+        response = session.run(
+            SearchRequest(user_id="u0", use_index=True, explain=True)
+        )
+        merge_rows = [p.op for p in response.plan.operators
+                      if "endorse-merge" in p.op]
+        assert merge_rows and all("(degraded→probe)" in op
+                                  for op in merge_rows)
+        assert session.stats.social_index_queries == 0
+        # and the degraded run still matches the pure probe path
+        scanned = session.run(SearchRequest(user_id="u0", use_index=False))
+        assert response.items == scanned.items
+
+    def test_custom_strategy_still_honors_use_index(self, travel):
+        # Custom strategies route through the hand-executed reference
+        # path; the request's access preference must still reach the
+        # semantic stage there.
+        class Constant:
+            name = "constant"
+
+            def score(self, graph, user_id, candidates, basis=None):
+                from repro.discovery import SocialScores
+
+                return SocialScores(strategy=self.name,
+                                    scores={c: 1.0 for c in candidates})
+
+        session = Session.from_graph(travel.graph)
+        session.discoverer.strategies["constant"] = Constant()
+        indexed = session.run(SearchRequest(
+            user_id=JOHN, text="denver", strategy="constant",
+        ))
+        scanned = session.run(SearchRequest(
+            user_id=JOHN, text="denver", strategy="constant",
+            use_index=False,
+        ))
+        assert scanned.index_used is False
+        assert indexed.items == scanned.items
 
 
 class TestServingPlanCache:

@@ -5,45 +5,19 @@ from __future__ import annotations
 import pytest
 from hypothesis import strategies as st
 
+import factories
 from repro.core import Link, Node, SocialContentGraph
 
 
 # ---------------------------------------------------------------------------
-# Hand-built fixture graphs
+# Hand-built fixture graphs (builders shared via tests/factories.py)
 # ---------------------------------------------------------------------------
 
 
 @pytest.fixture
 def tiny_travel_graph() -> SocialContentGraph:
-    """The smoke-test graph used throughout the core tests.
-
-    John(101) plus Ann/Bob/Cat, four destinations, visit activities and a
-    couple of friend links.  Jaccard similarities with John's visit set
-    {d1, d3}: Ann 2/3, Bob 1/4, Cat 1.
-    """
-    g = SocialContentGraph()
-    for uid, name in [(101, "John"), (102, "Ann"), (103, "Bob"), (104, "Cat")]:
-        g.add_node(Node(uid, type="user", name=name))
-    destinations = [
-        ("d1", "Coors Field", "baseball stadium"),
-        ("d2", "Ballpark Museum", "baseball museum"),
-        ("d3", "Denver Aquarium", "family aquarium"),
-        ("d4", "Denver Zoo", "family zoo"),
-    ]
-    for did, name, keywords in destinations:
-        g.add_node(Node(did, type="item, destination", name=name, keywords=keywords))
-    visits = [
-        (101, "d1"), (101, "d3"),
-        (102, "d1"), (102, "d3"), (102, "d2"),
-        (103, "d1"), (103, "d2"), (103, "d4"),
-        (104, "d3"), (104, "d1"),
-    ]
-    for i, (u, d) in enumerate(visits):
-        g.add_link(Link(f"v{i}", u, d, type="act, visit"))
-    g.add_link(Link("f1", 101, 102, type="connect, friend"))
-    g.add_link(Link("f2", 101, 103, type="connect, friend"))
-    g.add_link(Link("f3", 102, 104, type="connect, friend"))
-    return g
+    """The smoke-test graph used throughout the core tests."""
+    return factories.tiny_travel_graph()
 
 
 @pytest.fixture

@@ -1,0 +1,121 @@
+"""Shared graph factories for the test suite.
+
+Graph-building helpers that used to be duplicated across per-module
+setups live here once: the smoke-test travel graph, plain item
+populations for plan/cache tests, the controlled-selectivity corpus the
+access-path tests sweep, and a small social site with every signal the
+social-stage strategies read (connections, activities, derived
+similarity).  Test modules import them directly (``tests`` is on the
+pytest ``pythonpath``); the root conftest re-exports the fixtures.
+"""
+
+from __future__ import annotations
+
+from repro.core import Link, Node, SocialContentGraph
+
+
+def tiny_travel_graph() -> SocialContentGraph:
+    """The smoke-test graph used throughout the core tests.
+
+    John(101) plus Ann/Bob/Cat, four destinations, visit activities and a
+    couple of friend links.  Jaccard similarities with John's visit set
+    {d1, d3}: Ann 2/3, Bob 1/4, Cat 1.
+    """
+    g = SocialContentGraph()
+    for uid, name in [(101, "John"), (102, "Ann"), (103, "Bob"), (104, "Cat")]:
+        g.add_node(Node(uid, type="user", name=name))
+    destinations = [
+        ("d1", "Coors Field", "baseball stadium"),
+        ("d2", "Ballpark Museum", "baseball museum"),
+        ("d3", "Denver Aquarium", "family aquarium"),
+        ("d4", "Denver Zoo", "family zoo"),
+    ]
+    for did, name, keywords in destinations:
+        g.add_node(Node(did, type="item, destination", name=name, keywords=keywords))
+    visits = [
+        (101, "d1"), (101, "d3"),
+        (102, "d1"), (102, "d3"), (102, "d2"),
+        (103, "d1"), (103, "d2"), (103, "d4"),
+        (104, "d3"), (104, "d1"),
+    ]
+    for i, (u, d) in enumerate(visits):
+        g.add_link(Link(f"v{i}", u, d, type="act, visit"))
+    g.add_link(Link("f1", 101, 102, type="connect, friend"))
+    g.add_link(Link("f2", 101, 103, type="connect, friend"))
+    g.add_link(Link("f3", 102, 104, type="connect, friend"))
+    return g
+
+
+def item_graph(n: int = 6) -> SocialContentGraph:
+    """A null graph of *n* plain items (plan-cache and aliasing tests)."""
+    g = SocialContentGraph()
+    for i in range(n):
+        g.add_node(Node(i, type="item", name=f"spot {i}"))
+    return g
+
+
+def selectivity_graph(
+    num_items: int = 40,
+    rare_count: int = 3,
+    rare_term: str = "rare",
+    common_term: str = "common",
+) -> SocialContentGraph:
+    """Items all mentioning *common_term*; only a few carry *rare_term*.
+
+    The corpus the scan-vs-index access-path tests sweep: term
+    selectivity is exactly controllable, so the cost model's crossover is
+    observable.
+    """
+    g = SocialContentGraph()
+    for i in range(num_items):
+        text = f"{common_term} everywhere" + (
+            f" {rare_term} gem" if i < rare_count else ""
+        )
+        g.add_node(Node(i, type="item", name=f"spot {i}", keywords=text))
+    return g
+
+
+def social_site_graph(
+    num_users: int = 6,
+    num_items: int = 8,
+    friends_per_user: int = 2,
+    acts_per_user: int = 3,
+    with_sim_links: bool = True,
+) -> SocialContentGraph:
+    """A small deterministic social site with every strategy's signal.
+
+    Users form a friendship ring (each follows the next
+    *friends_per_user* users), act on a rotating window of items, and —
+    when *with_sim_links* — consecutive items carry derived ``sim_item``
+    links, so friend-based, similar-user and item-based scoring all have
+    material to work with.
+    """
+    g = SocialContentGraph()
+    for u in range(num_users):
+        g.add_node(Node(f"u{u}", type="user", name=f"user {u}"))
+    for i in range(num_items):
+        g.add_node(Node(
+            f"i{i}", type="item", name=f"item {i}",
+            keywords=f"topic{i % 3} thing",
+        ))
+    link_id = 0
+    for u in range(num_users):
+        for step in range(1, friends_per_user + 1):
+            g.add_link(Link(
+                f"c{link_id}", f"u{u}", f"u{(u + step) % num_users}",
+                type="connect, friend",
+            ))
+            link_id += 1
+        for step in range(acts_per_user):
+            g.add_link(Link(
+                f"a{link_id}", f"u{u}", f"i{(u + step) % num_items}",
+                type="act, visit",
+            ))
+            link_id += 1
+    if with_sim_links:
+        for i in range(num_items - 1):
+            g.add_link(Link(
+                f"s{i}", f"i{i}", f"i{i + 1}", type="sim_item",
+                sim=round(0.2 + 0.1 * (i % 5), 3), derived_by="factory",
+            ))
+    return g

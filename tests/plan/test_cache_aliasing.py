@@ -11,16 +11,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Node, SocialContentGraph, input_graph, literal
+from factories import item_graph, social_site_graph
+from repro.core import Link, Node, input_graph, literal
 from repro.plan import PlanCache, QueryPlanner
 from repro.plan.physical import PhysicalPlan
-
-
-def item_graph(n: int = 6) -> SocialContentGraph:
-    g = SocialContentGraph()
-    for i in range(n):
-        g.add_node(Node(i, type="item", name=f"spot {i}"))
-    return g
 
 
 class TestPlanCache:
@@ -99,6 +93,65 @@ class TestEvaluateAliasing:
         inner = expr._eval({"G": g}, cache)
         assert expr.evaluate({"G": g}).same_as(inner)
         assert inner is not g
+
+
+class TestSocialPlanGenerations:
+    """A resync can never serve a stale compiled social-stage plan.
+
+    The dangerous sequence: compile the full pipeline (social stage
+    included, possibly over the §6.2 endorsement index), mutate the graph
+    behind the Data Manager, query again.  Generation stamping must force
+    a recompile *and* the network index must rebuild — otherwise the new
+    social signal is invisible.
+    """
+
+    def _pipeline(self, planner, user="u0", access="auto"):
+        from repro.discovery import parse_query
+
+        return planner.discovery_pipeline(
+            parse_query(user, ""), alpha=0.0, access=access
+        )
+
+    def test_planner_refresh_recompiles_the_social_pipeline(self):
+        planner = QueryPlanner(social_site_graph())
+        first = self._pipeline(planner)
+        again = self._pipeline(planner)
+        assert first.cache_hit is False and again.cache_hit is True
+        planner.refresh(social_site_graph())
+        after = self._pipeline(planner)
+        assert after.cache_hit is False  # generation bumped: recompiled
+
+    def test_refresh_rebuilds_the_endorsement_index(self):
+        graph = social_site_graph(num_users=4, num_items=4)
+        planner = QueryPlanner(graph)
+        before = self._pipeline(planner, access="index")
+        assert before.plan.uses_network_index
+        grown = graph.copy()
+        grown.add_node(Node("i-new", type="item", name="brand new"))
+        grown.add_link(id="a-new", src="u1", tgt="i-new", type="act, visit")
+        planner.refresh(grown)
+        after = self._pipeline(planner, access="index")
+        assert after.cache_hit is False
+        # the rebuilt index sees u1's new endorsement (u0 follows u1)
+        assert "i-new" in after.scores()
+
+    def test_datamanager_resync_cannot_serve_a_stale_social_plan(self):
+        from repro.api import SearchRequest, Session
+
+        session = Session.from_graph(social_site_graph(num_users=4,
+                                                       num_items=4))
+        request = SearchRequest(user_id="u0")
+        baseline = session.run(request)
+        assert "i-new" not in baseline.items
+        compiles = session.stats.plan_compiles
+        # a direct Data-Manager write behind the session's back
+        session.data_manager.add_node(Node("i-new", type="item",
+                                           name="brand new"))
+        session.data_manager.add_link(Link("a-new", "u1", "i-new",
+                                           type="act, visit"))
+        refreshed = session.run(request)
+        assert session.stats.plan_compiles == compiles + 1
+        assert "i-new" in refreshed.items  # friend endorsement visible
 
 
 class TestPlanCacheAliasing:

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Condition, Link, Node, SocialContentGraph, input_graph
+from factories import selectivity_graph
+from repro.core import Condition, input_graph
 from repro.core.stats import GraphStats
 from repro.discovery import parse_query
 from repro.errors import QueryError
@@ -17,15 +18,6 @@ from repro.plan import (
     ScanOp,
     compile_plan,
 )
-
-
-def selectivity_graph(num_items: int = 40) -> SocialContentGraph:
-    """Items all mention 'common'; only three mention 'rare'."""
-    g = SocialContentGraph()
-    for i in range(num_items):
-        text = "common everywhere" + (" rare gem" if i < 3 else "")
-        g.add_node(Node(i, type="item", name=f"spot {i}", keywords=text))
-    return g
 
 
 @pytest.fixture()
