@@ -180,11 +180,14 @@ def test_scan_vs_index_crossover(report, quick):
         chosen = auto_plan.access_path
 
         timings = {}
+        # explicit env bypasses the planner's sub-plan result memo: this
+        # sweep times the physical executors, not the memo
+        env = {"G": graph}
         for access in ("scan", "index"):
-            planner.execute(expr, access=access)  # prime (index build etc.)
+            planner.execute(expr, env=env, access=access)  # prime
             start = time.perf_counter()
             for _ in range(rounds):
-                planner.execute(expr, access=access)
+                planner.execute(expr, env=env, access=access)
             timings[access] = (time.perf_counter() - start) / rounds
         sweep.append({
             "match_fraction": fraction,
@@ -229,6 +232,19 @@ def test_social_stage_compiled_vs_legacy(site, report, quick):
                for text in ("Denver attractions", "")]
     strategies = ("friends", "similar_users", "item_based")
     rounds = 2 if quick else 15
+    repeats = 1 if quick else 3
+
+    def best_of(fn) -> float:
+        """Min over repeats: shields against GC pauses/scheduler noise."""
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(rounds):
+                for query in queries:
+                    fn(query)
+            best = min(best, (time.perf_counter() - start) / rounds)
+        return best
+
     rows = []
     for strategy in strategies:
         for query in queries:
@@ -237,17 +253,12 @@ def test_social_stage_compiled_vs_legacy(site, report, quick):
             assert [s.item_id for s in compiled.items] == \
                 [s.item_id for s in legacy.items]
 
-        start = time.perf_counter()
-        for _ in range(rounds):
-            for query in queries:
-                discoverer._rank_legacy(query, strategy, None, None)
-        legacy_time = (time.perf_counter() - start) / rounds
-
-        start = time.perf_counter()
-        for _ in range(rounds):
-            for query in queries:
-                discoverer.rank(query, strategy=strategy)
-        compiled_time = (time.perf_counter() - start) / rounds
+        legacy_time = best_of(
+            lambda q, s=strategy: discoverer._rank_legacy(q, s, None, None)
+        )
+        compiled_time = best_of(
+            lambda q, s=strategy: discoverer.rank(q, strategy=s)
+        )
         rows.append({
             "strategy": strategy,
             "legacy_ms": legacy_time * 1e3,
@@ -267,6 +278,102 @@ def test_social_stage_compiled_vs_legacy(site, report, quick):
         )
     lines.append("  (identical rankings on both paths — asserted)")
     report(*lines)
+
+    if not quick:
+        # The fusion + sub-plan-memo work closed the old regression: the
+        # compiled friends pipeline must not lose to the hand-executed
+        # reference again (small tolerance for shared-runner jitter).
+        friends = next(r for r in rows if r["strategy"] == "friends")
+        assert friends["compiled_ms"] <= friends["legacy_ms"] * 1.05
+
+
+def sharded_workload(num_users: int, num_items: int) -> SocialContentGraph:
+    """A mixed population: type-pinned scans must skip the user half."""
+    g = SocialContentGraph()
+    for u in range(num_users):
+        g.add_node(Node(f"u{u}", type="user", name=f"user {u}"))
+    for i in range(num_items):
+        text = "needle gem" if i % 50 == 0 else "filler words everywhere"
+        g.add_node(Node(i, type="item", name=f"spot {i}", keywords=text))
+    return g
+
+
+def test_shard_and_worker_sweep(report, quick):
+    """Sweep shard count × executor on the large structural workload.
+
+    The acceptance row: a pooled sharded scan must beat the sequential
+    monolithic scan.  On a single-core runner the win comes from
+    partition pruning (the covered type buckets), not thread overlap, so
+    the sweep reports both sequential and pooled shardings.  The explicit
+    environment bypasses the planner's sub-plan memo: this measures the
+    executors, not the memo.
+    """
+    from repro.plan import CostModel, QueryPlanner
+
+    num_users, num_items = (400, 600) if quick else (8_000, 12_000)
+    rounds = 2 if quick else 8
+    graph = sharded_workload(num_users, num_items)
+    expr = input_graph("G").select_nodes({"type": "item"})
+    env = {"G": graph}
+    configurations = [
+        (1, "never"), (2, "never"), (4, "never"),
+        (2, "force"), (4, "force"), (8, "force"),
+    ]
+    sweep = []
+    reference = None
+    for shards, mode in configurations:
+        planner = QueryPlanner(
+            graph,
+            cost_model=CostModel(shard_scan_min_nodes=64.0),
+            parallelism=mode,
+        )
+        if shards > 1:
+            planner.attach_shards(shards)
+        execution = planner.execute(expr, env=env)  # prime plan + views
+        ids = sorted(n.id for n in execution.result.nodes())
+        if reference is None:
+            reference = ids
+        assert ids == reference  # parity across every configuration
+        elapsed = float("inf")
+        for _ in range(1 if quick else 3):  # min-of-3 damps runner noise
+            start = time.perf_counter()
+            for _ in range(rounds):
+                execution = planner.execute(expr, env=env)
+            elapsed = min(elapsed, (time.perf_counter() - start) / rounds)
+        sweep.append({
+            "shards": shards,
+            "parallel": mode,
+            "executor": execution.executor,
+            "scan_ms": elapsed * 1e3,
+        })
+
+    RESULTS["shard_sweep"] = {
+        "num_users": num_users,
+        "num_items": num_items,
+        "points": sweep,
+    }
+    lines = [
+        "",
+        f"=== Sharded scan sweep ({num_users} users + {num_items} items, "
+        "σN type=item) ===",
+        "  shards  parallel   executor       scan ms",
+    ]
+    for point in sweep:
+        lines.append(
+            f"  {point['shards']:6d}  {point['parallel']:<8}"
+            f"  {point['executor']:<12}  {point['scan_ms']:8.2f}"
+        )
+    report(*lines)
+
+    if not quick:
+        monolithic = next(p for p in sweep
+                          if p["shards"] == 1 and p["parallel"] == "never")
+        pooled_sharded = [p for p in sweep
+                          if p["shards"] > 1 and p["parallel"] == "force"]
+        assert pooled_sharded
+        # the acceptance criterion: pooled sharded beats sequential mono
+        assert min(p["scan_ms"] for p in pooled_sharded) < \
+            monolithic["scan_ms"]
 
 
 def test_social_index_vs_scan_crossover(report, quick):
@@ -341,4 +448,4 @@ def test_emit_bench_json(report):
     report("", f"BENCH_plan.json written: {OUTPUT}")
     assert OUTPUT.exists()
     assert {"compile", "serving", "selectivity_sweep", "social_stage",
-            "social_access_sweep"} <= RESULTS.keys()
+            "social_access_sweep", "shard_sweep"} <= RESULTS.keys()

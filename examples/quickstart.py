@@ -181,7 +181,64 @@ print(f"  auto strategy pick: {pick.chosen} ({pick.reason})")
 assert auto.resolved["social_strategy"] == pick.chosen
 
 # ---------------------------------------------------------------------------
-# 5. Migration note: the classic facade still works, now session-backed.
+# 5. Scale out: partitioned storage, sharded scans, pooled execution.
+# ---------------------------------------------------------------------------
+# SessionConfig(shards=N) backs the Data Manager with a hash-partitioned
+# PartitionedGraphStore (same interface, N shards with per-shard stats),
+# and the planner then scatters large base-graph scans across per-shard
+# views — pruned to partition-local type buckets when the condition pins
+# a type.  parallelism="force" drives every plan through the shared
+# worker pool ("auto" lets the cost model's threshold decide, so small
+# plans stay sequential).
+from repro.api import SessionConfig
+from repro.plan import CostModel
+
+big = SocialContentGraph()
+for u in range(80):
+    big.add_node(Node(f"u{u}", type="user", name=f"traveler {u}"))
+for i in range(400):
+    big.add_node(Node(f"d{i}", type="item, destination", name=f"spot {i}",
+                      keywords=f"denver topic{i % 7}"))
+for u in range(80):
+    big.add_link(Link(f"c{u}", f"u{u}", f"u{(u + 1) % 80}",
+                      type="connect, friend"))
+    for step in range(3):
+        big.add_link(Link(f"a{u}-{step}", f"u{u}", f"d{(u * 5 + step) % 400}",
+                          type="act, visit"))
+
+sharded = Session.from_graph(big, SessionConfig(shards=4,
+                                                parallelism="force"))
+# the demo graph is small, so lower the scatter threshold to see it work
+sharded.planner.cost_model = CostModel(shard_scan_min_nodes=64.0)
+
+flat = Session.from_graph(big)
+recommendation = sharded.query("u0").limit(5).explain().run()
+assert recommendation.items == flat.query("u0").limit(5).run().items
+print(f"\nsharded+pooled session: executor={recommendation.plan.executor},"
+      f" sharded={recommendation.plan.sharded}")
+# EXPLAIN now breaks the scattered scan down per shard (and tags the
+# pool worker that ran each operator):
+for op in recommendation.plan.operators:
+    if op.shard is not None or "sharded" in op.op:
+        where = f" @{op.worker}" if op.worker else ""
+        print(f"  {'  ' * op.depth}{op.op}: {op.actual.nodes:.0f} nodes"
+              f"{where}")
+assert recommendation.plan.executor.startswith("pooled(")
+
+# Compiled plans now live in a process-wide SharedPlanCache: a second
+# session over the same Data Manager — same graph, same cost model, same
+# shard layout — reuses the first one's hot plans (entries are
+# generation-stamped and anchored to the graph object, so any write
+# still invalidates instantly).
+twin = Session(sharded.data_manager, SessionConfig(shards=4))
+twin.planner.cost_model = CostModel(shard_scan_min_nodes=64.0)
+twin.run(SearchRequest(user_id="u0", k=5))
+print(f"  twin session plan compiles: {twin.stats.plan_compiles},"
+      f" shared-cache hits: {twin.stats.plan_cache_hits}")
+assert twin.stats.plan_cache_hits == 1  # compiled once, site-wide
+
+# ---------------------------------------------------------------------------
+# 6. Migration note: the classic facade still works, now session-backed.
 #
 #    scope = SocialScope.from_graph(graph)
 #    scope.search(1, "denver baseball", k=10)  == session.query(1)

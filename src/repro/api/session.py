@@ -90,6 +90,14 @@ class SessionConfig:
     #: analyses to run automatically on construction (names from the
     #: ContentAnalyzer registry); empty = none.
     auto_analyses: tuple[str, ...] = ()
+    #: graph partitions: >1 backs :meth:`Session.from_graph` with a
+    #: :class:`~repro.management.PartitionedGraphStore` and lowers large
+    #: base scans to the scattered form.  A session over an existing
+    #: Data Manager inherits the manager's own shard count instead.
+    shards: int = 1
+    #: plan-executor mode: "auto" pools plans past the cost threshold,
+    #: "never" pins everything sequential, "force" pools unconditionally.
+    parallelism: str = "auto"
 
 
 @dataclass
@@ -115,6 +123,8 @@ class SessionStats:
     plan_compiles: int = 0
     #: queries served by an already-compiled plan
     plan_cache_hits: int = 0
+    #: queries whose plan ran on the worker pool
+    parallel_queries: int = 0
 
 
 class _Evaluation(NamedTuple):
@@ -161,6 +171,20 @@ class Session:
             provider=lambda: self.semantic_index,
             scorer_provider=lambda: self.discoverer.semantic.scorer,
         )
+        # Physical-layer wiring: the store's partitioning (or an explicit
+        # config request) enables sharded scans, and the configured
+        # parallelism mode pins the executor choice.
+        from repro.plan import PARALLEL_MODES
+
+        if self.config.parallelism not in PARALLEL_MODES:
+            raise QueryError(
+                f"unknown parallelism {self.config.parallelism!r}; "
+                f"have {PARALLEL_MODES}"
+            )
+        shards = max(data_manager.num_shards, self.config.shards)
+        if shards > 1:
+            self.discoverer.planner.attach_shards(shards)
+        self.discoverer.planner.parallelism = self.config.parallelism
         self.organizer = InformationOrganizer(
             self.analyzer.graph, config=self.config.organizer
         )
@@ -175,7 +199,8 @@ class Session:
         config: SessionConfig | None = None,
     ) -> "Session":
         """Build a session around an existing logical graph."""
-        dm = DataManager()
+        shards = config.shards if config is not None else 1
+        dm = DataManager(shards=shards)
         dm.load_graph(graph)
         return cls(dm, config)
 
@@ -479,6 +504,8 @@ class Session:
                     self.stats.plan_compiles += 1
                 if ev.execution.used_network_index:
                     self.stats.social_index_queries += 1
+                if ev.execution.executor.startswith("pooled"):
+                    self.stats.parallel_queries += 1
             self.stats.tfidf_builds = self.discoverer.semantic.builds
         return SearchResponse(
             request=request,

@@ -121,6 +121,26 @@ class Node:
             raise GraphError(f"node {self.id!r} cannot drop its 'type' attribute")
         return node
 
+    def _with_normalized(self, updates: Mapping[str, Any]) -> "Node":
+        """Hot-path :meth:`with_attrs`: values already canonical tuples.
+
+        Callers guarantee every value is exactly what
+        :func:`~repro.core.attrs.parse_values` would produce (or ``None``
+        to delete) — the record built here must be indistinguishable from
+        the public path's.  Exists because per-result-node normalisation
+        dominated the compiled pipeline's profile.
+        """
+        attrs = dict(self.attrs)
+        for key, value in updates.items():
+            if value is None:
+                attrs.pop(key, None)
+            else:
+                attrs[key] = value
+        node = Node.__new__(Node)
+        object.__setattr__(node, "id", self.id)
+        object.__setattr__(node, "attrs", attrs)
+        return node
+
     def with_score(self, score: float) -> "Node":
         """Return a copy carrying ``score`` (paper Def 1)."""
         return self.with_attrs(**{SCORE_ATTR: float(score)})
@@ -173,6 +193,24 @@ class Link:
         if TYPE_ATTR not in normalized:
             raise GraphError(f"link {id!r} is missing the mandatory 'type' attribute")
         object.__setattr__(self, "attrs", normalized)
+
+    @classmethod
+    def _from_normalized(
+        cls, id: Id, src: Id, tgt: Id, attrs: dict[str, tuple]
+    ) -> "Link":
+        """Hot-path constructor: *attrs* already canonical (and owned).
+
+        Callers guarantee the dict's values are exactly what
+        :func:`~repro.core.attrs.parse_values` would produce, ``type``
+        included, and that the dict is not shared — the record built here
+        must be indistinguishable from the public constructor's.
+        """
+        link = cls.__new__(cls)
+        object.__setattr__(link, "id", id)
+        object.__setattr__(link, "src", src)
+        object.__setattr__(link, "tgt", tgt)
+        object.__setattr__(link, "attrs", attrs)
+        return link
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Link records are immutable; use with_attrs()")
@@ -287,7 +325,10 @@ class SocialContentGraph:
     (workload generators, the Data Manager) and for incremental maintenance.
     """
 
-    __slots__ = ("_nodes", "_links", "_out", "_in", "catalog")
+    # __weakref__ lets the shared plan cache anchor entries to the graph
+    # object they were compiled against without keeping it alive.
+    __slots__ = ("_nodes", "_links", "_out", "_in", "_mutations", "catalog",
+                 "__weakref__")
 
     def __init__(
         self,
@@ -299,11 +340,24 @@ class SocialContentGraph:
         self._links: dict[Id, Link] = {}
         self._out: dict[Id, set[Id]] = {}
         self._in: dict[Id, set[Id]] = {}
+        self._mutations = 0
         self.catalog = catalog if catalog is not None else DEFAULT_CATALOG
         for node in nodes:
             self.add_node(node)
         for link in links:
             self.add_link(link)
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone write counter — bumps on every mutating call.
+
+        The *shared* clock derived state hangs off: anything stamped with
+        ``(graph identity, mutation_epoch)`` — compiled plans in the
+        process-wide cache, most importantly — is valid exactly until the
+        graph object changes content, and every consumer of the same
+        graph object agrees on the stamp (planner-local counters do not).
+        """
+        return self._mutations
 
     # ------------------------------------------------------------------
     # Construction / mutation
@@ -322,6 +376,7 @@ class SocialContentGraph:
             node = Node(kw.pop("id"), kw)
         elif kw:
             raise GraphError("pass either a Node or keyword attributes, not both")
+        self._mutations += 1
         existing = self._nodes.get(node.id)
         if existing is not None:
             node = existing.merged_with(node)
@@ -346,6 +401,7 @@ class SocialContentGraph:
         for endpoint in (link.src, link.tgt):
             if endpoint not in self._nodes:
                 raise DanglingLinkError(link.id, endpoint)
+        self._mutations += 1
         existing = self._links.get(link.id)
         if existing is not None:
             link = existing.merged_with(link)
@@ -354,11 +410,31 @@ class SocialContentGraph:
         self._in[link.tgt].add(link.id)
         return link
 
+    def _adopt_fresh_node(self, node: Node) -> None:
+        """Hot-path :meth:`add_node` for an id the caller knows is absent.
+
+        Skips the consolidation lookup; callers (operator result emitters
+        iterating a deduplicated population) guarantee uniqueness, or the
+        graph's node map silently drops the earlier record.
+        """
+        self._mutations += 1
+        self._nodes[node.id] = node
+        self._out[node.id] = set()
+        self._in[node.id] = set()
+
+    def _adopt_fresh_link(self, link: Link) -> None:
+        """Hot-path :meth:`add_link`: unique id, endpoints known present."""
+        self._mutations += 1
+        self._links[link.id] = link
+        self._out[link.src].add(link.id)
+        self._in[link.tgt].add(link.id)
+
     def remove_link(self, link_id: Id) -> Link:
         """Remove and return a link."""
         link = self._links.pop(link_id, None)
         if link is None:
             raise UnknownLinkError(link_id)
+        self._mutations += 1
         out = self._out.get(link.src)
         if out is not None:
             out.discard(link_id)
@@ -372,6 +448,7 @@ class SocialContentGraph:
         node = self._nodes.pop(node_id, None)
         if node is None:
             raise UnknownNodeError(node_id)
+        self._mutations += 1
         incident = set(self._out.get(node_id, ())) | set(self._in.get(node_id, ()))
         for link_id in incident:
             if link_id in self._links:
@@ -384,6 +461,7 @@ class SocialContentGraph:
         """Swap in a new record for an existing node id (adjacency kept)."""
         if node.id not in self._nodes:
             raise UnknownNodeError(node.id)
+        self._mutations += 1
         self._nodes[node.id] = node
 
     def replace_link(self, link: Link) -> None:
@@ -393,6 +471,7 @@ class SocialContentGraph:
             raise UnknownLinkError(link.id)
         if (old.src, old.tgt) != (link.src, link.tgt):
             raise GraphError("replace_link cannot change endpoints")
+        self._mutations += 1
         self._links[link.id] = link
 
     # ------------------------------------------------------------------

@@ -56,16 +56,32 @@ def select_nodes(
     applies, each node carries ``score = S(v)``.
     """
     cond = as_condition(condition, keywords)
+    return graph.null_graph(
+        select_matching_nodes(graph.nodes(), cond, scorer)
+    )
+
+
+def select_matching_nodes(
+    nodes: Iterable[Any],
+    cond: Condition,
+    scorer: ScoringFunction | None = None,
+) -> list:
+    """The Node Selection kernel over an explicit node population.
+
+    Shared by :func:`select_nodes` (whole-graph scan) and the plan
+    layer's sharded scan (per-partition populations): one body, so the
+    two access paths cannot drift on predicate or scoring semantics.
+    """
     want_scores = scorer is not None or cond.has_keywords
     scoring = resolve_scorer(scorer)
     selected = []
-    for node in graph.nodes():
+    for node in nodes:
         if not cond.satisfied_by(node):
             continue
         if want_scores:
             node = node.with_score(scoring(node, cond.keywords))
         selected.append(node)
-    return graph.null_graph(selected)
+    return selected
 
 
 def select_links(

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.attrs import TYPE_ATTR
 from repro.core.graph import Id, Link, Node, SocialContentGraph
 from repro.core.text import tokenize
 
@@ -312,6 +313,28 @@ def social_scores_graph(
     ``"auto"`` (resolved from the live graph — the compiler resolves it
     from statistics before lowering instead).
     """
+    strategy, scores, endorsers, supporting, fallback = _strategy_scores(
+        graph, candidates, basis, strategy, user_id, keywords,
+        sim_threshold, act_type,
+    )
+    return encode_social_result(
+        graph, candidates, scores, endorsers, supporting, strategy, fallback
+    )
+
+
+def _strategy_scores(
+    graph: SocialContentGraph,
+    candidates: SocialContentGraph,
+    basis: SocialContentGraph,
+    strategy: str,
+    user_id: Id,
+    keywords: tuple[str, ...],
+    sim_threshold: float,
+    act_type: str,
+) -> tuple[str, dict, dict, dict, bool]:
+    """Shared strategy dispatch: (strategy, scores, endorsers, supporting,
+    fallback) — consumed by both the standalone social stage and the fused
+    social+combine physical form."""
     from repro.errors import ExpressionError
 
     if strategy == "auto":
@@ -339,9 +362,7 @@ def social_scores_graph(
         meta = basis.node(META_ID) if basis.has_node(META_ID) else None
         fallback = bool(meta.value("expert_fallback", 0)) if meta else False
         scores, supporting = _item_based_scores(graph, candidate_ids, user_id)
-    return encode_social_result(
-        graph, candidates, scores, endorsers, supporting, strategy, fallback
-    )
+    return strategy, scores, endorsers, supporting, fallback
 
 
 def encode_social_result(
@@ -361,21 +382,27 @@ def encode_social_result(
     out = SocialContentGraph(catalog=graph.catalog)
     for node in candidates.nodes():
         if node.id in scores:
-            out.add_node(node.with_attrs(social_raw=scores[node.id]))
+            out.add_node(node._with_normalized(
+                {"social_raw": (scores[node.id],)}
+            ))
     for item, per_user in endorsers.items():
         for user, weight in per_user.items():
             if not out.has_node(user):
                 out.add_node(graph.node(user) if graph.has_node(user)
                              else Node(user, type="user"))
-            out.add_link(Link(f"endorse:{user}->{item}", user, item,
-                              type=ENDORSE_TYPE, weight=weight))
+            out.add_link(Link._from_normalized(
+                f"endorse:{user}->{item}", user, item,
+                {"type": (ENDORSE_TYPE,), "weight": (weight,)},
+            ))
     for item, per_item in supporting.items():
         for supporter, weight in per_item.items():
             if not out.has_node(supporter):
                 out.add_node(graph.node(supporter) if graph.has_node(supporter)
                              else Node(supporter, type="item"))
-            out.add_link(Link(f"support:{supporter}->{item}", supporter, item,
-                              type=SUPPORT_TYPE, weight=weight))
+            out.add_link(Link._from_normalized(
+                f"support:{supporter}->{item}", supporter, item,
+                {"type": (SUPPORT_TYPE,), "weight": (weight,)},
+            ))
     out.add_node(Node(META_ID, type=META_TYPE, strategy=strategy,
                       expert_fallback=int(fallback)))
     return out
@@ -437,6 +464,101 @@ def combine_scores_graph(
     return out
 
 
+def fused_social_combine(
+    graph: SocialContentGraph,
+    candidates: SocialContentGraph,
+    basis: SocialContentGraph,
+    strategy: str,
+    user_id: Id,
+    alpha: float,
+    keywords: tuple[str, ...] = (),
+    sim_threshold: float = 0.1,
+    act_type: str = "visit",
+    drop_zero: bool = True,
+) -> tuple[SocialContentGraph, "DecodedSocialResult"]:
+    """Social scoring and α-combination in one pass (operator fusion).
+
+    The result graph is record-for-record identical to
+    ``combine_scores_graph(candidates, social_scores_graph(...))`` —
+    asserted by the differential parity suite — but the intermediate
+    social-score graph is never materialised: scores stay plain dicts
+    until the single output graph is built, and provenance
+    (endorse/support links) is only ever encoded for items that survive
+    the combination.  The :class:`DecodedSocialResult` the discovery
+    layer would otherwise re-extract from the graph falls out for free
+    and is returned alongside.  This is the compute kernel behind
+    :class:`repro.plan.physical.FusedSocialCombineOp`, which exists
+    because the two-step pipeline spent more time re-encoding graphs
+    than computing scores.
+    """
+    strategy, scores, endorsers, supporting, fallback = _strategy_scores(
+        graph, candidates, basis, strategy, user_id, keywords,
+        sim_threshold, act_type,
+    )
+    semantic = {n.id: (n.score or 0.0) for n in candidates.nodes()}
+    semantic_norm = _max_normalized(semantic)
+    social_norm = _max_normalized(scores)
+    decoded = DecodedSocialResult(strategy=strategy,
+                                  used_expert_fallback=fallback)
+    out = SocialContentGraph(catalog=candidates.catalog)
+    adopt_node = out._adopt_fresh_node
+    adopt_link = out._adopt_fresh_link
+    surviving = out._nodes
+    new_node = Node.__new__
+    set_field = object.__setattr__
+    beta = 1 - alpha
+    for node in candidates.nodes():
+        item = node.id
+        sem = semantic_norm.get(item, 0.0)
+        soc = social_norm.get(item, 0.0)
+        combined = alpha * sem + beta * soc
+        if drop_zero and combined <= 0.0:
+            continue
+        # inlined Node._with_normalized: this loop builds one record per
+        # surviving candidate on every query, and the call overhead shows
+        attrs = dict(node.attrs)
+        attrs["semantic_norm"] = (sem,)
+        attrs["social_norm"] = (soc,)
+        attrs["combined"] = (combined,)
+        raw = scores.get(item)
+        if raw is not None:
+            decoded.scores[item] = raw
+            attrs["social_raw"] = (raw,)
+        record = new_node(Node)
+        set_field(record, "id", item)
+        set_field(record, "attrs", attrs)
+        adopt_node(record)
+        decoded.items.append((item, sem, soc, combined))
+    for item, per_user in endorsers.items():
+        if item not in surviving:
+            continue  # provenance of a dropped item
+        decoded.endorsers[item] = per_user
+        for user, weight in per_user.items():
+            if user not in surviving:
+                adopt_node(graph.node(user) if graph.has_node(user)
+                           else Node(user, type="user"))
+            adopt_link(Link._from_normalized(
+                f"endorse:{user}->{item}", user, item,
+                {"type": (ENDORSE_TYPE,), "weight": (weight,)},
+            ))
+    for item, per_item in supporting.items():
+        if item not in surviving:
+            continue
+        decoded.supporting_items[item] = per_item
+        for supporter, weight in per_item.items():
+            if supporter not in surviving:
+                adopt_node(graph.node(supporter) if graph.has_node(supporter)
+                           else Node(supporter, type="item"))
+            adopt_link(Link._from_normalized(
+                f"support:{supporter}->{item}", supporter, item,
+                {"type": (SUPPORT_TYPE,), "weight": (weight,)},
+            ))
+    out.add_node(Node(META_ID, type=META_TYPE, strategy=strategy,
+                      expert_fallback=int(fallback)))
+    decoded.items.sort(key=lambda t: (-t[3], repr(t[0])))
+    return out, decoded
+
+
 # ---------------------------------------------------------------------------
 # Decoding a pipeline result back into discovery-layer values
 # ---------------------------------------------------------------------------
@@ -457,35 +579,47 @@ class DecodedSocialResult:
 
 
 def decode_social_result(result: SocialContentGraph) -> DecodedSocialResult:
-    """Read a combined-pipeline result graph (deterministic item order)."""
+    """Read a combined-pipeline result graph (deterministic item order).
+
+    Reads the records' normalised attribute tuples directly — this runs
+    once per query on every result node and link, and the accessor
+    indirection was measurable.
+    """
     decoded = DecodedSocialResult()
     for node in result.nodes():
-        if node.has_type(META_TYPE):
+        attrs = node.attrs
+        if META_TYPE in attrs[TYPE_ATTR]:
             decoded.strategy = str(node.value("strategy", decoded.strategy))
             decoded.used_expert_fallback = bool(
                 node.value("expert_fallback", 0)
             )
             continue
-        raw = node.value("social_raw")
-        if raw is not None:
-            decoded.scores[node.id] = float(raw)
-        combined = node.value("combined")
-        if combined is None:
+        raw = attrs.get("social_raw")
+        if raw:
+            decoded.scores[node.id] = float(raw[0])
+        combined = attrs.get("combined")
+        if not combined:
             continue  # social-stage-only node, endorser, or supporter
+        semantic = attrs.get("semantic_norm")
+        social = attrs.get("social_norm")
         decoded.items.append((
             node.id,
-            float(node.value("semantic_norm", 0.0)),
-            float(node.value("social_norm", 0.0)),
-            float(combined),
+            float(semantic[0]) if semantic else 0.0,
+            float(social[0]) if social else 0.0,
+            float(combined[0]),
         ))
     for link in result.links():
-        if link.has_type(ENDORSE_TYPE):
-            decoded.endorsers.setdefault(link.tgt, {})[link.src] = float(
-                link.value("weight", 0.0)
+        attrs = link.attrs
+        types = attrs[TYPE_ATTR]
+        if ENDORSE_TYPE in types:
+            weight = attrs.get("weight")
+            decoded.endorsers.setdefault(link.tgt, {})[link.src] = (
+                float(weight[0]) if weight else 0.0
             )
-        elif link.has_type(SUPPORT_TYPE):
-            decoded.supporting_items.setdefault(link.tgt, {})[link.src] = float(
-                link.value("weight", 0.0)
+        elif SUPPORT_TYPE in types:
+            weight = attrs.get("weight")
+            decoded.supporting_items.setdefault(link.tgt, {})[link.src] = (
+                float(weight[0]) if weight else 0.0
             )
     decoded.items.sort(key=lambda t: (-t[3], repr(t[0])))
     return decoded

@@ -14,10 +14,11 @@ show where the model is wrong.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
-from typing import Sequence
+from typing import Hashable, Sequence
 
 from repro.core.conditions import AttrCompare, AttrEquals, Condition, HasType
 from repro.core.graph import SocialContentGraph
@@ -29,6 +30,83 @@ DEFAULT_PREDICATE_SELECTIVITY = 0.5
 KEYWORD_SELECTIVITY = 0.3
 #: Fraction of probe-side links expected to survive a semi-join.
 SEMIJOIN_SELECTIVITY = 0.5
+
+
+class CardinalityFeedback:
+    """Execution-observed correction factors for the cost model.
+
+    EXPLAIN already measures estimated vs. actual cardinality per
+    operator; this is the loop that closes it: the planner reports each
+    selection's (estimate, actual) after execution, keyed per keyword term
+    and per type predicate, and future estimates multiply in the learned
+    factor.  Corrections are exponentially smoothed (so one anomalous
+    query cannot wreck the model) and hard-capped at *max_correction* in
+    both directions (so the model can be wrong, but never unboundedly).
+
+    Thread-safe: sessions observe from whatever thread executed the plan.
+    """
+
+    def __init__(self, max_correction: float = 8.0, smoothing: float = 0.5):
+        if max_correction < 1.0:
+            raise ValueError(
+                f"max_correction must be >= 1, got {max_correction!r}"
+            )
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing!r}")
+        self.max_correction = max_correction
+        self.smoothing = smoothing
+        self._factors: dict[Hashable, float] = {}
+        self._observations = 0
+        self._lock = threading.Lock()
+
+    def _clamp(self, factor: float) -> float:
+        return max(1.0 / self.max_correction, min(self.max_correction, factor))
+
+    def observe(self, key: Hashable, estimated: float, actual: float) -> None:
+        """Record one estimated-vs-actual pair for *key*.
+
+        The implied correction is ``actual / estimated`` relative to the
+        factor already applied (the estimate the planner produced had the
+        old factor baked in), smoothed into the stored factor.
+        """
+        if estimated <= 0.0 and actual <= 0.0:
+            return  # nothing measurable on either side
+        with self._lock:
+            old = self._factors.get(key, 1.0)
+            implied = self._clamp(
+                old * (max(actual, 0.5) / max(estimated, 0.5))
+            )
+            blended = old + self.smoothing * (implied - old)
+            self._factors[key] = self._clamp(blended)
+            self._observations += 1
+
+    def factor(self, key: Hashable) -> float:
+        """The multiplicative correction learned for *key* (1.0 = none)."""
+        return self._factors.get(key, 1.0)
+
+    @property
+    def observations(self) -> int:
+        """Number of (estimate, actual) pairs fed back so far."""
+        return self._observations
+
+    def snapshot(self) -> dict[Hashable, float]:
+        """Copy of the current correction table (diagnostics, tests)."""
+        with self._lock:
+            return dict(self._factors)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._factors.clear()
+
+    @staticmethod
+    def term_key(term: str) -> tuple:
+        """Correction key for one keyword term's selectivity."""
+        return ("term", term)
+
+    @staticmethod
+    def type_key(type_name: str, of_links: bool) -> tuple:
+        """Correction key for one type predicate's selectivity."""
+        return ("type", type_name, bool(of_links))
 
 
 @dataclass
@@ -53,6 +131,9 @@ class GraphStats:
     #: reach off these.
     connect_degree_hist: Counter = field(default_factory=Counter)
     act_degree_hist: Counter = field(default_factory=Counter)
+    #: execution-observed correction factors (attached by the planner;
+    #: ``None`` keeps estimates purely histogram-driven)
+    feedback: CardinalityFeedback | None = None
 
     @classmethod
     def of(cls, graph: SocialContentGraph, with_terms: bool = False) -> "GraphStats":
@@ -132,7 +213,12 @@ class GraphStats:
         total = self.num_links if of_links else self.num_nodes
         if total == 0:
             return 0.0
-        return min(1.0, histogram.get(type_name, 0) / total)
+        fraction = histogram.get(type_name, 0) / total
+        if self.feedback is not None:
+            fraction *= self.feedback.factor(
+                CardinalityFeedback.type_key(type_name, of_links)
+            )
+        return min(1.0, fraction)
 
     def keyword_match_fraction(self, keywords: Sequence[str]) -> float:
         """Estimated fraction of nodes matching ≥ 1 keyword (variant-aware).
@@ -146,7 +232,13 @@ class GraphStats:
         if not keywords:
             return 1.0
         if not self.term_doc_freq or self.term_population <= 0:
-            return KEYWORD_SELECTIVITY
+            fraction = KEYWORD_SELECTIVITY
+            if self.feedback is not None:
+                for term in keywords:
+                    fraction *= self.feedback.factor(
+                        CardinalityFeedback.term_key(term)
+                    )
+            return max(0.0, min(1.0, fraction))
         population = self.term_population
         miss = 1.0
         for term in keywords:
@@ -154,7 +246,14 @@ class GraphStats:
                 self.term_doc_freq.get(variant, 0)
                 for variant in dict.fromkeys(term_variants(term))
             )
-            miss *= 1.0 - min(df, population) / population
+            df_fraction = min(df, population) / population
+            if self.feedback is not None:
+                df_fraction = min(
+                    1.0,
+                    df_fraction
+                    * self.feedback.factor(CardinalityFeedback.term_key(term)),
+                )
+            miss *= 1.0 - df_fraction
         return max(0.0, min(1.0, 1.0 - miss))
 
     def condition_selectivity(self, condition: Condition, of_links: bool) -> float:

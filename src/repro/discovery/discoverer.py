@@ -264,7 +264,11 @@ class InformationDiscoverer:
             max_experts=self.connections.max_experts,
             access=access,
         )
-        decoded = decode_social_result(execution.result)
+        # A fused root hands the decoded ranking over directly; unfused
+        # plans (e.g. the endorsement-merge forms) decode the graph.
+        decoded = execution.payload
+        if decoded is None:
+            decoded = decode_social_result(execution.result)
         social = SocialScores(
             strategy=decoded.strategy,
             scores=decoded.scores,

@@ -32,11 +32,19 @@ from repro.management.remote import (
     SCOPE_PROFILE,
     SCOPE_WRITE,
 )
-from repro.management.storage import DERIVED, GraphStore, LOCAL, StoreStats
+from repro.management.storage import (
+    DERIVED,
+    GraphStore,
+    LOCAL,
+    PartitionedGraphStore,
+    StoreStats,
+    shard_of,
+)
 from repro.management.sync import SyncMetrics, SyncScheduler, uniform_profiles
 
 __all__ = [
-    "GraphStore", "StoreStats", "LOCAL", "DERIVED",
+    "GraphStore", "PartitionedGraphStore", "StoreStats", "shard_of",
+    "LOCAL", "DERIVED",
     "DataManager",
     "RemoteSocialSite", "Profile", "Activity", "CallLog",
     "SCOPE_PROFILE", "SCOPE_CONNECTIONS", "SCOPE_ACTIVITIES", "SCOPE_WRITE",

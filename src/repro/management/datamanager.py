@@ -20,21 +20,46 @@ from repro.core.stats import GraphStats
 from repro.management.activity import ActivityManager, UserActivityProfile
 from repro.management.integrator import ContentIntegrator, IntegrationReport
 from repro.management.remote import RemoteSocialSite
-from repro.management.storage import DERIVED, GraphStore, LOCAL
+from repro.management.storage import (
+    DERIVED,
+    GraphStore,
+    LOCAL,
+    PartitionedGraphStore,
+)
 from repro.management.sync import SyncScheduler
 
 
 class DataManager:
-    """Facade over physical storage + integration + refresh policy."""
+    """Facade over physical storage + integration + refresh policy.
+
+    *shards* > 1 backs the manager with a
+    :class:`~repro.management.storage.PartitionedGraphStore`; the logical
+    surface is unchanged (the partitioning is a physical choice, exactly
+    as §3 promises), but the plan layer can then scatter scans across the
+    shard populations.
+    """
 
     def __init__(self, site_name: str = "socialscope",
-                 indexed_attributes: tuple[str, ...] = ("name",)):
+                 indexed_attributes: tuple[str, ...] = ("name",),
+                 shards: int = 1):
         self.site_name = site_name
-        self.store = GraphStore(indexed_attributes=indexed_attributes)
+        if shards > 1:
+            self.store: GraphStore | PartitionedGraphStore = (
+                PartitionedGraphStore(
+                    indexed_attributes=indexed_attributes, num_shards=shards
+                )
+            )
+        else:
+            self.store = GraphStore(indexed_attributes=indexed_attributes)
         self.integrator = ContentIntegrator(self.store, client_name=site_name)
         self.activity_manager = ActivityManager()
         self._snapshot_cache: SocialContentGraph | None = None
         self._version = 0
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count of the backing store (1 for the monolithic store)."""
+        return getattr(self.store, "num_shards", 1)
 
     @property
     def version(self) -> int:

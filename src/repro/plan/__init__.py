@@ -25,7 +25,12 @@ slot in as new :class:`PhysicalOp` subclasses plus a lowering rule — no
 serving-path rewrite required.
 """
 
-from repro.plan.cache import CacheStats, PlanCache
+from repro.plan.cache import (
+    CacheStats,
+    PlanCache,
+    SharedPlanCache,
+    shared_plan_cache,
+)
 from repro.plan.compiler import (
     ACCESS_MODES,
     AccessDecision,
@@ -35,13 +40,16 @@ from repro.plan.compiler import (
     compile_plan,
 )
 from repro.plan.explain import PlanExplain, explain_execution
+from repro.plan.parallel import WorkerPool, shared_worker_pool
 from repro.plan.physical import (
     INDEX,
     NETWORK_CLUSTERED,
     NETWORK_EXACT,
     SCAN,
+    SHARDED,
     EndorsementMergeOp,
     ExecContext,
+    FusedSocialCombineOp,
     GroupedAggregationOp,
     IndexKeywordScanOp,
     InputOp,
@@ -52,8 +60,10 @@ from repro.plan.physical import (
     PlanExecution,
     ScanOp,
     SemiJoinProbeOp,
+    ShardProfile,
+    ShardedScanOp,
 )
-from repro.plan.planner import BASE_GRAPH, QueryPlanner
+from repro.plan.planner import BASE_GRAPH, PARALLEL_MODES, QueryPlanner
 
 __all__ = [
     "ACCESS_MODES",
@@ -63,6 +73,7 @@ __all__ = [
     "CostModel",
     "EndorsementMergeOp",
     "ExecContext",
+    "FusedSocialCombineOp",
     "GroupedAggregationOp",
     "INDEX",
     "IndexBinding",
@@ -72,6 +83,7 @@ __all__ = [
     "NETWORK_CLUSTERED",
     "NETWORK_EXACT",
     "OperatorProfile",
+    "PARALLEL_MODES",
     "PhysicalOp",
     "PhysicalPlan",
     "PlanCache",
@@ -79,9 +91,16 @@ __all__ = [
     "PlanExplain",
     "QueryPlanner",
     "SCAN",
+    "SHARDED",
     "ScanOp",
     "SemiJoinProbeOp",
+    "SharedPlanCache",
+    "ShardProfile",
+    "ShardedScanOp",
     "StrategyDecision",
+    "WorkerPool",
     "compile_plan",
     "explain_execution",
+    "shared_plan_cache",
+    "shared_worker_pool",
 ]

@@ -1,4 +1,4 @@
-"""A version-keyed LRU cache of compiled physical plans.
+"""Version-keyed caches of compiled physical plans.
 
 Keys are structural (:func:`repro.core.expr.plan_key` plus the access
 preference), so a repeated request — same condition, same scorer, same
@@ -10,12 +10,28 @@ refreshes invalidate stale plans without eagerly walking the cache.
 Entries hold *plans*, never results: a cached plan re-executes against the
 live graph, and :meth:`PhysicalPlan.execute` guarantees its result aliases
 no shared state, so cache hits cannot observe a caller's mutations.
+
+Two granularities:
+
+* :class:`PlanCache` — one owner, the original per-planner LRU;
+* :class:`SharedPlanCache` — one per *process*
+  (:func:`shared_plan_cache`), serving every planner at once so sessions
+  answering the same hot queries amortize compilation across each other.
+  Shared entries are additionally *anchored* to the graph object they
+  were compiled against (a weak reference, identity-compared on lookup)
+  — two planners can never exchange plans across different graphs even
+  if their namespaced keys and generation counters happen to collide —
+  and inserts pass a frequency-based admission policy: once the cache is
+  full, a key must have missed ``admit_after`` times before it may evict
+  a resident plan (a TinyLFU-style doorkeeper, so one-off queries cannot
+  flush the hot set).
 """
 
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+import weakref
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
 
@@ -30,6 +46,8 @@ class CacheStats:
     misses: int
     evictions: int
     size: int
+    #: inserts the admission policy turned away (SharedPlanCache only)
+    rejects: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -52,10 +70,13 @@ class PlanCache:
         self._misses = 0
         self._evictions = 0
 
-    def get(self, key: Hashable, generation: Any) -> PhysicalPlan | None:
+    def get(self, key: Hashable, generation: Any,
+            anchor: Any = None) -> PhysicalPlan | None:
         """The cached plan for *key* compiled under *generation*, or None.
 
         A generation mismatch counts as a miss and drops the stale entry.
+        (*anchor* exists for signature compatibility with
+        :class:`SharedPlanCache`; a single-owner cache has no use for it.)
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -68,7 +89,8 @@ class PlanCache:
             self._misses += 1
             return None
 
-    def put(self, key: Hashable, generation: Any, plan: PhysicalPlan) -> None:
+    def put(self, key: Hashable, generation: Any, plan: PhysicalPlan,
+            anchor: Any = None) -> None:
         """Insert (or refresh) an entry, evicting the LRU tail past maxsize."""
         with self._lock:
             self._entries[key] = (generation, plan)
@@ -93,3 +115,113 @@ class PlanCache:
                 evictions=self._evictions,
                 size=len(self._entries),
             )
+
+
+class SharedPlanCache(PlanCache):
+    """The process-wide plan cache: anchored entries, admission-gated.
+
+    See the module docstring for the two safety layers on top of the LRU:
+    weak *anchor* identity (an entry only serves the exact graph object it
+    was compiled against) and the ``admit_after`` doorkeeper (a full cache
+    only evicts for keys that have proven they repeat).
+    """
+
+    def __init__(self, maxsize: int = 1024, admit_after: int = 2):
+        super().__init__(maxsize)
+        if admit_after < 1:
+            raise ValueError(
+                f"admit_after must be >= 1, got {admit_after!r}"
+            )
+        self.admit_after = admit_after
+        #: miss frequency per key — the doorkeeper's evidence of reuse
+        self._seen: Counter = Counter()
+        self._rejects = 0
+
+    @staticmethod
+    def _anchor_alive(ref: Any, anchor: Any) -> bool:
+        if ref is None:
+            return anchor is None
+        target = ref()
+        # a dead referent must never match — not even an anchor of None —
+        # or a recycled graph address could inherit a stale plan
+        return target is not None and target is anchor
+
+    def get(self, key: Hashable, generation: Any,
+            anchor: Any = None) -> PhysicalPlan | None:
+        """Anchored lookup; every miss feeds the admission frequency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if (
+                entry is not None
+                and entry[0] == generation
+                and self._anchor_alive(entry[2], anchor)
+            ):
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry[1]
+            if entry is not None:
+                del self._entries[key]  # stale generation or dead anchor
+            self._misses += 1
+            self._seen[key] += 1
+            if len(self._seen) > 8 * self.maxsize:
+                self._age_locked()
+            return None
+
+    def _age_locked(self) -> None:
+        """Halve all frequencies, dropping zeros (TinyLFU-style aging)."""
+        self._seen = Counter({
+            key: count // 2
+            for key, count in self._seen.items()
+            if count // 2 > 0
+        })
+
+    def put(self, key: Hashable, generation: Any, plan: PhysicalPlan,
+            anchor: Any = None) -> None:
+        """Insert if resident, the cache has room, or the key earned it."""
+        ref = weakref.ref(anchor) if anchor is not None else None
+        with self._lock:
+            if (
+                key not in self._entries
+                and len(self._entries) >= self.maxsize
+                and self._seen[key] < self.admit_after
+            ):
+                self._rejects += 1
+                return
+            self._entries[key] = (generation, plan, ref)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def reset(self) -> None:
+        """Drop entries, frequencies *and* counters (test isolation)."""
+        with self._lock:
+            self._entries.clear()
+            self._seen.clear()
+            self._hits = self._misses = self._evictions = 0
+            self._rejects = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                rejects=self._rejects,
+            )
+
+
+_shared_cache: SharedPlanCache | None = None
+_shared_cache_lock = threading.Lock()
+
+
+def shared_plan_cache() -> SharedPlanCache:
+    """The process-wide cache every :class:`QueryPlanner` defaults to."""
+    global _shared_cache
+    if _shared_cache is None:
+        with _shared_cache_lock:
+            if _shared_cache is None:
+                _shared_cache = SharedPlanCache()
+    return _shared_cache

@@ -28,6 +28,8 @@ from typing import Any, Callable
 
 from repro.core.conditions import AttrEquals, Condition, HasType
 from repro.core.expr import (
+    CombineScoresE,
+    ConnectionBasisE,
     Expr,
     InputE,
     LiteralE,
@@ -44,7 +46,9 @@ from repro.plan.physical import (
     NETWORK_CLUSTERED,
     NETWORK_EXACT,
     SCAN,
+    SHARDED,
     EndorsementMergeOp,
+    FusedSocialCombineOp,
     GroupedAggregationOp,
     IndexKeywordScanOp,
     InputOp,
@@ -53,6 +57,7 @@ from repro.plan.physical import (
     PhysicalPlan,
     ScanOp,
     SemiJoinProbeOp,
+    ShardedScanOp,
 )
 
 #: Valid access-path preferences for compilation.
@@ -84,6 +89,14 @@ class CostModel:
     #: exact-index entry budget: past this estimated size the compiler
     #: prefers the cluster-compressed lists (the paper's 1 TB concern)
     network_entry_budget: float = 100_000.0
+    #: minimum estimated input population before a base-graph scan is
+    #: worth scattering across store partitions (per-shard task setup and
+    #: the union pass are pure overhead below it)
+    shard_scan_min_nodes: float = 512.0
+    #: minimum estimated plan cost (summed operator cardinalities) before
+    #: execution moves onto the worker pool — pool handoff costs real
+    #: microseconds, so trivial plans must stay sequential
+    parallel_min_cost: float = 5_000.0
 
     def scan_cost(self, input_nodes: float) -> float:
         return input_nodes * self.scan_cost_per_node
@@ -175,6 +188,75 @@ def _index_eligible(node: Expr, index: IndexBinding | None) -> bool:
     return node.scorer is not None and node.scorer is shared
 
 
+def _mark_memoisable(node: Expr, physical: PhysicalOp) -> None:
+    """Tag deterministic base-graph stages for the sub-plan result memo.
+
+    A stage qualifies when its result is a pure function of the base
+    input graph and its own parameters — then one graph generation can
+    serve every execution from the first result.  Today that is
+    connection selection (small, per-user, re-derived on every query of
+    the same user) and base-graph node selection (the σN candidate stage,
+    identical across repeats of a query shape; all three physical forms
+    produce the same records by the parity contract, but the form tag
+    still keys separately so access-path experiments measure real work).
+    Opaque scorer parameters key by identity inside ``plan_key``, so two
+    scorers can never share an entry.
+    """
+    if not isinstance(node, (ConnectionBasisE, SelectNodesE)):
+        return
+    if not isinstance(node.child, InputE):  # type: ignore[attr-defined]
+        return
+    if isinstance(node, ConnectionBasisE):
+        physical.memo_key = ("basis", plan_key(node))
+    else:
+        physical.memo_key = (
+            "select", physical.access_path or SCAN, plan_key(node)
+        )
+
+
+def _pruning_type(condition: Condition) -> tuple[Any | None, bool]:
+    """(type value the condition's conjuncts pin, predicate-exact?).
+
+    Safe to prune on because top-level predicates are conjunctive:
+    ``HasType(t)`` means *t* is among the element's types, and the
+    paper's type-equality superset semantics require every listed value
+    — so any single required value bounds the satisfying set.  *exact*
+    is True when the matched predicate demands nothing beyond membership
+    of that one value — then a partition's type bucket doesn't just
+    bound the predicate, it *is* the predicate.  Nested disjunctions
+    arrive as one opaque predicate object and never match here.
+    """
+    for predicate in condition.predicates:
+        if isinstance(predicate, HasType):
+            return predicate.type_name, True
+        if isinstance(predicate, AttrEquals) and predicate.att == "type" \
+                and predicate.required:
+            return predicate.required[0], len(predicate.required) == 1
+    return None, False
+
+
+def _parent_counts(root: Expr) -> dict[int, int]:
+    """Edges into each node of the (possibly DAG-shaped) logical plan.
+
+    Fusion needs this: a social stage may only be absorbed into its
+    combination when the combination is its *sole* consumer — a shared
+    sub-plan must stay a standalone operator so every parent reads the
+    same memoised result.
+    """
+    counts: dict[int, int] = {}
+    seen: set[int] = set()
+
+    def walk(node: Expr) -> None:
+        for child in node.children():
+            counts[id(child)] = counts.get(id(child), 0) + 1
+            if id(child) not in seen:
+                seen.add(id(child))
+                walk(child)
+
+    walk(root)
+    return counts
+
+
 def compile_plan(
     expr: Expr,
     stats: GraphStats,
@@ -183,6 +265,7 @@ def compile_plan(
     cost_model: CostModel | None = None,
     rules=DEFAULT_RULES,
     key=None,
+    shards: int = 1,
 ) -> PhysicalPlan:
     """Compile a logical plan into an executable :class:`PhysicalPlan`.
 
@@ -194,6 +277,10 @@ def compile_plan(
 
     *key* lets a caller that already computed ``plan_key(expr)`` (the plan
     cache's lookup) pass it in instead of paying a second tree walk.
+
+    *shards* > 1 declares that the executing planner can serve
+    partitioned views of the base graph: sufficiently large base-graph
+    node scans then lower to :class:`ShardedScanOp` (scatter + union).
     """
     if access not in ACCESS_MODES:
         raise QueryError(f"unknown access mode {access!r}; have {ACCESS_MODES}")
@@ -202,11 +289,51 @@ def compile_plan(
     decisions: list[AccessDecision] = []
     strategy_state: dict[str, Any] = {"decision": None, "resolved": None}
     memo: dict[int, PhysicalOp] = {}
+    parents = _parent_counts(optimized)
+
+    def scan_form(node: Expr, children: tuple[PhysicalOp, ...]) -> PhysicalOp:
+        """The scan-family physical form: sharded when it pays off."""
+        if (
+            shards > 1
+            and isinstance(node, SelectNodesE)
+            and isinstance(node.child, InputE)
+        ):
+            input_nodes = node.child.estimate(stats).nodes
+            if input_nodes >= model.shard_scan_min_nodes:
+                prune_type, exact = _pruning_type(node.condition)
+                covered = (
+                    exact
+                    and len(node.condition.predicates) == 1
+                    and not node.condition.has_keywords
+                    and node.scorer is None
+                )
+                pruned = (
+                    f", covered by type {prune_type!r} buckets" if covered
+                    else f", pruned to type {prune_type!r} buckets"
+                    if prune_type is not None else ""
+                )
+                decisions.append(AccessDecision(
+                    op=node.describe(),
+                    chosen=SHARDED,
+                    scan_cost=model.scan_cost(input_nodes),
+                    index_cost=None,
+                    reason=(
+                        f"{input_nodes:.0f}-node base scan scattered "
+                        f"across {shards} partitions{pruned}"
+                    ),
+                ))
+                return ShardedScanOp(node, children, shards, prune_type,
+                                     covered)
+        return ScanOp(node, children)
 
     def lower(node: Expr) -> PhysicalOp:
         key = id(node)
         if key in memo:
             return memo[key]
+        if isinstance(node, CombineScoresE):
+            physical = _lower_combine(node)
+            memo[key] = physical
+            return physical
         children = tuple(lower(child) for child in node.children())
         if isinstance(node, InputE):
             physical: PhysicalOp = InputOp(node, ())
@@ -219,12 +346,45 @@ def compile_plan(
             )
         elif _index_eligible(node, index) and access != SCAN:
             physical = _choose_select_path(
-                node, children, stats, index, access, model, decisions
+                node, children, stats, index, access, model, decisions,
+                scan_form,
             )
         else:
-            physical = ScanOp(node, children)
+            physical = scan_form(node, children)
+        _mark_memoisable(node, physical)
         memo[key] = physical
         return physical
+
+    def _lower_combine(node: CombineScoresE) -> PhysicalOp:
+        """Fuse social scoring into the combination when it is safe.
+
+        Safe means: the social stage is a compiled :class:`SocialScoreE`,
+        the combination is its only consumer, both read the *same*
+        candidate sub-plan, and the chosen social form is not an
+        endorsement merge (whose network-index machinery stays a
+        standalone operator).  Anything else lowers to the plain
+        two-operator pipeline.
+        """
+        social = node.right
+        fusable = (
+            isinstance(social, SocialScoreE)
+            and parents.get(id(social), 0) == 1
+            and social.children()[1] is node.left
+        )
+        if fusable:
+            social_children = tuple(lower(c) for c in social.children())
+            social_phys = _choose_social_path(
+                social, social_children, stats, access, model, decisions,
+                strategy_state,
+            )
+            if not isinstance(social_phys, EndorsementMergeOp):
+                return FusedSocialCombineOp(
+                    node, social, social_children,
+                    strategy=social_phys.strategy, form=social_phys.form,
+                )
+            memo[id(social)] = social_phys
+            return ScanOp(node, (lower(node.left), social_phys))
+        return ScanOp(node, tuple(lower(child) for child in node.children()))
 
     root = lower(optimized)
     return PhysicalPlan(
@@ -248,8 +408,15 @@ def _choose_select_path(
     access: str,
     model: CostModel,
     decisions: list[AccessDecision],
+    scan_form=ScanOp,
 ) -> PhysicalOp:
-    """Cost the two physical forms of an eligible keyword selection."""
+    """Cost the two physical forms of an eligible keyword selection.
+
+    *scan_form* builds the scan-family operator when the scan side wins —
+    the compiler passes its shard-aware constructor, so a selection that
+    loses to neither index still scatters across partitions when the
+    planner has them.
+    """
     input_nodes = node.child.estimate(stats).nodes
     scan_cost = model.scan_cost(input_nodes)
     matches = stats.keyword_match_fraction(node.condition.keywords) * input_nodes
@@ -275,7 +442,7 @@ def _choose_select_path(
     )
     if chosen == INDEX:
         return IndexKeywordScanOp(node, children, index.item_type)
-    return ScanOp(node, children)
+    return scan_form(node, children)
 
 
 def _resolve_strategy(stats: GraphStats) -> tuple[str, str]:

@@ -35,6 +35,10 @@ class PlanExplain:
     strategy_decision: StrategyDecision | None = None
     #: concrete social strategy the plan ran (None: no social stage)
     resolved_strategy: str | None = None
+    #: how the plan ran: "sequential" or "pooled(<max_workers>)"
+    executor: str = "sequential"
+    #: True when any scan scattered across store partitions
+    sharded: bool = False
 
     def estimation_error(self) -> float:
         """Largest |estimated − actual| / max(actual, 1) over node counts.
@@ -65,4 +69,6 @@ def explain_execution(execution: PlanExecution) -> PlanExplain:
         cache_hit=execution.cache_hit,
         strategy_decision=execution.plan.strategy_decision,
         resolved_strategy=execution.plan.resolved_strategy,
+        executor=execution.executor,
+        sharded=execution.plan.uses_sharded_scan,
     )

@@ -1,0 +1,234 @@
+"""Pooled execution: a shared worker pool and a dataflow DAG scheduler.
+
+A physical plan is a DAG of side-effect-free operators (the
+:class:`~repro.plan.physical.PhysicalOp` / ``ExecContext`` contract:
+operators read their inputs and the context's providers, and write only
+their own memo/profile slots).  That makes independent sub-plans — union
+branches, the two sides of the social stage, per-shard scan tasks —
+safely schedulable on a thread pool.
+
+Two pieces live here:
+
+* :class:`WorkerPool` — a lazily-started ``ThreadPoolExecutor`` wrapper
+  with task accounting.  One process-wide pool is shared by default
+  (:func:`shared_worker_pool`): executor threads are a per-process
+  resource exactly like the shared plan cache, and serving stacks should
+  not each spin up their own.
+* :func:`execute_pooled` — a dataflow scheduler: every operator becomes a
+  task once all of its children have finished; *expandable* operators
+  (the sharded scan) fan out into one task per shard plus a finalizer.
+  Nothing ever blocks inside a worker waiting for another task, so the
+  schedule is deadlock-free at any pool size.
+
+Sequential execution (``PhysicalOp.execute``) remains the default for
+small plans — the compiler's cost threshold decides, because pool
+handoff latency swamps sub-millisecond operators.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.graph import SocialContentGraph
+    from repro.plan.physical import ExecContext, PhysicalOp
+
+#: Default pool width: bounded so a serving box is not oversubscribed by
+#: plan execution alone (request-level parallelism exists too).
+DEFAULT_MAX_WORKERS = max(2, min(8, os.cpu_count() or 2))
+
+
+class WorkerPool:
+    """A lazily-started thread pool with task accounting.
+
+    The underlying executor is created on first use (importing the plan
+    package must not spawn threads) and reused for every plan afterwards;
+    ``tasks_run`` counts scheduled operator tasks, which the benchmarks
+    and the EXPLAIN header read.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 name: str = "plan-worker"):
+        self.max_workers = (
+            max_workers if max_workers is not None else DEFAULT_MAX_WORKERS
+        )
+        if self.max_workers <= 0:
+            raise ValueError(
+                f"max_workers must be positive, got {self.max_workers!r}"
+            )
+        self._name = name
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self.tasks_run = 0
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            with self._lock:
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix=self._name,
+                    )
+        return self._executor
+
+    def submit(self, fn: Callable, *args, **kwargs):
+        with self._lock:
+            self.tasks_run += 1
+        return self.executor.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        started = self._executor is not None
+        return (
+            f"WorkerPool(max_workers={self.max_workers}, "
+            f"started={started}, tasks_run={self.tasks_run})"
+        )
+
+
+_shared_pool: WorkerPool | None = None
+_shared_pool_lock = threading.Lock()
+
+
+def shared_worker_pool() -> WorkerPool:
+    """The process-wide pool plan execution defaults to."""
+    global _shared_pool
+    if _shared_pool is None:
+        with _shared_pool_lock:
+            if _shared_pool is None:
+                _shared_pool = WorkerPool()
+    return _shared_pool
+
+
+def execute_pooled(
+    root: "PhysicalOp", ctx: "ExecContext", pool: WorkerPool
+) -> "SocialContentGraph":
+    """Run a physical DAG on *pool*, operators firing as inputs complete.
+
+    Produces exactly the graphs (and operator profiles) sequential
+    execution would — the parity suite holds the two equal — but
+    wall-clock is bounded by the critical path instead of the operator
+    sum.  Scheduling state lives entirely in this call frame; the context
+    is only written through the operators' own profiling slots, plus
+    ``ctx.workers`` recording which pool thread ran each operator.
+    """
+    ops: dict[int, "PhysicalOp"] = {}
+    postorder: list["PhysicalOp"] = []
+
+    def collect(op: "PhysicalOp") -> None:
+        if id(op) in ops:
+            return
+        ops[id(op)] = op
+        for child in op.children:
+            collect(child)
+        postorder.append(op)
+
+    collect(root)
+
+    dependents: dict[int, list["PhysicalOp"]] = {key: [] for key in ops}
+    pending: dict[int, int] = {}
+    for op in postorder:
+        unique_children = {id(child) for child in op.children}
+        pending[id(op)] = len(unique_children)
+        for child_key in unique_children:
+            dependents[child_key].append(op)
+
+    state_lock = threading.Lock()
+    done = threading.Event()
+    failures: list[BaseException] = []
+    #: per-expanded-op remaining subtask count and collected parts
+    fanout: dict[int, list] = {}
+
+    def fail(error: BaseException) -> None:
+        with state_lock:
+            failures.append(error)
+        done.set()
+
+    def op_finished(op: "PhysicalOp") -> None:
+        if op is root:
+            done.set()
+            return
+        ready: list["PhysicalOp"] = []
+        with state_lock:
+            for parent in dependents[id(op)]:
+                pending[id(parent)] -= 1
+                if pending[id(parent)] == 0:
+                    ready.append(parent)
+        for parent in ready:
+            schedule(parent)
+
+    def run_plain(op: "PhysicalOp") -> None:
+        try:
+            inputs = [ctx.memo[id(child)] for child in op.children]
+            op.run_profiled(ctx, inputs)
+        except BaseException as error:  # surfaced to the caller
+            fail(error)
+            return
+        op_finished(op)
+
+    def run_subtask(op: "PhysicalOp", index: int, task: Callable) -> None:
+        try:
+            part = task()
+        except BaseException as error:
+            fail(error)
+            return
+        finalize = False
+        with state_lock:
+            slots = fanout[id(op)]
+            slots[0] -= 1
+            slots[1][index] = part
+            finalize = slots[0] == 0
+        if finalize:
+            run_finalize(op)
+
+    def run_finalize(op: "PhysicalOp") -> None:
+        try:
+            inputs = [ctx.memo[id(child)] for child in op.children]
+            parts = fanout[id(op)][1]
+            op.finish_subtasks(ctx, inputs, parts)
+        except BaseException as error:
+            fail(error)
+            return
+        op_finished(op)
+
+    def schedule(op: "PhysicalOp") -> None:
+        if failures:
+            return
+        if (
+            op.memo_key is not None
+            and ctx.result_cache is not None
+            and op.memo_key in ctx.result_cache
+        ):
+            # the sub-plan memo already holds this result: don't fan out,
+            # let run_profiled serve (and profile) the memo hit
+            pool.submit(run_plain, op)
+            return
+        inputs = [ctx.memo[id(child)] for child in op.children]
+        try:
+            tasks = op.subtasks(ctx, inputs)
+        except BaseException as error:
+            fail(error)
+            return
+        if not tasks:
+            pool.submit(run_plain, op)
+            return
+        with state_lock:
+            fanout[id(op)] = [len(tasks), [None] * len(tasks)]
+        for index, task in enumerate(tasks):
+            pool.submit(run_subtask, op, index, task)
+
+    initially_ready = [op for op in postorder if pending[id(op)] == 0]
+    for op in initially_ready:
+        schedule(op)
+    done.wait()
+    if failures:
+        raise failures[0]
+    return ctx.memo[id(root)]

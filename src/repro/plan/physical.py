@@ -19,6 +19,7 @@ per operator (:meth:`PhysicalPlan.render`).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
@@ -34,6 +35,39 @@ INDEX = "index"
 #: Network-aware (§6.2) access paths of the compiled social stage.
 NETWORK_EXACT = "network-exact"
 NETWORK_CLUSTERED = "network-clustered"
+#: Physical-form tag of the partition-scattered scan.
+SHARDED = "sharded-scan"
+
+
+@dataclass(frozen=True)
+class ShardProfile:
+    """One shard's slice of a scattered operator, for EXPLAIN."""
+
+    shard: int
+    actual: Card
+    elapsed_s: float
+    worker: str | None = None
+
+
+@dataclass
+class ShardView:
+    """One partition's scatter view: its node population + type buckets.
+
+    Cut by the planner once per graph generation.  ``by_type`` is the
+    partition-local secondary index (the §6.2 observation, applied to the
+    scatter path): a type-pinned selection reads only its bucket, so the
+    scattered scan prunes every node the predicate could never match —
+    the partition advantage that holds even on a single core.
+    """
+
+    nodes: list
+    by_type: dict[Any, list]
+
+    def population(self, type_name: Any | None) -> list:
+        """Nodes a selection pinning *type_name* must consider."""
+        if type_name is None:
+            return self.nodes
+        return self.by_type.get(type_name, [])
 
 
 class ExecContext:
@@ -44,11 +78,17 @@ class ExecContext:
         env: Mapping[str, SocialContentGraph],
         index_provider: Callable[[], Any] | None = None,
         network_provider: Callable[[str], Any] | None = None,
+        shard_provider: Callable[
+            [SocialContentGraph], "Sequence[ShardView] | None"
+        ] | None = None,
     ):
         self.env = env
         self.index_provider = index_provider
         #: variant name ("exact"/"clustered") → §6.2 endorsement index
         self.network_provider = network_provider
+        #: base graph → its partitioned node views (None when the graph is
+        #: not the one the provider partitions — the op degrades to a scan)
+        self.shard_provider = shard_provider
         #: per-operator results, keyed by physical node identity (the DAG
         #: dedup — shared sub-plans execute once, as in Expr.evaluate)
         self.memo: dict[int, SocialContentGraph] = {}
@@ -59,6 +99,25 @@ class ExecContext:
         #: id()s of operators that degraded from their planned access path
         #: at runtime (e.g. endorsement merge falling back to the probe)
         self.degraded: set[int] = set()
+        #: True while a worker pool is driving this execution — operators
+        #: then record which pool thread ran them
+        self.pooled = False
+        #: operator id → pool-thread name (pooled executions only)
+        self.workers: dict[int, str] = {}
+        #: operator id → per-shard profiles (scattered operators only)
+        self.shard_actuals: dict[int, list[ShardProfile]] = {}
+        #: operator id → decoded side output (fused operators hand their
+        #: plain-value results to consumers without a graph decode)
+        self.payloads: dict[int, Any] = {}
+        #: generation-stamped sub-plan result memo (planner-owned): ops
+        #: carrying a ``memo_key`` — deterministic base-graph stages like
+        #: the connection basis — reuse results across executions within
+        #: one graph generation.  ``None`` disables (custom environments).
+        self.result_cache: dict | None = None
+        #: operator ids whose result came from the sub-plan memo
+        self.subplan_hits: set[int] = set()
+        #: guards the shard-profile lists under concurrent shard tasks
+        self.lock = threading.Lock()
 
 
 class PhysicalOp:
@@ -70,6 +129,11 @@ class PhysicalOp:
     def __init__(self, logical: Expr, children: Sequence["PhysicalOp"] = ()):
         self.logical = logical
         self.children = tuple(children)
+        #: structural key under which this op's result may be memoised
+        #: *across* executions of one graph generation (set by the
+        #: compiler only for deterministic base-graph stages; ``None``
+        #: means never)
+        self.memo_key: Any = None
 
     def estimate(self, stats: GraphStats) -> Card:
         """Estimated *output* cardinality (access-path independent)."""
@@ -80,17 +144,88 @@ class PhysicalOp:
         return self.logical.describe()
 
     def execute(self, ctx: ExecContext) -> SocialContentGraph:
-        """Run this operator (memoised per execution) and profile it."""
+        """Run this operator sequentially (memoised per execution)."""
         key = id(self)
         if key in ctx.memo:
             return ctx.memo[key]
         inputs = [child.execute(ctx) for child in self.children]
+        return self.run_profiled(ctx, inputs)
+
+    def run_profiled(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
+        """Run over already-evaluated inputs, recording the profile slot.
+
+        The shared leaf of both execution modes: the sequential recursion
+        and the pooled scheduler funnel through here, so profiles (and
+        the memo contract) cannot drift between them.
+        """
+        key = id(self)
+        if key in ctx.memo:
+            return ctx.memo[key]
+        memo_key = self.memo_key
+        cache = ctx.result_cache if memo_key is not None else None
+        if cache is not None:
+            cached = cache.get(memo_key)
+            if cached is not None:
+                ctx.subplan_hits.add(key)
+                # cached results are shared across executions: never let
+                # a caller mutate one (the root-result copy guard)
+                ctx.borrowed.add(id(cached))
+                self._record(ctx, cached, 0.0)
+                return cached
         start = time.perf_counter()
         result = self._run(ctx, inputs)
         elapsed = time.perf_counter() - start
+        self._store_result_memo(ctx, result)
+        self._record(ctx, result, elapsed)
+        return result
+
+    def _store_result_memo(
+        self, ctx: ExecContext, result: SocialContentGraph
+    ) -> None:
+        """Publish a freshly computed result to the sub-plan memo.
+
+        Marks the graph borrowed: the memo now owns it, so if it
+        surfaces as the plan result the caller must get a copy (the
+        borrow guard) — a hostile mutation cannot poison later
+        executions.
+        """
+        if self.memo_key is not None and ctx.result_cache is not None:
+            ctx.result_cache[self.memo_key] = result
+            ctx.borrowed.add(id(result))
+
+    def _record(
+        self, ctx: ExecContext, result: SocialContentGraph, elapsed: float
+    ) -> None:
+        key = id(self)
         ctx.memo[key] = result
         ctx.actuals[key] = (Card(result.num_nodes, result.num_links), elapsed)
-        return result
+        if ctx.pooled:
+            ctx.workers[key] = threading.current_thread().name
+
+    # -- pooled fan-out protocol (scattered operators override) ---------------
+
+    def subtasks(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> list[Callable[[], Any]] | None:
+        """Optional fan-out: independent subtasks the scheduler may pool.
+
+        ``None`` (the default) means the operator runs as one task.  A
+        non-empty list means: run every callable (in any order, on any
+        worker), then hand the collected results to
+        :meth:`finish_subtasks` — which must record the profile slot.
+        """
+        return None
+
+    def finish_subtasks(
+        self,
+        ctx: ExecContext,
+        inputs: Sequence[SocialContentGraph],
+        parts: list,
+    ) -> SocialContentGraph:
+        """Combine subtask results (only called when subtasks() fanned out)."""
+        raise NotImplementedError
 
     def _run(
         self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
@@ -160,6 +295,186 @@ class IndexKeywordScanOp(PhysicalOp):
             for item, score in scores.items()
             if graph.has_node(item)
         )
+
+
+class ShardedScanOp(PhysicalOp):
+    """σN scattered across the store's hash partitions, unioned back.
+
+    Lowered for node selections over a base input graph when the planner
+    has shard views attached and the population is large enough to pay
+    for the scatter.  Each shard task applies the *same* selection kernel
+    (:func:`repro.core.selection.select_matching_nodes`) to one
+    partition's population — pruned to the partition-local type bucket
+    when the condition pins a type — so the union of per-shard results is
+    record-for-record the full scan (the parity contract) while testing
+    only the nodes the predicate could match.  Under the pooled executor
+    the shard tasks additionally run on worker threads.
+
+    If the shard provider is missing at execution time — or partitions a
+    different graph than the one bound in the environment — the operator
+    degrades to the plain scan rather than risking drift.
+    """
+
+    access_path = SHARDED
+
+    def __init__(self, logical: Expr, children: Sequence[PhysicalOp],
+                 num_shards: int, prune_type: Any | None = None,
+                 covered: bool = False):
+        super().__init__(logical, children)
+        self.num_shards = num_shards
+        #: type value the condition pins (conjunctive HasType /
+        #: type-equality), enabling partition-bucket pruning; None scans
+        #: every shard node
+        self.prune_type = prune_type
+        #: True when the compiler proved the condition ≡ the type pin
+        #: alone (no keywords, no scorer, no further predicates): the
+        #: bucket *is* the selection, no per-node test runs at all
+        self.covered = covered
+
+    def describe(self) -> str:
+        if self.covered:
+            prune = f":{self.prune_type}*"
+        elif self.prune_type is not None:
+            prune = f":{self.prune_type}"
+        else:
+            prune = ""
+        return f"{self.logical.describe()} [sharded×{self.num_shards}{prune}]"
+
+    def _shard_views(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> Sequence[ShardView] | None:
+        if ctx.shard_provider is None:
+            return None
+        views = ctx.shard_provider(inputs[0])
+        if not views or len(views) < 2:
+            return None
+        return views
+
+    def _scan_shard(
+        self, ctx: ExecContext, shard: int, view: ShardView
+    ) -> list:
+        from repro.core.selection import select_matching_nodes
+
+        start = time.perf_counter()
+        population = view.population(self.prune_type)
+        if self.covered:
+            part = population  # the bucket is the selection, verbatim
+        else:
+            part = select_matching_nodes(
+                population,
+                self.logical.condition,  # type: ignore[attr-defined]
+                self.logical.scorer,  # type: ignore[attr-defined]
+            )
+        elapsed = time.perf_counter() - start
+        worker = threading.current_thread().name if ctx.pooled else None
+        with ctx.lock:
+            ctx.shard_actuals.setdefault(id(self), []).append(ShardProfile(
+                shard=shard,
+                actual=Card(len(part), 0),
+                elapsed_s=elapsed,
+                worker=worker,
+            ))
+        return part
+
+    def _union(
+        self, base: SocialContentGraph, parts: Sequence[list]
+    ) -> SocialContentGraph:
+        out = SocialContentGraph(catalog=base.catalog)
+        adopt = out._adopt_fresh_node
+        for part in parts:
+            for node in part:
+                adopt(node)
+        return out
+
+    # -- pooled fan-out --------------------------------------------------------
+
+    def subtasks(self, ctx, inputs):
+        views = self._shard_views(ctx, inputs)
+        if views is None:
+            return None  # degrade path: run as one plain task
+        return [
+            (lambda shard=shard, view=view: self._scan_shard(ctx, shard, view))
+            for shard, view in enumerate(views)
+        ]
+
+    def finish_subtasks(self, ctx, inputs, parts):
+        start = time.perf_counter()
+        result = self._union(inputs[0], parts)
+        union_elapsed = time.perf_counter() - start
+        with ctx.lock:
+            slowest = max(
+                (p.elapsed_s for p in ctx.shard_actuals.get(id(self), ())),
+                default=0.0,
+            )
+        self._store_result_memo(ctx, result)
+        # critical path, not operator sum: shards overlapped on the pool
+        self._record(ctx, result, slowest + union_elapsed)
+        return result
+
+    # -- sequential ------------------------------------------------------------
+
+    def _run(self, ctx, inputs):
+        views = self._shard_views(ctx, inputs)
+        if views is None:
+            ctx.degraded.add(id(self))
+            return self.logical._compute(inputs)
+        parts = [
+            self._scan_shard(ctx, shard, view)
+            for shard, view in enumerate(views)
+        ]
+        return self._union(inputs[0], parts)
+
+
+class FusedSocialCombineOp(PhysicalOp):
+    """Social scoring and α-combination fused into one physical operator.
+
+    The two-step pipeline (social stage → combine stage) spent more time
+    encoding and re-copying intermediate graphs than computing scores —
+    the compiled ``friends`` path benchmarked *slower* than the legacy
+    hand-executed one.  When the social stage's result feeds only the
+    combination (the overwhelmingly common shape) the compiler fuses the
+    pair: scores stay plain dicts until the single output graph is built
+    and provenance is encoded once, for surviving items only
+    (:func:`repro.core.social.fused_social_combine`).  The endorsement
+    -merge (§6.2 network index) forms stay unfused — their access paths
+    carry their own runtime-degrade machinery.
+
+    Children are ``(graph, candidates, basis)`` — the social stage's
+    inputs; the combination's candidate input is the same sub-plan, DAG
+    -shared, so it still executes once.
+    """
+
+    def __init__(self, logical: Expr, social: Expr,
+                 children: Sequence[PhysicalOp], strategy: str, form: str):
+        super().__init__(logical, children)
+        self.social = social
+        self.strategy = strategy
+        #: physical form of the fused social half ("probe" / "group-agg")
+        self.form = form
+
+    def describe(self) -> str:
+        return f"combine+social⟨{self.strategy}⟩ [fused-{self.form}]"
+
+    def _run(self, ctx, inputs):
+        from repro.core.social import fused_social_combine
+
+        graph, candidates, basis = inputs
+        result, decoded = fused_social_combine(
+            graph,
+            candidates,
+            basis,
+            strategy=self.strategy,
+            user_id=self.social.user_id,  # type: ignore[attr-defined]
+            alpha=self.logical.alpha,  # type: ignore[attr-defined]
+            keywords=self.social.keywords,  # type: ignore[attr-defined]
+            sim_threshold=self.social.sim_threshold,  # type: ignore[attr-defined]
+            act_type=self.social.act_type,  # type: ignore[attr-defined]
+            drop_zero=self.logical.drop_zero,  # type: ignore[attr-defined]
+        )
+        # the decoded ranking falls out of the fusion for free: hand it to
+        # consumers so they can skip re-decoding the result graph
+        ctx.payloads[id(self)] = decoded
+        return result
 
 
 class _SocialStageOp(PhysicalOp):
@@ -278,6 +593,10 @@ class OperatorProfile:
     actual: Card | None
     elapsed_s: float
     access_path: str | None = None
+    #: pool thread that ran the operator (pooled executions only)
+    worker: str | None = None
+    #: shard index, on the per-shard sub-rows of a scattered operator
+    shard: int | None = None
 
     def line(self) -> str:
         actual = (
@@ -285,22 +604,67 @@ class OperatorProfile:
             if self.actual is not None
             else "act -"
         )
+        worker = f"  @{self.worker}" if self.worker else ""
         return (
             f"{'  ' * self.depth}{self.op}  "
-            f"[est {self.estimated!r}  {actual}  {self.elapsed_s * 1e3:.2f}ms]"
+            f"[est {self.estimated!r}  {actual}  "
+            f"{self.elapsed_s * 1e3:.2f}ms{worker}]"
         )
 
 
 @dataclass
 class PlanExecution:
-    """One execution of a physical plan: result graph + operator profiles."""
+    """One execution of a physical plan: result graph + operator profiles.
+
+    Operator profiles are *lazy*: rendering EXPLAIN rows re-estimates
+    every operator against the statistics, which serving paths that never
+    look at the plan should not pay for.  The raw execution context is
+    kept instead and the rows materialise on first access.
+    """
 
     plan: "PhysicalPlan"
     result: SocialContentGraph
-    profiles: tuple[OperatorProfile, ...]
+    ctx: ExecContext
     cache_hit: bool = False
     #: operators that abandoned their planned access path at runtime
     degraded_ops: int = 0
+    #: how the plan ran: "sequential" or "pooled(<max_workers>)"
+    executor: str = "sequential"
+    _profiles_cache: tuple[OperatorProfile, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def profiles(self) -> tuple[OperatorProfile, ...]:
+        """Per-operator EXPLAIN rows (materialised on first access)."""
+        if self._profiles_cache is None:
+            self._profiles_cache = tuple(self.plan._profiles(self.ctx))
+        return self._profiles_cache
+
+    @property
+    def op_actuals(self) -> dict:
+        """Physical op → (actual cardinality, elapsed seconds).
+
+        The raw profile map cardinality feedback consumes — op identity,
+        not render strings.
+        """
+        actuals = self.ctx.actuals
+        return {
+            op: actuals[id(op)]
+            for op in PhysicalPlan._walk(self.plan.root, set())
+            if id(op) in actuals
+        }
+
+    @property
+    def payload(self) -> Any:
+        """The root operator's decoded side output, if it produced one.
+
+        Fused operators compute plain-value results (score maps, decoded
+        rankings) *before* encoding them into the result graph; consumers
+        that want the values — not the graph — read them here and skip
+        the decode round-trip.
+        """
+        return self.ctx.payloads.get(id(self.plan.root))
 
     @property
     def used_network_index(self) -> bool:
@@ -327,7 +691,9 @@ class PlanExecution:
     def render(self) -> str:
         """EXPLAIN ANALYZE-style tree: every operator, est vs. actual."""
         header = [
-            f"access={self.plan.access_path}  cache={'hit' if self.cache_hit else 'miss'}"
+            f"access={self.plan.access_path}  "
+            f"cache={'hit' if self.cache_hit else 'miss'}  "
+            f"executor={self.executor}"
         ]
         if self.plan.rewrites.applied:
             header.append(f"rewrites: {', '.join(self.plan.rewrites.applied)}")
@@ -367,6 +733,7 @@ class PhysicalPlan:
         #: concrete social strategy the lowered plan runs (None when the
         #: plan has no social stage)
         self.resolved_strategy = resolved_strategy
+        self._estimated_cost: float | None = None
 
     @property
     def uses_index(self) -> bool:
@@ -384,9 +751,31 @@ class PhysicalPlan:
         )
 
     @property
+    def uses_sharded_scan(self) -> bool:
+        """True when any scan scatters across store partitions."""
+        return any(
+            op.access_path == SHARDED for op in self._walk(self.root, set())
+        )
+
+    @property
     def access_path(self) -> str:
         """Dominant access path tag for response metadata."""
         return INDEX if self.uses_index else SCAN
+
+    @property
+    def estimated_cost(self) -> float:
+        """Scalar work proxy: summed estimated cardinality over all ops.
+
+        The pooled executor's go/no-go signal — pool handoff costs real
+        microseconds, so plans below the cost model's threshold stay on
+        the sequential path.
+        """
+        if self._estimated_cost is None:
+            self._estimated_cost = sum(
+                op.estimate(self.stats).cost()
+                for op in self._walk(self.root, set())
+            )
+        return self._estimated_cost
 
     @staticmethod
     def _walk(op: PhysicalOp, seen: set):
@@ -404,15 +793,45 @@ class PhysicalPlan:
         env: Mapping[str, SocialContentGraph],
         index_provider: Callable[[], Any] | None = None,
         network_provider: Callable[[str], Any] | None = None,
+        shard_provider: Callable[
+            [SocialContentGraph], "Sequence[ShardView] | None"
+        ] | None = None,
+        pool: Any = None,
+        parallel: str = "auto",
+        parallel_min_cost: float = 0.0,
+        result_cache: dict | None = None,
     ) -> PlanExecution:
-        """Run the plan; the result never aliases an input/literal graph."""
-        ctx = ExecContext(env, index_provider, network_provider)
-        result = self.root.execute(ctx)
+        """Run the plan; the result never aliases an input/literal graph.
+
+        *parallel* picks the executor: ``"never"`` stays sequential,
+        ``"force"`` drives the DAG through *pool* unconditionally, and
+        ``"auto"`` (the default) uses the pool only when one was supplied
+        and :attr:`estimated_cost` clears *parallel_min_cost* — pool
+        handoff on a trivial plan costs more than it saves.  Either mode
+        produces identical graphs and profiles; pooled runs additionally
+        tag each operator with the worker thread that ran it.
+        """
+        ctx = ExecContext(env, index_provider, network_provider,
+                          shard_provider)
+        ctx.result_cache = result_cache
+        use_pool = pool is not None and parallel != "never" and (
+            parallel == "force" or self.estimated_cost >= parallel_min_cost
+        )
+        if use_pool:
+            from repro.plan.parallel import execute_pooled
+
+            ctx.pooled = True
+            result = execute_pooled(self.root, ctx, pool)
+            executor = f"pooled({pool.max_workers})"
+        else:
+            result = self.root.execute(ctx)
+            executor = "sequential"
         if id(result) in ctx.borrowed:
             result = result.copy()
         return PlanExecution(
-            plan=self, result=result, profiles=tuple(self._profiles(ctx)),
+            plan=self, result=result, ctx=ctx,
             degraded_ops=len(ctx.degraded),
+            executor=executor,
         )
 
     def _profiles(self, ctx: ExecContext, op: PhysicalOp | None = None,
@@ -422,14 +841,35 @@ class PhysicalPlan:
         description = op.describe()
         if id(op) in ctx.degraded:
             description += " (degraded→probe)"
+        if id(op) in ctx.subplan_hits:
+            description += " (memo)"
+        estimated = op.estimate(self.stats)
         yield OperatorProfile(
             op=description,
             depth=depth,
-            estimated=op.estimate(self.stats),
+            estimated=estimated,
             actual=actual,
             elapsed_s=elapsed,
             access_path=op.access_path,
+            worker=ctx.workers.get(id(op)),
         )
+        shard_rows = ctx.shard_actuals.get(id(op))
+        if shard_rows:
+            per_shard_estimate = Card(
+                estimated.nodes / len(shard_rows),
+                estimated.links / len(shard_rows),
+            )
+            for row in sorted(shard_rows, key=lambda r: r.shard):
+                yield OperatorProfile(
+                    op=f"shard[{row.shard}]",
+                    depth=depth + 1,
+                    estimated=per_shard_estimate,
+                    actual=row.actual,
+                    elapsed_s=row.elapsed_s,
+                    access_path=None,
+                    worker=row.worker,
+                    shard=row.shard,
+                )
         for child in op.children:
             yield from self._profiles(ctx, child, depth + 1)
 

@@ -2,16 +2,27 @@
 
 One :class:`QueryPlanner` is owned by each
 :class:`~repro.discovery.discoverer.InformationDiscoverer` (and therefore
-by each :class:`~repro.api.session.Session`).  It holds the three pieces
+by each :class:`~repro.api.session.Session`).  It holds the pieces
 compilation needs and serving must keep coherent:
 
 * **statistics** — :class:`~repro.core.stats.GraphStats` with the term
-  histogram, collected lazily once per graph generation;
-* **the plan cache** — compiled plans keyed structurally and stamped with
-  the generation, so any graph change (Data-Manager write, analysis,
-  remote attach) invalidates every cached plan at once;
+  histogram, collected lazily once per graph generation, carrying the
+  planner's :class:`~repro.core.stats.CardinalityFeedback` so executed
+  queries sharpen future estimates;
+* **the plan cache** — by default the *process-wide*
+  :class:`~repro.plan.cache.SharedPlanCache`: compiled plans are keyed by
+  (planner scope, structural key, access), stamped with the generation,
+  and anchored to the live graph object, so sessions serving the same
+  graph amortize compilation across each other while any graph change
+  (Data-Manager write, analysis, remote attach) still invalidates at
+  once;
 * **the index binding** — where the semantic inverted index lives and
-  which population it covers, attached by the session.
+  which population it covers, attached by the session;
+* **partitions and the pool** — when the backing store is sharded the
+  session attaches the shard count; the planner then partitions its live
+  graph into per-shard views (lazily, per generation) for
+  :class:`~repro.plan.physical.ShardedScanOp`, and drives large plans
+  through the shared worker pool (:mod:`repro.plan.parallel`).
 
 ``semantic_candidates`` is the serving entry point: it builds the σN plan
 for a parsed query's scope condition and runs it through the compiler,
@@ -28,40 +39,78 @@ from repro.core.expr import (
     CombineScoresE,
     ConnectionBasisE,
     Expr,
+    SelectNodesE,
     SocialScoreE,
     input_graph,
     plan_key,
 )
 from repro.core.graph import SocialContentGraph
-from repro.core.stats import GraphStats
-from repro.plan.cache import PlanCache
+from repro.core.stats import CardinalityFeedback, GraphStats
+from repro.management.storage import shard_of
+from repro.plan.cache import PlanCache, shared_plan_cache
 from repro.plan.compiler import CostModel, IndexBinding, compile_plan
-from repro.plan.physical import PhysicalPlan, PlanExecution
+from repro.plan.parallel import WorkerPool, shared_worker_pool
+from repro.plan.physical import PhysicalPlan, PlanExecution, ShardView
 
 #: Name under which the planner binds its live graph in plan environments.
 BASE_GRAPH = "G"
 
+#: Execution-parallelism modes a planner can be pinned to.
+PARALLEL_MODES = ("auto", "never", "force")
+
 
 class QueryPlanner:
-    """Compiles logical plans against a live graph, with a plan cache."""
+    """Compiles logical plans against a live graph, with a plan cache.
+
+    *cache* defaults to the process-wide shared cache; pass a private
+    :class:`PlanCache` to opt a planner out of cross-session sharing.
+    *shards* > 1 enables partition-scattered scans; *parallelism* pins the
+    executor choice (``"auto"`` lets the cost model's threshold decide
+    per plan).
+    """
 
     def __init__(
         self,
         graph: SocialContentGraph,
         cost_model: CostModel | None = None,
-        cache_size: int = 256,
+        cache: PlanCache | None = None,
+        shards: int = 1,
+        parallelism: str = "auto",
+        pool: WorkerPool | None = None,
+        feedback: CardinalityFeedback | None = None,
     ):
+        if parallelism not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallelism {parallelism!r}; have {PARALLEL_MODES}"
+            )
         self.graph = graph
         self.cost_model = cost_model if cost_model is not None else CostModel()
-        self.cache = PlanCache(cache_size)
+        self.cache = cache if cache is not None else shared_plan_cache()
+        self.shards = max(1, shards)
+        self.parallelism = parallelism
+        self._pool = pool
+        #: execution-observed correction factors, surviving refreshes so
+        #: repeated queries keep sharpening the cost model
+        self.feedback = (
+            feedback if feedback is not None else CardinalityFeedback()
+        )
         #: bumped on every refresh/attach — the cache's generation stamp
         self.generation = 0
         self._stats: GraphStats | None = None
+        self._stats_token: tuple | None = None
         self._index: IndexBinding | None = None
+        #: lazily built per-shard node views of the live graph, stamped
+        #: with the generation they were cut under
+        self._shard_views: tuple[ShardView, ...] | None = None
+        self._shard_generation = -1
         #: lazily built §6.2 endorsement indexes, keyed by variant and
         #: stamped with the generation they were built under
         self._network_indexes: dict[str, Any] = {}
         self._network_generation = -1
+        #: generation-stamped memo of deterministic sub-plan results
+        #: (connection bases): repeated queries skip re-deriving them
+        self._subplan_results: dict = {}
+        self._subplan_generation = -1
         self._lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
@@ -70,12 +119,14 @@ class QueryPlanner:
         """Point at a (possibly new) graph; drops stats and stales all plans.
 
         Nothing is recomputed here — statistics rebuild lazily on the next
-        compile, and stale cache entries die on lookup, so back-to-back
-        refreshes cost nothing (the session's dirty-flag discipline).
+        compile, shard views re-cut on the next sharded execution, and
+        stale cache entries die on lookup, so back-to-back refreshes cost
+        nothing (the session's dirty-flag discipline).
         """
         with self._lock:
             self.graph = graph
             self._stats = None
+            self._shard_views = None
             self.generation += 1
 
     def attach_index(
@@ -99,9 +150,73 @@ class QueryPlanner:
             )
             self.generation += 1
 
+    def attach_shards(self, num_shards: int) -> None:
+        """Declare that the base graph partitions into *num_shards* views.
+
+        Changes what plans compile to (large scans lower to the scattered
+        form), so it bumps the generation.
+        """
+        with self._lock:
+            self.shards = max(1, num_shards)
+            self._shard_views = None
+            self.generation += 1
+
     @property
     def index_binding(self) -> IndexBinding | None:
         return self._index
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The worker pool pooled executions run on (shared by default)."""
+        if self._pool is None:
+            self._pool = shared_worker_pool()
+        return self._pool
+
+    def _derived_token(self) -> tuple:
+        """Validity stamp for every planner-local derived structure.
+
+        Statistics, shard views, network indexes and the sub-plan result
+        memo are all functions of the live graph's *content*: they must
+        die both on :meth:`refresh`/attach (the generation) and on any
+        in-place mutation of the graph object (the mutation epoch) — the
+        plan cache already validates against the epoch, and a recompiled
+        plan reading a pre-write memo or shard view would silently serve
+        stale records.
+        """
+        return (self.generation, self.graph.mutation_epoch)
+
+    # -- partitioned views ----------------------------------------------------
+
+    def shard_views(
+        self, graph: SocialContentGraph
+    ) -> tuple[ShardView, ...] | None:
+        """Per-shard scatter views of *graph*, with local type buckets.
+
+        Views are cut from the *planner's* live graph (not the physical
+        store) so analysis-derived nodes partition too; requests for any
+        other graph return ``None`` and the operator degrades to a full
+        scan rather than scanning the wrong population.  One pass per
+        graph generation pays for every sharded scan of that generation
+        — including the partition-local type buckets that let type-pinned
+        selections prune whole populations.
+        """
+        if self.shards <= 1 or graph is not self.graph:
+            return None
+        with self._lock:
+            if self._shard_generation != self._derived_token() or \
+                    self._shard_views is None:
+                views = tuple(
+                    ShardView(nodes=[], by_type={})
+                    for _ in range(self.shards)
+                )
+                for node in graph.nodes():
+                    view = views[shard_of(node.id, self.shards)]
+                    view.nodes.append(node)
+                    for type_value in node.types:
+                        view.by_type.setdefault(type_value, []).append(node)
+                self._shard_views = views
+                self._shard_generation = self._derived_token()
+            return self._shard_views
 
     def network_index(self, variant: str) -> Any:
         """The §6.2 endorsement index of the live graph (lazy, cached).
@@ -112,9 +227,9 @@ class QueryPlanner:
         refresh can never read stale postings.
         """
         with self._lock:
-            if self._network_generation != self.generation:
+            if self._network_generation != self._derived_token():
                 self._network_indexes.clear()
-                self._network_generation = self.generation
+                self._network_generation = self._derived_token()
             index = self._network_indexes.get(variant)
             if index is None:
                 from repro.indexing.endorsement import (
@@ -131,21 +246,51 @@ class QueryPlanner:
 
     @property
     def stats(self) -> GraphStats:
-        """Term-aware statistics of the current graph (lazy, per generation)."""
-        if self._stats is None:
+        """Term-aware statistics of the current graph (lazy, per token)."""
+        token = self._derived_token()
+        if self._stats is None or self._stats_token != token:
             with self._lock:
-                if self._stats is None:
-                    self._stats = GraphStats.of(self.graph, with_terms=True)
+                if self._stats is None or self._stats_token != token:
+                    stats = GraphStats.of(self.graph, with_terms=True)
+                    stats.feedback = self.feedback
+                    self._stats = stats
+                    self._stats_token = token
         return self._stats
 
     # -- compilation ----------------------------------------------------------
 
+    def _cache_scope(self) -> tuple:
+        """The shared-cache namespace everything this planner compiles in.
+
+        Everything a compiled plan depends on beyond the structural key
+        and the generation: the graph identity (also enforced as the weak
+        anchor), the frozen cost model, the index binding's coverage, and
+        the shard count.  Two planners with equal scopes compile
+        byte-equivalent plans for equal keys — which is exactly when
+        sharing is safe.
+        """
+        return (
+            id(self.graph),
+            self.cost_model,
+            self._index.item_type if self._index is not None else None,
+            self.shards,
+        )
+
     def compile(self, expr: Expr, access: str = "auto") -> tuple[PhysicalPlan, bool]:
-        """The compiled plan for *expr*, and whether the cache served it."""
+        """The compiled plan for *expr*, and whether the cache served it.
+
+        Cache entries are stamped with the *graph's* mutation epoch, not
+        this planner's generation counter: every planner serving the same
+        graph object agrees on the epoch, so sessions share hot plans
+        even when their private refresh histories diverge — while any
+        in-place graph write still invalidates instantly.  (The planner
+        generation keeps governing the planner-local derived state:
+        statistics, shard views, network indexes, the sub-plan memo.)
+        """
         structural_key = plan_key(expr)
-        key = (structural_key, access)
-        generation = self.generation
-        cached = self.cache.get(key, generation)
+        key = (self._cache_scope(), structural_key, access)
+        epoch = self.graph.mutation_epoch
+        cached = self.cache.get(key, epoch, anchor=self.graph)
         if cached is not None:
             return cached, True
         plan = compile_plan(
@@ -155,8 +300,9 @@ class QueryPlanner:
             access=access,
             cost_model=self.cost_model,
             key=structural_key,
+            shards=self.shards,
         )
-        self.cache.put(key, generation, plan)
+        self.cache.put(key, epoch, plan, anchor=self.graph)
         return plan, False
 
     # -- execution ------------------------------------------------------------
@@ -166,17 +312,83 @@ class QueryPlanner:
         expr: Expr,
         env: Mapping[str, SocialContentGraph] | None = None,
         access: str = "auto",
+        parallel: str | None = None,
     ) -> PlanExecution:
-        """Compile (or fetch) and run a plan against the live graph."""
+        """Compile (or fetch) and run a plan against the live graph.
+
+        *parallel* overrides the planner's pinned mode for this one
+        execution (the differential harness uses ``"force"``/``"never"``
+        to hold both executors to identical results).
+        """
         plan, cache_hit = self.compile(expr, access)
         provider = self._index.provider if self._index is not None else None
+        mode = parallel if parallel is not None else self.parallelism
         execution = plan.execute(
             env if env is not None else {BASE_GRAPH: self.graph},
             index_provider=provider,
             network_provider=self.network_index,
+            shard_provider=self.shard_views,
+            pool=self.pool if mode != "never" else None,
+            parallel=mode,
+            parallel_min_cost=self.cost_model.parallel_min_cost,
+            # the sub-plan memo assumes the default environment: a custom
+            # env may bind G to a different graph than the memo was cut on
+            result_cache=self._subplan_cache() if env is None else None,
         )
         execution.cache_hit = cache_hit
+        if not getattr(plan, "feedback_observed", False):
+            # Feedback rides on fresh plans, not on every hot-path hit:
+            # each compiled plan's first execution reports its actuals,
+            # and the correction reaches the cost model at the next
+            # (re)compile.  The marker lives on the plan object itself —
+            # an id()-keyed set would confuse a recycled address for an
+            # already-observed plan.
+            plan.feedback_observed = True
+            self._observe(plan, execution)
         return execution
+
+    def _subplan_cache(self) -> dict:
+        """The token-stamped sub-plan result memo (bounded)."""
+        with self._lock:
+            if self._subplan_generation != self._derived_token() or \
+                    len(self._subplan_results) > 256:
+                self._subplan_results = {}
+                self._subplan_generation = self._derived_token()
+            return self._subplan_results
+
+    # -- cardinality feedback -------------------------------------------------
+
+    def _observe(self, plan: PhysicalPlan, execution: PlanExecution) -> None:
+        """Feed per-operator actuals back into the correction table.
+
+        Only base-graph node selections are observed — their estimates
+        rest directly on the term/type histograms, so the error cleanly
+        attributes to the condition's terms (keyword scopes) or its type
+        predicates (structural scopes).  Derived-input operators would
+        smear upstream errors into the wrong keys.
+        """
+        for op, (actual, _elapsed) in execution.op_actuals.items():
+            logical = op.logical
+            if not isinstance(logical, SelectNodesE):
+                continue
+            from repro.core.expr import InputE
+
+            if not isinstance(logical.child, InputE):
+                continue
+            estimated = op.estimate(self.stats).nodes
+            condition = logical.condition
+            if condition.has_keywords:
+                for term in condition.keywords:
+                    self.feedback.observe(
+                        CardinalityFeedback.term_key(term),
+                        estimated, actual.nodes,
+                    )
+            else:
+                for type_name in _condition_type_names(condition):
+                    self.feedback.observe(
+                        CardinalityFeedback.type_key(type_name, False),
+                        estimated, actual.nodes,
+                    )
 
     def semantic_candidates(
         self,
@@ -212,6 +424,7 @@ class QueryPlanner:
         min_qualified: int = 2,
         max_experts: int = 10,
         access: str = "auto",
+        parallel: str | None = None,
     ) -> PlanExecution:
         """Compile and run the *whole* discovery pipeline as one plan.
 
@@ -247,4 +460,17 @@ class QueryPlanner:
         )
         root = CombineScoresE(candidates, social, alpha=alpha,
                               drop_zero=drop_zero)
-        return self.execute(root, access=access)
+        return self.execute(root, access=access, parallel=parallel)
+
+
+def _condition_type_names(condition) -> list[str]:
+    """Type names a structural condition pins (feedback attribution)."""
+    from repro.core.conditions import AttrEquals, HasType
+
+    names: list[str] = []
+    for predicate in condition.predicates:
+        if isinstance(predicate, HasType):
+            names.append(predicate.type_name)
+        elif isinstance(predicate, AttrEquals) and predicate.att == "type":
+            names.extend(str(required) for required in predicate.required)
+    return names

@@ -88,7 +88,8 @@ class TestExplainResponses:
             SearchRequest(user_id=JOHN, text="denver", explain=True)
         )
         kinds = op_kinds(response.plan)
-        assert "combine" in kinds and "social" in kinds and "basis" in kinds
+        # the social stage is fused into the combination (one operator)
+        assert "combine+social" in kinds and "basis" in kinds
         assert "σN" in kinds and "input" in kinds
         assert response.plan.resolved_strategy == "friends"
         # every stage carries est vs. actual
@@ -142,13 +143,15 @@ class TestGoldenPlanShapes:
         response = fixed_session.run(
             SearchRequest(user_id="u0", text="topic0", explain=True)
         )
+        # the social stage feeds only the combination, so the compiler
+        # fuses the pair into one operator over (graph, candidates, basis)
         assert op_kinds(response.plan) == [
-            "combine",
+            "combine+social",
+            "input",
             "σN", "input",                      # shared candidate stage
-            "social", "input", "σN", "input",   # probe over the shared σN
             "basis", "input",                   # connection selection
         ]
-        assert "[probe]" in response.plan.operators[3].op
+        assert "[fused-probe]" in response.plan.operators[0].op
         assert response.plan.resolved_strategy == "friends"
 
     def test_recommendation_pipeline_shape(self, fixed_session):
@@ -156,9 +159,9 @@ class TestGoldenPlanShapes:
             SearchRequest(user_id="u0", explain=True)
         )
         assert op_kinds(response.plan) == [
-            "combine",
+            "combine+social",
+            "input",
             "σN", "input",
-            "social", "input", "σN", "input",
             "basis", "input",
         ]
         (decision,) = response.plan.decisions
@@ -174,8 +177,9 @@ class TestGoldenPlanShapes:
                 user_id="u0", text="topic0", strategy=strategy, explain=True,
             ))
             social_ops = [p.op for p in response.plan.operators
-                          if p.op.startswith("social")]
-            assert social_ops and all("[group-agg]" in op for op in social_ops)
+                          if "social" in p.op]
+            assert social_ops and all("[fused-group-agg]" in op
+                                      for op in social_ops)
 
     def test_forced_network_index_shape_and_parity(self, fixed_session):
         plain = fixed_session.run(SearchRequest(user_id="u0"))
@@ -274,16 +278,28 @@ class TestServingPlanCache:
         session.run(SearchRequest(user_id=JOHN, text="baseball"))
         assert session.stats.plan_compiles == before + 1
 
-    def test_invalidate_forces_recompilation(self, session):
-        request = SearchRequest(user_id=JOHN, text="denver")
+    def test_invalidate_revalidates_against_the_graph_epoch(self, session):
+        # Cache entries are stamped with the graph's mutation epoch, not
+        # a planner-local counter: a pure invalidate() with no actual
+        # change revalidates the cached plan (it is still correct).  The
+        # scorer-free recommendation shape shows it — keyword plans key
+        # on the tf-idf scorer's identity, which a refresh rebuilds.
+        request = SearchRequest(user_id=JOHN)
         session.run(request)
         session.run(request)
         hits_before = session.stats.plan_cache_hits
         compiles_before = session.stats.plan_compiles
         session.invalidate()
         session.run(request)
+        assert session.stats.plan_compiles == compiles_before
+        assert session.stats.plan_cache_hits == hits_before + 1
+        # an in-place graph mutation, by contrast, kills the entry even
+        # though the graph object (and so the anchor) is unchanged
+        session.graph.add_node(Node("x:epoch", type="item, destination",
+                                    name="Epoch Spot", keywords="denver"))
+        session.invalidate()
+        session.run(request)
         assert session.stats.plan_compiles == compiles_before + 1
-        assert session.stats.plan_cache_hits == hits_before
 
     def test_datamanager_resync_invalidates_plans(self, session):
         request = SearchRequest(user_id=JOHN, text="special")

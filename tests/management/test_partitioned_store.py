@@ -1,0 +1,199 @@
+"""PartitionedGraphStore ≡ GraphStore: differential parity + shard accounting.
+
+The partitioned store must be indistinguishable from the monolithic one
+through the entire public read surface — that is what lets DataManager,
+sync, and the integrator run unchanged on top of either.  The parity
+tests drive both stores through identical write sequences (factory
+graphs plus randomized deletes) and compare every read path; the
+accounting tests pin the per-shard bookkeeping the plan layer reads.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import factories
+from repro.core import Link, Node
+from repro.errors import DanglingLinkError, ManagementError, UnknownNodeError
+from repro.management import (
+    DataManager,
+    GraphStore,
+    PartitionedGraphStore,
+    shard_of,
+)
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+def load(store, graph, origin="local"):
+    for node in graph.nodes():
+        store.upsert_node(node, origin=origin)
+    for link in graph.links():
+        store.upsert_link(link, origin=origin)
+
+
+def assert_stores_equivalent(mono: GraphStore, part: PartitionedGraphStore):
+    assert part.num_nodes == mono.num_nodes
+    assert part.num_links == mono.num_links
+    assert part.snapshot().same_as(mono.snapshot())
+    # merged statistics equal the monolithic ones
+    assert part.graph_stats() == mono.graph_stats()
+    merged = part.stats
+    assert merged.node_types == mono.stats.node_types
+    assert merged.link_types == mono.stats.link_types
+    # type scans come back in the same order
+    for type_name in set(mono.stats.node_types) | {"missing-type"}:
+        assert [n.id for n in part.nodes_of_type(type_name)] == [
+            n.id for n in mono.nodes_of_type(type_name)
+        ]
+    for type_name in set(mono.stats.link_types):
+        assert [l.id for l in part.links_of_type(type_name)] == [
+            l.id for l in mono.links_of_type(type_name)
+        ]
+    # per-record reads agree everywhere
+    for node in mono.snapshot().nodes():
+        assert part.node(node.id) == mono.node(node.id)
+        assert part.has_node(node.id)
+        assert sorted(l.id for l in part.out_links(node.id)) == sorted(
+            l.id for l in mono.out_links(node.id)
+        )
+        assert sorted(l.id for l in part.in_links(node.id)) == sorted(
+            l.id for l in mono.in_links(node.id)
+        )
+        assert part.origin_of("node", node.id) == mono.origin_of(
+            "node", node.id
+        )
+
+
+@st.composite
+def store_workloads(draw):
+    """A factory graph plus a randomized delete schedule."""
+    graph = factories.social_site_graph(
+        num_users=draw(st.integers(min_value=1, max_value=7)),
+        num_items=draw(st.integers(min_value=1, max_value=9)),
+        friends_per_user=draw(st.integers(min_value=0, max_value=3)),
+        acts_per_user=draw(st.integers(min_value=0, max_value=4)),
+        with_sim_links=draw(st.booleans()),
+    )
+    link_ids = sorted(graph.link_ids(), key=repr)
+    node_ids = sorted(graph.node_ids(), key=repr)
+    drop_links = draw(st.lists(st.sampled_from(link_ids), max_size=4,
+                               unique=True)) if link_ids else []
+    drop_nodes = draw(st.lists(st.sampled_from(node_ids), max_size=2,
+                               unique=True))
+    return graph, drop_links, drop_nodes
+
+
+class TestDifferentialParity:
+    @settings(max_examples=40, deadline=None)
+    @given(store_workloads(), st.sampled_from(SHARD_COUNTS))
+    def test_write_read_delete_parity(self, workload, shards):
+        graph, drop_links, drop_nodes = workload
+        mono = GraphStore(indexed_attributes=("name",))
+        part = PartitionedGraphStore(indexed_attributes=("name",),
+                                     num_shards=shards)
+        load(mono, graph)
+        load(part, graph)
+        for link_id in drop_links:
+            if mono.has_link(link_id):
+                mono.delete_link(link_id)
+                part.delete_link(link_id)
+        for node_id in drop_nodes:
+            if mono.has_node(node_id):
+                mono.delete_node(node_id)
+                part.delete_node(node_id)
+        assert_stores_equivalent(mono, part)
+
+    @settings(max_examples=20, deadline=None)
+    @given(store_workloads(), st.sampled_from((2, 7)))
+    def test_attribute_index_scatter(self, workload, shards):
+        graph, _, _ = workload
+        mono = GraphStore(indexed_attributes=("name",))
+        part = PartitionedGraphStore(indexed_attributes=("name",),
+                                     num_shards=shards)
+        load(mono, graph)
+        load(part, graph)
+        names = {node.value("name") for node in graph.nodes()}
+        for name in names:
+            assert [n.id for n in part.find_nodes("name", name)] == [
+                n.id for n in mono.find_nodes("name", name)
+            ]
+
+    def test_datamanager_runs_unchanged_on_partitions(self):
+        graph = factories.tiny_travel_graph()
+        flat = DataManager()
+        sharded = DataManager(shards=4)
+        flat.load_graph(graph)
+        sharded.load_graph(graph)
+        assert sharded.num_shards == 4 and flat.num_shards == 1
+        assert sharded.graph().same_as(flat.graph())
+        assert sharded.statistics() == flat.statistics()
+        assert sharded.provenance_summary() == flat.provenance_summary()
+
+
+class TestShardAccounting:
+    def test_nodes_route_by_stable_hash(self):
+        store = PartitionedGraphStore(num_shards=5)
+        graph = factories.social_site_graph()
+        load(store, graph)
+        for index, shard in enumerate(store.shards):
+            for node_id in list(shard._nodes):
+                assert shard_of(node_id, 5) == index
+        # links live in their source node's shard
+        for link in graph.links():
+            home = store._link_home[link.id]
+            assert home == store.shard_index(link.src)
+
+    def test_per_shard_stats_sum_to_the_site_view(self):
+        store = PartitionedGraphStore(num_shards=3)
+        load(store, factories.social_site_graph())
+        per_shard = store.shard_stats()
+        assert len(per_shard) == 3
+        assert sum(s.writes for s in per_shard) == store.stats.writes
+        total = sum((+s.node_types for s in per_shard),
+                    start=type(per_shard[0].node_types)())
+        assert total == store.stats.node_types
+
+    def test_shard_snapshot_is_the_partition_population(self):
+        store = PartitionedGraphStore(num_shards=4)
+        load(store, factories.social_site_graph())
+        seen = set()
+        for index in range(4):
+            view = store.shard_snapshot(index)
+            assert view.is_null_graph()
+            for node_id in view.node_ids():
+                assert store.shard_index(node_id) == index
+            seen |= view.node_ids()
+        assert seen == store.snapshot().node_ids()
+
+    def test_cross_shard_links_delete_cleanly(self):
+        store = PartitionedGraphStore(num_shards=2)
+        # find two ids hashing to different shards
+        a, b = None, None
+        for i in range(100):
+            if shard_of(f"n{i}", 2) == 0 and a is None:
+                a = f"n{i}"
+            if shard_of(f"n{i}", 2) == 1 and b is None:
+                b = f"n{i}"
+        store.upsert_node(Node(a, type="user"))
+        store.upsert_node(Node(b, type="item"))
+        store.upsert_link(Link("x", a, b, type="act"))
+        assert [l.id for l in store.in_links(b)] == ["x"]
+        store.delete_node(a)  # cascades across the shard boundary
+        assert not store.has_link("x")
+        assert list(store.in_links(b)) == []
+
+    def test_invariants_enforced_across_shards(self):
+        store = PartitionedGraphStore(num_shards=3)
+        store.upsert_node(Node("u", type="user"))
+        with pytest.raises(DanglingLinkError):
+            store.upsert_link(Link("l", "u", "ghost", type="act"))
+        store.upsert_node(Node("i", type="item"))
+        store.upsert_link(Link("l", "u", "i", type="act"))
+        with pytest.raises(ManagementError):
+            store.upsert_link(Link("l", "i", "u", type="act"))
+        with pytest.raises(UnknownNodeError):
+            store.delete_node("ghost")
+        with pytest.raises(ManagementError):
+            PartitionedGraphStore(num_shards=0)

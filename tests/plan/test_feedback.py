@@ -1,0 +1,152 @@
+"""Cardinality feedback: execution actuals correcting the cost model.
+
+The loop under test: the planner observes estimated-vs-actual node
+counts of base-graph selections after execution (on plan compiles),
+stores capped per-term / per-type correction factors, and future
+estimates multiply them in — so a workload whose statistics mislead the
+independence assumptions self-corrects over repeated queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Condition, Node, SocialContentGraph, input_graph
+from repro.core.stats import CardinalityFeedback, GraphStats
+from repro.plan import QueryPlanner
+
+
+def correlated_corpus(num_items: int = 120,
+                      both_fraction: float = 0.1) -> SocialContentGraph:
+    """Items where 'alpha' and 'beta' always co-occur.
+
+    The term histogram prices the pair under independence —
+    1-(1-f)(1-f) ≈ 2f — while the true match fraction is f: a built-in
+    2x overestimate for feedback to burn down.
+    """
+    g = SocialContentGraph()
+    matching = int(num_items * both_fraction)
+    for i in range(num_items):
+        text = "alpha beta gem" if i < matching else "plain filler words"
+        g.add_node(Node(i, type="item", name=f"spot {i}", keywords=text))
+    return g
+
+
+class TestCorrectionTable:
+    def test_observations_are_smoothed_and_capped(self):
+        feedback = CardinalityFeedback(max_correction=4.0, smoothing=1.0)
+        key = CardinalityFeedback.term_key("alpha")
+        feedback.observe(key, estimated=100.0, actual=50.0)
+        assert feedback.factor(key) == pytest.approx(0.5)
+        # wildly wrong estimates still clamp at the cap
+        for _ in range(10):
+            feedback.observe(key, estimated=1.0, actual=10_000.0)
+        assert feedback.factor(key) == 4.0
+        for _ in range(10):
+            feedback.observe(key, estimated=10_000.0, actual=1.0)
+        assert feedback.factor(key) == pytest.approx(0.25)
+
+    def test_smoothing_damps_single_outliers(self):
+        feedback = CardinalityFeedback(smoothing=0.5)
+        key = ("term", "x")
+        feedback.observe(key, estimated=100.0, actual=50.0)
+        first = feedback.factor(key)
+        assert 0.5 < first < 1.0  # moved halfway, not all the way
+
+    def test_zero_sides_are_guarded(self):
+        feedback = CardinalityFeedback()
+        feedback.observe(("term", "x"), estimated=0.0, actual=0.0)
+        assert feedback.observations == 0
+        feedback.observe(("term", "x"), estimated=0.0, actual=5.0)
+        assert feedback.factor(("term", "x")) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CardinalityFeedback(max_correction=0.5)
+        with pytest.raises(ValueError):
+            CardinalityFeedback(smoothing=0.0)
+
+
+class TestStatsIntegration:
+    def test_term_factor_scales_the_match_fraction(self):
+        graph = correlated_corpus()
+        stats = GraphStats.of(graph, with_terms=True)
+        baseline = stats.keyword_match_fraction(("alpha", "beta"))
+        feedback = CardinalityFeedback()
+        feedback._factors[CardinalityFeedback.term_key("alpha")] = 0.5
+        feedback._factors[CardinalityFeedback.term_key("beta")] = 0.5
+        stats.feedback = feedback
+        assert stats.keyword_match_fraction(("alpha", "beta")) < baseline
+
+    def test_type_factor_scales_structural_selectivity(self):
+        graph = correlated_corpus()
+        stats = GraphStats.of(graph)
+        baseline = stats.condition_selectivity(
+            Condition({"type": "item"}), of_links=False
+        )
+        feedback = CardinalityFeedback()
+        feedback._factors[CardinalityFeedback.type_key("item", False)] = 0.5
+        stats.feedback = feedback
+        assert stats.condition_selectivity(
+            Condition({"type": "item"}), of_links=False
+        ) == pytest.approx(baseline * 0.5)
+
+
+class TestPlannerLoop:
+    def _error(self, planner, expr):
+        plan, _ = planner.compile(expr)
+        estimated = plan.root.estimate(planner.stats).nodes
+        actual = planner.execute(expr).result.num_nodes
+        return abs(estimated - actual) / max(actual, 1)
+
+    def test_repeated_queries_converge_the_estimate(self):
+        graph = correlated_corpus()
+        planner = QueryPlanner(graph)
+        expr = input_graph("G").select_nodes(
+            Condition({"type": "item"}, keywords="alpha beta")
+        )
+        initial = self._error(planner, expr)
+        assert initial > 0.5  # the independence assumption is badly off
+        errors = [initial]
+        for _ in range(8):
+            planner.cache.clear()  # evicted plan: the next compile is fresh
+            errors.append(self._error(planner, expr))
+        assert errors[-1] < 0.15
+        assert errors[-1] < errors[0]
+        assert planner.feedback.observations > 0
+
+    def test_corrections_survive_refresh(self):
+        graph = correlated_corpus()
+        planner = QueryPlanner(graph)
+        expr = input_graph("G").select_nodes(
+            Condition({"type": "item"}, keywords="alpha beta")
+        )
+        planner.execute(expr)
+        table = planner.feedback.snapshot()
+        assert table  # terms observed
+        planner.refresh(graph)
+        assert planner.feedback.snapshot() == table
+        assert planner.stats.feedback is planner.feedback
+
+    def test_observation_rides_on_compiles_not_hits(self):
+        graph = correlated_corpus()
+        planner = QueryPlanner(graph)
+        expr = input_graph("G").select_nodes(
+            Condition({"type": "item"}, keywords="alpha")
+        )
+        planner.execute(expr)
+        seen = planner.feedback.observations
+        planner.execute(expr)  # plan-cache hit: no second observation
+        assert planner.feedback.observations == seen
+
+    def test_correction_magnitude_is_capped(self):
+        graph = correlated_corpus()
+        planner = QueryPlanner(graph)
+        expr = input_graph("G").select_nodes(
+            Condition({"type": "item"}, keywords="alpha beta")
+        )
+        for _ in range(12):
+            planner.cache.clear()
+            planner.execute(expr)
+        for factor in planner.feedback.snapshot().values():
+            assert 1 / 8.0 <= factor <= 8.0
