@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Bench regression gate: fresh BENCH_plan.json vs. committed baselines.
+
+Wall-clock milliseconds do not transfer between machines, so the gate
+tracks *ratios* — columnar scan over the legacy row scan, compiled
+serving over the hand-written pipeline, compiled social strategies over
+their legacy references.  Each tracked ratio must not regress past
+``baseline * tolerance`` (plus a small absolute slack, because a ratio of
+0.03 jittering to 0.05 on a busy shared runner is noise, not a
+regression).
+
+Baselines live in ``benchmarks/bench_baselines.json``, keyed by regime —
+``full`` for the real corpus sizes, ``quick`` for the CI smoke workloads
+(tiny populations skew the ratios, so the regimes never share numbers).
+The fresh results file records which regime produced it (the ``quick``
+flag ``bench_plan_compile`` emits).
+
+Exit status: 0 when every tracked metric holds, 1 on any regression or
+missing input.  Update the baselines by copying the printed fresh ratios
+after an intentional performance change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS = ROOT / "BENCH_plan.json"
+DEFAULT_BASELINES = Path(__file__).resolve().parent / "bench_baselines.json"
+
+#: Multiplicative regression budget on every tracked ratio.
+DEFAULT_TOLERANCE = 1.3
+#: Absolute slack in ratio points, shielding near-zero ratios from noise.
+ABS_SLACK = 0.05
+
+
+def tracked_metrics(results: dict) -> dict[str, float]:
+    """The machine-independent ratios the gate watches."""
+    metrics: dict[str, float] = {}
+
+    points = results["shard_sweep"]["points"]
+    legacy = next(p for p in points if not p.get("columnar", True))
+    mono = next(
+        p for p in points if p.get("columnar") and p["shards"] == 1
+    )
+    sharded = [p for p in points if p.get("columnar") and p["shards"] > 1]
+    metrics["scan.columnar_mono_over_legacy"] = (
+        mono["scan_ms"] / legacy["scan_ms"]
+    )
+    metrics["scan.columnar_sharded_over_legacy"] = (
+        min(p["scan_ms"] for p in sharded) / legacy["scan_ms"]
+    )
+
+    serving = results["serving"]
+    metrics["serving.compiled_over_handwritten"] = (
+        serving["compiled_ms"] / serving["handwritten_ms"]
+    )
+
+    for row in results["social_stage"]["strategies"]:
+        metrics[f"social.{row['strategy']}_compiled_over_legacy"] = (
+            row["compiled_ms"] / row["legacy_ms"]
+        )
+    return metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS,
+                        help="fresh BENCH_plan.json (default: repo root)")
+    parser.add_argument("--baselines", type=Path, default=DEFAULT_BASELINES,
+                        help="committed baseline ratios")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="multiplicative regression budget (default 1.3)")
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(f"regression gate: missing results file {args.results}")
+        return 1
+    results = json.loads(args.results.read_text())
+    baselines_by_regime = json.loads(args.baselines.read_text())
+    regime = "quick" if results.get("quick") else "full"
+    baselines = baselines_by_regime.get(regime)
+    if baselines is None:
+        print(f"regression gate: no '{regime}' baselines in {args.baselines}")
+        return 1
+
+    fresh = tracked_metrics(results)
+    failures = []
+    print(f"bench regression gate ({regime} regime, "
+          f"tolerance {args.tolerance:g}x + {ABS_SLACK:g} slack)")
+    for name, baseline in sorted(baselines.items()):
+        got = fresh.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from fresh results")
+            continue
+        budget = baseline * args.tolerance + ABS_SLACK
+        verdict = "ok" if got <= budget else "REGRESSED"
+        print(f"  {name:<44} baseline {baseline:7.4f}  "
+              f"fresh {got:7.4f}  budget {budget:7.4f}  {verdict}")
+        if got > budget:
+            failures.append(
+                f"{name}: {got:.4f} > budget {budget:.4f} "
+                f"(baseline {baseline:.4f})"
+            )
+    for name in sorted(set(fresh) - set(baselines)):
+        print(f"  {name:<44} fresh {fresh[name]:7.4f}  (untracked)")
+
+    if failures:
+        print("\nregressions:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall tracked metrics within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -181,15 +181,18 @@ print(f"  auto strategy pick: {pick.chosen} ({pick.reason})")
 assert auto.resolved["social_strategy"] == pick.chosen
 
 # ---------------------------------------------------------------------------
-# 5. Scale out: partitioned storage, sharded scans, pooled execution.
+# 5. Scale out: partitioned storage, columnar scans, pooled execution.
 # ---------------------------------------------------------------------------
 # SessionConfig(shards=N) backs the Data Manager with a hash-partitioned
 # PartitionedGraphStore (same interface, N shards with per-shard stats),
 # and the planner then scatters large base-graph scans across per-shard
-# views — pruned to partition-local type buckets when the condition pins
-# a type.  parallelism="force" drives every plan through the shared
-# worker pool ("auto" lets the cost model's threshold decide, so small
-# plans stay sequential).
+# *columnar* views: each partition holds its nodes as columns (type
+# buckets, dictionary-encoded attributes, term postings), the selection
+# compiles into a vectorized evaluator over them, and real node records
+# only materialise for the survivors — at the single union that hands
+# the next operator its graph.  parallelism="force" drives every plan
+# through the shared worker pool ("auto" lets the cost model's threshold
+# decide, so small plans stay sequential).
 from repro.api import SessionConfig
 from repro.plan import CostModel
 
@@ -216,8 +219,14 @@ recommendation = sharded.query("u0").limit(5).explain().run()
 assert recommendation.items == flat.query("u0").limit(5).run().items
 print(f"\nsharded+pooled session: executor={recommendation.plan.executor},"
       f" sharded={recommendation.plan.sharded}")
-# EXPLAIN now breaks the scattered scan down per shard (and tags the
-# pool worker that ran each operator):
+# EXPLAIN shows the columnar access path — the σN row reads
+# "[sharded×4:…]" (partition-scattered, pruned/covered by the
+# partition-local type buckets) — broken down per shard, each tagged
+# with the pool worker that ran it; and the header carries the top-k
+# bound the .limit(5) budget pushed into the ranking stage (the sort is
+# a heap selection of 5, not a full ordering of every candidate):
+assert "top-k=5" in recommendation.plan.text
+assert recommendation.plan.topk == 5
 for op in recommendation.plan.operators:
     if op.shard is not None or "sharded" in op.op:
         where = f" @{op.worker}" if op.worker else ""
@@ -236,6 +245,18 @@ twin.run(SearchRequest(user_id="u0", k=5))
 print(f"  twin session plan compiles: {twin.stats.plan_compiles},"
       f" shared-cache hits: {twin.stats.plan_cache_hits}")
 assert twin.stats.plan_cache_hits == 1  # compiled once, site-wide
+
+# The shared cache is a site-wide resource, so its counters are a
+# *management* endpoint on the Data Manager — hits, compiles paid,
+# evictions (entry-count or byte-budget), and TinyLFU admission
+# rejections across every session in the process:
+site_cache = sharded.data_manager.plan_cache_stats()
+print(f"  site-wide plan cache: hits={site_cache['hits']},"
+      f" compiles={site_cache['compiles']},"
+      f" evictions={site_cache['evictions']},"
+      f" admission_rejections={site_cache['admission_rejections']},"
+      f" ~{site_cache['bytes'] / 1024:.0f} KiB resident")
+assert site_cache["hits"] >= 1
 
 # ---------------------------------------------------------------------------
 # 6. Migration note: the classic facade still works, now session-backed.

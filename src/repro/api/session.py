@@ -171,6 +171,13 @@ class Session:
             provider=lambda: self.semantic_index,
             scorer_provider=lambda: self.discoverer.semantic.scorer,
         )
+        # Mirror the store's registered attribute indexes into the
+        # planner: equality selections on them may lower to the
+        # attribute-posting access path (postings are cut per shard view
+        # from the live graph, so derived nodes participate too).
+        indexed = getattr(data_manager.store, "indexed_attributes", ())
+        if indexed:
+            self.discoverer.planner.attach_attribute_index(indexed)
         # Physical-layer wiring: the store's partitioning (or an explicit
         # config request) enables sharded scans, and the configured
         # parallelism mode pins the executor choice.
@@ -440,11 +447,16 @@ class Session:
         """
         query = self._parse(request)
         offset, size = self._window(request)
+        # Top-k pushdown: an explicit k is a hard result budget, so the
+        # ranking stage can stop sorting candidates past it.  Page- and
+        # cursor-driven windows without a k may walk arbitrarily deep and
+        # keep the full ranking.
         ranking = self.discoverer.rank(
             query,
             strategy=request.strategy,
             alpha=request.alpha,
             access=self._access_mode(request),
+            limit=request.k,
         )
         ranked = self._budgeted(ranking, request)
         window = ranked[offset : offset + size]

@@ -406,8 +406,10 @@ class SocialContentGraph:
         if existing is not None:
             link = existing.merged_with(link)
         self._links[link.id] = link
-        self._out[link.src].add(link.id)
-        self._in[link.tgt].add(link.id)
+        # setdefault: nodes adopted through the bulk null-graph path carry
+        # no adjacency slots until a link actually needs one
+        self._out.setdefault(link.src, set()).add(link.id)
+        self._in.setdefault(link.tgt, set()).add(link.id)
         return link
 
     def _adopt_fresh_node(self, node: Node) -> None:
@@ -415,19 +417,19 @@ class SocialContentGraph:
 
         Skips the consolidation lookup; callers (operator result emitters
         iterating a deduplicated population) guarantee uniqueness, or the
-        graph's node map silently drops the earlier record.
+        graph's node map silently drops the earlier record.  Adjacency
+        slots are allocated lazily by the link writers, so a null-graph
+        result pays one dict insert per node and nothing else.
         """
         self._mutations += 1
         self._nodes[node.id] = node
-        self._out[node.id] = set()
-        self._in[node.id] = set()
 
     def _adopt_fresh_link(self, link: Link) -> None:
         """Hot-path :meth:`add_link`: unique id, endpoints known present."""
         self._mutations += 1
         self._links[link.id] = link
-        self._out[link.src].add(link.id)
-        self._in[link.tgt].add(link.id)
+        self._out.setdefault(link.src, set()).add(link.id)
+        self._in.setdefault(link.tgt, set()).add(link.id)
 
     def remove_link(self, link_id: Id) -> Link:
         """Remove and return a link."""
@@ -596,6 +598,21 @@ class SocialContentGraph:
         out = SocialContentGraph(catalog=self.catalog)
         for node in nodes:
             out.add_node(node)
+        return out
+
+    def null_graph_unique(self, nodes: Iterable[Node]) -> "SocialContentGraph":
+        """:meth:`null_graph` for a population the caller knows is id-unique.
+
+        The bulk form behind selection results: one dict comprehension
+        instead of a consolidation probe plus adjacency allocation per
+        node.  Callers iterating a graph's own node map (every selection
+        kernel) satisfy the uniqueness contract by construction; with
+        duplicate ids the last record would silently win where
+        :meth:`null_graph` would consolidate.
+        """
+        out = SocialContentGraph(catalog=self.catalog)
+        out._nodes = {node.id: node for node in nodes}
+        out._mutations = len(out._nodes)
         return out
 
     def subgraph_from_links(self, links: Iterable[Link]) -> "SocialContentGraph":

@@ -56,7 +56,7 @@ def select_nodes(
     applies, each node carries ``score = S(v)``.
     """
     cond = as_condition(condition, keywords)
-    return graph.null_graph(
+    return graph.null_graph_unique(
         select_matching_nodes(graph.nodes(), cond, scorer)
     )
 
@@ -84,6 +84,29 @@ def select_matching_nodes(
     return selected
 
 
+def select_matching_links(
+    links: Iterable[Any],
+    cond: Condition,
+    scorer: ScoringFunction | None = None,
+) -> list:
+    """The Link Selection kernel over an explicit link population.
+
+    Shared by :func:`select_links` (whole-graph scan) and the plan
+    layer's sharded link scan (per-partition populations): one body, so
+    the two access paths cannot drift on predicate or scoring semantics.
+    """
+    want_scores = scorer is not None or cond.has_keywords
+    scoring = resolve_scorer(scorer)
+    selected = []
+    for link in links:
+        if not cond.satisfied_by(link):
+            continue
+        if want_scores:
+            link = link.with_score(scoring(link, cond.keywords))
+        selected.append(link)
+    return selected
+
+
 def select_links(
     graph: SocialContentGraph,
     condition: ConditionLike = None,
@@ -97,13 +120,6 @@ def select_links(
     link carries ``score = S(ℓ)``.
     """
     cond = as_condition(condition, keywords)
-    want_scores = scorer is not None or cond.has_keywords
-    scoring = resolve_scorer(scorer)
-    selected = []
-    for link in graph.links():
-        if not cond.satisfied_by(link):
-            continue
-        if want_scores:
-            link = link.with_score(scoring(link, cond.keywords))
-        selected.append(link)
-    return graph.subgraph_from_links(selected)
+    return graph.subgraph_from_links(
+        select_matching_links(graph.links(), cond, scorer)
+    )

@@ -32,11 +32,28 @@ Encoding conventions (shared with the physical operators):
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.core.attrs import TYPE_ATTR
 from repro.core.graph import Id, Link, Node, SocialContentGraph
 from repro.core.text import tokenize
+
+
+def _rank_items(items: list, limit: int | None) -> list:
+    """Order decoded ranking rows, bounded to the top *limit* when given.
+
+    The ordering key is total (score desc, item-id repr asc), so the
+    bounded form is exactly ``sorted(items)[:limit]`` — computed as an
+    O(n log k) heap selection instead of a full O(n log n) sort.  This is
+    the ranking half of top-k pushdown: callers that declared a result
+    budget stop paying to order candidates they will never return.
+    """
+    key = lambda t: (-t[3], repr(t[0]))  # noqa: E731 - shared ordering key
+    if limit is not None and 0 <= limit < len(items):
+        return heapq.nsmallest(limit, items, key=key)
+    items.sort(key=key)
+    return items
 
 #: Node id / type of the marker node threading stage metadata through the
 #: plan (resolved strategy, expert-fallback flag, basis kind).
@@ -475,8 +492,13 @@ def fused_social_combine(
     sim_threshold: float = 0.1,
     act_type: str = "visit",
     drop_zero: bool = True,
+    limit: int | None = None,
 ) -> tuple[SocialContentGraph, "DecodedSocialResult"]:
     """Social scoring and α-combination in one pass (operator fusion).
+
+    *limit* bounds the decoded ranking list to the top *limit* rows
+    (top-k pushdown); scores, provenance and the result graph still
+    cover every surviving item.
 
     The result graph is record-for-record identical to
     ``combine_scores_graph(candidates, social_scores_graph(...))`` —
@@ -555,7 +577,7 @@ def fused_social_combine(
             ))
     out.add_node(Node(META_ID, type=META_TYPE, strategy=strategy,
                       expert_fallback=int(fallback)))
-    decoded.items.sort(key=lambda t: (-t[3], repr(t[0])))
+    decoded.items = _rank_items(decoded.items, limit)
     return out, decoded
 
 
@@ -578,12 +600,16 @@ class DecodedSocialResult:
     used_expert_fallback: bool = False
 
 
-def decode_social_result(result: SocialContentGraph) -> DecodedSocialResult:
+def decode_social_result(
+    result: SocialContentGraph, limit: int | None = None
+) -> DecodedSocialResult:
     """Read a combined-pipeline result graph (deterministic item order).
 
     Reads the records' normalised attribute tuples directly — this runs
     once per query on every result node and link, and the accessor
-    indirection was measurable.
+    indirection was measurable.  *limit* bounds the decoded ranking list
+    (top-k pushdown for the unfused physical forms); score and
+    provenance maps still cover every item in the graph.
     """
     decoded = DecodedSocialResult()
     for node in result.nodes():
@@ -621,5 +647,5 @@ def decode_social_result(result: SocialContentGraph) -> DecodedSocialResult:
             decoded.supporting_items.setdefault(link.tgt, {})[link.src] = (
                 float(weight[0]) if weight else 0.0
             )
-    decoded.items.sort(key=lambda t: (-t[3], repr(t[0])))
+    decoded.items = _rank_items(decoded.items, limit)
     return decoded

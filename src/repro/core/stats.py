@@ -108,6 +108,26 @@ class CardinalityFeedback:
         """Correction key for one type predicate's selectivity."""
         return ("type", type_name, bool(of_links))
 
+    @staticmethod
+    def attr_key(att: str, value: Hashable) -> tuple:
+        """Correction key for one attribute-value posting estimate."""
+        return ("attr", att, value)
+
+    @staticmethod
+    def basis_key() -> tuple:
+        """Correction key for the expected connection-basis size.
+
+        Feeds the social *strategy* picker and the probe-vs-endorsement
+        access choice: both read the raw connection-degree histograms,
+        and this correction folds observed basis sizes back in.
+        """
+        return ("social", "basis")
+
+    @staticmethod
+    def endorse_key() -> tuple:
+        """Correction key for the expected endorsement reach."""
+        return ("social", "endorse")
+
 
 @dataclass
 class GraphStats:
@@ -131,20 +151,33 @@ class GraphStats:
     #: reach off these.
     connect_degree_hist: Counter = field(default_factory=Counter)
     act_degree_hist: Counter = field(default_factory=Counter)
+    #: per-value counts of the *indexed* attributes (``attr → value →
+    #: nodes carrying it``), collected only for the attributes named in
+    #: ``of(..., indexed_attrs=...)`` — the attribute-index access path's
+    #: posting-size estimate.
+    attr_value_counts: dict = field(default_factory=dict)
     #: execution-observed correction factors (attached by the planner;
     #: ``None`` keeps estimates purely histogram-driven)
     feedback: CardinalityFeedback | None = None
 
     @classmethod
-    def of(cls, graph: SocialContentGraph, with_terms: bool = False) -> "GraphStats":
+    def of(cls, graph: SocialContentGraph, with_terms: bool = False,
+           indexed_attrs: Sequence[str] = ()) -> "GraphStats":
         """Collect statistics from a graph in one pass."""
         stats = cls(num_nodes=graph.num_nodes, num_links=graph.num_links)
+        attr_counts: dict[str, Counter] = {
+            att: Counter() for att in indexed_attrs
+        }
         for node in graph.nodes():
             for t in node.types:
                 stats.node_types[t] += 1
+            for att, counter in attr_counts.items():
+                for value in node.values(att):
+                    counter[value] += 1
             if with_terms:
                 for token in set(tokenize(node.text())):
                     stats.term_doc_freq[token] += 1
+        stats.attr_value_counts = attr_counts
         if with_terms:
             stats.term_population = graph.num_nodes
         connect_out: Counter = Counter()
@@ -178,13 +211,19 @@ class GraphStats:
         Total outgoing ``connect`` links over the user population (falling
         back to the connected population when the graph types no users) —
         the mean of the connection-degree histogram including its implicit
-        zero bucket.
+        zero bucket.  Execution-observed basis sizes fold back in through
+        the :meth:`CardinalityFeedback.basis_key` correction, so the
+        strategy picker and the social access-path choice sharpen with
+        every served query instead of reading raw histograms forever.
         """
         total = sum(d * c for d, c in self.connect_degree_hist.items())
         population = max(
             self.node_types.get("user", 0), self.users_with_connections(), 1
         )
-        return total / population
+        expected = total / population
+        if self.feedback is not None:
+            expected *= self.feedback.factor(CardinalityFeedback.basis_key())
+        return expected
 
     def avg_act_degree(self) -> float:
         """Mean activity out-degree of an *active* user.
@@ -202,9 +241,33 @@ class GraphStats:
 
         An upper bound on the distinct items a friend basis endorses (the
         posting count of a network-index list); callers cap it by the
-        candidate population.
+        candidate population.  Carries the observed-reach correction
+        (:meth:`CardinalityFeedback.endorse_key`) the planner feeds back
+        from executed social stages.
         """
-        return self.expected_basis_size() * self.avg_act_degree()
+        reach = self.expected_basis_size() * self.avg_act_degree()
+        if self.feedback is not None:
+            reach *= self.feedback.factor(CardinalityFeedback.endorse_key())
+        return reach
+
+    def attr_value_count(self, att: str, value: Hashable) -> float:
+        """Estimated posting size of one indexed attribute value.
+
+        Reads the per-value histogram collected for registered
+        attributes, corrected by any execution-observed factor for the
+        pair; unknown attributes estimate half the population (nothing is
+        known — the scan should win).
+        """
+        counter = self.attr_value_counts.get(att)
+        if counter is None:
+            estimate = self.num_nodes * DEFAULT_PREDICATE_SELECTIVITY
+        else:
+            estimate = float(counter.get(value, 0))
+        if self.feedback is not None:
+            estimate *= self.feedback.factor(
+                CardinalityFeedback.attr_key(att, value)
+            )
+        return estimate
 
     # -- selectivity ---------------------------------------------------------
 

@@ -173,7 +173,7 @@ class InformationDiscoverer:
         limit = k if k is not None else self.config.max_results
         ranking = self.rank(
             query, strategy=strategy, alpha=alpha, semantic=semantic,
-            access=access,
+            access=access, limit=offset + limit,
         )
         window = ranking.items[offset : offset + limit]
         return assemble_msg(
@@ -229,8 +229,9 @@ class InformationDiscoverer:
         alpha: float | None = None,
         semantic: SemanticResult | None = None,
         access: str = "auto",
+        limit: int | None = None,
     ) -> RankedDiscovery:
-        """Compute the full combined ranking for an already-parsed query.
+        """Compute the combined ranking for an already-parsed query.
 
         The *whole* pipeline — semantic σN⟨C,S⟩ candidates, connection
         basis, strategy scoring, α-combination — runs as one compiled
@@ -242,6 +243,13 @@ class InformationDiscoverer:
         combined scores are independent of any result limit (normalisation
         runs over the full candidate set), so callers may window the
         returned list freely without reordering artifacts.
+
+        *limit* pushes a result budget into the ranking stage (top-k
+        selection instead of a full sort): the returned ``items`` carry
+        only the best *limit* rows — identical to the full ranking's
+        prefix — while score and provenance maps still cover every
+        surviving item.  ``None`` keeps the full ranking (the pagination
+        paths that may walk arbitrarily deep pass ``None``).
         """
         name = strategy or self.config.strategy
         form = None if semantic is not None else self._compiled_form(name)
@@ -263,12 +271,13 @@ class InformationDiscoverer:
             min_qualified=self.connections.min_qualified,
             max_experts=self.connections.max_experts,
             access=access,
+            limit=limit,
         )
         # A fused root hands the decoded ranking over directly; unfused
         # plans (e.g. the endorsement-merge forms) decode the graph.
         decoded = execution.payload
         if decoded is None:
-            decoded = decode_social_result(execution.result)
+            decoded = decode_social_result(execution.result, limit=limit)
         social = SocialScores(
             strategy=decoded.strategy,
             scores=decoded.scores,

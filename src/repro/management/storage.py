@@ -194,6 +194,16 @@ class GraphStore:
             self.stats.link_types[str(t)] -= 1
 
     # ------------------------------------------------------------------ read
+    @property
+    def indexed_attributes(self) -> tuple[str, ...]:
+        """The attributes this store maintains value indexes for.
+
+        The planner mirrors this registration: selections that pin one of
+        these attributes may take the attribute-index access path
+        (per-shard value postings) instead of scanning the population.
+        """
+        return tuple(sorted(self._attr_indexes))
+
     def node(self, node_id: Id) -> Node:
         """Primary-key node lookup."""
         node = self._nodes.get(node_id)
@@ -412,6 +422,11 @@ class PartitionedGraphStore:
         shard.stats.deletes += 1
 
     # ------------------------------------------------------------------ read
+    @property
+    def indexed_attributes(self) -> tuple[str, ...]:
+        """The attributes every shard maintains value indexes for."""
+        return self._shards[0].indexed_attributes
+
     def node(self, node_id: Id) -> Node:
         """Primary-key node lookup (one hash, one shard probe)."""
         node = self._node_shard(node_id)._nodes.get(node_id)

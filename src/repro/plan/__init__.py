@@ -28,9 +28,11 @@ serving-path rewrite required.
 from repro.plan.cache import (
     CacheStats,
     PlanCache,
+    ResultMemo,
     SharedPlanCache,
     shared_plan_cache,
 )
+from repro.plan.columnar import ColumnarShardView, VectorCondition
 from repro.plan.compiler import (
     ACCESS_MODES,
     AccessDecision,
@@ -42,11 +44,13 @@ from repro.plan.compiler import (
 from repro.plan.explain import PlanExplain, explain_execution
 from repro.plan.parallel import WorkerPool, shared_worker_pool
 from repro.plan.physical import (
+    ATTR_INDEX,
     INDEX,
     NETWORK_CLUSTERED,
     NETWORK_EXACT,
     SCAN,
     SHARDED,
+    AttrIndexScanOp,
     EndorsementMergeOp,
     ExecContext,
     FusedSocialCombineOp,
@@ -61,15 +65,20 @@ from repro.plan.physical import (
     ScanOp,
     SemiJoinProbeOp,
     ShardProfile,
+    ShardView,
+    ShardedLinkScanOp,
     ShardedScanOp,
 )
 from repro.plan.planner import BASE_GRAPH, PARALLEL_MODES, QueryPlanner
 
 __all__ = [
     "ACCESS_MODES",
+    "ATTR_INDEX",
     "AccessDecision",
+    "AttrIndexScanOp",
     "BASE_GRAPH",
     "CacheStats",
+    "ColumnarShardView",
     "CostModel",
     "EndorsementMergeOp",
     "ExecContext",
@@ -90,14 +99,18 @@ __all__ = [
     "PlanExecution",
     "PlanExplain",
     "QueryPlanner",
+    "ResultMemo",
     "SCAN",
     "SHARDED",
     "ScanOp",
     "SemiJoinProbeOp",
     "SharedPlanCache",
     "ShardProfile",
+    "ShardView",
+    "ShardedLinkScanOp",
     "ShardedScanOp",
     "StrategyDecision",
+    "VectorCondition",
     "WorkerPool",
     "compile_plan",
     "explain_execution",

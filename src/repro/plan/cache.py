@@ -37,6 +37,40 @@ from typing import Any, Hashable
 
 from repro.plan.physical import PhysicalPlan
 
+#: Rough heap footprint of one compiled physical operator (the op object,
+#: its logical node, conditions, the vector-condition tables).  Plans are
+#: small next to results; the estimate only needs to rank them.
+PLAN_OP_BYTES = 2_048
+
+#: Rough heap footprint of one graph record in a memoised result: the
+#: record object, its attrs dict, and its slot in the graph's id maps.
+NODE_BYTES = 320
+LINK_BYTES = 400
+#: Fixed overhead of one memoised result graph.
+GRAPH_BYTES = 256
+
+
+def estimate_plan_bytes(plan: Any) -> int:
+    """Byte estimate of one compiled plan (operator-count driven).
+
+    Non-plan payloads (tests stub entries with sentinels) charge one
+    operator's worth.
+    """
+    root = getattr(plan, "root", None)
+    if root is None:
+        return GRAPH_BYTES + PLAN_OP_BYTES
+    ops = sum(1 for _ in PhysicalPlan._walk(root, set()))
+    return GRAPH_BYTES + ops * PLAN_OP_BYTES
+
+
+def estimate_graph_bytes(graph: Any) -> int:
+    """Byte estimate of one result graph held by the sub-plan memo."""
+    return (
+        GRAPH_BYTES
+        + graph.num_nodes * NODE_BYTES
+        + graph.num_links * LINK_BYTES
+    )
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -48,6 +82,8 @@ class CacheStats:
     size: int
     #: inserts the admission policy turned away (SharedPlanCache only)
     rejects: int = 0
+    #: estimated bytes currently resident
+    bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -56,19 +92,44 @@ class CacheStats:
 
 
 class PlanCache:
-    """Thread-safe LRU of ``key → (generation, PhysicalPlan)``."""
+    """Thread-safe LRU of ``key → (generation, PhysicalPlan)``.
 
-    def __init__(self, maxsize: int = 256):
+    Bounded two ways: *maxsize* caps the entry count and *max_bytes*
+    (when given) caps the estimated resident footprint — a handful of
+    deep pipeline plans should not be able to pin as much memory as a
+    thousand single-selection ones just because the entry count says
+    they fit.
+    """
+
+    def __init__(self, maxsize: int = 256, max_bytes: int | None = None):
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize!r}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes!r}")
         self.maxsize = maxsize
-        self._entries: "OrderedDict[Hashable, tuple[Any, PhysicalPlan]]" = (
-            OrderedDict()
-        )
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Hashable, tuple]" = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self._bytes = 0
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+
+    # -- byte bookkeeping (always called under the lock) -----------------------
+
+    def _drop_locked(self, key: Hashable) -> None:
+        del self._entries[key]
+        self._bytes -= self._sizes.pop(key, 0)
+
+    def _evict_over_budget_locked(self) -> None:
+        while len(self._entries) > 1 and (
+            len(self._entries) > self.maxsize
+            or (self.max_bytes is not None and self._bytes > self.max_bytes)
+        ):
+            evicted, _ = self._entries.popitem(last=False)
+            self._bytes -= self._sizes.pop(evicted, 0)
+            self._evictions += 1
 
     def get(self, key: Hashable, generation: Any,
             anchor: Any = None) -> PhysicalPlan | None:
@@ -85,23 +146,29 @@ class PlanCache:
                 self._hits += 1
                 return entry[1]
             if entry is not None:
-                del self._entries[key]  # stale: compiled against an old graph
+                # stale: compiled against an old graph
+                self._drop_locked(key)
             self._misses += 1
             return None
 
     def put(self, key: Hashable, generation: Any, plan: PhysicalPlan,
             anchor: Any = None) -> None:
-        """Insert (or refresh) an entry, evicting the LRU tail past maxsize."""
+        """Insert (or refresh) an entry, evicting LRU past either budget."""
+        nbytes = estimate_plan_bytes(plan)
         with self._lock:
+            if key in self._entries:
+                self._bytes -= self._sizes.get(key, 0)
             self._entries[key] = (generation, plan)
             self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self._evictions += 1
+            self._sizes[key] = nbytes
+            self._bytes += nbytes
+            self._evict_over_budget_locked()
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._sizes.clear()
+            self._bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -114,6 +181,7 @@ class PlanCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 size=len(self._entries),
+                bytes=self._bytes,
             )
 
 
@@ -126,8 +194,9 @@ class SharedPlanCache(PlanCache):
     only evicts for keys that have proven they repeat).
     """
 
-    def __init__(self, maxsize: int = 1024, admit_after: int = 2):
-        super().__init__(maxsize)
+    def __init__(self, maxsize: int = 1024, admit_after: int = 2,
+                 max_bytes: int | None = 64 * 1024 * 1024):
+        super().__init__(maxsize, max_bytes=max_bytes)
         if admit_after < 1:
             raise ValueError(
                 f"admit_after must be >= 1, got {admit_after!r}"
@@ -160,7 +229,8 @@ class SharedPlanCache(PlanCache):
                 self._hits += 1
                 return entry[1]
             if entry is not None:
-                del self._entries[key]  # stale generation or dead anchor
+                # stale generation or dead anchor
+                self._drop_locked(key)
             self._misses += 1
             self._seen[key] += 1
             if len(self._seen) > 8 * self.maxsize:
@@ -177,26 +247,40 @@ class SharedPlanCache(PlanCache):
 
     def put(self, key: Hashable, generation: Any, plan: PhysicalPlan,
             anchor: Any = None) -> None:
-        """Insert if resident, the cache has room, or the key earned it."""
+        """Insert if resident, the cache has room, or the key earned it.
+
+        "Room" is judged against both budgets: a cache full by entry
+        count *or* by estimated bytes only evicts for keys that have
+        proven they repeat.
+        """
         ref = weakref.ref(anchor) if anchor is not None else None
+        nbytes = estimate_plan_bytes(plan)
         with self._lock:
+            full = len(self._entries) >= self.maxsize or (
+                self.max_bytes is not None
+                and self._bytes + nbytes > self.max_bytes
+            )
             if (
                 key not in self._entries
-                and len(self._entries) >= self.maxsize
+                and full
                 and self._seen[key] < self.admit_after
             ):
                 self._rejects += 1
                 return
+            if key in self._entries:
+                self._bytes -= self._sizes.get(key, 0)
             self._entries[key] = (generation, plan, ref)
             self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self._evictions += 1
+            self._sizes[key] = nbytes
+            self._bytes += nbytes
+            self._evict_over_budget_locked()
 
     def reset(self) -> None:
         """Drop entries, frequencies *and* counters (test isolation)."""
         with self._lock:
             self._entries.clear()
+            self._sizes.clear()
+            self._bytes = 0
             self._seen.clear()
             self._hits = self._misses = self._evictions = 0
             self._rejects = 0
@@ -210,7 +294,85 @@ class SharedPlanCache(PlanCache):
                 evictions=self._evictions,
                 size=len(self._entries),
                 rejects=self._rejects,
+                bytes=self._bytes,
             )
+
+
+class ResultMemo:
+    """The sub-plan result memo: an LRU of graphs with a byte budget.
+
+    Holds deterministic base-graph stage results (connection bases, σN
+    selections) for one graph generation.  Unlike the plan caches this
+    stores *result graphs*, whose footprint varies by orders of
+    magnitude — so the bound is an estimated byte budget
+    (:func:`estimate_graph_bytes`), not just an entry count.  Thread
+    -safe: under the pooled executor independent memoisable operators
+    touch the memo from worker threads concurrently, and the LRU /
+    byte-accounting updates are multi-step.  The dict-style surface
+    (``get`` / ``[]=`` / ``in``) is what the physical layer and the
+    pooled scheduler already speak.
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 max_bytes: int = 32 * 1024 * 1024):
+        if max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive, got {max_entries!r}"
+            )
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes!r}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return default
+            self._entries.move_to_end(key)
+            return entry
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __setitem__(self, key: Hashable, graph: Any) -> None:
+        nbytes = estimate_graph_bytes(graph)
+        with self._lock:
+            if key in self._entries:
+                self._bytes -= self._sizes.get(key, 0)
+            self._entries[key] = graph
+            self._entries.move_to_end(key)
+            self._sizes[key] = nbytes
+            self._bytes += nbytes
+            while len(self._entries) > 1 and (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                evicted, _ = self._entries.popitem(last=False)
+                self._bytes -= self._sizes.pop(evicted, 0)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes(self) -> int:
+        """Estimated resident footprint of the memoised results."""
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._sizes.clear()
+            self._bytes = 0
 
 
 _shared_cache: SharedPlanCache | None = None

@@ -37,16 +37,19 @@ from repro.core.expr import (
     SocialScoreE,
     plan_key,
 )
+from repro.core.expr import SelectLinksE
 from repro.core.optimizer import DEFAULT_RULES, optimize
 from repro.core.social import COMPILED_STRATEGIES, choose_strategy
-from repro.core.stats import GraphStats
+from repro.core.stats import CardinalityFeedback, GraphStats
 from repro.errors import QueryError
 from repro.plan.physical import (
+    ATTR_INDEX,
     INDEX,
     NETWORK_CLUSTERED,
     NETWORK_EXACT,
     SCAN,
     SHARDED,
+    AttrIndexScanOp,
     EndorsementMergeOp,
     FusedSocialCombineOp,
     GroupedAggregationOp,
@@ -57,6 +60,7 @@ from repro.plan.physical import (
     PhysicalPlan,
     ScanOp,
     SemiJoinProbeOp,
+    ShardedLinkScanOp,
     ShardedScanOp,
 )
 
@@ -91,8 +95,28 @@ class CostModel:
     network_entry_budget: float = 100_000.0
     #: minimum estimated input population before a base-graph scan is
     #: worth scattering across store partitions (per-shard task setup and
-    #: the union pass are pure overhead below it)
+    #: the union pass are pure overhead below it); with partitions the
+    #: same threshold gates the monolithic *columnar* scan — cutting and
+    #: caching columns for a tiny population costs more than row tests
     shard_scan_min_nodes: float = 512.0
+    #: minimum estimated base-graph link population before σL lowers to
+    #: the scattered (columnar) link scan
+    shard_link_min_links: float = 512.0
+    #: price of testing one attribute-posting candidate (hash gathers
+    #: plus the residual row test) — pricier per element than the
+    #: sequential scan's predicate test, so postings win exactly when
+    #: the indexed value is selective
+    attr_posting_cost: float = 1.5
+    #: price of one row under the *vectorized* columnar mask, relative
+    #: to ``scan_cost_per_node``: evaluating a predicate once per
+    #: distinct value and broadcasting over the codes is an order of
+    #: magnitude cheaper than a per-row test, so the attribute-posting
+    #: path must be far more selective than the old scan crossover to
+    #: beat a columnar scan
+    columnar_row_cost: float = 0.05
+    #: master switch for the columnar scan family (benchmarks pin it off
+    #: to measure the legacy row-at-a-time executor)
+    columnar: bool = True
     #: minimum estimated plan cost (summed operator cardinalities) before
     #: execution moves onto the worker pool — pool handoff costs real
     #: microseconds, so trivial plans must stay sequential
@@ -103,6 +127,10 @@ class CostModel:
 
     def index_cost(self, expected_matches: float) -> float:
         return expected_matches * self.index_cost_per_posting
+
+    def attr_index_cost(self, expected_postings: float) -> float:
+        """Work of testing one attribute-value posting list's candidates."""
+        return expected_postings * self.attr_posting_cost
 
     def social_probe_cost(self, basis_size: float, act_degree: float) -> float:
         """Work of the adjacency probe: every act link of every member."""
@@ -214,6 +242,30 @@ def _mark_memoisable(node: Expr, physical: PhysicalOp) -> None:
         )
 
 
+def _indexed_attr_candidates(
+    condition: Condition, indexed_attrs: frozenset[str]
+) -> list[tuple[str, Any]]:
+    """(attribute, value) pairs the condition pins on indexed attributes.
+
+    Eligible pairs come from conjunctive equality predicates over
+    attributes the planner keeps postings for: the posting list of any
+    required value is a superset of the satisfying set (the paper's
+    superset-equality semantics), so the selection can be served by
+    residual-testing just those candidates.  ``type`` is excluded — the
+    partition-local type buckets already cover it — and ``id`` reads
+    element identity, not an attribute column.
+    """
+    pairs: list[tuple[str, Any]] = []
+    for predicate in condition.predicates:
+        if not isinstance(predicate, AttrEquals):
+            continue
+        if predicate.att in ("type", "id") or predicate.att not in indexed_attrs:
+            continue
+        for value in predicate.required:
+            pairs.append((predicate.att, value))
+    return pairs
+
+
 def _pruning_type(condition: Condition) -> tuple[Any | None, bool]:
     """(type value the condition's conjuncts pin, predicate-exact?).
 
@@ -266,6 +318,7 @@ def compile_plan(
     rules=DEFAULT_RULES,
     key=None,
     shards: int = 1,
+    indexed_attrs: frozenset[str] = frozenset(),
 ) -> PhysicalPlan:
     """Compile a logical plan into an executable :class:`PhysicalPlan`.
 
@@ -278,9 +331,17 @@ def compile_plan(
     *key* lets a caller that already computed ``plan_key(expr)`` (the plan
     cache's lookup) pass it in instead of paying a second tree walk.
 
-    *shards* > 1 declares that the executing planner can serve
-    partitioned views of the base graph: sufficiently large base-graph
-    node scans then lower to :class:`ShardedScanOp` (scatter + union).
+    *shards* declares how many partitioned views the executing planner
+    serves of the base graph: sufficiently large base-graph node and link
+    scans lower to the columnar scatter forms (:class:`ShardedScanOp`,
+    :class:`ShardedLinkScanOp`) — ``shards == 1`` still lowers to the
+    monolithic columnar scan, which evaluates the condition over one
+    view's columns instead of row records.
+
+    *indexed_attrs* names the attributes the planner keeps value postings
+    for (the Data Manager's registered attribute indexes): conjunctive
+    equality selections on them may lower to :class:`AttrIndexScanOp`
+    when the cost model expects the posting list to beat the scan.
     """
     if access not in ACCESS_MODES:
         raise QueryError(f"unknown access mode {access!r}; have {ACCESS_MODES}")
@@ -291,10 +352,48 @@ def compile_plan(
     memo: dict[int, PhysicalOp] = {}
     parents = _parent_counts(optimized)
 
+    def attr_index_form(
+        node: SelectNodesE, children: tuple[PhysicalOp, ...],
+        input_nodes: float, fallback_cost: float,
+    ) -> PhysicalOp | None:
+        """The attribute-posting form, when eligible and expected to win.
+
+        *fallback_cost* is the price of the best scan-family alternative
+        (full, pruned or covered); the posting path must beat it — or be
+        forced by ``access="index"`` — to be chosen.
+        """
+        if access == SCAN or not indexed_attrs:
+            return None
+        pairs = _indexed_attr_candidates(node.condition, indexed_attrs)
+        if not pairs:
+            return None
+        att, value, postings = min(
+            (
+                (att, value, stats.attr_value_count(att, value))
+                for att, value in pairs
+            ),
+            key=lambda triple: triple[2],
+        )
+        attr_cost = model.attr_index_cost(postings)
+        if access != INDEX and attr_cost >= fallback_cost:
+            return None
+        decisions.append(AccessDecision(
+            op=node.describe(),
+            chosen=ATTR_INDEX,
+            scan_cost=fallback_cost,
+            index_cost=attr_cost,
+            reason=(
+                "forced by request" if access == INDEX else
+                f"~{postings:.0f} {att}={value!r} postings cheaper than "
+                f"{fallback_cost:.0f}-unit scan"
+            ),
+        ))
+        return AttrIndexScanOp(node, children, att, value)
+
     def scan_form(node: Expr, children: tuple[PhysicalOp, ...]) -> PhysicalOp:
-        """The scan-family physical form: sharded when it pays off."""
+        """The scan-family physical form: columnar/posting when it pays."""
         if (
-            shards > 1
+            model.columnar
             and isinstance(node, SelectNodesE)
             and isinstance(node.child, InputE)
         ):
@@ -307,10 +406,33 @@ def compile_plan(
                     and not node.condition.has_keywords
                     and node.scorer is None
                 )
+                # price of the best scan-family plan: the population the
+                # columns cannot exclude up front, at the vectorized
+                # per-row price
+                if prune_type is not None:
+                    bucket = min(
+                        stats.node_types.get(str(prune_type), input_nodes),
+                        input_nodes,
+                    )
+                else:
+                    bucket = input_nodes
+                columnar_cost = (
+                    model.scan_cost(bucket) * model.columnar_row_cost
+                )
+                if not covered:
+                    attr_form = attr_index_form(
+                        node, children, input_nodes, columnar_cost
+                    )
+                    if attr_form is not None:
+                        return attr_form
                 pruned = (
                     f", covered by type {prune_type!r} buckets" if covered
                     else f", pruned to type {prune_type!r} buckets"
                     if prune_type is not None else ""
+                )
+                scattered = (
+                    f"scattered across {shards} partitions" if shards > 1
+                    else "over the monolithic columnar view"
                 )
                 decisions.append(AccessDecision(
                     op=node.describe(),
@@ -318,12 +440,44 @@ def compile_plan(
                     scan_cost=model.scan_cost(input_nodes),
                     index_cost=None,
                     reason=(
-                        f"{input_nodes:.0f}-node base scan scattered "
-                        f"across {shards} partitions{pruned}"
+                        f"{input_nodes:.0f}-node base scan {scattered}"
+                        f"{pruned}"
                     ),
                 ))
                 return ShardedScanOp(node, children, shards, prune_type,
                                      covered)
+            attr_form = attr_index_form(
+                node, children, input_nodes, model.scan_cost(input_nodes)
+            )
+            if attr_form is not None:
+                return attr_form
+        if (
+            model.columnar
+            and isinstance(node, SelectLinksE)
+            and isinstance(node.child, InputE)
+        ):
+            input_links = node.child.estimate(stats).links
+            if input_links >= model.shard_link_min_links:
+                prune_type, _exact = _pruning_type(node.condition)
+                pruned = (
+                    f", pruned to link-type {prune_type!r} buckets"
+                    if prune_type is not None else ""
+                )
+                scattered = (
+                    f"scattered across {shards} partitions" if shards > 1
+                    else "over the monolithic columnar view"
+                )
+                decisions.append(AccessDecision(
+                    op=node.describe(),
+                    chosen=SHARDED,
+                    scan_cost=input_links * model.scan_cost_per_node,
+                    index_cost=None,
+                    reason=(
+                        f"{input_links:.0f}-link base scan {scattered}"
+                        f"{pruned}"
+                    ),
+                ))
+                return ShardedLinkScanOp(node, children, shards, prune_type)
         return ScanOp(node, children)
 
     def lower(node: Expr) -> PhysicalOp:

@@ -37,8 +37,10 @@ class PlanExplain:
     resolved_strategy: str | None = None
     #: how the plan ran: "sequential" or "pooled(<max_workers>)"
     executor: str = "sequential"
-    #: True when any scan scattered across store partitions
+    #: True when any scan ran columnar over partition views
     sharded: bool = False
+    #: result bound pushed into the ranking stage (None = full ranking)
+    topk: int | None = None
 
     def estimation_error(self) -> float:
         """Largest |estimated − actual| / max(actual, 1) over node counts.
@@ -71,4 +73,5 @@ def explain_execution(execution: PlanExecution) -> PlanExplain:
         resolved_strategy=execution.plan.resolved_strategy,
         executor=execution.executor,
         sharded=execution.plan.uses_sharded_scan,
+        topk=execution.topk,
     )

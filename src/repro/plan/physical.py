@@ -28,6 +28,12 @@ from repro.core.expr import Expr, LiteralE, iter_plan_nodes
 from repro.core.graph import SocialContentGraph
 from repro.core.stats import Card, GraphStats
 from repro.errors import ExpressionError
+from repro.plan.columnar import (
+    ColumnarShardView,
+    VectorCondition,
+    union_link_subgraph,
+    union_null_graph,
+)
 
 #: Access-path tags used in plan rendering and response metadata.
 SCAN = "scan"
@@ -35,8 +41,14 @@ INDEX = "index"
 #: Network-aware (§6.2) access paths of the compiled social stage.
 NETWORK_EXACT = "network-exact"
 NETWORK_CLUSTERED = "network-clustered"
-#: Physical-form tag of the partition-scattered scan.
+#: Physical-form tag of the partition-scattered (columnar) scan.
 SHARDED = "sharded-scan"
+#: Physical-form tag of the attribute-value posting access path.
+ATTR_INDEX = "attr-index"
+
+#: The scatter view type (columnar since PR 5); the old name stays the
+#: public alias because planners and providers exchange these.
+ShardView = ColumnarShardView
 
 
 @dataclass(frozen=True)
@@ -47,27 +59,6 @@ class ShardProfile:
     actual: Card
     elapsed_s: float
     worker: str | None = None
-
-
-@dataclass
-class ShardView:
-    """One partition's scatter view: its node population + type buckets.
-
-    Cut by the planner once per graph generation.  ``by_type`` is the
-    partition-local secondary index (the §6.2 observation, applied to the
-    scatter path): a type-pinned selection reads only its bucket, so the
-    scattered scan prunes every node the predicate could never match —
-    the partition advantage that holds even on a single core.
-    """
-
-    nodes: list
-    by_type: dict[Any, list]
-
-    def population(self, type_name: Any | None) -> list:
-        """Nodes a selection pinning *type_name* must consider."""
-        if type_name is None:
-            return self.nodes
-        return self.by_type.get(type_name, [])
 
 
 class ExecContext:
@@ -81,6 +72,9 @@ class ExecContext:
         shard_provider: Callable[
             [SocialContentGraph], "Sequence[ShardView] | None"
         ] | None = None,
+        attr_provider: Callable[
+            [SocialContentGraph, str, Any], "list | None"
+        ] | None = None,
     ):
         self.env = env
         self.index_provider = index_provider
@@ -89,6 +83,14 @@ class ExecContext:
         #: base graph → its partitioned node views (None when the graph is
         #: not the one the provider partitions — the op degrades to a scan)
         self.shard_provider = shard_provider
+        #: (graph, att, value) → attribute-posting candidate records, or
+        #: None when the provider cannot serve the graph — the
+        #: attribute-index op then degrades to the scan compute
+        self.attr_provider = attr_provider
+        #: result-size bound pushed down from the caller (``None`` = no
+        #: bound): ranking operators cut their sorted output to the top k
+        #: instead of ordering the full candidate set
+        self.topk: int | None = None
         #: per-operator results, keyed by physical node identity (the DAG
         #: dedup — shared sub-plans execute once, as in Expr.evaluate)
         self.memo: dict[int, SocialContentGraph] = {}
@@ -109,6 +111,10 @@ class ExecContext:
         #: operator id → decoded side output (fused operators hand their
         #: plain-value results to consumers without a graph decode)
         self.payloads: dict[int, Any] = {}
+        #: operator id → posting-list length an attribute-index op
+        #: gathered (the quantity `attr_value_count` estimates — fed back
+        #: as the posting-size correction, NOT the post-residual result)
+        self.attr_postings_gathered: dict[int, int] = {}
         #: generation-stamped sub-plan result memo (planner-owned): ops
         #: carrying a ``memo_key`` — deterministic base-graph stages like
         #: the connection basis — reuse results across executions within
@@ -297,35 +303,136 @@ class IndexKeywordScanOp(PhysicalOp):
         )
 
 
-class ShardedScanOp(PhysicalOp):
-    """σN scattered across the store's hash partitions, unioned back.
+class _ScatterScanOp(PhysicalOp):
+    """Shared machinery of the partition-scattered (columnar) scans.
 
-    Lowered for node selections over a base input graph when the planner
-    has shard views attached and the population is large enough to pay
-    for the scatter.  Each shard task applies the *same* selection kernel
-    (:func:`repro.core.selection.select_matching_nodes`) to one
-    partition's population — pruned to the partition-local type bucket
-    when the condition pins a type — so the union of per-shard results is
-    record-for-record the full scan (the parity contract) while testing
-    only the nodes the predicate could match.  Under the pooled executor
-    the shard tasks additionally run on worker threads.
+    One implementation of the scatter protocol — shard-view fetch with
+    the degrade check, per-shard kernel timing and :class:`ShardProfile`
+    recording, the pooled fan-out (one subtask per shard plus a
+    finalizer whose elapsed time is the critical path, not the operator
+    sum), and the sequential loop — parameterised by three hooks:
+    :meth:`_kernel` (one partition's selection), :meth:`_merge` (parts →
+    result graph) and :meth:`_part_card` (a part's profile cardinality).
+    The node and link forms differ *only* in those hooks, so a fix to
+    the fan-out or profile accounting cannot drift between them.
 
-    If the shard provider is missing at execution time — or partitions a
-    different graph than the one bound in the environment — the operator
-    degrades to the plain scan rather than risking drift.
+    ``num_shards == 1`` is the monolithic columnar form: one view, same
+    machinery, no scatter overhead.  If the shard provider is missing at
+    execution time — or partitions a different graph than the one bound
+    in the environment — the operator degrades to the plain scan rather
+    than risking drift.
     """
 
     access_path = SHARDED
 
     def __init__(self, logical: Expr, children: Sequence[PhysicalOp],
-                 num_shards: int, prune_type: Any | None = None,
-                 covered: bool = False):
+                 num_shards: int, prune_type: Any | None = None):
         super().__init__(logical, children)
         self.num_shards = num_shards
         #: type value the condition pins (conjunctive HasType /
         #: type-equality), enabling partition-bucket pruning; None scans
-        #: every shard node
+        #: every row of the shard
         self.prune_type = prune_type
+        #: the condition compiled for columnar evaluation (pure function
+        #: of the condition — shared across shards and executions)
+        self.vector_condition = VectorCondition(
+            logical.condition  # type: ignore[attr-defined]
+        )
+
+    # -- hooks the node/link forms implement -----------------------------------
+
+    def _kernel(self, view: ShardView) -> list:
+        """Select one partition's matching records."""
+        raise NotImplementedError
+
+    def _merge(self, base: SocialContentGraph,
+               parts: Sequence[list]) -> SocialContentGraph:
+        """Combine per-shard parts into the result graph."""
+        raise NotImplementedError
+
+    def _part_card(self, part: list) -> Card:
+        """One part's cardinality for its per-shard EXPLAIN row."""
+        raise NotImplementedError
+
+    # -- shared scatter protocol -----------------------------------------------
+
+    def _shard_views(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> Sequence[ShardView] | None:
+        if ctx.shard_provider is None:
+            return None
+        return ctx.shard_provider(inputs[0]) or None
+
+    def _scan_shard(
+        self, ctx: ExecContext, shard: int, view: ShardView
+    ) -> list:
+        start = time.perf_counter()
+        part = self._kernel(view)
+        elapsed = time.perf_counter() - start
+        worker = threading.current_thread().name if ctx.pooled else None
+        with ctx.lock:
+            ctx.shard_actuals.setdefault(id(self), []).append(ShardProfile(
+                shard=shard,
+                actual=self._part_card(part),
+                elapsed_s=elapsed,
+                worker=worker,
+            ))
+        return part
+
+    def subtasks(self, ctx, inputs):
+        views = self._shard_views(ctx, inputs)
+        if views is None or len(views) < 2:
+            return None  # degrade / monolithic-columnar: one plain task
+        return [
+            (lambda shard=shard, view=view: self._scan_shard(ctx, shard, view))
+            for shard, view in enumerate(views)
+        ]
+
+    def finish_subtasks(self, ctx, inputs, parts):
+        start = time.perf_counter()
+        result = self._merge(inputs[0], parts)
+        merge_elapsed = time.perf_counter() - start
+        with ctx.lock:
+            slowest = max(
+                (p.elapsed_s for p in ctx.shard_actuals.get(id(self), ())),
+                default=0.0,
+            )
+        self._store_result_memo(ctx, result)
+        # critical path, not operator sum: shards overlapped on the pool
+        self._record(ctx, result, slowest + merge_elapsed)
+        return result
+
+    def _run(self, ctx, inputs):
+        views = self._shard_views(ctx, inputs)
+        if views is None:
+            ctx.degraded.add(id(self))
+            return self.logical._compute(inputs)
+        parts = [
+            self._scan_shard(ctx, shard, view)
+            for shard, view in enumerate(views)
+        ]
+        return self._merge(inputs[0], parts)
+
+
+class ShardedScanOp(_ScatterScanOp):
+    """σN over columnar partition views, scattered and unioned back.
+
+    Lowered for node selections over a base input graph when the planner
+    has shard views attached and the population is large enough to pay
+    for columnar evaluation.  Each shard task runs the operator's
+    precompiled :class:`VectorCondition` over one partition's columns —
+    type buckets, dictionary-encoded attribute columns, term postings —
+    exchanging compact position sets and gathering records only for the
+    survivors, so the union of per-shard results is record-for-record
+    the full scan (the parity contract, held by the columnar
+    differential suite) while the per-row predicate loop never runs on
+    rows the columns excluded.
+    """
+
+    def __init__(self, logical: Expr, children: Sequence[PhysicalOp],
+                 num_shards: int, prune_type: Any | None = None,
+                 covered: bool = False):
+        super().__init__(logical, children, num_shards, prune_type)
         #: True when the compiler proved the condition ≡ the type pin
         #: alone (no keywords, no scorer, no further predicates): the
         #: bucket *is* the selection, no per-node test runs at all
@@ -338,91 +445,103 @@ class ShardedScanOp(PhysicalOp):
             prune = f":{self.prune_type}"
         else:
             prune = ""
+        if self.num_shards == 1:
+            return f"{self.logical.describe()} [columnar{prune}]"
         return f"{self.logical.describe()} [sharded×{self.num_shards}{prune}]"
 
-    def _shard_views(
-        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
-    ) -> Sequence[ShardView] | None:
-        if ctx.shard_provider is None:
-            return None
-        views = ctx.shard_provider(inputs[0])
-        if not views or len(views) < 2:
-            return None
-        return views
-
-    def _scan_shard(
-        self, ctx: ExecContext, shard: int, view: ShardView
-    ) -> list:
-        from repro.core.selection import select_matching_nodes
-
-        start = time.perf_counter()
-        population = view.population(self.prune_type)
+    def _kernel(self, view: ShardView) -> list:
         if self.covered:
-            part = population  # the bucket is the selection, verbatim
-        else:
-            part = select_matching_nodes(
-                population,
-                self.logical.condition,  # type: ignore[attr-defined]
-                self.logical.scorer,  # type: ignore[attr-defined]
-            )
-        elapsed = time.perf_counter() - start
-        worker = threading.current_thread().name if ctx.pooled else None
-        with ctx.lock:
-            ctx.shard_actuals.setdefault(id(self), []).append(ShardProfile(
-                shard=shard,
-                actual=Card(len(part), 0),
-                elapsed_s=elapsed,
-                worker=worker,
-            ))
-        return part
+            # the bucket is the selection, verbatim (and cached: repeats
+            # of a covered scan re-serve the materialised list)
+            return view.type_bucket_nodes(self.prune_type)
+        return self.vector_condition.select(
+            view, self.logical.scorer,  # type: ignore[attr-defined]
+        )
 
-    def _union(
-        self, base: SocialContentGraph, parts: Sequence[list]
-    ) -> SocialContentGraph:
-        out = SocialContentGraph(catalog=base.catalog)
-        adopt = out._adopt_fresh_node
-        for part in parts:
-            for node in part:
-                adopt(node)
-        return out
+    def _merge(self, base, parts):
+        return union_null_graph(base, parts)
 
-    # -- pooled fan-out --------------------------------------------------------
+    def _part_card(self, part: list) -> Card:
+        return Card(len(part), 0)
 
-    def subtasks(self, ctx, inputs):
-        views = self._shard_views(ctx, inputs)
-        if views is None:
-            return None  # degrade path: run as one plain task
-        return [
-            (lambda shard=shard, view=view: self._scan_shard(ctx, shard, view))
-            for shard, view in enumerate(views)
-        ]
 
-    def finish_subtasks(self, ctx, inputs, parts):
-        start = time.perf_counter()
-        result = self._union(inputs[0], parts)
-        union_elapsed = time.perf_counter() - start
-        with ctx.lock:
-            slowest = max(
-                (p.elapsed_s for p in ctx.shard_actuals.get(id(self), ())),
-                default=0.0,
-            )
-        self._store_result_memo(ctx, result)
-        # critical path, not operator sum: shards overlapped on the pool
-        self._record(ctx, result, slowest + union_elapsed)
-        return result
+class ShardedLinkScanOp(_ScatterScanOp):
+    """σL over the partition views' link populations, merged back.
 
-    # -- sequential ------------------------------------------------------------
+    The link twin of :class:`ShardedScanOp`: links ride with their source
+    node's partition (the store's own placement), each shard task tests
+    only its partition-local link-type bucket when the condition pins a
+    type, and the merge rebuilds the induced subgraph — selected links
+    plus endpoint records pulled from the base graph, since a target may
+    live in any shard.  This is the scatter form feeding semi-join
+    probes whose left side is a base-graph link selection.
+    """
+
+    def describe(self) -> str:
+        prune = f":{self.prune_type}" if self.prune_type is not None else ""
+        if self.num_shards == 1:
+            return f"{self.logical.describe()} [columnar-links{prune}]"
+        return (
+            f"{self.logical.describe()} "
+            f"[sharded-links×{self.num_shards}{prune}]"
+        )
+
+    def _kernel(self, view: ShardView) -> list:
+        return self.vector_condition.select_links(
+            view, self.logical.scorer,  # type: ignore[attr-defined]
+            prune_type=self.prune_type,
+        )
+
+    def _merge(self, base, parts):
+        return union_link_subgraph(base, parts)
+
+    def _part_card(self, part: list) -> Card:
+        return Card(0, len(part))
+
+
+class AttrIndexScanOp(PhysicalOp):
+    """σN served from the registered attribute-value postings.
+
+    Lowered when the selection conjoins an equality on an attribute the
+    planner keeps postings for (the Data Manager's registered attribute
+    indexes, materialised per shard view) and the estimated posting list
+    is cheaper than scanning the population.  The posting set is a
+    *superset* of the answer for that one predicate — every other
+    conjunct, the keyword scope and the scoring function run row-wise
+    over just those candidates, so the result is record-for-record the
+    scan's.  Degrades to the scan compute when the provider is missing
+    or serves a different graph.
+    """
+
+    access_path = ATTR_INDEX
+
+    def __init__(self, logical: Expr, children: Sequence[PhysicalOp],
+                 att: str, value: Any):
+        super().__init__(logical, children)
+        self.att = att
+        self.value = value
+
+    def describe(self) -> str:
+        return f"{self.logical.describe()} [attr:{self.att}={self.value!r}]"
 
     def _run(self, ctx, inputs):
-        views = self._shard_views(ctx, inputs)
-        if views is None:
+        from repro.core.selection import select_matching_nodes
+
+        provider = ctx.attr_provider
+        candidates = (
+            provider(inputs[0], self.att, self.value)
+            if provider is not None else None
+        )
+        if candidates is None:
             ctx.degraded.add(id(self))
             return self.logical._compute(inputs)
-        parts = [
-            self._scan_shard(ctx, shard, view)
-            for shard, view in enumerate(views)
-        ]
-        return self._union(inputs[0], parts)
+        ctx.attr_postings_gathered[id(self)] = len(candidates)
+        part = select_matching_nodes(
+            candidates,
+            self.logical.condition,  # type: ignore[attr-defined]
+            self.logical.scorer,  # type: ignore[attr-defined]
+        )
+        return inputs[0].null_graph_unique(part)
 
 
 class FusedSocialCombineOp(PhysicalOp):
@@ -470,6 +589,7 @@ class FusedSocialCombineOp(PhysicalOp):
             sim_threshold=self.social.sim_threshold,  # type: ignore[attr-defined]
             act_type=self.social.act_type,  # type: ignore[attr-defined]
             drop_zero=self.logical.drop_zero,  # type: ignore[attr-defined]
+            limit=ctx.topk,
         )
         # the decoded ranking falls out of the fusion for free: hand it to
         # consumers so they can skip re-decoding the result graph
@@ -630,6 +750,8 @@ class PlanExecution:
     degraded_ops: int = 0
     #: how the plan ran: "sequential" or "pooled(<max_workers>)"
     executor: str = "sequential"
+    #: result bound pushed into the ranking stage (None = full ranking)
+    topk: int | None = None
     _profiles_cache: tuple[OperatorProfile, ...] | None = field(
         default=None, repr=False, compare=False
     )
@@ -690,10 +812,11 @@ class PlanExecution:
 
     def render(self) -> str:
         """EXPLAIN ANALYZE-style tree: every operator, est vs. actual."""
+        topk = f"  top-k={self.topk}" if self.topk is not None else ""
         header = [
             f"access={self.plan.access_path}  "
             f"cache={'hit' if self.cache_hit else 'miss'}  "
-            f"executor={self.executor}"
+            f"executor={self.executor}{topk}"
         ]
         if self.plan.rewrites.applied:
             header.append(f"rewrites: {', '.join(self.plan.rewrites.applied)}")
@@ -800,6 +923,10 @@ class PhysicalPlan:
         parallel: str = "auto",
         parallel_min_cost: float = 0.0,
         result_cache: dict | None = None,
+        attr_provider: Callable[
+            [SocialContentGraph, str, Any], "list | None"
+        ] | None = None,
+        topk: int | None = None,
     ) -> PlanExecution:
         """Run the plan; the result never aliases an input/literal graph.
 
@@ -810,10 +937,17 @@ class PhysicalPlan:
         handoff on a trivial plan costs more than it saves.  Either mode
         produces identical graphs and profiles; pooled runs additionally
         tag each operator with the worker thread that ran it.
+
+        *topk* is an execution parameter, not part of the plan shape (so
+        cached plans serve any k): ranking operators bound their sorted
+        output to the top *k* rows instead of ordering the full
+        candidate set.  Scores, provenance and the result graph are
+        unaffected — only the decoded ranking list is cut.
         """
         ctx = ExecContext(env, index_provider, network_provider,
-                          shard_provider)
+                          shard_provider, attr_provider)
         ctx.result_cache = result_cache
+        ctx.topk = topk
         use_pool = pool is not None and parallel != "never" and (
             parallel == "force" or self.estimated_cost >= parallel_min_cost
         )
@@ -832,6 +966,7 @@ class PhysicalPlan:
             plan=self, result=result, ctx=ctx,
             degraded_ops=len(ctx.degraded),
             executor=executor,
+            topk=topk,
         )
 
     def _profiles(self, ctx: ExecContext, op: PhysicalOp | None = None,

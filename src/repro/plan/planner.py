@@ -47,10 +47,17 @@ from repro.core.expr import (
 from repro.core.graph import SocialContentGraph
 from repro.core.stats import CardinalityFeedback, GraphStats
 from repro.management.storage import shard_of
-from repro.plan.cache import PlanCache, shared_plan_cache
+from repro.plan.cache import PlanCache, ResultMemo, shared_plan_cache
+from repro.plan.columnar import cut_columnar_views
 from repro.plan.compiler import CostModel, IndexBinding, compile_plan
 from repro.plan.parallel import WorkerPool, shared_worker_pool
-from repro.plan.physical import PhysicalPlan, PlanExecution, ShardView
+from repro.plan.physical import (
+    AttrIndexScanOp,
+    FusedSocialCombineOp,
+    PhysicalPlan,
+    PlanExecution,
+    ShardView,
+)
 
 #: Name under which the planner binds its live graph in plan environments.
 BASE_GRAPH = "G"
@@ -99,8 +106,13 @@ class QueryPlanner:
         self._stats: GraphStats | None = None
         self._stats_token: tuple | None = None
         self._index: IndexBinding | None = None
-        #: lazily built per-shard node views of the live graph, stamped
-        #: with the generation they were cut under
+        #: attributes the planner keeps per-shard value postings for (the
+        #: Data Manager's registered attribute indexes, attached by the
+        #: session) — the compiler's attribute-index eligibility set
+        self.indexed_attrs: frozenset[str] = frozenset()
+        #: lazily built per-shard *columnar* views of the live graph
+        #: (node rows + link rows + lazy columns/buckets/postings),
+        #: stamped with the generation they were cut under
         self._shard_views: tuple[ShardView, ...] | None = None
         self._shard_generation = -1
         #: lazily built §6.2 endorsement indexes, keyed by variant and
@@ -108,8 +120,9 @@ class QueryPlanner:
         self._network_indexes: dict[str, Any] = {}
         self._network_generation = -1
         #: generation-stamped memo of deterministic sub-plan results
-        #: (connection bases): repeated queries skip re-deriving them
-        self._subplan_results: dict = {}
+        #: (connection bases, σN selections): repeated queries skip
+        #: re-deriving them; bounded by entries *and* estimated bytes
+        self._subplan_results = ResultMemo()
         self._subplan_generation = -1
         self._lock = threading.Lock()
 
@@ -161,6 +174,20 @@ class QueryPlanner:
             self._shard_views = None
             self.generation += 1
 
+    def attach_attribute_index(self, attributes) -> None:
+        """Declare attribute-value postings over the named attributes.
+
+        The attributes come from the Data Manager's registered attribute
+        indexes; the *postings themselves* are cut per shard view from
+        the planner's live graph (so analysis-derived nodes participate
+        and in-place writes invalidate through the usual
+        ``(generation, mutation_epoch)`` stamp).  Attaching changes what
+        plans compile to, so it bumps the generation.
+        """
+        with self._lock:
+            self.indexed_attrs = frozenset(attributes)
+            self.generation += 1
+
     @property
     def index_binding(self) -> IndexBinding | None:
         return self._index
@@ -190,33 +217,49 @@ class QueryPlanner:
     def shard_views(
         self, graph: SocialContentGraph
     ) -> tuple[ShardView, ...] | None:
-        """Per-shard scatter views of *graph*, with local type buckets.
+        """Per-shard *columnar* scatter views of *graph*.
 
         Views are cut from the *planner's* live graph (not the physical
         store) so analysis-derived nodes partition too; requests for any
         other graph return ``None`` and the operator degrades to a full
         scan rather than scanning the wrong population.  One pass per
-        graph generation pays for every sharded scan of that generation
-        — including the partition-local type buckets that let type-pinned
-        selections prune whole populations.
+        graph generation pays for every columnar scan of that generation;
+        the views' derived columns — type buckets, attribute columns,
+        term and value postings — build lazily inside the views and live
+        just as long.  With ``shards == 1`` this is the single monolithic
+        columnar view.
         """
-        if self.shards <= 1 or graph is not self.graph:
+        if graph is not self.graph:
             return None
         with self._lock:
             if self._shard_generation != self._derived_token() or \
                     self._shard_views is None:
-                views = tuple(
-                    ShardView(nodes=[], by_type={})
-                    for _ in range(self.shards)
+                self._shard_views = cut_columnar_views(
+                    graph, self.shards, shard_of
                 )
-                for node in graph.nodes():
-                    view = views[shard_of(node.id, self.shards)]
-                    view.nodes.append(node)
-                    for type_value in node.types:
-                        view.by_type.setdefault(type_value, []).append(node)
-                self._shard_views = views
                 self._shard_generation = self._derived_token()
             return self._shard_views
+
+    def attr_posting_candidates(
+        self, graph: SocialContentGraph, att: str, value: Any
+    ) -> list | None:
+        """Candidate records for ``att = value`` from the shard postings.
+
+        The execution-time provider behind :class:`AttrIndexScanOp`:
+        concatenates the per-shard sorted posting lists of the value.
+        Returns ``None`` — degrading the operator to a scan — when the
+        graph is not the planner's live graph or the attribute was never
+        registered.
+        """
+        if att not in self.indexed_attrs:
+            return None
+        views = self.shard_views(graph)
+        if views is None:
+            return None
+        candidates: list = []
+        for view in views:
+            candidates.extend(view.attr_posting_nodes(att, value))
+        return candidates
 
     def network_index(self, variant: str) -> Any:
         """The §6.2 endorsement index of the live graph (lazy, cached).
@@ -251,7 +294,10 @@ class QueryPlanner:
         if self._stats is None or self._stats_token != token:
             with self._lock:
                 if self._stats is None or self._stats_token != token:
-                    stats = GraphStats.of(self.graph, with_terms=True)
+                    stats = GraphStats.of(
+                        self.graph, with_terms=True,
+                        indexed_attrs=sorted(self.indexed_attrs),
+                    )
                     stats.feedback = self.feedback
                     self._stats = stats
                     self._stats_token = token
@@ -274,6 +320,7 @@ class QueryPlanner:
             self.cost_model,
             self._index.item_type if self._index is not None else None,
             self.shards,
+            self.indexed_attrs,
         )
 
     def compile(self, expr: Expr, access: str = "auto") -> tuple[PhysicalPlan, bool]:
@@ -301,6 +348,7 @@ class QueryPlanner:
             cost_model=self.cost_model,
             key=structural_key,
             shards=self.shards,
+            indexed_attrs=self.indexed_attrs,
         )
         self.cache.put(key, epoch, plan, anchor=self.graph)
         return plan, False
@@ -313,12 +361,15 @@ class QueryPlanner:
         env: Mapping[str, SocialContentGraph] | None = None,
         access: str = "auto",
         parallel: str | None = None,
+        topk: int | None = None,
     ) -> PlanExecution:
         """Compile (or fetch) and run a plan against the live graph.
 
         *parallel* overrides the planner's pinned mode for this one
         execution (the differential harness uses ``"force"``/``"never"``
-        to hold both executors to identical results).
+        to hold both executors to identical results).  *topk* bounds the
+        ranking stage's sorted output (an execution parameter — cached
+        plans serve any k).
         """
         plan, cache_hit = self.compile(expr, access)
         provider = self._index.provider if self._index is not None else None
@@ -328,12 +379,14 @@ class QueryPlanner:
             index_provider=provider,
             network_provider=self.network_index,
             shard_provider=self.shard_views,
+            attr_provider=self.attr_posting_candidates,
             pool=self.pool if mode != "never" else None,
             parallel=mode,
             parallel_min_cost=self.cost_model.parallel_min_cost,
             # the sub-plan memo assumes the default environment: a custom
             # env may bind G to a different graph than the memo was cut on
             result_cache=self._subplan_cache() if env is None else None,
+            topk=topk,
         )
         execution.cache_hit = cache_hit
         if not getattr(plan, "feedback_observed", False):
@@ -347,12 +400,18 @@ class QueryPlanner:
             self._observe(plan, execution)
         return execution
 
-    def _subplan_cache(self) -> dict:
-        """The token-stamped sub-plan result memo (bounded)."""
+    def _subplan_cache(self) -> ResultMemo:
+        """The token-stamped sub-plan result memo (entry- and byte-bound).
+
+        The memo's own LRU handles the running budget; a stale generation
+        (refresh, in-place write) *rebinds* a fresh memo rather than
+        clearing in place — an in-flight execution still holds the old
+        object and may write pre-invalidation results into it, which must
+        land in the orphan, never in the memo new-generation queries read.
+        """
         with self._lock:
-            if self._subplan_generation != self._derived_token() or \
-                    len(self._subplan_results) > 256:
-                self._subplan_results = {}
+            if self._subplan_generation != self._derived_token():
+                self._subplan_results = ResultMemo()
                 self._subplan_generation = self._derived_token()
             return self._subplan_results
 
@@ -361,22 +420,58 @@ class QueryPlanner:
     def _observe(self, plan: PhysicalPlan, execution: PlanExecution) -> None:
         """Feed per-operator actuals back into the correction table.
 
-        Only base-graph node selections are observed — their estimates
-        rest directly on the term/type histograms, so the error cleanly
-        attributes to the condition's terms (keyword scopes) or its type
-        predicates (structural scopes).  Derived-input operators would
-        smear upstream errors into the wrong keys.
+        Base-graph node selections attribute their error to the
+        condition's terms (keyword scopes), its type predicates
+        (structural scopes), or — on the attribute-index path — the
+        posting pair the access choice rested on.  Connection-basis and
+        social-stage operators feed the *social* corrections
+        (:meth:`CardinalityFeedback.basis_key` /
+        :meth:`~CardinalityFeedback.endorse_key`), which is how the
+        cost-based strategy picker stops reading raw degree histograms.
+        Derived-input selections stay unobserved — they would smear
+        upstream errors into the wrong keys.
         """
+        from repro.core.expr import InputE
+
         for op, (actual, _elapsed) in execution.op_actuals.items():
             logical = op.logical
+            if isinstance(logical, ConnectionBasisE):
+                # minus the meta marker node the basis graph carries
+                self.feedback.observe(
+                    CardinalityFeedback.basis_key(),
+                    max(self.stats.expected_basis_size(), 0.0),
+                    max(actual.nodes - 1, 0.0),
+                )
+                continue
+            if isinstance(logical, SocialScoreE) or isinstance(
+                op, FusedSocialCombineOp
+            ):
+                # the stage's links are its endorsement/support edges —
+                # the reach the probe-vs-postings choice is priced on
+                self.feedback.observe(
+                    CardinalityFeedback.endorse_key(),
+                    self.stats.expected_endorsements(),
+                    actual.links,
+                )
+                continue
             if not isinstance(logical, SelectNodesE):
                 continue
-            from repro.core.expr import InputE
-
             if not isinstance(logical.child, InputE):
                 continue
             estimated = op.estimate(self.stats).nodes
             condition = logical.condition
+            if isinstance(op, AttrIndexScanOp):
+                # feed back the posting-list length the op gathered — the
+                # quantity attr_value_count estimates.  The final result
+                # cardinality would misattribute every *other* conjunct's
+                # selectivity to the posting estimate and ratchet it down.
+                gathered = execution.ctx.attr_postings_gathered.get(id(op))
+                if gathered is not None:
+                    self.feedback.observe(
+                        CardinalityFeedback.attr_key(op.att, op.value),
+                        self.stats.attr_value_count(op.att, op.value),
+                        gathered,
+                    )
             if condition.has_keywords:
                 for term in condition.keywords:
                     self.feedback.observe(
@@ -425,6 +520,7 @@ class QueryPlanner:
         max_experts: int = 10,
         access: str = "auto",
         parallel: str | None = None,
+        limit: int | None = None,
     ) -> PlanExecution:
         """Compile and run the *whole* discovery pipeline as one plan.
 
@@ -433,7 +529,9 @@ class QueryPlanner:
         statistics) → α-combination.  The candidate sub-plan is shared
         between the scoring and combination stages (a DAG, as in Example
         4), so it executes once; EXPLAIN covers every operator of the
-        pipeline and the plan cache covers the full query shape.
+        pipeline and the plan cache covers the full query shape.  *limit*
+        pushes the caller's result budget into the ranking stage (top-k
+        instead of a full sort) without entering the plan shape.
         """
         condition = query.scope_condition(default_type=item_type)
         G = input_graph(BASE_GRAPH)
@@ -460,7 +558,8 @@ class QueryPlanner:
         )
         root = CombineScoresE(candidates, social, alpha=alpha,
                               drop_zero=drop_zero)
-        return self.execute(root, access=access, parallel=parallel)
+        return self.execute(root, access=access, parallel=parallel,
+                            topk=limit)
 
 
 def _condition_type_names(condition) -> list[str]:

@@ -1,0 +1,580 @@
+"""Columnar shard views and vectorized selection: parity, lowering, caches.
+
+The acceptance contract of the columnar substrate: for any condition,
+scorer, shard count and strategy, the columnar execution path produces
+exactly what the legacy row-at-a-time path produces — verified with a
+hypothesis differential harness over random conditions and the shared
+site factory across shard counts {1, 2, 7} and all three social
+strategies (1e-9 on scores).  Plus structural tests for the new access
+paths (attribute postings, sharded link scans), top-k pushdown, the
+``(generation, mutation_epoch)`` invalidation of columnar views, the
+byte-bounded memo/cache accounting, and the site-wide cache stats
+endpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import factories
+from repro.api import SearchRequest, Session, SessionConfig
+from repro.core import Condition, Link, Node, SocialContentGraph, input_graph
+from repro.core.conditions import Lambda, Or, HasType
+from repro.core.selection import select_links, select_nodes
+from repro.core.stats import CardinalityFeedback, GraphStats
+from repro.discovery import InformationDiscoverer, parse_query
+from repro.management import DataManager
+from repro.plan import (
+    ATTR_INDEX,
+    AttrIndexScanOp,
+    ColumnarShardView,
+    CostModel,
+    QueryPlanner,
+    ResultMemo,
+    SharedPlanCache,
+    ShardedLinkScanOp,
+    ShardedScanOp,
+    VectorCondition,
+)
+from repro.plan.columnar import cut_columnar_views
+from repro.management.storage import shard_of
+
+TOL = 1e-9
+
+VOCAB = ("topic0", "topic1", "thing", "offkey")
+
+
+def columnar_planner(graph, shards=1, parallelism="never",
+                     min_nodes=0.0, **model_kw) -> QueryPlanner:
+    planner = QueryPlanner(
+        graph,
+        cost_model=CostModel(shard_scan_min_nodes=min_nodes,
+                             shard_link_min_links=min_nodes, **model_kw),
+        parallelism=parallelism,
+    )
+    if shards > 1:
+        planner.attach_shards(shards)
+    return planner
+
+
+def legacy_planner(graph) -> QueryPlanner:
+    """The PR 4 row-at-a-time reference executor."""
+    return QueryPlanner(graph, cost_model=CostModel(columnar=False),
+                        parallelism="never")
+
+
+# ---------------------------------------------------------------------------
+# VectorCondition kernel parity
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def populations(draw):
+    """Node populations with mixed types, multi-valued and odd attrs."""
+    graph = SocialContentGraph()
+    count = draw(st.integers(min_value=0, max_value=30))
+    for i in range(count):
+        attrs = {
+            "type": draw(st.sampled_from(
+                ["item", "user", "item, destination", "user, traveler"]
+            )),
+            "name": f"spot {i}",
+        }
+        if draw(st.booleans()):
+            attrs["rating"] = draw(st.sampled_from(
+                [0.1, 0.5, "0.7", 1, 3, "bad"]
+            ))
+        if draw(st.booleans()):
+            attrs["keywords"] = " ".join(draw(st.lists(
+                st.sampled_from(VOCAB), max_size=3
+            )))
+        graph.add_node(Node(i, **attrs))
+    return graph
+
+
+@st.composite
+def conditions(draw):
+    structural = {}
+    if draw(st.booleans()):
+        structural["type"] = draw(st.sampled_from(["item", "user",
+                                                   "destination"]))
+    if draw(st.booleans()):
+        structural["rating__ge"] = draw(st.sampled_from([0.2, "0.5", 2]))
+    if draw(st.booleans()):
+        structural["name"] = draw(st.sampled_from(["spot 1", "spot 99"]))
+    keywords = draw(st.sampled_from(
+        [None, "topic0", "topic0 thing", "offkey topics"]
+    ))
+    predicates = []
+    if draw(st.booleans()):  # an opaque residual predicate
+        predicates.append(Lambda(lambda e: str(e.id) != "3", "not-3"))
+    if draw(st.booleans()):  # a nested disjunction (never vectorized)
+        predicates.append(Or(HasType("item"), HasType("user")))
+    return Condition(structural, keywords=keywords,
+                     predicates=tuple(predicates))
+
+
+class TestVectorConditionParity:
+    @settings(max_examples=60, deadline=None)
+    @given(populations(), conditions(), st.booleans())
+    def test_select_matches_row_kernel(self, graph, condition, scored):
+        scorer = (lambda e, kw: float(len(kw) + (e.id if isinstance(
+            e.id, int) else 0))) if scored else None
+        expected = select_nodes(graph, condition, scorer)
+        view = cut_columnar_views(graph, 1, shard_of)[0]
+        got = VectorCondition(condition).select(view, scorer)
+        assert [n.id for n in got] == [n.id for n in expected.nodes()]
+        for node in got:
+            assert node == expected.node(node.id)
+
+    @settings(max_examples=25, deadline=None)
+    @given(populations(), conditions(), st.sampled_from([2, 7]))
+    def test_sharded_union_matches_monolithic(self, graph, condition,
+                                              shards):
+        expr = input_graph("G").select_nodes(condition)
+        mono = legacy_planner(graph).execute(expr)
+        got = columnar_planner(graph, shards).execute(expr)
+        assert got.result.same_as(mono.result)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end differential parity: columnar vs legacy ranking
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def site_queries(draw):
+    graph = factories.social_site_graph(
+        num_users=draw(st.integers(min_value=1, max_value=6)),
+        num_items=draw(st.integers(min_value=1, max_value=9)),
+        friends_per_user=draw(st.integers(min_value=0, max_value=3)),
+        acts_per_user=draw(st.integers(min_value=0, max_value=4)),
+        with_sim_links=draw(st.booleans()),
+    )
+    user = f"u{draw(st.integers(min_value=0, max_value=5))}"
+    text = " ".join(draw(st.lists(st.sampled_from(VOCAB), max_size=2)))
+    strategy = draw(st.sampled_from(["friends", "similar_users",
+                                     "item_based"]))
+    return graph, user, text, strategy
+
+
+class TestColumnarRankingParity:
+    """legacy row executor vs columnar × {1, 2, 7} shards — one ranking."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(site_queries())
+    def test_every_shard_count_ranks_identically(self, workload):
+        graph, user, text, strategy = workload
+        reference_discoverer = InformationDiscoverer(graph)
+        reference_discoverer.planner.cost_model = CostModel(columnar=False)
+        reference = reference_discoverer.rank(
+            parse_query(user, text), strategy=strategy
+        )
+        for shards in (1, 2, 7):
+            discoverer = InformationDiscoverer(graph)
+            discoverer.planner.cost_model = CostModel(
+                shard_scan_min_nodes=0.0
+            )
+            if shards > 1:
+                discoverer.planner.attach_shards(shards)
+            got = discoverer.rank(parse_query(user, text), strategy=strategy)
+            assert [s.item_id for s in got.items] == [
+                s.item_id for s in reference.items
+            ]
+            for a, b in zip(got.items, reference.items):
+                assert a.combined == pytest.approx(b.combined, abs=TOL)
+                assert a.semantic == pytest.approx(b.semantic, abs=TOL)
+                assert a.social == pytest.approx(b.social, abs=TOL)
+            assert got.social.scores == pytest.approx(
+                reference.social.scores, abs=TOL
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(site_queries(), st.integers(min_value=1, max_value=4))
+    def test_topk_pushdown_is_a_prefix_of_the_full_ranking(self, workload,
+                                                           k):
+        graph, user, text, strategy = workload
+        discoverer = InformationDiscoverer(graph)
+        full = discoverer.rank(parse_query(user, text), strategy=strategy)
+        bounded = discoverer.rank(parse_query(user, text), strategy=strategy,
+                                  limit=k)
+        assert bounded.items == full.items[:k]
+        # provenance still covers every surviving item, not just the top k
+        assert bounded.social.scores == full.social.scores
+
+
+# ---------------------------------------------------------------------------
+# In-place write invalidation of columnar views
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarInvalidation:
+    """Columnar views must die on ``(generation, mutation_epoch)`` moves.
+
+    The regression this guards: attribute columns and postings are cut
+    per generation — an in-place attribute write (replace_node) bumps
+    only the mutation epoch, and a stale column would keep serving the
+    pre-write value forever.
+    """
+
+    def test_in_place_attribute_write_invalidates_columns(self):
+        graph = factories.social_site_graph(num_items=6)
+        planner = columnar_planner(graph)
+        expr = input_graph("G").select_nodes({"type": "item",
+                                              "name": "item 1"})
+        env = {"G": graph}  # memo bypassed: exercises the views directly
+        before = planner.execute(expr, env=env)
+        assert [n.id for n in before.result.nodes()] == ["i1"]
+        graph.replace_node(graph.node("i1").with_attrs(name="renamed"))
+        after = planner.execute(expr, env=env)
+        assert after.result.is_empty()
+        renamed = planner.execute(
+            input_graph("G").select_nodes({"name": "renamed"}), env=env
+        )
+        assert [n.id for n in renamed.result.nodes()] == ["i1"]
+
+    def test_in_place_writes_invalidate_attr_postings(self):
+        graph = factories.social_site_graph(num_items=6)
+        planner = columnar_planner(graph)
+        planner.attach_attribute_index(("name",))
+        expr = input_graph("G").select_nodes({"type": "item",
+                                              "name": "fresh"})
+        env = {"G": graph}
+        assert planner.execute(expr, env=env).result.is_empty()
+        graph.add_node(Node("i-live", type="item", name="fresh"))
+        after = planner.execute(expr, env=env)
+        assert [n.id for n in after.result.nodes()] == ["i-live"]
+
+    def test_in_place_link_writes_invalidate_link_buckets(self):
+        graph = factories.social_site_graph(num_users=4, num_items=4)
+        planner = columnar_planner(graph, shards=3)
+        expr = input_graph("G").select_links({"type": "sim_item"})
+        env = {"G": graph}
+        before = planner.execute(expr, env=env)
+        graph.add_link(Link("s-live", "i3", "i0", type="sim_item", sim=0.9))
+        after = planner.execute(expr, env=env)
+        assert after.result.has_link("s-live")
+        assert after.result.num_links == before.result.num_links + 1
+
+
+# ---------------------------------------------------------------------------
+# Attribute-index access path
+# ---------------------------------------------------------------------------
+
+
+def attr_graph(num_items: int = 400) -> SocialContentGraph:
+    """Items where ``category="rare"`` is selective enough (2 of 400)
+    that postings beat even the vectorized columnar scan."""
+    g = SocialContentGraph()
+    for i in range(num_items):
+        g.add_node(Node(i, type="item", name=f"spot {i}",
+                        category="rare" if i % 200 == 0 else "common"))
+    return g
+
+
+class TestAttrIndexPath:
+    def test_selective_values_lower_to_postings(self):
+        planner = columnar_planner(attr_graph())
+        planner.attach_attribute_index(("category",))
+        plan, _ = planner.compile(
+            input_graph("G").select_nodes({"type": "item",
+                                           "category": "rare"})
+        )
+        ops = [op for op in plan._walk(plan.root, set())
+               if isinstance(op, AttrIndexScanOp)]
+        assert ops and ops[0].att == "category" and ops[0].value == "rare"
+        (decision,) = [d for d in plan.decisions if d.chosen == ATTR_INDEX]
+        assert "postings" in decision.reason
+
+    def test_common_values_stay_on_the_columnar_scan(self):
+        planner = columnar_planner(attr_graph())
+        planner.attach_attribute_index(("category",))
+        plan, _ = planner.compile(
+            input_graph("G").select_nodes({"type": "item",
+                                           "category": "common"})
+        )
+        assert not any(isinstance(op, AttrIndexScanOp)
+                       for op in plan._walk(plan.root, set()))
+
+    def test_posting_path_matches_the_scan_exactly(self):
+        graph = attr_graph()
+        planner = columnar_planner(graph)
+        planner.attach_attribute_index(("category",))
+        expr = input_graph("G").select_nodes(
+            Condition({"type": "item", "category": "rare"},
+                      keywords="spot")
+        )
+        via_postings = planner.execute(expr)
+        assert via_postings.plan.decisions[0].chosen == ATTR_INDEX
+        via_scan = planner.execute(expr, access="scan")
+        assert via_postings.result.same_as(via_scan.result)
+
+    def test_unregistered_attributes_never_take_the_path(self):
+        planner = columnar_planner(attr_graph())
+        plan, _ = planner.compile(
+            input_graph("G").select_nodes({"category": "rare"})
+        )
+        assert not any(isinstance(op, AttrIndexScanOp)
+                       for op in plan._walk(plan.root, set()))
+
+    def test_missing_provider_degrades_to_scan(self):
+        from repro.plan import compile_plan
+
+        graph = attr_graph()
+        plan = compile_plan(
+            input_graph("G").select_nodes({"type": "item",
+                                           "category": "rare"}),
+            GraphStats.of(graph, indexed_attrs=("category",)),
+            cost_model=CostModel(shard_scan_min_nodes=0.0),
+            indexed_attrs=frozenset({"category"}),
+        )
+        assert any(isinstance(op, AttrIndexScanOp)
+                   for op in plan._walk(plan.root, set()))
+        execution = plan.execute({"G": graph})  # no attr provider
+        assert execution.degraded_ops == 1
+        assert {n.id for n in execution.result.nodes()} == {0, 200}
+
+    def test_observed_actuals_feed_the_attr_correction(self):
+        graph = attr_graph()
+        planner = columnar_planner(graph)
+        planner.attach_attribute_index(("category",))
+        planner.execute(input_graph("G").select_nodes(
+            {"type": "item", "category": "rare"}
+        ))
+        key = CardinalityFeedback.attr_key("category", "rare")
+        assert key in planner.feedback.snapshot()
+
+    def test_attr_correction_observes_postings_not_residual_output(self):
+        # a residual conjunct keeps almost nothing: the posting estimate
+        # must NOT be ratcheted down by the other predicates' selectivity
+        graph = attr_graph()
+        planner = columnar_planner(graph)
+        planner.attach_attribute_index(("category",))
+        expr = input_graph("G").select_nodes(
+            {"type": "item", "category": "rare", "name": "spot 0"}
+        )
+        for _ in range(4):
+            execution = planner.execute(expr)
+            assert execution.result.num_nodes == 1  # residual kept one
+            planner.refresh(planner.graph)  # recompile → re-observe
+        key = CardinalityFeedback.attr_key("category", "rare")
+        # postings gathered == postings estimated (2), so the correction
+        # stays at (or returns to) neutral instead of hitting the floor
+        assert planner.feedback.factor(key) == pytest.approx(1.0, abs=0.01)
+
+    def test_session_mirrors_the_stores_registered_attributes(self):
+        dm = DataManager(indexed_attributes=("name", "category"))
+        dm.load_graph(factories.social_site_graph())
+        session = Session(dm)
+        assert session.planner.indexed_attrs == {"name", "category"}
+
+
+# ---------------------------------------------------------------------------
+# Sharded link scans
+# ---------------------------------------------------------------------------
+
+
+class TestShardedLinkScan:
+    @settings(max_examples=20, deadline=None)
+    @given(site_queries(), st.sampled_from([1, 2, 7]))
+    def test_link_selection_parity(self, workload, shards):
+        graph, _user, _text, _strategy = workload
+        for condition in (
+            {"type": "act"}, {"type": "connect"},
+            Condition({"type": "act"}, keywords="visit"), {"sim__ge": 0.3},
+        ):
+            expected = select_links(
+                graph, condition if isinstance(condition, Condition)
+                else Condition(condition)
+            )
+            planner = columnar_planner(graph, shards)
+            got = planner.execute(input_graph("G").select_links(condition))
+            assert got.result.same_as(expected)
+
+    def test_lowering_prunes_to_link_type_buckets(self):
+        graph = factories.social_site_graph()
+        planner = columnar_planner(graph, 3)
+        plan, _ = planner.compile(
+            input_graph("G").select_links({"type": "act"})
+        )
+        ops = [op for op in plan._walk(plan.root, set())
+               if isinstance(op, ShardedLinkScanOp)]
+        assert ops and ops[0].prune_type == "act"
+        assert "sharded-links×3" in plan.render()
+
+    def test_small_link_populations_stay_unsharded(self):
+        graph = factories.social_site_graph()
+        planner = columnar_planner(graph, 3, min_nodes=10_000.0)
+        plan, _ = planner.compile(
+            input_graph("G").select_links({"type": "act"})
+        )
+        assert not any(isinstance(op, ShardedLinkScanOp)
+                       for op in plan._walk(plan.root, set()))
+
+    def test_link_scan_feeds_the_semi_join(self):
+        graph = factories.social_site_graph()
+        expr = input_graph("G").select_links({"type": "act"}).semi_join(
+            input_graph("G").select_nodes({"id": "u0"}), ("src", "src")
+        )
+        sharded = columnar_planner(graph, 3).execute(expr)
+        legacy = legacy_planner(graph).execute(expr)
+        assert sharded.result.same_as(legacy.result)
+
+    def test_foreign_environment_degrades(self):
+        graph = factories.social_site_graph()
+        other = factories.social_site_graph(num_items=3)
+        planner = columnar_planner(graph, 3)
+        expr = input_graph("G").select_links({"type": "act"})
+        execution = planner.execute(expr, env={"G": other})
+        assert execution.degraded_ops == 1
+        assert execution.result.same_as(
+            legacy_planner(other).execute(expr).result
+        )
+
+
+# ---------------------------------------------------------------------------
+# Top-k pushdown through the session
+# ---------------------------------------------------------------------------
+
+
+class TestTopKPushdown:
+    def test_explicit_k_rides_on_the_execution(self):
+        session = Session.from_graph(factories.social_site_graph())
+        response = session.run(
+            SearchRequest(user_id="u0", text="topic0", k=3, explain=True)
+        )
+        assert response.plan.topk == 3
+        assert "top-k=3" in response.plan.text
+
+    def test_page_windows_without_k_keep_the_full_ranking(self):
+        session = Session.from_graph(factories.social_site_graph())
+        response = session.run(
+            SearchRequest(user_id="u0", text="topic0", page_size=2,
+                          explain=True)
+        )
+        assert response.plan.topk is None
+
+    def test_bounded_pages_equal_unbounded_pages(self):
+        graph = factories.social_site_graph(num_users=7, num_items=9)
+        session = Session.from_graph(graph)
+        bounded = session.run(SearchRequest(user_id="u0", text="thing", k=4))
+        unbounded = session.run(SearchRequest(user_id="u0", text="thing"))
+        assert list(bounded.items) == list(unbounded.items)[:4]
+
+
+# ---------------------------------------------------------------------------
+# Memory accounting: ResultMemo and SharedPlanCache byte budgets
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryAccounting:
+    def test_result_memo_evicts_past_the_byte_budget(self):
+        from repro.plan.cache import estimate_graph_bytes
+
+        small = factories.item_graph(4)
+        budget = estimate_graph_bytes(small) * 2 + 1
+        memo = ResultMemo(max_entries=100, max_bytes=budget)
+        memo["a"] = factories.item_graph(4)
+        memo["b"] = factories.item_graph(4)
+        assert len(memo) == 2 and memo.evictions == 0
+        memo["c"] = factories.item_graph(4)
+        assert len(memo) == 2 and memo.evictions == 1
+        assert "a" not in memo  # LRU order: the oldest entry died
+        assert memo.get("b") is not None and memo.get("c") is not None
+        assert memo.bytes <= budget
+
+    def test_result_memo_lru_order_respects_gets(self):
+        memo = ResultMemo(max_entries=2, max_bytes=1 << 30)
+        memo["a"] = factories.item_graph(2)
+        memo["b"] = factories.item_graph(2)
+        memo.get("a")  # touch: "b" becomes the eviction victim
+        memo["c"] = factories.item_graph(2)
+        assert "a" in memo and "c" in memo and "b" not in memo
+
+    def test_shared_cache_byte_budget_evicts_plans(self):
+        graph = factories.item_graph(4)
+        planner_cache = SharedPlanCache(maxsize=1024, admit_after=1,
+                                        max_bytes=1)  # one plan max
+        planner = QueryPlanner(graph, cache=planner_cache)
+        planner.execute(input_graph("G").select_nodes({"type": "item"}))
+        planner.execute(input_graph("G").select_nodes({"type": "user"}))
+        stats = planner_cache.stats
+        assert stats.size == 1  # the budget keeps exactly one resident
+        assert stats.evictions >= 1
+        assert stats.bytes > 0
+
+    def test_plan_cache_stats_report_bytes(self):
+        graph = factories.item_graph(4)
+        cache = SharedPlanCache()
+        planner = QueryPlanner(graph, cache=cache)
+        planner.execute(input_graph("G").select_nodes({"type": "item"}))
+        assert cache.stats.bytes > 0
+
+
+# ---------------------------------------------------------------------------
+# The site-wide cache-stats management endpoint
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCacheEndpoint:
+    def test_datamanager_surfaces_shared_cache_counters(self):
+        from repro.plan import shared_plan_cache
+
+        shared_plan_cache().reset()
+        dm = DataManager()
+        dm.load_graph(factories.social_site_graph())
+        session = Session(dm)
+        session.run(SearchRequest(user_id="u0", text="topic0"))
+        session.run(SearchRequest(user_id="u0", text="topic0"))
+        stats = dm.plan_cache_stats()
+        assert stats["compiles"] >= 1
+        assert stats["hits"] >= 1
+        assert stats["size"] >= 1
+        assert stats["bytes"] > 0
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+        assert {"evictions", "admission_rejections"} <= stats.keys()
+
+
+# ---------------------------------------------------------------------------
+# Cardinality feedback reaches the strategy picker's inputs
+# ---------------------------------------------------------------------------
+
+
+class TestSocialFeedback:
+    def test_basis_actuals_correct_the_expected_basis_size(self):
+        # a site whose served bases are far smaller than the histogram
+        # mean suggests: every factory user carries 5 connections, but
+        # the actual querying user is a loner — observed bases are empty
+        graph = factories.social_site_graph(num_users=8, num_items=8,
+                                            friends_per_user=5)
+        graph.add_node(Node("lone", type="user", name="loner"))
+        discoverer = InformationDiscoverer(graph)
+        planner = discoverer.planner
+        raw = planner.stats.expected_basis_size()
+        assert raw > 2.0  # the histogram mean the picker used to trust
+        for _ in range(6):
+            discoverer.rank(parse_query("lone", ""), strategy="friends")
+            planner.refresh(planner.graph)  # force recompiles → re-observe
+        key = CardinalityFeedback.basis_key()
+        assert planner.feedback.factor(key) < 1.0
+        assert planner.stats.expected_basis_size() < raw
+
+    def test_endorsement_actuals_feed_the_reach_correction(self):
+        graph = factories.social_site_graph(num_users=5, num_items=6)
+        discoverer = InformationDiscoverer(graph)
+        discoverer.rank(parse_query("u0", ""), strategy="friends")
+        key = CardinalityFeedback.endorse_key()
+        assert key in discoverer.planner.feedback.snapshot()
+
+    def test_strategy_decision_reads_corrected_numbers(self):
+        graph = factories.social_site_graph(num_users=6, num_items=6)
+        planner = InformationDiscoverer(graph).planner
+        planner.feedback.observe(CardinalityFeedback.basis_key(), 8.0, 1.0)
+        corrected = planner.stats.expected_basis_size()
+        query = parse_query("u0", "")
+        execution = planner.discovery_pipeline(query, strategy="auto",
+                                               alpha=0.0)
+        decision = execution.plan.strategy_decision
+        assert decision is not None
+        assert f"{corrected:.1f}" in decision.reason
