@@ -38,6 +38,42 @@ def quick(request) -> bool:
     return request.config.getoption("--quick")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _bench_harness_is_deterministic():
+    """Gate: the bench harness itself obeys the determinism rules.
+
+    ``bench_baselines.json`` comparisons are only meaningful when the
+    benches draw from seeded generators and never read the wall clock
+    into a result (``perf_counter`` timing is fine).  The archcheck
+    determinism family enforces exactly that, with ``benchmarks`` on the
+    seeded-RNG allowlist, so regressions in the harness fail fast here
+    rather than as unexplainable baseline drift.
+    """
+    import sys
+    from pathlib import Path
+
+    bench_root = Path(__file__).resolve().parent
+    repo_root = bench_root.parent
+    sys.path.insert(0, str(repo_root))  # make `tools` importable
+    try:
+        from tools.archcheck.config import load_config
+        from tools.archcheck.findings import collect_modules
+        from tools.archcheck.runner import run_rules
+    finally:
+        sys.path.remove(str(repo_root))
+
+    config = load_config(repo_root / "pyproject.toml")
+    # bench modules live at benchmarks/<name>.py: present them to the
+    # checker under the `benchmarks` package the allowlist names
+    modules = collect_modules(bench_root, repo_root, layer_root="")
+    for module in modules:
+        module.name = f"benchmarks.{module.name}"
+    assert modules, "no bench modules collected"
+    findings = run_rules(modules, config, ("determinism",))
+    assert not findings, "\n".join(f.render() for f in findings)
+    yield
+
+
 @pytest.fixture
 def report(capsys):
     """Print lines straight to the terminal, bypassing capture."""

@@ -22,7 +22,7 @@ from typing import Any, Iterator, Mapping
 from repro.core import Condition, Id, as_condition
 from repro.errors import QueryError
 from repro.plan import PlanExplain
-from repro.presentation import ResultPage
+from repro.presentation import ResultGroup, ResultPage
 
 
 @dataclass(frozen=True)
@@ -143,7 +143,7 @@ class SearchResponse:
         return iter(self.page.flat)
 
     @property
-    def groups(self):
+    def groups(self) -> list[ResultGroup]:
         """The page's ranked result groups."""
         return self.page.groups
 

@@ -36,6 +36,7 @@ variant.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Iterable, NamedTuple, Sequence
 
@@ -53,9 +54,11 @@ from repro.discovery import (
     DiscoveryConfig,
     InformationDiscoverer,
     MeaningfulSocialGraph,
+    ScoredItem,
     assemble_msg,
     parse_query,
 )
+from repro.discovery.discoverer import RankedDiscovery
 from repro.discovery.query import Query
 from repro.errors import QueryError
 from repro.indexing import (
@@ -272,7 +275,8 @@ class Session:
         self._tagging_data = None
         self._network_indexes.clear()
         self.epoch += 1
-        self.stats.refreshes += 1
+        with self._lock:
+            self.stats.refreshes += 1
         self._dirty = False
 
     # ---------------------------------------------------------------- planning
@@ -351,7 +355,8 @@ class Session:
     def run_many(
         self,
         requests: Iterable[SearchRequest],
-        executor=None,
+        # anything with `.map(fn, iterable)`, e.g. a ThreadPoolExecutor
+        executor: Executor | None = None,
     ) -> list[SearchResponse]:
         """Evaluate a batch against the shared warm session state.
 
@@ -424,7 +429,9 @@ class Session:
             return offset, cursor_size
         return (request.page - 1) * size, size
 
-    def _budgeted(self, ranking, request: SearchRequest):
+    def _budgeted(
+        self, ranking: RankedDiscovery, request: SearchRequest
+    ) -> list[ScoredItem]:
         """Apply the request's k as a hard budget on the ranked list.
 
         ``k`` caps the ranking even when ``page_size`` drives the window,

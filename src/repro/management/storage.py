@@ -30,12 +30,12 @@ never see the store.
 
 from __future__ import annotations
 
-import zlib
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.core import Id, Link, Node, SocialContentGraph
+from repro.core.partition import shard_of
 from repro.core.stats import GraphStats
 from repro.errors import (
     DanglingLinkError,
@@ -44,14 +44,10 @@ from repro.errors import (
     UnknownNodeError,
 )
 
-
-def shard_of(record_id: Id, num_shards: int) -> int:
-    """Stable hash partition of a record id.
-
-    Process-independent (unlike ``hash(str)``) so shard assignment — and
-    therefore per-shard scan order — is reproducible across runs.
-    """
-    return zlib.crc32(repr(record_id).encode("utf-8")) % num_shards
+# ``shard_of`` moved to :mod:`repro.core.partition` (the plan layer's
+# columnar scatter needs it and must not import management — see the
+# layering DAG in docs/ARCHITECTURE.md); re-imported above so existing
+# ``from repro.management.storage import shard_of`` callers keep working.
 
 #: Provenance values for the ``origin`` of records (paper §3: information
 #: may be locally owned, externally integrated, or derived).

@@ -43,7 +43,7 @@ results.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 try:  # vectorized path; the row-wise fallback below needs nothing
     import numpy as _np
@@ -286,7 +286,9 @@ class ColumnarShardView:
 
 
 def cut_columnar_views(
-    graph: SocialContentGraph, num_shards: int, shard_of
+    graph: SocialContentGraph,
+    num_shards: int,
+    shard_of: Callable[[Any, int], int],
 ) -> tuple[ColumnarShardView, ...]:
     """Partition a graph's nodes and links into columnar scatter views.
 

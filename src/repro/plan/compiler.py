@@ -38,7 +38,7 @@ from repro.core.expr import (
     plan_key,
 )
 from repro.core.expr import SelectLinksE
-from repro.core.optimizer import DEFAULT_RULES, optimize
+from repro.core.optimizer import DEFAULT_RULES, Rule, optimize
 from repro.core.social import COMPILED_STRATEGIES, choose_strategy
 from repro.core.stats import CardinalityFeedback, GraphStats
 from repro.errors import QueryError
@@ -315,8 +315,8 @@ def compile_plan(
     index: IndexBinding | None = None,
     access: str = "auto",
     cost_model: CostModel | None = None,
-    rules=DEFAULT_RULES,
-    key=None,
+    rules: tuple[Rule, ...] = DEFAULT_RULES,
+    key: Any = None,
     shards: int = 1,
     indexed_attrs: frozenset[str] = frozenset(),
 ) -> PhysicalPlan:
@@ -562,7 +562,7 @@ def _choose_select_path(
     access: str,
     model: CostModel,
     decisions: list[AccessDecision],
-    scan_form=ScanOp,
+    scan_form: Callable[..., PhysicalOp] = ScanOp,
 ) -> PhysicalOp:
     """Cost the two physical forms of an eligible keyword selection.
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -75,7 +75,7 @@ class WorkerPool:
                     )
         return self._executor
 
-    def submit(self, fn: Callable, *args, **kwargs):
+    def submit(self, fn: Callable, *args: object, **kwargs: object) -> Future:
         with self._lock:
             self.tasks_run += 1
         return self.executor.submit(fn, *args, **kwargs)

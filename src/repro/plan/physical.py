@@ -22,9 +22,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.expr import Expr, LiteralE, iter_plan_nodes
+from repro.core.optimizer import OptimizeReport
 from repro.core.graph import SocialContentGraph
 from repro.core.stats import Card, GraphStats
 from repro.errors import ExpressionError
@@ -242,7 +243,9 @@ class PhysicalOp:
 class InputOp(PhysicalOp):
     """Fetch a named base graph from the execution environment."""
 
-    def _run(self, ctx, inputs):
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
         name = self.logical.name  # type: ignore[attr-defined]
         if name not in ctx.env:
             raise ExpressionError(f"no input graph named {name!r} supplied")
@@ -254,7 +257,9 @@ class InputOp(PhysicalOp):
 class LiteralOp(PhysicalOp):
     """An inline constant graph."""
 
-    def _run(self, ctx, inputs):
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
         graph = self.logical.graph  # type: ignore[attr-defined]
         ctx.borrowed.add(id(graph))
         return graph
@@ -263,7 +268,9 @@ class LiteralOp(PhysicalOp):
 class ScanOp(PhysicalOp):
     """The default physical form: the logical operator's eager compute."""
 
-    def _run(self, ctx, inputs):
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
         return self.logical._compute(inputs)
 
 
@@ -290,7 +297,9 @@ class IndexKeywordScanOp(PhysicalOp):
     def describe(self) -> str:
         return f"{self.logical.describe()} [index:{self.item_type}]"
 
-    def _run(self, ctx, inputs):
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
         index = ctx.index_provider() if ctx.index_provider is not None else None
         if index is None:
             return self.logical._compute(inputs)
@@ -379,7 +388,9 @@ class _ScatterScanOp(PhysicalOp):
             ))
         return part
 
-    def subtasks(self, ctx, inputs):
+    def subtasks(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> list[Callable[[], Any]] | None:
         views = self._shard_views(ctx, inputs)
         if views is None or len(views) < 2:
             return None  # degrade / monolithic-columnar: one plain task
@@ -388,7 +399,12 @@ class _ScatterScanOp(PhysicalOp):
             for shard, view in enumerate(views)
         ]
 
-    def finish_subtasks(self, ctx, inputs, parts):
+    def finish_subtasks(
+        self,
+        ctx: ExecContext,
+        inputs: Sequence[SocialContentGraph],
+        parts: list,
+    ) -> SocialContentGraph:
         start = time.perf_counter()
         result = self._merge(inputs[0], parts)
         merge_elapsed = time.perf_counter() - start
@@ -402,7 +418,9 @@ class _ScatterScanOp(PhysicalOp):
         self._record(ctx, result, slowest + merge_elapsed)
         return result
 
-    def _run(self, ctx, inputs):
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
         views = self._shard_views(ctx, inputs)
         if views is None:
             ctx.degraded.add(id(self))
@@ -458,7 +476,8 @@ class ShardedScanOp(_ScatterScanOp):
             view, self.logical.scorer,  # type: ignore[attr-defined]
         )
 
-    def _merge(self, base, parts):
+    def _merge(self, base: SocialContentGraph,
+               parts: Sequence[list]) -> SocialContentGraph:
         return union_null_graph(base, parts)
 
     def _part_card(self, part: list) -> Card:
@@ -492,7 +511,8 @@ class ShardedLinkScanOp(_ScatterScanOp):
             prune_type=self.prune_type,
         )
 
-    def _merge(self, base, parts):
+    def _merge(self, base: SocialContentGraph,
+               parts: Sequence[list]) -> SocialContentGraph:
         return union_link_subgraph(base, parts)
 
     def _part_card(self, part: list) -> Card:
@@ -524,7 +544,9 @@ class AttrIndexScanOp(PhysicalOp):
     def describe(self) -> str:
         return f"{self.logical.describe()} [attr:{self.att}={self.value!r}]"
 
-    def _run(self, ctx, inputs):
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
         from repro.core.selection import select_matching_nodes
 
         provider = ctx.attr_provider
@@ -574,7 +596,9 @@ class FusedSocialCombineOp(PhysicalOp):
     def describe(self) -> str:
         return f"combine+social⟨{self.strategy}⟩ [fused-{self.form}]"
 
-    def _run(self, ctx, inputs):
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
         from repro.core.social import fused_social_combine
 
         graph, candidates, basis = inputs
@@ -616,7 +640,9 @@ class _SocialStageOp(PhysicalOp):
     def describe(self) -> str:
         return f"social⟨{self.strategy}⟩ [{self.form}]"
 
-    def _run(self, ctx, inputs):
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
         return self.logical.compute_resolved(inputs, self.strategy)  # type: ignore[attr-defined]
 
 
@@ -668,7 +694,9 @@ class EndorsementMergeOp(_SocialStageOp):
     def form(self) -> str:  # type: ignore[override]
         return f"endorse-merge:{self.variant}"
 
-    def _run(self, ctx, inputs):
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
         from repro.core.social import encode_social_result
         from repro.indexing.endorsement import ACT_TAG, endorsement_entries
 
@@ -836,11 +864,13 @@ class PhysicalPlan:
         root: PhysicalOp,
         logical: Expr,
         source: Expr,
-        rewrites,
+        rewrites: OptimizeReport,
         stats: GraphStats,
-        key,
+        key: Any,
         decisions: tuple = (),
-        strategy_decision=None,
+        # StrategyDecision lives in the compiler, which imports this
+        # module; typing it here would close an import cycle
+        strategy_decision: Any = None,
         resolved_strategy: str | None = None,
     ):
         self.root = root
@@ -856,6 +886,9 @@ class PhysicalPlan:
         #: concrete social strategy the lowered plan runs (None when the
         #: plan has no social stage)
         self.resolved_strategy = resolved_strategy
+        #: set by the planner once this plan's first execution has fed
+        #: its actual cardinalities back to the cost model
+        self.feedback_observed = False
         self._estimated_cost: float | None = None
 
     @property
@@ -901,7 +934,7 @@ class PhysicalPlan:
         return self._estimated_cost
 
     @staticmethod
-    def _walk(op: PhysicalOp, seen: set):
+    def _walk(op: PhysicalOp, seen: set) -> Iterator[PhysicalOp]:
         if id(op) in seen:
             return
         seen.add(id(op))
@@ -970,7 +1003,7 @@ class PhysicalPlan:
         )
 
     def _profiles(self, ctx: ExecContext, op: PhysicalOp | None = None,
-                  depth: int = 0):
+                  depth: int = 0) -> Iterator[OperatorProfile]:
         op = op if op is not None else self.root
         actual, elapsed = ctx.actuals.get(id(op), (None, 0.0))
         description = op.describe()

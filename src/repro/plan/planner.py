@@ -33,7 +33,7 @@ which is how both ``Session.run`` and
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.core.expr import (
     CombineScoresE,
@@ -46,7 +46,7 @@ from repro.core.expr import (
 )
 from repro.core.graph import SocialContentGraph
 from repro.core.stats import CardinalityFeedback, GraphStats
-from repro.management.storage import shard_of
+from repro.core.partition import shard_of
 from repro.plan.cache import PlanCache, ResultMemo, shared_plan_cache
 from repro.plan.columnar import cut_columnar_views
 from repro.plan.compiler import CostModel, IndexBinding, compile_plan
@@ -174,7 +174,7 @@ class QueryPlanner:
             self._shard_views = None
             self.generation += 1
 
-    def attach_attribute_index(self, attributes) -> None:
+    def attach_attribute_index(self, attributes: Iterable[str]) -> None:
         """Declare attribute-value postings over the named attributes.
 
         The attributes come from the Data Manager's registered attribute
@@ -389,7 +389,7 @@ class QueryPlanner:
             topk=topk,
         )
         execution.cache_hit = cache_hit
-        if not getattr(plan, "feedback_observed", False):
+        if not plan.feedback_observed:
             # Feedback rides on fresh plans, not on every hot-path hit:
             # each compiled plan's first execution reports its actuals,
             # and the correction reaches the cost model at the next
@@ -487,7 +487,9 @@ class QueryPlanner:
 
     def semantic_candidates(
         self,
-        query,
+        # a parsed discovery query; typed loosely because the plan layer
+        # must not import repro.discovery (layer DAG)
+        query: Any,
         item_type: str = "item",
         scorer: Any = None,
         access: str = "auto",
@@ -507,7 +509,7 @@ class QueryPlanner:
 
     def discovery_pipeline(
         self,
-        query,
+        query: Any,
         item_type: str = "item",
         scorer: Any = None,
         strategy: str = "friends",
@@ -562,7 +564,7 @@ class QueryPlanner:
                             topk=limit)
 
 
-def _condition_type_names(condition) -> list[str]:
+def _condition_type_names(condition: Any) -> list[str]:
     """Type names a structural condition pins (feedback attribution)."""
     from repro.core.conditions import AttrEquals, HasType
 

@@ -1,0 +1,5 @@
+"""Fixture: a clean core module — no findings from any rule family."""
+
+
+def fold(values):
+    return sum(values)

@@ -1,0 +1,36 @@
+"""Fixture: a clean plan module exercising every rule's *negative* path.
+
+Downward import (layering OK), ``perf_counter`` profiling in a strict
+module (determinism OK), and a correctly disciplined lock: guarded
+writes under ``with self._lock``, the ``*_locked`` helper called only
+with the lock held (concurrency OK).
+"""
+
+import threading
+import time
+
+from app.core import fold
+
+
+def profile(values):
+    start = time.perf_counter()
+    total = fold(values)
+    return total, time.perf_counter() - start
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def _note_locked(self):
+        self.count += 1
+
+    def bump(self):
+        with self._lock:
+            self._note_locked()
+
+    def bump_twice(self):
+        with self._lock:
+            self._note_locked()
+            self._note_locked()

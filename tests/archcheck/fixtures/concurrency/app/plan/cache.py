@@ -1,0 +1,34 @@
+"""Fixture: one C001 (``*_locked`` call without the lock) and one C003
+(lock-guarded attribute written without the lock).
+
+``get``/``put`` guard ``hits``/``entries`` with ``self._lock``, which is
+what marks them lock-guarded; ``drop`` then calls the ``_locked`` helper
+bare, and ``reset`` writes ``hits`` bare.
+"""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+        self.hits = 0
+
+    def _drop_locked(self, key):
+        self.entries.pop(key, None)
+
+    def drop(self, key):
+        self._drop_locked(key)  # C001: caller does not hold self._lock
+
+    def get(self, key):
+        with self._lock:
+            self.hits += 1
+            return self.entries.get(key)
+
+    def put(self, key, value):
+        with self._lock:
+            self.entries[key] = value
+
+    def reset(self):
+        self.hits = 0  # C003: hits is lock-guarded everywhere else

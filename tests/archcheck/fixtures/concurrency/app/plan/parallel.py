@@ -1,0 +1,22 @@
+"""Fixture: a lock-order inversion across two module-level locks.
+
+``forward`` nests a_lock -> b_lock, ``backward`` nests b_lock ->
+a_lock; the lock-order graph has the two-node cycle and C002 fires.
+"""
+
+import threading
+
+a_lock = threading.Lock()
+b_lock = threading.Lock()
+
+
+def forward():
+    with a_lock:
+        with b_lock:
+            return 1
+
+
+def backward():
+    with b_lock:
+        with a_lock:
+            return 2

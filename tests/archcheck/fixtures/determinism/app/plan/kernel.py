@@ -1,0 +1,27 @@
+"""Fixture: every determinism rule in one strict-module kernel.
+
+``stamp`` reads the wall clock (D001), ``jitter`` draws from the
+process-global RNG (D002), ``plan_key`` folds ``id()`` into a key
+(D003).  ``profiled`` uses the monotonic clock and must NOT fire.
+"""
+
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()
+
+
+def plan_key(obj):
+    return ("k", id(obj))
+
+
+def profiled(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start

@@ -1,0 +1,11 @@
+"""Fixture: the core layer imports upward, completing a package cycle.
+
+Expected findings: L001 (core may not import plan) and L002 (the
+observed core -> plan -> core cycle).
+"""
+
+from app.plan import lower
+
+
+def base():
+    return lower

@@ -1,0 +1,12 @@
+"""Fixture: a legal downward import plus one into an undeclared package.
+
+Expected findings: L003 for ``app.mystery`` (no layer declared); the
+``app.core`` import is the allowed edge and must NOT be reported.
+"""
+
+import app.mystery
+from app.core import base
+
+
+def lower():
+    return base, app.mystery

@@ -1,0 +1,26 @@
+"""Fixture: the execute path mutates its *input* graph (P001).
+
+``materialize`` builds a fresh local graph and mutates that — the
+fresh-local rule must keep it silent.
+"""
+
+
+class Graph:
+    def __init__(self):
+        self.rows = []
+
+    def add_node(self, row):
+        self.rows.append(row)
+
+
+def scatter(graph, rows):
+    for row in rows:
+        graph.add_node(row)  # P001: graph is shared input, not local
+    return graph
+
+
+def materialize(rows):
+    out = Graph()
+    for row in rows:
+        out.add_node(row)  # fresh local: allowed
+    return out

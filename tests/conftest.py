@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import faulthandler
+import os
+
 import pytest
 from hypothesis import strategies as st
 
 import factories
 from repro.core import Link, Node, SocialContentGraph
+
+
+@pytest.fixture
+def deadlock_watchdog():
+    """Abort a hung thread-storm test with full stacks instead of waiting.
+
+    A lock-order inversion in the caches or the worker pool deadlocks
+    silently; CI would then sit at the job timeout with zero diagnostics.
+    ``faulthandler.dump_traceback_later`` dumps every thread's traceback
+    and kills the process once the budget elapses, so the deadlock's
+    participants are visible in the test log.  Budget is generous: it
+    only ever fires on an actual hang.
+    """
+    budget = float(os.environ.get("REPRO_DEADLOCK_BUDGET_S", "120"))
+    faulthandler.dump_traceback_later(budget, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture(autouse=True)

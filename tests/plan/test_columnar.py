@@ -38,7 +38,7 @@ from repro.plan import (
     VectorCondition,
 )
 from repro.plan.columnar import cut_columnar_views
-from repro.management.storage import shard_of
+from repro.core.partition import shard_of
 
 TOL = 1e-9
 

@@ -256,6 +256,7 @@ class TestExplainAndProfiles:
         assert execution.executor == "sequential"
         assert "[sharded×3:item*]" in execution.render()
 
+    @pytest.mark.usefixtures("deadlock_watchdog")
     def test_pooled_execution_tags_workers(self):
         graph = factories.social_site_graph(num_users=7, num_items=9)
         planner = sharded_planner(graph, 2, parallelism="force")
@@ -267,6 +268,7 @@ class TestExplainAndProfiles:
         assert workers  # at least one op ran on a named pool thread
         assert "executor=pooled" in execution.render()
 
+    @pytest.mark.usefixtures("deadlock_watchdog")
     def test_pooled_errors_propagate(self):
         from repro.errors import ExpressionError
 
@@ -275,6 +277,7 @@ class TestExplainAndProfiles:
         with pytest.raises(ExpressionError):
             planner.execute(input_graph("MISSING").select_nodes({}))
 
+    @pytest.mark.usefixtures("deadlock_watchdog")
     def test_pooled_repeats_serve_from_the_subplan_memo(self):
         # The scheduler must consult the generation memo before fanning a
         # sharded scan out — otherwise the pooled executor re-scans every
@@ -289,6 +292,7 @@ class TestExplainAndProfiles:
         assert not any(p.shard is not None for p in second.profiles)
         assert "(memo)" in second.render()
 
+    @pytest.mark.usefixtures("deadlock_watchdog")
     def test_worker_pool_accounts_tasks(self):
         pool = WorkerPool(max_workers=2)
         graph = factories.social_site_graph()

@@ -150,6 +150,7 @@ class TestProcessWideDefault:
         assert veteran.stats.plan_compiles == 2
 
 
+@pytest.mark.usefixtures("deadlock_watchdog")
 class TestConcurrency:
     def test_raw_cache_survives_a_thread_storm(self):
         cache = SharedPlanCache(maxsize=32, admit_after=2)

@@ -1,0 +1,5 @@
+"""Developer tooling that ships with the repo but not with the package.
+
+``tools.archcheck`` is the architecture linter wired into CI; run it as
+``python -m tools.archcheck src/`` from the repo root.
+"""

@@ -1,0 +1,70 @@
+"""Baseline suppressions: grandfathered findings that must ratchet down.
+
+``baseline.json`` is a list of entries, each carrying a finding
+fingerprint (see :meth:`Finding.fingerprint` — deliberately line-free)
+and a one-line reason.  Matching findings are suppressed from the
+report; entries whose fingerprint no longer matches anything are *stale*
+and reported as errors themselves, so the file can only shrink unless a
+human adds a new justified entry in review.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from tools.archcheck.findings import Finding
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    reason: str
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    if not path.is_file():
+        return []
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    entries: list[BaselineEntry] = []
+    for item in raw.get("suppressions", []):
+        if not item.get("reason", "").strip():
+            raise ValueError(
+                f"baseline entry {item.get('fingerprint')!r} has no reason; "
+                f"every suppression must say why it is acceptable"
+            )
+        entries.append(BaselineEntry(
+            fingerprint=item["fingerprint"],
+            reason=item["reason"],
+        ))
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Split findings into (active, suppressed) and surface stale entries.
+
+    Returns ``(active, suppressed, stale)``: active findings fail the
+    run, suppressed ones are reported informationally, stale baseline
+    entries (matching nothing) fail the run too — they mean the debt was
+    paid and the entry must be deleted.
+    """
+    by_fingerprint: dict[str, list[Finding]] = {}
+    for finding in findings:
+        by_fingerprint.setdefault(finding.fingerprint(), []).append(finding)
+    known = {entry.fingerprint for entry in entries}
+    active = [
+        finding for finding in findings
+        if finding.fingerprint() not in known
+    ]
+    suppressed = [
+        finding for finding in findings
+        if finding.fingerprint() in known
+    ]
+    stale = [
+        entry for entry in entries
+        if entry.fingerprint not in by_fingerprint
+    ]
+    return active, suppressed, stale

@@ -1,0 +1,553 @@
+"""Rule family C: lock discipline across the concurrent subsystems.
+
+* **C001** — a ``*_locked``-suffixed method is called without the lock:
+  the caller is neither lexically inside a ``with self._lock`` block nor
+  itself a ``*_locked`` method.  The suffix is the project's contract
+  for "I assume ``self._lock`` is already held".
+* **C002** — the extracted lock-order graph has a cycle: somewhere the
+  code acquires lock B while holding lock A, and (possibly through other
+  functions) lock A while holding lock B.  Also fires on a self-loop —
+  re-acquiring a held non-reentrant lock is an instant deadlock.
+* **C003** — a lock-guarded attribute is written without the lock.
+  Guarded attributes are *inferred*, Eraser-style, from the code itself:
+  any ``self.X`` a class ever mutates inside ``with self._lock`` (or
+  inside a ``*_locked`` method) is treated as guarded, and every other
+  mutation of it outside ``__init__`` must then hold the lock too.
+  One unguarded write to a guarded field is exactly the bug that
+  corrupts the plan caches under load.
+
+The analysis is intraprocedural per function with a call-graph closure
+for lock acquisition: ``self.method()`` resolves through the class (and
+its bases in the scanned set), bare-name calls resolve within the
+module.  Unresolvable calls (cross-module attribute calls) contribute no
+edges — the pass under-approximates rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from tools.archcheck.config import Config
+from tools.archcheck.findings import Finding, Module
+
+#: Method names treated as in-place mutations of their receiver.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "discard", "remove", "pop",
+    "popitem", "clear", "update", "setdefault", "move_to_end",
+    "appendleft", "popleft", "sort",
+})
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function facts pass 1 collects."""
+
+    qualname: str                 #: ``Class.method`` or bare function name
+    module: str
+    cls: str | None
+    is_locked_suffixed: bool
+    #: lock node ids this function acquires directly via ``with``
+    acquires: set[str] = field(default_factory=set)
+    #: callee keys (same-module resolution) for the closure
+    calls: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: str
+    bases: list[str]
+    has_own_lock: bool = False     #: ``__init__`` assigns ``self._lock``
+    #: attr → guarded (written under lock somewhere) evidence
+    guarded_attrs: set[str] = field(default_factory=set)
+    #: (attr, path, line, qualname) unguarded writes outside ``__init__``
+    unguarded_writes: list[tuple[str, str, int, str]] = field(
+        default_factory=list
+    )
+
+
+def _attr_chain(node: ast.expr) -> str | None:
+    """Dotted name of an expression (``self._lock`` → ``"self._lock"``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _lock_node_of(expr: ast.expr, scope: "_Scope") -> str | None:
+    """Stable graph-node id for an acquired lock expression, if it is one.
+
+    ``self._lock`` maps to its *defining* class (a subclass inheriting the
+    lock shares the node); module-level ``*_lock`` names map per module;
+    function-local ``*_lock`` names map per function (they are real locks
+    too — a scheduler's state lock can still participate in an
+    inversion).
+    """
+    chain = _attr_chain(expr)
+    if chain is None:
+        return None
+    if chain == "self._lock" and scope.cls is not None:
+        definer = scope.lock_definer(scope.cls)
+        return f"{scope.module}.{definer}._lock"
+    if "." not in chain and chain.endswith("_lock"):
+        if chain in scope.local_names:
+            return f"{scope.module}.{scope.qualname}.{chain}"
+        return f"{scope.module}.{chain}"
+    return None
+
+
+class _Scope:
+    """Resolution context threaded through the visitors."""
+
+    def __init__(self, module: str, cls: str | None, qualname: str,
+                 lock_definers: dict[str, str], local_names: set[str]):
+        self.module = module
+        self.cls = cls
+        self.qualname = qualname
+        self._lock_definers = lock_definers
+        self.local_names = local_names
+
+    def lock_definer(self, cls: str) -> str:
+        return self._lock_definers.get(f"{self.module}.{cls}", cls)
+
+
+def check_concurrency(modules: list[Module], config: Config) -> list[Finding]:
+    classes: dict[str, ClassInfo] = {}
+    functions: dict[str, FunctionInfo] = {}
+    findings: list[Finding] = []
+
+    # ---- pass 0: class table (lock ownership, inheritance) ----------------
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = [
+                base
+                for base in (_attr_chain(b) for b in node.bases)
+                if base is not None
+            ]
+            info = ClassInfo(name=node.name, module=module.name, bases=bases)
+            for item in node.body:
+                if (isinstance(item, ast.FunctionDef)
+                        and item.name == "__init__"):
+                    for sub in ast.walk(item):
+                        if (
+                            isinstance(sub, ast.Assign)
+                            and any(
+                                _attr_chain(t) == "self._lock"
+                                for t in sub.targets
+                            )
+                        ):
+                            info.has_own_lock = True
+            classes[f"{module.name}.{node.name}"] = info
+
+    def lock_definer(module: str, cls: str) -> str:
+        """Walk bases (same scanned set) to the class assigning _lock."""
+        seen: set[str] = set()
+        current = f"{module}.{cls}"
+        while current in classes and current not in seen:
+            seen.add(current)
+            info = classes[current]
+            if info.has_own_lock:
+                return info.name
+            next_base = None
+            for base in info.bases:
+                candidate = f"{module}.{base.split('.')[-1]}"
+                if candidate in classes:
+                    next_base = candidate
+                    break
+            if next_base is None:
+                return info.name
+            current = next_base
+        return cls
+
+    lock_definers = {
+        key: lock_definer(info.module, info.name)
+        for key, info in classes.items()
+    }
+
+    def owns_lock(module: str, cls: str) -> bool:
+        definer = lock_definers.get(f"{module}.{cls}", cls)
+        return classes.get(f"{module}.{definer}", ClassInfo(
+            name=definer, module=module, bases=[]
+        )).has_own_lock
+
+    # ---- pass 1 + rule visitors per function ------------------------------
+    #: (held lock, acquired-or-called) edges, with one example site each
+    order_edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+
+    for module in modules:
+        for cls_node, fn in _iter_functions(module.tree):
+            cls_name = cls_node.name if cls_node is not None else None
+            qualname = (
+                f"{cls_name}.{fn.name}" if cls_name is not None else fn.name
+            )
+            local_names = {
+                target.id
+                for stmt in ast.walk(fn)
+                if isinstance(stmt, ast.Assign)
+                for target in stmt.targets
+                if isinstance(target, ast.Name)
+            }
+            scope = _Scope(module.name, cls_name, qualname, lock_definers,
+                           local_names)
+            info = FunctionInfo(
+                qualname=qualname,
+                module=module.name,
+                cls=cls_name,
+                is_locked_suffixed=fn.name.endswith("_locked"),
+            )
+            functions[f"{module.name}.{qualname}"] = info
+            in_class_with_lock = (
+                cls_name is not None and owns_lock(module.name, cls_name)
+            )
+            class_guard = (
+                f"{module.name}.{scope.lock_definer(cls_name)}._lock"
+                if in_class_with_lock else None
+            )
+            visitor = _FunctionVisitor(
+                module=module,
+                scope=scope,
+                info=info,
+                class_guard=class_guard,
+                classes=classes,
+                findings=findings,
+                order_edges=order_edges,
+            )
+            held: frozenset[str] = frozenset()
+            if info.is_locked_suffixed and class_guard is not None:
+                held = frozenset({class_guard})
+            for stmt in fn.body:
+                visitor.visit_stmt(stmt, held)
+            if in_class_with_lock:
+                _record_attr_writes(
+                    module, cls_name, fn, class_guard, classes, visitor
+                )
+
+    # ---- C003: guarded attrs written without the lock ---------------------
+    for key, info in classes.items():
+        guarded = set(info.guarded_attrs)
+        # inherited guarding: a subclass mutating a base's guarded field
+        # must hold the (shared) lock too
+        for other_key, other in classes.items():
+            if other_key == key:
+                continue
+            if other.module == info.module and (
+                other.name in info.bases or info.name in other.bases
+            ):
+                guarded |= other.guarded_attrs
+        for attr, path, line, qualname in info.unguarded_writes:
+            if attr in guarded:
+                findings.append(Finding(
+                    rule="C003",
+                    path=path,
+                    line=line,
+                    symbol=qualname,
+                    message=(
+                        f"write to lock-guarded attribute self.{attr} "
+                        f"outside `with self._lock` (class {info.name} "
+                        f"guards it elsewhere)"
+                    ),
+                    detail=attr,
+                ))
+
+    # ---- C002: cycles in the lock-order graph -----------------------------
+    closure = _transitive_acquires(functions)
+    graph: dict[str, set[str]] = {}
+    edge_sites: dict[tuple[str, str], tuple[str, int, str]] = {}
+    for (held, item), site in order_edges.items():
+        if item.startswith("call:"):
+            callee = item[len("call:"):]
+            for acquired in closure.get(callee, ()):
+                graph.setdefault(held, set()).add(acquired)
+                edge_sites.setdefault((held, acquired), site)
+        else:
+            graph.setdefault(held, set()).add(item)
+            edge_sites.setdefault((held, item), site)
+    findings.extend(_lock_cycles(graph, edge_sites))
+    return findings
+
+
+def _iter_functions(tree: ast.Module):
+    """Yield (enclosing class or None, function def) pairs, nested included."""
+    def walk(node: ast.AST, cls: ast.ClassDef | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield cls, child
+                yield from walk(child, cls)
+            else:
+                yield from walk(child, cls)
+    yield from walk(tree, None)
+
+
+class _FunctionVisitor:
+    """Statement walker tracking the set of held locks lexically."""
+
+    def __init__(self, module, scope, info, class_guard, classes, findings,
+                 order_edges):
+        self.module = module
+        self.scope = scope
+        self.info = info
+        self.class_guard = class_guard
+        self.classes = classes
+        self.findings = findings
+        self.order_edges = order_edges
+
+    def visit_stmt(self, stmt: ast.stmt, held: frozenset[str]) -> None:
+        if isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            acquired: list[str] = []
+            for item in stmt.items:
+                lock = _lock_node_of(item.context_expr, self.scope)
+                if lock is not None:
+                    self.info.acquires.add(lock)
+                    for h in held:
+                        self._edge(h, lock, stmt.lineno)
+                    acquired.append(lock)
+                else:
+                    self._scan_expr(item.context_expr, held)
+            inner = held | frozenset(acquired)
+            for sub in stmt.body:
+                self.visit_stmt(sub, inner)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested defs are visited as their own functions by the driver
+            return
+        for expr in ast.iter_child_nodes(stmt):
+            if isinstance(expr, ast.stmt):
+                self.visit_stmt(expr, held)
+            else:
+                self._scan_expr(expr, held)
+
+    # -- expression scanning -------------------------------------------------
+
+    def _scan_expr(self, node: ast.AST, held: frozenset[str]) -> None:
+        for call in [n for n in ast.walk(node) if isinstance(n, ast.Call)]:
+            chain = _attr_chain(call.func)
+            if chain is None:
+                continue
+            self._check_locked_call(chain, call, held)
+            callee = self._resolve_callee(chain)
+            if callee is not None:
+                self.info.calls.add(callee)
+                for h in held:
+                    self.order_edges.setdefault(
+                        (h, f"call:{callee}"),
+                        (self.module.rel_path, call.lineno,
+                         self.scope.qualname),
+                    )
+
+    def _check_locked_call(self, chain: str, call: ast.Call,
+                           held: frozenset[str]) -> None:
+        parts = chain.split(".")
+        if not parts[-1].endswith("_locked"):
+            return
+        if parts[0] != "self":
+            return  # cross-object *_locked calls are out of contract scope
+        guard = self.class_guard
+        if guard is not None and guard in held:
+            return
+        if self.info.is_locked_suffixed:
+            return
+        self.findings.append(Finding(
+            rule="C001",
+            path=self.module.rel_path,
+            line=call.lineno,
+            symbol=self.scope.qualname,
+            message=(
+                f"call to {chain}() without holding self._lock — "
+                f"the *_locked suffix requires the caller to hold it"
+            ),
+            detail=chain,
+        ))
+
+    def _resolve_callee(self, chain: str) -> str | None:
+        parts = chain.split(".")
+        if parts[0] == "self" and len(parts) == 2 and self.scope.cls:
+            method = parts[1]
+            current = f"{self.module.name}.{self.scope.cls}"
+            seen: set[str] = set()
+            while current in self.classes and current not in seen:
+                seen.add(current)
+                candidate = f"{current}.{method}"
+                # optimistic: attribute methods resolve via the scanned MRO
+                return candidate
+            return None
+        if len(parts) == 1:
+            return f"{self.module.name}.{parts[0]}"
+        return None
+
+    def _edge(self, held: str, acquired: str, line: int) -> None:
+        if held == acquired:
+            self.findings.append(Finding(
+                rule="C002",
+                path=self.module.rel_path,
+                line=line,
+                symbol=self.scope.qualname,
+                message=(
+                    f"re-acquiring held lock {held} — non-reentrant "
+                    f"locks deadlock immediately"
+                ),
+                detail=f"{held}->{acquired}",
+            ))
+            return
+        self.order_edges.setdefault(
+            (held, acquired),
+            (self.module.rel_path, line, self.scope.qualname),
+        )
+
+
+def _record_attr_writes(module, cls_name, fn, class_guard, classes, visitor):
+    """Per-method guarded/unguarded ``self.X`` mutation evidence (C003)."""
+    info = classes[f"{module.name}.{cls_name}"]
+    in_init = fn.name == "__init__"
+
+    def mutated_attr(node: ast.AST) -> str | None:
+        """The self-attribute a statement mutates, if any."""
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                attr = _written_self_attr(target)
+                if attr is not None:
+                    return attr
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _written_self_attr(target)
+                if attr is not None:
+                    return attr
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            chain = _attr_chain(node.value.func)
+            if chain is not None:
+                parts = chain.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] == "self"
+                    and parts[2] in MUTATING_METHODS
+                ):
+                    return parts[1]
+        return None
+
+    def walk(stmt: ast.stmt, held: bool) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquires_guard = any(
+                _lock_node_of(item.context_expr, visitor.scope) == class_guard
+                for item in stmt.items
+            )
+            for sub in stmt.body:
+                walk(sub, held or acquires_guard)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        attr = mutated_attr(stmt)
+        if attr is not None and not attr.startswith("__"):
+            if held or (fn.name.endswith("_locked")):
+                info.guarded_attrs.add(attr)
+            elif not in_init:
+                info.unguarded_writes.append(
+                    (attr, module.rel_path, stmt.lineno,
+                     f"{cls_name}.{fn.name}")
+                )
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                walk(child, held)
+
+    held0 = fn.name.endswith("_locked")
+    for stmt in fn.body:
+        walk(stmt, held0)
+
+
+def _written_self_attr(target: ast.expr) -> str | None:
+    """``self.X``-rooted write target → ``X`` (depth ≤ 2: self.X.Y, self.X[k])."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            attr = _written_self_attr(element)
+            if attr is not None:
+                return attr
+        return None
+    node = target
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        inner = node.value
+        if isinstance(inner, ast.Name) and inner.id == "self":
+            return node.attr
+        if isinstance(inner, ast.Subscript):
+            inner = inner.value
+        if isinstance(inner, ast.Attribute) and isinstance(
+            inner.value, ast.Name
+        ) and inner.value.id == "self":
+            return inner.attr  # self.X.Y = / self.X[k].Y = → mutates X
+    return None
+
+
+def _transitive_acquires(
+    functions: dict[str, FunctionInfo]
+) -> dict[str, set[str]]:
+    """Fixpoint: every lock a function may acquire through its calls."""
+    closure = {key: set(info.acquires) for key, info in functions.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, info in functions.items():
+            for callee in info.calls:
+                extra = closure.get(callee)
+                if extra and not extra <= closure[key]:
+                    closure[key] |= extra
+                    changed = True
+    return closure
+
+
+def _lock_cycles(
+    graph: dict[str, set[str]],
+    edge_sites: dict[tuple[str, str], tuple[str, int, str]],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    seen_cycles: set[frozenset[str]] = set()
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[str, int] = {}
+    stack: list[str] = []
+
+    def visit(node: str) -> None:
+        color[node] = GREY
+        stack.append(node)
+        for target in sorted(graph.get(node, ())):
+            if color.get(target, WHITE) == GREY:
+                cycle = stack[stack.index(target):]
+                key = frozenset(cycle)
+                if key in seen_cycles:
+                    continue
+                seen_cycles.add(key)
+                path, line, qualname = edge_sites.get(
+                    (node, target), ("<unknown>", 0, "<unknown>")
+                )
+                findings.append(Finding(
+                    rule="C002",
+                    path=path,
+                    line=line,
+                    symbol=qualname,
+                    message=(
+                        "lock-order inversion: "
+                        + " -> ".join(cycle + [target])
+                        + " (acquired in both orders somewhere in the "
+                        "scanned set)"
+                    ),
+                    detail="->".join(sorted(key)),
+                ))
+            elif color.get(target, WHITE) == WHITE:
+                visit(target)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color.get(node, WHITE) == WHITE:
+            visit(node)
+    return findings

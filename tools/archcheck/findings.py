@@ -1,0 +1,93 @@
+"""Finding records and the module model shared by every rule family.
+
+A finding is *anchored* twice: ``line`` for humans jumping to the code,
+and a line-free :meth:`Finding.fingerprint` for the baseline file —
+moving code around must not churn grandfathered suppressions, only
+changing the violation itself should.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site."""
+
+    rule: str          #: short rule code, e.g. ``L001``
+    path: str          #: repo-relative posix path of the file
+    line: int          #: 1-based line of the offending node
+    symbol: str        #: enclosing qualname (``Class.method``) or package
+    message: str       #: human-readable description
+    detail: str = ""   #: stable discriminator when one symbol can host
+                       #: several findings of the same rule
+
+    def fingerprint(self) -> str:
+        """Line-free identity used by the baseline suppression file."""
+        return f"{self.rule}:{self.path}:{self.symbol}:{self.detail}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.rule} [{self.symbol}] "
+            f"{self.message}"
+        )
+
+
+@dataclass
+class Module:
+    """One parsed source file with the naming both rule layers need."""
+
+    path: Path          #: filesystem path
+    rel_path: str       #: repo-relative posix path (finding anchor)
+    name: str           #: dotted module name, e.g. ``repro.plan.cache``
+    tree: ast.Module = field(repr=False)
+
+    @property
+    def package(self) -> str:
+        """First dotted component below the layer root (see collector)."""
+        return self.name.split(".", 1)[0]
+
+
+def collect_modules(
+    root: Path, repo_root: Path, layer_root: str = ""
+) -> list[Module]:
+    """Parse every ``.py`` under *root* into :class:`Module` records.
+
+    Module names are dotted paths relative to *root*; when the tree is a
+    ``src`` layout and *layer_root* names the top package (``"repro"``),
+    that leading component is stripped so :attr:`Module.package` yields
+    the layer name (``plan``, ``core``, …).  The top package's own
+    modules (``repro/__init__.py``, ``repro/socialscope.py``) keep the
+    root as their package so the DAG can constrain them too.
+    """
+    modules: list[Module] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).with_suffix("")
+        parts = list(rel.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1] or [parts[0]]
+        dotted = ".".join(parts)
+        if layer_root and dotted == layer_root:
+            dotted = layer_root  # the root package's __init__ itself
+        elif layer_root and dotted.startswith(layer_root + "."):
+            remainder = dotted[len(layer_root) + 1 :]
+            # top-level modules of the root package (errors.py,
+            # socialscope.py) become their own single-module packages
+            dotted = remainder
+        try:
+            rel_to_repo = path.relative_to(repo_root)
+        except ValueError:  # scanning outside the repo (tests, tmpdirs)
+            rel_to_repo = path
+        modules.append(
+            Module(
+                path=path,
+                rel_path=rel_to_repo.as_posix(),
+                name=dotted,
+                tree=ast.parse(path.read_text(encoding="utf-8"),
+                               filename=str(path)),
+            )
+        )
+    return modules
