@@ -1,0 +1,152 @@
+"""Experiment S1 — the serving gateway under power-law load.
+
+The serving question, quantified: with many concurrent tenants replaying
+the paper's skewed traffic shape (hot queries × heavy tenants), what do
+admission control and dynamic plan-key batching buy over the naive
+one-fresh-session-per-request loop?
+
+Measured on one closed-loop run (``repro.serve.loadgen``):
+
+* end-to-end latency distribution (p50/p95/p99) through the gateway;
+* throughput vs. the sequential per-request baseline on the *same*
+  request stream prefix;
+* the batch-size histogram and the hot keys' mean batch size — the
+  direct evidence that same-plan requests actually coalesced;
+* shed rate and peak RSS.
+
+Results merge into ``BENCH_plan.json`` under ``"serve"`` (this file runs
+after ``bench_plan_compile``, which rewrites the artifact from scratch);
+``check_bench_regression.py`` gates p95/p99, peak RSS, and the
+sequential/gateway throughput ratio against committed baselines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session
+from repro.serve.loadgen import (
+    HarnessConfig,
+    LoadMix,
+    LoadMixConfig,
+    run_closed_loop,
+    run_sequential_baseline,
+)
+from repro.workloads import WorkloadConfig, build_site
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_plan.json"
+
+RESULTS: dict = {}
+
+SEED = 17
+
+
+@pytest.fixture(scope="module")
+def serve_site(quick):
+    users, items = (80, 160) if quick else (400, 800)
+    return build_site(WorkloadConfig(num_users=users, num_items=items,
+                                     seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def mix(serve_site):
+    return LoadMix.for_site(
+        serve_site.user_ids, serve_site.categories, LoadMixConfig(seed=SEED)
+    )
+
+
+def test_gateway_under_zipf_load(serve_site, mix, report, quick):
+    """The headline run: closed loop at full concurrency, then the naive
+    sequential baseline on the same stream prefix."""
+    concurrency = 16 if quick else 32
+    total = 96 if quick else 384
+    baseline_n = 16 if quick else 64
+
+    session = Session.from_graph(serve_site.graph)
+    harness = HarnessConfig(concurrency=concurrency, total_requests=total)
+    gateway_report = run_closed_loop(session, mix, harness)
+
+    # the naive serving model on the same (seeded) traffic prefix: a
+    # fresh Session per request, requests strictly in series
+    baseline_stream = mix.stream(baseline_n)
+    sequential = run_sequential_baseline(
+        session.data_manager, baseline_stream
+    )
+
+    ratio = (
+        sequential["throughput_rps"] / gateway_report.throughput_rps
+        if gateway_report.throughput_rps > 0 else float("inf")
+    )
+    RESULTS["serve"] = {
+        "concurrency": concurrency,
+        "requests": total,
+        "latency_ms": dict(gateway_report.latency_ms),
+        "throughput_rps": gateway_report.throughput_rps,
+        "sequential_rps": sequential["throughput_rps"],
+        "sequential_over_gateway": ratio,
+        "batches": gateway_report.batches,
+        "mean_batch_size": gateway_report.mean_batch_size,
+        "hot_key_mean_batch_size": gateway_report.hot_key_mean_batch_size,
+        "batch_size_histogram": {
+            str(k): v
+            for k, v in sorted(gateway_report.batch_size_histogram.items())
+        },
+        "shed_rate": gateway_report.shed_rate,
+        "peak_rss_mb": gateway_report.peak_rss_mb,
+        "plan_cache": dict(gateway_report.plan_cache),
+    }
+    latency = gateway_report.latency_ms
+    report(
+        "",
+        f"=== Serving gateway under Zipf load "
+        f"({concurrency} clients, {total} requests) ===",
+        f"  latency ms:        p50 {latency['p50']:8.2f}   "
+        f"p95 {latency['p95']:8.2f}   p99 {latency['p99']:8.2f}",
+        f"  gateway:           {gateway_report.throughput_rps:8.1f} req/s"
+        f"   ({gateway_report.batches} batches, mean size "
+        f"{gateway_report.mean_batch_size:.2f})",
+        f"  sequential:        {sequential['throughput_rps']:8.1f} req/s"
+        f"   (fresh session per request, {baseline_n} requests)",
+        f"  sequential/gateway:{ratio:8.3f}x",
+        f"  hot-key batching:  mean {gateway_report.hot_key_mean_batch_size:.2f}"
+        f"   shed {gateway_report.shed_rate:.1%}"
+        f"   peak RSS {gateway_report.peak_rss_mb:.1f} MiB",
+    )
+
+    # every request must be accounted for, in every regime
+    assert (
+        gateway_report.completed
+        + gateway_report.failed
+        + gateway_report.shed
+        == total
+    )
+    assert gateway_report.failed == 0
+    if not quick:
+        # the acceptance criteria: at >=32 concurrent in-flight requests
+        # the hot plan keys genuinely batch, and the warm batching
+        # gateway beats naive sequential serving outright
+        assert gateway_report.hot_key_mean_batch_size > 1.0
+        assert (
+            gateway_report.throughput_rps > sequential["throughput_rps"]
+        )
+
+
+def test_emit_bench_json(report, quick):
+    """Merge the serve section into BENCH_plan.json (runs last here).
+
+    ``bench_plan_compile`` rewrites the artifact wholesale; this bench
+    runs after it in the CI invocation and merges, so it also works
+    standalone (fresh file with only the serve section).
+    """
+    merged: dict = {}
+    if OUTPUT.exists():
+        merged = json.loads(OUTPUT.read_text())
+    merged.update(RESULTS)
+    merged["quick"] = bool(quick)
+    OUTPUT.write_text(json.dumps(merged, indent=2) + "\n")
+    report("", f"BENCH_plan.json serve section written: {OUTPUT}")
+    assert "serve" in merged
+    assert merged["serve"]["latency_ms"]["p95"] > 0

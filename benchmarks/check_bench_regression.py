@@ -2,12 +2,15 @@
 """Bench regression gate: fresh BENCH_plan.json vs. committed baselines.
 
 Wall-clock milliseconds do not transfer between machines, so the gate
-tracks *ratios* — columnar scan over the legacy row scan, compiled
+mostly tracks *ratios* — columnar scan over the legacy row scan, compiled
 serving over the hand-written pipeline, compiled social strategies over
-their legacy references.  Each tracked ratio must not regress past
-``baseline * tolerance`` (plus a small absolute slack, because a ratio of
-0.03 jittering to 0.05 on a busy shared runner is noise, not a
-regression).
+their legacy references, sequential serving over the batching gateway.
+The serve bench additionally gates its latency percentiles (p95/p99) and
+peak RSS directly: regime-matched baselines plus the multiplicative
+budget absorb runner variance there.  Each tracked metric must not
+regress past ``baseline * tolerance`` (plus a small absolute slack,
+because a ratio of 0.03 jittering to 0.05 on a busy shared runner is
+noise, not a regression).
 
 Baselines live in ``benchmarks/bench_baselines.json``, keyed by regime —
 ``full`` for the real corpus sizes, ``quick`` for the CI smoke workloads
@@ -38,30 +41,55 @@ ABS_SLACK = 0.05
 
 
 def tracked_metrics(results: dict) -> dict[str, float]:
-    """The machine-independent ratios the gate watches."""
+    """The metrics the gate watches.
+
+    Mostly machine-independent ratios; the serve section additionally
+    tracks its latency percentiles and peak RSS directly — those are the
+    serving gateway's acceptance surface, and the multiplicative budget
+    plus regime-matched baselines absorb runner variance.
+
+    Each section is optional: benches can run (and be gated) standalone —
+    a baseline with no fresh counterpart still fails, so a section
+    silently missing from a full run cannot slip through.
+    """
     metrics: dict[str, float] = {}
 
-    points = results["shard_sweep"]["points"]
-    legacy = next(p for p in points if not p.get("columnar", True))
-    mono = next(
-        p for p in points if p.get("columnar") and p["shards"] == 1
-    )
-    sharded = [p for p in points if p.get("columnar") and p["shards"] > 1]
-    metrics["scan.columnar_mono_over_legacy"] = (
-        mono["scan_ms"] / legacy["scan_ms"]
-    )
-    metrics["scan.columnar_sharded_over_legacy"] = (
-        min(p["scan_ms"] for p in sharded) / legacy["scan_ms"]
-    )
+    if "shard_sweep" in results:
+        points = results["shard_sweep"]["points"]
+        legacy = next(p for p in points if not p.get("columnar", True))
+        mono = next(
+            p for p in points if p.get("columnar") and p["shards"] == 1
+        )
+        sharded = [
+            p for p in points if p.get("columnar") and p["shards"] > 1
+        ]
+        metrics["scan.columnar_mono_over_legacy"] = (
+            mono["scan_ms"] / legacy["scan_ms"]
+        )
+        metrics["scan.columnar_sharded_over_legacy"] = (
+            min(p["scan_ms"] for p in sharded) / legacy["scan_ms"]
+        )
 
-    serving = results["serving"]
-    metrics["serving.compiled_over_handwritten"] = (
-        serving["compiled_ms"] / serving["handwritten_ms"]
-    )
+    if "serving" in results:
+        serving = results["serving"]
+        metrics["serving.compiled_over_handwritten"] = (
+            serving["compiled_ms"] / serving["handwritten_ms"]
+        )
 
-    for row in results["social_stage"]["strategies"]:
-        metrics[f"social.{row['strategy']}_compiled_over_legacy"] = (
-            row["compiled_ms"] / row["legacy_ms"]
+    if "social_stage" in results:
+        for row in results["social_stage"]["strategies"]:
+            metrics[f"social.{row['strategy']}_compiled_over_legacy"] = (
+                row["compiled_ms"] / row["legacy_ms"]
+            )
+
+    if "serve" in results:
+        serve = results["serve"]
+        metrics["serve.p95_ms"] = serve["latency_ms"]["p95"]
+        metrics["serve.p99_ms"] = serve["latency_ms"]["p99"]
+        metrics["serve.peak_rss_mb"] = serve["peak_rss_mb"]
+        # sequential rps / gateway rps: grows when the gateway regresses
+        metrics["serve.sequential_over_gateway"] = (
+            serve["sequential_over_gateway"]
         )
     return metrics
 

@@ -259,7 +259,67 @@ print(f"  site-wide plan cache: hits={site_cache['hits']},"
 assert site_cache["hits"] >= 1
 
 # ---------------------------------------------------------------------------
-# 6. Migration note: the classic facade still works, now session-backed.
+# 6. Serve many tenants at once: the asyncio gateway.
+# ---------------------------------------------------------------------------
+# One warm session answers one query at a time; repro.serve.ServeGateway
+# is its concurrent front door.  Tenants submit concurrently, admission
+# control sheds past-budget traffic with a typed Overloaded *value* (not
+# an exception), and requests that compile to the same plan coalesce
+# into a single Session.run_many batch — the shared plan cache compiles
+# once for the whole batch.
+import asyncio
+
+from repro.serve import (
+    AdmissionPolicy, GatewayConfig, Overloaded, ServeGateway, TenantPolicy,
+)
+
+hot = SearchRequest(user_id="u0", text="denver", k=5)
+
+
+async def serve_demo():
+    config = GatewayConfig(batch_window_s=0.05)  # wide window: demo batching
+    async with ServeGateway(sharded, config) as gateway:
+        outcomes = await asyncio.gather(
+            gateway.submit("alice", hot),
+            gateway.submit("bob", hot.replace(k=3)),        # same plan key
+            gateway.submit("carol", hot.replace(page=2)),   # same plan key
+            gateway.submit("dave", SearchRequest(user_id="u1", k=5)),
+        )
+        return outcomes, gateway.stats(), gateway.plan_cache_stats()
+
+
+outcomes, serve_stats, serve_cache = asyncio.run(serve_demo())
+assert all(o.ok for o in outcomes)
+# alice/bob/carol differ only in execution fields (k, pagination), so
+# they shared one batch; each still got their own exact response window
+assert outcomes[0].items[:3] == outcomes[1].items
+print(f"\ngateway: {serve_stats.completed} served in {serve_stats.batches}"
+      f" batches, sizes {dict(serve_stats.batch_size_histogram)},"
+      f" mean {serve_stats.mean_batch_size:.2f}")
+print(f"  site-wide plan cache through the gateway:"
+      f" hits={serve_cache['hits']} compiles={serve_cache['compiles']}")
+
+# Admission control: a tenant with an exhausted budget is shed, others
+# are untouched.  Overloaded is an outcome, not an exception.
+tight = GatewayConfig(admission=AdmissionPolicy(
+    default=TenantPolicy(capacity=2, refill_per_s=1)))
+
+
+async def overload_demo():
+    async with ServeGateway(sharded, tight) as gateway:
+        return await asyncio.gather(*(
+            gateway.submit("greedy", hot) for _ in range(4)
+        ))
+
+
+verdicts = asyncio.run(overload_demo())
+shed = [v for v in verdicts if isinstance(v, Overloaded)]
+print(f"  overload: {len(verdicts) - len(shed)} served, {len(shed)} shed"
+      f" ({shed[0].reason}, retry in {shed[0].retry_after_s:.1f}s)")
+assert len(shed) == 2 and all(v.reason == "tenant_budget" for v in shed)
+
+# ---------------------------------------------------------------------------
+# 7. Migration note: the classic facade still works, now session-backed.
 #
 #    scope = SocialScope.from_graph(graph)
 #    scope.search(1, "denver baseball", k=10)  == session.query(1)

@@ -23,6 +23,10 @@ The library implements the paper's three-layer architecture end to end:
   values, the fluent :class:`~repro.api.QueryBuilder`, and the warm
   :class:`~repro.api.Session` engine (pagination, batching, index-backed
   discovery);
+* :mod:`repro.serve` — the concurrent serving front: the asyncio
+  :class:`~repro.serve.ServeGateway` with per-tenant admission control
+  and dynamic plan-key batching, plus the closed-loop load harness
+  (:mod:`repro.serve.loadgen`);
 * :class:`repro.socialscope.SocialScope` — the stable facade over one
   session (Figure 1).
 
@@ -96,6 +100,8 @@ __all__ = [
     "SearchRequest",
     "SearchResponse",
     "QueryBuilder",
+    "ServeGateway",
+    "GatewayConfig",
     "__version__",
 ]
 
@@ -109,6 +115,8 @@ _LAZY = {
     "SearchRequest": "repro.api",
     "SearchResponse": "repro.api",
     "QueryBuilder": "repro.api",
+    "ServeGateway": "repro.serve",
+    "GatewayConfig": "repro.serve",
 }
 
 

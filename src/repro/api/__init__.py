@@ -19,6 +19,7 @@ shim over this package.
 from repro.api.builder import QueryBuilder
 from repro.api.request import (
     PageInfo,
+    RequestFailure,
     SearchRequest,
     SearchResponse,
     decode_cursor,
@@ -29,6 +30,7 @@ from repro.api.session import Session, SessionConfig, SessionStats
 __all__ = [
     "SearchRequest",
     "SearchResponse",
+    "RequestFailure",
     "PageInfo",
     "QueryBuilder",
     "Session",

@@ -143,9 +143,46 @@ class SearchResponse:
         return iter(self.page.flat)
 
     @property
+    def ok(self) -> bool:
+        """True — the batch-outcome discriminator (see RequestFailure)."""
+        return True
+
+    @property
     def groups(self) -> list[ResultGroup]:
         """The page's ranked result groups."""
         return self.page.groups
+
+
+@dataclass(frozen=True)
+class RequestFailure:
+    """One request's failure inside an error-isolating batch.
+
+    ``Session.run_many(..., isolate_errors=True)`` returns one of these in
+    place of the :class:`SearchResponse` whose evaluation raised, so a
+    single malformed request (stale cursor, unknown strategy) cannot abort
+    a batch it shares with unrelated tenants.  ``kind``/``message`` are
+    the stable, serialisable identity of the failure; the original
+    exception rides along for callers that re-raise (excluded from
+    equality — two failures match when the same request failed the same
+    way).
+    """
+
+    request: SearchRequest
+    #: exception class name, e.g. ``"QueryError"``
+    kind: str
+    message: str
+    error: Exception | None = field(default=None, compare=False, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """False — the batch-outcome discriminator (responses are truthy)."""
+        return False
+
+    def raise_(self) -> None:
+        """Re-raise the original exception (or a reconstructed one)."""
+        if self.error is not None:
+            raise self.error
+        raise QueryError(f"{self.kind}: {self.message}")
 
 
 # ---------------------------------------------------------------------------
@@ -182,6 +219,7 @@ def decode_cursor(cursor: str) -> tuple[int, int, int]:
 __all__ = [
     "SearchRequest",
     "SearchResponse",
+    "RequestFailure",
     "PageInfo",
     "encode_cursor",
     "decode_cursor",

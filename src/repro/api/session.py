@@ -44,6 +44,7 @@ from repro.analysis import ContentAnalyzer
 from repro.api.builder import QueryBuilder
 from repro.api.request import (
     PageInfo,
+    RequestFailure,
     SearchRequest,
     SearchResponse,
     decode_cursor,
@@ -357,7 +358,8 @@ class Session:
         requests: Iterable[SearchRequest],
         # anything with `.map(fn, iterable)`, e.g. a ThreadPoolExecutor
         executor: Executor | None = None,
-    ) -> list[SearchResponse]:
+        isolate_errors: bool = False,
+    ) -> list[SearchResponse | RequestFailure]:
         """Evaluate a batch against the shared warm session state.
 
         The per-session tf-idf corpus, connection state and (when any
@@ -365,6 +367,13 @@ class Session:
         before execution, so a thread-pool *executor* — anything with an
         ``executor.map(fn, iterable)`` — sees only read-only shared state.
         Responses come back in request order.
+
+        With ``isolate_errors=True`` a request whose evaluation raises
+        yields a :class:`RequestFailure` in its slot instead of aborting
+        the whole batch — the contract dynamic batching rests on, where
+        one batch mixes unrelated tenants and a stale cursor from one must
+        not poison the others.  The default (``False``) keeps the historic
+        fail-fast behavior.
         """
         batch = list(requests)
         self._ensure_fresh()
@@ -382,11 +391,28 @@ class Session:
                 _ = self.semantic_index
         with self._lock:
             self.stats.batches += 1
+        runner = self._run_isolated if isolate_errors else self._run_prepared
         if executor is None:
-            responses = [self._run_prepared(r) for r in batch]
+            responses: list[SearchResponse | RequestFailure] = [
+                runner(r) for r in batch
+            ]
         else:
-            responses = list(executor.map(self._run_prepared, batch))
+            responses = list(executor.map(runner, batch))
         return responses
+
+    def _run_isolated(
+        self, request: SearchRequest
+    ) -> SearchResponse | RequestFailure:
+        """One request under per-request error isolation (see run_many)."""
+        try:
+            return self._run_prepared(request)
+        except Exception as exc:
+            return RequestFailure(
+                request=request,
+                kind=type(exc).__name__,
+                message=str(exc),
+                error=exc,
+            )
 
     # ---------------------------------------------------------------- internals
     @staticmethod

@@ -96,6 +96,16 @@ class PermissionDeniedError(ManagementError):
         self.scope = scope
 
 
+class ServeError(SocialScopeError):
+    """Serving-gateway misuse (bad configuration, submit while stopped).
+
+    Note the *overload* outcome is not an exception: shedding is an
+    expected, typed response (:class:`repro.serve.admission.Overloaded`)
+    the gateway returns, because under heavy traffic overload is part of
+    normal operation, not a failure of the caller's code.
+    """
+
+
 class IndexError_(SocialScopeError):
     """Indexing layer failure (the trailing underscore avoids shadowing
     the builtin :class:`IndexError`)."""

@@ -1,0 +1,55 @@
+"""repro.serve — the concurrent serving front of a SocialScope site.
+
+The layers below (:mod:`repro.api` downwards) answer *one* query well;
+this package answers *many at once*: an asyncio gateway
+(:class:`ServeGateway`) that admission-controls per-tenant traffic
+(:mod:`repro.serve.admission`), coalesces concurrent same-plan requests
+into dynamic batches (:mod:`repro.serve.batching`), and executes them on
+a bounded pool with per-request error isolation.  The closed-loop load
+harness (:mod:`repro.serve.loadgen`) replays the paper's power-law
+traffic shape against it.
+"""
+
+from __future__ import annotations
+
+from repro.serve.admission import (
+    GLOBAL_DEPTH,
+    TENANT_BUDGET,
+    Admitted,
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionStats,
+    Overloaded,
+    TenantPolicy,
+)
+from repro.serve.batching import EXECUTION_ONLY_FIELDS, batch_key, describe_key
+from repro.serve.gateway import (
+    GatewayConfig,
+    GatewayStats,
+    KeyStats,
+    ServeGateway,
+    ServeOutcome,
+)
+from repro.serve.metrics import latency_summary, peak_rss_mb, percentile
+
+__all__ = [
+    "TENANT_BUDGET",
+    "GLOBAL_DEPTH",
+    "TenantPolicy",
+    "AdmissionPolicy",
+    "Overloaded",
+    "Admitted",
+    "AdmissionStats",
+    "AdmissionController",
+    "batch_key",
+    "describe_key",
+    "EXECUTION_ONLY_FIELDS",
+    "GatewayConfig",
+    "GatewayStats",
+    "KeyStats",
+    "ServeGateway",
+    "ServeOutcome",
+    "percentile",
+    "latency_summary",
+    "peak_rss_mb",
+]

@@ -1,0 +1,64 @@
+"""Dynamic-batching keys: which concurrent requests may share a batch.
+
+Two requests belong in one batch when they compile to the same physical
+plan — then the first member pays the (shared-cache) compile and every
+other member is a plan-cache hit executed over the already-primed warm
+session state.  The compiled plan's identity is a function of the query
+*shape*: the requesting user (the connection basis and social stage embed
+it), the keyword text, the structural condition, the strategy/alpha
+overrides, and the access-path preference.  Pagination (``page``,
+``page_size``, ``cursor``), the result budget ``k``, the grouping
+dimension and the ``explain`` flag are all *execution* parameters — they
+never enter the plan shape, so requests differing only in those still
+batch (each is still evaluated individually inside ``run_many``, keeping
+responses bit-identical to sequential ``Session.run``).
+
+The key is simply the request normalised to its plan-shaping fields —
+``SearchRequest`` is frozen and hashable by design, so the normalised
+request *is* the dictionary key, with no second fingerprinting scheme to
+drift out of sync with the compiler's.
+"""
+
+from __future__ import annotations
+
+from repro.api import SearchRequest
+
+#: Execution-only fields erased by normalisation (documentation + tests).
+EXECUTION_ONLY_FIELDS = (
+    "k", "grouping", "page", "page_size", "cursor", "explain",
+)
+
+
+def batch_key(request: SearchRequest) -> SearchRequest:
+    """The plan-shape identity of *request* (a normalised frozen request).
+
+    Requests with equal keys execute as one ``Session.run_many`` batch;
+    see the module docstring for which fields are erased and why.
+    """
+    return request.replace(
+        k=None,
+        grouping=None,
+        page=1,
+        page_size=None,
+        cursor=None,
+        explain=False,
+    )
+
+
+def describe_key(key: SearchRequest) -> str:
+    """A short human-readable label for one batch key (stats/reports)."""
+    parts = [f"u={key.user_id!r}"]
+    if key.text:
+        parts.append(f"text={key.text!r}")
+    if key.structural is not None:
+        parts.append(f"structural={key.structural!r}")
+    if key.strategy is not None:
+        parts.append(f"strategy={key.strategy}")
+    if key.alpha is not None:
+        parts.append(f"alpha={key.alpha:g}")
+    if key.use_index is not None:
+        parts.append(f"use_index={key.use_index}")
+    return " ".join(parts)
+
+
+__all__ = ["batch_key", "describe_key", "EXECUTION_ONLY_FIELDS"]

@@ -1,0 +1,396 @@
+"""The asyncio serving gateway: admission → dynamic batching → execution.
+
+:class:`ServeGateway` is the concurrent front door of one warm
+:class:`~repro.api.Session`.  Many logical tenants submit
+:class:`~repro.api.SearchRequest`\\ s concurrently; the gateway
+
+1. runs **admission control** (:mod:`repro.serve.admission`): per-tenant
+   spend budgets plus a global in-flight depth cap, shedding with a typed
+   :class:`~repro.serve.admission.Overloaded` outcome instead of queueing
+   unboundedly;
+2. performs **dynamic batching**: admitted requests sharing a plan key
+   (:func:`repro.serve.batching.batch_key`) within a short batching
+   window coalesce into a single ``Session.run_many`` call — the shared
+   plan cache compiles once and every other batch member is a cache hit
+   over already-primed warm state;
+3. executes batches on a bounded thread pool with **per-request error
+   isolation** (``run_many(isolate_errors=True)``): one tenant's stale
+   cursor returns that tenant a
+   :class:`~repro.api.RequestFailure`, never aborting batch-mates.
+
+Ready batches drain through a priority heap — (tenant priority class,
+arrival order) — so interactive traffic goes first when the pool is
+contended, and a batch keeps accumulating joiners while it waits for a
+pool slot.
+
+Concurrency model: ``submit`` must be called from the event loop the
+gateway was started on (the load harness and the quickstart both drive it
+with ``asyncio``; threads integrate via
+``asyncio.run_coroutine_threadsafe``).  All loop-side state (pending
+batches, the ready heap, counters) is therefore single-threaded by
+construction; the pieces shared with worker threads — the admission
+controller and the session itself — carry their own locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api import RequestFailure, SearchRequest, SearchResponse, Session
+from repro.errors import ServeError
+from repro.serve.admission import (
+    Admitted,
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionStats,
+    Overloaded,
+)
+from repro.serve.batching import batch_key, describe_key
+from repro.serve.metrics import histogram_mean
+
+#: What one submission resolves to.
+ServeOutcome = SearchResponse | RequestFailure | Overloaded
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway tunables: batching shape, execution width, admission."""
+
+    #: how long the first request of a plan key waits for batch-mates
+    batch_window_s: float = 0.004
+    #: flush a batch early once it reaches this size
+    max_batch: int = 16
+    #: worker threads — concurrent ``run_many`` batches in flight
+    max_concurrent_batches: int = 4
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+
+
+@dataclass(frozen=True)
+class KeyStats:
+    """Per-plan-key batching accounting (hot-key reporting)."""
+
+    label: str
+    requests: int
+    batches: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """One snapshot of the gateway's serving counters."""
+
+    submitted: int
+    completed: int
+    failed: int
+    shed: int
+    batches: int
+    #: batch size -> number of batches executed at that size
+    batch_size_histogram: Mapping[int, int]
+    #: per plan key: requests and batches (hot-key mean batch sizes)
+    keys: Mapping[str, KeyStats]
+    admission: AdmissionStats
+
+    @property
+    def mean_batch_size(self) -> float:
+        return histogram_mean(self.batch_size_histogram)
+
+    def hot_keys(self, n: int = 5) -> list[KeyStats]:
+        """The *n* most-requested plan keys, busiest first."""
+        ranked = sorted(
+            self.keys.values(), key=lambda ks: (-ks.requests, ks.label)
+        )
+        return ranked[:n]
+
+
+class _PendingBatch:
+    """Requests accumulating under one plan key until flush."""
+
+    __slots__ = ("key", "seq", "priority", "entries", "timer", "ready")
+
+    def __init__(self, key: SearchRequest, seq: int, priority: int):
+        self.key = key
+        self.seq = seq
+        self.priority = priority
+        #: (request, future, ticket) triples in arrival order
+        self.entries: list[
+            tuple[SearchRequest, "asyncio.Future[ServeOutcome]", Admitted]
+        ] = []
+        self.timer: asyncio.TimerHandle | None = None
+        self.ready = False
+
+    def __lt__(self, other: "_PendingBatch") -> bool:
+        return (self.priority, self.seq) < (other.priority, other.seq)
+
+
+class ServeGateway:
+    """The async serving front of one warm session (see module doc)."""
+
+    def __init__(self, session: Session, config: GatewayConfig | None = None):
+        self.session = session
+        self.config = config if config is not None else GatewayConfig()
+        if self.config.max_batch < 1:
+            raise ServeError(
+                f"max_batch must be >= 1, got {self.config.max_batch!r}"
+            )
+        if self.config.max_concurrent_batches < 1:
+            raise ServeError(
+                "max_concurrent_batches must be >= 1, got "
+                f"{self.config.max_concurrent_batches!r}"
+            )
+        self.admission = AdmissionController(self.config.admission)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._dispatcher: asyncio.Task[None] | None = None
+        self._pending: dict[SearchRequest, _PendingBatch] = {}
+        self._ready: list[_PendingBatch] = []
+        self._ready_event: asyncio.Event | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._open = 0
+        self._drained: asyncio.Event | None = None
+        self._seq = 0
+        self._running = False
+        # counters (event-loop thread only)
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._shed = 0
+        self._batches = 0
+        self._batch_sizes: dict[int, int] = {}
+        self._key_requests: dict[str, int] = {}
+        self._key_batches: dict[str, int] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind to the running loop and start the dispatcher."""
+        if self._running:
+            raise ServeError("gateway already started")
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent_batches,
+            thread_name_prefix="serve-batch",
+        )
+        self._ready_event = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.config.max_concurrent_batches)
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._running = True
+        self._dispatcher = self._loop.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight work, release the pool."""
+        if not self._running:
+            return
+        self._running = False
+        # flush every accumulating batch now — nothing new can join
+        for batch in list(self._pending.values()):
+            self._flush(batch)
+        if self._drained is not None:
+            await self._drained.wait()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "ServeGateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    # -- serving --------------------------------------------------------------
+
+    async def submit(
+        self, tenant: str, request: SearchRequest
+    ) -> ServeOutcome:
+        """One tenant's request: admitted+batched+executed, or shed.
+
+        Returns a :class:`SearchResponse` on success, a
+        :class:`RequestFailure` when this request's own evaluation raised,
+        or a typed :class:`Overloaded` when admission shed it.  Never
+        raises for per-request conditions — callers fan out thousands of
+        these concurrently and pattern-match the outcome.
+        """
+        if not self._running or self._loop is None:
+            raise ServeError("gateway is not running (use `async with`)")
+        self._submitted += 1
+        verdict = self.admission.admit(tenant)
+        if isinstance(verdict, Overloaded):
+            self._shed += 1
+            return verdict
+        future: "asyncio.Future[ServeOutcome]" = self._loop.create_future()
+        self._track_open(+1)
+        key = batch_key(request)
+        batch = self._pending.get(key)
+        if batch is None:
+            self._seq += 1
+            batch = _PendingBatch(key, self._seq, verdict.priority)
+            self._pending[key] = batch
+            batch.timer = self._loop.call_later(
+                self.config.batch_window_s, self._flush, batch
+            )
+        batch.entries.append((request, future, verdict))
+        if not batch.ready:
+            # heap ordering key — frozen once the batch is in the heap
+            batch.priority = min(batch.priority, verdict.priority)
+        if len(batch.entries) >= self.config.max_batch:
+            self._flush(batch)
+            self._retire(batch)
+        try:
+            return await future
+        finally:
+            self._track_open(-1)
+
+    # -- batching internals ---------------------------------------------------
+
+    def _track_open(self, delta: int) -> None:
+        self._open += delta
+        if self._drained is None:
+            return
+        if self._open <= 0:
+            self._drained.set()
+        else:
+            self._drained.clear()
+
+    def _flush(self, batch: _PendingBatch) -> None:
+        """Hand *batch* to the dispatcher (idempotent).
+
+        The batch stays *joinable* — it remains in the pending map, so
+        same-key arrivals keep coalescing into it while it waits for a
+        pool slot (that wait dominates the batching window under load).
+        It stops accepting joiners only when full (:meth:`_retire` at
+        ``max_batch``) or actually dispatched.
+        """
+        if batch.ready:
+            return
+        batch.ready = True
+        if batch.timer is not None:
+            batch.timer.cancel()
+        heapq.heappush(self._ready, batch)
+        if self._ready_event is not None:
+            self._ready_event.set()
+
+    def _retire(self, batch: _PendingBatch) -> None:
+        """Stop *batch* from accepting joiners (full or dispatching)."""
+        if self._pending.get(batch.key) is batch:
+            del self._pending[batch.key]
+
+    async def _dispatch_loop(self) -> None:
+        """Drain ready batches into pool slots, best priority first."""
+        assert self._ready_event is not None and self._slots is not None
+        while True:
+            await self._ready_event.wait()
+            if not self._ready:
+                self._ready_event.clear()
+                continue
+            # take a slot first: while we wait, joiners keep accumulating
+            # in *pending* batches and higher-priority batches may become
+            # ready — the pop below happens at dispatch time.
+            await self._slots.acquire()
+            if not self._ready:
+                self._slots.release()
+                self._ready_event.clear()
+                continue
+            batch = heapq.heappop(self._ready)
+            # close the joining window *now*, on the loop thread, before
+            # the executing task snapshots the entry list
+            self._retire(batch)
+            if not self._ready:
+                self._ready_event.clear()
+            assert self._loop is not None
+            self._loop.create_task(self._run_batch(batch))
+
+    async def _run_batch(self, batch: _PendingBatch) -> None:
+        """Execute one sealed batch on the pool; resolve its futures."""
+        assert self._loop is not None and self._slots is not None
+        requests = [request for request, _, _ in batch.entries]
+        try:
+            outcomes = await self._loop.run_in_executor(
+                self._executor,
+                lambda: self.session.run_many(requests, isolate_errors=True),
+            )
+        except Exception as exc:
+            # batch-level failure (e.g. refresh blew up): every member
+            # gets a failure outcome — the gateway itself stays up.
+            outcomes = [
+                RequestFailure(
+                    request=request,
+                    kind=type(exc).__name__,
+                    message=str(exc),
+                    error=exc,
+                )
+                for request in requests
+            ]
+        finally:
+            self._slots.release()
+            for _, _, ticket in batch.entries:
+                self.admission.release(ticket)
+        self._record_batch(batch, outcomes)
+        for (_, future, _), outcome in zip(batch.entries, outcomes):
+            if not future.done():
+                future.set_result(outcome)
+
+    def _record_batch(
+        self, batch: _PendingBatch, outcomes: list[SearchResponse | RequestFailure]
+    ) -> None:
+        size = len(batch.entries)
+        self._batches += 1
+        self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+        label = describe_key(batch.key)
+        self._key_requests[label] = self._key_requests.get(label, 0) + size
+        self._key_batches[label] = self._key_batches.get(label, 0) + 1
+        for outcome in outcomes:
+            if isinstance(outcome, RequestFailure):
+                self._failed += 1
+            else:
+                self._completed += 1
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> GatewayStats:
+        """A snapshot of the serving counters (loop thread)."""
+        keys = {
+            label: KeyStats(
+                label=label,
+                requests=requests,
+                batches=self._key_batches.get(label, 0),
+            )
+            for label, requests in self._key_requests.items()
+        }
+        return GatewayStats(
+            submitted=self._submitted,
+            completed=self._completed,
+            failed=self._failed,
+            shed=self._shed,
+            batches=self._batches,
+            batch_size_histogram=dict(self._batch_sizes),
+            keys=keys,
+            admission=self.admission.stats(),
+        )
+
+    def plan_cache_stats(self) -> dict[str, object]:
+        """The site-wide shared plan-cache counters (management endpoint)."""
+        return self.session.data_manager.plan_cache_stats()
+
+
+__all__ = [
+    "GatewayConfig",
+    "GatewayStats",
+    "KeyStats",
+    "ServeGateway",
+    "ServeOutcome",
+]

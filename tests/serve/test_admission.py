@@ -1,0 +1,222 @@
+"""Admission control: budgets, refill, depth cap, isolation — fake clock.
+
+Every test drives the controller with an injected clock, so budget
+exhaustion, refill, and ``retry_after_s`` hints are asserted *exactly*,
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import (
+    GLOBAL_DEPTH,
+    TENANT_BUDGET,
+    Admitted,
+    AdmissionController,
+    AdmissionPolicy,
+    Overloaded,
+    TenantPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def controller(policy: AdmissionPolicy, clock: FakeClock) -> AdmissionController:
+    return AdmissionController(policy, clock=clock)
+
+
+class TestTenantBudget:
+    def test_admits_until_capacity_then_sheds(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(default=TenantPolicy(capacity=3, refill_per_s=1)),
+            clock,
+        )
+        verdicts = [ctl.admit("t0") for _ in range(5)]
+        assert [isinstance(v, Admitted) for v in verdicts] == [
+            True, True, True, False, False,
+        ]
+        shed = verdicts[3]
+        assert isinstance(shed, Overloaded)
+        assert shed.reason == TENANT_BUDGET
+        assert shed.tenant == "t0"
+
+    def test_retry_after_matches_refill_rate(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(default=TenantPolicy(capacity=2, refill_per_s=4)),
+            clock,
+        )
+        ctl.admit("t0")
+        ctl.admit("t0")
+        shed = ctl.admit("t0")
+        assert isinstance(shed, Overloaded)
+        # 1 token missing at 4 tokens/s -> 0.25 s
+        assert shed.retry_after_s == pytest.approx(0.25)
+
+    def test_budget_refills_over_time(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(default=TenantPolicy(capacity=1, refill_per_s=2)),
+            clock,
+        )
+        assert isinstance(ctl.admit("t0"), Admitted)
+        assert isinstance(ctl.admit("t0"), Overloaded)
+        clock.advance(0.5)  # exactly one token back
+        assert isinstance(ctl.admit("t0"), Admitted)
+        assert isinstance(ctl.admit("t0"), Overloaded)
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(default=TenantPolicy(capacity=2, refill_per_s=100)),
+            clock,
+        )
+        clock.advance(60.0)  # an hour of refill does not bank past capacity
+        assert isinstance(ctl.admit("t0"), Admitted)
+        assert isinstance(ctl.admit("t0"), Admitted)
+        assert isinstance(ctl.admit("t0"), Overloaded)
+
+    def test_zero_refill_never_recovers(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(default=TenantPolicy(capacity=1, refill_per_s=0)),
+            clock,
+        )
+        assert isinstance(ctl.admit("t0"), Admitted)
+        shed = ctl.admit("t0")
+        assert isinstance(shed, Overloaded)
+        assert shed.retry_after_s == float("inf")
+
+    def test_request_cost_scales_spend(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(
+                default=TenantPolicy(capacity=4, refill_per_s=0),
+                request_cost=2.0,
+            ),
+            clock,
+        )
+        assert isinstance(ctl.admit("t0"), Admitted)
+        assert isinstance(ctl.admit("t0"), Admitted)
+        assert isinstance(ctl.admit("t0"), Overloaded)
+
+
+class TestTenantIsolation:
+    def test_one_tenants_exhaustion_leaves_others_untouched(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(default=TenantPolicy(capacity=2, refill_per_s=0)),
+            clock,
+        )
+        for _ in range(10):
+            ctl.admit("heavy")
+        assert isinstance(ctl.admit("light"), Admitted)
+        assert ctl.available_tokens("light") == pytest.approx(1.0)
+        stats = ctl.stats()
+        assert stats.per_tenant_shed["heavy"] == 8
+        assert stats.per_tenant_shed.get("light", 0) == 0
+
+    def test_per_tenant_policy_overrides_default(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(
+                default=TenantPolicy(capacity=1, refill_per_s=0),
+                tenants={"vip": TenantPolicy(
+                    capacity=5, refill_per_s=0, priority=1,
+                )},
+            ),
+            clock,
+        )
+        vip = [ctl.admit("vip") for _ in range(5)]
+        assert all(isinstance(v, Admitted) for v in vip)
+        assert all(v.priority == 1 for v in vip)
+        default = ctl.admit("other")
+        assert isinstance(default, Admitted)
+        assert default.priority == TenantPolicy().priority
+
+
+class TestGlobalDepth:
+    def test_depth_cap_sheds_everyone(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(
+                default=TenantPolicy(capacity=100, refill_per_s=0),
+                max_depth=2,
+            ),
+            clock,
+        )
+        a = ctl.admit("t0")
+        b = ctl.admit("t1")
+        shed = ctl.admit("t2")
+        assert isinstance(shed, Overloaded)
+        assert shed.reason == GLOBAL_DEPTH
+        assert ctl.depth == 2
+        ctl.release(a)
+        assert isinstance(ctl.admit("t2"), Admitted)
+        ctl.release(b)
+
+    def test_depth_shed_does_not_spend_budget(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(
+                default=TenantPolicy(capacity=1, refill_per_s=0),
+                max_depth=1,
+            ),
+            clock,
+        )
+        ticket = ctl.admit("t0")
+        assert isinstance(ticket, Admitted)
+        # t1 is shed by *depth*; its single token must survive
+        assert ctl.admit("t1").reason == GLOBAL_DEPTH
+        ctl.release(ticket)
+        assert isinstance(ctl.admit("t1"), Admitted)
+
+    def test_zero_max_depth_disables_global_cap(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(
+                default=TenantPolicy(capacity=50, refill_per_s=0),
+                max_depth=0,
+            ),
+            clock,
+        )
+        verdicts = [ctl.admit("t0") for _ in range(50)]
+        assert all(isinstance(v, Admitted) for v in verdicts)
+        assert ctl.depth == 50
+
+
+class TestStats:
+    def test_counters_and_shed_rate(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(default=TenantPolicy(capacity=3, refill_per_s=0)),
+            clock,
+        )
+        for _ in range(4):
+            ctl.admit("t0")
+        stats = ctl.stats()
+        assert stats.admitted == 3
+        assert stats.shed_budget == 1
+        assert stats.shed_depth == 0
+        assert stats.shed == 1
+        assert stats.shed_rate == pytest.approx(0.25)
+        assert stats.depth == 3
+
+    def test_unseen_tenant_reports_full_capacity(self):
+        clock = FakeClock()
+        ctl = controller(
+            AdmissionPolicy(default=TenantPolicy(capacity=7, refill_per_s=1)),
+            clock,
+        )
+        assert ctl.available_tokens("never-seen") == pytest.approx(7.0)

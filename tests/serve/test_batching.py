@@ -1,0 +1,84 @@
+"""Batch-key normalisation: exactly the plan-shaping fields survive.
+
+The key must agree with the plan compiler forever — which is why it *is*
+the request normalised to plan-shaping fields, not a parallel fingerprint.
+These tests pin the contract: every execution-only field is erased, every
+plan-shaping field separates keys.
+"""
+
+from __future__ import annotations
+
+from repro.api import SearchRequest, encode_cursor
+from repro.serve.batching import (
+    EXECUTION_ONLY_FIELDS,
+    batch_key,
+    describe_key,
+)
+from repro.workloads import ALEXIA, JOHN
+
+BASE = SearchRequest(user_id=JOHN, text="denver attractions")
+
+
+class TestExecutionFieldsErased:
+    def test_k_does_not_split_keys(self):
+        assert batch_key(BASE) == batch_key(BASE.replace(k=5))
+
+    def test_pagination_does_not_split_keys(self):
+        variants = [
+            BASE.replace(page=3),
+            BASE.replace(page_size=2),
+            BASE.replace(cursor=encode_cursor(4, 2, epoch=0)),
+        ]
+        assert {batch_key(v) for v in variants} == {batch_key(BASE)}
+
+    def test_grouping_and_explain_do_not_split_keys(self):
+        assert batch_key(BASE.replace(grouping="social")) == batch_key(BASE)
+        assert batch_key(BASE.replace(explain=True)) == batch_key(BASE)
+
+    def test_every_listed_field_is_actually_erased(self):
+        """The documented tuple and the implementation cannot drift."""
+        key = batch_key(
+            BASE.replace(
+                k=7, grouping="topical", page=2, page_size=3,
+                cursor=encode_cursor(3, 3, epoch=0), explain=True,
+            )
+        )
+        assert key == batch_key(BASE)
+        for field_name in EXECUTION_ONLY_FIELDS:
+            value = getattr(key, field_name)
+            assert value in (None, 1, False), (field_name, value)
+
+
+class TestPlanShapingFieldsKept:
+    def test_user_splits_keys(self):
+        assert batch_key(BASE) != batch_key(BASE.replace(user_id=ALEXIA))
+
+    def test_text_splits_keys(self):
+        assert batch_key(BASE) != batch_key(BASE.replace(text="museum"))
+
+    def test_overrides_split_keys(self):
+        assert batch_key(BASE) != batch_key(BASE.replace(alpha=0.5))
+        assert batch_key(BASE) != batch_key(BASE.replace(strategy="cf"))
+        assert batch_key(BASE) != batch_key(BASE.replace(use_index=False))
+
+    def test_structural_splits_keys(self):
+        structured = BASE.replace(structural={"type": "destination"})
+        assert batch_key(BASE) != batch_key(structured)
+
+    def test_key_is_hashable_and_stable(self):
+        assert hash(batch_key(BASE)) == hash(batch_key(BASE.replace(k=9)))
+        assert {batch_key(BASE): "x"}[batch_key(BASE.replace(page=2))] == "x"
+
+
+class TestDescribeKey:
+    def test_label_carries_the_shape(self):
+        key = batch_key(BASE.replace(alpha=0.25, strategy="cf"))
+        label = describe_key(key)
+        assert repr(JOHN) in label
+        assert "denver attractions" in label
+        assert "alpha=0.25" in label
+        assert "strategy=cf" in label
+
+    def test_recommendation_label_is_just_the_user(self):
+        label = describe_key(batch_key(SearchRequest(user_id=JOHN)))
+        assert label == f"u={JOHN!r}"

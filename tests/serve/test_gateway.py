@@ -1,0 +1,396 @@
+"""The serving gateway: batching parity, backpressure, fairness, storms.
+
+The non-negotiable contract is **parity**: a response served through the
+batching gateway is bit-identical (scores to 1e-9) to the same request
+run sequentially through ``Session.run`` — dynamic batching is a
+throughput optimisation, never a semantics change.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+import repro.serve.admission as admission_module
+from repro.api import (
+    RequestFailure,
+    SearchRequest,
+    SearchResponse,
+    Session,
+    encode_cursor,
+)
+from repro.errors import ServeError
+from repro.serve import (
+    GLOBAL_DEPTH,
+    TENANT_BUDGET,
+    AdmissionController,
+    AdmissionPolicy,
+    GatewayConfig,
+    Overloaded,
+    ServeGateway,
+    TenantPolicy,
+)
+from repro.workloads import ALEXIA, JOHN, TravelSiteConfig, build_travel_site
+from tools.archcheck.racetrack import RaceTracker, TracedLock
+
+
+@pytest.fixture(scope="module")
+def travel():
+    return build_travel_site(TravelSiteConfig(seed=42))
+
+
+@pytest.fixture()
+def session(travel):
+    return Session.from_graph(travel.graph)
+
+
+#: Generous budgets: these tests exercise batching, not admission.
+OPEN_ADMISSION = AdmissionPolicy(
+    default=TenantPolicy(capacity=1000.0, refill_per_s=1000.0),
+    max_depth=0,
+)
+
+
+def serve_all(
+    session: Session,
+    submissions: list[tuple[str, SearchRequest]],
+    config: GatewayConfig,
+):
+    """Submit all concurrently on one loop; return (outcomes, stats)."""
+
+    async def _run():
+        async with ServeGateway(session, config) as gateway:
+            outcomes = await asyncio.gather(*(
+                gateway.submit(tenant, request)
+                for tenant, request in submissions
+            ))
+            return outcomes, gateway.stats()
+
+    return asyncio.run(_run())
+
+
+def assert_response_parity(served: SearchResponse, solo: SearchResponse):
+    """Identical rankings, scores within 1e-9, same grouping."""
+    assert served.items == solo.items
+    served_flat = served.page.flat
+    solo_flat = solo.page.flat
+    assert [e.item_id for e in served_flat] == [e.item_id for e in solo_flat]
+    for a, b in zip(served_flat, solo_flat):
+        assert abs(a.score - b.score) <= 1e-9
+    assert (
+        [(g.label, [e.item_id for e in g.entries]) for g in served.page.groups]
+        == [(g.label, [e.item_id for e in g.entries]) for g in solo.page.groups]
+    )
+
+
+class TestBatchingParity:
+    def submissions(self) -> list[tuple[str, SearchRequest]]:
+        hot = SearchRequest(user_id=JOHN, text="Denver attractions")
+        return [
+            ("alpha", hot),
+            ("alpha", hot.replace(k=5)),           # same key: differs in k
+            ("alpha", hot.replace(page_size=3)),   # same key: pagination
+            ("beta", SearchRequest(user_id=ALEXIA, text="history")),
+            ("beta", SearchRequest(user_id=ALEXIA)),  # recommendation
+            ("alpha", hot.replace(explain=True)),  # same key: explain
+        ]
+
+    def test_batched_identical_to_sequential(self, session):
+        submissions = self.submissions()
+        solo = [session.run(request) for _, request in submissions]
+        config = GatewayConfig(
+            batch_window_s=0.05, admission=OPEN_ADMISSION
+        )
+        outcomes, stats = serve_all(session, submissions, config)
+        assert all(isinstance(o, SearchResponse) for o in outcomes)
+        for served, reference in zip(outcomes, solo):
+            assert_response_parity(served, reference)
+        # and the hot key really was batched, not served one by one
+        assert stats.batches < len(submissions)
+        assert stats.hot_keys(1)[0].mean_batch_size > 1.0
+
+    def test_same_key_requests_share_one_batch(self, session):
+        request = SearchRequest(user_id=JOHN, text="museum")
+        submissions = [(f"t{i}", request) for i in range(6)]
+        config = GatewayConfig(
+            batch_window_s=0.1, admission=OPEN_ADMISSION
+        )
+        outcomes, stats = serve_all(session, submissions, config)
+        assert all(isinstance(o, SearchResponse) for o in outcomes)
+        assert stats.batches == 1
+        assert stats.batch_size_histogram == {6: 1}
+        assert stats.mean_batch_size == pytest.approx(6.0)
+
+    def test_max_batch_flushes_early(self, session):
+        request = SearchRequest(user_id=JOHN, text="museum")
+        submissions = [(f"t{i}", request) for i in range(5)]
+        config = GatewayConfig(
+            batch_window_s=10.0, max_batch=2, admission=OPEN_ADMISSION
+        )
+        outcomes, stats = serve_all(session, submissions, config)
+        assert all(isinstance(o, SearchResponse) for o in outcomes)
+        # window is effectively infinite: only the size cap flushes, the
+        # leftover single flushes at shutdown drain
+        assert max(stats.batch_size_histogram) == 2
+        assert stats.completed == 5
+
+    def test_distinct_keys_do_not_batch(self, session):
+        submissions = [
+            ("a", SearchRequest(user_id=JOHN, text="museum")),
+            ("a", SearchRequest(user_id=JOHN, text="history")),
+            ("a", SearchRequest(user_id=ALEXIA, text="museum")),
+        ]
+        config = GatewayConfig(
+            batch_window_s=0.05, admission=OPEN_ADMISSION
+        )
+        _, stats = serve_all(session, submissions, config)
+        assert stats.batches == 3
+        assert set(stats.batch_size_histogram) == {1}
+
+
+class TestErrorIsolation:
+    def test_stale_cursor_fails_alone_in_batch(self, session):
+        good = SearchRequest(user_id=JOHN, text="denver")
+        bad = good.replace(cursor=encode_cursor(0, 5, epoch=999))
+        submissions = [("a", good), ("a", bad), ("b", good)]
+        config = GatewayConfig(
+            batch_window_s=0.05, admission=OPEN_ADMISSION
+        )
+        outcomes, stats = serve_all(session, submissions, config)
+        assert isinstance(outcomes[0], SearchResponse)
+        assert isinstance(outcomes[1], RequestFailure)
+        assert outcomes[1].kind == "QueryError"
+        assert "stale cursor" in outcomes[1].message
+        assert isinstance(outcomes[2], SearchResponse)
+        assert stats.failed == 1 and stats.completed == 2
+
+    def test_batch_level_explosion_fails_members_not_gateway(self, session):
+        config = GatewayConfig(batch_window_s=0.01, admission=OPEN_ADMISSION)
+        request = SearchRequest(user_id=JOHN, text="denver")
+
+        async def _run():
+            async with ServeGateway(session, config) as gateway:
+                original = session.run_many
+                session.run_many = lambda *a, **kw: (_ for _ in ()).throw(
+                    RuntimeError("executor blew up")
+                )
+                try:
+                    broken = await gateway.submit("a", request)
+                finally:
+                    session.run_many = original
+                healed = await gateway.submit("a", request)
+                return broken, healed
+
+        broken, healed = asyncio.run(_run())
+        assert isinstance(broken, RequestFailure)
+        assert broken.kind == "RuntimeError"
+        assert isinstance(healed, SearchResponse)  # gateway survived
+
+
+class TestAdmissionBackpressure:
+    def test_budget_exhaustion_returns_typed_overloaded(self, session):
+        policy = AdmissionPolicy(
+            default=TenantPolicy(capacity=2, refill_per_s=0), max_depth=0
+        )
+        request = SearchRequest(user_id=JOHN, text="denver")
+        submissions = [("greedy", request)] * 5
+        config = GatewayConfig(batch_window_s=0.02, admission=policy)
+        outcomes, stats = serve_all(session, submissions, config)
+        served = [o for o in outcomes if isinstance(o, SearchResponse)]
+        shed = [o for o in outcomes if isinstance(o, Overloaded)]
+        assert len(served) == 2 and len(shed) == 3
+        assert all(o.reason == TENANT_BUDGET for o in shed)
+        assert all(o.tenant == "greedy" for o in shed)
+        assert stats.shed == 3 and stats.admission.shed_budget == 3
+
+    def test_global_depth_cap_sheds_synthetic_overload(self, session):
+        policy = AdmissionPolicy(
+            default=TenantPolicy(capacity=1000, refill_per_s=1000),
+            max_depth=2,
+        )
+        request = SearchRequest(user_id=JOHN, text="denver")
+        submissions = [(f"t{i}", request) for i in range(10)]
+        config = GatewayConfig(batch_window_s=0.05, admission=policy)
+        outcomes, stats = serve_all(session, submissions, config)
+        shed = [o for o in outcomes if isinstance(o, Overloaded)]
+        assert len(shed) == 8
+        assert all(o.reason == GLOBAL_DEPTH for o in shed)
+        assert stats.admission.shed_depth == 8
+        # budgets were NOT spent on depth sheds
+        assert stats.admission.admitted == 2
+
+    def test_fairness_heavy_tenant_cannot_starve_light(self, session):
+        policy = AdmissionPolicy(
+            default=TenantPolicy(capacity=3, refill_per_s=0), max_depth=0
+        )
+        request = SearchRequest(user_id=JOHN, text="denver")
+        submissions = [("heavy", request)] * 12 + [("light", request)] * 3
+        config = GatewayConfig(batch_window_s=0.02, admission=policy)
+        outcomes, stats = serve_all(session, submissions, config)
+        light = outcomes[12:]
+        assert all(isinstance(o, SearchResponse) for o in light)
+        heavy_shed = [
+            o for o in outcomes[:12] if isinstance(o, Overloaded)
+        ]
+        assert len(heavy_shed) == 9
+        per_tenant = stats.admission.per_tenant_admitted
+        assert per_tenant == {"heavy": 3, "light": 3}
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self, session):
+        gateway = ServeGateway(session)
+
+        async def _run():
+            await gateway.submit("a", SearchRequest(user_id=JOHN))
+
+        with pytest.raises(ServeError, match="not running"):
+            asyncio.run(_run())
+
+    def test_invalid_config_rejected(self, session):
+        with pytest.raises(ServeError, match="max_batch"):
+            ServeGateway(session, GatewayConfig(max_batch=0))
+        with pytest.raises(ServeError, match="max_concurrent_batches"):
+            ServeGateway(session, GatewayConfig(max_concurrent_batches=0))
+
+    def test_double_start_raises(self, session):
+        async def _run():
+            async with ServeGateway(session) as gateway:
+                with pytest.raises(ServeError, match="already started"):
+                    await gateway.start()
+
+        asyncio.run(_run())
+
+    def test_stop_drains_pending_batches(self, session):
+        """Requests still waiting out the window complete at shutdown."""
+        request = SearchRequest(user_id=JOHN, text="denver")
+
+        async def _run():
+            gateway = ServeGateway(session, GatewayConfig(
+                batch_window_s=30.0, admission=OPEN_ADMISSION
+            ))
+            await gateway.start()
+            pending = asyncio.ensure_future(gateway.submit("a", request))
+            await asyncio.sleep(0.01)  # let it enter the batch buffer
+            await gateway.stop()
+            return await pending
+
+        outcome = asyncio.run(_run())
+        assert isinstance(outcome, SearchResponse)
+
+    def test_plan_cache_stats_management_endpoint(self, session):
+        request = SearchRequest(user_id=JOHN, text="denver")
+
+        async def _run():
+            async with ServeGateway(
+                session,
+                GatewayConfig(batch_window_s=0.01, admission=OPEN_ADMISSION),
+            ) as gateway:
+                await gateway.submit("a", request)
+                return gateway.plan_cache_stats()
+
+        stats = asyncio.run(_run())
+        assert stats == session.data_manager.plan_cache_stats()
+        assert stats["compiles"] >= 1
+
+
+class TestStorms:
+    @pytest.mark.usefixtures("deadlock_watchdog")
+    def test_threaded_submitters_against_one_loop(self, session):
+        """Thread/asyncio storm: 8 raw threads funnel submissions into the
+        gateway loop via run_coroutine_threadsafe while batches execute on
+        the worker pool — the watchdog converts any deadlock into stacks."""
+        request = SearchRequest(user_id=JOHN, text="denver")
+        per_thread = 12
+        results: list[object] = []
+        errors: list[BaseException] = []
+
+        async def _serve():
+            async with ServeGateway(session, GatewayConfig(
+                batch_window_s=0.005,
+                max_concurrent_batches=3,
+                admission=OPEN_ADMISSION,
+            )) as gateway:
+                loop = asyncio.get_running_loop()
+                started = threading.Event()
+
+                def submitter(tenant: str) -> None:
+                    started.wait()
+                    try:
+                        for _ in range(per_thread):
+                            future = asyncio.run_coroutine_threadsafe(
+                                gateway.submit(tenant, request), loop
+                            )
+                            results.append(future.result(timeout=60))
+                    except BaseException as error:  # pragma: no cover
+                        errors.append(error)
+
+                threads = [
+                    threading.Thread(target=submitter, args=(f"t{i}",))
+                    for i in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                started.set()
+                while any(t.is_alive() for t in threads):
+                    await asyncio.sleep(0.01)
+                for thread in threads:
+                    thread.join()
+                return gateway.stats()
+
+        stats = asyncio.run(_serve())
+        assert not errors
+        assert len(results) == 8 * per_thread
+        assert all(isinstance(r, SearchResponse) for r in results)
+        assert stats.completed == 8 * per_thread
+        # concurrent same-key submitters actually coalesced
+        assert stats.mean_batch_size > 1.0
+
+    @pytest.mark.usefixtures("deadlock_watchdog")
+    def test_admission_controller_storm_is_race_free(self):
+        """Lockset (Eraser) pass over the admission controller under a
+        genuine multi-thread admit/release storm: every mutable field must
+        stay consistently guarded by the controller lock."""
+        tracker = RaceTracker()
+        with tracker.trace(admission_module):
+            controller = AdmissionController(AdmissionPolicy(
+                default=TenantPolicy(capacity=40, refill_per_s=1000),
+                max_depth=64,
+            ))
+            assert isinstance(controller._lock, TracedLock)
+            tracker.monitor(controller)
+            errors: list[BaseException] = []
+
+            def worker(tenant: str) -> None:
+                try:
+                    tickets = []
+                    for i in range(150):
+                        verdict = controller.admit(tenant)
+                        if isinstance(verdict, admission_module.Admitted):
+                            tickets.append(verdict)
+                        if len(tickets) >= 4:
+                            controller.release(tickets.pop())
+                        controller.available_tokens(tenant)
+                    for ticket in tickets:
+                        controller.release(ticket)
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=worker, args=(f"t{i % 3}",))
+                for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert not errors
+        tracker.assert_race_free()
+        # the storm really contended on controller internals
+        assert any(
+            state in ("shared", "shared-modified")
+            for state in tracker.field_states().values()
+        ), tracker.field_states()

@@ -34,6 +34,7 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
         "core", "analysis", "indexing", "plan", "management",
         "discovery", "presentation", "errors",
     ),
+    "serve": ("api", "core", "management", "workloads", "errors"),
     "socialscope": (
         "api", "core", "discovery", "management", "presentation", "errors",
     ),
@@ -58,6 +59,9 @@ DEFAULT_RNG_ALLOWLIST: dict[str, str] = {
                     "reproducible for a given seed",
     "benchmarks": "bench workloads reuse the seeded generators so "
                   "BENCH_plan.json is reproducible run-to-run",
+    "serve.loadgen": "the load harness samples tenants/queries from one "
+                     "random.Random(seed) per mix; a run's request stream "
+                     "is exactly replayable (timing of course is not)",
 }
 
 #: Function-name patterns marking "this produces a cache/plan key":
