@@ -91,6 +91,14 @@ def tracked_metrics(results: dict) -> dict[str, float]:
         metrics["serve.sequential_over_gateway"] = (
             serve["sequential_over_gateway"]
         )
+
+    if "recovery" in results:
+        recovery = results["recovery"]
+        # warm first-request latency / cold first-request latency: drifts
+        # toward 1.0 when plan-cache warming stops paying for itself
+        metrics["recovery.warm_first_over_cold_first"] = (
+            recovery["warm_first_over_cold_first"]
+        )
     return metrics
 
 

@@ -319,7 +319,63 @@ print(f"  overload: {len(verdicts) - len(shed)} served, {len(shed)} shed"
 assert len(shed) == 2 and all(v.reason == "tenant_budget" for v in shed)
 
 # ---------------------------------------------------------------------------
-# 7. Migration note: the classic facade still works, now session-backed.
+# 7. Durability: save the site, kill the process, recover — warm.
+# ---------------------------------------------------------------------------
+# A site is one directory: per-shard snapshot files (CRC-verified JSON
+# lines), MANIFEST.json, and an append-only activity WAL.  Every
+# add_node/add_link/delete after enable_wal() journals before it
+# acknowledges; Session.save() checkpoints atomically and rotates the
+# log, so recovery is "load snapshot + replay the short tail".  (The
+# real kill -9 — torn WAL frame, fresh interpreter — runs in CI as
+# benchmarks/durability_smoke.py; here we just drop the session.)
+import tempfile
+from pathlib import Path
+
+from repro.errors import RestartCursorError
+
+site_dir = Path(tempfile.mkdtemp(prefix="socialscope-site-"))
+sharded.data_manager.enable_wal(site_dir / "wal")
+
+before = sharded.run(SearchRequest(user_id="u0", text="denver", k=5,
+                                   page_size=3))
+stale_cursor = before.page_info.next_cursor
+assert stale_cursor is not None  # a second page exists to come back for
+sharded.save(site_dir)
+
+# Post-checkpoint activity lands only in the WAL — exactly what a crash
+# would strand — and the "crash": the session object simply goes away.
+sharded.data_manager.add_node(Node("d-late", type="item, destination",
+                                   name="late spot", keywords="denver"))
+sharded.data_manager.wal.sync()
+del sharded
+
+# Recovery = snapshot + WAL tail.  The restore is *warm*: the manifest
+# carries the learned cardinality corrections and a plan-warming recipe
+# list, replayed through the planner — so the very first request is a
+# plan-cache hit, no compile, at learned cost.
+revived = Session.restore(site_dir)
+after = revived.run(SearchRequest(user_id="u0", text="denver", k=5,
+                                  page_size=3))
+assert list(after.items) == list(before.items)  # identical rankings
+assert "d-late" in revived.run(
+    SearchRequest(user_id="u0", text="denver", k=50)).items  # tail replayed
+assert revived.stats.plan_compiles == 0  # warm: compiled before the crash
+print(f"\nrecovered site: rankings identical, WAL tail visible,"
+      f" first request plan-cache hits={revived.stats.plan_cache_hits},"
+      f" compiles={revived.stats.plan_compiles}")
+
+# Cursors are incarnation-stamped: a token minted before the crash is
+# refused with a *typed* error (still a QueryError for old callers),
+# never silently re-windowed over a graph that may have moved on.
+try:
+    revived.run(SearchRequest(user_id="u0", text="denver",
+                              cursor=stale_cursor))
+    raise AssertionError("pre-crash cursor must not survive a restart")
+except RestartCursorError as exc:
+    print(f"  pre-crash cursor refused: {exc}")
+
+# ---------------------------------------------------------------------------
+# 8. Migration note: the classic facade still works, now session-backed.
 #
 #    scope = SocialScope.from_graph(graph)
 #    scope.search(1, "denver baseball", k=10)  == session.query(1)

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Iterator, Mapping
 
 from repro.core import Condition, Id, as_condition
-from repro.errors import QueryError
+from repro.errors import QueryError, RestartCursorError
 from repro.plan import PlanExplain
 from repro.presentation import ResultGroup, ResultPage
 
@@ -190,29 +190,53 @@ class RequestFailure:
 # ---------------------------------------------------------------------------
 
 
-def encode_cursor(offset: int, page_size: int, epoch: int) -> str:
+def encode_cursor(offset: int, page_size: int, epoch: int,
+                  boot: int = 0) -> str:
     """Pack a continuation point into an opaque url-safe token.
 
     The *epoch* records the session's refresh generation at response time;
     the engine rejects cursors minted under an earlier generation (the
-    ranking they point into no longer exists).
+    ranking they point into no longer exists).  The *boot* token records
+    the site incarnation (bumped on every restore from a snapshot): epoch
+    counters restart across a crash, so without it a pre-crash cursor
+    could alias a fresh epoch and silently page through a different
+    ranking.  Boot 0 (a never-restored site) is omitted from the payload,
+    keeping those tokens byte-identical to the pre-durability format.
     """
-    payload = json.dumps({"o": offset, "s": page_size, "e": epoch},
-                         separators=(",", ":"))
+    payload_map: dict[str, int] = {"o": offset, "s": page_size, "e": epoch}
+    if boot:
+        payload_map["b"] = boot
+    payload = json.dumps(payload_map, separators=(",", ":"))
     return base64.urlsafe_b64encode(payload.encode()).decode().rstrip("=")
 
 
-def decode_cursor(cursor: str) -> tuple[int, int, int]:
-    """Unpack (offset, page_size, epoch); raises QueryError on junk."""
+def decode_cursor(cursor: str,
+                  expected_boot: int | None = None) -> tuple[int, int, int]:
+    """Unpack (offset, page_size, epoch); raises QueryError on junk.
+
+    When *expected_boot* is given, a token minted by a different site
+    incarnation raises :class:`~repro.errors.RestartCursorError` — the
+    typed signal that the client must re-issue the query, not just
+    re-page (plain epoch staleness stays a generic
+    :class:`~repro.errors.QueryError`).
+    """
     try:
         padded = cursor + "=" * (-len(cursor) % 4)
         payload = json.loads(base64.urlsafe_b64decode(padded.encode()))
         offset, size, epoch = payload["o"], payload["s"], payload["e"]
+        boot = payload.get("b", 0)
     except Exception as exc:
         raise QueryError(f"malformed cursor {cursor!r}") from exc
     if not (isinstance(offset, int) and isinstance(size, int)
-            and isinstance(epoch, int)) or offset < 0 or size <= 0:
+            and isinstance(epoch, int) and isinstance(boot, int)) \
+            or offset < 0 or size <= 0:
         raise QueryError(f"malformed cursor {cursor!r}")
+    if expected_boot is not None and boot != expected_boot:
+        raise RestartCursorError(
+            f"cursor was minted by site incarnation {boot}, but this is "
+            f"incarnation {expected_boot} — the ranking it pages through "
+            f"did not survive the restart; re-issue the query"
+        )
     return offset, size, epoch
 
 

@@ -38,7 +38,8 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
-from typing import Iterable, NamedTuple, Sequence
+from pathlib import Path
+from typing import Any, Iterable, Mapping, NamedTuple, Sequence
 
 from repro.analysis import ContentAnalyzer
 from repro.api.builder import QueryBuilder
@@ -159,6 +160,15 @@ class Session:
         #: refresh generation — bumped whenever cached per-graph state is
         #: invalidated; embedded in cursors to detect cross-refresh paging
         self.epoch = 0
+        #: site incarnation — 0 for a freshly built session, bumped by
+        #: every :meth:`restore`; embedded in cursors so pre-crash tokens
+        #: cannot alias a restarted epoch counter
+        self.boot = 0
+        #: recently served plan shapes, recorded for cache warming:
+        #: :meth:`save` persists them and :meth:`restore` replays them
+        #: through the new session's planner so the first real request
+        #: after a restart hits an already-compiled plan
+        self._warm_recipes: list[dict[str, object]] = []
         self._dm_version = data_manager.version
         self._dirty = False
         self._semantic_index: SemanticItemIndex | None = None
@@ -202,6 +212,9 @@ class Session:
         for name in self.config.auto_analyses:
             self.analyze(name)
 
+    #: how many plan shapes :meth:`save` persists for cache warming
+    _WARM_RECIPE_CAP = 64
+
     # ------------------------------------------------------------ construction
     @classmethod
     def from_graph(
@@ -214,6 +227,124 @@ class Session:
         dm = DataManager(shards=shards)
         dm.load_graph(graph)
         return cls(dm, config)
+
+    # ------------------------------------------------------------- durability
+    def save(self, directory: str | Path) -> dict[str, Any]:
+        """Checkpoint the whole serving site into *directory*.
+
+        The data manager writes the per-shard snapshot + rotates its WAL
+        (:meth:`~repro.management.DataManager.checkpoint`); the session's
+        own state rides along in the manifest's ``extra`` mapping — the
+        refresh epoch and boot token (cursor continuity), the analysis
+        log (derivations are cheap and re-derivable, so they are re-run
+        on restore rather than snapshotted), the planner's learned
+        cardinality corrections, and the plan-cache warming recipes.
+        """
+        self._ensure_fresh()
+        with self._lock:
+            recipes = [dict(r) for r in self._warm_recipes]
+        analyses = list(dict.fromkeys(
+            entry.name for entry in self.analyzer.run_log
+        ))
+        extra: dict[str, Any] = {
+            "session": {
+                "epoch": self.epoch,
+                "boot": self.boot,
+                "analyses": analyses,
+                "warm_recipes": recipes,
+                "feedback": self.planner.feedback.export_state(),
+            }
+        }
+        return self.data_manager.checkpoint(directory, extra=extra)
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str | Path,
+        config: SessionConfig | None = None,
+        warm: bool = True,
+    ) -> "Session":
+        """Rebuild a serving session from a site snapshot (warm restart).
+
+        Recovery = snapshot + WAL-tail replay for the data, then session
+        continuity: persisted analyses re-run over the recovered graph,
+        the refresh epoch fast-forwards (never backwards), the boot token
+        bumps so cursors minted by the dead incarnation are rejected with
+        a typed :class:`~repro.errors.RestartCursorError`, the learned
+        cardinality-feedback table reloads, and — under ``warm`` — the
+        persisted plan shapes recompile through this session's planner so
+        the first real request is served at learned-cost speed.
+        """
+        dm, report = DataManager.recover(directory)
+        session = cls(dm, config)
+        state = report.extra.get("session", {})
+        for name in state.get("analyses", ()):
+            session.analyze(name)
+        session._ensure_fresh()
+        session.epoch = max(session.epoch, int(state.get("epoch", 0)))
+        session.boot = int(state.get("boot", 0)) + 1
+        feedback = state.get("feedback")
+        if feedback:
+            session.planner.feedback.load_state(feedback)
+        if warm:
+            session._replay_recipes(state.get("warm_recipes", ()))
+        return session
+
+    def _record_recipe_locked(self, request: SearchRequest) -> None:
+        """Remember a served plan shape for post-restart cache warming.
+
+        Only structural-free shapes are recorded (a structural
+        :class:`~repro.core.Condition` has no stable JSON identity) and
+        only JSON-clean user ids; repeats move to the back of the list so
+        the cap keeps the most recently served shapes.  Caller holds the
+        session lock.
+        """
+        if request.structural is not None:
+            return
+        if not isinstance(request.user_id, (str, int)):
+            return
+        recipe: dict[str, Any] = {
+            "user_id": request.user_id,
+            "text": request.text,
+            "strategy": request.strategy,
+            "alpha": request.alpha,
+            "k": request.k,
+            "use_index": request.use_index,
+        }
+        if recipe in self._warm_recipes:
+            self._warm_recipes.remove(recipe)
+        self._warm_recipes.append(recipe)
+        del self._warm_recipes[:-self._WARM_RECIPE_CAP]
+
+    def _replay_recipes(
+        self, recipes: Iterable[Mapping[str, Any]]
+    ) -> None:
+        """Compile persisted plan shapes through this session's planner.
+
+        The shared plan cache anchors entries to the serving graph
+        *object*, which did not survive the restart — warming therefore
+        re-evaluates each recorded shape here, recompiling it into the
+        cache under this session's namespace (with the feedback table
+        already loaded, so the plans carry learned costs).  Best-effort:
+        a recipe that no longer evaluates (user deleted mid-WAL, say) is
+        skipped, never fatal.
+        """
+        kept = [dict(r) for r in recipes][-self._WARM_RECIPE_CAP:]
+        with self._lock:
+            self._warm_recipes = kept
+        for recipe in kept:
+            try:
+                request = SearchRequest(
+                    user_id=recipe["user_id"],
+                    text=str(recipe.get("text") or ""),
+                    strategy=recipe.get("strategy"),
+                    alpha=recipe.get("alpha"),
+                    k=recipe.get("k"),
+                    use_index=recipe.get("use_index"),
+                )
+                self._evaluate(request)
+            except Exception:
+                continue
 
     # ---------------------------------------------------------------- content
     @property
@@ -446,7 +577,9 @@ class Session:
                   else self.config.discovery.max_results)
         )
         if request.cursor is not None:
-            offset, cursor_size, epoch = decode_cursor(request.cursor)
+            offset, cursor_size, epoch = decode_cursor(
+                request.cursor, expected_boot=self.boot
+            )
             if epoch != self.epoch:
                 raise QueryError(
                     f"stale cursor: issued at refresh epoch {epoch}, "
@@ -525,7 +658,7 @@ class Session:
         )
         end = offset + len(window)
         next_cursor = (
-            encode_cursor(end, size, self.epoch)
+            encode_cursor(end, size, self.epoch, boot=self.boot)
             if end < total else None
         )
         info = PageInfo(
@@ -537,6 +670,7 @@ class Session:
             next_cursor=next_cursor,
         )
         with self._lock:
+            self._record_recipe_locked(request)
             self.stats.queries += 1
             if index_used:
                 self.stats.index_queries += 1

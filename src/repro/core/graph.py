@@ -359,6 +359,23 @@ class SocialContentGraph:
         """
         return self._mutations
 
+    def advance_mutation_epoch(self, floor: int) -> None:
+        """Fast-forward the write counter to at least *floor*.
+
+        Recovery continuity: a graph rebuilt from a snapshot starts its
+        counter at the number of records replayed into it, which can fall
+        *below* the pre-crash value — any derived state stamped with
+        ``(generation, mutation_epoch)`` that outlived the process (or a
+        recovered peer's) could then alias a fresh epoch.  The recovery
+        path fast-forwards past the persisted pre-crash epoch so stamps
+        stay monotone across restarts.  The counter never moves backwards.
+        """
+        if floor < 0:
+            raise GraphError(
+                f"mutation epoch floor must be non-negative, got {floor!r}"
+            )
+        self._mutations = max(self._mutations, floor)
+
     # ------------------------------------------------------------------
     # Construction / mutation
     # ------------------------------------------------------------------

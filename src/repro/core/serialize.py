@@ -12,22 +12,64 @@ the Data Manager — and library users — a portable on-disk format:
 
 Round-tripping preserves ids, endpoints and attribute *value sets*
 (multi-valued attributes keep their stored order).  Non-JSON scalar types
-are rejected loudly rather than silently coerced.
+are rejected loudly rather than silently coerced — including the
+non-finite floats (``nan``/``inf``) that ``json.dump`` would otherwise
+happily write as bare ``NaN``/``Infinity`` tokens no strict JSON parser
+(our own recovery path included) can read back.
+
+Envelope v2 extends v1 for the durability layer
+(:mod:`repro.management.persist`): headers may carry an opaque ``meta``
+mapping and records may carry extra fields (provenance ``origin``, WAL
+sequence numbers).  Readers accept both versions — v1 files load
+unchanged.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import Any, IO, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.core.graph import Link, Node, SocialContentGraph
 from repro.errors import GraphError
 
 #: Format version written into every envelope.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions the readers accept (v1 lacked header meta / record extras).
+SUPPORTED_VERSIONS = (1, 2)
 
 _JSON_SCALARS = (str, int, float, bool)
+
+
+def _reject_constant(token: str) -> float:
+    raise GraphError(
+        f"non-finite JSON constant {token!r} in input — socialscope "
+        f"documents are strict JSON (written with allow_nan=False)"
+    )
+
+
+def dumps_strict(payload: Any, **kw: Any) -> str:
+    """``json.dumps`` with non-finite floats rejected, not miswritten.
+
+    The stdlib default (``allow_nan=True``) emits ``NaN``/``Infinity``
+    literals that are not JSON; every writer in this module (and the WAL
+    framing built on it) goes through here so a poisoned attribute value
+    fails at *write* time with a clear error instead of corrupting a
+    snapshot that recovery chokes on later.
+    """
+    try:
+        return json.dumps(payload, allow_nan=False, **kw)
+    except ValueError as exc:
+        raise GraphError(
+            f"payload holds a non-finite float (nan/inf): {exc}"
+        ) from exc
+
+
+def loads_strict(text: str) -> Any:
+    """``json.loads`` that refuses ``NaN``/``Infinity`` written by others."""
+    return json.loads(text, parse_constant=_reject_constant)
 
 
 def _check_values(owner: str, attrs: dict) -> None:
@@ -38,6 +80,11 @@ def _check_values(owner: str, attrs: dict) -> None:
                     f"{owner}: attribute {att!r} holds non-JSON value "
                     f"{value!r} ({type(value).__name__})"
                 )
+            if isinstance(value, float) and not math.isfinite(value):
+                raise GraphError(
+                    f"{owner}: attribute {att!r} holds non-finite float "
+                    f"{value!r} — nan/inf are not JSON values"
+                )
 
 
 def node_to_dict(node: Node) -> dict[str, Any]:
@@ -47,7 +94,7 @@ def node_to_dict(node: Node) -> dict[str, Any]:
 
 
 def node_from_dict(payload: dict[str, Any]) -> Node:
-    """Inverse of :func:`node_to_dict`."""
+    """Inverse of :func:`node_to_dict` (extra v2 fields are ignored)."""
     return Node(payload["id"], payload.get("attrs", {}))
 
 
@@ -63,7 +110,7 @@ def link_to_dict(link: Link) -> dict[str, Any]:
 
 
 def link_from_dict(payload: dict[str, Any]) -> Link:
-    """Inverse of :func:`link_to_dict`."""
+    """Inverse of :func:`link_to_dict` (extra v2 fields are ignored)."""
     return Link(
         payload["id"], payload["src"], payload["tgt"], payload.get("attrs", {})
     )
@@ -85,10 +132,10 @@ def graph_from_dict(payload: dict[str, Any]) -> SocialContentGraph:
     """Inverse of :func:`graph_to_dict` (validates the envelope)."""
     if payload.get("format") != "socialscope-graph":
         raise GraphError("not a socialscope-graph document")
-    if payload.get("version") != FORMAT_VERSION:
+    if payload.get("version") not in SUPPORTED_VERSIONS:
         raise GraphError(
             f"unsupported format version {payload.get('version')!r} "
-            f"(this build reads {FORMAT_VERSION})"
+            f"(this build reads {SUPPORTED_VERSIONS})"
         )
     graph = SocialContentGraph()
     for node_payload in payload.get("nodes", ()):
@@ -105,17 +152,28 @@ def graph_from_dict(payload: dict[str, Any]) -> SocialContentGraph:
 
 def dump_json(graph: SocialContentGraph, path: str | Path) -> None:
     """Write the graph as one JSON document."""
-    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=1))
+    Path(path).write_text(dumps_strict(graph_to_dict(graph), indent=1))
 
 
 def load_json(path: str | Path) -> SocialContentGraph:
     """Read a graph written by :func:`dump_json`."""
-    return graph_from_dict(json.loads(Path(path).read_text()))
+    return graph_from_dict(loads_strict(Path(path).read_text()))
+
+
+def jsonl_header(meta: dict[str, Any] | None = None) -> dict[str, Any]:
+    """The v2 JSON-lines header record (optionally carrying *meta*)."""
+    header: dict[str, Any] = {
+        "kind": "header",
+        "format": "socialscope-graph",
+        "version": FORMAT_VERSION,
+    }
+    if meta:
+        header["meta"] = meta
+    return header
 
 
 def _jsonl_records(graph: SocialContentGraph) -> Iterator[dict[str, Any]]:
-    yield {"kind": "header", "format": "socialscope-graph",
-           "version": FORMAT_VERSION}
+    yield jsonl_header()
     for node in sorted(graph.nodes(), key=lambda n: repr(n.id)):
         yield {"kind": "node", **node_to_dict(node)}
     for link in sorted(graph.links(), key=lambda l: repr(l.id)):
@@ -126,15 +184,21 @@ def dump_jsonl(graph: SocialContentGraph, path: str | Path) -> None:
     """Write the graph as JSON-lines (header + one record per element)."""
     with open(path, "w") as handle:
         for record in _jsonl_records(graph):
-            handle.write(json.dumps(record) + "\n")
+            handle.write(dumps_strict(record) + "\n")
 
 
-def load_jsonl(path: str | Path) -> SocialContentGraph:
+def load_jsonl(
+    path: str | Path,
+    on_header: Callable[[dict[str, Any]], None] | None = None,
+    on_record: Callable[[dict[str, Any]], None] | None = None,
+) -> SocialContentGraph:
     """Read a graph written by :func:`dump_jsonl`.
 
     Nodes must precede the links that reference them (the writer
     guarantees this; foreign writers get a clear DanglingLinkError
-    otherwise).
+    otherwise).  The durability layer hooks *on_header* (manifest meta)
+    and *on_record* (v2 extras such as per-record ``origin``) to recover
+    what the plain graph codec does not model.
     """
     graph = SocialContentGraph()
     with open(path) as handle:
@@ -142,18 +206,24 @@ def load_jsonl(path: str | Path) -> SocialContentGraph:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            record = loads_strict(line)
             kind = record.get("kind")
             if kind == "header":
-                if record.get("version") != FORMAT_VERSION:
+                if record.get("version") not in SUPPORTED_VERSIONS:
                     raise GraphError(
                         f"line {line_no}: unsupported version "
                         f"{record.get('version')!r}"
                     )
+                if on_header is not None:
+                    on_header(record)
             elif kind == "node":
                 graph.add_node(node_from_dict(record))
+                if on_record is not None:
+                    on_record(record)
             elif kind == "link":
                 graph.add_link(link_from_dict(record))
+                if on_record is not None:
+                    on_record(record)
             else:
                 raise GraphError(f"line {line_no}: unknown record kind {kind!r}")
     return graph

@@ -98,6 +98,52 @@ class CardinalityFeedback:
         with self._lock:
             self._factors.clear()
 
+    # -- persistence --------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """The learned corrections as a JSON-ready document.
+
+        Keys are flat tuples of JSON scalars (``("term", t)``,
+        ``("type", name, of_links)``, …), encoded as lists; a key holding
+        a non-JSON value (possible for exotic ``attr_key`` values) is
+        skipped rather than failing the whole export — losing one learned
+        factor costs a few cold estimates, losing the snapshot costs the
+        site.  The inverse is :meth:`load_state`.
+        """
+        with self._lock:
+            factors = dict(self._factors)
+            observations = self._observations
+        entries = []
+        for key, factor in sorted(factors.items(), key=repr):
+            if isinstance(key, tuple) and all(
+                isinstance(part, (str, int, float, bool)) for part in key
+            ):
+                entries.append([list(key), factor])
+        return {
+            "max_correction": self.max_correction,
+            "smoothing": self.smoothing,
+            "observations": observations,
+            "factors": entries,
+        }
+
+    def load_state(self, state: dict) -> int:
+        """Restore a table exported by :meth:`export_state`.
+
+        Factors are re-clamped under *this* instance's ``max_correction``
+        (the persisted table may come from a laxer configuration) and
+        replace any current entries key by key.  Returns the number of
+        factors restored; the observation count carries over so a
+        restarted site reports how much evidence its model rests on.
+        """
+        loaded = 0
+        with self._lock:
+            for entry in state.get("factors", ()):
+                key_parts, factor = entry
+                self._factors[tuple(key_parts)] = self._clamp(float(factor))
+                loaded += 1
+            self._observations += int(state.get("observations", 0))
+        return loaded
+
     @staticmethod
     def term_key(term: str) -> tuple:
         """Correction key for one keyword term's selectivity."""

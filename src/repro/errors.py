@@ -76,12 +76,35 @@ class QueryError(SocialScopeError):
     """A user query is malformed or cannot be interpreted."""
 
 
+class RestartCursorError(QueryError):
+    """A pagination cursor was minted by a previous site incarnation.
+
+    Cursors embed the refresh epoch *and* a boot token (the store's
+    restart generation).  After recovery the epoch counters continue from
+    the persisted values, but a cursor minted before the restart points
+    into a ranking computed by a process that no longer exists — it is
+    rejected with this typed error so clients can distinguish "re-page
+    from the start" (here) from a mid-session refresh
+    (``QueryError: stale cursor``)."""
+
+
 class DiscoveryError(SocialScopeError):
     """The Information Discovery layer could not produce an MSG."""
 
 
 class ManagementError(SocialScopeError):
     """Content Management layer failure (storage, integration, sync)."""
+
+
+class PersistenceError(ManagementError):
+    """Durable-storage failure: unreadable snapshot, bad manifest, version
+    or checksum mismatch."""
+
+
+class WalCorruptedError(PersistenceError):
+    """A write-ahead-log segment holds a corrupt record *before* valid
+    ones — not a torn tail (torn tails truncate cleanly on recovery),
+    but mid-file damage recovery must not paper over."""
 
 
 class PermissionDeniedError(ManagementError):

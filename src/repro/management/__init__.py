@@ -13,6 +13,13 @@ from repro.management.activity import (
 )
 from repro.management.datamanager import DataManager
 from repro.management.integrator import ContentIntegrator, IntegrationReport
+from repro.management.persist import (
+    RecoveredSite,
+    read_manifest,
+    recover_data_manager,
+    snapshot_graph,
+    write_snapshot,
+)
 from repro.management.models import (
     ModelOutcome,
     Scenario,
@@ -41,6 +48,12 @@ from repro.management.storage import (
     shard_of,
 )
 from repro.management.sync import SyncMetrics, SyncScheduler, uniform_profiles
+from repro.management.wal import (
+    WalTail,
+    WalWriter,
+    read_wal,
+    truncate_torn_tail,
+)
 
 __all__ = [
     "GraphStore", "PartitionedGraphStore", "StoreStats", "shard_of",
@@ -54,4 +67,7 @@ __all__ = [
     "run_open_cartel", "run_all_models",
     "ActivityManager", "ActivityCategory", "UserActivityProfile",
     "SyncScheduler", "SyncMetrics", "uniform_profiles",
+    "WalWriter", "WalTail", "read_wal", "truncate_torn_tail",
+    "RecoveredSite", "write_snapshot", "recover_data_manager",
+    "read_manifest", "snapshot_graph",
 ]

@@ -14,9 +14,11 @@ activity manager + scheduler) for externally-integrated data.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
 
 from repro.core import Id, Link, Node, SocialContentGraph
-from repro.core.stats import GraphStats
+from repro.core.serialize import link_to_dict, node_to_dict
 from repro.management.activity import ActivityManager, UserActivityProfile
 from repro.management.integrator import ContentIntegrator, IntegrationReport
 from repro.management.remote import RemoteSocialSite
@@ -27,6 +29,14 @@ from repro.management.storage import (
     PartitionedGraphStore,
 )
 from repro.management.sync import SyncScheduler
+from repro.management.wal import (
+    OP_DEL_LINK,
+    OP_DEL_NODE,
+    OP_LINK,
+    OP_NODE,
+    WalWriter,
+)
+from repro.core.stats import GraphStats
 
 
 class DataManager:
@@ -55,6 +65,12 @@ class DataManager:
         self.activity_manager = ActivityManager()
         self._snapshot_cache: SocialContentGraph | None = None
         self._version = 0
+        #: optional write-ahead log; once attached, every logical write
+        #: (loads, upserts, deletes) appends an activity record before
+        #: the call returns — recovery replays these past the snapshot
+        self._wal: WalWriter | None = None
+        #: high watermark: the WAL seq of the last write reflected here
+        self._applied_seq = 0
 
     @property
     def num_shards(self) -> int:
@@ -75,24 +91,119 @@ class DataManager:
         self._snapshot_cache = None
         self._version += 1
 
+    # ------------------------------------------------------------ durability
+    @property
+    def wal(self) -> WalWriter | None:
+        """The attached write-ahead log (None = in-memory only)."""
+        return self._wal
+
+    @property
+    def applied_seq(self) -> int:
+        """WAL seq of the last write this store reflects (0 = none)."""
+        return self._applied_seq
+
+    def attach_wal(self, wal: WalWriter) -> None:
+        """Journal every subsequent logical write through *wal*.
+
+        Writes already in the store are *not* retro-logged — they are the
+        snapshot's job (:meth:`checkpoint`).  Integration pulls
+        (:meth:`attach_remote`) write through the integrator below this
+        facade and are likewise captured by the next checkpoint, not the
+        log.
+        """
+        self._wal = wal
+
+    def enable_wal(self, directory: str | Path, **kw: Any) -> WalWriter:
+        """Attach a fresh :class:`WalWriter` under *directory* (convenience).
+
+        The writer continues after this store's current watermark, so a
+        manager recovered with ``resume_wal=False`` can re-enable
+        journaling without re-numbering history.
+        """
+        wal = WalWriter(directory, next_seq=self._applied_seq + 1, **kw)
+        self.attach_wal(wal)
+        return wal
+
+    def _log(self, op: str, payload: dict[str, Any]) -> None:
+        if self._wal is not None:
+            self._applied_seq = self._wal.append(op, payload)
+
+    def checkpoint(
+        self, directory: str | Path, extra: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Write a recoverable site snapshot into *directory*.
+
+        Durability order: the attached WAL (if any) is fsynced first, so
+        the manifest's ``applied_seq`` watermark never references records
+        the disk does not hold; the snapshot files commit atomically
+        (manifest last); then the WAL rotates and segments fully covered
+        by the snapshot are pruned.  ``extra`` rides along in the
+        manifest for the upper layers (see
+        :meth:`repro.api.Session.save`).
+        """
+        from repro.management import persist
+
+        if self._wal is not None:
+            self._wal.sync()
+        manifest = persist.write_snapshot(self, directory, extra=extra)
+        if self._wal is not None:
+            self._wal.rotate()
+            persist.walmod.prune_segments(
+                self._wal.directory, self._applied_seq
+            )
+        return manifest
+
+    @classmethod
+    def recover(
+        cls, directory: str | Path, *, resume_wal: bool = True
+    ) -> "tuple[DataManager, Any]":
+        """Rebuild a manager from a site snapshot + WAL tail.
+
+        Returns ``(manager, report)`` where the report carries the
+        manifest, the replayed-record count and whether a torn tail was
+        truncated (see
+        :func:`repro.management.persist.recover_data_manager`).
+        """
+        from repro.management import persist
+
+        return persist.recover_data_manager(directory, resume_wal=resume_wal)
+
     # ------------------------------------------------------------------ load
     def load_graph(self, graph: SocialContentGraph, origin: str = LOCAL) -> None:
         """Bulk-load a logical graph into the store under one origin."""
         for node in graph.nodes():
             self.store.upsert_node(node, origin=origin)
+            self._log(OP_NODE, {**node_to_dict(node), "origin": origin})
         for link in graph.links():
             self.store.upsert_link(link, origin=origin)
+            self._log(OP_LINK, {**link_to_dict(link), "origin": origin})
         self._mark_changed()
 
     def add_node(self, node: Node, origin: str = LOCAL) -> Node:
         """Insert/update one node."""
         self._mark_changed()
-        return self.store.upsert_node(node, origin=origin)
+        stored = self.store.upsert_node(node, origin=origin)
+        self._log(OP_NODE, {**node_to_dict(stored), "origin": origin})
+        return stored
 
     def add_link(self, link: Link, origin: str = LOCAL) -> Link:
         """Insert/update one link."""
         self._mark_changed()
-        return self.store.upsert_link(link, origin=origin)
+        stored = self.store.upsert_link(link, origin=origin)
+        self._log(OP_LINK, {**link_to_dict(stored), "origin": origin})
+        return stored
+
+    def delete_node(self, node_id: Id) -> None:
+        """Remove a node (incident links cascade, exactly as on replay)."""
+        self.store.delete_node(node_id)
+        self._log(OP_DEL_NODE, {"id": node_id})
+        self._mark_changed()
+
+    def delete_link(self, link_id: Id) -> None:
+        """Remove one link."""
+        self.store.delete_link(link_id)
+        self._log(OP_DEL_LINK, {"id": link_id})
+        self._mark_changed()
 
     def merge_derived(self, derived: SocialContentGraph) -> None:
         """Union a Content Analyzer derivation into the store."""

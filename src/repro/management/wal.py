@@ -1,0 +1,366 @@
+"""The activity write-ahead log: CRC-framed, segment-rotated, replayable.
+
+Social content sites are write-heavy — votes, tags and comments arrive
+continuously (PAPERS.md: Lerman's social-browsing measurements), so the
+durability story cannot be "reload last night's snapshot": recovery is
+*snapshot + replay the activity tail*.  This module is that tail.
+
+Format
+------
+
+One record per line::
+
+    <crc32 of payload, 8 hex chars> <compact JSON payload>\\n
+
+The payload always carries a monotone ``"seq"`` (assigned by the writer)
+and an ``"op"`` (``node`` / ``link`` / ``del_node`` / ``del_link``); the
+rest is the record codec from :mod:`repro.core.serialize` plus the
+record's provenance ``origin``.  Strict JSON throughout
+(:func:`repro.core.serialize.dumps_strict`) — a non-finite float fails at
+append time, never at recovery time.
+
+Segments are named ``wal-<start seq, 12 digits>.log`` and rotate once
+they pass ``segment_max_bytes``; rotation fsyncs the finished segment
+(and the directory entry) before the next one opens, so a rotated
+segment is durable in order.  ``sync()`` fsyncs the active segment —
+checkpoints call it so the manifest never references records the disk
+does not hold.
+
+Recovery (:func:`read_wal`) distinguishes two kinds of damage:
+
+* a **torn tail** — the last record(s) of the final segment are partial
+  or fail their CRC, with no valid record after them: the crash landed
+  mid-append.  The tail is reported (and optionally truncated away) and
+  replay proceeds with everything before it;
+* **mid-log corruption** — a bad record *followed by* valid ones, or
+  damage in a non-final segment: that is not a crash artifact, and
+  recovery refuses with :class:`~repro.errors.WalCorruptedError` rather
+  than silently dropping acknowledged writes.
+
+Replay is idempotent by construction: every record carries its ``seq``
+and appliers skip records at or below the store's ``applied_seq`` high
+watermark, so replaying a segment twice (or replaying records the
+snapshot already covers) is a no-op.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.core.serialize import dumps_strict, loads_strict
+from repro.errors import PersistenceError, WalCorruptedError
+
+#: Operation tags one WAL record can carry.
+OP_NODE = "node"
+OP_LINK = "link"
+OP_DEL_NODE = "del_node"
+OP_DEL_LINK = "del_link"
+
+OPS = (OP_NODE, OP_LINK, OP_DEL_NODE, OP_DEL_LINK)
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+
+
+def segment_name(start_seq: int) -> str:
+    """The file name of the segment whose first record is *start_seq*."""
+    return f"{_SEGMENT_PREFIX}{start_seq:012d}{_SEGMENT_SUFFIX}"
+
+
+def list_segments(directory: str | Path) -> list[Path]:
+    """All WAL segments under *directory*, in seq order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        p for p in directory.iterdir()
+        if p.name.startswith(_SEGMENT_PREFIX)
+        and p.name.endswith(_SEGMENT_SUFFIX)
+    )
+
+
+def frame_record(payload: dict[str, Any]) -> str:
+    """One CRC-framed WAL line (newline included)."""
+    body = dumps_strict(payload, separators=(",", ":"), sort_keys=True)
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {body}\n"
+
+
+def unframe_record(line: str) -> dict[str, Any] | None:
+    """Parse one framed line; ``None`` when the frame does not verify.
+
+    ``None`` covers every torn-tail shape — short line, missing
+    separator, CRC mismatch, truncated JSON — because at the framing
+    layer they are indistinguishable; the *reader* decides whether a bad
+    frame is a tail (truncate) or mid-log damage (refuse).
+    """
+    line = line.rstrip("\n")
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_text, body = line[:8], line[9:]
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        record = loads_strict(body)
+    except Exception:
+        return None
+    if not isinstance(record, dict):
+        return None
+    return record
+
+
+@dataclass(frozen=True)
+class WalTail:
+    """Where a torn tail starts: the segment and the byte offset of the
+    first unreadable frame (everything before it replayed cleanly)."""
+
+    segment: Path
+    offset: int
+    #: records successfully read before the tear, across all segments
+    records_before: int
+
+
+class WalWriter:
+    """Appends CRC-framed activity records into rotating segments.
+
+    The writer owns the sequence counter: ``append`` stamps each payload
+    with the next ``seq`` and returns it.  A writer opened over an
+    existing log continues *after* the given ``next_seq`` watermark in a
+    fresh segment — it never appends into a segment another incarnation
+    wrote (a truncated-then-extended segment could otherwise interleave
+    two crash histories).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        next_seq: int = 1,
+        segment_max_bytes: int = 1 << 20,
+        fsync_every_append: bool = False,
+    ):
+        if next_seq < 1:
+            raise PersistenceError(
+                f"next_seq must be >= 1, got {next_seq!r}"
+            )
+        if segment_max_bytes < 1:
+            raise PersistenceError(
+                f"segment_max_bytes must be positive, got "
+                f"{segment_max_bytes!r}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync_every_append = fsync_every_append
+        self._next_seq = next_seq
+        self._closed = False
+        self._handle = None
+        self._segment_path: Path | None = None
+        self._segment_bytes = 0
+
+    # -- segment lifecycle -------------------------------------------------
+
+    def _open_segment(self) -> None:
+        self._segment_path = self.directory / segment_name(self._next_seq)
+        if self._segment_path.exists():
+            # An empty segment is a crash artifact (opened, nothing
+            # flushed) — safe to supersede.  One with records is not.
+            if self._segment_path.stat().st_size > 0:
+                raise PersistenceError(
+                    f"segment {self._segment_path} already exists — "
+                    f"refusing to overwrite another writer's records"
+                )
+            self._segment_path.unlink()
+        self._handle = open(self._segment_path, "w")
+        self._segment_bytes = 0
+
+    def _fsync_handle(self) -> None:
+        assert self._handle is not None
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _fsync_directory(self) -> None:
+        # POSIX: a new file is durable only once its directory entry is.
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def rotate(self) -> None:
+        """Seal the active segment durably; the next append opens a new one."""
+        if self._handle is not None:
+            self._fsync_handle()
+            self._handle.close()
+            self._handle = None
+            self._segment_path = None
+            self._fsync_directory()
+
+    def sync(self) -> None:
+        """Make everything appended so far durable (fsync, no rotation)."""
+        if self._handle is not None:
+            self._fsync_handle()
+
+    def close(self) -> None:
+        """Seal and stop; the writer cannot append afterwards (the seq
+        counters stay readable — a successor continues from last_seq)."""
+        self.rotate()
+        self._closed = True
+
+    # -- appending ---------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next append will carry."""
+        return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        """The highest sequence number appended so far (0 before any)."""
+        return self._next_seq - 1
+
+    def append(self, op: str, payload: dict[str, Any]) -> int:
+        """Append one record; returns its assigned ``seq``.
+
+        The line is written and flushed to the OS before returning (a
+        process crash loses nothing acknowledged); ``fsync_every_append``
+        upgrades that to full durability per record at the obvious cost.
+        """
+        if self._closed:
+            raise PersistenceError("WAL writer is closed")
+        if op not in OPS:
+            raise PersistenceError(f"unknown WAL op {op!r}; have {OPS}")
+        if self._handle is None:
+            self._open_segment()
+        assert self._handle is not None
+        seq = self._next_seq
+        record = {"seq": seq, "op": op, **payload}
+        line = frame_record(record)
+        self._handle.write(line)
+        self._handle.flush()
+        if self.fsync_every_append:
+            os.fsync(self._handle.fileno())
+        self._next_seq += 1
+        self._segment_bytes += len(line.encode("utf-8"))
+        if self._segment_bytes >= self.segment_max_bytes:
+            self.rotate()
+        return seq
+
+    def append_many(self, records: Iterable[tuple[str, dict[str, Any]]]) -> int:
+        """Append a batch; returns the last assigned seq (0 for empty)."""
+        last = self.last_seq
+        for op, payload in records:
+            last = self.append(op, payload)
+        return last
+
+
+# ---------------------------------------------------------------------------
+# Reading / recovery
+# ---------------------------------------------------------------------------
+
+
+def _read_segment(path: Path) -> tuple[list[dict[str, Any]], int | None]:
+    """(records, torn_offset): torn_offset is where the first bad frame
+    starts, or None for a clean segment.  Raises on mid-file damage."""
+    records: list[dict[str, Any]] = []
+    offset = 0
+    torn_at: int | None = None
+    with open(path, "rb") as handle:
+        for raw in handle:
+            line = raw.decode("utf-8", errors="replace")
+            record = unframe_record(line)
+            if record is None or "seq" not in record or "op" not in record:
+                if torn_at is None:
+                    torn_at = offset
+            elif torn_at is not None:
+                # valid frame after a bad one: not a crash tail
+                raise WalCorruptedError(
+                    f"{path}: corrupt record at byte {torn_at} is followed "
+                    f"by valid records — mid-log damage, refusing to "
+                    f"silently drop acknowledged writes"
+                )
+            else:
+                records.append(record)
+            offset += len(raw)
+    return records, torn_at
+
+
+def read_wal(
+    directory: str | Path,
+) -> tuple[list[dict[str, Any]], WalTail | None]:
+    """Every replayable record under *directory*, in seq order.
+
+    A torn tail on the **final** segment is tolerated and described by
+    the returned :class:`WalTail`; damage anywhere else raises
+    :class:`~repro.errors.WalCorruptedError`.
+    """
+    segments = list_segments(directory)
+    all_records: list[dict[str, Any]] = []
+    tail: WalTail | None = None
+    for index, segment in enumerate(segments):
+        records, torn_at = _read_segment(segment)
+        if torn_at is not None:
+            if index != len(segments) - 1:
+                raise WalCorruptedError(
+                    f"{segment}: torn records in a non-final segment — "
+                    f"the following segment exists, so this is not a "
+                    f"crash tail"
+                )
+            tail = WalTail(
+                segment=segment,
+                offset=torn_at,
+                records_before=len(all_records) + len(records),
+            )
+        all_records.extend(records)
+    return all_records, tail
+
+
+def truncate_torn_tail(tail: WalTail) -> None:
+    """Cut a torn tail off its segment (and drop the segment if empty)."""
+    if tail.offset == 0:
+        tail.segment.unlink()
+        return
+    with open(tail.segment, "rb+") as handle:
+        handle.truncate(tail.offset)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def prune_segments(directory: str | Path, upto_seq: int) -> list[Path]:
+    """Delete segments every record of which is covered by *upto_seq*.
+
+    Called after a snapshot commits: records at or below the snapshot's
+    ``applied_seq`` watermark are redundant with the snapshot, so any
+    segment whose *successor's* start seq is ``<= upto_seq + 1`` (i.e.
+    the segment holds nothing after the watermark) can go.  The active
+    tail segment always survives.  Returns the deleted paths.
+    """
+    segments = list_segments(directory)
+    deleted: list[Path] = []
+    for segment, successor in zip(segments, segments[1:]):
+        next_start = int(
+            successor.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+        )
+        if next_start <= upto_seq + 1:
+            segment.unlink()
+            deleted.append(segment)
+        else:
+            break  # segments are ordered; later ones hold newer records
+    return deleted
+
+
+def iter_tail(
+    records: Iterable[dict[str, Any]], applied_seq: int
+) -> Iterator[dict[str, Any]]:
+    """Records strictly after the *applied_seq* watermark (idempotency)."""
+    for record in records:
+        if record["seq"] > applied_seq:
+            yield record

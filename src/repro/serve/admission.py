@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -66,6 +67,10 @@ class AdmissionPolicy:
     max_depth: int = 256
     #: tokens one admitted request spends
     request_cost: float = 1.0
+    #: base retry hint on a depth shed — drain time of a full queue, not
+    #: a budget refill; jittered per shed so a storm of rejected callers
+    #: does not come back in one synchronized wave
+    depth_retry_s: float = 0.05
 
     def for_tenant(self, tenant: str) -> TenantPolicy:
         return self.tenants.get(tenant, self.default)
@@ -196,7 +201,9 @@ class AdmissionController:
                     self._tenant_shed.get(tenant, 0) + 1
                 )
                 return Overloaded(
-                    tenant=tenant, reason=GLOBAL_DEPTH, retry_after_s=0.0
+                    tenant=tenant,
+                    reason=GLOBAL_DEPTH,
+                    retry_after_s=self._depth_retry(tenant),
                 )
             bucket = self._buckets.get(tenant)
             if bucket is None:
@@ -220,6 +227,22 @@ class AdmissionController:
             return Admitted(
                 tenant=tenant, cost=cost, priority=tenant_policy.priority
             )
+
+    def _depth_retry(self, tenant: str) -> float:
+        """A positive, spread-out retry hint for one depth shed.
+
+        ``retry_after_s=0.0`` told every shed caller to retry
+        *immediately* — a storm of rejections became a synchronized
+        retry wave that hit the still-full queue again.  The hint is the
+        policy's base drain estimate plus up to 100% deterministic
+        jitter keyed on the tenant and the shed ordinal, so concurrent
+        victims spread over [base, 2*base) without the controller
+        holding an RNG (which would also make storm tests flaky).
+        Caller holds the lock (``_shed_depth`` is the ordinal).
+        """
+        base = max(self.policy.depth_retry_s, 1e-3)
+        salt = zlib.crc32(tenant.encode("utf-8")) + self._shed_depth
+        return base * (1.0 + (salt % 1024) / 1024.0)
 
     def release(self, ticket: Admitted) -> None:
         """Return an admitted request's depth slot (request finished)."""

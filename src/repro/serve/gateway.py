@@ -38,6 +38,7 @@ import asyncio
 import heapq
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping
 
 from repro.api import RequestFailure, SearchRequest, SearchResponse, Session
@@ -254,6 +255,35 @@ class ServeGateway:
             return await future
         finally:
             self._track_open(-1)
+
+    # -- durability -----------------------------------------------------------
+
+    async def checkpoint(self, directory: str | Path) -> dict[str, Any]:
+        """Drain, then snapshot the serving site into *directory*.
+
+        Quiesce protocol: every accumulating batch is flushed, then all
+        pool slots are acquired — no batch is executing and none can
+        start — and the session checkpoints
+        (:meth:`~repro.api.Session.save`) on the loop's *default*
+        executor (our own pool is deliberately full).  Slots release in
+        dispatch order afterwards, so serving resumes exactly where it
+        paused; submissions arriving mid-checkpoint simply queue behind
+        the held slots.  Returns the snapshot manifest.
+        """
+        if not self._running or self._loop is None or self._slots is None:
+            raise ServeError("gateway is not running (use `async with`)")
+        for batch in list(self._pending.values()):
+            self._flush(batch)
+        width = self.config.max_concurrent_batches
+        for _ in range(width):
+            await self._slots.acquire()
+        try:
+            return await self._loop.run_in_executor(
+                None, lambda: self.session.save(directory)
+            )
+        finally:
+            for _ in range(width):
+                self._slots.release()
 
     # -- batching internals ---------------------------------------------------
 

@@ -1,0 +1,209 @@
+"""Warm restart of the session engine: save → recover → serve identically.
+
+The restart-correctness bugs this PR fixes live here: epoch counters must
+not restart at zero (pre-crash cursors would alias fresh rankings), the
+learned cardinality-feedback table must survive, and a restored site must
+reach learned-cost serving — plan-cache hits — on its *first* request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SearchRequest, Session
+from repro.api.request import decode_cursor, encode_cursor
+from repro.api.session import SessionConfig
+from repro.core import Link, Node
+from repro.errors import QueryError, RestartCursorError
+from repro.management import DataManager
+
+from tests.factories import social_site_graph
+
+STRATEGIES = ("friends", "similar_users", "item_based")
+
+
+def durable_session(tmp_path, shards=2):
+    dm = DataManager(shards=shards)
+    dm.load_graph(social_site_graph(num_users=8, num_items=10))
+    dm.enable_wal(tmp_path / "wal")
+    return Session(dm)
+
+
+def _request(**kw):
+    defaults = dict(user_id="u0", text="topic1 thing", page_size=4)
+    defaults.update(kw)
+    return SearchRequest(**defaults)
+
+
+# ---------------------------------------------------------------- cursors
+
+
+class TestCursorBootToken:
+    def test_boot_zero_token_format_unchanged(self):
+        # never-restored sites mint byte-identical tokens to the
+        # pre-durability format (no "b" key) — old clients keep working
+        assert encode_cursor(40, 20, 3) == encode_cursor(40, 20, 3, boot=0)
+        assert decode_cursor(encode_cursor(40, 20, 3)) == (40, 20, 3)
+
+    def test_boot_round_trips(self):
+        token = encode_cursor(8, 4, 2, boot=5)
+        assert decode_cursor(token, expected_boot=5) == (8, 4, 2)
+
+    def test_cross_incarnation_rejected_typed(self):
+        token = encode_cursor(8, 4, 2, boot=1)
+        with pytest.raises(RestartCursorError, match="incarnation"):
+            decode_cursor(token, expected_boot=2)
+
+    def test_restart_error_is_still_a_query_error(self):
+        # callers that only catch QueryError keep degrading gracefully
+        token = encode_cursor(0, 4, 0, boot=0)
+        with pytest.raises(QueryError):
+            decode_cursor(token, expected_boot=3)
+
+
+class TestRestartCursors:
+    def test_pre_crash_cursor_rejected_after_restore(self, tmp_path):
+        session = durable_session(tmp_path)
+        response = session.run(_request())
+        cursor = response.page_info.next_cursor
+        assert cursor is not None
+        session.save(tmp_path)
+
+        restored = Session.restore(tmp_path)
+        with pytest.raises(RestartCursorError):
+            restored.run(_request(cursor=cursor))
+
+    def test_post_restore_cursors_page_cleanly(self, tmp_path):
+        session = durable_session(tmp_path)
+        session.save(tmp_path)
+        restored = Session.restore(tmp_path)
+        first = restored.run(_request())
+        second = restored.run(_request(cursor=first.page_info.next_cursor))
+        assert first.items and second.items
+        assert not set(first.items) & set(second.items)  # no dup, no drop
+
+    def test_mid_session_stale_cursor_stays_generic(self, tmp_path):
+        # refresh staleness within one incarnation is NOT a restart error
+        session = durable_session(tmp_path)
+        cursor = session.run(_request()).page_info.next_cursor
+        session.data_manager.add_node(
+            Node("fresh", type="item", name="new item", keywords="thing")
+        )
+        with pytest.raises(QueryError, match="stale cursor") as excinfo:
+            session.run(_request(cursor=cursor))
+        assert not isinstance(excinfo.value, RestartCursorError)
+
+
+# ------------------------------------------------------------- continuity
+
+
+class TestWarmRestart:
+    def test_rankings_identical_across_restart(self, tmp_path):
+        session = durable_session(tmp_path, shards=2)
+        live = {
+            s: session.run(_request(strategy=s, page_size=50)).items
+            for s in STRATEGIES
+        }
+        session.save(tmp_path)
+        restored = Session.restore(tmp_path)
+        for s in STRATEGIES:
+            assert restored.run(
+                _request(strategy=s, page_size=50)
+            ).items == live[s]
+
+    def test_wal_tail_included_in_restore(self, tmp_path):
+        session = durable_session(tmp_path)
+        session.save(tmp_path)
+        # post-checkpoint activity reaches only the WAL, never a snapshot
+        session.data_manager.add_node(
+            Node("i99", type="item", name="late item",
+                 keywords="topic1 thing"))
+        session.data_manager.add_link(
+            Link("a99", "u0", "i99", type="act, visit"))
+        session.data_manager.wal.sync()
+        live = session.run(_request(page_size=50)).items
+        assert "i99" in live
+
+        restored = Session.restore(tmp_path)
+        assert restored.run(_request(page_size=50)).items == live
+
+    def test_epoch_and_boot_continuity(self, tmp_path):
+        session = durable_session(tmp_path)
+        for _ in range(3):  # force refreshes to advance the epoch
+            session.data_manager.add_node(
+                Node(f"pad{session.epoch}", type="item", name="pad"))
+            session.run(_request())
+        assert session.epoch >= 3
+        session.save(tmp_path)
+
+        restored = Session.restore(tmp_path)
+        assert restored.epoch >= session.epoch  # never backwards
+        assert restored.boot == session.boot + 1
+
+        restored.save(tmp_path)
+        third = Session.restore(tmp_path)
+        assert third.boot == restored.boot + 1  # monotone per restore
+
+    def test_feedback_corrections_survive(self, tmp_path):
+        session = durable_session(tmp_path)
+        for _ in range(4):  # observed cardinalities train the corrections
+            session.run(_request())
+        trained = session.planner.feedback.export_state()
+        assert trained["factors"], "expected learned corrections"
+        session.save(tmp_path)
+
+        # cold restore loads the table verbatim (warming would keep
+        # training it, which is normal operation, not state loss)
+        cold = Session.restore(tmp_path, warm=False)
+        assert (cold.planner.feedback.export_state()["factors"]
+                == trained["factors"])
+
+        warm = Session.restore(tmp_path)
+        warmed = warm.planner.feedback.export_state()
+        trained_keys = {repr(k) for k, _ in trained["factors"]}
+        warmed_keys = {repr(k) for k, _ in warmed["factors"]}
+        assert trained_keys <= warmed_keys
+
+    def test_first_request_hits_plan_cache(self, tmp_path):
+        session = durable_session(tmp_path)
+        session.run(_request())
+        session.save(tmp_path)
+
+        restored = Session.restore(tmp_path)
+        response = restored.run(_request())
+        assert response.ok
+        assert restored.stats.plan_cache_hits >= 1
+        assert restored.stats.plan_compiles == 0
+
+    def test_cold_restore_compiles(self, tmp_path):
+        # warm=False is the control: same data, no recipes replayed
+        session = durable_session(tmp_path)
+        session.run(_request())
+        session.save(tmp_path)
+
+        cold = Session.restore(tmp_path, warm=False)
+        cold.run(_request())
+        assert cold.stats.plan_compiles >= 1
+
+    def test_analyses_rederived_on_restore(self, tmp_path):
+        session = durable_session(tmp_path)
+        session.analyze("item_similarity")
+        derived_live = sum(
+            1 for l in session.graph.links() if l.has_type("sim_item")
+        )
+        session.save(tmp_path)
+
+        restored = Session.restore(tmp_path)
+        derived_restored = sum(
+            1 for l in restored.graph.links() if l.has_type("sim_item")
+        )
+        assert derived_restored == derived_live
+
+    def test_restore_respects_config(self, tmp_path):
+        session = durable_session(tmp_path)
+        session.save(tmp_path)
+        restored = Session.restore(
+            tmp_path, config=SessionConfig(parallelism="never")
+        )
+        assert restored.config.parallelism == "never"
+        assert restored.run(_request()).ok

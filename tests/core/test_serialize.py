@@ -17,6 +17,7 @@ from repro.core import (
     load_json,
     load_jsonl,
 )
+from repro.core.serialize import FORMAT_VERSION, dumps_strict, loads_strict
 from repro.errors import GraphError
 from tests.conftest import social_graphs
 
@@ -30,7 +31,13 @@ class TestDictCodec:
     def test_envelope(self, tiny_travel_graph):
         payload = graph_to_dict(tiny_travel_graph)
         assert payload["format"] == "socialscope-graph"
-        assert payload["version"] == 1
+        assert payload["version"] == FORMAT_VERSION
+
+    def test_reads_v1_documents(self, tiny_travel_graph):
+        # v1 snapshots (no durability extras) must keep loading
+        payload = graph_to_dict(tiny_travel_graph)
+        payload["version"] = 1
+        assert graph_from_dict(payload).same_as(tiny_travel_graph)
 
     def test_deterministic(self, tiny_travel_graph):
         a = json.dumps(graph_to_dict(tiny_travel_graph))
@@ -61,6 +68,48 @@ class TestDictCodec:
     @settings(max_examples=40, deadline=None)
     def test_round_trip_property(self, g):
         assert graph_from_dict(graph_to_dict(g)).same_as(g)
+
+
+class TestNonFiniteFloats:
+    """Python's json happily writes NaN/Infinity — invalid JSON that a
+    recovering process (or any strict parser) then chokes on.  The codec
+    must refuse non-finite floats at *write* time, never at recovery."""
+
+    @pytest.mark.parametrize("bad", [
+        float("nan"), float("inf"), float("-inf"),
+    ])
+    def test_attr_value_rejected_at_serialize(self, bad):
+        graph = SocialContentGraph()
+        graph.add_node(Node(1, type="item", weight=bad))
+        with pytest.raises(GraphError, match="non-finite"):
+            graph_to_dict(graph)
+
+    @pytest.mark.parametrize("bad", [
+        float("nan"), float("inf"), float("-inf"),
+    ])
+    def test_nested_value_rejected(self, bad):
+        graph = SocialContentGraph()
+        graph.add_node(Node(1, type="item", scores=[0.5, bad]))
+        with pytest.raises(GraphError, match="non-finite"):
+            graph_to_dict(graph)
+
+    def test_dumps_strict_refuses_nan(self):
+        with pytest.raises(GraphError, match="non-finite"):
+            dumps_strict({"x": float("nan")})
+
+    def test_loads_strict_refuses_nan_tokens(self):
+        # a pre-fix process may have written these; reading must be loud,
+        # not silently produce a NaN that poisons every ranking after it
+        for text in ('{"x": NaN}', '{"x": Infinity}', '{"x": -Infinity}'):
+            with pytest.raises(GraphError):
+                loads_strict(text)
+
+    def test_finite_floats_round_trip_exactly(self):
+        graph = SocialContentGraph()
+        graph.add_node(Node(1, type="item", w=0.1 + 0.2, tiny=5e-324))
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.node(1).attrs["w"] == (0.1 + 0.2,)
+        assert restored.node(1).attrs["tiny"] == (5e-324,)
 
 
 class TestFiles:

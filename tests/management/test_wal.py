@@ -1,0 +1,216 @@
+"""The activity WAL: framing, rotation, torn tails, pruning, idempotency."""
+
+import pytest
+
+from repro.errors import PersistenceError, WalCorruptedError
+from repro.management.wal import (
+    OP_DEL_NODE,
+    OP_LINK,
+    OP_NODE,
+    WalWriter,
+    frame_record,
+    iter_tail,
+    list_segments,
+    prune_segments,
+    read_wal,
+    segment_name,
+    truncate_torn_tail,
+    unframe_record,
+)
+
+
+def _payloads(n, start=0):
+    return [{"id": f"n{start + i}", "type": "user"} for i in range(n)]
+
+
+# ---------------------------------------------------------------- framing
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"seq": 1, "op": OP_NODE, "id": "u1", "w": 0.5}
+        assert unframe_record(frame_record(payload)) == payload
+
+    def test_crc_mismatch_is_none(self):
+        line = frame_record({"seq": 1, "op": OP_NODE, "id": "u1"})
+        corrupted = line.replace("u1", "u2")  # body changed, CRC stale
+        assert unframe_record(corrupted) is None
+
+    @pytest.mark.parametrize("junk", [
+        "", "short", "not-hex!! {}", "deadbeef", "deadbeef {\"trunc",
+        "deadbeef_{}",  # missing space separator
+    ])
+    def test_junk_is_none(self, junk):
+        assert unframe_record(junk) is None
+
+    def test_non_finite_payload_refused_at_append(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        with pytest.raises(Exception):
+            writer.append(OP_NODE, {"id": "u1", "score": float("nan")})
+
+
+# ----------------------------------------------------------------- writer
+
+
+class TestWriter:
+    def test_seq_is_monotone_and_returned(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        seqs = [writer.append(OP_NODE, p) for p in _payloads(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert writer.last_seq == 5
+
+    def test_records_read_back_in_order(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        writer.append_many([(OP_NODE, p) for p in _payloads(7)])
+        writer.sync()
+        records, tail = read_wal(tmp_path)
+        assert tail is None
+        assert [r["seq"] for r in records] == list(range(1, 8))
+        assert all(r["op"] == OP_NODE for r in records)
+
+    def test_rotation_produces_multiple_segments(self, tmp_path):
+        writer = WalWriter(tmp_path, segment_max_bytes=64)
+        for p in _payloads(10):
+            writer.append(OP_NODE, p)
+        writer.sync()
+        segments = list_segments(tmp_path)
+        assert len(segments) > 1
+        # names encode each segment's starting seq
+        assert segments[0].name == segment_name(1)
+        records, _ = read_wal(tmp_path)
+        assert [r["seq"] for r in records] == list(range(1, 11))
+
+    def test_unknown_op_refused(self, tmp_path):
+        with pytest.raises(PersistenceError, match="unknown WAL op"):
+            WalWriter(tmp_path).append("frobnicate", {"id": 1})
+
+    def test_append_after_close_refused(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        writer.append(OP_NODE, {"id": 1})
+        writer.close()
+        with pytest.raises(PersistenceError, match="closed"):
+            writer.append(OP_NODE, {"id": 2})
+
+    def test_refuses_to_overwrite_foreign_records(self, tmp_path):
+        first = WalWriter(tmp_path)
+        first.append(OP_NODE, {"id": 1})
+        first.sync()
+        with pytest.raises(PersistenceError, match="refusing to overwrite"):
+            WalWriter(tmp_path, next_seq=1).append(OP_NODE, {"id": 9})
+
+    def test_supersedes_empty_crash_artifact_segment(self, tmp_path):
+        (tmp_path / segment_name(1)).touch()  # opened, nothing flushed
+        writer = WalWriter(tmp_path, next_seq=1)
+        writer.append(OP_NODE, {"id": 1})
+        writer.sync()
+        records, tail = read_wal(tmp_path)
+        assert tail is None and [r["id"] for r in records] == [1]
+
+    def test_resumed_writer_opens_fresh_segment(self, tmp_path):
+        first = WalWriter(tmp_path)
+        for p in _payloads(3):
+            first.append(OP_NODE, p)
+        first.close()
+        second = WalWriter(tmp_path, next_seq=first.last_seq + 1)
+        second.append(OP_NODE, {"id": "late"})
+        second.sync()
+        assert len(list_segments(tmp_path)) == 2
+        records, _ = read_wal(tmp_path)
+        assert [r["seq"] for r in records] == [1, 2, 3, 4]
+
+
+# -------------------------------------------------------------- torn tails
+
+
+class TestTornTail:
+    def _seed(self, tmp_path, n=4):
+        writer = WalWriter(tmp_path)
+        for p in _payloads(n):
+            writer.append(OP_NODE, p)
+        writer.sync()
+        return list_segments(tmp_path)[-1]
+
+    def test_partial_final_record_is_a_tail(self, tmp_path):
+        segment = self._seed(tmp_path)
+        with open(segment, "a") as handle:
+            handle.write("deadbeef {\"seq\": 5, \"op\"")  # crashed mid-write
+        records, tail = read_wal(tmp_path)
+        assert len(records) == 4
+        assert tail is not None and tail.segment == segment
+
+    def test_truncate_restores_clean_log(self, tmp_path):
+        segment = self._seed(tmp_path)
+        clean_size = segment.stat().st_size
+        with open(segment, "a") as handle:
+            handle.write("garbage that never framed")
+        _, tail = read_wal(tmp_path)
+        truncate_torn_tail(tail)
+        assert segment.stat().st_size == clean_size
+        records, tail = read_wal(tmp_path)
+        assert tail is None and len(records) == 4
+
+    def test_fully_torn_segment_is_unlinked(self, tmp_path):
+        self._seed(tmp_path, n=2)
+        bogus = tmp_path / segment_name(3)
+        bogus.write_text("nonsense with no valid frame\n")
+        records, tail = read_wal(tmp_path)
+        assert tail is not None and tail.offset == 0
+        truncate_torn_tail(tail)
+        assert not bogus.exists()
+        assert len(read_wal(tmp_path)[0]) == 2
+
+    def test_mid_segment_damage_refused(self, tmp_path):
+        segment = self._seed(tmp_path)
+        lines = segment.read_text().splitlines(keepends=True)
+        lines[1] = "deadbeef {\"broken\n"  # valid records follow
+        segment.write_text("".join(lines))
+        with pytest.raises(WalCorruptedError, match="mid-log damage"):
+            read_wal(tmp_path)
+
+    def test_torn_non_final_segment_refused(self, tmp_path):
+        writer = WalWriter(tmp_path, segment_max_bytes=1)  # rotate per record
+        for p in _payloads(3):
+            writer.append(OP_NODE, p)
+        writer.sync()
+        segments = list_segments(tmp_path)
+        assert len(segments) >= 2
+        with open(segments[0], "a") as handle:
+            handle.write("torn tail in the wrong place")
+        with pytest.raises(WalCorruptedError, match="non-final segment"):
+            read_wal(tmp_path)
+
+
+# ------------------------------------------------------- pruning + replay
+
+
+class TestPruneAndReplay:
+    def test_prune_drops_only_covered_segments(self, tmp_path):
+        writer = WalWriter(tmp_path, segment_max_bytes=1)
+        for p in _payloads(5):
+            writer.append(OP_NODE, p)
+        writer.sync()
+        assert len(list_segments(tmp_path)) == 5
+        deleted = prune_segments(tmp_path, upto_seq=3)
+        assert len(deleted) == 3
+        records, _ = read_wal(tmp_path)
+        assert [r["seq"] for r in records] == [4, 5]
+
+    def test_prune_keeps_active_tail(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        for p in _payloads(3):
+            writer.append(OP_NODE, p)
+        writer.sync()
+        assert prune_segments(tmp_path, upto_seq=99) == []
+        assert len(list_segments(tmp_path)) == 1
+
+    def test_iter_tail_skips_applied_watermark(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        writer.append(OP_NODE, {"id": "a"})
+        writer.append(OP_LINK, {"id": "l"})
+        writer.append(OP_DEL_NODE, {"id": "a"})
+        writer.sync()
+        records, _ = read_wal(tmp_path)
+        assert [r["seq"] for r in iter_tail(records, 0)] == [1, 2, 3]
+        assert [r["seq"] for r in iter_tail(records, 2)] == [3]
+        # replaying the same records twice is a no-op past the watermark
+        assert list(iter_tail(records, 3)) == []
