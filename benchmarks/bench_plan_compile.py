@@ -386,6 +386,107 @@ def test_shard_and_worker_sweep(report, quick):
             legacy["scan_ms"]
 
 
+def test_threads_vs_processes_sweep(report, quick):
+    """Threads vs. the shared-memory process backend on a big σN sweep.
+
+    The multicore acceptance row: on the 8k-user/12k-item corpus with 4
+    shards, process workers holding resident columnar slabs must beat
+    the thread pool (the GIL serializes the thread kernels; the workers
+    scan in true parallel) — a claim that only holds with ≥4 cores, so
+    the ratio is *waived* (``waived_metrics``) on smaller runners and in
+    the quick regime, while the parity and PID-crossing assertions still
+    run everywhere.  Distinct per-round conditions keep the planner's
+    sub-plan memo out of the measurement; the slab ship happens once,
+    outside the timed region, exactly as a warm server amortizes it.
+    """
+    import os
+
+    from repro.plan import CostModel, QueryPlanner
+
+    num_users, num_items = (400, 600) if quick else (8_000, 12_000)
+    rounds = 4 if quick else 16
+    shards = 4
+    graph = sharded_workload(num_users, num_items)
+    # big-σN, non-covered scans: "filler" keeps 49/50 items, the unique
+    # second term defeats the sub-plan memo without changing survivors
+    conditions = [
+        Condition({"type": "item"}, keywords=f"filler uniq{r}")
+        for r in range(rounds + 1)
+    ]
+    exprs = [input_graph("G").select_nodes(c) for c in conditions]
+    reference = sorted(
+        n.id for n in QueryPlanner(graph).execute(exprs[0]).result.nodes()
+    )
+
+    timings: dict[str, float] = {}
+    worker_pids: list[int] = []
+    ids_by_mode: dict[str, list] = {}
+    for mode in ("threads", "processes"):
+        planner = QueryPlanner(
+            graph,
+            cost_model=CostModel(shard_scan_min_nodes=64.0,
+                                 process_min_rows=0.0),
+            parallelism=mode,
+        )
+        planner.attach_shards(shards)
+        try:
+            # prime: compile, cut views, spawn workers, ship slabs
+            primed = planner.execute(exprs[0])
+            ids = sorted(n.id for n in primed.result.nodes())
+            assert ids == reference, mode
+            if mode == "processes":
+                assert primed.executor.startswith("processes("), (
+                    primed.executor
+                )
+            start = time.perf_counter()
+            for expr in exprs[1:]:
+                execution = planner.execute(expr)
+            timings[mode] = (time.perf_counter() - start) / rounds
+            ids_by_mode[mode] = sorted(
+                n.id for n in execution.result.nodes()
+            )
+            if mode == "processes":
+                pool = planner.process_pool
+                worker_pids = list(pool.worker_pids)
+                assert pool.scans_run >= shards  # work actually shipped
+        finally:
+            planner.close()
+
+    assert ids_by_mode["threads"] == ids_by_mode["processes"]
+    # the multicore smoke invariant: scans ran outside this process
+    assert worker_pids
+    assert any(pid != os.getpid() for pid in worker_pids)
+
+    cpu_count = os.cpu_count() or 1
+    ratio = timings["processes"] / timings["threads"]
+    waived = ["multicore.processes_over_threads"] \
+        if quick or cpu_count < 4 else []
+    RESULTS["multicore"] = {
+        "cpu_count": cpu_count,
+        "num_users": num_users,
+        "num_items": num_items,
+        "shards": shards,
+        "threads_s": timings["threads"],
+        "processes_s": timings["processes"],
+        "processes_over_threads": ratio,
+        "worker_pids": worker_pids,
+        "waived_metrics": waived,
+    }
+    report(
+        "",
+        f"=== Threads vs processes ({num_users} users + {num_items} items, "
+        f"{shards} shards, {cpu_count} cores) ===",
+        f"  threads    {timings['threads'] * 1e3:8.2f} ms/round",
+        f"  processes  {timings['processes'] * 1e3:8.2f} ms/round "
+        f"(workers {worker_pids})",
+        f"  processes/threads = {ratio:.3f}"
+        + ("  [waived: quick regime or <4 cores]" if waived else ""),
+    )
+    if not waived:
+        # the acceptance claim itself, when the hardware can host it
+        assert ratio < 1.0
+
+
 def test_attr_index_vs_columnar_scan(report, quick):
     """Sweep attribute-value selectivity; record the access choice.
 
@@ -544,5 +645,5 @@ def test_emit_bench_json(report, quick):
     report("", f"BENCH_plan.json written: {OUTPUT}")
     assert OUTPUT.exists()
     assert {"compile", "serving", "selectivity_sweep", "social_stage",
-            "social_access_sweep", "shard_sweep",
+            "social_access_sweep", "shard_sweep", "multicore",
             "attr_index_sweep"} <= RESULTS.keys()

@@ -100,8 +100,12 @@ class SessionConfig:
     #: base scans to the scattered form.  A session over an existing
     #: Data Manager inherits the manager's own shard count instead.
     shards: int = 1
-    #: plan-executor mode: "auto" pools plans past the cost threshold,
-    #: "never" pins everything sequential, "force" pools unconditionally.
+    #: plan-executor mode: "auto" pools plans past the cost threshold and
+    #: escalates shippable scans to the process backend once estimated
+    #: rows × shards clear ``CostModel.process_min_rows``; "never" pins
+    #: everything sequential, "force" pools unconditionally, "threads"
+    #: allows the thread pool but never processes, and "processes" ships
+    #: every shippable scan to the shared-memory process workers.
     parallelism: str = "auto"
 
 
@@ -130,6 +134,9 @@ class SessionStats:
     plan_cache_hits: int = 0
     #: queries whose plan ran on the worker pool
     parallel_queries: int = 0
+    #: queries whose scans shipped to the process backend (subset of
+    #: parallel_queries: process runs wrap the thread pool)
+    process_queries: int = 0
 
 
 class _Evaluation(NamedTuple):
@@ -195,17 +202,10 @@ class Session:
         # Physical-layer wiring: the store's partitioning (or an explicit
         # config request) enables sharded scans, and the configured
         # parallelism mode pins the executor choice.
-        from repro.plan import PARALLEL_MODES
-
-        if self.config.parallelism not in PARALLEL_MODES:
-            raise QueryError(
-                f"unknown parallelism {self.config.parallelism!r}; "
-                f"have {PARALLEL_MODES}"
-            )
         shards = max(data_manager.num_shards, self.config.shards)
         if shards > 1:
             self.discoverer.planner.attach_shards(shards)
-        self.discoverer.planner.parallelism = self.config.parallelism
+        self.set_parallelism(self.config.parallelism)
         self.organizer = InformationOrganizer(
             self.analyzer.graph, config=self.config.organizer
         )
@@ -416,6 +416,36 @@ class Session:
     def planner(self) -> QueryPlanner:
         """The session's query planner (owned by the discoverer)."""
         return self.discoverer.planner
+
+    def set_parallelism(self, mode: str) -> None:
+        """Re-pin the plan-executor mode on the warm session's planner.
+
+        The serve layer routes through this (rather than reaching into
+        the planner) so mode validation lives in one place.
+        """
+        from repro.plan import PARALLEL_MODES
+
+        if mode not in PARALLEL_MODES:
+            raise QueryError(
+                f"unknown parallelism {mode!r}; have {PARALLEL_MODES}"
+            )
+        self.discoverer.planner.parallelism = mode
+
+    def close(self) -> None:
+        """Release executor resources held by the warm session.
+
+        Shuts the planner's process workers down and unlinks their
+        shared-memory slabs (a no-op when the process backend never
+        started).  The session stays usable afterwards — the next
+        process-backed query simply pays the worker warm-up again.
+        """
+        self.discoverer.planner.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ---------------------------------------------------------------- indexes
     @property
@@ -683,8 +713,11 @@ class Session:
                     self.stats.plan_compiles += 1
                 if ev.execution.used_network_index:
                     self.stats.social_index_queries += 1
-                if ev.execution.executor.startswith("pooled"):
+                executor = ev.execution.executor
+                if "pooled" in executor or executor.startswith("processes"):
                     self.stats.parallel_queries += 1
+                if executor.startswith("processes"):
+                    self.stats.process_queries += 1
             self.stats.tfidf_builds = self.discoverer.semantic.builds
         return SearchResponse(
             request=request,

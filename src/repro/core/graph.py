@@ -75,6 +75,13 @@ class Node:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Node records are immutable; use with_attrs()")
 
+    def __reduce__(self) -> tuple:
+        # Default slots pickling restores via setattr, which the
+        # immutability guard blocks; rebuild through the raw constructor
+        # instead.  Attrs are already canonical — re-normalising on
+        # unpickle would be wasted work and could drift.
+        return (_restore_node, (self.id, self.attrs))
+
     # -- attribute access ----------------------------------------------------
 
     def values(self, name: str) -> tuple[Scalar, ...]:
@@ -215,6 +222,11 @@ class Link:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Link records are immutable; use with_attrs()")
 
+    def __reduce__(self) -> tuple:
+        # See Node.__reduce__: slots restore would hit the immutability
+        # guard, so unpickling goes through the raw constructor.
+        return (_restore_link, (self.id, self.src, self.tgt, self.attrs))
+
     # -- attribute access ----------------------------------------------------
 
     def values(self, name: str) -> tuple[Scalar, ...]:
@@ -314,6 +326,19 @@ class Link:
     def __repr__(self) -> str:
         type_str = ",".join(str(t) for t in self.types)
         return f"Link({self.id!r}, {self.src!r}->{self.tgt!r}, type={type_str})"
+
+
+def _restore_node(id: Id, attrs: dict[str, Any]) -> Node:
+    """Unpickle target of :meth:`Node.__reduce__` (raw constructor)."""
+    node = Node.__new__(Node)
+    object.__setattr__(node, "id", id)
+    object.__setattr__(node, "attrs", attrs)
+    return node
+
+
+def _restore_link(id: Id, src: Id, tgt: Id, attrs: dict[str, Any]) -> Link:
+    """Unpickle target of :meth:`Link.__reduce__` (raw constructor)."""
+    return Link._from_normalized(id, src, tgt, attrs)
 
 
 class SocialContentGraph:

@@ -32,7 +32,12 @@ from repro.plan.cache import (
     SharedPlanCache,
     shared_plan_cache,
 )
-from repro.plan.columnar import ColumnarShardView, VectorCondition
+from repro.plan.columnar import (
+    ColumnarShardView,
+    ScanProgram,
+    VectorCondition,
+    run_scan_program,
+)
 from repro.plan.compiler import (
     ACCESS_MODES,
     AccessDecision,
@@ -42,7 +47,13 @@ from repro.plan.compiler import (
     compile_plan,
 )
 from repro.plan.explain import PlanExplain, explain_execution
-from repro.plan.parallel import WorkerPool, shared_worker_pool
+from repro.plan.parallel import (
+    ProcessBackend,
+    ProcessPoolError,
+    ProcessShardPool,
+    WorkerPool,
+    shared_worker_pool,
+)
 from repro.plan.physical import (
     ATTR_INDEX,
     INDEX,
@@ -97,12 +108,16 @@ __all__ = [
     "PhysicalPlan",
     "PlanCache",
     "PlanExecution",
+    "ProcessBackend",
+    "ProcessPoolError",
+    "ProcessShardPool",
     "PlanExplain",
     "QueryPlanner",
     "ResultMemo",
     "SCAN",
     "SHARDED",
     "ScanOp",
+    "ScanProgram",
     "SemiJoinProbeOp",
     "SharedPlanCache",
     "ShardProfile",
@@ -114,6 +129,7 @@ __all__ = [
     "WorkerPool",
     "compile_plan",
     "explain_execution",
+    "run_scan_program",
     "shared_plan_cache",
     "shared_worker_pool",
 ]

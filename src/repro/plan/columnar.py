@@ -43,6 +43,8 @@ results.
 
 from __future__ import annotations
 
+import pickle
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 try:  # vectorized path; the row-wise fallback below needs nothing
@@ -86,10 +88,12 @@ class AttrColumn:
 
     __slots__ = ("codes", "distinct", "tables")
 
-    def __init__(self, nodes: Sequence[Node], att: str):
+    def __init__(self, records: Sequence[Any], att: str):
+        # *records* are Nodes or Links — the column only reads ``.attrs``,
+        # so the same encoding serves σN and σL populations.
         interned: dict[tuple, int] = {(): 0}
-        codes = [0] * len(nodes)
-        for row, node in enumerate(nodes):
+        codes = [0] * len(records)
+        for row, node in enumerate(records):
             values = node.attrs.get(att, ())
             code = interned.get(values)
             if code is None:
@@ -154,6 +158,7 @@ class ColumnarShardView:
         "nodes", "links",
         "_type_buckets", "_type_node_lists", "_link_type_lists",
         "_columns", "_term_postings", "_attr_postings",
+        "_link_type_buckets", "_link_columns", "_link_term_postings",
     )
 
     def __init__(self, nodes: list[Node] | None = None,
@@ -166,6 +171,9 @@ class ColumnarShardView:
         self._columns: dict[str, AttrColumn] = {}
         self._term_postings: dict[str, Any] | None = None
         self._attr_postings: dict[str, dict[Any, Any]] = {}
+        self._link_type_buckets: dict[Any, Any] | None = None
+        self._link_columns: dict[str, AttrColumn] = {}
+        self._link_term_postings: dict[str, Any] | None = None
 
     # -- node-side columns ----------------------------------------------------
 
@@ -258,6 +266,75 @@ class ColumnarShardView:
         nodes = self.nodes
         return [nodes[row] for row in bucket]
 
+    # -- link-side columns ----------------------------------------------------
+
+    def link_type_buckets(self) -> dict[Any, Any]:
+        """link type value → sorted row positions into ``links``.
+
+        The σL twin of :meth:`type_buckets`: the positional form the
+        vectorized link path intersects (the record-list form below stays
+        for the row-wise pruned kernel).
+        """
+        if self._link_type_buckets is None:
+            buckets: dict[Any, list[int]] = {}
+            for row, link in enumerate(self.links):
+                for type_value in link.attrs["type"]:
+                    buckets.setdefault(type_value, []).append(row)
+            self._link_type_buckets = {
+                value: _positions_array(rows) for value, rows in buckets.items()
+            }
+        return self._link_type_buckets
+
+    def link_type_bucket(self, type_value: Any) -> Any | None:
+        """Positions of the links carrying *type_value* (None bucket = ∅)."""
+        return self.link_type_buckets().get(type_value)
+
+    def link_column(self, att: str) -> AttrColumn:
+        """The dictionary-encoded link column of *att* (built on first use)."""
+        column = self._link_columns.get(att)
+        if column is None:
+            column = AttrColumn(self.links, att)
+            self._link_columns[att] = column
+        return column
+
+    def link_term_postings(self) -> dict[str, Any]:
+        """token → link row positions whose text contains the token."""
+        if self._link_term_postings is None:
+            postings: dict[str, list[int]] = {}
+            for row, link in enumerate(self.links):
+                for token in set(tokenize(link.text())):
+                    postings.setdefault(token, []).append(row)
+            self._link_term_postings = {
+                token: _positions_array(rows)
+                for token, rows in postings.items()
+            }
+        return self._link_term_postings
+
+    # -- precomputed-index adoption (process workers) -------------------------
+
+    def adopt_precomputed(
+        self,
+        type_buckets: dict[Any, Any] | None = None,
+        term_postings: dict[str, Any] | None = None,
+        link_type_buckets: dict[Any, Any] | None = None,
+    ) -> None:
+        """Install pre-built position indexes instead of deriving them.
+
+        The process backend ships each shard's type buckets, term
+        postings and link-type buckets as one shared-memory slab; worker
+        processes rebuild their views around the attached positions
+        (zero-copy) rather than re-bucketing and re-tokenising the
+        population.  The adopted dicts must be exactly what the lazy
+        builders would produce — the coordinator packs them from its own
+        views, so they are.
+        """
+        if type_buckets is not None:
+            self._type_buckets = type_buckets
+        if term_postings is not None:
+            self._term_postings = term_postings
+        if link_type_buckets is not None:
+            self._link_type_buckets = link_type_buckets
+
     # -- link-side buckets ----------------------------------------------------
 
     def link_type_lists(self) -> dict[Any, list[Link]]:
@@ -330,9 +407,11 @@ class VectorCondition:
     a pure function of the condition.
     """
 
-    __slots__ = ("cond", "bucket_types", "column_preds", "residual")
+    __slots__ = ("cond", "bucket_types", "column_preds", "residual",
+                 "_shippable")
 
     def __init__(self, cond: Condition):
+        self._shippable: bool | None = None
         self.cond = cond
         bucket_types: list[Any] = []
         column_preds: list[tuple[str, Predicate]] = []
@@ -381,9 +460,8 @@ class VectorCondition:
         column.tables[key] = table
         return table
 
-    def _keyword_mask(self, view: ColumnarShardView, size: int) -> Any:
+    def _keyword_mask(self, postings: dict[str, Any], size: int) -> Any:
         """Union of the query terms' posting sets, as a row mask."""
-        postings = view.term_postings()
         mask = _np.zeros(size, dtype=bool)
         for term in self.cond.keywords:
             for variant in term_variants(term):
@@ -392,8 +470,42 @@ class VectorCondition:
                     mask[rows] = True
         return mask
 
+    def _masked_positions(
+        self,
+        size: int,
+        bucket: Callable[[Any], Any | None],
+        column: Callable[[str], AttrColumn],
+        postings: Callable[[], dict[str, Any]],
+    ) -> Any:
+        """The shared vectorized core: buckets ∧ columns ∧ keywords.
+
+        Parameterised by the view accessors so the node and link paths
+        run the identical mask algebra over their own structures.
+        """
+        if size == 0:
+            return _np.empty(0, dtype=_np.intp)
+        mask: Any = None
+        for type_value in self.bucket_types:
+            rows = bucket(type_value)
+            if rows is None or len(rows) == 0:
+                return _np.empty(0, dtype=_np.intp)
+            typed = _np.zeros(size, dtype=bool)
+            typed[rows] = True
+            mask = typed if mask is None else mask & typed
+        for att, predicate in self.column_preds:
+            col = column(att)
+            table = self._column_table(col, att, predicate)
+            hits = table[col.codes]
+            mask = hits if mask is None else mask & hits
+        if self.cond.has_keywords:
+            keyword = self._keyword_mask(postings(), size)
+            mask = keyword if mask is None else mask & keyword
+        if mask is None:
+            return _np.arange(size, dtype=_np.intp)
+        return _np.nonzero(mask)[0]
+
     def candidate_positions(self, view: ColumnarShardView) -> Any | None:
-        """Sorted row positions surviving every vectorizable conjunct.
+        """Sorted node row positions surviving every vectorizable conjunct.
 
         ``None`` means the vectorized path is unavailable (no NumPy) and
         the caller should fall back to the row kernel.  Residual
@@ -402,28 +514,123 @@ class VectorCondition:
         """
         if _np is None:
             return None
-        size = len(view.nodes)
-        if size == 0:
-            return _np.empty(0, dtype=_np.intp)
-        mask: Any = None
-        for type_value in self.bucket_types:
-            bucket = view.type_bucket(type_value)
-            if bucket is None or len(bucket) == 0:
-                return _np.empty(0, dtype=_np.intp)
-            typed = _np.zeros(size, dtype=bool)
-            typed[bucket] = True
-            mask = typed if mask is None else mask & typed
-        for att, predicate in self.column_preds:
-            column = view.column(att)
-            table = self._column_table(column, att, predicate)
-            hits = table[column.codes]
-            mask = hits if mask is None else mask & hits
-        if self.cond.has_keywords:
-            keyword = self._keyword_mask(view, size)
-            mask = keyword if mask is None else mask & keyword
-        if mask is None:
-            return _np.arange(size, dtype=_np.intp)
-        return _np.nonzero(mask)[0]
+        return self._masked_positions(
+            len(view.nodes), view.type_bucket, view.column,
+            view.term_postings,
+        )
+
+    def candidate_link_positions(self, view: ColumnarShardView) -> Any | None:
+        """Sorted *link* row positions surviving the vectorizable conjuncts.
+
+        The σL mirror of :meth:`candidate_positions`: type pins intersect
+        the link-type buckets, attribute predicates broadcast over the
+        link columns, keyword scopes prune through the link term
+        postings.  Residuals stay with the caller, as on the node side.
+        """
+        if _np is None:
+            return None
+        return self._masked_positions(
+            len(view.links), view.link_type_bucket, view.link_column,
+            view.link_term_postings,
+        )
+
+    def _filter_residual(self, records: Sequence[Any], positions: Any) -> Any:
+        """Row-test the residual predicates over the candidate positions."""
+        residual = self.residual
+        if not residual:
+            return positions
+        return _positions_array([
+            int(row) for row in positions
+            if all(p.matches(records[row]) for p in residual)
+        ])
+
+    def node_survivors(self, view: ColumnarShardView) -> Sequence[int]:
+        """Final surviving node rows: vectorized candidates ∧ residuals.
+
+        The position-set form of :meth:`select` — what a process worker
+        ships back over the pipe.  Row order is the view's node order, so
+        a coordinator holding an identically-cut view gathers the very
+        records :meth:`select` would.  Without NumPy the same set falls
+        out of a row-wise pass.
+        """
+        positions = self.candidate_positions(view)
+        if positions is None:
+            cond = self.cond
+            return [row for row, node in enumerate(view.nodes)
+                    if cond.satisfied_by(node)]
+        return self._filter_residual(view.nodes, positions)
+
+    def link_survivors(self, view: ColumnarShardView) -> Sequence[int]:
+        """Final surviving link rows (the σL twin of node_survivors)."""
+        positions = self.candidate_link_positions(view)
+        if positions is None:
+            cond = self.cond
+            return [row for row, link in enumerate(view.links)
+                    if cond.satisfied_by(link)]
+        return self._filter_residual(view.links, positions)
+
+    def gather_nodes(self, view: ColumnarShardView,
+                     positions: Sequence[int],
+                     scorer: Any = None) -> list[Node]:
+        """Materialise (and score) surviving node rows, in row order."""
+        nodes = view.nodes
+        cond = self.cond
+        want_scores = scorer is not None or cond.has_keywords
+        selected: list[Node] = []
+        append = selected.append
+        if not want_scores:
+            for row in positions:
+                append(nodes[row])
+            return selected
+        scoring = resolve_scorer(scorer)
+        keywords = cond.keywords
+        for row in positions:
+            node = nodes[row]
+            append(node._with_normalized(
+                {SCORE_ATTR: (float(scoring(node, keywords)),)}
+            ))
+        return selected
+
+    def gather_links(self, view: ColumnarShardView,
+                     positions: Sequence[int],
+                     scorer: Any = None) -> list[Link]:
+        """Materialise (and score) surviving link rows, in row order."""
+        links = view.links
+        cond = self.cond
+        want_scores = scorer is not None or cond.has_keywords
+        selected: list[Link] = []
+        append = selected.append
+        if not want_scores:
+            for row in positions:
+                append(links[row])
+            return selected
+        scoring = resolve_scorer(scorer)
+        keywords = cond.keywords
+        for row in positions:
+            link = links[row]
+            append(link.with_score(scoring(link, keywords)))
+        return selected
+
+    def shippable(self) -> bool:
+        """True when the condition can cross a process boundary whole.
+
+        The picklability contract of the process backend: bucket types,
+        column predicates, keyword terms and residual predicates all ride
+        inside the condition, so one successful pickle of the condition
+        proves the entire compiled program ships.  Opaque residuals —
+        closure lambdas, bound methods — fail here and pin the operator
+        to the in-process (threads) path.  Cached: the object is a pure
+        function of the condition.
+        """
+        cached = self._shippable
+        if cached is None:
+            try:
+                pickle.dumps(self.cond, protocol=pickle.HIGHEST_PROTOCOL)
+                cached = True
+            except Exception:
+                cached = False
+            self._shippable = cached
+        return cached
 
     def select(self, view: ColumnarShardView, scorer: Any = None) -> list[Node]:
         """σN over one view: the columnar twin of the row kernel.
@@ -440,41 +647,63 @@ class VectorCondition:
                 if self.bucket_types else view.nodes
             )
             return select_matching_nodes(population, self.cond, scorer)
-        nodes = view.nodes
-        cond = self.cond
-        residual = self.residual
-        want_scores = scorer is not None or cond.has_keywords
-        scoring = resolve_scorer(scorer)
-        keywords = cond.keywords
-        selected: list[Node] = []
-        append = selected.append
-        if not residual and not want_scores:
-            for row in positions:
-                append(nodes[row])
-            return selected
-        for row in positions:
-            node = nodes[row]
-            if residual and not all(p.matches(node) for p in residual):
-                continue
-            if want_scores:
-                node = node._with_normalized(
-                    {SCORE_ATTR: (float(scoring(node, keywords)),)}
-                )
-            append(node)
-        return selected
+        return self.gather_nodes(
+            view, self._filter_residual(view.nodes, positions), scorer
+        )
 
     def select_links(self, view: ColumnarShardView, scorer: Any = None,
                      prune_type: Any | None = None) -> list[Link]:
-        """σL over one view's link population, pruned by type bucket.
+        """σL over one view's link population, vectorized like σN.
 
-        Link populations are small next to node populations once pruned,
-        so the kernel stays row-wise over the bucket — the win is the
-        candidate-set pruning, exactly as the social-search literature
-        prescribes.
+        Type pins, attribute predicates and keyword scopes evaluate over
+        the link columns (buckets, dictionary codes, term postings);
+        residuals row-test the pruned survivors — exactly the σN shape.
+        Returns what :func:`~repro.core.selection.select_matching_links`
+        returns over the (*prune_type*-pruned) population: same records,
+        same order.
         """
-        return select_matching_links(
-            view.link_population(prune_type), self.cond, scorer
+        positions = self.candidate_link_positions(view)
+        if positions is None:  # no NumPy: row kernel over the pruned bucket
+            return select_matching_links(
+                view.link_population(prune_type), self.cond, scorer
+            )
+        return self.gather_links(
+            view, self._filter_residual(view.links, positions), scorer
         )
+
+
+@dataclass(frozen=True)
+class ScanProgram:
+    """A compiled scan, in the form that crosses a process boundary.
+
+    What the coordinator ships to a :class:`~repro.plan.parallel`
+    worker instead of the operator object: the selection kind and the
+    condition (from which the worker recompiles the identical
+    :class:`VectorCondition` — bucket types, per-code truth tables,
+    posting keys and residual predicates are all pure functions of it).
+    Scorers never ship: workers return position sets and the coordinator
+    gathers and scores from its own identically-ordered view, so scoring
+    semantics cannot fork across the boundary.
+    """
+
+    #: "nodes" (σN) or "links" (σL)
+    kind: str
+    cond: Condition
+
+
+def run_scan_program(view: ColumnarShardView, program: ScanProgram) -> list[int]:
+    """Execute a shipped program over a worker-resident view.
+
+    Returns the surviving row positions as plain ints — the compact
+    result that crosses the pipe back.  Positions index the view's row
+    order, which matches the coordinator's by the slab contract.
+    """
+    vector = VectorCondition(program.cond)
+    rows = (
+        vector.link_survivors(view) if program.kind == "links"
+        else vector.node_survivors(view)
+    )
+    return [int(row) for row in rows]
 
 
 def union_null_graph(

@@ -1,19 +1,29 @@
-"""Pooled execution: a shared worker pool and a dataflow DAG scheduler.
+"""Pooled execution: worker pools (threads *and* processes) + scheduler.
 
 A physical plan is a DAG of side-effect-free operators (the
 :class:`~repro.plan.physical.PhysicalOp` / ``ExecContext`` contract:
 operators read their inputs and the context's providers, and write only
 their own memo/profile slots).  That makes independent sub-plans — union
 branches, the two sides of the social stage, per-shard scan tasks —
-safely schedulable on a thread pool.
+safely schedulable on a worker pool.
 
-Two pieces live here:
+Four pieces live here:
 
 * :class:`WorkerPool` — a lazily-started ``ThreadPoolExecutor`` wrapper
   with task accounting.  One process-wide pool is shared by default
   (:func:`shared_worker_pool`): executor threads are a per-process
   resource exactly like the shared plan cache, and serving stacks should
   not each spin up their own.
+* :class:`ProcessShardPool` — the true-multicore backend: spawned worker
+  processes each hold their shards' :class:`ColumnarShardView` resident,
+  with the position indexes (type buckets, term postings, link buckets)
+  attached zero-copy from a ``multiprocessing.shared_memory`` slab.
+  Only picklable :class:`~repro.plan.columnar.ScanProgram` descriptors
+  travel to workers and compact position sets travel back, so on GIL
+  builds the per-row work actually runs on other cores.
+* :class:`ProcessBackend` — the per-execution adapter scatter operators
+  call: lazily ships the current slab version on first use and routes
+  each shard's scan to its resident worker.
 * :func:`execute_pooled` — a dataflow scheduler: every operator becomes a
   task once all of its children have finished; *expandable* operators
   (the sharded scan) fan out into one task per shard plus a finalizer.
@@ -23,22 +33,57 @@ Two pieces live here:
 Sequential execution (``PhysicalOp.execute``) remains the default for
 small plans — the compiler's cost threshold decides, because pool
 handoff latency swamps sub-millisecond operators.
+
+This module is the *only* place in the tree allowed to touch
+``multiprocessing`` (archcheck rule L004): process lifecycle, pipe
+protocol and shared-memory ownership stay in one reviewable file.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.core.partition import SLAB_ITEMSIZE, pack_sections, unpack_sections
+from repro.plan.columnar import (
+    ColumnarShardView,
+    ScanProgram,
+    run_scan_program,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.graph import SocialContentGraph
     from repro.plan.physical import ExecContext, PhysicalOp
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - toolchain always bakes numpy in
+    _np = None
+
 #: Default pool width: bounded so a serving box is not oversubscribed by
 #: plan execution alone (request-level parallelism exists too).
 DEFAULT_MAX_WORKERS = max(2, min(8, os.cpu_count() or 2))
+
+#: Default process-worker count: one per core up to the thread-pool
+#: bound; a single-core box still gets one worker (the parity and
+#: protocol machinery must work there even though it cannot win).
+DEFAULT_PROCESS_WORKERS = max(1, min(8, os.cpu_count() or 1))
+
+#: Seconds a coordinator waits on a worker pipe before declaring the
+#: worker poisoned (and degrading the execution to threads).
+PROCESS_REPLY_TIMEOUT_S = float(os.environ.get("REPRO_PROCESS_TIMEOUT_S", 60))
+
+
+class ProcessPoolError(RuntimeError):
+    """A process worker failed (died, timed out, or errored).
+
+    Scatter operators catch exactly this and degrade the execution to
+    the in-process path — a poisoned worker must never fail a query.
+    """
 
 
 class WorkerPool:
@@ -48,6 +93,14 @@ class WorkerPool:
     package must not spawn threads) and reused for every plan afterwards;
     ``tasks_run`` counts scheduled operator tasks, which the benchmarks
     and the EXPLAIN header read.
+
+    Fork-safe: the pool stamps its creating PID and re-validates on
+    every use.  An ``os.fork`` (Linux's default ``multiprocessing``
+    start method) clones the pool object into the child but *not* its
+    executor threads — submitting to the inherited executor would queue
+    work no thread will ever run, and the inherited lock may be held by
+    a thread that does not exist in the child.  Detecting the PID change
+    replaces both with fresh ones before they can deadlock.
     """
 
     def __init__(self, max_workers: int | None = None,
@@ -62,10 +115,28 @@ class WorkerPool:
         self._name = name
         self._executor: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        self._pid = os.getpid()
         self.tasks_run = 0
+
+    def _revalidate(self) -> None:
+        """Replace fork-inherited executor state with fresh objects.
+
+        Must swap ``_lock`` *before* acquiring anything: the inherited
+        lock may have been held mid-``submit`` at fork time by a parent
+        thread that does not exist here, so acquiring it would block
+        forever.  Single-threaded in the child at this point (fork
+        clones only the calling thread), so the swap is safe — and the
+        fresh, uncontended lock then guards the state reset.
+        """
+        if self._pid != os.getpid():
+            self._lock = threading.Lock()
+            with self._lock:
+                self._executor = None
+                self._pid = os.getpid()
 
     @property
     def executor(self) -> ThreadPoolExecutor:
+        self._revalidate()
         if self._executor is None:
             with self._lock:
                 if self._executor is None:
@@ -76,11 +147,13 @@ class WorkerPool:
         return self._executor
 
     def submit(self, fn: Callable, *args: object, **kwargs: object) -> Future:
+        self._revalidate()
         with self._lock:
             self.tasks_run += 1
         return self.executor.submit(fn, *args, **kwargs)
 
     def shutdown(self) -> None:
+        self._revalidate()
         with self._lock:
             executor, self._executor = self._executor, None
         if executor is not None:
@@ -92,6 +165,475 @@ class WorkerPool:
             f"WorkerPool(max_workers={self.max_workers}, "
             f"started={started}, tasks_run={self.tasks_run})"
         )
+
+
+# -- process backend ----------------------------------------------------------
+
+
+def _attach_segment(name: str) -> Any:
+    """Attach to an existing shared-memory segment, without tracking.
+
+    The *coordinator* owns unlinking; workers only map.  Python ≥ 3.13
+    has ``track=False`` for exactly this.  On earlier interpreters the
+    attach spuriously re-registers the name — harmless here, because
+    spawned workers share the parent's resource-tracker process and its
+    per-type ledger is a *set*: the re-registration is idempotent and
+    the coordinator's eventual ``unlink`` balances it.  (An explicit
+    worker-side unregister would instead over-drain the shared ledger
+    and make the tracker raise ``KeyError`` on the coordinator's turn.)
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - depends on interpreter minor
+        return shared_memory.SharedMemory(name=name)
+
+
+def _close_segment(segment: Any) -> None:
+    """Unmap a worker-resident segment once its views are dropped.
+
+    The position indexes are zero-copy views over the segment's buffer,
+    so the mmap cannot close while any survive; a ``gc.collect`` frees
+    the just-dropped view dict's arrays first.  If an export somehow
+    still pins the buffer, leaking one mapping beats crashing the
+    worker — the coordinator's unlink reclaims the backing file either
+    way.
+    """
+    if segment is None:
+        return
+    import gc
+
+    gc.collect()
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - defensive
+        pass
+
+
+def _rebuild_views(payload: dict, buffer: Any) -> dict[int, ColumnarShardView]:
+    """Worker-side: shard payloads + slab buffer → resident views.
+
+    Node and link records come from the pickled payload (object graphs
+    cannot live in a byte slab); every position index — type buckets,
+    term postings, link-type buckets — is a zero-copy view over the
+    shared slab, so repeated scans never rebuild or copy them.
+    """
+    wrap = (lambda mv: _np.asarray(mv)) if _np is not None else None
+    views: dict[int, ColumnarShardView] = {}
+    for shard, entry in payload["shards"].items():
+        view = ColumnarShardView(entry["nodes"], entry["links"])
+        sections = unpack_sections(entry["directory"], buffer, wrap=wrap)
+        view.adopt_precomputed(
+            type_buckets=sections.get("type_buckets"),
+            term_postings=sections.get("term_postings"),
+            link_type_buckets=sections.get("link_type_buckets"),
+        )
+        views[shard] = view
+    return views
+
+
+def _process_worker_main(conn: Any) -> None:
+    """The worker loop: hold shard views resident, serve shipped scans.
+
+    Protocol (coordinator → worker):
+
+    * ``("slabs", version, payload_bytes, segment_name)`` — drop any
+      resident views, attach the named slab segment (``None`` = inline
+      buffer in the payload), rebuild this worker's shard views, ack
+      with ``("ok", pid)``.
+    * ``("scan", version, shard, program_bytes)`` — run the program over
+      the resident view; reply ``("ok", positions, scan_s, pid)``.  A
+      version mismatch is an error: the coordinator always ships before
+      scanning, so a mismatch means a protocol bug, not a race.
+    * ``("stop",)`` — exit.
+
+    Any per-message failure is reported as ``("err", repr)`` and the
+    loop continues — one bad program must not kill the resident views.
+    """
+    views: dict[int, ColumnarShardView] = {}
+    version: Any = None
+    segment: Any = None
+    pid = os.getpid()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        try:
+            if kind == "slabs":
+                _, new_version, payload_bytes, segment_name = message
+                payload = pickle.loads(payload_bytes)
+                views = {}
+                old_segment, segment = segment, None
+                _close_segment(old_segment)
+                if segment_name is not None:
+                    segment = _attach_segment(segment_name)
+                    buffer = segment.buf
+                else:
+                    buffer = payload["slab"]
+                views = _rebuild_views(payload, buffer)
+                version = new_version
+                conn.send(("ok", pid))
+            elif kind == "scan":
+                _, want_version, shard, program_bytes = message
+                if want_version != version:
+                    raise ProcessPoolError(
+                        f"scan for slab version {want_version!r} but "
+                        f"worker holds {version!r}"
+                    )
+                program: ScanProgram = pickle.loads(program_bytes)
+                start = time.perf_counter()
+                rows = run_scan_program(views[shard], program)
+                scan_s = time.perf_counter() - start
+                conn.send(("ok", rows, scan_s, pid))
+            else:
+                raise ProcessPoolError(f"unknown message kind {kind!r}")
+        except BaseException as error:
+            try:
+                conn.send(("err", repr(error)))
+            except (BrokenPipeError, OSError):
+                break
+    views = {}
+    _close_segment(segment)
+    conn.close()
+
+
+class _ProcessWorker:
+    """Coordinator-side handle: one spawned process + its pipe + lock."""
+
+    __slots__ = ("process", "conn", "lock")
+
+    def __init__(self, process: Any, conn: Any):
+        self.process = process
+        self.conn = conn
+        #: serialises pipe round-trips — shard subtasks on the thread
+        #: pool may target the same worker concurrently
+        self.lock = threading.Lock()
+
+    def request(self, message: tuple, timeout: float) -> tuple:
+        """One send/recv round-trip; raises ProcessPoolError on failure."""
+        with self.lock:
+            try:
+                self.conn.send(message)
+                if not self.conn.poll(timeout):
+                    raise ProcessPoolError(
+                        f"worker pid={self.process.pid} did not reply "
+                        f"within {timeout:.0f}s"
+                    )
+                reply = self.conn.recv()
+            except ProcessPoolError:
+                raise
+            except (EOFError, OSError, BrokenPipeError) as error:
+                raise ProcessPoolError(
+                    f"worker pid={self.process.pid} pipe failed: {error!r}"
+                ) from error
+        if reply[0] == "err":
+            raise ProcessPoolError(
+                f"worker pid={self.process.pid} errored: {reply[1]}"
+            )
+        return reply
+
+
+class ProcessShardPool:
+    """Spawned worker processes holding shard views in shared memory.
+
+    The true-multicore backend behind ``parallelism="processes"``: each
+    worker owns the shards that hash to it (``shard % num_workers``) and
+    keeps their columnar views *resident* across executions, so a scan
+    ships only a :class:`~repro.plan.columnar.ScanProgram` and receives
+    only surviving row positions.  Shard slabs — every position index of
+    every shard, packed int64 — live in one shared-memory segment per
+    version: workers attach, never copy.
+
+    **Versioning**: :meth:`ensure_version` stamps each shipped slab with
+    the planner's ``(generation, mutation_epoch)`` token.  A graph write
+    changes the token, so the next execution re-ships fresh views and
+    the old segment is unlinked — a worker can never scan pre-mutation
+    columns (the invalidation contract the in-process paths get from
+    lazy view re-cutting).
+
+    **Start method**: always ``spawn``.  Fork would clone the
+    coordinator's heap (locks, pools, cached views) into workers; spawn
+    keeps workers minimal and makes the picklability contract explicit.
+
+    **Failure**: any worker error marks the pool ``broken``; executions
+    degrade to the in-process path (see the degrade ladder in
+    ``docs/ARCHITECTURE.md``) until :meth:`reset`.
+    """
+
+    def __init__(self, num_workers: int | None = None):
+        self.num_workers = (
+            num_workers if num_workers is not None else DEFAULT_PROCESS_WORKERS
+        )
+        if self.num_workers <= 0:
+            raise ValueError(
+                f"num_workers must be positive, got {self.num_workers!r}"
+            )
+        self._workers: list[_ProcessWorker] = []
+        self._lock = threading.Lock()
+        self._version: Any = None
+        self._segment: Any = None
+        self.broken = False
+        #: scans served by workers (the bench/EXPLAIN accounting)
+        self.scans_run = 0
+        #: slab ships performed (one per adopted version)
+        self.ships_run = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_workers_locked(self) -> None:
+        if self._workers:
+            return
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        try:
+            for _ in range(self.num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_process_worker_main, args=(child_conn,),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(_ProcessWorker(process, parent_conn))
+        except Exception as error:
+            # e.g. spawn refused while the main module is still importing
+            # (an unguarded script __main__) — degrade, don't crash
+            raise ProcessPoolError(
+                f"could not spawn workers: {error!r}"
+            ) from error
+
+    def shutdown(self) -> None:
+        """Stop workers and unlink the resident segment."""
+        with self._lock:
+            workers, self._workers = self._workers, []
+            segment, self._segment = self._segment, None
+            self._version = None
+        for worker in workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+            worker.conn.close()
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.kill()
+                worker.process.join(timeout=5)
+        if segment is not None:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - defensive
+                pass
+
+    def reset(self) -> None:
+        """Recover from ``broken``: fresh workers on next use."""
+        self.shutdown()
+        self.broken = False
+
+    # -- slab shipping --------------------------------------------------------
+
+    def _pack_views(
+        self, views: Sequence[ColumnarShardView]
+    ) -> tuple[list[dict], bytearray]:
+        """Pack every view's position indexes into one flat slab.
+
+        Returns per-shard directories (offsets into the shared slab) and
+        the slab bytes.  Term postings ship only when the coordinator
+        view already built them — an unbuilt posting table means no
+        keyword query has run this generation, and workers build their
+        own lazily if one arrives.
+        """
+        directories: list[dict] = []
+        chunks: list[bytearray] = []
+        base = 0
+        for view in views:
+            groups: dict[str, Any] = {
+                "type_buckets": view.type_buckets(),
+                "link_type_buckets": view.link_type_buckets(),
+            }
+            if view._term_postings is not None:
+                groups["term_postings"] = view.term_postings()
+            directory, chunk = pack_sections(groups)
+            directories.append({
+                group: {
+                    key: (offset + base, count)
+                    for key, (offset, count) in sections.items()
+                }
+                for group, sections in directory.items()
+            })
+            chunks.append(chunk)
+            base += len(chunk) // SLAB_ITEMSIZE
+        slab = bytearray()
+        for chunk in chunks:
+            slab.extend(chunk)
+        return directories, slab
+
+    def ensure_version(
+        self, token: Any, views: Sequence[ColumnarShardView]
+    ) -> float:
+        """Make *views* resident in every worker under *token*.
+
+        Returns the shipping wall-time (0.0 when the version is already
+        resident — the common case on every execution after the first of
+        a generation).  Old segments are unlinked only after every
+        worker has acked the new version, so no in-flight scan can lose
+        its mapping.
+        """
+        with self._lock:
+            if self.broken:
+                raise ProcessPoolError("pool marked broken; reset() first")
+            if self._version == token and self._workers:
+                return 0.0
+            start = time.perf_counter()
+            segment = None
+            try:
+                self._ensure_workers_locked()
+                directories, slab = self._pack_views(views)
+                segment_name = None
+                if len(slab) > 0:
+                    from multiprocessing import shared_memory
+
+                    segment = shared_memory.SharedMemory(
+                        create=True, size=max(len(slab), 1)
+                    )
+                    segment.buf[: len(slab)] = slab
+                    segment_name = segment.name
+                for index, worker in enumerate(self._workers):
+                    shards = {
+                        shard: {
+                            "nodes": view.nodes,
+                            "links": view.links,
+                            "directory": directories[shard],
+                        }
+                        for shard, view in enumerate(views)
+                        if shard % self.num_workers == index
+                    }
+                    payload: dict[str, Any] = {"shards": shards}
+                    if segment_name is None:
+                        payload["slab"] = bytes(slab)
+                    worker.request(
+                        (
+                            "slabs",
+                            token,
+                            pickle.dumps(
+                                payload, protocol=pickle.HIGHEST_PROTOCOL
+                            ),
+                            segment_name,
+                        ),
+                        PROCESS_REPLY_TIMEOUT_S,
+                    )
+            except Exception as error:
+                # any ship failure — spawn refusal, an unpicklable record
+                # attribute, a dead pipe — breaks the pool; callers
+                # degrade to the in-process path
+                self.broken = True
+                if segment is not None:
+                    segment.close()
+                    segment.unlink()
+                if isinstance(error, ProcessPoolError):
+                    raise
+                raise ProcessPoolError(
+                    f"slab ship failed: {error!r}"
+                ) from error
+            old_segment, self._segment = self._segment, segment
+            self._version = token
+            self.ships_run += 1
+            if old_segment is not None:
+                old_segment.close()
+                try:
+                    old_segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
+            return time.perf_counter() - start
+
+    # -- scans ----------------------------------------------------------------
+
+    def scan(
+        self, shard: int, program: ScanProgram
+    ) -> tuple[list[int], float, int]:
+        """Run *program* on the worker holding *shard*.
+
+        Returns ``(positions, worker_scan_seconds, worker_pid)``.  Any
+        failure marks the pool broken and raises
+        :class:`ProcessPoolError` — the caller degrades to threads.
+        """
+        if self.broken:
+            raise ProcessPoolError("pool marked broken; reset() first")
+        with self._lock:
+            if not self._workers:
+                raise ProcessPoolError("no slab version shipped yet")
+            worker = self._workers[shard % self.num_workers]
+            version = self._version
+        try:
+            reply = worker.request(
+                (
+                    "scan",
+                    version,
+                    shard,
+                    pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL),
+                ),
+                PROCESS_REPLY_TIMEOUT_S,
+            )
+        except ProcessPoolError:
+            self.broken = True
+            raise
+        with self._lock:
+            self.scans_run += 1
+        _, rows, scan_s, pid = reply
+        return rows, scan_s, pid
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live workers (the CI smoke asserts these ≠ main)."""
+        with self._lock:
+            return [w.process.pid for w in self._workers if w.process.pid]
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessShardPool(num_workers={self.num_workers}, "
+            f"started={bool(self._workers)}, broken={self.broken}, "
+            f"scans_run={self.scans_run})"
+        )
+
+
+class ProcessBackend:
+    """Per-execution adapter binding a pool to one slab version.
+
+    Scatter operators see one method: :meth:`scan`.  The first scan of
+    an execution ships the planner's current views under its
+    ``(generation, mutation_epoch)`` token (a no-op when resident);
+    shipping cost is amortised evenly over the execution's shards so the
+    EXPLAIN ship/scan split sums to the true wall cost.
+    """
+
+    def __init__(self, pool: ProcessShardPool, token: Any,
+                 views: Sequence[ColumnarShardView]):
+        self.pool = pool
+        self.token = token
+        self.views = views
+        self._ship_s: float | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def workers(self) -> int:
+        return self.pool.num_workers
+
+    def scan(
+        self, shard: int, program: ScanProgram
+    ) -> tuple[list[int], float, float, int]:
+        """Ship-if-needed, then scan: ``(rows, ship_s, scan_s, pid)``."""
+        with self._lock:
+            if self._ship_s is None:
+                self._ship_s = self.pool.ensure_version(self.token, self.views)
+        rows, scan_s, pid = self.pool.scan(shard, program)
+        ship_share = self._ship_s / max(len(self.views), 1)
+        return rows, ship_share, scan_s, pid
 
 
 _shared_pool: WorkerPool | None = None

@@ -31,6 +31,7 @@ from repro.core.stats import Card, GraphStats
 from repro.errors import ExpressionError
 from repro.plan.columnar import (
     ColumnarShardView,
+    ScanProgram,
     VectorCondition,
     union_link_subgraph,
     union_null_graph,
@@ -54,12 +55,21 @@ ShardView = ColumnarShardView
 
 @dataclass(frozen=True)
 class ShardProfile:
-    """One shard's slice of a scattered operator, for EXPLAIN."""
+    """One shard's slice of a scattered operator, for EXPLAIN.
+
+    Process-served shards additionally carry the ship/scan split:
+    ``ship_s`` is this shard's amortised share of the slab-shipping
+    cost (0.0 when the views were already worker-resident) and
+    ``scan_s`` the worker-measured kernel time; ``None`` means the
+    shard ran in-process and ``elapsed_s`` is the whole story.
+    """
 
     shard: int
     actual: Card
     elapsed_s: float
     worker: str | None = None
+    ship_s: float = 0.0
+    scan_s: float | None = None
 
 
 class ExecContext:
@@ -123,6 +133,17 @@ class ExecContext:
         self.result_cache: dict | None = None
         #: operator ids whose result came from the sub-plan memo
         self.subplan_hits: set[int] = set()
+        #: process backend for this execution (``None`` = in-process
+        #: scans only); scatter operators route shippable programs
+        #: through it and gather survivors locally
+        self.process_backend: Any | None = None
+        #: True once any worker failure degraded this execution to the
+        #: in-process path (the executor string reports it)
+        self.process_degraded = False
+        #: per-operator scratch for multi-phase operators (e.g. the
+        #: sharded endorsement merge stashing its entry prelude between
+        #: ``subtasks`` and ``finish_subtasks``)
+        self.scratch: dict[int, Any] = {}
         #: guards the shard-profile lists under concurrent shard tasks
         self.lock = threading.Lock()
 
@@ -348,10 +369,23 @@ class _ScatterScanOp(PhysicalOp):
             logical.condition  # type: ignore[attr-defined]
         )
 
+    #: record kind the shipped :class:`ScanProgram` declares
+    _program_kind = "nodes"
+
     # -- hooks the node/link forms implement -----------------------------------
 
     def _kernel(self, view: ShardView) -> list:
         """Select one partition's matching records."""
+        raise NotImplementedError
+
+    def _gather(self, view: ShardView, rows: Sequence[int]) -> list:
+        """Materialise worker-returned survivor positions from *view*.
+
+        The process backend ships only the program and receives only
+        positions; scoring and record materialisation happen here, on
+        the coordinator's identically-ordered view, so the result is
+        record-for-record what :meth:`_kernel` would have produced.
+        """
         raise NotImplementedError
 
     def _merge(self, base: SocialContentGraph,
@@ -362,6 +396,24 @@ class _ScatterScanOp(PhysicalOp):
     def _part_card(self, part: list) -> Card:
         """One part's cardinality for its per-shard EXPLAIN row."""
         raise NotImplementedError
+
+    def ship_program(self) -> ScanProgram | None:
+        """The picklable scan descriptor, or ``None`` when not shippable.
+
+        Covered scans never ship (the bucket gather is O(answer) locally
+        and the columns never run); conditions whose residual closes
+        over unpicklable state (lambdas with local captures) stay
+        in-process — shippability is decided once per condition and
+        cached on the :class:`VectorCondition`.
+        """
+        if getattr(self, "covered", False):
+            return None
+        if not self.vector_condition.shippable():
+            return None
+        return ScanProgram(
+            self._program_kind,
+            self.logical.condition,  # type: ignore[attr-defined]
+        )
 
     # -- shared scatter protocol -----------------------------------------------
 
@@ -376,17 +428,50 @@ class _ScatterScanOp(PhysicalOp):
         self, ctx: ExecContext, shard: int, view: ShardView
     ) -> list:
         start = time.perf_counter()
-        part = self._kernel(view)
+        part, worker, ship_s, scan_s = self._scan_shard_backend(
+            ctx, shard, view
+        )
+        if part is None:
+            part = self._kernel(view)
+            worker = threading.current_thread().name if ctx.pooled else None
+            ship_s, scan_s = 0.0, None
         elapsed = time.perf_counter() - start
-        worker = threading.current_thread().name if ctx.pooled else None
         with ctx.lock:
             ctx.shard_actuals.setdefault(id(self), []).append(ShardProfile(
                 shard=shard,
                 actual=self._part_card(part),
                 elapsed_s=elapsed,
                 worker=worker,
+                ship_s=ship_s,
+                scan_s=scan_s,
             ))
         return part
+
+    def _scan_shard_backend(
+        self, ctx: ExecContext, shard: int, view: ShardView
+    ) -> tuple[list | None, str | None, float, float | None]:
+        """Try the process backend; ``(None, ...)`` means run in-process.
+
+        Worker failure is *contained*: the execution flips to
+        ``process_degraded`` (every remaining shard of every scatter op
+        runs the in-process kernel) and the scan proceeds — a poisoned
+        worker costs latency, never correctness.
+        """
+        backend = ctx.process_backend
+        if backend is None or ctx.process_degraded:
+            return None, None, 0.0, None
+        program = self.ship_program()
+        if program is None:
+            return None, None, 0.0, None
+        from repro.plan.parallel import ProcessPoolError
+
+        try:
+            rows, ship_s, scan_s, pid = backend.scan(shard, program)
+        except ProcessPoolError:
+            with ctx.lock:
+                ctx.process_degraded = True
+            return None, None, 0.0, None
+        return self._gather(view, rows), f"pid:{pid}", ship_s, scan_s
 
     def subtasks(
         self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
@@ -476,6 +561,11 @@ class ShardedScanOp(_ScatterScanOp):
             view, self.logical.scorer,  # type: ignore[attr-defined]
         )
 
+    def _gather(self, view: ShardView, rows: Sequence[int]) -> list:
+        return self.vector_condition.gather_nodes(
+            view, rows, self.logical.scorer,  # type: ignore[attr-defined]
+        )
+
     def _merge(self, base: SocialContentGraph,
                parts: Sequence[list]) -> SocialContentGraph:
         return union_null_graph(base, parts)
@@ -505,10 +595,17 @@ class ShardedLinkScanOp(_ScatterScanOp):
             f"[sharded-links×{self.num_shards}{prune}]"
         )
 
+    _program_kind = "links"
+
     def _kernel(self, view: ShardView) -> list:
         return self.vector_condition.select_links(
             view, self.logical.scorer,  # type: ignore[attr-defined]
             prune_type=self.prune_type,
+        )
+
+    def _gather(self, view: ShardView, rows: Sequence[int]) -> list:
+        return self.vector_condition.gather_links(
+            view, rows, self.logical.scorer,  # type: ignore[attr-defined]
         )
 
     def _merge(self, base: SocialContentGraph,
@@ -683,52 +780,147 @@ class EndorsementMergeOp(_SocialStageOp):
     """
 
     def __init__(self, logical: Expr, children: Sequence[PhysicalOp],
-                 strategy: str, variant: str):
+                 strategy: str, variant: str, num_shards: int = 1):
         super().__init__(logical, children, strategy)
         self.variant = variant
+        #: posting-merge scatter width: ≥2 cuts the user's endorsement
+        #: entries by item shard and merges per-shard score maps at the
+        #: union, instead of one coordinator-side pass over the full list
+        self.num_shards = max(1, num_shards)
         self.access_path = (
             NETWORK_CLUSTERED if variant == "clustered" else NETWORK_EXACT
         )
 
     @property
     def form(self) -> str:  # type: ignore[override]
+        if self.num_shards > 1:
+            return f"endorse-merge:{self.variant}×{self.num_shards}"
         return f"endorse-merge:{self.variant}"
 
-    def _run(
+    def _prelude(
         self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
-    ) -> SocialContentGraph:
-        from repro.core.social import encode_social_result
-        from repro.indexing.endorsement import ACT_TAG, endorsement_entries
+    ) -> tuple | None:
+        """Resolve index + entries, or ``None`` (degraded to the probe)."""
+        from repro.indexing.endorsement import endorsement_entries
 
         provider = ctx.network_provider
         index = provider(self.variant) if provider is not None else None
         if index is None:
             ctx.degraded.add(id(self))
-            return super()._run(ctx, inputs)
+            return None
         user = self.logical.user_id  # type: ignore[attr-defined]
         entries = endorsement_entries(index, user)
         if entries is None:  # regime the index cannot serve exactly
             ctx.degraded.add(id(self))
-            return super()._run(ctx, inputs)
-        graph, candidates, _basis = inputs
-        candidate_ids = {n.id for n in candidates.nodes()}
+            return None
+        candidate_ids = {n.id for n in inputs[1].nodes()}
         basis_members = index.data.basis.get(user, set())
+        return index, entries, candidate_ids, basis_members
+
+    def _merge_shard(
+        self, ctx: ExecContext, shard: int, prelude: tuple
+    ) -> tuple[dict, dict]:
+        """Score one item shard's cut of the user's endorsement entries."""
+        from repro.core.partition import shard_of
+        from repro.indexing.endorsement import ACT_TAG
+
+        index, entries, candidate_ids, basis_members = prelude
+        start = time.perf_counter()
         scores: dict = {}
         endorsers: dict = {}
+        n = self.num_shards
         for item, score in entries:
+            if n > 1 and shard_of(item, n) != shard:
+                continue
             if item not in candidate_ids:
                 continue
             scores[item] = score
             members = index.data.taggers.get((item, ACT_TAG), set())
             endorsers[item] = {m: 1.0 for m in sorted(members & basis_members,
                                                       key=repr)}
+        elapsed = time.perf_counter() - start
+        worker = threading.current_thread().name if ctx.pooled else None
+        with ctx.lock:
+            ctx.shard_actuals.setdefault(id(self), []).append(ShardProfile(
+                shard=shard,
+                actual=Card(len(scores), 0),
+                elapsed_s=elapsed,
+                worker=worker,
+            ))
+        return scores, endorsers
+
+    def _combine(
+        self, inputs: Sequence[SocialContentGraph],
+        prelude: tuple, parts: Sequence[tuple[dict, dict]],
+    ) -> SocialContentGraph:
+        from repro.core.social import encode_social_result
+
+        _index, entries, _candidate_ids, _basis = prelude
+        merged_scores: dict = {}
+        merged_endorsers: dict = {}
+        for part_scores, part_endorsers in parts:
+            merged_scores.update(part_scores)
+            merged_endorsers.update(part_endorsers)
+        # Re-key in the posting list's own entry order: the scatter must
+        # be bit-identical to the coordinator-side pass, and downstream
+        # encode/tie-break behaviour may observe dict order.
+        scores = {item: merged_scores[item] for item, _ in entries
+                  if item in merged_scores}
+        endorsers = {item: merged_endorsers[item] for item in scores}
         # Uniform-weight Selma fallback: an empty endorsement set under an
         # empty query marks the expert fallback (whose expert search over
         # zero query terms yields nothing), exactly as the probe path does.
         return encode_social_result(
-            graph, candidates, scores, endorsers, {}, self.strategy,
+            inputs[0], inputs[1], scores, endorsers, {}, self.strategy,
             fallback=not scores,
         )
+
+    def subtasks(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> list[Callable[[], Any]] | None:
+        if self.num_shards < 2:
+            return None
+        prelude = self._prelude(ctx, inputs)
+        if prelude is None:
+            # plain-task fallback re-resolves the prelude and degrades
+            return None
+        ctx.scratch[id(self)] = prelude
+        return [
+            (lambda shard=shard: self._merge_shard(ctx, shard, prelude))
+            for shard in range(self.num_shards)
+        ]
+
+    def finish_subtasks(
+        self,
+        ctx: ExecContext,
+        inputs: Sequence[SocialContentGraph],
+        parts: list,
+    ) -> SocialContentGraph:
+        prelude = ctx.scratch.pop(id(self))
+        start = time.perf_counter()
+        result = self._combine(inputs, prelude, parts)
+        merge_elapsed = time.perf_counter() - start
+        with ctx.lock:
+            slowest = max(
+                (p.elapsed_s for p in ctx.shard_actuals.get(id(self), ())),
+                default=0.0,
+            )
+        self._store_result_memo(ctx, result)
+        # critical path, as in the scatter scans: shards overlapped
+        self._record(ctx, result, slowest + merge_elapsed)
+        return result
+
+    def _run(
+        self, ctx: ExecContext, inputs: Sequence[SocialContentGraph]
+    ) -> SocialContentGraph:
+        prelude = self._prelude(ctx, inputs)
+        if prelude is None:
+            return super()._run(ctx, inputs)
+        parts = [
+            self._merge_shard(ctx, shard, prelude)
+            for shard in range(self.num_shards)
+        ]
+        return self._combine(inputs, prelude, parts)
 
 
 @dataclass(frozen=True)
@@ -914,6 +1106,26 @@ class PhysicalPlan:
         )
 
     @property
+    def process_shippable(self) -> bool:
+        """True when the scatter work of this plan can leave the process.
+
+        At least one scattered scan ships its program whole, and no
+        scattered scan is pinned in-process by an unpicklable residual —
+        covered scans (which never ship, by choice) don't disqualify.  A
+        half-shippable plan stays on threads: paying slab shipping to
+        parallelise only part of the scatter loses on both sides.
+        """
+        ships = 0
+        for op in self._walk(self.root, set()):
+            if not isinstance(op, _ScatterScanOp):
+                continue
+            if op.ship_program() is not None:
+                ships += 1
+            elif not getattr(op, "covered", False):
+                return False
+        return ships > 0
+
+    @property
     def access_path(self) -> str:
         """Dominant access path tag for response metadata."""
         return INDEX if self.uses_index else SCAN
@@ -960,16 +1172,27 @@ class PhysicalPlan:
             [SocialContentGraph, str, Any], "list | None"
         ] | None = None,
         topk: int | None = None,
+        process_backend: Any | None = None,
     ) -> PlanExecution:
         """Run the plan; the result never aliases an input/literal graph.
 
         *parallel* picks the executor: ``"never"`` stays sequential,
-        ``"force"`` drives the DAG through *pool* unconditionally, and
-        ``"auto"`` (the default) uses the pool only when one was supplied
-        and :attr:`estimated_cost` clears *parallel_min_cost* — pool
-        handoff on a trivial plan costs more than it saves.  Either mode
-        produces identical graphs and profiles; pooled runs additionally
-        tag each operator with the worker thread that ran it.
+        ``"force"`` drives the DAG through *pool* unconditionally,
+        ``"threads"`` is cost-gated pooling with the process backend
+        pinned off, ``"processes"`` forces pooling (the thread pool
+        overlaps the per-shard pipe round-trips) with the backend
+        attached, and ``"auto"`` (the default) uses the pool only when
+        one was supplied and :attr:`estimated_cost` clears
+        *parallel_min_cost* — pool handoff on a trivial plan costs more
+        than it saves.  Every mode produces identical graphs and
+        profiles; pooled runs additionally tag each operator with the
+        worker thread that ran it.
+
+        *process_backend* (a :class:`repro.plan.parallel.ProcessBackend`
+        bound to the planner's current shard views, or ``None``) routes
+        shippable scatter scans to resident worker processes; any worker
+        failure degrades the rest of the execution to the in-process
+        path, annotated in the executor string.
 
         *topk* is an execution parameter, not part of the plan shape (so
         cached plans serve any k): ranking operators bound their sorted
@@ -981,8 +1204,10 @@ class PhysicalPlan:
                           shard_provider, attr_provider)
         ctx.result_cache = result_cache
         ctx.topk = topk
+        ctx.process_backend = process_backend
         use_pool = pool is not None and parallel != "never" and (
-            parallel == "force" or self.estimated_cost >= parallel_min_cost
+            parallel in ("force", "processes")
+            or self.estimated_cost >= parallel_min_cost
         )
         if use_pool:
             from repro.plan.parallel import execute_pooled
@@ -993,6 +1218,10 @@ class PhysicalPlan:
         else:
             result = self.root.execute(ctx)
             executor = "sequential"
+        if process_backend is not None:
+            executor = f"processes({process_backend.workers})+{executor}"
+            if ctx.process_degraded:
+                executor += " (degraded→threads)"
         if id(result) in ctx.borrowed:
             result = result.copy()
         return PlanExecution(
@@ -1028,8 +1257,16 @@ class PhysicalPlan:
                 estimated.links / len(shard_rows),
             )
             for row in sorted(shard_rows, key=lambda r: r.shard):
+                label = f"shard[{row.shard}]"
+                if row.scan_s is not None:
+                    # process-served: show the ship/scan split (the
+                    # remainder of elapsed_s is the coordinator gather)
+                    label += (
+                        f" ship={row.ship_s * 1e3:.2f}ms"
+                        f" scan={row.scan_s * 1e3:.2f}ms"
+                    )
                 yield OperatorProfile(
-                    op=f"shard[{row.shard}]",
+                    op=label,
                     depth=depth + 1,
                     estimated=per_shard_estimate,
                     actual=row.actual,

@@ -50,7 +50,12 @@ from repro.core.partition import shard_of
 from repro.plan.cache import PlanCache, ResultMemo, shared_plan_cache
 from repro.plan.columnar import cut_columnar_views
 from repro.plan.compiler import CostModel, IndexBinding, compile_plan
-from repro.plan.parallel import WorkerPool, shared_worker_pool
+from repro.plan.parallel import (
+    ProcessBackend,
+    ProcessShardPool,
+    WorkerPool,
+    shared_worker_pool,
+)
 from repro.plan.physical import (
     AttrIndexScanOp,
     FusedSocialCombineOp,
@@ -63,7 +68,13 @@ from repro.plan.physical import (
 BASE_GRAPH = "G"
 
 #: Execution-parallelism modes a planner can be pinned to.
-PARALLEL_MODES = ("auto", "never", "force")
+#: ``"auto"`` cost-gates the thread pool and escalates to the process
+#: backend only past the cost model's row floor; ``"threads"`` is the
+#: cost-gated thread pool with processes pinned off; ``"processes"``
+#: forces the process backend (degrading per execution if workers fail);
+#: ``"force"`` drives every plan through the thread pool; ``"never"``
+#: stays sequential.
+PARALLEL_MODES = ("auto", "never", "force", "threads", "processes")
 
 
 class QueryPlanner:
@@ -124,6 +135,10 @@ class QueryPlanner:
         #: re-deriving them; bounded by entries *and* estimated bytes
         self._subplan_results = ResultMemo()
         self._subplan_generation = -1
+        #: lazily spawned process backend (``parallelism="processes"`` /
+        #: big-scatter ``"auto"`` executions); planner-owned so the slab
+        #: version token is this planner's ``(generation, epoch)`` stamp
+        self._process_pool: "ProcessShardPool | None" = None
         self._lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
@@ -198,6 +213,56 @@ class QueryPlanner:
         if self._pool is None:
             self._pool = shared_worker_pool()
         return self._pool
+
+    @property
+    def process_pool(self) -> ProcessShardPool:
+        """The planner's process-worker pool (spawned lazily on first use)."""
+        with self._lock:
+            if self._process_pool is None:
+                self._process_pool = ProcessShardPool()
+            return self._process_pool
+
+    def close(self) -> None:
+        """Release planner-owned executor resources (process workers)."""
+        with self._lock:
+            pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def _process_backend(
+        self, plan: PhysicalPlan, mode: str,
+        env: Mapping[str, SocialContentGraph] | None,
+    ) -> ProcessBackend | None:
+        """The process backend for one execution, or ``None`` (threads).
+
+        Eligibility: the mode asks for processes (explicitly, or
+        ``"auto"`` with the estimated scatter population over the cost
+        model's ``process_min_rows`` floor), the plan scatters at least
+        one scan whose program ships whole (residual-free or
+        residual-picklable — covered scans don't disqualify), the
+        environment binds the planner's own graph, and the pool is not
+        broken.  The backend carries this planner's current
+        ``(generation, mutation_epoch)`` token, so a mutated graph
+        re-ships fresh slabs before any worker scans.
+        """
+        if mode not in ("processes", "auto"):
+            return None
+        if env is not None:  # foreign graphs never reach worker residency
+            return None
+        if not plan.uses_sharded_scan or not plan.process_shippable:
+            return None
+        if mode == "auto":
+            stats = self.stats
+            if (stats.num_nodes * self.shards
+                    < self.cost_model.process_min_rows):
+                return None
+        pool = self.process_pool
+        if pool.broken:
+            return None
+        views = self.shard_views(self.graph)
+        if views is None:
+            return None
+        return ProcessBackend(pool, self._derived_token(), views)
 
     def _derived_token(self) -> tuple:
         """Validity stamp for every planner-local derived structure.
@@ -374,6 +439,10 @@ class QueryPlanner:
         plan, cache_hit = self.compile(expr, access)
         provider = self._index.provider if self._index is not None else None
         mode = parallel if parallel is not None else self.parallelism
+        if mode not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallelism {mode!r}; have {PARALLEL_MODES}"
+            )
         execution = plan.execute(
             env if env is not None else {BASE_GRAPH: self.graph},
             index_provider=provider,
@@ -383,6 +452,7 @@ class QueryPlanner:
             pool=self.pool if mode != "never" else None,
             parallel=mode,
             parallel_min_cost=self.cost_model.parallel_min_cost,
+            process_backend=self._process_backend(plan, mode, env),
             # the sub-plan memo assumes the default environment: a custom
             # env may bind G to a different graph than the memo was cut on
             result_cache=self._subplan_cache() if env is None else None,

@@ -42,7 +42,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.api import RequestFailure, SearchRequest, SearchResponse, Session
-from repro.errors import ServeError
+from repro.errors import QueryError, ServeError
 from repro.serve.admission import (
     Admitted,
     AdmissionController,
@@ -67,6 +67,10 @@ class GatewayConfig:
     max_batch: int = 16
     #: worker threads — concurrent ``run_many`` batches in flight
     max_concurrent_batches: int = 4
+    #: plan-executor mode pinned onto the session's planner at gateway
+    #: construction ("auto"/"never"/"force"/"threads"/"processes"); None
+    #: leaves the session's configured mode untouched
+    parallelism: str | None = None
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
 
 
@@ -145,6 +149,11 @@ class ServeGateway:
                 "max_concurrent_batches must be >= 1, got "
                 f"{self.config.max_concurrent_batches!r}"
             )
+        if self.config.parallelism is not None:
+            try:
+                session.set_parallelism(self.config.parallelism)
+            except QueryError as error:
+                raise ServeError(str(error)) from error
         self.admission = AdmissionController(self.config.admission)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._executor: ThreadPoolExecutor | None = None

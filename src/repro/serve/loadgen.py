@@ -367,6 +367,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--concurrency", type=int, default=None,
                         help="concurrent in-flight clients")
     parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--parallelism", default=None,
+                        choices=("auto", "never", "force", "threads",
+                                 "processes"),
+                        help="pin the session's plan-executor mode "
+                             "(default: leave the session on auto)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="partition the site graph into N shards "
+                             "(enables scattered scans)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     args = parser.parse_args(argv)
@@ -390,12 +398,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.concurrency if args.concurrency is not None else 32
         )
     site = build_site(site_config)
-    session = Session.from_graph(site.graph)
+    session_config = None
+    if args.shards is not None and args.shards > 1:
+        session_config = SessionConfig(shards=args.shards)
+    session = Session.from_graph(site.graph, session_config)
     mix = LoadMix.for_site(
         site.user_ids, site.categories, LoadMixConfig(seed=args.seed)
     )
-    config = HarnessConfig(concurrency=concurrency, total_requests=total)
-    report = run_closed_loop(session, mix, config)
+    gateway_config = GatewayConfig(
+        admission=DEFAULT_LOAD_ADMISSION, parallelism=args.parallelism
+    )
+    config = HarnessConfig(
+        concurrency=concurrency, total_requests=total, gateway=gateway_config
+    )
+    try:
+        report = run_closed_loop(session, mix, config)
+    finally:
+        session.close()  # shut process workers down, unlink slabs
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:

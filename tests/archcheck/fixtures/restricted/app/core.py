@@ -1,0 +1,7 @@
+"""L004 violation: a restricted import outside its owning module."""
+
+import multiprocessing
+
+
+def spawn_context():
+    return multiprocessing.get_context("spawn")

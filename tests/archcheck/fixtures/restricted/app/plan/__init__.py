@@ -1,0 +1,1 @@
+"""The plan package of the restricted-imports fixture."""

@@ -1,0 +1,7 @@
+"""The one module the config allows to touch multiprocessing."""
+
+from multiprocessing import shared_memory
+
+
+def attach(name):
+    return shared_memory.SharedMemory(name)

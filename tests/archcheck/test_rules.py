@@ -65,6 +65,35 @@ class TestLayering:
         )
 
 
+class TestRestrictedImports:
+    def test_multiprocessing_outside_its_owner_fires(self):
+        findings = run_on("restricted", "layering")
+        l004 = [f for f in findings if f.rule == "L004"]
+        assert {f.symbol for f in l004} == {"core->multiprocessing"}
+        assert "plan.parallel" in l004[0].message
+
+    def test_owning_module_is_silent(self):
+        findings = run_on("restricted", "layering")
+        assert not any(
+            f.rule == "L004" and f.path.endswith("parallel.py")
+            for f in findings
+        )
+
+    def test_submodules_of_the_prefix_are_covered(self):
+        import ast
+
+        from tools.archcheck.findings import Module
+        from tools.archcheck.layering import check_layering
+
+        tree = ast.parse("from multiprocessing.shared_memory "
+                         "import SharedMemory\n")
+        module = Module(path=Path("serve/gateway.py"),
+                        rel_path="serve/gateway.py",
+                        name="serve.gateway", tree=tree)
+        findings = check_layering([module], fixture_config())
+        assert any(f.rule == "L004" for f in findings)
+
+
 class TestConcurrency:
     def test_locked_suffix_call_without_lock_fires(self):
         findings = run_on("concurrency", "concurrency")

@@ -1,0 +1,522 @@
+"""The process backend: parity, shipping, invalidation, degrade, fork.
+
+The acceptance net of the multicore executor: every query answers
+identically (1e-9 on scores) across {sequential, threads, processes} ×
+{1, 2, 7 shards}; slab generations invalidate worker-resident columns
+on in-place writes; a poisoned worker degrades the execution to the
+in-process path mid-plan without changing the answer; the σL residual
+vectorization and the sharded endorsement merge hold parity against
+their row-wise references; and a forked :class:`WorkerPool` revalidates
+instead of deadlocking on inherited executor state.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import factories
+from repro.core import Condition, Node, input_graph
+from repro.core.conditions import AttrCompare, HasAttr, Lambda, Or
+from repro.core.selection import select_matching_links
+from repro.discovery import InformationDiscoverer, parse_query
+from repro.plan import (
+    CostModel,
+    EndorsementMergeOp,
+    QueryPlanner,
+    VectorCondition,
+    WorkerPool,
+)
+from repro.plan.columnar import cut_columnar_views
+from repro.core.partition import shard_of
+
+TOL = 1e-9
+
+#: σN conditions exercising cover, prune, postings and residual regimes.
+NODE_CONDITIONS = (
+    Condition({"type": "item"}),
+    Condition({"type": "item"}, keywords="topic0"),
+    Condition({"type": "user"}),
+    Condition({"name": "item 1"}),
+    Condition({"type": "item"}, keywords="topic1 thing"),
+)
+
+
+def process_planner(graph, shards, mode="processes",
+                    min_rows=0.0) -> QueryPlanner:
+    """A planner with sharding unthrottled and the process floor set."""
+    planner = QueryPlanner(
+        graph,
+        cost_model=CostModel(shard_scan_min_nodes=0.0,
+                             process_min_rows=min_rows),
+        parallelism=mode,
+    )
+    if shards > 1:
+        planner.attach_shards(shards)
+    return planner
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend parity
+# ---------------------------------------------------------------------------
+
+
+class TestCrossBackendParity:
+    """{sequential, threads, processes} × {1, 2, 7 shards} — one answer."""
+
+    def test_scan_matrix_matches_monolithic(self):
+        graph = factories.social_site_graph(num_users=10, num_items=16)
+        exprs = [input_graph("G").select_nodes(c) for c in NODE_CONDITIONS]
+        mono = QueryPlanner(graph)
+        reference = [mono.execute(e).result for e in exprs]
+        for shards in (1, 2, 7):
+            for mode in ("never", "threads", "processes"):
+                planner = process_planner(graph, shards, mode)
+                try:
+                    for expr, ref in zip(exprs, reference):
+                        got = planner.execute(expr)
+                        assert got.result.same_as(ref), (shards, mode)
+                finally:
+                    planner.close()
+
+    def test_ranking_parity_across_backends(self):
+        graph = factories.social_site_graph()
+        query = parse_query("u0", "topic0 thing")
+        for strategy in ("friends", "similar_users", "item_based"):
+            reference = InformationDiscoverer(graph).rank(
+                query, strategy=strategy
+            )
+            for shards in (2, 7):
+                for mode in ("threads", "processes"):
+                    discoverer = InformationDiscoverer(graph)
+                    planner = discoverer.planner
+                    planner.cost_model = CostModel(shard_scan_min_nodes=0.0)
+                    planner.attach_shards(shards)
+                    planner.parallelism = mode
+                    try:
+                        got = discoverer.rank(query, strategy=strategy)
+                        assert [s.item_id for s in got.items] == [
+                            s.item_id for s in reference.items
+                        ]
+                        for a, b in zip(got.items, reference.items):
+                            assert a.combined == pytest.approx(
+                                b.combined, abs=TOL
+                            )
+                            assert a.social == pytest.approx(
+                                b.social, abs=TOL
+                            )
+                        assert got.social.scores == pytest.approx(
+                            reference.social.scores, abs=TOL
+                        )
+                    finally:
+                        planner.close()
+
+    def test_process_execution_tags_executor_and_workers(self):
+        graph = factories.social_site_graph(num_users=10, num_items=16)
+        planner = process_planner(graph, 3)
+        try:
+            # covered scans never ship; a keyword scan is prune-only
+            execution = planner.execute(input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="topic0")
+            ))
+            assert execution.executor.startswith("processes(")
+            rendered = execution.render()
+            assert "pid:" in rendered
+            assert "ship=" in rendered and "scan=" in rendered
+        finally:
+            planner.close()
+
+
+# ---------------------------------------------------------------------------
+# Slab generations: in-place writes invalidate worker-resident columns
+# ---------------------------------------------------------------------------
+
+
+class TestEpochInvalidation:
+    def test_in_place_writes_reship_and_answer_fresh(self):
+        graph = factories.social_site_graph(num_items=6)
+        planner = process_planner(graph, 2)
+        expr = input_graph("G").select_nodes(
+            Condition({"type": "item"}, keywords="thing")
+        )
+        try:
+            before = planner.execute(expr)
+            assert before.result.num_nodes == 6
+            pool = planner.process_pool
+            assert pool.ships_run == 1
+            # same epoch: the resident slabs serve without a re-ship
+            planner.execute(expr)
+            assert pool.ships_run == 1
+            graph.add_node(Node("i-live", type="item", name="in-place",
+                                keywords="topic0 thing"))
+            after = planner.execute(expr)
+            assert after.result.has_node("i-live")
+            assert after.result.num_nodes == 7
+            assert pool.ships_run == 2
+            graph.remove_node("i-live")
+            assert not planner.execute(expr).result.has_node("i-live")
+            assert pool.ships_run == 3
+        finally:
+            planner.close()
+
+
+# ---------------------------------------------------------------------------
+# Runtime degrade: a poisoned worker must not change the answer
+# ---------------------------------------------------------------------------
+
+
+class TestDegradeToThreads:
+    def test_poisoned_worker_degrades_mid_plan(self):
+        graph = factories.social_site_graph(num_users=10, num_items=16)
+        planner = process_planner(graph, 2)
+        seq = QueryPlanner(graph)
+        poisoned = input_graph("G").select_nodes(
+            Condition({"type": "item"}, keywords="topic0")
+        )
+        try:
+            # healthy run first, so workers exist to poison
+            warm = input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="thing")
+            )
+            planner.execute(warm)
+            pool = planner.process_pool
+            for worker in pool._workers:
+                worker.process.kill()
+            execution = planner.execute(poisoned)
+            assert execution.result.same_as(seq.execute(poisoned).result)
+            assert "degraded→threads" in execution.executor
+            assert pool.broken
+            # broken pool: later plans skip the backend entirely
+            later = input_graph("G").select_nodes({"name": "item 1"})
+            again = planner.execute(later)
+            assert not again.executor.startswith("processes")
+            assert again.result.same_as(seq.execute(later).result)
+        finally:
+            planner.close()
+
+    def test_reset_recovers_the_pool(self):
+        graph = factories.social_site_graph(num_users=10, num_items=16)
+        planner = process_planner(graph, 2)
+        try:
+            planner.execute(input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="thing")
+            ))
+            pool = planner.process_pool
+            for worker in pool._workers:
+                worker.process.kill()
+            bad = input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="topic0")
+            )
+            planner.execute(bad)
+            assert pool.broken
+            pool.reset()
+            assert not pool.broken
+            ships_before = pool.ships_run
+            fresh = input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="topic1")
+            )
+            execution = planner.execute(fresh)
+            assert execution.executor.startswith("processes(")
+            assert pool.ships_run == ships_before + 1
+            assert execution.result.same_as(
+                QueryPlanner(graph).execute(fresh).result
+            )
+        finally:
+            planner.close()
+
+
+# ---------------------------------------------------------------------------
+# Shipping eligibility: picklability and the auto row floor
+# ---------------------------------------------------------------------------
+
+
+class TestShippability:
+    def test_opaque_residuals_pin_the_plan_to_threads(self):
+        graph = factories.social_site_graph(num_users=10, num_items=16)
+        planner = process_planner(graph, 2)
+        threshold = 0.0  # closure state: the lambda cannot pickle
+        expr = input_graph("G").select_nodes(Condition(
+            {"type": "item"},
+            predicates=[Lambda(lambda n: (n.score or 1.0) > threshold)],
+        ))
+        try:
+            plan, _ = planner.compile(expr)
+            assert not plan.process_shippable
+            execution = planner.execute(expr)
+            assert not execution.executor.startswith("processes")
+            assert execution.result.same_as(
+                QueryPlanner(graph).execute(expr).result
+            )
+        finally:
+            planner.close()
+
+    def test_threads_mode_never_spawns_processes(self):
+        graph = factories.social_site_graph(num_users=10, num_items=16)
+        planner = process_planner(graph, 2, mode="threads")
+        try:
+            planner.execute(input_graph("G").select_nodes({"type": "item"}))
+            assert planner._process_pool is None
+        finally:
+            planner.close()
+
+    def test_auto_mode_respects_the_row_floor(self):
+        graph = factories.social_site_graph(num_users=10, num_items=16)
+        # default floor (50k rows × shards): this site is far below it
+        planner = process_planner(graph, 2, mode="auto",
+                                  min_rows=50_000.0)
+        try:
+            execution = planner.execute(input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="topic0")
+            ))
+            assert not execution.executor.startswith("processes")
+            assert planner._process_pool is None
+            # floor cleared: the same planner escalates
+            planner.cost_model = CostModel(shard_scan_min_nodes=0.0,
+                                           process_min_rows=1.0)
+            execution = planner.execute(input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="thing")
+            ))
+            assert execution.executor.startswith("processes(")
+        finally:
+            planner.close()
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: one pool, many plans in flight
+# ---------------------------------------------------------------------------
+
+
+class TestProcessPoolStorm:
+    def test_concurrent_executes_share_one_pool(self, deadlock_watchdog):
+        graph = factories.social_site_graph(num_users=10, num_items=16)
+        planner = process_planner(graph, 3)
+        exprs = [
+            input_graph("G").select_nodes(cond)
+            for cond in NODE_CONDITIONS
+        ] * 2
+        seq = QueryPlanner(graph)
+        references = [seq.execute(e).result for e in exprs]
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(len(exprs))
+
+        def run(i: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                got = planner.execute(exprs[i])
+                assert got.result.same_as(references[i]), i
+            except BaseException as error:  # noqa: BLE001 — collected
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(len(exprs))]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not any(t.is_alive() for t in threads)
+            assert not errors
+            assert planner.process_pool.ships_run == 1  # one resident slab
+        finally:
+            planner.close()
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool fork revalidation
+# ---------------------------------------------------------------------------
+
+
+class TestForkRevalidation:
+    def test_stale_pid_swaps_executor_and_lock(self):
+        pool = WorkerPool(max_workers=1)
+        assert pool.submit(lambda: 1).result(timeout=10) == 1
+        stale_executor = pool._executor
+        stale_lock = pool._lock
+        pool._pid = -1  # what a fork-inherited copy looks like
+        assert pool.submit(lambda: 42).result(timeout=10) == 42
+        assert pool._pid == os.getpid()
+        assert pool._executor is not stale_executor
+        assert pool._lock is not stale_lock
+        pool.shutdown()
+
+    @pytest.mark.skipif(not hasattr(os, "fork"),
+                        reason="platform has no os.fork")
+    def test_forked_child_submits_without_deadlocking(self):
+        pool = WorkerPool(max_workers=2)
+        # warm the executor so the child inherits real (dead) threads
+        assert pool.submit(lambda: 1).result(timeout=10) == 1
+        child = os.fork()
+        if child == 0:
+            # child: a hang here (the pre-fix behavior: work queued to
+            # threads that do not exist) is caught by the parent's
+            # timeout below; report pass/fail via the exit status only
+            try:
+                ok = pool.submit(lambda: 42).result(timeout=10) == 42
+            except BaseException:
+                ok = False
+            os._exit(0 if ok else 1)
+        deadline = time.monotonic() + 30
+        status: int | None = None
+        while time.monotonic() < deadline:
+            done, status = os.waitpid(child, os.WNOHANG)
+            if done == child:
+                break
+            time.sleep(0.05)
+        else:
+            os.kill(child, 9)
+            os.waitpid(child, 0)
+            pytest.fail("forked child hung on the inherited worker pool")
+        pool.shutdown()
+        assert status is not None
+        assert os.WIFEXITED(status) and os.WEXITSTATUS(status) == 0
+
+
+# ---------------------------------------------------------------------------
+# σL residual vectorization: parity against the row-wise kernel
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def link_scan_workloads(draw):
+    """A random site plus a σL condition mixing every predicate regime."""
+    graph = factories.social_site_graph(
+        num_users=draw(st.integers(min_value=1, max_value=6)),
+        num_items=draw(st.integers(min_value=1, max_value=9)),
+        friends_per_user=draw(st.integers(min_value=0, max_value=3)),
+        acts_per_user=draw(st.integers(min_value=0, max_value=4)),
+        with_sim_links=draw(st.booleans()),
+    )
+    structural = {}
+    if draw(st.booleans()):
+        structural["type"] = draw(
+            st.sampled_from(["act", "friend", "sim_item", "nosuch"])
+        )
+    if draw(st.booleans()):
+        # columnar comparison over the (often absent) sim attribute
+        structural["sim__ge"] = draw(
+            st.floats(min_value=0.0, max_value=0.6, allow_nan=False)
+        )
+    predicates = []
+    if draw(st.booleans()):
+        # an Or never vectorizes: forces the residual row-test path
+        predicates.append(Or(AttrCompare("sim", ">", 0.3), HasAttr("ts")))
+    return graph, Condition(structural, predicates=predicates)
+
+
+class TestLinkResidualVectorization:
+    @settings(max_examples=40, deadline=None)
+    @given(link_scan_workloads(), st.sampled_from([1, 3]))
+    def test_select_links_matches_row_wise_matches(self, workload, shards):
+        graph, cond = workload
+        vector = VectorCondition(cond)
+        for view in cut_columnar_views(graph, shards, shard_of):
+            expected = select_matching_links(list(view.links), cond)
+            got = vector.select_links(view)
+            assert [l.id for l in got] == [l.id for l in expected]
+            for a, b in zip(got, expected):
+                if b.score is not None:
+                    assert a.score == pytest.approx(b.score, abs=TOL)
+
+    @settings(max_examples=25, deadline=None)
+    @given(link_scan_workloads())
+    def test_survivor_positions_match_predicate_matches(self, workload):
+        graph, cond = workload
+        (view,) = cut_columnar_views(graph, 1, shard_of)
+        survivors = VectorCondition(cond).link_survivors(view)
+        expected = [row for row, link in enumerate(view.links)
+                    if cond.satisfied_by(link)]
+        assert [int(row) for row in survivors] == expected
+
+
+# ---------------------------------------------------------------------------
+# Sharded endorsement merges
+# ---------------------------------------------------------------------------
+
+
+def _friends_social_expr(user: str = "u0"):
+    """A SocialScoreE eligible for the §6.2 endorsement-merge lowering.
+
+    The merge form exists only for the friends strategy on empty-keyword
+    queries (the basis-weight correctness boundary), so that is the
+    regime the sharded merge must hold parity in.
+    """
+    from repro.core.expr import ConnectionBasisE, SocialScoreE
+
+    G = input_graph("G")
+    candidates = G.select_nodes({"type": "item"})
+    basis = ConnectionBasisE(G, user_id=user, keywords=())
+    return SocialScoreE(
+        G, candidates, basis, strategy="friends", user_id=user,
+        keywords=(), sim_threshold=0.1, act_type="visit",
+    )
+
+
+class TestShardedEndorsementMerge:
+    def test_ranking_parity_across_shard_counts_and_strategies(self):
+        graph = factories.social_site_graph()
+        for strategy in ("friends", "similar_users", "item_based"):
+            for text in ("topic0", ""):
+                query = parse_query("u0", text)
+                reference = InformationDiscoverer(graph).rank(
+                    query, strategy=strategy
+                )
+                for shards in (2, 7):
+                    discoverer = InformationDiscoverer(graph)
+                    planner = discoverer.planner
+                    planner.cost_model = CostModel(shard_scan_min_nodes=0.0)
+                    planner.attach_shards(shards)
+                    got = discoverer.rank(query, strategy=strategy)
+                    assert [s.item_id for s in got.items] == [
+                        s.item_id for s in reference.items
+                    ], (strategy, shards, text)
+                    assert got.social.scores == pytest.approx(
+                        reference.social.scores, abs=TOL
+                    )
+                    for item, per_user in reference.social.endorsers.items():
+                        assert got.social.endorsers[item] == pytest.approx(
+                            per_user, abs=TOL
+                        )
+
+    def test_sharded_posting_merge_matches_monolithic(self):
+        from repro.core.social import decode_social_result
+
+        graph = factories.social_site_graph()
+        expr = _friends_social_expr()
+        reference = decode_social_result(
+            QueryPlanner(graph).execute(expr, access="index").result
+        )
+        assert reference.scores  # the regime is non-degenerate
+        for shards in (2, 7):
+            planner = QueryPlanner(
+                graph, cost_model=CostModel(shard_scan_min_nodes=0.0)
+            )
+            planner.attach_shards(shards)
+            got = decode_social_result(
+                planner.execute(expr, access="index").result
+            )
+            # candidate order is shard-concatenated; scores compare as a
+            # mapping (the ranking-parity test pins the sorted order)
+            assert set(got.scores) == set(reference.scores), shards
+            for item, score in reference.scores.items():
+                assert got.scores[item] == pytest.approx(score, abs=TOL)
+            assert set(got.endorsers) == set(reference.endorsers)
+            for item, per_user in reference.endorsers.items():
+                assert got.endorsers[item] == pytest.approx(
+                    per_user, abs=TOL
+                )
+
+    def test_merge_operator_carries_the_shard_count(self):
+        graph = factories.social_site_graph()
+        planner = QueryPlanner(
+            graph, cost_model=CostModel(shard_scan_min_nodes=0.0)
+        )
+        planner.attach_shards(4)
+        plan, _ = planner.compile(_friends_social_expr(), access="index")
+        merges = [op for op in plan._walk(plan.root, set())
+                  if isinstance(op, EndorsementMergeOp)]
+        assert merges and all(op.num_shards == 4 for op in merges)
+        assert any("×4" in op.form for op in merges)

@@ -84,6 +84,15 @@ DEFAULT_PURITY_MUTATORS: tuple[str, ...] = (
     "remove_links",
 )
 
+#: Stdlib/third-party import prefix → the one module prefix (post
+#: layer-root stripping) allowed to import it.  ``multiprocessing`` is
+#: confined to the process-backend module so worker lifecycle, pipe
+#: protocol and shared-memory ownership stay in one reviewable place —
+#: a second spawner would have its own fork/cleanup bugs.
+DEFAULT_RESTRICTED_IMPORTS: dict[str, str] = {
+    "multiprocessing": "plan.parallel",
+}
+
 
 @dataclass
 class Config:
@@ -100,6 +109,9 @@ class Config:
     key_function_patterns: tuple[str, ...] = DEFAULT_KEY_FUNCTION_PATTERNS
     purity_modules: tuple[str, ...] = DEFAULT_PURITY_MODULES
     purity_mutators: tuple[str, ...] = DEFAULT_PURITY_MUTATORS
+    restricted_imports: dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_RESTRICTED_IMPORTS)
+    )
 
     def module_in(self, name: str, prefixes: tuple[str, ...]) -> bool:
         """True when dotted *name* equals or nests under any prefix."""
@@ -147,4 +159,6 @@ def load_config(pyproject: Path | None = None) -> Config:
         config.purity_modules = tuple(table["purity_modules"])
     if "purity_mutators" in table:
         config.purity_mutators = tuple(table["purity_mutators"])
+    if "restricted_imports" in table:
+        config.restricted_imports = dict(table["restricted_imports"])
     return config

@@ -8,6 +8,11 @@
   that legalised a cycle is itself a finding.
 * **L003** — an import targets a package the DAG has no entry for
   (usually a new package nobody declared a layer for).
+* **L004** — a *restricted* external import (``config.restricted_imports``)
+  appears outside its one owning module.  ``multiprocessing`` is the
+  motivating case: process lifecycle, pipe protocol and shared-memory
+  ownership are confined to ``plan.parallel`` so a second spawner cannot
+  grow its own fork/cleanup bugs.
 
 Only imports of the project's own top package are considered; stdlib and
 third-party imports are out of scope here (the determinism rules own
@@ -99,7 +104,49 @@ def check_layering(modules: list[Module], config: Config) -> list[Finding]:
                     detail=target_module,
                 ))
     findings.extend(_find_cycles(observed))
+    findings.extend(_check_restricted_imports(modules, config))
     return findings
+
+
+def _check_restricted_imports(
+    modules: list[Module], config: Config
+) -> list[Finding]:
+    """L004: restricted external imports outside their owning module."""
+    findings: list[Finding] = []
+    if not config.restricted_imports:
+        return findings
+    for module in modules:
+        for target, line in _external_imports(module.tree):
+            for prefix, owner in config.restricted_imports.items():
+                if target != prefix and not target.startswith(prefix + "."):
+                    continue
+                if config.module_in(module.name, (owner,)):
+                    continue
+                findings.append(Finding(
+                    rule="L004",
+                    path=module.rel_path,
+                    line=line,
+                    symbol=f"{module.name}->{prefix}",
+                    message=(
+                        f"import of {target!r} is restricted to "
+                        f"{owner!r}; route through its API instead"
+                    ),
+                    detail=target,
+                ))
+    return findings
+
+
+def _external_imports(tree: ast.Module) -> list[tuple[str, int]]:
+    """(dotted target, line) for every absolute import in the module."""
+    out: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.append((alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if not node.level and node.module:
+                out.append((node.module, node.lineno))
+    return out
 
 
 def _find_cycles(
