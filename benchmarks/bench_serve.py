@@ -28,7 +28,9 @@ from pathlib import Path
 import pytest
 
 from repro.api import Session
+from repro.serve.gateway import GatewayConfig
 from repro.serve.loadgen import (
+    DEFAULT_LOAD_ADMISSION,
     HarnessConfig,
     LoadMix,
     LoadMixConfig,
@@ -132,6 +134,65 @@ def test_gateway_under_zipf_load(serve_site, mix, report, quick):
         assert (
             gateway_report.throughput_rps > sequential["throughput_rps"]
         )
+
+
+def test_deadline_overhead(serve_site, report, quick):
+    """What do deadlines cost when nothing expires?
+
+    Two closed-loop runs over the *same* seeded request stream on the
+    same warm session: one with deadlines disabled (the pre-resilience
+    gateway), one with a generous 30s default deadline every request
+    carries end to end (timer armed, absolute deadline threaded into the
+    plan executor's cooperative checks — the full machinery, zero
+    expiries).  The duration ratio is the no-fault deadline tax; the
+    design target is <3%, and the regression gate
+    (``serve.deadline_overhead``) holds the ratio near 1.0 against the
+    committed baseline.
+    """
+    concurrency = 16 if quick else 32
+    total = 96 if quick else 256
+
+    session = Session.from_graph(serve_site.graph)
+
+    def run_once(deadline_s):
+        # a fresh same-seed mix per run: the sampler is stateful, and
+        # both runs must replay the identical (tenant, request) stream
+        mix = LoadMix.for_site(
+            serve_site.user_ids, serve_site.categories,
+            LoadMixConfig(seed=SEED),
+        )
+        gateway = GatewayConfig(
+            admission=DEFAULT_LOAD_ADMISSION,
+            default_deadline_s=deadline_s,
+        )
+        harness = HarnessConfig(
+            concurrency=concurrency, total_requests=total, gateway=gateway
+        )
+        return run_closed_loop(session, mix, harness)
+
+    run_once(None)  # warm the plan cache so neither timed run compiles
+    base = run_once(None)
+    deadlined = run_once(30.0)
+
+    overhead = (
+        deadlined.duration_s / base.duration_s
+        if base.duration_s > 0 else 1.0
+    )
+    RESULTS.setdefault("serve", {})["deadline_overhead"] = overhead
+    report(
+        "",
+        f"=== Deadline overhead (no expiries, {total} requests) ===",
+        f"  no deadlines:      {base.duration_s * 1e3:8.1f} ms",
+        f"  30s deadline:      {deadlined.duration_s * 1e3:8.1f} ms",
+        f"  overhead ratio:    {overhead:8.3f}x",
+    )
+
+    # a generous deadline must never shed, and the machinery must stay
+    # cheap — the tight <3% claim lives in the baseline gate, this bound
+    # only catches gross regressions above run-to-run noise
+    assert deadlined.completed == total
+    assert deadlined.shed == 0
+    assert overhead < 1.25
 
 
 def test_emit_bench_json(report, quick):

@@ -91,6 +91,10 @@ def tracked_metrics(results: dict) -> dict[str, float]:
         metrics["serve.sequential_over_gateway"] = (
             serve["sequential_over_gateway"]
         )
+        # deadlined run / undeadlined run on the same stream, no
+        # expiries: the no-fault cost of the deadline machinery (target
+        # <3%, i.e. a ratio hugging 1.0)
+        metrics["serve.deadline_overhead"] = serve["deadline_overhead"]
 
     if "recovery" in results:
         recovery = results["recovery"]

@@ -330,6 +330,31 @@ print(f"  overload: {len(verdicts) - len(shed)} served, {len(shed)} shed"
       f" ({shed[0].reason}, retry in {shed[0].retry_after_s:.1f}s)")
 assert len(shed) == 2 and all(v.reason == "tenant_budget" for v in shed)
 
+# End-to-end deadlines are the other typed shed: every admitted request
+# carries one (tenant policy, or the gateway default), enforced both by
+# a loop-side timer and by cooperative checks inside the plan executor.
+# A request that cannot make its budget resolves as DeadlineExceeded —
+# a value, never a stuck future.  (Here the batch window is wider than
+# the deadline, so the timer fires while the request is still queued.)
+from repro.serve import DeadlineExceeded
+
+impatient = GatewayConfig(batch_window_s=5.0, default_deadline_s=0.05)
+
+
+async def deadline_demo():
+    async with ServeGateway(sharded, impatient) as gateway:
+        return await gateway.submit("latency-bound", hot), gateway.stats()
+
+
+expired, dstats = asyncio.run(deadline_demo())
+assert isinstance(expired, DeadlineExceeded) and not expired.ok
+print(f"  deadline: shed at stage={expired.stage!r} after"
+      f" {expired.elapsed_s * 1e3:.0f}ms (budget"
+      f" {expired.deadline_s * 1e3:.0f}ms); breakers: "
+      + ", ".join(f"{name}={snap.state}"
+                  for name, snap in sorted(dstats.breakers.items())))
+assert dstats.deadline_expired == 1
+
 # ---------------------------------------------------------------------------
 # 7. Durability: save the site, kill the process, recover — warm.
 # ---------------------------------------------------------------------------
@@ -450,6 +475,42 @@ def multicore_demo() -> None:
         for line in execution.render().splitlines():
             if "shard[" in line:
                 print(f"  {line.strip()}")
+
+        # The degradation ladder, live.  A worker that merely dies
+        # *between* plans is reaped and respawned at the next slab ship
+        # (the pool self-heals before degrading); to watch a *mid-plan*
+        # crash we need the worker to die after dispatch.  That is what
+        # the fault-injection subsystem is for: repro.testing is the
+        # test-only arming API (rule T001 keeps it out of production
+        # modules) and `worker_killer` SIGKILLs the worker right before
+        # the next pipe request — an OOM kill, made deterministic.  The
+        # executor degrades processes → threads mid-plan, the answer is
+        # identical, and EXPLAIN records both the degrade and the
+        # breaker transition in its `resilience:` header — never a
+        # silent fallback.  (The faulted query must be a *fresh* shape:
+        # repeating the "denver" scan above would be answered from the
+        # plan cache without ever touching a worker pipe.)
+        from repro.testing import armed_faults, worker_killer
+
+        expr = input_graph("G").select_nodes(
+            Condition({"type": "destination"}, keywords="topic1")
+        )
+        reference = QueryPlanner(big).execute(expr)  # in-process answer
+        with armed_faults(
+            {"parallel.worker_request": worker_killer(times=1)}
+        ):
+            degraded = planner.execute(expr)
+        assert degraded.result.same_as(reference.result)  # same answer
+        assert "degraded→threads" in degraded.executor
+        assert "pool:processes→threads" in degraded.resilience
+        print(f"  after the worker was killed mid-plan: {degraded.executor}")
+        for line in degraded.render().splitlines():
+            if line.strip().startswith("resilience:"):
+                print(f"  {line.strip()}")
+        breaker = planner.process_pool.breaker
+        print(f"  worker_pool breaker: {breaker.stats().state}"
+              f" (cooldown {breaker.cooldown_s:.1f}s, then a half-open"
+              f" probe reaps + respawns the workers and re-closes it)")
     finally:
         planner.close()  # shuts workers down, unlinks the shared slab
 

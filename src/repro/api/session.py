@@ -517,9 +517,10 @@ class Session:
     def run_many(
         self,
         requests: Iterable[SearchRequest],
-        # anything with `.map(fn, iterable)`, e.g. a ThreadPoolExecutor
+        # anything with `.map(fn, *iterables)`, e.g. a ThreadPoolExecutor
         executor: Executor | None = None,
         isolate_errors: bool = False,
+        deadlines: Sequence[float | None] | None = None,
     ) -> list[SearchResponse | RequestFailure]:
         """Evaluate a batch against the shared warm session state.
 
@@ -535,8 +536,20 @@ class Session:
         one batch mixes unrelated tenants and a stale cursor from one must
         not poison the others.  The default (``False``) keeps the historic
         fail-fast behavior.
+
+        *deadlines* (aligned with *requests*) carries each request's
+        absolute monotonic deadline into plan execution — the gateway's
+        end-to-end budget.  Deadlines are per call, never session state:
+        one session serves several concurrent batches.
         """
         batch = list(requests)
+        budgets: Sequence[float | None] = (
+            list(deadlines) if deadlines is not None else [None] * len(batch)
+        )
+        if len(budgets) != len(batch):
+            raise ValueError(
+                f"deadlines length {len(budgets)} != requests {len(batch)}"
+            )
         self._ensure_fresh()
         if batch:
             # Prime lazy shared state while still single-threaded: the
@@ -555,18 +568,18 @@ class Session:
         runner = self._run_isolated if isolate_errors else self._run_prepared
         if executor is None:
             responses: list[SearchResponse | RequestFailure] = [
-                runner(r) for r in batch
+                runner(r, deadline=d) for r, d in zip(batch, budgets)
             ]
         else:
-            responses = list(executor.map(runner, batch))
+            responses = list(executor.map(runner, batch, budgets))
         return responses
 
     def _run_isolated(
-        self, request: SearchRequest
+        self, request: SearchRequest, deadline: float | None = None
     ) -> SearchResponse | RequestFailure:
         """One request under per-request error isolation (see run_many)."""
         try:
-            return self._run_prepared(request)
+            return self._run_prepared(request, deadline=deadline)
         except Exception as exc:
             return RequestFailure(
                 request=request,
@@ -631,7 +644,9 @@ class Session:
             items = items[: request.k]
         return items
 
-    def _evaluate(self, request: SearchRequest) -> "_Evaluation":
+    def _evaluate(
+        self, request: SearchRequest, deadline: float | None = None
+    ) -> "_Evaluation":
         """The shared evaluation pipeline: parse → compile → rank → cut.
 
         Both :meth:`run` and :meth:`discover` go through here, so plan
@@ -653,6 +668,7 @@ class Session:
             alpha=request.alpha,
             access=self._access_mode(request),
             limit=request.k,
+            deadline=deadline,
         )
         ranked = self._budgeted(ranking, request)
         window = ranked[offset : offset + size]
@@ -666,8 +682,10 @@ class Session:
             execution=ranking.execution,
         )
 
-    def _run_prepared(self, request: SearchRequest) -> SearchResponse:
-        ev = self._evaluate(request)
+    def _run_prepared(
+        self, request: SearchRequest, deadline: float | None = None
+    ) -> SearchResponse:
+        ev = self._evaluate(request, deadline=deadline)
         query, window, offset, size, total = (
             ev.query, ev.window, ev.offset, ev.size, ev.total,
         )

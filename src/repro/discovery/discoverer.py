@@ -230,6 +230,7 @@ class InformationDiscoverer:
         semantic: SemanticResult | None = None,
         access: str = "auto",
         limit: int | None = None,
+        deadline: float | None = None,
     ) -> RankedDiscovery:
         """Compute the combined ranking for an already-parsed query.
 
@@ -272,6 +273,7 @@ class InformationDiscoverer:
             max_experts=self.connections.max_experts,
             access=access,
             limit=limit,
+            deadline=deadline,
         )
         # A fused root hands the decoded ranking over directly; unfused
         # plans (e.g. the endorsement-merge forms) decode the graph.

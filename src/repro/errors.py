@@ -129,6 +129,24 @@ class ServeError(SocialScopeError):
     """
 
 
+class DeadlineError(SocialScopeError):
+    """A cooperative deadline check fired inside plan execution.
+
+    Raised between physical operators and between per-shard subtasks
+    when the request's deadline has passed; the serving layer catches it
+    and converts to the typed ``DeadlineExceeded`` shed value (the
+    *outcome* is a value, like ``Overloaded`` — the exception exists
+    only to unwind the executing plan promptly).
+    """
+
+    def __init__(self, stage: str, elapsed_s: float) -> None:
+        super().__init__(
+            f"deadline exceeded at {stage!r} after {elapsed_s:.3f}s"
+        )
+        self.stage = stage
+        self.elapsed_s = elapsed_s
+
+
 class IndexError_(SocialScopeError):
     """Indexing layer failure (the trailing underscore avoids shadowing
     the builtin :class:`IndexError`)."""

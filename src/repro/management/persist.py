@@ -48,6 +48,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.core import SocialContentGraph
+from repro.core.faults import fault_point
 from repro.core.serialize import (
     dumps_strict,
     jsonl_header,
@@ -88,6 +89,9 @@ def _write_atomic(path: Path, text: str) -> int:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    # chaos hook: a handler may corrupt the durable bytes *after* the
+    # CRC was taken, so the read-side verify must catch it honestly
+    fault_point("persist.snapshot", path=path)
     return zlib.crc32(data) & 0xFFFFFFFF
 
 

@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
+from repro.core.faults import fault_point
 from repro.core.serialize import dumps_strict, loads_strict
 from repro.errors import PersistenceError, WalCorruptedError
 
@@ -185,6 +186,7 @@ class WalWriter:
     def _fsync_handle(self) -> None:
         assert self._handle is not None
         self._handle.flush()
+        fault_point("wal.fsync", path=self._segment_path)
         os.fsync(self._handle.fileno())
 
     def _fsync_directory(self) -> None:
@@ -247,7 +249,7 @@ class WalWriter:
         self._handle.write(line)
         self._handle.flush()
         if self.fsync_every_append:
-            os.fsync(self._handle.fileno())
+            self._fsync_handle()
         self._next_seq += 1
         self._segment_bytes += len(line.encode("utf-8"))
         if self._segment_bytes >= self.segment_max_bytes:

@@ -48,7 +48,9 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
+from repro.core.faults import fault_point
 from repro.core.partition import SLAB_ITEMSIZE, pack_sections, unpack_sections
+from repro.core.resilience import OPEN, CircuitBreaker
 from repro.plan.columnar import (
     ColumnarShardView,
     ScanProgram,
@@ -76,6 +78,13 @@ DEFAULT_PROCESS_WORKERS = max(1, min(8, os.cpu_count() or 1))
 #: Seconds a coordinator waits on a worker pipe before declaring the
 #: worker poisoned (and degrading the execution to threads).
 PROCESS_REPLY_TIMEOUT_S = float(os.environ.get("REPRO_PROCESS_TIMEOUT_S", 60))
+
+#: how long a tripped process pool stays open before the breaker lets a
+#: recovery probe through (chaos/bench runs shrink this to demonstrate
+#: self-healing; the generous default keeps degraded serving stable)
+POOL_BREAKER_COOLDOWN_S = float(
+    os.environ.get("REPRO_POOL_BREAKER_COOLDOWN_S", 5.0)
+)
 
 
 class ProcessPoolError(RuntimeError):
@@ -316,6 +325,7 @@ class _ProcessWorker:
 
     def request(self, message: tuple, timeout: float) -> tuple:
         """One send/recv round-trip; raises ProcessPoolError on failure."""
+        fault_point("parallel.worker_request", worker=self)
         with self.lock:
             try:
                 self.conn.send(message)
@@ -360,12 +370,20 @@ class ProcessShardPool:
     coordinator's heap (locks, pools, cached views) into workers; spawn
     keeps workers minimal and makes the picklability contract explicit.
 
-    **Failure**: any worker error marks the pool ``broken``; executions
-    degrade to the in-process path (see the degrade ladder in
-    ``docs/ARCHITECTURE.md``) until :meth:`reset`.
+    **Failure**: any worker error trips the pool's circuit breaker
+    *open*; executions degrade to the in-process path (see the degrade
+    ladder in ``docs/ARCHITECTURE.md``).  After ``breaker_cooldown_s``
+    the breaker goes half-open and the planner sends one probe
+    execution through; a successful probe re-ships fresh views (dead
+    workers are reaped and respawned first) and re-closes the circuit —
+    the pool self-heals without a manual :meth:`reset`.
     """
 
-    def __init__(self, num_workers: int | None = None):
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        breaker_cooldown_s: float | None = None,
+    ):
         self.num_workers = (
             num_workers if num_workers is not None else DEFAULT_PROCESS_WORKERS
         )
@@ -377,11 +395,26 @@ class ProcessShardPool:
         self._lock = threading.Lock()
         self._version: Any = None
         self._segment: Any = None
-        self.broken = False
+        #: the ladder's processes→threads step: open = skip the backend.
+        #: Worker faults are structural (a dead process stays dead), so
+        #: failures force the circuit open rather than being rate-graded
+        self.breaker = CircuitBreaker(
+            "process_pool",
+            cooldown_s=(
+                breaker_cooldown_s
+                if breaker_cooldown_s is not None
+                else POOL_BREAKER_COOLDOWN_S
+            ),
+        )
         #: scans served by workers (the bench/EXPLAIN accounting)
         self.scans_run = 0
         #: slab ships performed (one per adopted version)
         self.ships_run = 0
+
+    @property
+    def broken(self) -> bool:
+        """True while the circuit is open (cooldown not yet elapsed)."""
+        return self.breaker.state == OPEN
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -414,6 +447,10 @@ class ProcessShardPool:
             workers, self._workers = self._workers, []
             segment, self._segment = self._segment, None
             self._version = None
+        self._teardown(workers, segment)
+
+    @staticmethod
+    def _teardown(workers: list[_ProcessWorker], segment: Any) -> None:
         for worker in workers:
             try:
                 worker.conn.send(("stop",))
@@ -431,10 +468,27 @@ class ProcessShardPool:
             except FileNotFoundError:  # pragma: no cover - defensive
                 pass
 
+    def _reap_dead_locked(self) -> bool:
+        """Tear down the worker set if any process died; True if reaped.
+
+        Caller holds ``_lock``.  The recovery probe path: a half-open
+        ship finds the corpses, clears the resident version, and the
+        normal ship flow respawns a fresh set.
+        """
+        if not self._workers:
+            return False
+        if all(w.process.is_alive() for w in self._workers):
+            return False
+        workers, self._workers = self._workers, []
+        segment, self._segment = self._segment, None
+        self._version = None
+        self._teardown(workers, segment)
+        return True
+
     def reset(self) -> None:
-        """Recover from ``broken``: fresh workers on next use."""
+        """Recover immediately: fresh workers on next use, circuit closed."""
         self.shutdown()
-        self.broken = False
+        self.breaker.reset()
 
     # -- slab shipping --------------------------------------------------------
 
@@ -486,13 +540,15 @@ class ProcessShardPool:
         its mapping.
         """
         with self._lock:
-            if self.broken:
-                raise ProcessPoolError("pool marked broken; reset() first")
-            if self._version == token and self._workers:
+            if self.breaker.state == OPEN:
+                raise ProcessPoolError("process pool circuit open")
+            reaped = self._reap_dead_locked()
+            if self._version == token and self._workers and not reaped:
                 return 0.0
             start = time.perf_counter()
             segment = None
             try:
+                fault_point("parallel.ship_slabs", token=token)
                 self._ensure_workers_locked()
                 directories, slab = self._pack_views(views)
                 segment_name = None
@@ -530,9 +586,9 @@ class ProcessShardPool:
                     )
             except Exception as error:
                 # any ship failure — spawn refusal, an unpicklable record
-                # attribute, a dead pipe — breaks the pool; callers
-                # degrade to the in-process path
-                self.broken = True
+                # attribute, a dead pipe — trips the circuit; callers
+                # degrade to the in-process path until the cooldown
+                self.breaker.force_open()
                 if segment is not None:
                     segment.close()
                     segment.unlink()
@@ -544,6 +600,7 @@ class ProcessShardPool:
             old_segment, self._segment = self._segment, segment
             self._version = token
             self.ships_run += 1
+            self.breaker.record_success()
             if old_segment is not None:
                 old_segment.close()
                 try:
@@ -560,11 +617,11 @@ class ProcessShardPool:
         """Run *program* on the worker holding *shard*.
 
         Returns ``(positions, worker_scan_seconds, worker_pid)``.  Any
-        failure marks the pool broken and raises
+        failure trips the circuit open and raises
         :class:`ProcessPoolError` — the caller degrades to threads.
         """
-        if self.broken:
-            raise ProcessPoolError("pool marked broken; reset() first")
+        if self.breaker.state == OPEN:
+            raise ProcessPoolError("process pool circuit open")
         with self._lock:
             if not self._workers:
                 raise ProcessPoolError("no slab version shipped yet")
@@ -581,10 +638,11 @@ class ProcessShardPool:
                 PROCESS_REPLY_TIMEOUT_S,
             )
         except ProcessPoolError:
-            self.broken = True
+            self.breaker.force_open()
             raise
         with self._lock:
             self.scans_run += 1
+        self.breaker.record_success()
         _, rows, scan_s, pid = reply
         return rows, scan_s, pid
 

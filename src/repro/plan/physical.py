@@ -25,10 +25,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.expr import Expr, LiteralE, iter_plan_nodes
+from repro.core.faults import fault_point
 from repro.core.optimizer import OptimizeReport
 from repro.core.graph import SocialContentGraph
 from repro.core.stats import Card, GraphStats
-from repro.errors import ExpressionError
+from repro.errors import DeadlineError, ExpressionError
 from repro.plan.columnar import (
     ColumnarShardView,
     ScanProgram,
@@ -144,8 +145,33 @@ class ExecContext:
         #: sharded endorsement merge stashing its entry prelude between
         #: ``subtasks`` and ``finish_subtasks``)
         self.scratch: dict[int, Any] = {}
+        #: absolute monotonic deadline for this execution (``None`` = no
+        #: deadline — the check is then a single branch).  Cooperative:
+        #: checked between operators and between per-shard subtasks, so
+        #: one running kernel bounds the expiry lag
+        self.deadline: float | None = None
+        #: monotonic stamp when execution began (set by ``execute`` when
+        #: a deadline is in force; gives ``DeadlineError.elapsed_s``)
+        self.deadline_anchor = 0.0
+        #: resilience transitions this execution took, in order (e.g.
+        #: ``"pool:threads→sequential"``) — surfaced in EXPLAIN
+        self.resilience_events: list[str] = []
         #: guards the shard-profile lists under concurrent shard tasks
         self.lock = threading.Lock()
+
+    def check_deadline(self, stage: str | Callable[[], str]) -> None:
+        """Cooperative deadline checkpoint — raise if the clock ran out.
+
+        *stage* may be a callable so callers avoid building the label
+        string on the (overwhelmingly common) non-expired path.
+        """
+        if self.deadline is None:
+            return
+        now = time.monotonic()
+        if now < self.deadline:
+            return
+        label = stage() if callable(stage) else stage
+        raise DeadlineError(label, now - self.deadline_anchor)
 
 
 class PhysicalOp:
@@ -202,6 +228,7 @@ class PhysicalOp:
                 ctx.borrowed.add(id(cached))
                 self._record(ctx, cached, 0.0)
                 return cached
+        ctx.check_deadline(self.describe)
         start = time.perf_counter()
         result = self._run(ctx, inputs)
         elapsed = time.perf_counter() - start
@@ -427,6 +454,8 @@ class _ScatterScanOp(PhysicalOp):
     def _scan_shard(
         self, ctx: ExecContext, shard: int, view: ShardView
     ) -> list:
+        ctx.check_deadline(lambda: f"{self.describe()} [shard {shard}]")
+        fault_point("physical.scan_shard", shard=shard)
         start = time.perf_counter()
         part, worker, ship_s, scan_s = self._scan_shard_backend(
             ctx, shard, view
@@ -647,10 +676,20 @@ class AttrIndexScanOp(PhysicalOp):
         from repro.core.selection import select_matching_nodes
 
         provider = ctx.attr_provider
-        candidates = (
-            provider(inputs[0], self.att, self.value)
-            if provider is not None else None
-        )
+        try:
+            candidates = (
+                provider(inputs[0], self.att, self.value)
+                if provider is not None else None
+            )
+        except DeadlineError:
+            raise
+        except Exception:
+            # a faulting index path degrades to the scan compute — the
+            # planner-side breaker decides whether to keep trying the
+            # index on later executions
+            with ctx.lock:
+                ctx.resilience_events.append(f"attr-index:{self.att}→scan")
+            candidates = None
         if candidates is None:
             ctx.degraded.add(id(self))
             return self.logical._compute(inputs)
@@ -1030,6 +1069,11 @@ class PlanExecution:
     def used_index(self) -> bool:
         return self.plan.uses_index
 
+    @property
+    def resilience(self) -> tuple[str, ...]:
+        """Degradation-ladder transitions this execution took, in order."""
+        return tuple(self.ctx.resilience_events)
+
     def render(self) -> str:
         """EXPLAIN ANALYZE-style tree: every operator, est vs. actual."""
         topk = f"  top-k={self.topk}" if self.topk is not None else ""
@@ -1040,6 +1084,10 @@ class PlanExecution:
         ]
         if self.plan.rewrites.applied:
             header.append(f"rewrites: {', '.join(self.plan.rewrites.applied)}")
+        if self.ctx.resilience_events:
+            header.append(
+                "resilience: " + ", ".join(self.ctx.resilience_events)
+            )
         return "\n".join(header + [p.line() for p in self.profiles])
 
 
@@ -1173,6 +1221,8 @@ class PhysicalPlan:
         ] | None = None,
         topk: int | None = None,
         process_backend: Any | None = None,
+        deadline: float | None = None,
+        resilience_notes: Sequence[str] = (),
     ) -> PlanExecution:
         """Run the plan; the result never aliases an input/literal graph.
 
@@ -1199,12 +1249,25 @@ class PhysicalPlan:
         output to the top *k* rows instead of ordering the full
         candidate set.  Scores, provenance and the result graph are
         unaffected — only the decoded ranking list is cut.
+
+        *deadline* is an absolute monotonic timestamp (``None`` = none):
+        cooperative checks between operators and between per-shard
+        subtasks raise :class:`~repro.errors.DeadlineError` once it has
+        passed, unwinding the execution promptly instead of finishing
+        doomed work.  *resilience_notes* seeds the execution's
+        resilience-event trail (the planner passes the ladder steps that
+        led to this attempt, e.g. a pooled run that was retried
+        sequentially).
         """
         ctx = ExecContext(env, index_provider, network_provider,
                           shard_provider, attr_provider)
         ctx.result_cache = result_cache
         ctx.topk = topk
         ctx.process_backend = process_backend
+        if deadline is not None:
+            ctx.deadline = deadline
+            ctx.deadline_anchor = time.monotonic()
+        ctx.resilience_events.extend(resilience_notes)
         use_pool = pool is not None and parallel != "never" and (
             parallel in ("force", "processes")
             or self.estimated_cost >= parallel_min_cost
@@ -1222,6 +1285,7 @@ class PhysicalPlan:
             executor = f"processes({process_backend.workers})+{executor}"
             if ctx.process_degraded:
                 executor += " (degraded→threads)"
+                ctx.resilience_events.append("pool:processes→threads")
         if id(result) in ctx.borrowed:
             result = result.copy()
         return PlanExecution(

@@ -45,8 +45,10 @@ from repro.core.expr import (
     plan_key,
 )
 from repro.core.graph import SocialContentGraph
+from repro.core.resilience import CircuitBreaker
 from repro.core.stats import CardinalityFeedback, GraphStats
 from repro.core.partition import shard_of
+from repro.errors import DeadlineError
 from repro.plan.cache import PlanCache, ResultMemo, shared_plan_cache
 from repro.plan.columnar import cut_columnar_views
 from repro.plan.compiler import CostModel, IndexBinding, compile_plan
@@ -139,6 +141,18 @@ class QueryPlanner:
         #: big-scatter ``"auto"`` executions); planner-owned so the slab
         #: version token is this planner's ``(generation, epoch)`` stamp
         self._process_pool: "ProcessShardPool | None" = None
+        #: the ladder's threads→sequential step: pooled-execution
+        #: failures trip it and later plans run sequentially until the
+        #: cooldown's recovery probe succeeds
+        self.pool_breaker = CircuitBreaker(
+            "worker_pool", failure_threshold=2, cooldown_s=1.0
+        )
+        #: the attr-index→columnar-scan step: posting-path faults trip
+        #: it and the provider degrades to ``None`` (the op falls back
+        #: to the scan compute) until a probe succeeds
+        self.attr_breaker = CircuitBreaker(
+            "attr_index", failure_threshold=2, cooldown_s=1.0
+        )
         self._lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
@@ -257,7 +271,10 @@ class QueryPlanner:
                     < self.cost_model.process_min_rows):
                 return None
         pool = self.process_pool
-        if pool.broken:
+        # the breaker decides: closed → go, open → threads, half-open →
+        # this execution is the recovery probe (dead workers respawn on
+        # the re-ship; success re-closes the circuit)
+        if not pool.breaker.allow():
             return None
         views = self.shard_views(self.graph)
         if views is None:
@@ -313,17 +330,28 @@ class QueryPlanner:
         The execution-time provider behind :class:`AttrIndexScanOp`:
         concatenates the per-shard sorted posting lists of the value.
         Returns ``None`` — degrading the operator to a scan — when the
-        graph is not the planner's live graph or the attribute was never
-        registered.
+        graph is not the planner's live graph, the attribute was never
+        registered, or the attr-index breaker is open (repeated
+        posting-path faults demoted this access path to the columnar
+        scan until a recovery probe succeeds).  A posting-path fault
+        raises — the operator catches it, degrades *this* execution, and
+        the breaker decides about the next one.
         """
         if att not in self.indexed_attrs:
+            return None
+        if not self.attr_breaker.allow():
             return None
         views = self.shard_views(graph)
         if views is None:
             return None
         candidates: list = []
-        for view in views:
-            candidates.extend(view.attr_posting_nodes(att, value))
+        try:
+            for view in views:
+                candidates.extend(view.attr_posting_nodes(att, value))
+        except Exception:
+            self.attr_breaker.record_failure()
+            raise
+        self.attr_breaker.record_success()
         return candidates
 
     def network_index(self, variant: str) -> Any:
@@ -427,6 +455,7 @@ class QueryPlanner:
         access: str = "auto",
         parallel: str | None = None,
         topk: int | None = None,
+        deadline: float | None = None,
     ) -> PlanExecution:
         """Compile (or fetch) and run a plan against the live graph.
 
@@ -434,7 +463,17 @@ class QueryPlanner:
         execution (the differential harness uses ``"force"``/``"never"``
         to hold both executors to identical results).  *topk* bounds the
         ranking stage's sorted output (an execution parameter — cached
-        plans serve any k).
+        plans serve any k).  *deadline* is an absolute monotonic
+        timestamp the execution's cooperative checks enforce.
+
+        Executor faults walk the degradation ladder, never fail the
+        query: the process backend's breaker already degrades
+        processes→threads, and a pooled execution that *raises* is
+        retried sequentially here (operators are side-effect-free, so
+        the retry is safe), tripping ``pool_breaker`` so later plans
+        skip the pool until its recovery probe succeeds.  Deadline
+        expiry is the exception — it propagates, retrying would only
+        burn more of a budget that is already gone.
         """
         plan, cache_hit = self.compile(expr, access)
         provider = self._index.provider if self._index is not None else None
@@ -443,21 +482,45 @@ class QueryPlanner:
             raise ValueError(
                 f"unknown parallelism {mode!r}; have {PARALLEL_MODES}"
             )
-        execution = plan.execute(
-            env if env is not None else {BASE_GRAPH: self.graph},
-            index_provider=provider,
-            network_provider=self.network_index,
-            shard_provider=self.shard_views,
-            attr_provider=self.attr_posting_candidates,
-            pool=self.pool if mode != "never" else None,
-            parallel=mode,
-            parallel_min_cost=self.cost_model.parallel_min_cost,
-            process_backend=self._process_backend(plan, mode, env),
-            # the sub-plan memo assumes the default environment: a custom
-            # env may bind G to a different graph than the memo was cut on
-            result_cache=self._subplan_cache() if env is None else None,
-            topk=topk,
-        )
+        notes: list[str] = []
+        if mode != "never" and not self.pool_breaker.allow():
+            notes.append("pool:threads→sequential")
+            mode = "never"
+        # the sub-plan memo assumes the default environment: a custom
+        # env may bind G to a different graph than the memo was cut on
+        run_env = env if env is not None else {BASE_GRAPH: self.graph}
+        result_cache = self._subplan_cache() if env is None else None
+
+        def attempt(run_mode: str) -> PlanExecution:
+            return plan.execute(
+                run_env,
+                index_provider=provider,
+                network_provider=self.network_index,
+                shard_provider=self.shard_views,
+                attr_provider=self.attr_posting_candidates,
+                pool=self.pool if run_mode != "never" else None,
+                parallel=run_mode,
+                parallel_min_cost=self.cost_model.parallel_min_cost,
+                process_backend=self._process_backend(plan, run_mode, env),
+                result_cache=result_cache,
+                topk=topk,
+                deadline=deadline,
+                resilience_notes=tuple(notes),
+            )
+
+        try:
+            execution = attempt(mode)
+        except DeadlineError:
+            raise
+        except Exception:
+            if mode == "never":
+                raise
+            self.pool_breaker.record_failure()
+            notes.append("pool:threads→sequential")
+            execution = attempt("never")
+        else:
+            if mode != "never":
+                self.pool_breaker.record_success()
         execution.cache_hit = cache_hit
         if not plan.feedback_observed:
             # Feedback rides on fresh plans, not on every hot-path hit:
@@ -593,6 +656,7 @@ class QueryPlanner:
         access: str = "auto",
         parallel: str | None = None,
         limit: int | None = None,
+        deadline: float | None = None,
     ) -> PlanExecution:
         """Compile and run the *whole* discovery pipeline as one plan.
 
@@ -631,7 +695,7 @@ class QueryPlanner:
         root = CombineScoresE(candidates, social, alpha=alpha,
                               drop_zero=drop_zero)
         return self.execute(root, access=access, parallel=parallel,
-                            topk=limit)
+                            topk=limit, deadline=deadline)
 
 
 def _condition_type_names(condition: Any) -> list[str]:

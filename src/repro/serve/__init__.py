@@ -19,6 +19,7 @@ from repro.serve.admission import (
     AdmissionController,
     AdmissionPolicy,
     AdmissionStats,
+    DeadlineExceeded,
     Overloaded,
     TenantPolicy,
 )
@@ -31,6 +32,7 @@ from repro.serve.gateway import (
     ServeOutcome,
 )
 from repro.serve.metrics import latency_summary, peak_rss_mb, percentile
+from repro.serve.resilience import HedgeTracker, breaker_snapshot
 
 __all__ = [
     "TENANT_BUDGET",
@@ -38,6 +40,7 @@ __all__ = [
     "TenantPolicy",
     "AdmissionPolicy",
     "Overloaded",
+    "DeadlineExceeded",
     "Admitted",
     "AdmissionStats",
     "AdmissionController",
@@ -52,4 +55,6 @@ __all__ = [
     "percentile",
     "latency_summary",
     "peak_rss_mb",
+    "HedgeTracker",
+    "breaker_snapshot",
 ]

@@ -53,6 +53,10 @@ class TenantPolicy:
     refill_per_s: float = 64.0
     #: dispatch priority (lower drains first under contention)
     priority: int = 10
+    #: end-to-end deadline for this tenant's requests, seconds from
+    #: submit; ``None`` falls back to the gateway's default (which may
+    #: itself be ``None`` — no deadline, the pre-resilience behavior)
+    deadline_s: float | None = None
 
 
 @dataclass(frozen=True)
@@ -89,6 +93,47 @@ class Overloaded:
     tenant: str
     reason: str  # TENANT_BUDGET | GLOBAL_DEPTH
     retry_after_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        # A zero hint told every shed caller to retry *immediately* —
+        # the PR-8 retry-storm fix made the controller emit positive
+        # hints, and this guard keeps any new call site from quietly
+        # reintroducing the storm.  (The field keeps its 0.0 default so
+        # an unset hint fails loudly instead of passing silently.)
+        if not self.retry_after_s > 0.0:
+            raise ValueError(
+                "Overloaded.retry_after_s must be a positive retry hint, "
+                f"got {self.retry_after_s!r}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """False — the outcome discriminator shared with RequestFailure."""
+        return False
+
+
+@dataclass(frozen=True)
+class DeadlineExceeded:
+    """The typed deadline-expiry outcome — ``Overloaded``'s sibling.
+
+    Returned (never raised, never a stuck future) by the gateway when a
+    request's end-to-end deadline expires, whether it was still queued
+    in a batch buffer, waiting on an executor slot, mid-plan-execution
+    (the cooperative ``ExecContext`` check fired), or stranded by a
+    bounded shutdown drain.  ``stage`` says where the clock ran out and
+    ``elapsed_s`` is the honest submit→expiry wall time.
+    """
+
+    tenant: str
+    #: where the deadline fired: ``queued`` | ``executing`` |
+    #: ``shutdown``, or the plan-side stage (operator / shard label)
+    stage: str
+    #: seconds from submit to expiry (>= the configured deadline for
+    #: timer-driven expiry; can exceed it when a wedged slot was only
+    #: noticed at resolution time)
+    elapsed_s: float
+    #: the deadline that was in force, seconds
+    deadline_s: float
 
     @property
     def ok(self) -> bool:
@@ -285,6 +330,7 @@ __all__ = [
     "TenantPolicy",
     "AdmissionPolicy",
     "Overloaded",
+    "DeadlineExceeded",
     "Admitted",
     "AdmissionStats",
     "AdmissionController",

@@ -36,7 +36,12 @@ from typing import Any, Sequence
 from repro.api import SearchRequest, Session, SessionConfig
 from repro.core import Id
 from repro.management import DataManager
-from repro.serve.admission import AdmissionPolicy, Overloaded, TenantPolicy
+from repro.serve.admission import (
+    AdmissionPolicy,
+    DeadlineExceeded,
+    Overloaded,
+    TenantPolicy,
+)
 from repro.serve.gateway import GatewayConfig, GatewayStats, ServeGateway
 from repro.serve.metrics import latency_summary, peak_rss_mb
 
@@ -261,7 +266,10 @@ async def drive(
             t0 = time.perf_counter()
             outcome = await gateway.submit(tenant, request)
             elapsed_ms = (time.perf_counter() - t0) * 1e3
-            if isinstance(outcome, Overloaded):
+            if isinstance(outcome, (Overloaded, DeadlineExceeded)):
+                # both are typed sheds: the gateway turned the request
+                # away (budget/depth) or its deadline ran out — neither
+                # is a serving *failure*
                 shed += 1
             elif outcome.ok:
                 completed += 1

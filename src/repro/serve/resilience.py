@@ -1,0 +1,92 @@
+"""Gateway-side resilience: hedge pacing and breaker visibility.
+
+The plan layer owns the degradation ladder's breakers
+(processes→threads on the :class:`~repro.plan.parallel.ProcessShardPool`,
+threads→sequential and attr-index→scan on the
+:class:`~repro.plan.planner.QueryPlanner`); this module holds the pieces
+the *gateway* adds on top:
+
+* :class:`HedgeTracker` — an online latency profile of batch executions
+  deciding when a pool slot has been held suspiciously long.  A batch
+  whose execution exceeds the tracked quantile (times a multiplier) gets
+  a hedged re-dispatch on a separate thread: batch execution is
+  deterministic and read-only, so first-completion-wins is safe, and a
+  wedged slot costs one duplicated batch instead of a wedged request.
+* :func:`breaker_snapshot` — one mapping of every breaker the serving
+  session carries, for ``GatewayStats`` (state transitions are already
+  visible per-execution in EXPLAIN's ``resilience:`` header).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.resilience import BreakerStats
+from repro.serve.metrics import percentile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import Session
+
+
+class HedgeTracker:
+    """Online quantile of batch-execution latencies → the hedge delay.
+
+    Keeps the last *max_samples* execution times (loop-thread only, no
+    lock); :meth:`hedge_delay` is ``None`` until *min_samples* have been
+    observed — hedging on no evidence would just double early load —
+    and then ``quantile × multiplier``, floored at *min_delay_s* so
+    micro-batches don't hedge on scheduler noise.
+    """
+
+    def __init__(
+        self,
+        quantile: float = 0.95,
+        multiplier: float = 2.0,
+        min_samples: int = 16,
+        max_samples: int = 256,
+        min_delay_s: float = 0.010,
+    ) -> None:
+        self.quantile = quantile
+        self.multiplier = multiplier
+        self.min_samples = min_samples
+        self.max_samples = max_samples
+        self.min_delay_s = min_delay_s
+        self._samples: list[float] = []
+        self._next = 0
+        self.hedges = 0
+
+    def observe(self, elapsed_s: float) -> None:
+        """Record one batch execution's wall time (ring-buffered)."""
+        if len(self._samples) < self.max_samples:
+            self._samples.append(elapsed_s)
+        else:
+            self._samples[self._next] = elapsed_s
+            self._next = (self._next + 1) % self.max_samples
+
+    def hedge_delay(self) -> float | None:
+        """Seconds to wait before hedging, or ``None`` (not enough data)."""
+        if len(self._samples) < self.min_samples:
+            return None
+        cut = percentile(sorted(self._samples), self.quantile * 100.0)
+        return max(cut * self.multiplier, self.min_delay_s)
+
+
+def breaker_snapshot(session: "Session") -> Mapping[str, BreakerStats]:
+    """Every breaker the serving session carries, by name.
+
+    Reads the planner's ladder breakers and — only if one was ever
+    spawned — the process pool's; never *creates* a pool just to report
+    on it.
+    """
+    planner = session.planner
+    snapshot: dict[str, BreakerStats] = {
+        planner.pool_breaker.name: planner.pool_breaker.stats(),
+        planner.attr_breaker.name: planner.attr_breaker.stats(),
+    }
+    process_pool = planner._process_pool
+    if process_pool is not None:
+        snapshot[process_pool.breaker.name] = process_pool.breaker.stats()
+    return snapshot
+
+
+__all__ = ["HedgeTracker", "breaker_snapshot"]

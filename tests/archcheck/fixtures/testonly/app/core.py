@@ -1,0 +1,3 @@
+"""The production core: defines the thing the fault handlers hook."""
+
+VALUE = 1

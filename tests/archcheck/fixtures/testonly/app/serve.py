@@ -1,0 +1,8 @@
+"""VIOLATION (T001): production code importing the test-only package —
+this module could arm fault handlers in a serving process."""
+
+from app.testing.faults import arm
+
+
+def handle() -> int:
+    return arm()

@@ -1,0 +1,5 @@
+"""Test-only package: importing a sibling inside itself is legal."""
+
+from app.testing.faults import arm
+
+__all__ = ["arm"]

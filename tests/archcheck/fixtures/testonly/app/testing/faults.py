@@ -1,0 +1,7 @@
+"""Fault handlers: may reach DOWN into core (the hook registry)."""
+
+from app.core import VALUE
+
+
+def arm() -> int:
+    return VALUE

@@ -31,7 +31,12 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 def fixture_config() -> Config:
     return Config(
         layer_root="app",
-        layers={"core": (), "plan": ("core",)},
+        layers={
+            "core": (),
+            "plan": ("core",),
+            "serve": ("core",),
+            "testing": ("core",),
+        },
         determinism_strict=("plan",),
         rng_allowlist={},
         purity_modules=("plan.columnar",),
@@ -92,6 +97,29 @@ class TestRestrictedImports:
                         name="serve.gateway", tree=tree)
         findings = check_layering([module], fixture_config())
         assert any(f.rule == "L004" for f in findings)
+
+
+class TestTestOnlyImports:
+    def test_production_import_of_test_only_package_fires(self):
+        findings = run_on("testonly", "layering")
+        t001 = [f for f in findings if f.rule == "T001"]
+        assert {f.symbol for f in t001} == {"serve->testing"}
+        assert "fault handlers" in t001[0].message
+
+    def test_test_only_package_may_import_itself_and_core(self):
+        findings = run_on("testonly", "layering")
+        assert not any(
+            f.rule == "T001" and "/testing/" in f.path.replace("\\", "/")
+            for f in findings
+        )
+
+    def test_disabled_when_no_test_only_packages_declared(self):
+        root = FIXTURES / "testonly"
+        modules = collect_modules(root, root, layer_root="app")
+        config = fixture_config()
+        config.test_only_packages = ()
+        findings = run_rules(modules, config, ("layering",))
+        assert not any(f.rule == "T001" for f in findings)
 
 
 class TestConcurrency:

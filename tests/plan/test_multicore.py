@@ -171,6 +171,8 @@ class TestEpochInvalidation:
 
 class TestDegradeToThreads:
     def test_poisoned_worker_degrades_mid_plan(self):
+        from repro.testing import armed_faults, worker_killer
+
         graph = factories.social_site_graph(num_users=10, num_items=16)
         planner = process_planner(graph, 2)
         seq = QueryPlanner(graph)
@@ -184,9 +186,14 @@ class TestDegradeToThreads:
             )
             planner.execute(warm)
             pool = planner.process_pool
-            for worker in pool._workers:
-                worker.process.kill()
-            execution = planner.execute(poisoned)
+            # A worker killed *between* plans is reaped and respawned at
+            # the next slab ship (the pool self-heals), so breaking the
+            # pool needs a deterministic mid-plan death: the fault point
+            # fires right before the next pipe request.
+            with armed_faults(
+                {"parallel.worker_request": worker_killer(times=1)}
+            ):
+                execution = planner.execute(poisoned)
             assert execution.result.same_as(seq.execute(poisoned).result)
             assert "degraded→threads" in execution.executor
             assert pool.broken
@@ -199,6 +206,8 @@ class TestDegradeToThreads:
             planner.close()
 
     def test_reset_recovers_the_pool(self):
+        from repro.testing import armed_faults, worker_killer
+
         graph = factories.social_site_graph(num_users=10, num_items=16)
         planner = process_planner(graph, 2)
         try:
@@ -206,12 +215,15 @@ class TestDegradeToThreads:
                 Condition({"type": "item"}, keywords="thing")
             ))
             pool = planner.process_pool
-            for worker in pool._workers:
-                worker.process.kill()
             bad = input_graph("G").select_nodes(
                 Condition({"type": "item"}, keywords="topic0")
             )
-            planner.execute(bad)
+            # deterministic mid-plan worker death (between-plans kills
+            # are reaped and respawned at ship time — see above)
+            with armed_faults(
+                {"parallel.worker_request": worker_killer(times=1)}
+            ):
+                planner.execute(bad)
             assert pool.broken
             pool.reset()
             assert not pool.broken
@@ -225,6 +237,78 @@ class TestDegradeToThreads:
             assert execution.result.same_as(
                 QueryPlanner(graph).execute(fresh).result
             )
+        finally:
+            planner.close()
+
+
+class TestSelfHealing:
+    @pytest.mark.usefixtures("deadlock_watchdog")
+    def test_breaker_probe_respawns_workers_after_cooldown(self):
+        """The ladder heals itself: open → half-open probe → respawn."""
+        from repro.testing import armed_faults, worker_killer
+
+        graph = factories.social_site_graph(num_users=10, num_items=16)
+        planner = process_planner(graph, 2)
+        seq = QueryPlanner(graph)
+        try:
+            planner.execute(input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="thing")
+            ))
+            pool = planner.process_pool
+            pool.breaker.cooldown_s = 0.05  # fast probe for the test
+            bad = input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="topic0")
+            )
+            # deterministic mid-plan worker death (between-plans kills
+            # are reaped and respawned at ship time, never tripping the
+            # breaker)
+            with armed_faults(
+                {"parallel.worker_request": worker_killer(times=1)}
+            ):
+                planner.execute(bad)
+            assert pool.broken
+            # within the cooldown the backend is skipped, no probe spent
+            skipped = planner.execute(input_graph("G").select_nodes(
+                {"name": "item 1"}
+            ))
+            assert not skipped.executor.startswith("processes")
+            time.sleep(0.06)
+            # cooldown elapsed: the next eligible plan is the recovery
+            # probe — dead workers are reaped, respawned, re-shipped
+            fresh = input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="topic1")
+            )
+            execution = planner.execute(fresh)
+            assert execution.executor.startswith("processes(")
+            assert not pool.broken
+            assert pool.breaker.stats().recoveries == 1
+            assert execution.result.same_as(seq.execute(fresh).result)
+        finally:
+            planner.close()
+
+    @pytest.mark.usefixtures("deadlock_watchdog")
+    def test_worker_kill_fault_degrades_without_changing_answers(self):
+        """The chaos fault point kills the worker mid-request; parity holds."""
+        from repro.testing import armed_faults, worker_killer
+
+        graph = factories.social_site_graph(num_users=10, num_items=16)
+        planner = process_planner(graph, 2)
+        seq = QueryPlanner(graph)
+        expr = input_graph("G").select_nodes(
+            Condition({"type": "item"}, keywords="topic0")
+        )
+        try:
+            planner.execute(input_graph("G").select_nodes(
+                Condition({"type": "item"}, keywords="thing")
+            ))
+            with armed_faults(
+                {"parallel.worker_request": worker_killer(times=1)}
+            ):
+                execution = planner.execute(expr)
+            assert execution.result.same_as(seq.execute(expr).result)
+            assert "degraded→threads" in execution.executor
+            assert "pool:processes→threads" in execution.resilience
+            assert planner.process_pool.broken
         finally:
             planner.close()
 

@@ -35,6 +35,11 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
         "discovery", "presentation", "errors",
     ),
     "serve": ("api", "core", "management", "workloads", "errors"),
+    # test-only: fault handlers and chaos schedules.  It may reach down
+    # to core (the fault-point registry lives there) but NOTHING in
+    # production may import it — rule T001 below enforces the reverse
+    # direction explicitly, over and above the DAG's silence.
+    "testing": ("core", "errors"),
     "socialscope": (
         "api", "core", "discovery", "management", "presentation", "errors",
     ),
@@ -93,6 +98,13 @@ DEFAULT_RESTRICTED_IMPORTS: dict[str, str] = {
     "multiprocessing": "plan.parallel",
 }
 
+#: Packages only tests/benches may import (rule T001): production code
+#: importing one of these could arm fault handlers in a serving process.
+#: The fault-point *hooks* (``repro.core.faults``) are production-legal —
+#: they compile to a ``None``-check when nothing is armed — but the
+#: *handlers* (``repro.testing``) must stay out of production closures.
+DEFAULT_TEST_ONLY_PACKAGES: tuple[str, ...] = ("testing",)
+
 
 @dataclass
 class Config:
@@ -112,6 +124,7 @@ class Config:
     restricted_imports: dict[str, str] = field(
         default_factory=lambda: dict(DEFAULT_RESTRICTED_IMPORTS)
     )
+    test_only_packages: tuple[str, ...] = DEFAULT_TEST_ONLY_PACKAGES
 
     def module_in(self, name: str, prefixes: tuple[str, ...]) -> bool:
         """True when dotted *name* equals or nests under any prefix."""
@@ -161,4 +174,6 @@ def load_config(pyproject: Path | None = None) -> Config:
         config.purity_mutators = tuple(table["purity_mutators"])
     if "restricted_imports" in table:
         config.restricted_imports = dict(table["restricted_imports"])
+    if "test_only_packages" in table:
+        config.test_only_packages = tuple(table["test_only_packages"])
     return config

@@ -13,6 +13,12 @@
   motivating case: process lifecycle, pipe protocol and shared-memory
   ownership are confined to ``plan.parallel`` so a second spawner cannot
   grow its own fork/cleanup bugs.
+* **T001** — production code imports a *test-only* package
+  (``config.test_only_packages``, by default ``repro.testing``).  The
+  fault-injection handlers live there; a production module importing
+  them could arm faults in a serving process, so the guarantee
+  "production never arms faults" is enforced as an import ban (the
+  layer DAG is silent about the edge; this rule rejects it by name).
 
 Only imports of the project's own top package are considered; stdlib and
 third-party imports are out of scope here (the determinism rules own
@@ -105,6 +111,37 @@ def check_layering(modules: list[Module], config: Config) -> list[Finding]:
                 ))
     findings.extend(_find_cycles(observed))
     findings.extend(_check_restricted_imports(modules, config))
+    findings.extend(_check_test_only_imports(modules, config))
+    return findings
+
+
+def _check_test_only_imports(
+    modules: list[Module], config: Config
+) -> list[Finding]:
+    """T001: production modules importing a test-only package."""
+    findings: list[Finding] = []
+    if not config.test_only_packages:
+        return findings
+    top = config.layer_root
+    for module in modules:
+        if module.package in config.test_only_packages:
+            continue  # the test-only package may import itself
+        for target_module, line in _imported_modules(module.tree, top):
+            target = _target_package(target_module, module, top)
+            if target is None or target not in config.test_only_packages:
+                continue
+            findings.append(Finding(
+                rule="T001",
+                path=module.rel_path,
+                line=line,
+                symbol=f"{module.package}->{target}",
+                message=(
+                    f"production module imports test-only package "
+                    f"{target!r} (import of {target_module!r}): fault "
+                    f"handlers must never be armable from serving code"
+                ),
+                detail=target_module,
+            ))
     return findings
 
 
